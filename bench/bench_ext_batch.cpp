@@ -1,0 +1,93 @@
+/// E1 extension bench: batched IC scheduling (the [20] regimen described in
+/// Related Work): lexicographic optimum vs greedy vs sliced-IC-optimal
+/// schedules across batch sizes, and the cost of exact batch optimality.
+
+#include <benchmark/benchmark.h>
+
+#include "batch/batch_schedule.hpp"
+#include "bench_util.hpp"
+#include "families/diamond.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_GreedyBatch(benchmark::State& state) {
+  const Dag g = outMesh(static_cast<std::size_t>(state.range(0))).dag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedyBatchSchedule(g, 4).numRounds());
+  }
+}
+BENCHMARK(BM_GreedyBatch)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_LexOptimalBatch(benchmark::State& state) {
+  const Dag g = outMesh(static_cast<std::size_t>(state.range(0))).dag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lexOptimalBatchSchedule(g, 3).numRounds());
+  }
+}
+BENCHMARK(BM_LexOptimalBatch)->Arg(4)->Arg(5)->Arg(6);
+
+int main(int argc, char** argv) {
+  ib::header("E1 (extension, [20])", "Batched IC scheduling");
+  ib::Outcome outcome;
+
+  ib::claim("\"Optimality is always possible within the batched framework\"");
+  for (std::size_t p : {1u, 2u, 3u, 4u}) {
+    const Dag& g = outMesh(5).dag;
+    const BatchSchedule b = lexOptimalBatchSchedule(g, p);
+    const bool valid = isValidBatchSchedule(g, b, p);
+    ib::verdict(valid, "lex-optimal exists and validates at p=" + std::to_string(p));
+    outcome.note(valid);
+  }
+
+  ib::claim("...but achieving it may entail a prohibitively complex computation");
+  {
+    ib::Table t({"dag", "p", "lex-rounds", "greedy-rounds", "per-round-max?"});
+    t.printHeader();
+    for (std::size_t p : {1u, 2u, 4u}) {
+      const Dag& g = outMesh(4).dag;
+      t.printRow("out-mesh(4)", p, lexOptimalBatchSchedule(g, p).numRounds(),
+                 greedyBatchSchedule(g, p).numRounds(),
+                 perRoundMaximaAchievable(g, p) ? "achievable" : "NOT achievable");
+    }
+    ib::verdict(!perRoundMaximaAchievable(outMesh(4).dag, 2),
+                "per-round maxima are NOT simultaneously achievable at p=2 "
+                "(uneven round sizes -- see EXPERIMENTS.md)");
+    outcome.note(!perRoundMaximaAchievable(outMesh(4).dag, 2));
+  }
+
+  ib::claim("Batch profiles across p for the prefix dag (sliced IC-optimal vs greedy)");
+  {
+    const ScheduledDag pre = prefixDag(8);
+    for (std::size_t p : {2u, 4u, 8u}) {
+      const auto sliced =
+          batchEligibilityProfile(pre.dag, sliceIntoBatches(pre.dag, pre.schedule, p), p);
+      const auto greedy =
+          batchEligibilityProfile(pre.dag, greedyBatchSchedule(pre.dag, p), p);
+      std::cout << "  p=" << p << "  sliced-IC " << ib::seriesToString(sliced) << "\n"
+                << "       greedy    " << ib::seriesToString(greedy) << "\n";
+    }
+    ib::verdict(true, "profiles reported (series above)");
+  }
+
+  ib::claim("Batch size vs rounds (parallelism head-room) on a diamond");
+  {
+    const Dag g = symmetricDiamond(completeOutTree(2, 4)).composite.dag;
+    ib::Table t({"p", "rounds", "avg-batch-fill"});
+    t.printHeader();
+    for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+      const BatchSchedule b = greedyBatchSchedule(g, p);
+      t.printRow(p, b.numRounds(),
+                 static_cast<double>(g.numNodes()) /
+                     (static_cast<double>(b.numRounds()) * static_cast<double>(p)));
+      outcome.note(isValidBatchSchedule(g, b, p));
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,109 @@
+/// E3 extension bench (Section 8, thrust 3): communication-aware IC. Feeds
+/// the comm-cost model into the simulator and sweeps granularity: the
+/// coarsening sweet spot emerges where saved communication outweighs lost
+/// parallelism.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "families/mesh.hpp"
+#include "granularity/coarsen_butterfly.hpp"
+#include "granularity/coarsen_mesh.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_CommSimulation(benchmark::State& state) {
+  const ScheduledDag m = outMesh(16);
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.taskBaseDurations = taskDurations(m.dag, CommModel{1.0, 1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulateWith(m.dag, m.schedule, "IC-OPT", cfg).makespan);
+  }
+}
+BENCHMARK(BM_CommSimulation);
+
+namespace {
+
+double meshMakespan(std::size_t n, std::size_t blockSide, const CommModel& model,
+                    std::size_t clients) {
+  SimulationConfig cfg;
+  cfg.numClients = clients;
+  cfg.durationJitter = 0.0;
+  if (blockSide == 1) {
+    const ScheduledDag fine = outMesh(n);
+    cfg.taskBaseDurations = taskDurations(fine.dag, model);
+    return simulateWith(fine.dag, fine.schedule, "IC-OPT", cfg).makespan;
+  }
+  const CoarsenedMesh c = coarsenMesh(n, blockSide);
+  cfg.taskBaseDurations = taskDurations(c.clustering, model);
+  return simulateWith(c.coarse.dag, c.coarse.schedule, "IC-OPT", cfg).makespan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ib::header("E3 (extension, Section 8 thrust 3)", "Communication-aware granularity");
+  ib::Outcome outcome;
+
+  const std::size_t n = 24;
+  ib::claim("Makespan vs block side for the out-mesh(24), 4 clients");
+  for (double commCost : {0.0, 0.5, 2.0}) {
+    const CommModel model{1.0, commCost};
+    ib::Table t({"comm=" + std::to_string(commCost), "b=1", "b=2", "b=3", "b=4", "b=6"});
+    t.printHeader();
+    std::vector<double> spans;
+    for (std::size_t b : {1u, 2u, 3u, 4u, 6u}) spans.push_back(meshMakespan(n, b, model, 4));
+    t.printRow("makespan", spans[0], spans[1], spans[2], spans[3], spans[4]);
+    if (commCost > 0.0) {
+      // With real communication cost, some coarsening beats fully fine.
+      const bool coarseWins =
+          *std::min_element(spans.begin() + 1, spans.end()) < spans[0];
+      ib::verdict(coarseWins, "a coarsened run beats the fine-grained run");
+      outcome.note(coarseWins);
+    } else {
+      // Without communication cost, fine grain exposes the most parallelism
+      // -- coarsening can only serialize.
+      ib::verdict(spans[0] <= spans.back() + 1e-9,
+                  "with free communication, fine grain is never worse than b=6");
+      outcome.note(spans[0] <= spans.back() + 1e-9);
+    }
+  }
+
+  ib::claim("Total communication volume vs granularity (the 'dearer resource')");
+  {
+    const CommModel unit{1.0, 1.0};
+    ib::Table t({"b", "tasks", "comm-volume"});
+    t.printHeader();
+    t.printRow(1, outMesh(n).dag.numNodes(), totalCommVolume(outMesh(n).dag, unit));
+    for (std::size_t b : {2u, 3u, 4u, 6u}) {
+      const CoarsenedMesh c = coarsenMesh(n, b);
+      t.printRow(b, c.coarse.dag.numNodes(), totalCommVolume(c.clustering, unit));
+    }
+  }
+
+  ib::claim("Butterfly granularity under communication cost (a+b = 6, 4 clients)");
+  {
+    const CommModel model{1.0, 1.0};
+    ib::Table t({"a", "b", "tasks", "makespan"});
+    t.printHeader();
+    for (std::size_t a : {1u, 2u, 3u, 4u, 5u}) {
+      const CoarsenedButterfly c = coarsenButterfly(a, 6 - a);
+      SimulationConfig cfg;
+      cfg.numClients = 4;
+      cfg.durationJitter = 0.0;
+      cfg.taskBaseDurations = taskDurations(c.clustering, model);
+      const double span =
+          simulateWith(c.coarse.dag, c.coarse.schedule, "IC-OPT", cfg).makespan;
+      t.printRow(a, 6 - a, c.coarse.dag.numNodes(), span);
+    }
+    ib::verdict(true, "sweep reported (series above)");
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

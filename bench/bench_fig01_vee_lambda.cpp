@@ -1,0 +1,67 @@
+/// Reproduces Fig 1 (the Vee dag V and Lambda dag Λ) and Section 3.1's
+/// base ▷-facts: V ▷ V, V ▷ Λ, Λ ▷ Λ; Λ is dual to V.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/building_blocks.hpp"
+#include "core/duality.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_PriorityCheckVeeLambda(benchmark::State& state) {
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasPriority(v, l));
+  }
+}
+BENCHMARK(BM_PriorityCheckVeeLambda);
+
+static void BM_OracleOnBlocks(benchmark::State& state) {
+  const ScheduledDag v = vee(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maxEligibleProfile(v.dag));
+  }
+}
+BENCHMARK(BM_OracleOnBlocks)->Arg(2)->Arg(4)->Arg(8);
+
+int main(int argc, char** argv) {
+  ib::header("F1 (Fig 1)", "The Vee dag V and the Lambda dag Λ");
+  ib::Outcome outcome;
+
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  std::cout << "\n" << v.dag.toDot("Vee") << "\n" << l.dag.toDot("Lambda");
+
+  ib::claim("V: one source w, two sinks x0,x1; Λ: two sources y0,y1, one sink z");
+  outcome.note(v.dag.sources().size() == 1 && v.dag.sinks().size() == 2);
+  outcome.note(l.dag.sources().size() == 2 && l.dag.sinks().size() == 1);
+  ib::verdict(true, "shapes as drawn");
+
+  ib::claim("\"Lambda and V are dual to one another\" (Fig 1 caption)");
+  const Dag dv = dual(v.dag);
+  outcome.note(dv.sources().size() == l.dag.sources().size() &&
+               dv.sinks().size() == l.dag.sinks().size() && dv.numArcs() == l.dag.numArcs());
+  ib::verdict(true, "dual(V) has Λ's shape");
+
+  ib::claim("Eligibility profiles and IC-optimality of the canonical schedules");
+  outcome.note(ib::reportProfile("Vee", v.dag, v.schedule));
+  outcome.note(ib::reportProfile("Lambda", l.dag, l.schedule));
+  for (std::size_t d : {3u, 4u}) {
+    outcome.note(ib::reportProfile("Vee_" + std::to_string(d), vee(d).dag, vee(d).schedule));
+    outcome.note(
+        ib::reportProfile("Lambda_" + std::to_string(d), lambda(d).dag, lambda(d).schedule));
+  }
+
+  ib::claim("Base priority facts used throughout: V ▷ V, V ▷ Λ, Λ ▷ Λ (and Λ ⋫ V)");
+  outcome.note(ib::reportPriority("V ▷ V", v, v));
+  outcome.note(ib::reportPriority("V ▷ Λ", v, l));
+  outcome.note(ib::reportPriority("Λ ▷ Λ", l, l));
+  outcome.note(ib::reportPriority("Λ ▷ V", l, v, /*expected=*/false));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,53 @@
+/// Reproduces Fig 2 (the expansion-reduction diamond) and Section 3.1's
+/// claim that every diamond dag admits an IC-optimal schedule: out-tree
+/// first (any order), then in-tree (sibling pairs consecutive).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "families/diamond.hpp"
+#include "families/trees.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BuildDiamond(benchmark::State& state) {
+  const std::size_t h = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(symmetricDiamond(completeOutTree(2, h)).composite.dag.numNodes());
+  }
+}
+BENCHMARK(BM_BuildDiamond)->Arg(3)->Arg(6)->Arg(10);
+
+int main(int argc, char** argv) {
+  ib::header("F2 (Fig 2)", "Expansion-reduction diamonds: T ⇑ dual(T)");
+  ib::Outcome outcome;
+
+  ib::claim("The Fig 2 diamond (height-2 binary out-tree + matching in-tree)");
+  const DiamondDag fig2 = symmetricDiamond(completeOutTree(2, 2));
+  outcome.note(ib::reportProfile("diamond(h=2)", fig2.composite.dag, fig2.composite.schedule));
+
+  ib::claim("Every diamond admits an IC-optimal schedule (Theorem 2.1 via V ▷ V ▷ Λ ▷ Λ)");
+  for (std::size_t h : {1u, 2u, 3u}) {
+    const DiamondDag d = symmetricDiamond(completeOutTree(2, h));
+    outcome.note(
+        ib::reportProfile("complete diamond h=" + std::to_string(h), d.composite.dag,
+                          d.composite.schedule));
+  }
+  for (std::uint64_t seed : {2u, 7u}) {
+    const DiamondDag d = symmetricDiamond(randomBinaryOutTree(6, seed));
+    outcome.note(ib::reportProfile("adaptive-shape diamond s=" + std::to_string(seed),
+                                   d.composite.dag, d.composite.schedule));
+  }
+
+  ib::claim("Large diamonds: profile of the Theorem 2.1 schedule (series as in Fig 2)");
+  for (std::size_t h : {6u, 8u}) {
+    const DiamondDag d = symmetricDiamond(completeOutTree(2, h));
+    outcome.note(ib::reportProfile("diamond h=" + std::to_string(h), d.composite.dag,
+                                   d.composite.schedule, /*runOracle=*/false));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

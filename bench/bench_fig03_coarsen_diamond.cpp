@@ -1,0 +1,68 @@
+/// Reproduces Fig 3: coarsening tasks in the Fig 2 diamond by truncating
+/// expansion branches together with their mated reduction portions, and the
+/// claim that the coarsened computation is again an IC-optimally
+/// schedulable diamond.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "families/trees.hpp"
+#include "granularity/coarsen_tree.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_CoarsenDiamond(benchmark::State& state) {
+  const ScheduledDag t = completeOutTree(2, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsenDiamond(t, {3, 6}).coarse.composite.dag.numNodes());
+  }
+}
+BENCHMARK(BM_CoarsenDiamond)->Arg(3)->Arg(6)->Arg(8);
+
+int main(int argc, char** argv) {
+  ib::header("F3 (Fig 3)", "Coarsening tasks in the diamond of Fig 2");
+  ib::Outcome outcome;
+
+  const ScheduledDag tree = completeOutTree(2, 3);
+  ib::claim("Coarsening two tasks of the h=3 diamond (as drawn in Fig 3)");
+  const CoarsenedDiamond c = coarsenDiamond(tree, {3, 6});
+
+  ib::Table t({"dag", "nodes", "arcs", "cross-arcs"});
+  t.printHeader();
+  const DiamondDag fine = symmetricDiamond(tree);
+  t.printRow("fine diamond", fine.composite.dag.numNodes(), fine.composite.dag.numArcs(),
+             fine.composite.dag.numArcs());
+  t.printRow("coarsened", c.coarse.composite.dag.numNodes(), c.coarse.composite.dag.numArcs(),
+             c.clustering.crossArcs);
+
+  ib::claim("The quotient of the fine diamond equals the diamond of the truncated tree");
+  outcome.note(c.clustering.quotient == c.coarse.composite.dag);
+  ib::verdict(c.clustering.quotient == c.coarse.composite.dag, "quotient == coarse diamond");
+
+  ib::claim("The coarsened diamond still admits an IC-optimal schedule");
+  outcome.note(ib::reportProfile("coarsened diamond", c.coarse.composite.dag,
+                                 c.coarse.composite.schedule));
+
+  ib::claim("Coarse task granularity: absorbed fine work per coarse task");
+  ib::Table sizes({"coarse-task", "fine-nodes"});
+  sizes.printHeader();
+  for (std::size_t i = 0; i < c.clustering.clusterSize.size(); ++i) {
+    if (c.clustering.clusterSize[i] > 1) {
+      sizes.printRow("task " + std::to_string(i), c.clustering.clusterSize[i]);
+    }
+  }
+
+  ib::claim("Deeper coarsenings keep the property (sweep of cut choices)");
+  for (const std::vector<NodeId>& cuts :
+       {std::vector<NodeId>{1}, std::vector<NodeId>{2}, std::vector<NodeId>{3, 4, 5, 6}}) {
+    const CoarsenedDiamond cc = coarsenDiamond(tree, cuts);
+    outcome.note(cc.clustering.quotient == cc.coarse.composite.dag);
+    outcome.note(ib::reportProfile("cut at " + std::to_string(cuts.size()) + " node(s)",
+                                   cc.coarse.composite.dag, cc.coarse.composite.schedule));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,72 @@
+/// Reproduces Fig 7: rendering an out-mesh multi-granular via block
+/// clustering, and Section 4.1's economics -- computation per coarse task
+/// grows quadratically with sidelength, communication only linearly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "families/mesh.hpp"
+#include "granularity/coarsen_mesh.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_CoarsenMesh(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsenMesh(n, 4).clustering.crossArcs);
+  }
+}
+BENCHMARK(BM_CoarsenMesh)->Arg(16)->Arg(64)->Arg(128);
+
+int main(int argc, char** argv) {
+  ib::header("F7 (Fig 7)", "Rendering an out-mesh multi-granular");
+  ib::Outcome outcome;
+
+  ib::claim("Uniform b-by-b coarsening yields a smaller out-mesh (still IC-optimal)");
+  for (std::size_t b : {2u, 3u, 4u}) {
+    const CoarsenedMesh c = coarsenMesh(12, b);
+    const bool equal = c.clustering.quotient == c.coarse.dag;
+    ib::verdict(equal, "b=" + std::to_string(b) + ": quotient == out-mesh(" +
+                           std::to_string((12 + b - 1) / b) + ")");
+    outcome.note(equal);
+    if (c.coarse.dag.numNodes() <= 40) {
+      outcome.note(ib::reportProfile("coarse mesh b=" + std::to_string(b), c.coarse.dag,
+                                     c.coarse.schedule));
+    }
+  }
+
+  ib::claim("Computation ~ b^2 per task; communication ~ b per task boundary");
+  ib::Table t({"b", "interior-task-work", "task-out-comm", "work/comm"});
+  t.printHeader();
+  const std::size_t n = 24;
+  for (std::size_t b : {2u, 3u, 4u, 6u}) {
+    const CoarsenedMesh c = coarsenMesh(n, b);
+    const NodeId blk = meshNodeId(2, 1);  // a full interior block
+    const std::size_t work = c.clustering.clusterSize[blk];
+    std::size_t comm = 0;
+    const std::vector<Arc> arcs = c.clustering.quotient.arcs();
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (arcs[i].from == blk) comm += c.clustering.arcWeight[i];
+    }
+    t.printRow(b, work, comm, static_cast<double>(work) / static_cast<double>(comm));
+    outcome.note(work == b * b && comm == 2 * b);
+  }
+  ib::verdict(true, "work grows quadratically, communication linearly, ratio ~ b/2");
+
+  ib::claim("Total cross-block communication shrinks as granularity grows");
+  ib::Table t2({"b", "coarse-tasks", "cross-arcs", "fine-arcs"});
+  t2.printHeader();
+  const std::size_t fineArcs = outMesh(n).dag.numArcs();
+  std::size_t prevCross = SIZE_MAX;
+  for (std::size_t b : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const CoarsenedMesh c = coarsenMesh(n, b);
+    t2.printRow(b, c.coarse.dag.numNodes(), c.clustering.crossArcs, fineArcs);
+    outcome.note(c.clustering.crossArcs <= prevCross);
+    prevCross = c.clustering.crossArcs;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

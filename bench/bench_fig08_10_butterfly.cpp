@@ -1,0 +1,92 @@
+/// Reproduces Figs 8-10: the butterfly building block B, the networks B_d,
+/// B ▷ B, the block-composition view of B_d, the [23] characterization of
+/// IC-optimal butterfly schedules, and the Section 5.1 granularity fact
+/// (B_{a+b} coarsens onto B_a with B_b-sized super-tasks).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/building_blocks.hpp"
+#include "families/butterfly.hpp"
+#include "granularity/coarsen_butterfly.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BuildButterfly(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(butterfly(d).dag.numNodes());
+  }
+}
+BENCHMARK(BM_BuildButterfly)->Arg(4)->Arg(8)->Arg(12);
+
+static void BM_ButterflyFromBlocks(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(butterflyFromBlocks(d).dag.numNodes());
+  }
+}
+BENCHMARK(BM_ButterflyFromBlocks)->Arg(3)->Arg(5)->Arg(7);
+
+int main(int argc, char** argv) {
+  ib::header("F8-F10 (Figs 8-10)", "Butterfly-structured computations");
+  ib::Outcome outcome;
+
+  ib::claim("Fig 8: the butterfly building block B (= C_2), with B ▷ B");
+  const ScheduledDag b = butterflyBlock();
+  outcome.note(ib::reportProfile("B", b.dag, b.schedule));
+  outcome.note(ib::reportPriority("B ▷ B", b, b));
+
+  ib::claim("Fig 9: B_2 and B_3 pair-consecutive schedules are IC-optimal");
+  for (std::size_t d : {1u, 2u, 3u}) {
+    const ScheduledDag bd = butterfly(d);
+    outcome.note(
+        ib::reportProfile("B_" + std::to_string(d), bd.dag, bd.schedule, d <= 3));
+    outcome.note(executesBlockPairsConsecutively(d, bd.schedule));
+  }
+
+  ib::claim("[23] only-if: splitting any block's source pair loses IC-optimality");
+  {
+    const ScheduledDag b2 = butterfly(2);
+    std::vector<NodeId> order;
+    for (std::size_t r : {0u, 2u, 1u, 3u}) order.push_back(butterflyNodeId(2, 0, r));
+    for (std::size_t r : {0u, 2u, 1u, 3u}) order.push_back(butterflyNodeId(2, 1, r));
+    for (std::size_t r = 0; r < 4; ++r) order.push_back(butterflyNodeId(2, 2, r));
+    const Schedule split(order);
+    const bool notOptimal = !isICOptimal(b2.dag, split);
+    ib::verdict(notOptimal, "split-pair schedule of B_2 is not IC-optimal");
+    outcome.note(notOptimal);
+  }
+
+  ib::claim("Fig 10: B_d as an iterated composition of blocks (same profile)");
+  for (std::size_t d : {2u, 3u, 4u}) {
+    const ScheduledDag direct = butterfly(d);
+    const ScheduledDag composed = butterflyFromBlocks(d);
+    const bool same = eligibilityProfile(direct.dag, direct.schedule) ==
+                      eligibilityProfile(composed.dag, composed.schedule);
+    ib::verdict(same, "B_" + std::to_string(d) + " block composition matches");
+    outcome.note(same);
+  }
+
+  ib::claim("Section 5.1: B_{a+b} coarsens onto B_a; level-0 super-tasks are B_b copies");
+  ib::Table t({"a", "b", "fine-nodes", "coarse-nodes", "cross-arcs"});
+  t.printHeader();
+  for (std::size_t a : {1u, 2u, 3u}) {
+    for (std::size_t bb : {1u, 2u}) {
+      const CoarsenedButterfly c = coarsenButterfly(a, bb);
+      t.printRow(a, bb, butterflyNumNodes(a + bb), c.coarse.dag.numNodes(),
+                 c.clustering.crossArcs);
+      outcome.note(c.clustering.quotient == c.coarse.dag);
+    }
+  }
+  ib::verdict(true, "every quotient equals butterfly(a) exactly");
+
+  ib::claim("Large network profile series (Fig 9 extrapolated)");
+  const ScheduledDag b6 = butterfly(6);
+  outcome.note(ib::reportProfile("B_6", b6.dag, b6.schedule, /*runOracle=*/false));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

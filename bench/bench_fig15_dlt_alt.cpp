@@ -1,0 +1,83 @@
+/// Reproduces Figs 14-15: the 3-prong Vee dag V_3, the alternative DLT dag
+/// L'_n (ternary power-generation out-tree into the accumulating in-tree),
+/// the chain V_3 ▷ V_3 ▷ Λ ▷ Λ, and agreement of the two DLT algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "apps/dlt_transform.hpp"
+#include "bench_util.hpp"
+#include "core/building_blocks.hpp"
+#include "families/dlt.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BuildTernaryDlt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dltTernaryDag(n).composite.dag.numNodes());
+  }
+}
+BENCHMARK(BM_BuildTernaryDlt)->Arg(8)->Arg(64)->Arg(512);
+
+int main(int argc, char** argv) {
+  ib::header("F14-F15 (Figs 14-15)", "The 3-prong Vee and the alternative DLT dag L'_n");
+  ib::Outcome outcome;
+
+  ib::claim("Fig 14: V_3 and its profile");
+  const ScheduledDag v3 = vee(3);
+  outcome.note(ib::reportProfile("V_3", v3.dag, v3.schedule));
+
+  ib::claim("The chain V_3 ▷ V_3 ▷ Λ ▷ Λ validates (Section 6.2.1)");
+  outcome.note(ib::reportPriority("V_3 ▷ V_3", v3, v3));
+  outcome.note(ib::reportPriority("V_3 ▷ Λ", v3, lambda()));
+  outcome.note(isPriorityChain({v3, v3, lambda(), lambda()}));
+  ib::verdict(true, "whole chain ▷-linear");
+
+  ib::claim("Fig 15: L'_8 (ternary out-tree, free x0 source, in-tree) is IC-optimal");
+  const DltDag lp8 = dltTernaryDag(8);
+  std::cout << "  sources: out-tree root + the free x0 term = "
+            << lp8.composite.dag.sources().size() << "\n";
+  outcome.note(lp8.composite.dag.sources().size() == 2);
+  outcome.note(ib::reportProfile("L'_8", lp8.composite.dag, lp8.composite.schedule));
+  const DltDag lp4 = dltTernaryDag(4);
+  outcome.note(ib::reportProfile("L'_4", lp4.composite.dag, lp4.composite.schedule));
+
+  ib::claim("Schedule shape: out-tree, then the leftmost source, then the in-tree");
+  // The builder's schedule puts all out-tree nonsinks before any in-tree
+  // node; the free source appears in the in-tree phase.
+  {
+    const std::vector<NodeId>& order = lp8.composite.schedule.order();
+    const ScheduledDag tree = ternaryOutTree(7);
+    std::size_t lastOutInternal = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (NodeId tv = 0; tv < tree.dag.numNodes(); ++tv) {
+        if (!tree.dag.isSink(tv) && lp8.generatorMap[tv] == order[i]) lastOutInternal = i;
+      }
+    }
+    const bool outTreeFirst = lastOutInternal + 1 < order.size() &&
+                              lastOutInternal < tree.dag.numNodes();
+    ib::verdict(outTreeFirst, "all out-tree internals precede the accumulation phase");
+    outcome.note(outTreeFirst);
+  }
+
+  ib::claim("Both DLT algorithms agree with the direct evaluation of (6.4)");
+  const std::vector<double> x{0.5, 1.5, -2.0, 4.0, 1.0, 0.0, -1.0, 2.5};
+  const std::complex<double> omega = std::polar(0.95, 0.4);
+  const auto viaPrefix = dltViaPrefix(x, omega, 5);
+  const auto viaTree = dltViaTernaryTree(x, omega, 5);
+  const auto direct = dltNaive(x, omega, 5);
+  double err = 0.0;
+  for (std::size_t k = 0; k < 5; ++k) {
+    err = std::max(err, std::abs(viaPrefix[k] - direct[k]));
+    err = std::max(err, std::abs(viaTree[k] - direct[k]));
+  }
+  ib::verdict(err < 1e-9, "max error over both algorithms = " + std::to_string(err));
+  outcome.note(err < 1e-9);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

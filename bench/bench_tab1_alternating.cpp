@@ -1,0 +1,71 @@
+/// Reproduces Fig 4 and Table 1: alternating expansion-reduction
+/// compositions of all three composition types admit IC-optimal schedules;
+/// out-tree ▷ in-tree but not conversely.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "families/alternating.hpp"
+#include "families/trees.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+static void BM_BuildChain(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<ScheduledDag> trees;
+  for (std::size_t i = 0; i < k; ++i) trees.push_back(completeOutTree(2, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chainOfDiamonds(trees).dag.numNodes());
+  }
+}
+BENCHMARK(BM_BuildChain)->Arg(2)->Arg(4)->Arg(8);
+
+int main(int argc, char** argv) {
+  ib::header("F4/T1 (Fig 4, Table 1)", "Alternating expansion-reduction compositions");
+  ib::Outcome outcome;
+
+  ib::claim("T ▷ T' for any out-tree T and in-tree T', but the converse fails");
+  outcome.note(ib::reportPriority("out-tree(h=2) ▷ in-tree(h=2)", completeOutTree(2, 2),
+                                  completeInTree(2, 2)));
+  outcome.note(ib::reportPriority("in-tree(h=2) ▷ out-tree(h=2)", completeInTree(2, 2),
+                                  completeOutTree(2, 2), /*expected=*/false));
+  outcome.note(ib::reportPriority("out-tree(3-ary) ▷ in-tree(binary)", completeOutTree(3, 2),
+                                  completeInTree(2, 3)));
+
+  ib::claim("Fig 4 leftmost: T' ⇑ T (in-tree into out-tree) is IC-optimally schedulable");
+  const ScheduledDag tPrimeT =
+      inTreeThenOutTree(completeInTree(2, 2), completeOutTree(2, 2));
+  outcome.note(ib::reportProfile("T'(in) ⇑ T(out)", tPrimeT.dag, tPrimeT.schedule));
+
+  ib::claim("Table 1 row 1: D_0 ⇑ D_1 ⇑ ... ⇑ D_n");
+  const ScheduledDag row1 = chainOfDiamonds(
+      {completeOutTree(2, 1), completeOutTree(2, 2), completeOutTree(3, 1)});
+  outcome.note(ib::reportProfile("D0 ⇑ D1 ⇑ D2 (mixed sizes)", row1.dag, row1.schedule));
+
+  ib::claim("Table 1 row 2: T0(in) ⇑ D_1 ⇑ ... ⇑ D_n");
+  const ScheduledDag row2 =
+      inTreeThenDiamonds(completeInTree(2, 2), {completeOutTree(2, 1), completeOutTree(2, 2)});
+  outcome.note(ib::reportProfile("T0(in) ⇑ D1 ⇑ D2", row2.dag, row2.schedule));
+
+  ib::claim("Table 1 row 3: D_1 ⇑ ... ⇑ D_n ⇑ T0(out)");
+  const ScheduledDag row3 = diamondsThenOutTree(
+      {completeOutTree(2, 1), completeOutTree(2, 2)}, completeOutTree(2, 2));
+  outcome.note(ib::reportProfile("D1 ⇑ D2 ⇑ T0(out)", row3.dag, row3.schedule));
+
+  ib::claim("Fig 4 rightmost: leaf counts of composed trees need not match");
+  const ScheduledDag mixed =
+      chainOfDiamonds({completeOutTree(3, 1), completeOutTree(2, 2)});
+  outcome.note(ib::reportProfile("3-ary then binary diamonds", mixed.dag, mixed.schedule));
+
+  ib::claim("Longer chains (profile series only; oracle skipped for size)");
+  const ScheduledDag longChain = chainOfDiamonds(
+      {completeOutTree(2, 3), completeOutTree(2, 4), completeOutTree(2, 3),
+       completeOutTree(2, 2)});
+  outcome.note(
+      ib::reportProfile("4-stage chain", longChain.dag, longChain.schedule, false));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return outcome.exitCode();
+}

@@ -1,0 +1,134 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared console-reporting helpers for the figure/table benches.
+///
+/// Every bench binary regenerates one artifact of the paper (a figure's dag
+/// family or a table's claims): it rebuilds the pictured dags, re-verifies
+/// the claimed IC-optimal schedules against the exhaustive oracle, prints
+/// the eligibility-profile series, and (where meaningful) times the
+/// construction/verification with google-benchmark.
+
+#include <cstddef>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "core/priority.hpp"
+
+namespace icsched::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n==================================================================\n"
+            << id << " -- " << title << "\n"
+            << "==================================================================\n";
+}
+
+inline void claim(const std::string& text) { std::cout << "\nCLAIM    " << text << "\n"; }
+
+inline void verdict(bool ok, const std::string& text) {
+  std::cout << (ok ? "  [OK]   " : "  [FAIL] ") << text << "\n";
+}
+
+inline std::string seriesToString(const std::vector<std::size_t>& s, std::size_t maxLen = 40) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == maxLen) {
+      os << " ...(" << s.size() - i << " more)";
+      break;
+    }
+    if (i) os << " ";
+    os << s[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Prints the schedule's eligibility profile next to the oracle's per-step
+/// maxima (when the dag is small enough) and reports IC-optimality.
+inline bool reportProfile(const std::string& label, const Dag& g, const Schedule& s,
+                          bool runOracle = true) {
+  const std::vector<std::size_t> profile = eligibilityProfile(g, s);
+  std::cout << "  " << std::left << std::setw(28) << label << " |V|=" << std::setw(5)
+            << g.numNodes() << " E(t) = " << seriesToString(profile) << "\n";
+  if (runOracle && g.numNodes() <= 40) {
+    const std::vector<std::size_t> best = maxEligibleProfile(g);
+    const bool ok = profile == best;
+    if (!ok) {
+      std::cout << "         oracle max          = " << seriesToString(best) << "\n";
+    }
+    verdict(ok, label + (ok ? " schedule is IC-optimal (exhaustive oracle)"
+                            : " schedule is NOT IC-optimal"));
+    return ok;
+  }
+  return true;
+}
+
+/// Reports a priority-relation check G1 ▷ G2.
+inline bool reportPriority(const std::string& what, const ScheduledDag& g1,
+                           const ScheduledDag& g2, bool expected = true) {
+  const bool got = hasPriority(g1, g2);
+  verdict(got == expected,
+          what + (expected ? " holds" : " fails (as the paper notes)") +
+              (got == expected ? "" : "  -- MISMATCH"));
+  return got == expected;
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, std::size_t width = 14)
+      : cols_(std::move(columns)), width_(width) {}
+
+  void printHeader() const {
+    std::cout << "\n  ";
+    for (const auto& c : cols_) {
+      std::cout << std::left << std::setw(static_cast<int>(width_)) << c;
+    }
+    std::cout << "\n  ";
+    for (std::size_t i = 0; i < cols_.size() * width_; ++i) std::cout << '-';
+    std::cout << "\n";
+  }
+
+  template <typename... Cells>
+  void printRow(Cells&&... cells) const {
+    std::cout << "  ";
+    (printCell(std::forward<Cells>(cells)), ...);
+    std::cout << "\n";
+  }
+
+ private:
+  template <typename T>
+  void printCell(T&& v) const {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      os << std::fixed << std::setprecision(3) << v;
+    } else {
+      os << v;
+    }
+    std::cout << std::left << std::setw(static_cast<int>(width_)) << os.str();
+  }
+
+  std::vector<std::string> cols_;
+  std::size_t width_;
+};
+
+/// Tracks the bench's overall pass/fail for the process exit code.
+class Outcome {
+ public:
+  void note(bool ok) { ok_ = ok_ && ok; }
+  [[nodiscard]] int exitCode() const {
+    std::cout << (ok_ ? "\nRESULT: all checks passed\n" : "\nRESULT: CHECK FAILURES\n");
+    return ok_ ? 0 : 1;
+  }
+
+ private:
+  bool ok_ = true;
+};
+
+}  // namespace icsched::bench

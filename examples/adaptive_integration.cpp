@@ -1,0 +1,41 @@
+/// Example: adaptive numerical integration as an IC computation
+/// (Section 3.2 of the paper).
+///
+/// Integrates a function whose curvature is concentrated in one spot. The
+/// adaptive "expansion" discovers an irregular interval tree; composing it
+/// with the dual in-tree yields the diamond dag the paper analyses, which
+/// then executes (optionally on several worker threads) in IC-optimal order.
+
+#include <cmath>
+#include <iostream>
+
+#include "apps/integration.hpp"
+
+using namespace icsched;
+
+int main() {
+  // A narrow Lorentzian bump at x = 0.7 on a flat background.
+  const auto f = [](double x) {
+    return 0.25 + 1.0 / (0.002 + (x - 0.7) * (x - 0.7));
+  };
+  // Analytic antiderivative of the bump part: atan((x-.7)/s)/s, s = sqrt(.002).
+  const double s = std::sqrt(0.002);
+  const double exact = 0.25 + (std::atan(0.3 / s) + std::atan(0.7 / s)) / s;
+
+  std::cout << "Integrating a sharp bump over [0, 1]\n";
+  std::cout << "analytic value: " << exact << "\n\n";
+
+  for (double tol : {1e-2, 1e-4, 1e-6}) {
+    const QuadratureResult r =
+        integrateAdaptive(f, 0.0, 1.0, tol, QuadratureRule::kSimpson, 40, /*threads=*/4);
+    std::cout << "tol=" << tol << "  value=" << r.value
+              << "  |err|=" << std::abs(r.value - exact) << "  leaves=" << r.leafCount
+              << "  tree-height=" << r.treeHeight
+              << "  dag-tasks=" << r.dag.composite.dag.numNodes() << '\n';
+  }
+
+  std::cout << "\nNote how the refinement depth (tree height) grows with precision while\n"
+               "the dag stays a diamond: the same IC-optimal scheduling rule applies at\n"
+               "every tolerance, and coarsening (Fig 3) would trade leaves for task size.\n";
+  return 0;
+}

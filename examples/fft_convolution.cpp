@@ -1,0 +1,54 @@
+/// Example: polynomial multiplication through butterfly-dag FFTs
+/// (Section 5.2 of the paper).
+///
+/// Multiplies two polynomials by evaluating three FFTs, each of which is an
+/// execution of the d-dimensional butterfly network B_d with the paper's
+/// convolution transformation (5.2) at every block, scheduled IC-optimally.
+
+#include <iomanip>
+#include <iostream>
+
+#include "apps/fft.hpp"
+#include "families/butterfly.hpp"
+
+using namespace icsched;
+
+namespace {
+
+void printPoly(const char* name, const std::vector<double>& p) {
+  std::cout << name << "(x) =";
+  bool first = true;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (std::abs(p[i]) < 1e-12) continue;
+    std::cout << (first ? " " : " + ") << p[i];
+    if (i > 0) std::cout << " x^" << i;
+    first = false;
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> f{1, 0, 2, -1, 3};   // 1 + 2x^2 - x^3 + 3x^4
+  const std::vector<double> g{5, -2, 0, 1};      // 5 - 2x + x^3
+
+  printPoly("f", f);
+  printPoly("g", g);
+
+  const std::vector<double> product = polynomialMultiplyFft(f, g, /*threads=*/2);
+  printPoly("f*g (via butterfly FFT)", product);
+
+  const std::vector<double> check = naiveConvolution(f, g);
+  double err = 0;
+  for (std::size_t i = 0; i < check.size(); ++i) err = std::max(err, std::abs(product[i] - check[i]));
+  std::cout << "\nmax |FFT product - naive convolution| = " << std::scientific << err << '\n';
+
+  // The dag underneath: the convolution ran over B_3 (8-point transforms).
+  const ScheduledDag b3 = butterfly(3);
+  std::cout << "\nunderlying dag: B_3 with " << b3.dag.numNodes() << " tasks, "
+            << b3.dag.numArcs() << " dependencies;\n"
+            << "its IC-optimal schedule executes the two sources of each butterfly\n"
+            << "block in consecutive steps (Section 5.1).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// Example: simulating an Internet-computing server (the paper's setting,
+/// Section 1) scheduling a wavefront computation for a pool of volatile
+/// remote clients.
+///
+/// Shows the quality argument end to end: the IC-optimal diagonal schedule
+/// of the out-mesh keeps the server's ready pool deep, so client work
+/// requests rarely stall -- the "gridlock" the theory is designed to avoid.
+
+#include <iomanip>
+#include <iostream>
+
+#include "families/mesh.hpp"
+#include "sim/simulation.hpp"
+
+using namespace icsched;
+
+int main() {
+  const ScheduledDag mesh = outMesh(20);  // 210 wavefront tasks
+  std::cout << "Workload: out-mesh with 20 diagonals (" << mesh.dag.numNodes()
+            << " tasks)\n";
+
+  SimulationConfig cfg;
+  cfg.numClients = 6;
+  cfg.durationJitter = 0.1;
+  cfg.seed = 2024;
+
+  std::cout << "\nServer with " << cfg.numClients
+            << " clients, per-task jitter 10%:\n\n"
+            << std::left << std::setw(12) << "scheduler" << std::setw(12) << "makespan"
+            << std::setw(12) << "idle" << std::setw(10) << "stalls" << std::setw(12)
+            << "ready-pool" << '\n';
+  for (const std::string& name : allSchedulerNames()) {
+    const SimulationResult r = simulateWith(mesh.dag, mesh.schedule, name, cfg);
+    std::cout << std::left << std::setw(12) << name << std::setw(12) << std::fixed
+              << std::setprecision(2) << r.makespan << std::setw(12) << r.totalIdleTime
+              << std::setw(10) << r.stallEvents << std::setw(12) << r.avgReadyPool << '\n';
+  }
+
+  std::cout << "\nScaling the client pool under the IC-optimal schedule:\n\n"
+            << std::left << std::setw(10) << "clients" << std::setw(12) << "makespan"
+            << std::setw(10) << "stalls" << '\n';
+  for (std::size_t clients : {1u, 2u, 4u, 8u, 16u}) {
+    SimulationConfig c = cfg;
+    c.numClients = clients;
+    const SimulationResult r = simulateWith(mesh.dag, mesh.schedule, "IC-OPT", c);
+    std::cout << std::left << std::setw(10) << clients << std::setw(12) << r.makespan
+              << std::setw(10) << r.stallEvents << '\n';
+  }
+  std::cout << "\nThe wavefront's width caps useful parallelism: beyond ~the diagonal\n"
+               "size, extra clients only add stalls, not speed -- which is exactly the\n"
+               "ELIGIBLE-rate story the paper's quality model tells.\n";
+  return 0;
+}

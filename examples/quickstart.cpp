@@ -1,0 +1,73 @@
+/// Quickstart: build a dag, find its IC-optimal schedule, and see why the
+/// schedule matters.
+///
+/// Walks the library's core loop in ~60 lines:
+///   1. build a computation-dag (here: the Fig 2 diamond),
+///   2. get the theory's IC-optimal schedule,
+///   3. compare its ELIGIBLE-production profile against a naive schedule,
+///   4. verify optimality against the exhaustive oracle.
+
+#include <iostream>
+
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "families/diamond.hpp"
+#include "families/trees.hpp"
+
+using namespace icsched;
+
+namespace {
+
+void printProfile(const char* label, const std::vector<std::size_t>& p) {
+  std::cout << "  " << label << ": ";
+  for (std::size_t v : p) std::cout << v << ' ';
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  // 1. An expansion-reduction diamond: a height-3 binary out-tree (the
+  //    "divide" phase) composed with its dual in-tree (the "conquer" phase).
+  const DiamondDag d = symmetricDiamond(completeOutTree(2, 3));
+  const Dag& g = d.composite.dag;
+  std::cout << "Diamond dag: " << g.numNodes() << " tasks, " << g.numArcs()
+            << " dependencies\n";
+
+  // 2. The schedule the theory produces (Theorem 2.1: out-tree first, then
+  //    in-tree with sibling pairs consecutive).
+  const Schedule& optimal = d.composite.schedule;
+
+  // 3. A plausible-looking alternative: depth-first order (finish one whole
+  //    branch, including its reductions, before starting the next).
+  std::vector<NodeId> dfsOrder;
+  {
+    std::vector<std::size_t> pending(g.numNodes());
+    std::vector<NodeId> stack;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      pending[v] = g.inDegree(v);
+      if (pending[v] == 0) stack.push_back(v);
+    }
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      dfsOrder.push_back(v);
+      for (NodeId c : g.children(v)) {
+        if (--pending[c] == 0) stack.push_back(c);
+      }
+    }
+  }
+  const Schedule naive(dfsOrder);
+
+  std::cout << "\nELIGIBLE tasks after each execution (more = better):\n";
+  printProfile("IC-optimal", eligibilityProfile(g, optimal));
+  printProfile("naive topo", eligibilityProfile(g, naive));
+
+  // 4. Proof by exhaustion: no schedule beats the IC-optimal one anywhere.
+  std::cout << "\nOracle check (exhaustive over all schedules):\n";
+  std::cout << "  IC-optimal schedule is IC-optimal: "
+            << (isICOptimal(g, optimal) ? "yes" : "NO") << '\n';
+  std::cout << "  naive schedule is IC-optimal:      "
+            << (isICOptimal(g, naive) ? "yes" : "no") << '\n';
+  return 0;
+}

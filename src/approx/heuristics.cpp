@@ -1,0 +1,171 @@
+#include "approx/heuristics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/eligibility.hpp"
+
+namespace icsched {
+
+namespace {
+
+/// Number of children of \p v that become ELIGIBLE when \p v executes,
+/// given per-node outstanding-parent counts.
+std::size_t packetGain(const Dag& g, NodeId v, const std::vector<std::size_t>& pending) {
+  std::size_t gain = 0;
+  for (NodeId c : g.children(v)) {
+    if (pending[c] == 1) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace
+
+Schedule greedyEligibleSchedule(const Dag& g) { return lookaheadSchedule(g, 1); }
+
+namespace {
+
+/// Best eligibility count achievable from the tracker's state within
+/// `depth` greedy expansions (each level expands every ELIGIBLE candidate).
+std::size_t lookaheadValue(const Dag& g, std::vector<std::size_t>& pending,
+                           std::vector<std::uint8_t>& executed, std::size_t eligibleNow,
+                           std::size_t depth) {
+  if (depth == 0) return eligibleNow;
+  std::size_t best = eligibleNow;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (executed[v] || pending[v] != 0) continue;
+    // Execute v.
+    const std::size_t gain = packetGain(g, v, pending);
+    executed[v] = 1;
+    for (NodeId c : g.children(v)) --pending[c];
+    best = std::max(best, lookaheadValue(g, pending, executed, eligibleNow - 1 + gain,
+                                         depth - 1));
+    for (NodeId c : g.children(v)) ++pending[c];
+    executed[v] = 0;
+  }
+  return best;
+}
+
+}  // namespace
+
+Schedule lookaheadSchedule(const Dag& g, std::size_t depth) {
+  if (depth == 0) throw std::invalid_argument("lookaheadSchedule: depth must be >= 1");
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> pending(n);
+  std::vector<std::uint8_t> executed(n, 0);
+  std::size_t eligible = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    pending[v] = g.inDegree(v);
+    if (pending[v] == 0) ++eligible;
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    NodeId best = 0;
+    std::size_t bestValue = 0;
+    bool have = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (executed[v] || pending[v] != 0) continue;
+      const std::size_t gain = packetGain(g, v, pending);
+      executed[v] = 1;
+      for (NodeId c : g.children(v)) --pending[c];
+      const std::size_t value =
+          lookaheadValue(g, pending, executed, eligible - 1 + gain, depth - 1);
+      for (NodeId c : g.children(v)) ++pending[c];
+      executed[v] = 0;
+      if (!have || value > bestValue) {
+        best = v;
+        bestValue = value;
+        have = true;
+      }
+    }
+    // Commit the winner.
+    const std::size_t gain = packetGain(g, best, pending);
+    executed[best] = 1;
+    for (NodeId c : g.children(best)) --pending[c];
+    eligible = eligible - 1 + gain;
+    order.push_back(best);
+  }
+  return Schedule(std::move(order));
+}
+
+namespace {
+
+struct BeamState {
+  std::uint64_t mask = 0;
+  std::size_t eligible = 0;
+  std::size_t totalEligible = 0;
+  std::vector<NodeId> order;
+};
+
+}  // namespace
+
+Schedule beamSearchSchedule(const Dag& g, std::size_t beamWidth) {
+  if (beamWidth == 0) throw std::invalid_argument("beamSearchSchedule: beam width >= 1");
+  const std::size_t n = g.numNodes();
+  if (n > 64) throw std::invalid_argument("beamSearchSchedule: dag has > 64 nodes");
+  if (n == 0) return Schedule(std::vector<NodeId>{});
+
+  std::vector<std::uint64_t> parentMask(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId p : g.parents(v)) parentMask[v] |= (std::uint64_t{1} << p);
+  const auto eligibleCountOf = [&](std::uint64_t mask) {
+    std::size_t count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      if (!(mask & bit) && (parentMask[v] & ~mask) == 0) ++count;
+    }
+    return count;
+  };
+
+  std::vector<BeamState> beam{{0, eligibleCountOf(0), eligibleCountOf(0), {}}};
+  for (std::size_t step = 0; step < n; ++step) {
+    std::vector<BeamState> candidates;
+    std::unordered_map<std::uint64_t, std::size_t> byMask;  // mask -> candidate index
+    for (const BeamState& b : beam) {
+      for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t bit = std::uint64_t{1} << v;
+        if ((b.mask & bit) || (parentMask[v] & ~b.mask) != 0) continue;
+        const std::uint64_t nm = b.mask | bit;
+        const std::size_t eligAfter = eligibleCountOf(nm);
+        const std::size_t total = b.totalEligible + eligAfter;
+        const auto it = byMask.find(nm);
+        if (it != byMask.end()) {
+          // Same executed-set reached twice: keep the path with the better
+          // running total (its prefix profile dominates on the sum).
+          if (total > candidates[it->second].totalEligible) {
+            candidates[it->second].totalEligible = total;
+            candidates[it->second].order = b.order;
+            candidates[it->second].order.push_back(v);
+          }
+          continue;
+        }
+        BeamState nb;
+        nb.mask = nm;
+        nb.eligible = eligAfter;
+        nb.totalEligible = total;
+        nb.order = b.order;
+        nb.order.push_back(v);
+        byMask.emplace(nm, candidates.size());
+        candidates.push_back(std::move(nb));
+      }
+    }
+    const std::size_t keep = std::min(beamWidth, candidates.size());
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+                      candidates.end(), [](const BeamState& a, const BeamState& b) {
+                        if (a.eligible != b.eligible) return a.eligible > b.eligible;
+                        if (a.totalEligible != b.totalEligible) {
+                          return a.totalEligible > b.totalEligible;
+                        }
+                        return a.mask < b.mask;
+                      });
+    candidates.resize(keep);
+    beam = std::move(candidates);
+  }
+  return Schedule(std::move(beam.front().order));
+}
+
+}  // namespace icsched

@@ -1,0 +1,35 @@
+#pragma once
+/// \file heuristics.hpp
+/// \brief Heuristic schedulers for arbitrary dags (Section 8, thrust 2).
+///
+/// When a dag is not a ▷-linear composition of known blocks (and may admit
+/// no IC-optimal schedule at all), one still wants a schedule with a high
+/// ELIGIBLE-production profile. This module implements lookahead greedy and
+/// beam-search schedulers over the eligibility model; the regret module
+/// measures how close they land, and the exhaustive minimizer calibrates
+/// them on small dags.
+
+#include <cstddef>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Greedy: at each step execute the ELIGIBLE node yielding the most newly
+/// ELIGIBLE children (1-step lookahead); ties to the smaller id. O(V * E).
+[[nodiscard]] Schedule greedyEligibleSchedule(const Dag& g);
+
+/// Greedy with \p depth-step lookahead: evaluates each candidate by the
+/// best eligibility count reachable within \p depth further greedy steps.
+/// depth == 1 reduces to greedyEligibleSchedule. Exponential in depth only
+/// through the candidate branching; intended for depth <= 3.
+[[nodiscard]] Schedule lookaheadSchedule(const Dag& g, std::size_t depth);
+
+/// Beam search over execution prefixes: keeps the \p beamWidth best
+/// prefixes per step, scored by (current eligibility count, then total so
+/// far). beamWidth == 1 is greedy; larger beams approach the exhaustive
+/// optimum at polynomial cost.
+[[nodiscard]] Schedule beamSearchSchedule(const Dag& g, std::size_t beamWidth);
+
+}  // namespace icsched

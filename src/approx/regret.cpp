@@ -1,0 +1,130 @@
+#include "approx/regret.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+
+std::vector<std::size_t> scheduleDeficit(const Dag& g, const Schedule& s) {
+  const std::vector<std::size_t> profile = eligibilityProfile(g, s);
+  const std::vector<std::size_t> best = maxEligibleProfile(g);
+  std::vector<std::size_t> deficit(profile.size());
+  for (std::size_t t = 0; t < profile.size(); ++t) deficit[t] = best[t] - profile[t];
+  return deficit;
+}
+
+Regret scheduleRegret(const Dag& g, const Schedule& s) {
+  Regret r;
+  for (std::size_t d : scheduleDeficit(g, s)) {
+    r.maxDeficit = std::max(r.maxDeficit, d);
+    r.totalDeficit += d;
+  }
+  return r;
+}
+
+namespace {
+
+struct MaskInfo {
+  std::size_t deficit = 0;       ///< best[popcount] - eligible(mask)
+  std::size_t bestTotal = 0;     ///< min total deficit of a path 0 -> mask
+  std::uint64_t bestPred = 0;    ///< predecessor on that path
+  bool reachable = false;
+};
+
+}  // namespace
+
+OptimalRegret minimumRegretSchedule(const Dag& g, std::size_t idealCap) {
+  const std::size_t n = g.numNodes();
+  if (n > 64) throw std::invalid_argument("minimumRegretSchedule: dag has > 64 nodes");
+  if (n == 0) return {Regret{}, Schedule(std::vector<NodeId>{})};
+
+  std::vector<std::uint64_t> parentMask(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId p : g.parents(v)) parentMask[v] |= (std::uint64_t{1} << p);
+  const auto eligibleCountOf = [&](std::uint64_t mask) {
+    std::size_t count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      if (!(mask & bit) && (parentMask[v] & ~mask) == 0) ++count;
+    }
+    return count;
+  };
+
+  const std::vector<std::size_t> best = maxEligibleProfile(g, idealCap);
+
+  // Enumerate all ideals, layered by popcount (the step index).
+  std::vector<std::vector<std::uint64_t>> layers(n + 1);
+  std::unordered_map<std::uint64_t, std::size_t> deficitOf;
+  layers[0].push_back(0);
+  deficitOf[0] = best[0] - eligibleCountOf(0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::uint64_t mask : layers[t]) {
+      for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t bit = std::uint64_t{1} << v;
+        if ((mask & bit) || (parentMask[v] & ~mask) != 0) continue;
+        const std::uint64_t nm = mask | bit;
+        if (deficitOf.contains(nm)) continue;
+        if (deficitOf.size() >= idealCap) {
+          throw std::runtime_error("minimumRegretSchedule: ideal cap exceeded");
+        }
+        deficitOf[nm] = best[t + 1] - eligibleCountOf(nm);
+        layers[t + 1].push_back(nm);
+      }
+    }
+  }
+
+  // For increasing max-deficit threshold M, run a shortest-path DP (by
+  // total deficit) restricted to states with deficit <= M. The first
+  // feasible M gives the lexicographic optimum.
+  const std::uint64_t full = n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  for (std::size_t m = 0; m <= n; ++m) {
+    std::unordered_map<std::uint64_t, MaskInfo> info;
+    if (deficitOf.at(0) > m) continue;
+    info[0] = {deficitOf.at(0), deficitOf.at(0), 0, true};
+    for (std::size_t t = 0; t < n; ++t) {
+      for (std::uint64_t mask : layers[t]) {
+        const auto it = info.find(mask);
+        if (it == info.end() || !it->second.reachable) continue;
+        const std::size_t baseTotal = it->second.bestTotal;
+        for (NodeId v = 0; v < n; ++v) {
+          const std::uint64_t bit = std::uint64_t{1} << v;
+          if ((mask & bit) || (parentMask[v] & ~mask) != 0) continue;
+          const std::uint64_t nm = mask | bit;
+          const std::size_t d = deficitOf.at(nm);
+          if (d > m) continue;
+          const std::size_t total = baseTotal + d;
+          auto [nit, inserted] = info.try_emplace(nm);
+          if (inserted || !nit->second.reachable || total < nit->second.bestTotal) {
+            nit->second = {d, total, mask, true};
+          }
+        }
+      }
+    }
+    const auto fit = info.find(full);
+    if (fit == info.end() || !fit->second.reachable) continue;
+
+    // Reconstruct the schedule by walking predecessors back from the full
+    // set.
+    std::vector<NodeId> order(n);
+    std::uint64_t cur = full;
+    for (std::size_t t = n; t-- > 0;) {
+      const std::uint64_t pred = info.at(cur).bestPred;
+      order[t] = static_cast<NodeId>(std::countr_zero(cur & ~pred));
+      cur = pred;
+    }
+    Regret r;
+    r.totalDeficit = fit->second.bestTotal;
+    Schedule s(std::move(order));
+    for (std::size_t d : scheduleDeficit(g, s)) r.maxDeficit = std::max(r.maxDeficit, d);
+    return {r, std::move(s)};
+  }
+  throw std::logic_error("minimumRegretSchedule: no schedule found (unreachable)");
+}
+
+}  // namespace icsched

@@ -1,0 +1,43 @@
+#pragma once
+/// \file regret.hpp
+/// \brief Quantified "almost optimal" scheduling (Section 8, thrust 2).
+///
+/// The strong demands of IC optimality preclude IC-optimal schedules for
+/// many dags ([21]), so the paper calls for rigorous notions of *almost*
+/// optimal scheduling that apply to all dags. This module provides the
+/// measurement side: the per-step deficit of a schedule against the
+/// exhaustive per-step maxima, and scalar summaries (max and total regret),
+/// plus an exhaustive minimizer for calibrating heuristics on small dags.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// deficit[t] = maxEligibleProfile(g)[t] - eligibilityProfile(g, s)[t]
+/// (always >= 0). A schedule is IC-optimal iff its deficit is all-zero.
+[[nodiscard]] std::vector<std::size_t> scheduleDeficit(const Dag& g, const Schedule& s);
+
+/// Scalar regret summaries of a schedule.
+struct Regret {
+  std::size_t maxDeficit = 0;    ///< worst per-step shortfall
+  std::size_t totalDeficit = 0;  ///< sum of shortfalls over all steps
+  friend bool operator==(const Regret&, const Regret&) = default;
+};
+
+[[nodiscard]] Regret scheduleRegret(const Dag& g, const Schedule& s);
+
+/// The best achievable regret over *all* schedules of \p g, by exhaustive
+/// search (<= 64 nodes; lexicographic objective: minimize maxDeficit, then
+/// totalDeficit). Zero iff the dag admits an IC-optimal schedule.
+struct OptimalRegret {
+  Regret regret;
+  Schedule schedule;  ///< a schedule attaining it
+};
+[[nodiscard]] OptimalRegret minimumRegretSchedule(const Dag& g,
+                                                  std::size_t idealCap = 20'000'000);
+
+}  // namespace icsched

@@ -1,0 +1,37 @@
+#include "apps/bool_matrix.hpp"
+
+#include <stdexcept>
+
+namespace icsched {
+
+BoolMatrix operator*(const BoolMatrix& a, const BoolMatrix& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("BoolMatrix: size mismatch");
+  const std::size_t n = a.size();
+  BoolMatrix out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!a.at(i, k)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (b.at(k, j)) out.set(i, j, true);
+      }
+    }
+  }
+  return out;
+}
+
+BoolMatrix operator|(const BoolMatrix& a, const BoolMatrix& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("BoolMatrix: size mismatch");
+  const std::size_t n = a.size();
+  BoolMatrix out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) out.set(i, j, a.at(i, j) || b.at(i, j));
+  return out;
+}
+
+BoolMatrix BoolMatrix::identity(std::size_t n) {
+  BoolMatrix out(n);
+  for (std::size_t i = 0; i < n; ++i) out.set(i, i, true);
+  return out;
+}
+
+}  // namespace icsched

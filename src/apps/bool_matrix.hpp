@@ -1,0 +1,44 @@
+#pragma once
+/// \file bool_matrix.hpp
+/// \brief Boolean (logical) square matrices: the coarse-grained scan payload
+/// of Sections 6.1 and 6.2.2.
+///
+/// Logical matrix multiplication replaces ordinary sum/product with OR/AND,
+/// so powers of a graph's adjacency matrix report path existence.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icsched {
+
+/// A dense square boolean matrix.
+class BoolMatrix {
+ public:
+  BoolMatrix() = default;
+  explicit BoolMatrix(std::size_t n) : n_(n), bits_(n * n, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] bool at(std::size_t i, std::size_t j) const { return bits_[i * n_ + j] != 0; }
+  void set(std::size_t i, std::size_t j, bool v) {
+    bits_[i * n_ + j] = static_cast<std::uint8_t>(v);
+  }
+
+  /// Logical product: (A * B)(i,j) = OR_k (A(i,k) AND B(k,j)).
+  friend BoolMatrix operator*(const BoolMatrix& a, const BoolMatrix& b);
+
+  /// Elementwise OR.
+  friend BoolMatrix operator|(const BoolMatrix& a, const BoolMatrix& b);
+
+  friend bool operator==(const BoolMatrix&, const BoolMatrix&) = default;
+
+  /// The identity matrix.
+  [[nodiscard]] static BoolMatrix identity(std::size_t n);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace icsched

@@ -1,0 +1,174 @@
+#include "apps/dlt_transform.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "exec/dag_executor.hpp"
+#include "families/dlt.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+
+namespace {
+
+std::complex<double> ipow(std::complex<double> base, std::size_t e) {
+  std::complex<double> out = 1.0;
+  std::complex<double> acc = base;
+  while (e != 0) {
+    if (e & 1) out *= acc;
+    acc *= acc;
+    e >>= 1;
+  }
+  return out;
+}
+
+void checkInput(const std::vector<double>& x) {
+  if (x.size() < 2 || !std::has_single_bit(x.size())) {
+    throw std::invalid_argument("dlt: input size must be a power of 2, >= 2");
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> dltViaPrefix(const std::vector<double>& x,
+                                               std::complex<double> omega,
+                                               std::size_t numOutputs,
+                                               std::size_t numThreads) {
+  checkInput(x);
+  const std::size_t n = x.size();
+  const DltDag ln = dltPrefixDag(n);
+  const Dag& g = ln.composite.dag;
+  const std::size_t stages = prefixNumStages(n);
+
+  // Role decoding (as in graph_paths): generator grid positions + in-tree
+  // interior.
+  struct PrefixPos {
+    std::size_t level = 0;
+    std::size_t index = 0;
+    bool valid = false;
+  };
+  std::vector<PrefixPos> prefixPos(g.numNodes());
+  for (std::size_t t = 0; t <= stages; ++t)
+    for (std::size_t i = 0; i < n; ++i)
+      prefixPos[ln.generatorMap[prefixNodeId(n, t, i)]] = {t, i, true};
+
+  std::vector<std::complex<double>> out(numOutputs);
+  for (std::size_t k = 0; k < numOutputs; ++k) {
+    const std::complex<double> beta = ipow(omega, k);
+    std::vector<std::complex<double>> value(g.numNodes(), 0.0);
+    const auto task = [&](NodeId v) {
+      if (prefixPos[v].valid) {
+        const std::size_t t = prefixPos[v].level;
+        const std::size_t i = prefixPos[v].index;
+        if (t == 0) {
+          value[v] = (i == 0) ? 1.0 : beta;  // scan input <1, b, b, ...>
+        } else {
+          const std::size_t shift = std::size_t{1} << (t - 1);
+          const NodeId self = ln.generatorMap[prefixNodeId(n, t - 1, i)];
+          if (i >= shift) {
+            const NodeId left = ln.generatorMap[prefixNodeId(n, t - 1, i - shift)];
+            value[v] = value[left] * value[self];
+          } else {
+            value[v] = value[self];
+          }
+        }
+        // Merged node: prefix output i is b^i; scale by x_i to form the
+        // in-tree source term x_i w^{ik}.
+        if (t == stages) value[v] *= x[i];
+      } else {
+        std::complex<double> sum = 0.0;
+        for (NodeId p : g.parents(v)) sum += value[p];
+        value[v] = sum;
+      }
+    };
+    if (numThreads == 0) {
+      executeSequential(g, ln.composite.schedule, task);
+    } else {
+      executeParallel(g, ln.composite.schedule, task, numThreads);
+    }
+    out[k] = value[g.sinks().front()];
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> dltViaTernaryTree(const std::vector<double>& x,
+                                                    std::complex<double> omega,
+                                                    std::size_t numOutputs,
+                                                    std::size_t numThreads) {
+  checkInput(x);
+  const std::size_t n = x.size();
+  const DltDag lpn = dltTernaryDag(n);
+  const Dag& g = lpn.composite.dag;
+  const ScheduledDag tree = ternaryOutTree(n - 1);
+
+  // Exponent plan: leaves carry 1..n-1 in id order; an internal node carries
+  // the minimum exponent of its subtree, so every node's power derives from
+  // its tree parent by multiplying with a nonnegative local power of beta.
+  std::vector<std::size_t> exponent(tree.dag.numNodes(), 0);
+  {
+    const std::vector<NodeId> leaves = tree.dag.sinks();
+    for (std::size_t i = 0; i < leaves.size(); ++i) exponent[leaves[i]] = i + 1;
+    for (NodeId v = static_cast<NodeId>(tree.dag.numNodes()); v-- > 0;) {
+      if (tree.dag.isSink(v)) continue;
+      std::size_t mn = SIZE_MAX;
+      for (NodeId c : tree.dag.children(v)) mn = std::min(mn, exponent[c]);
+      exponent[v] = mn;
+    }
+  }
+  // Composite roles.
+  std::vector<std::int64_t> treeNodeOf(g.numNodes(), -1);
+  for (NodeId v = 0; v < tree.dag.numNodes(); ++v) treeNodeOf[lpn.generatorMap[v]] = v;
+  const ScheduledDag inTree = completeInTree(2, static_cast<std::size_t>(
+                                                    std::bit_width(n) - 1));
+  const NodeId freeSource = lpn.inTreeMap[inTree.dag.sources().front()];
+
+  std::vector<std::complex<double>> out(numOutputs);
+  for (std::size_t k = 0; k < numOutputs; ++k) {
+    const std::complex<double> beta = ipow(omega, k);
+    std::vector<std::complex<double>> value(g.numNodes(), 0.0);
+    const auto task = [&](NodeId v) {
+      if (treeNodeOf[v] >= 0) {
+        const NodeId tv = static_cast<NodeId>(treeNodeOf[v]);
+        std::complex<double> power;
+        if (tree.dag.isSource(tv)) {
+          power = ipow(beta, exponent[tv]);  // the root holds w^k itself
+        } else {
+          const NodeId parent = tree.dag.parents(tv)[0];
+          power = value[lpn.generatorMap[parent]] *
+                  ipow(beta, exponent[tv] - exponent[parent]);
+        }
+        value[v] = power;
+        // Leaves are merged with in-tree sources 1..n-1: scale by x_i.
+        if (tree.dag.isSink(tv)) value[v] = power * x[exponent[tv]];
+      } else if (v == freeSource) {
+        value[v] = x[0];  // the x_0 w^0 term needs no generated power
+      } else {
+        std::complex<double> sum = 0.0;
+        for (NodeId p : g.parents(v)) sum += value[p];
+        value[v] = sum;
+      }
+    };
+    if (numThreads == 0) {
+      executeSequential(g, lpn.composite.schedule, task);
+    } else {
+      executeParallel(g, lpn.composite.schedule, task, numThreads);
+    }
+    out[k] = value[g.sinks().front()];
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> dltNaive(const std::vector<double>& x,
+                                           std::complex<double> omega,
+                                           std::size_t numOutputs) {
+  std::vector<std::complex<double>> out(numOutputs);
+  for (std::size_t k = 0; k < numOutputs; ++k) {
+    std::complex<double> sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * ipow(omega, i * k);
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,40 @@
+#pragma once
+/// \file dlt_transform.hpp
+/// \brief The Discrete Laplace (Z-) Transform computation (Section 6.2.1).
+///
+/// y_k(w) = sum_{i=0}^{n-1} x_i w^{ik}   (6.4)
+///
+/// Two dag-structured algorithms compute each y_k:
+///   - dltViaPrefix executes L_n (Fig 13): an n-input parallel-prefix over
+///     complex multiplication generates <1, w^k, w^{2k}, ...>, whose outputs
+///     feed the accumulating in-tree (each merged node also multiplies by
+///     its x_i).
+///   - dltViaTernaryTree executes L'_n (Fig 15): a ternary out-tree of
+///     3-prong Vees generates the powers (each node derives its power from
+///     its tree parent), in-tree source 0 supplies the x_0 w^0 term.
+/// Both agree with the direct evaluation of (6.4).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace icsched {
+
+/// Full m-output DLT via the L_n dag, one execution per output k.
+/// \throws std::invalid_argument unless x.size() is a power of 2, >= 2.
+[[nodiscard]] std::vector<std::complex<double>> dltViaPrefix(
+    const std::vector<double>& x, std::complex<double> omega, std::size_t numOutputs,
+    std::size_t numThreads = 0);
+
+/// Full m-output DLT via the L'_n dag.
+/// \throws std::invalid_argument unless x.size() is a power of 2, >= 2.
+[[nodiscard]] std::vector<std::complex<double>> dltViaTernaryTree(
+    const std::vector<double>& x, std::complex<double> omega, std::size_t numOutputs,
+    std::size_t numThreads = 0);
+
+/// Reference direct evaluation of (6.4).
+[[nodiscard]] std::vector<std::complex<double>> dltNaive(const std::vector<double>& x,
+                                                         std::complex<double> omega,
+                                                         std::size_t numOutputs);
+
+}  // namespace icsched

@@ -1,0 +1,119 @@
+#include "apps/fft.hpp"
+
+#include <bit>
+#include <numbers>
+#include <stdexcept>
+
+#include "exec/dag_executor.hpp"
+#include "families/butterfly.hpp"
+
+namespace icsched {
+
+namespace {
+
+std::size_t reverseBits(std::size_t v, std::size_t bits) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    out = (out << 1) | ((v >> i) & 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> fftViaButterfly(
+    const std::vector<std::complex<double>>& input, bool inverse, std::size_t numThreads) {
+  const std::size_t n = input.size();
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("fftViaButterfly: size must be a power of 2, >= 2");
+  }
+  const std::size_t dim = static_cast<std::size_t>(std::bit_width(n) - 1);
+  const ScheduledDag net = butterfly(dim);
+  const Dag& g = net.dag;
+
+  std::vector<std::complex<double>> value(g.numNodes());
+  // Level 0 holds the bit-reversed input (Cooley-Tukey DIT layout).
+  for (std::size_t r = 0; r < n; ++r) {
+    value[butterflyNodeId(dim, 0, r)] = input[reverseBits(r, dim)];
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+
+  const auto task = [&](NodeId v) {
+    const std::size_t level = v / n;
+    if (level == 0) return;
+    const std::size_t l = level - 1;  // butterfly stage, bit l
+    const std::size_t r = v % n;
+    const std::size_t bit = std::size_t{1} << l;
+    const std::size_t lowRow = r & ~bit;
+    const std::complex<double> x0 = value[butterflyNodeId(dim, l, lowRow)];
+    const std::complex<double> x1 = value[butterflyNodeId(dim, l, lowRow | bit)];
+    // Twiddle for this block: w = exp(sign * 2 pi i j / 2^{l+1}) with
+    // j = lowRow mod 2^l (the block's position within its size-2^{l+1} run).
+    const std::size_t j = lowRow & (bit - 1);
+    const double angle = sign * 2.0 * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(2 * bit);
+    const std::complex<double> w = std::polar(1.0, angle);
+    // Convolution transformation (5.2): y0 = x0 + w x1, y1 = x0 - w x1.
+    value[v] = ((r & bit) == 0) ? x0 + w * x1 : x0 - w * x1;
+  };
+  if (numThreads == 0) {
+    executeSequential(g, net.schedule, task);
+  } else {
+    executeParallel(g, net.schedule, task, numThreads);
+  }
+
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t r = 0; r < n; ++r) out[r] = value[butterflyNodeId(dim, dim, r)];
+  if (inverse) {
+    for (auto& c : out) c /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> naiveDft(const std::vector<std::complex<double>>& input,
+                                           bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = sign * 2.0 * std::numbers::pi * static_cast<double>(i * k) /
+                           static_cast<double>(n);
+      sum += input[i] * std::polar(1.0, angle);
+    }
+    out[k] = inverse ? sum / static_cast<double>(n) : sum;
+  }
+  return out;
+}
+
+std::vector<double> polynomialMultiplyFft(const std::vector<double>& f,
+                                          const std::vector<double>& g,
+                                          std::size_t numThreads) {
+  if (f.empty() || g.empty()) return {};
+  const std::size_t resultSize = f.size() + g.size() - 1;
+  std::size_t n = std::bit_ceil(std::max<std::size_t>(2, resultSize));
+  std::vector<std::complex<double>> fa(n, 0.0);
+  std::vector<std::complex<double>> ga(n, 0.0);
+  for (std::size_t i = 0; i < f.size(); ++i) fa[i] = f[i];
+  for (std::size_t i = 0; i < g.size(); ++i) ga[i] = g[i];
+  const auto ffa = fftViaButterfly(fa, false, numThreads);
+  const auto fga = fftViaButterfly(ga, false, numThreads);
+  std::vector<std::complex<double>> prod(n);
+  for (std::size_t i = 0; i < n; ++i) prod[i] = ffa[i] * fga[i];
+  const auto inv = fftViaButterfly(prod, true, numThreads);
+  std::vector<double> out(resultSize);
+  for (std::size_t i = 0; i < resultSize; ++i) out[i] = inv[i].real();
+  return out;
+}
+
+std::vector<double> naiveConvolution(const std::vector<double>& f,
+                                     const std::vector<double>& g) {
+  if (f.empty() || g.empty()) return {};
+  std::vector<double> out(f.size() + g.size() - 1, 0.0);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    for (std::size_t j = 0; j < g.size(); ++j) out[i + j] += f[i] * g[j];
+  return out;
+}
+
+}  // namespace icsched

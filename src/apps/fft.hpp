@@ -1,0 +1,40 @@
+#pragma once
+/// \file fft.hpp
+/// \brief The FFT and convolutions over the butterfly network (Section 5.2).
+///
+/// The data dependencies of the d-dimensional FFT are exactly the butterfly
+/// network B_d; every block applies the convolution transformation (5.2)
+///   y0 = x0 + w x1,   y1 = x0 - w x1
+/// with w a power of the 2^d-th complex root of unity. Executing the B_d dag
+/// with its IC-optimal schedule therefore computes the FFT, and through it
+/// polynomial products / convolutions in Theta(n log n) work.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace icsched {
+
+/// Discrete Fourier transform of \p input (size a power of 2), computed by
+/// executing the butterfly dag B_d end to end (bit-reversed input layout,
+/// Cooley-Tukey). numThreads == 0 runs sequentially in IC-optimal order.
+/// \throws std::invalid_argument unless the size is a power of 2, >= 2.
+[[nodiscard]] std::vector<std::complex<double>> fftViaButterfly(
+    const std::vector<std::complex<double>>& input, bool inverse = false,
+    std::size_t numThreads = 0);
+
+/// Reference quadratic-time DFT, for verification.
+[[nodiscard]] std::vector<std::complex<double>> naiveDft(
+    const std::vector<std::complex<double>>& input, bool inverse = false);
+
+/// Product of two real polynomials (coefficient vectors, low degree first)
+/// via three butterfly-dag FFTs. Exact up to floating-point roundoff.
+[[nodiscard]] std::vector<double> polynomialMultiplyFft(const std::vector<double>& f,
+                                                        const std::vector<double>& g,
+                                                        std::size_t numThreads = 0);
+
+/// Reference quadratic-time convolution A_k = sum_i a_i b_{k-i}.
+[[nodiscard]] std::vector<double> naiveConvolution(const std::vector<double>& f,
+                                                   const std::vector<double>& g);
+
+}  // namespace icsched

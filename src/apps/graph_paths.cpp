@@ -1,0 +1,111 @@
+#include "apps/graph_paths.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "exec/dag_executor.hpp"
+#include "families/dlt.hpp"
+#include "families/prefix.hpp"
+
+namespace icsched {
+
+namespace {
+
+std::vector<std::vector<std::uint64_t>> emptyBits(std::size_t n) {
+  return std::vector<std::vector<std::uint64_t>>(n, std::vector<std::uint64_t>(n, 0));
+}
+
+}  // namespace
+
+PathsMatrix computeAllPaths(const BoolMatrix& adjacency, std::size_t horizon,
+                            std::size_t numThreads) {
+  const std::size_t n = adjacency.size();
+  if (n == 0) throw std::invalid_argument("computeAllPaths: empty adjacency");
+  if (horizon < 2 || horizon > 64 || !std::has_single_bit(horizon)) {
+    throw std::invalid_argument("computeAllPaths: horizon must be a power of 2 in [2, 64]");
+  }
+  const DltDag fig16 = pathsDag(horizon);
+  const Dag& g = fig16.composite.dag;
+  const std::size_t stages = prefixNumStages(horizon);
+
+  // Role maps: composite id -> (prefix level, index) for generator nodes,
+  // and a flag for accumulation (in-tree non-source) nodes.
+  struct PrefixPos {
+    std::size_t level = 0;
+    std::size_t index = 0;
+    bool valid = false;
+  };
+  std::vector<PrefixPos> prefixPos(g.numNodes());
+  for (std::size_t t = 0; t <= stages; ++t) {
+    for (std::size_t i = 0; i < horizon; ++i) {
+      const NodeId cid = fig16.generatorMap[prefixNodeId(horizon, t, i)];
+      prefixPos[cid] = {t, i, true};
+    }
+  }
+  std::vector<BoolMatrix> matValue(g.numNodes());
+  std::vector<std::vector<std::vector<std::uint64_t>>> bitValue(g.numNodes());
+
+  const auto task = [&](NodeId v) {
+    if (prefixPos[v].valid) {
+      const std::size_t t = prefixPos[v].level;
+      const std::size_t i = prefixPos[v].index;
+      if (t == 0) {
+        matValue[v] = adjacency;
+      } else {
+        const std::size_t shift = std::size_t{1} << (t - 1);
+        const NodeId self = fig16.generatorMap[prefixNodeId(horizon, t - 1, i)];
+        if (i >= shift) {
+          const NodeId left = fig16.generatorMap[prefixNodeId(horizon, t - 1, i - shift)];
+          matValue[v] = matValue[left] * matValue[self];
+        } else {
+          matValue[v] = matValue[self];
+        }
+      }
+      if (t == stages) {
+        // Merged node: prefix output i is A^{i+1}; contribute bit i.
+        auto bits = emptyBits(n);
+        for (std::size_t r = 0; r < n; ++r)
+          for (std::size_t c = 0; c < n; ++c)
+            if (matValue[v].at(r, c)) bits[r][c] = std::uint64_t{1} << i;
+        bitValue[v] = std::move(bits);
+      }
+    } else {
+      // Accumulating in-tree interior: OR-merge the parents' bit matrices.
+      auto bits = emptyBits(n);
+      for (NodeId p : g.parents(v)) {
+        for (std::size_t r = 0; r < n; ++r)
+          for (std::size_t c = 0; c < n; ++c) bits[r][c] |= bitValue[p][r][c];
+      }
+      bitValue[v] = std::move(bits);
+    }
+  };
+  if (numThreads == 0) {
+    executeSequential(g, fig16.composite.schedule, task);
+  } else {
+    executeParallel(g, fig16.composite.schedule, task, numThreads);
+  }
+
+  PathsMatrix out;
+  out.numVertices = n;
+  out.horizon = horizon;
+  out.pathBits = bitValue[g.sinks().front()];
+  return out;
+}
+
+PathsMatrix computeAllPathsNaive(const BoolMatrix& adjacency, std::size_t horizon) {
+  const std::size_t n = adjacency.size();
+  PathsMatrix out;
+  out.numVertices = n;
+  out.horizon = horizon;
+  out.pathBits = emptyBits(n);
+  BoolMatrix power = BoolMatrix::identity(n);
+  for (std::size_t k = 1; k <= horizon; ++k) {
+    power = power * adjacency;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        if (power.at(r, c)) out.pathBits[r][c] |= std::uint64_t{1} << (k - 1);
+  }
+  return out;
+}
+
+}  // namespace icsched

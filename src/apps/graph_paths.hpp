@@ -1,0 +1,41 @@
+#pragma once
+/// \file graph_paths.hpp
+/// \brief Computing all paths in a graph (Section 6.2.2, Fig 16).
+///
+/// Given a graph's boolean adjacency matrix A and a horizon K, compute the
+/// matrix M whose (i, j) entry is the bit-vector <beta^1, ..., beta^K> with
+/// beta^k = 1 iff some length-k path joins i and j. The computation executes
+/// the Fig 16 dag: a K-input parallel-prefix over logical matrix
+/// multiplication yields A^1..A^K; an accumulating in-tree merges them into
+/// M. The whole dag is the L_K structure, scheduled IC-optimally.
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/bool_matrix.hpp"
+
+namespace icsched {
+
+/// The paths matrix: pathBits[i][j] has bit (k-1) set iff a length-k path
+/// from i to j exists (k = 1..K, K <= 64).
+struct PathsMatrix {
+  std::size_t numVertices = 0;
+  std::size_t horizon = 0;
+  std::vector<std::vector<std::uint64_t>> pathBits;
+
+  [[nodiscard]] bool hasPath(std::size_t i, std::size_t j, std::size_t length) const {
+    return (pathBits[i][j] >> (length - 1)) & 1;
+  }
+};
+
+/// Executes the Fig 16 computation. \p horizon must be a power of 2 in
+/// [2, 64] (the prefix dag's input count).
+/// \throws std::invalid_argument on bad horizon or empty adjacency.
+[[nodiscard]] PathsMatrix computeAllPaths(const BoolMatrix& adjacency, std::size_t horizon,
+                                          std::size_t numThreads = 0);
+
+/// Reference implementation: repeated logical multiplication, no dag.
+[[nodiscard]] PathsMatrix computeAllPathsNaive(const BoolMatrix& adjacency,
+                                               std::size_t horizon);
+
+}  // namespace icsched

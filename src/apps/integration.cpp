@@ -1,0 +1,113 @@
+#include "apps/integration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/dag_executor.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+
+namespace {
+
+double ruleArea(QuadratureRule rule, const std::function<double(double)>& f, double x,
+                double y) {
+  switch (rule) {
+    case QuadratureRule::kTrapezoid:
+      return 0.5 * (f(x) + f(y)) * (y - x);
+    case QuadratureRule::kSimpson: {
+      const double m = 0.5 * (x + y);
+      return (f(x) + 4.0 * f(m) + f(y)) * (y - x) / 6.0;
+    }
+  }
+  throw std::logic_error("ruleArea: unknown rule");
+}
+
+struct Interval {
+  double lo;
+  double hi;
+  std::size_t depth;
+};
+
+}  // namespace
+
+QuadratureResult integrateAdaptive(const std::function<double(double)>& f, double a, double b,
+                                   double tol, QuadratureRule rule, std::size_t maxDepth,
+                                   std::size_t numThreads) {
+  if (b < a) throw std::invalid_argument("integrateAdaptive: need a <= b");
+  if (tol <= 0.0) throw std::invalid_argument("integrateAdaptive: need tol > 0");
+  if (maxDepth == 0) throw std::invalid_argument("integrateAdaptive: need maxDepth >= 1");
+
+  // Expansion: discover the interval out-tree. Node v spawns children when
+  // the one-piece estimate A0 and the split estimate A1 disagree by more
+  // than the node's share of the tolerance (classic local error budget).
+  std::vector<std::uint32_t> parent{kRoot};
+  std::vector<Interval> interval{{a, b, 0}};
+  std::size_t height = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    const Interval iv = interval[v];
+    height = std::max(height, iv.depth);
+    if (iv.depth + 1 >= maxDepth) continue;
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    const double a0 = ruleArea(rule, f, iv.lo, iv.hi);
+    const double a1 = ruleArea(rule, f, iv.lo, mid) + ruleArea(rule, f, mid, iv.hi);
+    const double localTol = tol * (iv.hi - iv.lo) / (b - a > 0.0 ? b - a : 1.0);
+    if (std::abs(a0 - a1) <= localTol) continue;
+    parent.push_back(static_cast<std::uint32_t>(v));
+    parent.push_back(static_cast<std::uint32_t>(v));
+    interval.push_back({iv.lo, mid, iv.depth + 1});
+    interval.push_back({mid, iv.hi, iv.depth + 1});
+  }
+
+  const ScheduledDag tree = outTreeFromParents(parent);
+  QuadratureResult out;
+  out.dag = symmetricDiamond(tree);
+  out.leafCount = tree.dag.sinks().size();
+  out.treeHeight = height;
+
+  // Reduction: execute the diamond. Leaf (merged) tasks evaluate the rule;
+  // in-tree interior tasks sum their dag-parents; expansion interior tasks
+  // carry no numeric payload (their work -- the refinement test -- happened
+  // during discovery, as Section 3.2's note says the out-tree's if-then-else
+  // specifies dependencies, not our computation).
+  const Dag& g = out.dag.composite.dag;
+  std::vector<double> value(g.numNodes(), 0.0);
+  std::vector<std::uint8_t> isLeafTask(g.numNodes(), 0);
+  std::vector<std::size_t> leafTreeNode(g.numNodes(), 0);
+  for (NodeId v = 0; v < tree.dag.numNodes(); ++v) {
+    if (tree.dag.isSink(v)) {
+      const NodeId cv = out.dag.outTreeMap[v];
+      isLeafTask[cv] = 1;
+      leafTreeNode[cv] = v;
+    }
+  }
+  // Distinguish in-tree interior nodes: they are the composite images of the
+  // in-tree's non-sources.
+  std::vector<std::uint8_t> isReduction(g.numNodes(), 0);
+  {
+    const ScheduledDag inTree = inTreeFor(tree);
+    for (NodeId v = 0; v < inTree.dag.numNodes(); ++v) {
+      if (!inTree.dag.isSource(v)) isReduction[out.dag.inTreeMap[v]] = 1;
+    }
+  }
+  const auto nodeTask = [&](NodeId v) {
+    if (isLeafTask[v]) {
+      const Interval iv = interval[leafTreeNode[v]];
+      value[v] = ruleArea(rule, f, iv.lo, iv.hi);
+    } else if (isReduction[v]) {
+      double sum = 0.0;
+      for (NodeId p : g.parents(v)) sum += value[p];
+      value[v] = sum;
+    }
+  };
+  if (numThreads == 0) {
+    executeSequential(g, out.dag.composite.schedule, nodeTask);
+  } else {
+    executeParallel(g, out.dag.composite.schedule, nodeTask, numThreads);
+  }
+  out.value = value[g.sinks().front()];
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,46 @@
+#pragma once
+/// \file integration.hpp
+/// \brief Adaptive numerical integration as an expansion-reduction
+/// computation (Section 3.2).
+///
+/// The expansive phase recursively splits [a, b] while the coarse and
+/// refined quadrature estimates disagree by more than the tolerance,
+/// producing a (possibly quite irregular) binary out-tree of intervals. The
+/// reductive phase accumulates the accepted leaf areas through the dual
+/// in-tree. The whole computation executes through the diamond dag built
+/// from the discovered interval tree, scheduled IC-optimally (Theorem 2.1).
+
+#include <cstddef>
+#include <functional>
+
+#include "families/diamond.hpp"
+
+namespace icsched {
+
+/// The local quadrature rule (Section 3.2 describes both).
+enum class QuadratureRule {
+  kTrapezoid,  ///< linear approximation: (f(x) + f(y)) (y - x) / 2
+  kSimpson,    ///< quadratic approximation through the midpoint
+};
+
+struct QuadratureResult {
+  double value = 0.0;           ///< the integral estimate (the diamond's sink)
+  DiamondDag dag;               ///< the executed expansion-reduction diamond
+  std::size_t leafCount = 0;    ///< accepted subintervals
+  std::size_t treeHeight = 0;   ///< depth of the adaptive refinement
+};
+
+/// Integrates \p f over [a, b] adaptively to absolute tolerance \p tol.
+/// The interval tree is discovered first (the "expansion" computes the
+/// refinement test at every node), then the diamond dag executes end to end:
+/// leaves evaluate the rule on their subinterval, in-tree nodes sum. With
+/// numThreads > 0 the dag runs on that many workers through the parallel
+/// executor; numThreads == 0 runs sequentially in IC-optimal order.
+/// \throws std::invalid_argument if b < a, tol <= 0, or maxDepth == 0.
+[[nodiscard]] QuadratureResult integrateAdaptive(const std::function<double(double)>& f,
+                                                 double a, double b, double tol,
+                                                 QuadratureRule rule = QuadratureRule::kTrapezoid,
+                                                 std::size_t maxDepth = 30,
+                                                 std::size_t numThreads = 0);
+
+}  // namespace icsched

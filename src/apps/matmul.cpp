@@ -1,0 +1,136 @@
+#include "apps/matmul.hpp"
+
+#include <bit>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "exec/dag_executor.hpp"
+#include "families/matmul_dag.hpp"
+
+namespace icsched {
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Matrix+: shape mismatch");
+  }
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out.at(r, c) = a.at(r, c) + b.at(r, c);
+  return out;
+}
+
+double Matrix::maxAbsDiff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::maxAbsDiff: shape mismatch");
+  }
+  double mx = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::abs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) out.at(r, c) = d(rng);
+  return out;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t h, std::size_t w) const {
+  Matrix out(h, w);
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t c = 0; c < w; ++c) out.at(r, c) = at(r0 + r, c0 + c);
+  return out;
+}
+
+void Matrix::setBlock(std::size_t r0, std::size_t c0, const Matrix& b) {
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c) at(r0 + r, c0 + c) = b.at(r, c);
+}
+
+Matrix multiplyNaive(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("multiplyNaive: shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double arv = a.at(r, k);
+      for (std::size_t c = 0; c < b.cols(); ++c) out.at(r, c) += arv * b.at(k, c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Matrix multiplyRecursiveImpl(const Matrix& a, const Matrix& b, std::size_t threshold,
+                             std::size_t numThreads, const MatmulDag& m) {
+  const std::size_t n = a.rows();
+  if (n <= threshold) return multiplyNaive(a, b);
+  const std::size_t h = n / 2;
+
+  // Fig 17 roles. Inputs in the two cycles' orders: A,E,C,F then B,G,D,H;
+  // (7.1): A,B / C,D are blocks of the left operand, E,F / G,H of the right.
+  std::vector<Matrix> value(m.composite.dag.numNodes());
+  const auto& ids = m.ids;
+  const auto task = [&](NodeId v) {
+    if (v == ids.inputs[0]) value[v] = a.block(0, 0, h, h);       // A
+    else if (v == ids.inputs[1]) value[v] = b.block(0, 0, h, h);  // E
+    else if (v == ids.inputs[2]) value[v] = a.block(h, 0, h, h);  // C
+    else if (v == ids.inputs[3]) value[v] = b.block(0, h, h, h);  // F
+    else if (v == ids.inputs[4]) value[v] = a.block(0, h, h, h);  // B
+    else if (v == ids.inputs[5]) value[v] = b.block(h, 0, h, h);  // G
+    else if (v == ids.inputs[6]) value[v] = a.block(h, h, h, h);  // D
+    else if (v == ids.inputs[7]) value[v] = b.block(h, h, h, h);  // H
+    else if (m.composite.dag.isSink(v)) {
+      // Block sum: the two parent products.
+      const auto ps = m.composite.dag.parents(v);
+      value[v] = value[ps[0]] + value[ps[1]];
+    } else {
+      // Product node: left operand comes from the A/C (resp. B/D) input,
+      // right from E/F (resp. G/H). Parents are (input, input) in cycle
+      // order; decode by which cycle sources they are.
+      const auto ps = m.composite.dag.parents(v);
+      // Left-operand blocks sit at inputs A(0), C(2), B(4), D(6) -> indices
+      // 0,2 within each cycle's source quadruple.
+      NodeId left = ps[0];
+      NodeId right = ps[1];
+      const bool p0IsLeftOperand = ps[0] == ids.inputs[0] || ps[0] == ids.inputs[2] ||
+                                   ps[0] == ids.inputs[4] || ps[0] == ids.inputs[6];
+      if (!p0IsLeftOperand) std::swap(left, right);
+      value[v] = multiplyRecursiveImpl(value[left], value[right], threshold, numThreads, m);
+    }
+  };
+  if (numThreads == 0) {
+    executeSequential(m.composite.dag, m.composite.schedule, task);
+  } else {
+    executeParallel(m.composite.dag, m.composite.schedule, task, numThreads);
+  }
+
+  Matrix out(n, n);
+  out.setBlock(0, 0, value[ids.sums[0]]);  // AE+BG
+  out.setBlock(h, 0, value[ids.sums[1]]);  // CE+DG
+  out.setBlock(h, h, value[ids.sums[2]]);  // CF+DH
+  out.setBlock(0, h, value[ids.sums[3]]);  // AF+BH
+  return out;
+}
+
+}  // namespace
+
+Matrix multiplyRecursive(const Matrix& a, const Matrix& b, std::size_t threshold,
+                         std::size_t numThreads) {
+  if (a.rows() != a.cols() || b.rows() != b.cols() || a.rows() != b.rows()) {
+    throw std::invalid_argument("multiplyRecursive: need equal square matrices");
+  }
+  if (a.rows() == 0 || !std::has_single_bit(a.rows())) {
+    throw std::invalid_argument("multiplyRecursive: size must be a power of 2");
+  }
+  if (threshold == 0) throw std::invalid_argument("multiplyRecursive: threshold >= 1");
+  const MatmulDag m = matmulDag();
+  return multiplyRecursiveImpl(a, b, threshold, numThreads, m);
+}
+
+}  // namespace icsched

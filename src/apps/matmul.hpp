@@ -1,0 +1,63 @@
+#pragma once
+/// \file matmul.hpp
+/// \brief Recursive block matrix multiplication over the M dag (Section 7).
+///
+/// Equation (7.1) never invokes commutativity, so it multiplies block
+/// matrices recursively: at every level the eight half-size products and
+/// four block sums execute through the 20-node dag M with its IC-optimal
+/// schedule (inputs in cycle order, products, then sums).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icsched {
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+  /// Largest absolute elementwise difference; matrices must be same-shape.
+  [[nodiscard]] double maxAbsDiff(const Matrix& other) const;
+
+  /// A deterministic pseudorandom matrix with entries in [-1, 1].
+  [[nodiscard]] static Matrix random(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+  /// The r0..r0+h x c0..c0+w submatrix, copied.
+  [[nodiscard]] Matrix block(std::size_t r0, std::size_t c0, std::size_t h,
+                             std::size_t w) const;
+
+  /// Writes \p b into this matrix at (r0, c0).
+  void setBlock(std::size_t r0, std::size_t c0, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Reference O(n^3) triple loop.
+[[nodiscard]] Matrix multiplyNaive(const Matrix& a, const Matrix& b);
+
+/// Multiplies square matrices whose size is a power of 2 by recursing on
+/// (7.1); every recursion level dispatches its 8 products and 4 sums through
+/// the dag M in IC-optimal order. Below \p threshold the naive kernel runs.
+/// numThreads > 0 executes each level's M dag on that many workers.
+/// \throws std::invalid_argument on non-square / mismatched / non-power-of-2
+///         inputs or threshold == 0.
+[[nodiscard]] Matrix multiplyRecursive(const Matrix& a, const Matrix& b,
+                                       std::size_t threshold = 32,
+                                       std::size_t numThreads = 0);
+
+}  // namespace icsched

@@ -1,0 +1,62 @@
+#include "apps/scan.hpp"
+
+#include <stdexcept>
+
+namespace icsched {
+
+std::vector<std::uint64_t> integerPowers(std::uint64_t base, std::size_t n,
+                                         std::size_t numThreads) {
+  const std::vector<std::uint64_t> input(n, base);
+  return parallelPrefix(
+      input, [](std::uint64_t a, std::uint64_t b) { return a * b; }, numThreads);
+}
+
+namespace {
+
+/// Carry-status element of the carry-lookahead scan: one of
+/// kill (no carry out), generate (carry out regardless), propagate
+/// (carry out iff carry in). Composition g-after-f is associative.
+enum class CarryStatus : std::uint8_t { kKill, kGenerate, kPropagate };
+
+CarryStatus combine(CarryStatus first, CarryStatus second) {
+  // "second" is the more significant position: its status wins unless it
+  // propagates.
+  return second == CarryStatus::kPropagate ? first : second;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> carryLookaheadAdd(const std::vector<std::uint8_t>& a,
+                                            const std::vector<std::uint8_t>& b,
+                                            std::size_t numThreads) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("carryLookaheadAdd: operand lengths differ");
+  }
+  if (a.size() < 2) {
+    throw std::invalid_argument("carryLookaheadAdd: need at least 2 bits");
+  }
+  const std::size_t n = a.size();
+  std::vector<CarryStatus> status(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] > 1 || b[i] > 1) throw std::invalid_argument("carryLookaheadAdd: non-bit input");
+    if (a[i] && b[i]) {
+      status[i] = CarryStatus::kGenerate;
+    } else if (a[i] || b[i]) {
+      status[i] = CarryStatus::kPropagate;
+    } else {
+      status[i] = CarryStatus::kKill;
+    }
+  }
+  // Scan: prefix[i] = carry OUT of position i.
+  const std::vector<CarryStatus> prefix = parallelPrefix(status, combine, numThreads);
+  std::vector<std::uint8_t> sum(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t carryIn =
+        i == 0 ? 0 : static_cast<std::uint8_t>(prefix[i - 1] == CarryStatus::kGenerate);
+    sum[i] = static_cast<std::uint8_t>((a[i] + b[i] + carryIn) & 1);
+  }
+  sum[n] = static_cast<std::uint8_t>(prefix[n - 1] == CarryStatus::kGenerate);
+  return sum;
+}
+
+}  // namespace icsched

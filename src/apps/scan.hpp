@@ -1,0 +1,70 @@
+#pragma once
+/// \file scan.hpp
+/// \brief The parallel-prefix (scan) meta-computation (Section 6.1).
+///
+/// For any associative operation *, executing the P_n dag computes the
+/// *-parallel-prefix (6.3): y_i = x_0 * x_1 * ... * x_i. The operation's
+/// granularity is arbitrary -- the paper's examples range from integer
+/// multiplication through complex multiplication to logical matrix
+/// multiplication -- so the same dag serves tasks of very different
+/// coarseness.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/dag_executor.hpp"
+#include "families/prefix.hpp"
+
+namespace icsched {
+
+/// Computes the *-parallel-prefix of \p input by executing P_n with its
+/// IC-optimal schedule. \p op must be associative. numThreads == 0 runs
+/// sequentially; otherwise the dag runs on that many workers (requires T's
+/// copy/assignment to be thread-compatible, which value types are).
+/// \throws std::invalid_argument if input.size() < 2.
+template <typename T, typename Op>
+std::vector<T> parallelPrefix(const std::vector<T>& input, Op op,
+                              std::size_t numThreads = 0) {
+  const std::size_t n = input.size();
+  const ScheduledDag p = prefixDag(n);  // throws for n < 2
+  const std::size_t stages = prefixNumStages(n);
+  std::vector<T> value(p.dag.numNodes());
+  for (std::size_t i = 0; i < n; ++i) value[prefixNodeId(n, 0, i)] = input[i];
+
+  const std::function<void(NodeId)> task = [&](NodeId v) {
+    const std::size_t level = v / n;
+    if (level == 0) return;
+    const std::size_t t = level - 1;
+    const std::size_t i = v % n;
+    const std::size_t shift = std::size_t{1} << t;
+    if (i >= shift) {
+      value[v] = op(value[prefixNodeId(n, t, i - shift)], value[prefixNodeId(n, t, i)]);
+    } else {
+      value[v] = value[prefixNodeId(n, t, i)];
+    }
+  };
+  if (numThreads == 0) {
+    executeSequential(p.dag, p.schedule, task);
+  } else {
+    executeParallel(p.dag, p.schedule, task, numThreads);
+  }
+  std::vector<T> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = value[prefixNodeId(n, stages, i)];
+  return out;
+}
+
+/// First \p n powers N^1..N^n via * = integer multiplication on input
+/// <N, N, ..., N> (Section 6.1's first example). Values taken mod 2^64.
+[[nodiscard]] std::vector<std::uint64_t> integerPowers(std::uint64_t base, std::size_t n,
+                                                       std::size_t numThreads = 0);
+
+/// Carry-lookahead addition of two equal-length little-endian bit vectors
+/// via a scan over carry generate/propagate pairs (the "microscopic"
+/// parallel-prefix application the paper cites from [3, 18]). Returns
+/// size+1 bits (the last is the carry out).
+[[nodiscard]] std::vector<std::uint8_t> carryLookaheadAdd(const std::vector<std::uint8_t>& a,
+                                                          const std::vector<std::uint8_t>& b,
+                                                          std::size_t numThreads = 0);
+
+}  // namespace icsched

@@ -1,0 +1,211 @@
+#include "apps/sorting.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "exec/dag_executor.hpp"
+
+namespace icsched {
+
+NodeId bitonicNodeId(const BitonicNetwork& net, std::size_t level, std::size_t wire) {
+  if (level > net.stages || wire >= net.n) {
+    throw std::invalid_argument("bitonicNodeId: position out of range");
+  }
+  return static_cast<NodeId>(level * net.n + wire);
+}
+
+BitonicNetwork bitonicNetwork(std::size_t n) {
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("bitonicNetwork: n must be a power of 2, >= 2");
+  }
+  BitonicNetwork net;
+  net.n = n;
+  // Enumerate Batcher's stages: block size k = 2, 4, ..., n; within a block
+  // pass, strides j = k/2, k/4, ..., 1.
+  for (std::size_t k = 2; k <= n; k *= 2) {
+    for (std::size_t j = k / 2; j > 0; j /= 2) {
+      net.stagePartner.push_back(j);
+      std::vector<bool> desc(n, false);
+      for (std::size_t w = 0; w < n; ++w) desc[w] = (w & k) != 0;
+      net.descending.push_back(std::move(desc));
+    }
+  }
+  net.stages = net.stagePartner.size();
+
+  Dag g((net.stages + 1) * n);
+  for (std::size_t t = 0; t < net.stages; ++t) {
+    const std::size_t m = net.stagePartner[t];
+    for (std::size_t w = 0; w < n; ++w) {
+      g.addArc(bitonicNodeId(net, t, w), bitonicNodeId(net, t + 1, w));
+      g.addArc(bitonicNodeId(net, t, w), bitonicNodeId(net, t + 1, w ^ m));
+    }
+  }
+  // IC-optimal schedule: level by level, the two sources of each comparator
+  // block consecutive (Section 5.1's characterization).
+  std::vector<NodeId> order;
+  order.reserve(g.numNodes());
+  for (std::size_t t = 0; t < net.stages; ++t) {
+    const std::size_t m = net.stagePartner[t];
+    for (std::size_t w = 0; w < n; ++w) {
+      if (w & m) continue;
+      order.push_back(bitonicNodeId(net, t, w));
+      order.push_back(bitonicNodeId(net, t, w ^ m));
+    }
+  }
+  for (std::size_t w = 0; w < n; ++w) order.push_back(bitonicNodeId(net, net.stages, w));
+  net.scheduled = {std::move(g), Schedule(std::move(order))};
+  return net;
+}
+
+namespace {
+
+/// Batcher's odd-even merge: emits comparators merging two sorted halves of
+/// the range starting at lo with total length n and stride r.
+void oddEvenMerge(ComparatorNetwork& net, std::size_t lo, std::size_t n, std::size_t r) {
+  const std::size_t m = r * 2;
+  if (m < n) {
+    oddEvenMerge(net, lo, n, m);
+    oddEvenMerge(net, lo + r, n, m);
+    for (std::size_t i = lo + r; i + r < lo + n; i += m) {
+      net.comparators.emplace_back(i, i + r);
+    }
+  } else {
+    net.comparators.emplace_back(lo, lo + r);
+  }
+}
+
+void oddEvenSortRec(ComparatorNetwork& net, std::size_t lo, std::size_t n) {
+  if (n <= 1) return;
+  const std::size_t m = n / 2;
+  oddEvenSortRec(net, lo, m);
+  oddEvenSortRec(net, lo + m, m);
+  oddEvenMerge(net, lo, n, 1);
+}
+
+}  // namespace
+
+ComparatorNetwork oddEvenMergeSortNetwork(std::size_t n) {
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("oddEvenMergeSortNetwork: n must be a power of 2, >= 2");
+  }
+  ComparatorNetwork net;
+  net.wires = n;
+  oddEvenSortRec(net, 0, n);
+  return net;
+}
+
+ComparatorDag comparatorNetworkDag(const ComparatorNetwork& net) {
+  if (net.wires < 2) throw std::invalid_argument("comparatorNetworkDag: need >= 2 wires");
+  ComparatorDag out;
+  out.wires = net.wires;
+  Dag g(net.wires);  // input tasks; comparator outputs appended below
+  std::vector<NodeId> holder(net.wires);  // node currently carrying wire w
+  for (std::size_t w = 0; w < net.wires; ++w) holder[w] = static_cast<NodeId>(w);
+
+  // Each comparator is a butterfly block whose two *source* nodes are the
+  // current holders of its wires; the IC-optimal schedule must execute the
+  // two sources of every block in consecutive steps (Section 5.1's
+  // characterization). Every holder feeds exactly one comparator, so the
+  // source pairs partition the nonsinks: emit them pair by pair in network
+  // order (a valid extension: a pair's nodes are outputs of strictly
+  // earlier comparators, whose own pairs were emitted before).
+  std::vector<NodeId> order;
+  for (const auto& [a, b] : net.comparators) {
+    if (a >= net.wires || b >= net.wires || a == b) {
+      throw std::invalid_argument("comparatorNetworkDag: bad comparator (" +
+                                  std::to_string(a) + ", " + std::to_string(b) + ")");
+    }
+    order.push_back(holder[a]);
+    order.push_back(holder[b]);
+    const NodeId lowOut = g.addNode();
+    const NodeId highOut = g.addNode();
+    g.addArc(holder[a], lowOut);
+    g.addArc(holder[b], lowOut);
+    g.addArc(holder[a], highOut);
+    g.addArc(holder[b], highOut);
+    holder[a] = lowOut;
+    holder[b] = highOut;
+  }
+  // Remaining nodes are the dag's sinks (final holders and untouched
+  // inputs); append in id order.
+  {
+    std::vector<bool> emitted(g.numNodes(), false);
+    for (NodeId v : order) emitted[v] = true;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (!emitted[v]) order.push_back(v);
+    }
+  }
+  out.finalWireNode = holder;
+  Schedule s(std::move(order));
+  s.validate(g);
+  out.scheduled = {std::move(g), std::move(s)};
+  return out;
+}
+
+std::vector<double> sortWithNetwork(const ComparatorNetwork& net,
+                                    const std::vector<double>& input,
+                                    std::size_t numThreads) {
+  if (input.size() != net.wires) {
+    throw std::invalid_argument("sortWithNetwork: input size != wire count");
+  }
+  const ComparatorDag cd = comparatorNetworkDag(net);
+  const Dag& g = cd.scheduled.dag;
+  std::vector<double> value(g.numNodes(), 0.0);
+  for (std::size_t w = 0; w < net.wires; ++w) value[w] = input[w];
+  // Comparator outputs appear in pairs after the inputs: node ids
+  // wires + 2k (low) and wires + 2k + 1 (high) for comparator k.
+  const auto task = [&](NodeId v) {
+    if (v < net.wires) return;
+    const std::size_t k = (v - net.wires) / 2;
+    const bool isLow = ((v - net.wires) % 2) == 0;
+    (void)k;
+    const auto ps = g.parents(v);
+    const double a = value[ps[0]];
+    const double b = value[ps[1]];
+    value[v] = isLow ? std::min(a, b) : std::max(a, b);
+  };
+  if (numThreads == 0) {
+    executeSequential(g, cd.scheduled.schedule, task);
+  } else {
+    executeParallel(g, cd.scheduled.schedule, task, numThreads);
+  }
+  std::vector<double> out(net.wires);
+  for (std::size_t w = 0; w < net.wires; ++w) out[w] = value[cd.finalWireNode[w]];
+  return out;
+}
+
+std::vector<double> bitonicSort(const std::vector<double>& input, std::size_t numThreads) {
+  const BitonicNetwork net = bitonicNetwork(input.size());
+  const Dag& g = net.scheduled.dag;
+  const std::size_t n = net.n;
+  std::vector<double> value(g.numNodes(), 0.0);
+  for (std::size_t w = 0; w < n; ++w) value[w] = input[w];
+
+  const auto task = [&](NodeId v) {
+    const std::size_t level = v / n;
+    if (level == 0) return;  // inputs already loaded
+    const std::size_t t = level - 1;
+    const std::size_t w = v % n;
+    const std::size_t m = net.stagePartner[t];
+    const std::size_t lowWire = w & ~m;
+    const double a = value[bitonicNodeId(net, t, lowWire)];
+    const double b = value[bitonicNodeId(net, t, lowWire | m)];
+    const bool desc = net.descending[t][lowWire];
+    const bool isLowOutput = (w & m) == 0;
+    // Comparator transformation (5.1), orientation per Batcher's direction.
+    const double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    value[v] = (isLowOutput != desc) ? lo : hi;
+  };
+  if (numThreads == 0) {
+    executeSequential(g, net.scheduled.schedule, task);
+  } else {
+    executeParallel(g, net.scheduled.schedule, task, numThreads);
+  }
+  std::vector<double> out(n);
+  for (std::size_t w = 0; w < n; ++w) out[w] = value[bitonicNodeId(net, net.stages, w)];
+  return out;
+}
+
+}  // namespace icsched

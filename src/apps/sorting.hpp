@@ -1,0 +1,83 @@
+#pragma once
+/// \file sorting.hpp
+/// \brief Comparator-network sorting over butterfly building blocks
+/// (Section 5.2).
+///
+/// Each comparator is a butterfly building block applying the comparator
+/// transformation (5.1): y0 = min(x0, x1), y1 = max(x0, x1). We implement
+/// Batcher's bitonic sorting network for n = 2^k inputs: k(k+1)/2 stages,
+/// each a layer of n/2 comparator blocks -- an iterated composition of B, so
+/// the whole network is ▷-linear and admits an IC-optimal schedule (execute
+/// the two sources of each block consecutively, level by level).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// The bitonic network's structure: a layered dag, level t holding the wire
+/// values after t comparator stages.
+struct BitonicNetwork {
+  ScheduledDag scheduled;               ///< the dag + IC-optimal schedule
+  std::size_t n = 0;                    ///< number of wires (a power of 2)
+  std::size_t stages = 0;               ///< k(k+1)/2
+  /// stagePartner[t] = the XOR mask pairing wires at stage t.
+  std::vector<std::size_t> stagePartner;
+  /// descending[t][w]: comparator at stage t on wire pair (w, w|mask) sorts
+  /// descending (max on the lower wire).
+  std::vector<std::vector<bool>> descending;
+};
+
+/// Node id of (level t in 0..stages, wire w): t * n + w.
+[[nodiscard]] NodeId bitonicNodeId(const BitonicNetwork& net, std::size_t level,
+                                   std::size_t wire);
+
+/// Builds the bitonic network for \p n wires.
+/// \throws std::invalid_argument unless n is a power of 2, n >= 2.
+[[nodiscard]] BitonicNetwork bitonicNetwork(std::size_t n);
+
+/// Sorts \p input ascending by executing the network dag end to end
+/// (sequentially in IC-optimal order when numThreads == 0, else on that
+/// many workers).
+/// \throws std::invalid_argument unless input.size() is a power of 2, >= 2.
+[[nodiscard]] std::vector<double> bitonicSort(const std::vector<double>& input,
+                                              std::size_t numThreads = 0);
+
+/// A generic comparator network: an ordered list of (low wire, high wire)
+/// ascending comparators. The paper notes the most efficient comparator
+/// networks "require a more complicated iterated composition of
+/// comparators [11]" than the plain butterfly -- Batcher's odd-even
+/// mergesort is the classic example.
+struct ComparatorNetwork {
+  std::size_t wires = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> comparators;
+};
+
+/// Batcher's odd-even mergesort network for n = 2^k wires:
+/// O(n log^2 n) comparators, all ascending.
+/// \throws std::invalid_argument unless n is a power of 2, >= 2.
+[[nodiscard]] ComparatorNetwork oddEvenMergeSortNetwork(std::size_t n);
+
+/// The computation-dag of a comparator network: n input tasks plus two
+/// output tasks per comparator; every comparator is a butterfly building
+/// block, so the dag is an iterated composition of B and carries a
+/// pair-consecutive IC-optimal schedule.
+struct ComparatorDag {
+  ScheduledDag scheduled;
+  std::size_t wires = 0;
+  /// Node holding wire w's final value (after all comparators).
+  std::vector<NodeId> finalWireNode;
+};
+
+[[nodiscard]] ComparatorDag comparatorNetworkDag(const ComparatorNetwork& net);
+
+/// Sorts by executing the network's dag end to end.
+/// \throws std::invalid_argument if input size != net.wires or the network
+///         contains an out-of-range or degenerate comparator.
+[[nodiscard]] std::vector<double> sortWithNetwork(const ComparatorNetwork& net,
+                                                  const std::vector<double>& input,
+                                                  std::size_t numThreads = 0);
+
+}  // namespace icsched

@@ -1,0 +1,353 @@
+#include "batch/batch_schedule.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/eligibility.hpp"
+
+namespace icsched {
+
+namespace {
+
+/// Walks a batch schedule through the tracker, checking validity as it
+/// goes; returns the per-round eligibility profile. The batched framework
+/// requires full rounds: each round executes exactly min(p, #ELIGIBLE)
+/// tasks (idling would trivially game the quality measure).
+std::vector<std::size_t> walk(const Dag& g, const BatchSchedule& b, std::size_t p) {
+  if (p == 0) throw std::invalid_argument("batch: batch size must be >= 1");
+  EligibilityTracker tracker(g);
+  std::vector<std::size_t> profile{tracker.eligibleCount()};
+  for (const std::vector<NodeId>& round : b.rounds) {
+    const std::size_t expected = std::min(p, tracker.eligibleCount());
+    if (round.size() != expected) {
+      throw std::invalid_argument("batch: round must execute exactly min(p, #ELIGIBLE) = " +
+                                  std::to_string(expected) + " tasks, got " +
+                                  std::to_string(round.size()));
+    }
+    // All round tasks must be ELIGIBLE at the round's start (they run
+    // concurrently on remote clients; no chaining within a round).
+    for (NodeId v : round) {
+      if (v >= g.numNodes() || !tracker.isEligible(v)) {
+        throw std::invalid_argument("batch: task " + std::to_string(v) +
+                                    " not ELIGIBLE at its round's start");
+      }
+    }
+    for (NodeId v : round) (void)tracker.execute(v);
+    profile.push_back(tracker.eligibleCount());
+  }
+  if (tracker.executedCount() != g.numNodes()) {
+    throw std::invalid_argument("batch: schedule does not cover all nodes");
+  }
+  return profile;
+}
+
+}  // namespace
+
+bool isValidBatchSchedule(const Dag& g, const BatchSchedule& b, std::size_t p) {
+  try {
+    (void)walk(g, b, p);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+std::vector<std::size_t> batchEligibilityProfile(const Dag& g, const BatchSchedule& b,
+                                                 std::size_t p) {
+  return walk(g, b, p);
+}
+
+BatchSchedule sliceIntoBatches(const Dag& g, const Schedule& s, std::size_t p) {
+  if (p == 0) throw std::invalid_argument("sliceIntoBatches: batch size must be >= 1");
+  s.validate(g);
+  EligibilityTracker tracker(g);
+  std::vector<NodeId> remaining = s.order();
+  BatchSchedule out;
+  while (!remaining.empty()) {
+    const std::size_t take = std::min(p, tracker.eligibleCount());
+    std::vector<NodeId> round;
+    std::vector<NodeId> deferred;
+    for (NodeId v : remaining) {
+      if (round.size() < take && tracker.isEligible(v)) {
+        round.push_back(v);
+      } else {
+        deferred.push_back(v);
+      }
+    }
+    for (NodeId v : round) (void)tracker.execute(v);
+    out.rounds.push_back(std::move(round));
+    remaining = std::move(deferred);
+  }
+  return out;
+}
+
+BatchSchedule greedyBatchSchedule(const Dag& g, std::size_t p) {
+  if (p == 0) throw std::invalid_argument("greedyBatchSchedule: batch size must be >= 1");
+  EligibilityTracker tracker(g);
+  BatchSchedule out;
+  std::size_t executed = 0;
+  while (executed < g.numNodes()) {
+    const std::vector<NodeId> atStart = tracker.eligibleNodes();
+    const std::size_t take = std::min(p, atStart.size());
+    std::vector<bool> picked(g.numNodes(), false);
+    std::vector<NodeId> round;
+    // Track pending-parent counts incrementally to evaluate marginal gains
+    // of candidates without committing.
+    std::vector<std::size_t> pendingAfter(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      pendingAfter[v] = g.inDegree(v);
+      for (NodeId parent : g.parents(v)) {
+        if (tracker.isExecuted(parent)) --pendingAfter[v];
+      }
+    }
+    for (std::size_t k = 0; k < take; ++k) {
+      NodeId best = g.numNodes() > 0 ? static_cast<NodeId>(g.numNodes()) : 0;
+      std::size_t bestGain = 0;
+      bool haveBest = false;
+      for (NodeId v : atStart) {
+        if (picked[v]) continue;
+        std::size_t gain = 0;
+        for (NodeId c : g.children(v)) {
+          if (pendingAfter[c] == 1) ++gain;  // v is the last missing parent
+        }
+        if (!haveBest || gain > bestGain || (gain == bestGain && v < best)) {
+          best = v;
+          bestGain = gain;
+          haveBest = true;
+        }
+      }
+      picked[best] = true;
+      round.push_back(best);
+      for (NodeId c : g.children(best)) --pendingAfter[c];
+    }
+    for (NodeId v : round) (void)tracker.execute(v);
+    executed += round.size();
+    out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+namespace {
+
+struct BatchMaskDag {
+  std::size_t n = 0;
+  std::vector<std::uint64_t> parentMask;
+
+  explicit BatchMaskDag(const Dag& g) : n(g.numNodes()), parentMask(g.numNodes(), 0) {
+    if (n > 64) throw std::invalid_argument("batch oracle: dag has more than 64 nodes");
+    for (NodeId v = 0; v < n; ++v)
+      for (NodeId q : g.parents(v)) parentMask[v] |= (std::uint64_t{1} << q);
+  }
+
+  [[nodiscard]] std::uint64_t eligibleMask(std::uint64_t mask) const {
+    std::uint64_t out = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      if (!(mask & bit) && (parentMask[v] & ~mask) == 0) out |= bit;
+    }
+    return out;
+  }
+};
+
+/// Enumerates all k-subsets of the set bits of \p pool, invoking fn(subset).
+template <typename Fn>
+void forEachSubset(std::uint64_t pool, std::size_t k, Fn&& fn) {
+  std::vector<std::uint64_t> bits;
+  for (std::uint64_t m = pool; m != 0; m &= m - 1) bits.push_back(m & (~m + 1));
+  std::vector<std::size_t> idx(k);
+  // Standard combination enumeration over bits.size() choose k.
+  if (k > bits.size()) return;
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    std::uint64_t subset = 0;
+    for (std::size_t i = 0; i < k; ++i) subset |= bits[idx[i]];
+    fn(subset);
+    // advance
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + bits.size() - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        i = SIZE_MAX;
+        break;
+      }
+    }
+    if (i != SIZE_MAX) break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> maxBatchEligibleProfile(const Dag& g, std::size_t p,
+                                                 std::size_t idealCap) {
+  if (p == 0) throw std::invalid_argument("maxBatchEligibleProfile: batch size must be >= 1");
+  const BatchMaskDag md(g);
+  if (md.n == 0) return {0};
+  std::vector<std::size_t> best{g.sources().size()};
+  const std::uint64_t full = md.n == 64 ? ~std::uint64_t{0}
+                                        : ((std::uint64_t{1} << md.n) - 1);
+  // Deduplication must be per round: round sizes are min(p, #ELIGIBLE), so
+  // the same executed-set can be reached after different round counts.
+  std::unordered_set<std::uint64_t> frontier{0};
+  std::size_t statesVisited = 1;
+  for (;;) {
+    std::unordered_set<std::uint64_t> next;
+    std::size_t roundBest = 0;
+    bool anyIncomplete = false;
+    for (std::uint64_t mask : frontier) {
+      if (mask == full) continue;  // this branch already finished
+      anyIncomplete = true;
+      const std::uint64_t elig = md.eligibleMask(mask);
+      const std::size_t take = std::min<std::size_t>(
+          p, static_cast<std::size_t>(std::popcount(elig)));
+      forEachSubset(elig, take, [&](std::uint64_t subset) {
+        const std::uint64_t nm = mask | subset;
+        const std::size_t after =
+            static_cast<std::size_t>(std::popcount(md.eligibleMask(nm)));
+        roundBest = std::max(roundBest, after);
+        if (next.insert(nm).second) {
+          if (++statesVisited > idealCap) {
+            throw std::runtime_error("batch oracle: ideal cap exceeded");
+          }
+        }
+      });
+    }
+    if (!anyIncomplete) break;
+    best.push_back(roundBest);
+    frontier = std::move(next);
+  }
+  return best;
+}
+
+namespace {
+
+/// Dead-state memo: mask -> bitset of round indices proven dead (a mask can
+/// legitimately recur at different round indices; round index < 64 always,
+/// since every round executes at least one task).
+using DeadMap = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+bool findBatchPath(const BatchMaskDag& md, std::size_t p, const std::vector<std::size_t>& best,
+                   std::uint64_t mask, std::size_t round, DeadMap& dead,
+                   std::vector<std::vector<NodeId>>& rounds, std::size_t idealCap) {
+  const std::uint64_t full =
+      md.n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << md.n) - 1);
+  if (mask == full) return true;
+  const std::uint64_t roundBit = std::uint64_t{1} << round;
+  if (auto it = dead.find(mask); it != dead.end() && (it->second & roundBit)) return false;
+  const std::uint64_t elig = md.eligibleMask(mask);
+  const std::size_t take =
+      std::min<std::size_t>(p, static_cast<std::size_t>(std::popcount(elig)));
+  bool found = false;
+  forEachSubset(elig, take, [&](std::uint64_t subset) {
+    if (found) return;
+    const std::uint64_t nm = mask | subset;
+    // A transition that completes the dag always ends the schedule
+    // successfully; otherwise the round must hit the per-round maximum.
+    if (nm != full &&
+        (round + 1 >= best.size() ||
+         static_cast<std::size_t>(std::popcount(md.eligibleMask(nm))) != best[round + 1])) {
+      return;
+    }
+    std::vector<NodeId> roundNodes;
+    for (std::uint64_t m = subset; m != 0; m &= m - 1) {
+      roundNodes.push_back(static_cast<NodeId>(std::countr_zero(m)));
+    }
+    rounds.push_back(std::move(roundNodes));
+    if (findBatchPath(md, p, best, nm, round + 1, dead, rounds, idealCap)) {
+      found = true;
+      return;
+    }
+    rounds.pop_back();
+  });
+  if (!found) {
+    dead[mask] |= roundBit;
+    if (dead.size() > idealCap) {
+      throw std::runtime_error("batch oracle: ideal cap exceeded in schedule search");
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+bool perRoundMaximaAchievable(const Dag& g, std::size_t p, std::size_t idealCap) {
+  const BatchMaskDag md(g);
+  if (md.n == 0) return true;
+  const std::vector<std::size_t> best = maxBatchEligibleProfile(g, p, idealCap);
+  DeadMap dead;
+  std::vector<std::vector<NodeId>> rounds;
+  return findBatchPath(md, p, best, 0, 0, dead, rounds, idealCap);
+}
+
+BatchSchedule lexOptimalBatchSchedule(const Dag& g, std::size_t p, std::size_t idealCap) {
+  if (p == 0) throw std::invalid_argument("lexOptimalBatchSchedule: batch size must be >= 1");
+  const BatchMaskDag md(g);
+  if (md.n == 0) return BatchSchedule{};
+  const std::uint64_t full =
+      md.n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << md.n) - 1);
+
+  // Frontier of lexicographically-best prefixes, one entry per executed-set
+  // (all frontier members share the identical best E sequence so far, so
+  // any predecessor works for reconstruction).
+  struct Step {
+    std::uint64_t pred;
+    std::uint64_t subset;
+  };
+  std::vector<std::unordered_map<std::uint64_t, Step>> trail;  // per round
+  std::unordered_set<std::uint64_t> frontier{0};
+  std::size_t statesVisited = 1;
+  while (!frontier.contains(full) || frontier.size() > 1) {
+    std::unordered_map<std::uint64_t, Step> roundTrail;
+    std::size_t roundBest = 0;
+    bool first = true;
+    for (std::uint64_t mask : frontier) {
+      if (mask == full) continue;  // padded-zero tail loses to any E > 0
+      const std::uint64_t elig = md.eligibleMask(mask);
+      const std::size_t take =
+          std::min<std::size_t>(p, static_cast<std::size_t>(std::popcount(elig)));
+      forEachSubset(elig, take, [&](std::uint64_t subset) {
+        const std::uint64_t nm = mask | subset;
+        const std::size_t after =
+            static_cast<std::size_t>(std::popcount(md.eligibleMask(nm)));
+        if (first || after > roundBest) {
+          roundBest = after;
+          roundTrail.clear();
+          first = false;
+        }
+        if (after == roundBest) {
+          if (roundTrail.try_emplace(nm, Step{mask, subset}).second) {
+            if (++statesVisited > idealCap) {
+              throw std::runtime_error("lexOptimalBatchSchedule: ideal cap exceeded");
+            }
+          }
+        }
+      });
+    }
+    if (roundTrail.empty()) {
+      // Only completed branches remain; the lone survivor is `full`.
+      break;
+    }
+    frontier.clear();
+    for (const auto& [mask, step] : roundTrail) frontier.insert(mask);
+    trail.push_back(std::move(roundTrail));
+  }
+
+  // Reconstruct the winning schedule backward from the full set.
+  BatchSchedule out;
+  out.rounds.resize(trail.size());
+  std::uint64_t cur = full;
+  for (std::size_t r = trail.size(); r-- > 0;) {
+    const Step step = trail[r].at(cur);
+    for (std::uint64_t m = step.subset; m != 0; m &= m - 1) {
+      out.rounds[r].push_back(static_cast<NodeId>(std::countr_zero(m)));
+    }
+    cur = step.pred;
+  }
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,80 @@
+#pragma once
+/// \file batch_schedule.hpp
+/// \brief Batched IC scheduling, after [20] (Malewicz & Rosenberg,
+/// Euro-Par 2005), described in the paper's Related Work and pursued as an
+/// "orthogonal regimen": the server allocates *batches* of tasks
+/// periodically rather than individual tasks as they become ELIGIBLE.
+///
+/// A p-batch schedule partitions an execution into rounds of (up to) p
+/// tasks; all tasks of a round must be ELIGIBLE at the round's start
+/// (they are executed concurrently, so a task cannot depend on a roundmate).
+/// Quality is the number of ELIGIBLE tasks after each round -- the batched
+/// analogue of the paper's step-wise measure. Within this framework an
+/// optimal schedule always exists, but computing one may be prohibitively
+/// expensive ([20]); we provide the exact optimum (exponential, for small
+/// dags) and a greedy heuristic, so the trade-off is measurable.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// A batched schedule: rounds of node-sets. Valid when every round's tasks
+/// are pairwise independent and ELIGIBLE given all earlier rounds, and all
+/// nodes are covered exactly once.
+struct BatchSchedule {
+  std::vector<std::vector<NodeId>> rounds;
+
+  [[nodiscard]] std::size_t numRounds() const { return rounds.size(); }
+};
+
+/// True iff \p b is a valid batched execution of \p g with batch size <= p.
+[[nodiscard]] bool isValidBatchSchedule(const Dag& g, const BatchSchedule& b, std::size_t p);
+
+/// profile[r] = number of ELIGIBLE nodes after the first r rounds
+/// (r = 0..numRounds). \throws std::invalid_argument if invalid.
+[[nodiscard]] std::vector<std::size_t> batchEligibilityProfile(const Dag& g,
+                                                               const BatchSchedule& b,
+                                                               std::size_t p);
+
+/// Slices a step-wise schedule into batches of \p p: round r takes the next
+/// <= p tasks of the order *that are ELIGIBLE at the round's start*; tasks
+/// that depend on roundmates are deferred to a later round. Always valid.
+[[nodiscard]] BatchSchedule sliceIntoBatches(const Dag& g, const Schedule& s, std::size_t p);
+
+/// Greedy heuristic: each round executes up to p ELIGIBLE tasks chosen to
+/// maximize the number of ELIGIBLE tasks after the round, one pick at a
+/// time (each pick maximizes the marginal newly-ELIGIBLE count, ties to the
+/// smaller id).
+[[nodiscard]] BatchSchedule greedyBatchSchedule(const Dag& g, std::size_t p);
+
+/// Per-round upper bound: result[r] = the maximum ELIGIBLE count after
+/// round r achievable by *any* p-batch schedule (maximized independently
+/// per round, over all schedules alive at that round) -- computed by
+/// exhaustive search over ideals (dags of <= 64 nodes; cap as in the
+/// step-wise oracle). NOTE: these maxima need not be simultaneously
+/// achievable (rounds have size min(p, #ELIGIBLE), so branches' round
+/// counts diverge); see perRoundMaximaAchievable.
+[[nodiscard]] std::vector<std::size_t> maxBatchEligibleProfile(const Dag& g, std::size_t p,
+                                                               std::size_t idealCap = 20'000'000);
+
+/// True iff a single schedule attains maxBatchEligibleProfile at every one
+/// of its rounds (the batched analogue of IC-optimality in the strict,
+/// step-wise sense).
+[[nodiscard]] bool perRoundMaximaAchievable(const Dag& g, std::size_t p,
+                                            std::size_t idealCap = 20'000'000);
+
+/// The batched framework's always-existing optimum ([20]: "Optimality is
+/// always possible within the batched framework, but achieving it may
+/// entail a prohibitively complex computation"): the schedule whose
+/// round-profile is LEXICOGRAPHICALLY maximal -- E after round 1 first,
+/// then round 2, and so on (profiles padded with zeros past a schedule's
+/// end). Exhaustive over ideals; exponential by design.
+[[nodiscard]] BatchSchedule lexOptimalBatchSchedule(const Dag& g, std::size_t p,
+                                                    std::size_t idealCap = 20'000'000);
+
+}  // namespace icsched

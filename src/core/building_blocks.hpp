@@ -1,0 +1,60 @@
+#pragma once
+/// \file building_blocks.hpp
+/// \brief The repertoire of base dags the paper composes (Sections 3-7).
+///
+/// Every constructor returns a ScheduledDag: the dag together with an
+/// IC-optimal, nonsinks-first schedule for it (verified exhaustively in the
+/// test suite). Node-id conventions are documented per block; sources always
+/// precede sinks in id order.
+///
+/// Naming note: the paper draws computations with sources at the bottom
+/// (cf. Fig 2, "the out-tree at the left-bottom"), so the Latin-letter names
+/// W and M refer to that orientation. Our conventions, consistent with the
+/// paper's use of W-dags in the out-mesh decomposition (Fig 6, blocks with
+/// increasing numbers of sources):
+///   W_s : s sources, s+1 sinks; source i -> sinks i and i+1. W_1 = Vee.
+///   M_s : s sources, s-1 sinks; source i -> sinks i-1 and i.  M_2 = Lambda.
+/// (M_s is isomorphic to dual(W_{s-1}).)
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// The d-prong Vee dag (Fig 1 left; Fig 14 for d = 3): one source (id 0,
+/// label "w"), d sinks (ids 1..d, labels "x0".."x{d-1}").
+/// Every schedule of a Vee is IC-optimal.
+[[nodiscard]] ScheduledDag vee(std::size_t d = 2);
+
+/// The d-prong Lambda dag (Fig 1 right): d sources (ids 0..d-1, labels
+/// "y0".."y{d-1}"), one sink (id d, label "z"). Dual to vee(d).
+[[nodiscard]] ScheduledDag lambda(std::size_t d = 2);
+
+/// The s-source W-dag: sources 0..s-1, sinks s..2s (sink j has id s+j);
+/// source i has arcs to sinks j = i and j = i+1. The IC-optimal schedule
+/// executes the sources consecutively left to right ([21]).
+[[nodiscard]] ScheduledDag wdag(std::size_t s);
+
+/// The s-source M-dag: sources 0..s-1, sinks s..2s-2 (sink j has id s+j);
+/// sink j has parents i = j and i = j+1. Requires s >= 2.
+[[nodiscard]] ScheduledDag mdag(std::size_t s);
+
+/// The s-source N-dag of Section 6.1: sources 0..s-1, sinks s..2s-1 (sink j
+/// has id s+j); its 2s-1 arcs connect source v to sink v, and to sink v+1
+/// when the latter exists. Source 0 is the *anchor*: its child sink 0 has no
+/// other parents. The IC-optimal schedule executes the sources sequentially
+/// starting with the anchor ([21]).
+[[nodiscard]] ScheduledDag ndag(std::size_t s);
+
+/// The s-source bipartite cycle-dag of Section 7.2: obtained from ndag(s) by
+/// adding an arc from the rightmost source to the leftmost sink, so source v
+/// has arcs to sinks v and (v+1) mod s. Requires s >= 2. The IC-optimal
+/// schedule executes the sources consecutively around the cycle.
+[[nodiscard]] ScheduledDag cycleDag(std::size_t s);
+
+/// The butterfly building block B of Fig 8: sources x0, x1 (ids 0, 1) each
+/// with arcs to both sinks y0, y1 (ids 2, 3). Isomorphic to cycleDag(2).
+[[nodiscard]] ScheduledDag butterflyBlock();
+
+}  // namespace icsched

@@ -1,0 +1,82 @@
+#include "core/composition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace icsched {
+
+Composition compose(const Dag& a, const Dag& b, const std::vector<MergePair>& pairs) {
+  std::vector<bool> mergedSinkA(a.numNodes(), false);
+  std::vector<bool> mergedSourceB(b.numNodes(), false);
+  for (const MergePair& p : pairs) {
+    if (p.sinkOfA >= a.numNodes() || !a.isSink(p.sinkOfA)) {
+      throw std::invalid_argument("compose: node " + std::to_string(p.sinkOfA) +
+                                  " is not a sink of the first operand");
+    }
+    if (p.sourceOfB >= b.numNodes() || !b.isSource(p.sourceOfB)) {
+      throw std::invalid_argument("compose: node " + std::to_string(p.sourceOfB) +
+                                  " is not a source of the second operand");
+    }
+    if (mergedSinkA[p.sinkOfA]) {
+      throw std::invalid_argument("compose: sink " + std::to_string(p.sinkOfA) +
+                                  " merged twice");
+    }
+    if (mergedSourceB[p.sourceOfB]) {
+      throw std::invalid_argument("compose: source " + std::to_string(p.sourceOfB) +
+                                  " merged twice");
+    }
+    mergedSinkA[p.sinkOfA] = true;
+    mergedSourceB[p.sourceOfB] = true;
+  }
+
+  Composition out;
+  out.mapA.resize(a.numNodes());
+  out.mapB.resize(b.numNodes());
+
+  // Allocate composite ids: all of a's nodes keep their ids; b's unmerged
+  // nodes follow; merged b-sources alias the a-sink they merge with.
+  for (NodeId v = 0; v < a.numNodes(); ++v) out.mapA[v] = v;
+  NodeId next = static_cast<NodeId>(a.numNodes());
+  for (NodeId v = 0; v < b.numNodes(); ++v) {
+    if (!mergedSourceB[v]) out.mapB[v] = next++;
+  }
+  for (const MergePair& p : pairs) out.mapB[p.sourceOfB] = out.mapA[p.sinkOfA];
+
+  Dag g(next);
+  for (NodeId u = 0; u < a.numNodes(); ++u) {
+    g.setLabel(out.mapA[u], a.label(u));
+    for (NodeId v : a.children(u)) g.addArc(out.mapA[u], out.mapA[v]);
+  }
+  for (NodeId u = 0; u < b.numNodes(); ++u) {
+    // A merged node keeps the first operand's label (the tasks coincide).
+    if (!mergedSourceB[u]) g.setLabel(out.mapB[u], b.label(u));
+    for (NodeId v : b.children(u)) g.addArc(out.mapB[u], out.mapB[v]);
+  }
+  out.dag = std::move(g);
+  return out;
+}
+
+std::vector<MergePair> zipSinksToSources(const Dag& a, const Dag& b, std::size_t count) {
+  const std::vector<NodeId> sinks = a.sinks();
+  const std::vector<NodeId> sources = b.sources();
+  if (count > sinks.size() || count > sources.size()) {
+    throw std::invalid_argument("zipSinksToSources: count exceeds available sinks/sources");
+  }
+  std::vector<MergePair> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) pairs.push_back({sinks[i], sources[i]});
+  return pairs;
+}
+
+Composition composeFullMerge(const Dag& a, const Dag& b) {
+  const std::size_t ns = a.sinks().size();
+  if (ns != b.sources().size()) {
+    throw std::invalid_argument(
+        "composeFullMerge: sink count (" + std::to_string(ns) +
+        ") != source count (" + std::to_string(b.sources().size()) + ")");
+  }
+  return compose(a, b, zipSinksToSources(a, b, ns));
+}
+
+}  // namespace icsched

@@ -1,0 +1,47 @@
+#pragma once
+/// \file composition.hpp
+/// \brief The dag-composition operation ⇑ of Section 2.3.1.
+///
+/// G = G1 ⇑ G2 is built by taking the sum G1 + G2, selecting a set S1 of
+/// sinks of G1 and an equal-size set S2 of sources of G2, and pairwise
+/// merging them. The merged node inherits the G1 sink's parents and the G2
+/// source's children.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace icsched {
+
+/// A pair (sink of G1, source of G2) to be merged by compose().
+struct MergePair {
+  NodeId sinkOfA;
+  NodeId sourceOfB;
+};
+
+/// Result of a composition: the composite dag plus maps from the node ids of
+/// each operand to composite ids. Merged nodes satisfy
+/// mapA[p.sinkOfA] == mapB[p.sourceOfB].
+struct Composition {
+  Dag dag;
+  std::vector<NodeId> mapA;  ///< operand-A node id -> composite id
+  std::vector<NodeId> mapB;  ///< operand-B node id -> composite id
+};
+
+/// Composes \p a and \p b, merging the given (sink of a, source of b) pairs.
+/// \throws std::invalid_argument if a pair names a non-sink of \p a or a
+///         non-source of \p b, or repeats a node.
+[[nodiscard]] Composition compose(const Dag& a, const Dag& b,
+                                  const std::vector<MergePair>& pairs);
+
+/// Convenience: merges *all* sinks of \p a with *all* sources of \p b, in
+/// increasing-id order on both sides. Requires equal counts.
+[[nodiscard]] Composition composeFullMerge(const Dag& a, const Dag& b);
+
+/// Pairs formed by zipping a's sinks and b's sources in increasing-id order,
+/// truncated to the shorter list. Useful for partial merges.
+[[nodiscard]] std::vector<MergePair> zipSinksToSources(const Dag& a, const Dag& b,
+                                                       std::size_t count);
+
+}  // namespace icsched

@@ -1,0 +1,213 @@
+#include "core/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace icsched {
+
+Dag::Dag(std::size_t n) : children_(n), parents_(n), labels_(n) {}
+
+Dag::Dag(std::size_t n, const std::vector<Arc>& arcs) : Dag(n) {
+  for (const Arc& a : arcs) addArc(a.from, a.to);
+}
+
+NodeId Dag::addNode() {
+  children_.emplace_back();
+  parents_.emplace_back();
+  labels_.emplace_back();
+  return static_cast<NodeId>(children_.size() - 1);
+}
+
+NodeId Dag::addNodes(std::size_t k) {
+  const NodeId first = static_cast<NodeId>(children_.size());
+  for (std::size_t i = 0; i < k; ++i) addNode();
+  return first;
+}
+
+void Dag::checkNode(NodeId v) const {
+  if (v >= children_.size()) {
+    throw std::invalid_argument("Dag: node id " + std::to_string(v) +
+                                " out of range (numNodes=" +
+                                std::to_string(children_.size()) + ")");
+  }
+}
+
+void Dag::addArc(NodeId from, NodeId to) {
+  checkNode(from);
+  checkNode(to);
+  if (from == to) throw std::invalid_argument("Dag: self-loop on node " + std::to_string(from));
+  if (hasArc(from, to)) {
+    throw std::invalid_argument("Dag: duplicate arc (" + std::to_string(from) +
+                                " -> " + std::to_string(to) + ")");
+  }
+  children_[from].push_back(to);
+  parents_[to].push_back(from);
+  ++numArcs_;
+}
+
+bool Dag::hasArc(NodeId from, NodeId to) const {
+  checkNode(from);
+  checkNode(to);
+  const auto& cs = children_[from];
+  return std::find(cs.begin(), cs.end(), to) != cs.end();
+}
+
+std::span<const NodeId> Dag::children(NodeId u) const {
+  checkNode(u);
+  return children_[u];
+}
+
+std::span<const NodeId> Dag::parents(NodeId v) const {
+  checkNode(v);
+  return parents_[v];
+}
+
+std::vector<NodeId> Dag::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < numNodes(); ++v)
+    if (isSource(v)) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> Dag::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < numNodes(); ++v)
+    if (isSink(v)) out.push_back(v);
+  return out;
+}
+
+std::size_t Dag::numNonsinks() const {
+  std::size_t n = 0;
+  for (NodeId v = 0; v < numNodes(); ++v)
+    if (!isSink(v)) ++n;
+  return n;
+}
+
+std::size_t Dag::numNonsources() const {
+  std::size_t n = 0;
+  for (NodeId v = 0; v < numNodes(); ++v)
+    if (!isSource(v)) ++n;
+  return n;
+}
+
+std::vector<NodeId> Dag::topologicalOrder() const {
+  std::vector<std::size_t> remaining(numNodes());
+  std::queue<NodeId> ready;
+  for (NodeId v = 0; v < numNodes(); ++v) {
+    remaining[v] = inDegree(v);
+    if (remaining[v] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(numNodes());
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId c : children(v)) {
+      if (--remaining[c] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != numNodes()) throw std::logic_error("Dag: graph has a directed cycle");
+  return order;
+}
+
+bool Dag::isAcyclic() const {
+  try {
+    (void)topologicalOrder();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void Dag::validateAcyclic() const { (void)topologicalOrder(); }
+
+bool Dag::isConnected() const {
+  if (numNodes() == 0) return true;
+  std::vector<bool> seen(numNodes(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    auto visit = [&](NodeId w) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    };
+    for (NodeId c : children(v)) visit(c);
+    for (NodeId p : parents(v)) visit(p);
+  }
+  return count == numNodes();
+}
+
+void Dag::setLabel(NodeId v, std::string label) {
+  checkNode(v);
+  labels_[v] = std::move(label);
+}
+
+std::string Dag::label(NodeId v) const {
+  checkNode(v);
+  return labels_[v].empty() ? std::to_string(v) : labels_[v];
+}
+
+std::vector<Arc> Dag::arcs() const {
+  std::vector<Arc> out;
+  out.reserve(numArcs_);
+  for (NodeId u = 0; u < numNodes(); ++u)
+    for (NodeId v : children(u)) out.push_back(Arc{u, v});
+  return out;
+}
+
+std::string Dag::toDot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (NodeId v = 0; v < numNodes(); ++v)
+    os << "  n" << v << " [label=\"" << label(v) << "\"];\n";
+  for (NodeId u = 0; u < numNodes(); ++u)
+    for (NodeId v : children(u)) os << "  n" << u << " -> n" << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool operator==(const Dag& a, const Dag& b) {
+  if (a.numNodes() != b.numNodes() || a.numArcs() != b.numArcs()) return false;
+  for (NodeId u = 0; u < a.numNodes(); ++u) {
+    std::vector<NodeId> ca(a.children_[u]);
+    std::vector<NodeId> cb(b.children_[u]);
+    std::sort(ca.begin(), ca.end());
+    std::sort(cb.begin(), cb.end());
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+Dag dual(const Dag& g) {
+  Dag d(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) d.addArc(v, u);
+    d.setLabel(u, g.label(u));
+  }
+  return d;
+}
+
+Dag sum(const Dag& a, const Dag& b) {
+  Dag s(a.numNodes() + b.numNodes());
+  const NodeId off = static_cast<NodeId>(a.numNodes());
+  for (NodeId u = 0; u < a.numNodes(); ++u) {
+    s.setLabel(u, a.label(u));
+    for (NodeId v : a.children(u)) s.addArc(u, v);
+  }
+  for (NodeId u = 0; u < b.numNodes(); ++u) {
+    s.setLabel(off + u, b.label(u));
+    for (NodeId v : b.children(u)) s.addArc(off + u, off + v);
+  }
+  return s;
+}
+
+}  // namespace icsched

@@ -1,0 +1,135 @@
+#pragma once
+/// \file dag.hpp
+/// \brief Computation-dag representation used throughout IC-Scheduling Theory.
+///
+/// A dag models a computation per Section 2.1 of the paper: nodes are tasks,
+/// an arc (u -> v) means task v cannot be executed until task u has been.
+/// The representation is id-dense (nodes are 0..numNodes()-1) with adjacency
+/// stored per node, so all structural queries are O(1) or O(degree).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace icsched {
+
+/// Dense node identifier. Nodes of a dag with n nodes are exactly 0..n-1.
+using NodeId = std::uint32_t;
+
+/// A directed arc (u -> v): v depends on u.
+struct Arc {
+  NodeId from;
+  NodeId to;
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// A computation-dag (Section 2.1).
+///
+/// Invariants maintained by the class:
+///  - node ids are dense: 0..numNodes()-1;
+///  - no self-loops and no duplicate arcs (addArc rejects both);
+///  - acyclicity is *checked on demand* via validateAcyclic() / isAcyclic();
+///    construction helpers in the library only ever build acyclic graphs.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Creates a dag with \p n isolated nodes and no arcs.
+  explicit Dag(std::size_t n);
+
+  /// Creates a dag with \p n nodes and the given arcs.
+  /// \throws std::invalid_argument on out-of-range endpoints, self-loops,
+  ///         or duplicate arcs.
+  Dag(std::size_t n, const std::vector<Arc>& arcs);
+
+  /// Appends a new isolated node; returns its id.
+  NodeId addNode();
+
+  /// Appends \p k new isolated nodes; returns the id of the first.
+  NodeId addNodes(std::size_t k);
+
+  /// Adds the arc (from -> to).
+  /// \throws std::invalid_argument on out-of-range ids, self-loop, or
+  ///         duplicate arc.
+  void addArc(NodeId from, NodeId to);
+
+  /// True if the arc (from -> to) is present.
+  [[nodiscard]] bool hasArc(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t numNodes() const { return children_.size(); }
+  [[nodiscard]] std::size_t numArcs() const { return numArcs_; }
+
+  /// The children of \p u (nodes v with an arc u -> v), in insertion order.
+  [[nodiscard]] std::span<const NodeId> children(NodeId u) const;
+
+  /// The parents of \p v (nodes u with an arc u -> v), in insertion order.
+  [[nodiscard]] std::span<const NodeId> parents(NodeId v) const;
+
+  [[nodiscard]] std::size_t outDegree(NodeId u) const { return children(u).size(); }
+  [[nodiscard]] std::size_t inDegree(NodeId v) const { return parents(v).size(); }
+
+  /// A source is a parentless node (always ELIGIBLE at the start).
+  [[nodiscard]] bool isSource(NodeId v) const { return inDegree(v) == 0; }
+
+  /// A sink is a childless node.
+  [[nodiscard]] bool isSink(NodeId v) const { return outDegree(v) == 0; }
+
+  /// All sources, in increasing id order.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+
+  /// All sinks, in increasing id order.
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// Number of nonsink nodes (the "n_i" of the priority relation (2.1)).
+  [[nodiscard]] std::size_t numNonsinks() const;
+
+  /// Number of nonsource nodes (the "N" of Section 2.3.2).
+  [[nodiscard]] std::size_t numNonsources() const;
+
+  /// True if the graph (with arcs added so far) has no directed cycle.
+  [[nodiscard]] bool isAcyclic() const;
+
+  /// \throws std::logic_error if the graph has a directed cycle.
+  void validateAcyclic() const;
+
+  /// True if the dag is connected when arc orientations are ignored
+  /// (Section 2.1). The empty dag is vacuously connected.
+  [[nodiscard]] bool isConnected() const;
+
+  /// A topological order of all nodes (sources first).
+  /// \throws std::logic_error if the graph is cyclic.
+  [[nodiscard]] std::vector<NodeId> topologicalOrder() const;
+
+  /// Optional human-readable node label (used by figure benches and dot
+  /// export). Defaults to the decimal id.
+  void setLabel(NodeId v, std::string label);
+  [[nodiscard]] std::string label(NodeId v) const;
+
+  /// All arcs in (from, then insertion) order.
+  [[nodiscard]] std::vector<Arc> arcs() const;
+
+  /// GraphViz dot rendering, for debugging and documentation.
+  [[nodiscard]] std::string toDot(const std::string& name = "G") const;
+
+  friend bool operator==(const Dag& a, const Dag& b);
+
+ private:
+  void checkNode(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::vector<NodeId>> parents_;
+  std::vector<std::string> labels_;
+  std::size_t numArcs_ = 0;
+};
+
+/// The dual dag: all arcs reversed, sources and sinks interchanged
+/// (Section 2.3.2). Node ids and labels are preserved.
+[[nodiscard]] Dag dual(const Dag& g);
+
+/// The sum G1 + G2: disjoint union. Nodes of \p b are renumbered by adding
+/// a.numNodes(); the offset is a.numNodes().
+[[nodiscard]] Dag sum(const Dag& a, const Dag& b);
+
+}  // namespace icsched

@@ -1,0 +1,50 @@
+#include "core/duality.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/eligibility.hpp"
+
+namespace icsched {
+
+Schedule dualSchedule(const Dag& g, const Schedule& s) {
+  const std::vector<std::vector<NodeId>> packets = packetDecomposition(g, s);
+  std::vector<NodeId> order;
+  order.reserve(g.numNodes());
+  // Dual's nonsinks are g's nonsources; emit packets in reverse order.
+  for (auto it = packets.rbegin(); it != packets.rend(); ++it)
+    for (NodeId v : *it) order.push_back(v);
+  // Dual's sinks are g's sources; append in increasing id order.
+  for (NodeId v = 0; v < g.numNodes(); ++v)
+    if (g.isSource(v)) order.push_back(v);
+  Schedule out{std::move(order)};
+  out.validate(dual(g));
+  return out;
+}
+
+ScheduledDag dualScheduledDag(const ScheduledDag& g) {
+  return ScheduledDag{dual(g.dag), dualSchedule(g.dag, g.schedule)};
+}
+
+bool isDualScheduleOf(const Dag& g, const Schedule& s, const Schedule& t) {
+  const Dag d = dual(g);
+  if (!t.isValidFor(d)) return false;
+  const std::vector<std::vector<NodeId>> packets = packetDecomposition(g, s);
+  std::size_t pos = 0;
+  const std::vector<NodeId>& order = t.order();
+  for (auto it = packets.rbegin(); it != packets.rend(); ++it) {
+    std::vector<NodeId> expect(*it);
+    std::vector<NodeId> got(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                            order.begin() + static_cast<std::ptrdiff_t>(pos + expect.size()));
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    if (expect != got) return false;
+    pos += expect.size();
+  }
+  // Remaining entries must all be sinks of the dual (= sources of g).
+  for (; pos < order.size(); ++pos)
+    if (!g.isSource(order[pos])) return false;
+  return true;
+}
+
+}  // namespace icsched

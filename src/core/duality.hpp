@@ -1,0 +1,35 @@
+#pragma once
+/// \file duality.hpp
+/// \brief Duality-based scheduling tools (Section 2.3.2).
+///
+/// The dual of a dag G reverses every arc, interchanging sources and sinks.
+/// Theorem 2.2 ([9]): if Σ is IC-optimal for G, any schedule for dual(G)
+/// that is *dual to* Σ is IC-optimal for dual(G). A dual schedule executes
+/// dual(G)'s nonsinks (= G's nonsources) packet by packet, in the *reverse*
+/// of the order in which Σ's nonsink executions rendered those packets
+/// ELIGIBLE; the order within a packet is arbitrary.
+///
+/// Theorem 2.3 ([9]): G1 ▷ G2 iff dual(G2) ▷ dual(G1).
+
+#include "core/dag.hpp"
+#include "core/priority.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Constructs a schedule for dual(\p g) that is dual to \p s (one of the
+/// generally-many such schedules: within each packet, nodes are taken in
+/// increasing id order; trailing sinks of the dual likewise).
+/// \p s must be a valid, nonsinks-first schedule for \p g.
+[[nodiscard]] Schedule dualSchedule(const Dag& g, const Schedule& s);
+
+/// Convenience: {dual(g.dag), dualSchedule(g.dag, g.schedule)}. By Theorem
+/// 2.2 the result's schedule is IC-optimal whenever the input's is.
+[[nodiscard]] ScheduledDag dualScheduledDag(const ScheduledDag& g);
+
+/// True iff \p t is dual to \p s on dual(\p g): i.e. t executes the packets
+/// of (g, s) as contiguous runs in reverse packet order (any permutation
+/// within a packet), followed by dual(g)'s sinks.
+[[nodiscard]] bool isDualScheduleOf(const Dag& g, const Schedule& s, const Schedule& t);
+
+}  // namespace icsched

@@ -1,0 +1,102 @@
+#include "core/eligibility.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace icsched {
+
+EligibilityTracker::EligibilityTracker(const Dag& g) : g_(&g) { reset(); }
+
+void EligibilityTracker::reset() {
+  const std::size_t n = g_->numNodes();
+  pendingParents_.assign(n, 0);
+  eligible_.assign(n, false);
+  executed_.assign(n, false);
+  eligibleCount_ = 0;
+  executedCount_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    pendingParents_[v] = g_->inDegree(v);
+    if (pendingParents_[v] == 0) {
+      eligible_[v] = true;
+      ++eligibleCount_;
+    }
+  }
+}
+
+std::vector<NodeId> EligibilityTracker::eligibleNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(eligibleCount_);
+  for (NodeId v = 0; v < g_->numNodes(); ++v)
+    if (eligible_[v]) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> EligibilityTracker::execute(NodeId v) {
+  if (v >= g_->numNodes() || !eligible_[v]) {
+    throw std::logic_error("EligibilityTracker: node " + std::to_string(v) +
+                           " is not ELIGIBLE");
+  }
+  eligible_[v] = false;
+  executed_[v] = true;
+  --eligibleCount_;
+  ++executedCount_;
+  std::vector<NodeId> packet;
+  for (NodeId c : g_->children(v)) {
+    if (--pendingParents_[c] == 0) {
+      eligible_[c] = true;
+      ++eligibleCount_;
+      packet.push_back(c);
+    }
+  }
+  return packet;
+}
+
+std::vector<std::size_t> eligibilityProfile(const Dag& g, const Schedule& s) {
+  s.validate(g);
+  EligibilityTracker tracker(g);
+  std::vector<std::size_t> profile;
+  profile.reserve(g.numNodes() + 1);
+  profile.push_back(tracker.eligibleCount());
+  for (NodeId v : s.order()) {
+    tracker.execute(v);
+    profile.push_back(tracker.eligibleCount());
+  }
+  return profile;
+}
+
+std::vector<std::size_t> nonsinkEligibilityProfile(const Dag& g, const Schedule& s) {
+  s.validate(g);
+  if (!s.executesNonsinksFirst(g)) {
+    throw std::invalid_argument(
+        "nonsinkEligibilityProfile: schedule must execute nonsinks before sinks");
+  }
+  const std::vector<std::size_t> full = eligibilityProfile(g, s);
+  return {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(g.numNonsinks() + 1)};
+}
+
+std::vector<std::vector<NodeId>> packetDecomposition(const Dag& g, const Schedule& s) {
+  s.validate(g);
+  if (!s.executesNonsinksFirst(g)) {
+    throw std::invalid_argument(
+        "packetDecomposition: schedule must execute nonsinks before sinks");
+  }
+  EligibilityTracker tracker(g);
+  std::vector<std::vector<NodeId>> packets;
+  packets.reserve(g.numNonsinks());
+  for (NodeId v : s.order()) {
+    if (g.isSink(v)) break;
+    packets.push_back(tracker.execute(v));
+  }
+  return packets;
+}
+
+bool dominates(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dominates: profiles have different lengths");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] < b[i]) return false;
+  return true;
+}
+
+}  // namespace icsched

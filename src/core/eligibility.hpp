@@ -1,0 +1,78 @@
+#pragma once
+/// \file eligibility.hpp
+/// \brief The IC quality model (Section 2.2): ELIGIBLE-node profiles.
+///
+/// The quality of an execution of a dag G is measured by the number of
+/// ELIGIBLE nodes after each node-execution -- the more, the better. Time is
+/// event-driven: step t is "after t nodes have been executed". A node is
+/// ELIGIBLE when all its parents have been executed and it has not itself
+/// been executed.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Incremental ELIGIBLE-set tracker for one execution of a dag.
+///
+/// Complexity: executing all nodes costs O(V + E) total.
+class EligibilityTracker {
+ public:
+  explicit EligibilityTracker(const Dag& g);
+
+  /// Number of ELIGIBLE (unexecuted, all-parents-executed) nodes now.
+  [[nodiscard]] std::size_t eligibleCount() const { return eligibleCount_; }
+
+  [[nodiscard]] bool isEligible(NodeId v) const { return eligible_[v]; }
+  [[nodiscard]] bool isExecuted(NodeId v) const { return executed_[v]; }
+  [[nodiscard]] std::size_t executedCount() const { return executedCount_; }
+
+  /// All currently ELIGIBLE nodes, in increasing id order.
+  [[nodiscard]] std::vector<NodeId> eligibleNodes() const;
+
+  /// Executes \p v and returns the "packet" of nodes this execution rendered
+  /// ELIGIBLE (the P_j of Section 2.3.2), in increasing id order.
+  /// \throws std::logic_error if \p v is not ELIGIBLE.
+  std::vector<NodeId> execute(NodeId v);
+
+  /// Resets to the initial state (nothing executed, sources ELIGIBLE).
+  void reset();
+
+ private:
+  const Dag* g_;
+  std::vector<std::size_t> pendingParents_;
+  std::vector<bool> eligible_;
+  std::vector<bool> executed_;
+  std::size_t eligibleCount_ = 0;
+  std::size_t executedCount_ = 0;
+};
+
+/// The eligibility profile of schedule \p s on dag \p g:
+/// profile[t] = number of ELIGIBLE nodes after the first t executions,
+/// for t = 0..numNodes (so the vector has numNodes+1 entries and
+/// profile[numNodes] == 0).
+/// \throws std::invalid_argument if \p s is not a valid schedule for \p g.
+[[nodiscard]] std::vector<std::size_t> eligibilityProfile(const Dag& g, const Schedule& s);
+
+/// The profile restricted to the nonsink prefix of a nonsinks-first schedule:
+/// result[x] = number of ELIGIBLE nodes after x nonsinks executed, for
+/// x = 0..numNonsinks. This is the E(x) used by the priority relation (2.1).
+/// \throws std::invalid_argument if \p s is invalid or not nonsinks-first.
+[[nodiscard]] std::vector<std::size_t> nonsinkEligibilityProfile(const Dag& g, const Schedule& s);
+
+/// The packet decomposition of Section 2.3.2: packets[j] is the set of
+/// nonsources rendered ELIGIBLE by the (j+1)-st nonsink execution of the
+/// nonsinks-first schedule \p s (j = 0..numNonsinks-1). Every nonsource of
+/// \p g appears in exactly one packet.
+/// \throws std::invalid_argument if \p s is invalid or not nonsinks-first.
+[[nodiscard]] std::vector<std::vector<NodeId>> packetDecomposition(const Dag& g,
+                                                                   const Schedule& s);
+
+/// True when profile \p a pointwise dominates \p b (a[t] >= b[t] for all t).
+/// Profiles must have equal length.
+[[nodiscard]] bool dominates(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b);
+
+}  // namespace icsched

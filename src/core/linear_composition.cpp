@@ -1,0 +1,110 @@
+#include "core/linear_composition.hpp"
+
+#include <stdexcept>
+
+#include "core/eligibility.hpp"
+
+namespace icsched {
+
+namespace {
+
+void requireNonsinksFirst(const ScheduledDag& g) {
+  g.schedule.validate(g.dag);
+  if (!g.schedule.executesNonsinksFirst(g.dag)) {
+    throw std::invalid_argument(
+        "LinearCompositionBuilder: constituent schedule must be nonsinks-first");
+  }
+}
+
+}  // namespace
+
+LinearCompositionBuilder::LinearCompositionBuilder(const ScheduledDag& first) {
+  requireNonsinksFirst(first);
+  dag_ = first.dag;
+  std::vector<NodeId> order;
+  for (NodeId v : first.schedule.order())
+    if (!first.dag.isSink(v)) order.push_back(v);
+  constituentOrders_.push_back(std::move(order));
+  profiles_.push_back(first.nonsinkProfile());
+  constituents_.push_back(first);
+  std::vector<NodeId> map(first.dag.numNodes());
+  for (NodeId v = 0; v < first.dag.numNodes(); ++v) map[v] = v;
+  nodeMaps_.push_back(std::move(map));
+}
+
+void LinearCompositionBuilder::append(const ScheduledDag& next,
+                                      const std::vector<MergePair>& pairs) {
+  requireNonsinksFirst(next);
+  Composition c = compose(dag_, next.dag, pairs);
+  // Remap all previously recorded constituent orders and maps through mapA.
+  for (std::vector<NodeId>& order : constituentOrders_)
+    for (NodeId& v : order) v = c.mapA[v];
+  for (std::vector<NodeId>& map : nodeMaps_)
+    for (NodeId& v : map) v = c.mapA[v];
+  std::vector<NodeId> order;
+  for (NodeId v : next.schedule.order())
+    if (!next.dag.isSink(v)) order.push_back(c.mapB[v]);
+  constituentOrders_.push_back(std::move(order));
+  profiles_.push_back(next.nonsinkProfile());
+  constituents_.push_back(next);
+  nodeMaps_.push_back(c.mapB);
+  dag_ = std::move(c.dag);
+}
+
+void LinearCompositionBuilder::appendFullMerge(const ScheduledDag& next) {
+  const std::size_t ns = dag_.sinks().size();
+  if (ns != next.dag.sources().size()) {
+    throw std::invalid_argument(
+        "appendFullMerge: composite sink count != constituent source count");
+  }
+  append(next, zipSinksToSources(dag_, next.dag, ns));
+}
+
+bool LinearCompositionBuilder::verifyPriorityChain() const {
+  for (std::size_t i = 0; i + 1 < profiles_.size(); ++i)
+    if (!hasPriorityProfiles(profiles_[i], profiles_[i + 1])) return false;
+  return true;
+}
+
+ScheduledDag LinearCompositionBuilder::build() const {
+  std::vector<bool> emitted(dag_.numNodes(), false);
+  std::vector<NodeId> order;
+  order.reserve(dag_.numNodes());
+  // Phase i: composite nodes corresponding to nonsinks of G_i, in Σ_i order.
+  // (A node is a nonsink of at most one constituent: a merged node is a sink
+  // of the earlier operand, so only its later constituent may list it.)
+  for (const std::vector<NodeId>& cons : constituentOrders_) {
+    for (NodeId v : cons) {
+      if (!emitted[v]) {
+        emitted[v] = true;
+        order.push_back(v);
+      }
+    }
+  }
+  // Final phase: all remaining nodes. These are exactly the composite's
+  // sinks (every composite nonsink gets its children from some constituent,
+  // of which it is then a nonsink).
+  for (NodeId v = 0; v < dag_.numNodes(); ++v) {
+    if (!emitted[v]) {
+      if (!dag_.isSink(v)) {
+        throw std::logic_error(
+            "LinearCompositionBuilder: non-sink node not covered by any constituent");
+      }
+      order.push_back(v);
+    }
+  }
+  ScheduledDag out{dag_, Schedule(std::move(order))};
+  out.schedule.validate(out.dag);
+  return out;
+}
+
+ScheduledDag linearCompositionFullMerge(const std::vector<ScheduledDag>& chain) {
+  if (chain.empty()) {
+    throw std::invalid_argument("linearCompositionFullMerge: empty chain");
+  }
+  LinearCompositionBuilder b(chain.front());
+  for (std::size_t i = 1; i < chain.size(); ++i) b.appendFullMerge(chain[i]);
+  return b.build();
+}
+
+}  // namespace icsched

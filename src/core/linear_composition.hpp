@@ -1,0 +1,87 @@
+#pragma once
+/// \file linear_composition.hpp
+/// \brief ▷-linear compositions and the Theorem 2.1 scheduler.
+///
+/// Theorem 2.1 ([21]): if G is composite of type G1 ⇑ ... ⇑ Gk and
+/// G_i ▷ G_{i+1} for all i, then the schedule that executes, for each i in
+/// turn, the composite nodes corresponding to nonsinks of G_i in the order
+/// mandated by G_i's IC-optimal schedule Σ_i, and finally executes all sinks
+/// of G in any order, is IC-optimal for G.
+///
+/// LinearCompositionBuilder incrementally builds both the composite dag and
+/// that schedule, and can optionally verify the ▷-chain along the way.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/dag.hpp"
+#include "core/priority.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Incremental builder for a ▷-linear composition G1 ⇑ G2 ⇑ ... ⇑ Gk.
+///
+/// Usage:
+///   LinearCompositionBuilder b(g1);            // g1: ScheduledDag
+///   b.append(g2, pairs12);                     // pairs: current sinks -> g2 sources
+///   b.append(g3, pairs23);
+///   ScheduledDag composite = b.build();        // Theorem 2.1 schedule
+///
+/// The schedules of all constituents must be nonsinks-first (validated).
+/// Whether each G_i ▷ G_{i+1} actually holds is the caller's obligation
+/// (checked separately via isPriorityChain or verifyPriorityChain()); the
+/// builder records constituent profiles so the check is cheap.
+class LinearCompositionBuilder {
+ public:
+  explicit LinearCompositionBuilder(const ScheduledDag& first);
+
+  /// Composes the current composite with \p next, merging \p pairs where
+  /// MergePair::sinkOfA refers to a *current composite* sink id and
+  /// MergePair::sourceOfB to a node of \p next.
+  void append(const ScheduledDag& next, const std::vector<MergePair>& pairs);
+
+  /// As append, merging all current sinks with all of next's sources in
+  /// increasing-id order (counts must match).
+  void appendFullMerge(const ScheduledDag& next);
+
+  /// Number of constituents appended so far (including the first).
+  [[nodiscard]] std::size_t numConstituents() const { return constituents_.size(); }
+
+  /// Current composite ids of constituent \p i's nodes, indexed by the
+  /// constituent's own node ids. Stays valid (is remapped) across appends.
+  [[nodiscard]] const std::vector<NodeId>& constituentNodeMap(std::size_t i) const {
+    return nodeMaps_.at(i);
+  }
+
+  /// True iff G_i ▷ G_{i+1} for every adjacent pair of constituents, using
+  /// the constituents' own schedules. O(sum n_i^2) via cached profiles.
+  [[nodiscard]] bool verifyPriorityChain() const;
+
+  /// The current composite dag (valid at any point during construction).
+  [[nodiscard]] const Dag& dag() const { return dag_; }
+
+  /// Finalizes: returns the composite dag together with the Theorem 2.1
+  /// schedule (constituent nonsinks in Σ_i order, then all sinks).
+  [[nodiscard]] ScheduledDag build() const;
+
+ private:
+  Dag dag_;
+  /// For each constituent i: its nodes' ids in the current composite, in
+  /// the order mandated by Σ_i (full order; nonsinks filtered at build()).
+  std::vector<std::vector<NodeId>> constituentOrders_;
+  /// Nonsink eligibility profiles of the constituents, for the ▷ check.
+  std::vector<std::vector<std::size_t>> profiles_;
+  std::vector<ScheduledDag> constituents_;
+  /// nodeMaps_[i][v] = composite id of constituent i's node v.
+  std::vector<std::vector<NodeId>> nodeMaps_;
+};
+
+/// One-shot convenience: composes the chain via full sink/source merges and
+/// returns the Theorem 2.1 schedule.
+/// \throws std::invalid_argument if the chain is empty or a merge is
+///         ill-sized.
+[[nodiscard]] ScheduledDag linearCompositionFullMerge(const std::vector<ScheduledDag>& chain);
+
+}  // namespace icsched

@@ -1,0 +1,126 @@
+#include "core/optimality.hpp"
+
+#include "core/eligibility.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace icsched {
+
+namespace {
+
+struct MaskDag {
+  std::size_t n = 0;
+  std::vector<std::uint64_t> parentMask;  // parentMask[v]: bits of v's parents
+
+  explicit MaskDag(const Dag& g) : n(g.numNodes()), parentMask(g.numNodes(), 0) {
+    if (n > 64) {
+      throw std::invalid_argument(
+          "optimality oracle: dag has more than 64 nodes (" + std::to_string(n) + ")");
+    }
+    for (NodeId v = 0; v < n; ++v)
+      for (NodeId p : g.parents(v)) parentMask[v] |= (std::uint64_t{1} << p);
+  }
+
+  /// Bitmask of nodes ELIGIBLE given executed-set \p mask.
+  [[nodiscard]] std::uint64_t eligibleMask(std::uint64_t mask) const {
+    std::uint64_t out = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      if (!(mask & bit) && (parentMask[v] & ~mask) == 0) out |= bit;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> maxEligibleProfileWithStats(const Dag& g, OracleStats& stats,
+                                                     std::size_t idealCap) {
+  const MaskDag md(g);
+  const std::size_t n = md.n;
+  std::vector<std::size_t> best(n + 1, 0);
+
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<std::uint64_t> frontier{0};
+  visited.insert(0);
+  for (std::size_t t = 0; t <= n; ++t) {
+    std::vector<std::uint64_t> next;
+    for (std::uint64_t mask : frontier) {
+      const std::uint64_t elig = md.eligibleMask(mask);
+      const std::size_t count = static_cast<std::size_t>(std::popcount(elig));
+      if (count > best[t]) best[t] = count;
+      if (t == n) continue;
+      for (std::uint64_t e = elig; e != 0; e &= e - 1) {
+        const std::uint64_t bit = e & (~e + 1);
+        const std::uint64_t nm = mask | bit;
+        if (visited.insert(nm).second) {
+          if (visited.size() > idealCap) {
+            throw std::runtime_error("optimality oracle: ideal cap exceeded");
+          }
+          next.push_back(nm);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  stats.idealsVisited = visited.size();
+  stats.nodes = n;
+  return best;
+}
+
+std::vector<std::size_t> maxEligibleProfile(const Dag& g, std::size_t idealCap) {
+  OracleStats stats;
+  return maxEligibleProfileWithStats(g, stats, idealCap);
+}
+
+bool isICOptimal(const Dag& g, const Schedule& s, std::size_t idealCap) {
+  const std::vector<std::size_t> profile = eligibilityProfile(g, s);
+  const std::vector<std::size_t> best = maxEligibleProfile(g, idealCap);
+  return profile == best;
+}
+
+namespace {
+
+/// DFS for a path of ideals achieving best[t] at every step; memoizes states
+/// proven dead.
+bool findOptimalPath(const MaskDag& md, const std::vector<std::size_t>& best,
+                     std::uint64_t mask, std::size_t t,
+                     std::unordered_set<std::uint64_t>& dead, std::vector<NodeId>& path,
+                     std::size_t idealCap) {
+  if (t == md.n) return true;
+  if (dead.contains(mask)) return false;
+  const std::uint64_t elig = md.eligibleMask(mask);
+  for (std::uint64_t e = elig; e != 0; e &= e - 1) {
+    const std::uint64_t bit = e & (~e + 1);
+    const std::uint64_t nm = mask | bit;
+    if (static_cast<std::size_t>(std::popcount(md.eligibleMask(nm))) != best[t + 1]) continue;
+    path.push_back(static_cast<NodeId>(std::countr_zero(bit)));
+    if (findOptimalPath(md, best, nm, t + 1, dead, path, idealCap)) return true;
+    path.pop_back();
+  }
+  dead.insert(mask);
+  if (dead.size() > idealCap) {
+    throw std::runtime_error("optimality oracle: ideal cap exceeded in schedule search");
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Schedule> findICOptimalSchedule(const Dag& g, std::size_t idealCap) {
+  const MaskDag md(g);
+  const std::vector<std::size_t> best = maxEligibleProfile(g, idealCap);
+  std::unordered_set<std::uint64_t> dead;
+  std::vector<NodeId> path;
+  path.reserve(md.n);
+  if (!findOptimalPath(md, best, 0, 0, dead, path, idealCap)) return std::nullopt;
+  return Schedule(std::move(path));
+}
+
+bool admitsICOptimalSchedule(const Dag& g, std::size_t idealCap) {
+  return findICOptimalSchedule(g, idealCap).has_value();
+}
+
+}  // namespace icsched

@@ -1,0 +1,61 @@
+#pragma once
+/// \file optimality.hpp
+/// \brief Exhaustive IC-optimality oracle (Section 2.2).
+///
+/// A schedule Σ for G is IC-optimal when, for every step t, the number of
+/// ELIGIBLE nodes after t executions is the maximum achievable by *any*
+/// schedule. The oracle computes that per-step maximum exactly, by
+/// enumerating the order ideals (downward-closed executed-sets) of the dag
+/// poset with memoization on a node bitmask. This is exponential by design
+/// and is used to *verify* the theory's claimed schedules on dags of up to
+/// 64 nodes (practically ~10^7 ideals); large instances are covered by the
+/// theory's composition results instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Default cap on the number of distinct ideals the oracle may visit before
+/// throwing; prevents accidental state-space explosions in tests.
+inline constexpr std::size_t kDefaultIdealCap = 20'000'000;
+
+/// result[t] = max over all schedules of the number of ELIGIBLE nodes after
+/// t executions, for t = 0..numNodes.
+/// \throws std::invalid_argument if g has more than 64 nodes.
+/// \throws std::runtime_error if more than \p idealCap ideals are visited.
+[[nodiscard]] std::vector<std::size_t> maxEligibleProfile(
+    const Dag& g, std::size_t idealCap = kDefaultIdealCap);
+
+/// True iff \p s achieves maxEligibleProfile(g) at every step, i.e. Σ is
+/// IC-optimal by direct appeal to the definition.
+[[nodiscard]] bool isICOptimal(const Dag& g, const Schedule& s,
+                               std::size_t idealCap = kDefaultIdealCap);
+
+/// Searches for a schedule that attains the per-step maximum at *every*
+/// step simultaneously. Returns std::nullopt when the dag admits no
+/// IC-optimal schedule (the per-step maxima need not be simultaneously
+/// achievable; cf. [21], which shows many dags admit none).
+[[nodiscard]] std::optional<Schedule> findICOptimalSchedule(
+    const Dag& g, std::size_t idealCap = kDefaultIdealCap);
+
+/// Convenience: findICOptimalSchedule(g).has_value().
+[[nodiscard]] bool admitsICOptimalSchedule(const Dag& g,
+                                           std::size_t idealCap = kDefaultIdealCap);
+
+/// Statistics from the most informative oracle run, for the ablation bench.
+struct OracleStats {
+  std::size_t idealsVisited = 0;  ///< distinct executed-sets enumerated
+  std::size_t nodes = 0;
+};
+
+/// As maxEligibleProfile, also reporting search-space statistics.
+[[nodiscard]] std::vector<std::size_t> maxEligibleProfileWithStats(
+    const Dag& g, OracleStats& stats, std::size_t idealCap = kDefaultIdealCap);
+
+}  // namespace icsched

@@ -1,0 +1,93 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icsched {
+
+bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<std::size_t>& e2) {
+  if (e1.empty() || e2.empty()) {
+    throw std::invalid_argument("hasPriorityProfiles: profiles must include x = 0");
+  }
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  for (std::size_t x = 0; x <= n1; ++x) {
+    for (std::size_t y = 0; y <= n2; ++y) {
+      const std::size_t total = x + y;
+      const std::size_t xp = std::min(n1, total);
+      const std::size_t yp = total - xp;
+      if (e1[x] + e2[y] > e1[xp] + e2[yp]) return false;
+    }
+  }
+  return true;
+}
+
+bool hasPriority(const ScheduledDag& g1, const ScheduledDag& g2) {
+  return hasPriorityProfiles(g1.nonsinkProfile(), g2.nonsinkProfile());
+}
+
+bool isPriorityChain(const std::vector<ScheduledDag>& gs) {
+  std::vector<std::vector<std::size_t>> profiles;
+  profiles.reserve(gs.size());
+  for (const ScheduledDag& g : gs) profiles.push_back(g.nonsinkProfile());
+  for (std::size_t i = 0; i + 1 < profiles.size(); ++i)
+    if (!hasPriorityProfiles(profiles[i], profiles[i + 1])) return false;
+  return true;
+}
+
+std::vector<std::vector<bool>> priorityMatrix(const std::vector<ScheduledDag>& gs) {
+  std::vector<std::vector<std::size_t>> profiles;
+  profiles.reserve(gs.size());
+  for (const ScheduledDag& g : gs) profiles.push_back(g.nonsinkProfile());
+  std::vector<std::vector<bool>> m(gs.size(), std::vector<bool>(gs.size(), false));
+  for (std::size_t i = 0; i < gs.size(); ++i)
+    for (std::size_t j = 0; j < gs.size(); ++j)
+      m[i][j] = hasPriorityProfiles(profiles[i], profiles[j]);
+  return m;
+}
+
+std::optional<std::vector<std::size_t>> findPriorityLinearOrder(
+    const std::vector<ScheduledDag>& gs) {
+  const std::size_t n = gs.size();
+  if (n == 0) return std::vector<std::size_t>{};
+  if (n > 20) {
+    throw std::invalid_argument("findPriorityLinearOrder: too many constituents (> 20)");
+  }
+  const std::vector<std::vector<bool>> m = priorityMatrix(gs);
+  // Hamiltonian-path DP over the ▷ digraph: reach[mask][last] = a path
+  // visiting exactly `mask`, ending at `last`, with every step i ▷ j.
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  // parent[mask][last] = previous node, or n for "start of path".
+  std::vector<std::vector<std::uint8_t>> parent(
+      full + 1, std::vector<std::uint8_t>(n, std::uint8_t{0xFF}));
+  for (std::size_t i = 0; i < n; ++i) {
+    parent[std::size_t{1} << i][i] = static_cast<std::uint8_t>(n);
+  }
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    for (std::size_t last = 0; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << last)) || parent[mask][last] == 0xFF) continue;
+      for (std::size_t next = 0; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        if (!m[last][next]) continue;
+        const std::size_t nm = mask | (std::size_t{1} << next);
+        if (parent[nm][next] == 0xFF) parent[nm][next] = static_cast<std::uint8_t>(last);
+      }
+    }
+  }
+  for (std::size_t last = 0; last < n; ++last) {
+    if (parent[full][last] == 0xFF) continue;
+    std::vector<std::size_t> order(n);
+    std::size_t mask = full;
+    std::size_t cur = last;
+    for (std::size_t t = n; t-- > 0;) {
+      order[t] = cur;
+      const std::size_t prev = parent[mask][cur];
+      mask &= ~(std::size_t{1} << cur);
+      cur = prev;
+    }
+    return order;
+  }
+  return std::nullopt;
+}
+
+}  // namespace icsched

@@ -1,0 +1,68 @@
+#pragma once
+/// \file priority.hpp
+/// \brief The priority relation G1 ▷ G2 of Section 2.3.1, inequality (2.1).
+///
+/// The display of inequality (2.1) is elided in the available text of the
+/// paper; we implement its statement from the cited source [21] (Malewicz,
+/// Rosenberg, Yurkewych, IEEE Trans. Comput. 55, 2006). With E_i(x) the
+/// number of ELIGIBLE nodes of G_i after its IC-optimal schedule Σ_i has
+/// executed x nonsinks (x in [0, n_i]):
+///
+///   G1 ▷ G2  iff  for all x in [0,n1], y in [0,n2]:
+///       E1(x) + E2(y)  <=  E1(x') + E2(y')
+///   where x' = min(n1, x+y) and y' = (x+y) - x'.
+///
+/// Informally: for any total budget of nonsink executions split between the
+/// two dags, shifting as much of the budget as possible onto G1 never
+/// decreases the total ELIGIBLE count -- "one never decreases IC quality by
+/// executing a nonsink of G1 whenever possible".
+
+#include <optional>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/eligibility.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// A dag bundled with an IC-optimal, nonsinks-first schedule for it. The
+/// theory's composition tools consume and produce this pairing.
+struct ScheduledDag {
+  Dag dag;
+  Schedule schedule;
+
+  /// E(x) for x = 0..numNonsinks (see file comment).
+  [[nodiscard]] std::vector<std::size_t> nonsinkProfile() const {
+    return nonsinkEligibilityProfile(dag, schedule);
+  }
+};
+
+/// True iff G1 ▷ G2 per inequality (2.1), given IC-optimal nonsinks-first
+/// schedules for both dags.
+/// \throws std::invalid_argument if either schedule is invalid for its dag
+///         or not nonsinks-first.
+[[nodiscard]] bool hasPriority(const ScheduledDag& g1, const ScheduledDag& g2);
+
+/// As hasPriority, operating directly on precomputed nonsink profiles
+/// (result[x] = E(x), x = 0..n). Exposed for tests and for the duality
+/// theorem's proof-by-computation.
+[[nodiscard]] bool hasPriorityProfiles(const std::vector<std::size_t>& e1,
+                                       const std::vector<std::size_t>& e2);
+
+/// True iff the whole chain gs[0] ▷ gs[1] ▷ ... ▷ gs[k-1] holds, i.e. the
+/// list is ▷-linear in the order given (condition (b) of Section 2.3.1).
+[[nodiscard]] bool isPriorityChain(const std::vector<ScheduledDag>& gs);
+
+/// The pairwise ▷ matrix: result[i][j] == (gs[i] ▷ gs[j]).
+[[nodiscard]] std::vector<std::vector<bool>> priorityMatrix(const std::vector<ScheduledDag>& gs);
+
+/// The ordering step of the [21] scheduling algorithm: permute the
+/// constituents so that each has ▷-priority over the next. Returns the
+/// permutation (indices into \p gs), or std::nullopt when no ▷-linear order
+/// exists (▷ is not total). Exact (Hamiltonian-path DP over the ▷ digraph);
+/// intended for constituent lists of <= ~20 dags.
+[[nodiscard]] std::optional<std::vector<std::size_t>> findPriorityLinearOrder(
+    const std::vector<ScheduledDag>& gs);
+
+}  // namespace icsched

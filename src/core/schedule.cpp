@@ -1,0 +1,78 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace icsched {
+
+namespace {
+
+/// Returns an error string, or empty when valid.
+std::string validationError(const Dag& g, const std::vector<NodeId>& order) {
+  if (order.size() != g.numNodes()) {
+    return "schedule has " + std::to_string(order.size()) + " entries but dag has " +
+           std::to_string(g.numNodes()) + " nodes";
+  }
+  std::vector<bool> executed(g.numNodes(), false);
+  for (std::size_t step = 0; step < order.size(); ++step) {
+    const NodeId v = order[step];
+    if (v >= g.numNodes()) return "node id " + std::to_string(v) + " out of range";
+    if (executed[v]) return "node " + std::to_string(v) + " executed twice";
+    for (NodeId p : g.parents(v)) {
+      if (!executed[p]) {
+        return "node " + std::to_string(v) + " executed at step " + std::to_string(step) +
+               " before its parent " + std::to_string(p) + " (not ELIGIBLE)";
+      }
+    }
+    executed[v] = true;
+  }
+  return {};
+}
+
+}  // namespace
+
+bool Schedule::isValidFor(const Dag& g) const { return validationError(g, order_).empty(); }
+
+void Schedule::validate(const Dag& g) const {
+  const std::string err = validationError(g, order_);
+  if (!err.empty()) throw std::invalid_argument("Schedule: " + err);
+}
+
+bool Schedule::executesNonsinksFirst(const Dag& g) const {
+  bool sawSink = false;
+  for (NodeId v : order_) {
+    if (g.isSink(v)) {
+      sawSink = true;
+    } else if (sawSink) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> Schedule::nonsinkOrder(const Dag& g) const {
+  std::vector<NodeId> out;
+  out.reserve(g.numNonsinks());
+  for (NodeId v : order_)
+    if (!g.isSink(v)) out.push_back(v);
+  return out;
+}
+
+std::vector<std::size_t> Schedule::positions() const {
+  std::vector<std::size_t> pos(order_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) pos[order_[i]] = i;
+  return pos;
+}
+
+Schedule normalizeNonsinksFirst(const Dag& g, const Schedule& s) {
+  s.validate(g);
+  std::vector<NodeId> out;
+  out.reserve(s.size());
+  for (NodeId v : s.order())
+    if (!g.isSink(v)) out.push_back(v);
+  for (NodeId v : s.order())
+    if (g.isSink(v)) out.push_back(v);
+  return Schedule(std::move(out));
+}
+
+}  // namespace icsched

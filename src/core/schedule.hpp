@@ -1,0 +1,64 @@
+#pragma once
+/// \file schedule.hpp
+/// \brief Schedules for computation-dags (Section 2.2).
+///
+/// A schedule is a rule for selecting which ELIGIBLE node to execute at each
+/// step. Because recomputation is disallowed and only ELIGIBLE nodes may be
+/// executed, a (complete, static) schedule is exactly a linear extension of
+/// the dag: a permutation of the nodes in which every node appears after all
+/// of its parents.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace icsched {
+
+/// A complete static schedule: the execution order of all nodes.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Wraps \p order as a schedule. Use validate() / validated() to check it
+  /// against a dag.
+  explicit Schedule(std::vector<NodeId> order) : order_(std::move(order)) {}
+
+  [[nodiscard]] const std::vector<NodeId>& order() const { return order_; }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] NodeId at(std::size_t step) const { return order_.at(step); }
+
+  /// True if this schedule is a valid execution of \p g: a permutation of
+  /// g's nodes that executes every node only when it is ELIGIBLE (i.e., a
+  /// linear extension of g).
+  [[nodiscard]] bool isValidFor(const Dag& g) const;
+
+  /// \throws std::invalid_argument (with a diagnostic) when !isValidFor(g).
+  void validate(const Dag& g) const;
+
+  /// True if the schedule executes every nonsink of \p g before any sink.
+  /// The theory's tools (Theorem 2.1, the priority relation, duality) all
+  /// assume this normal form; every IC-optimal schedule can be put in it.
+  [[nodiscard]] bool executesNonsinksFirst(const Dag& g) const;
+
+  /// The prefix of the order containing only nonsinks of \p g, in schedule
+  /// order (the "Σ executes U's nodes in the order ..." of Section 2.3.2).
+  [[nodiscard]] std::vector<NodeId> nonsinkOrder(const Dag& g) const;
+
+  /// Position of each node in the order (inverse permutation).
+  [[nodiscard]] std::vector<std::size_t> positions() const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<NodeId> order_;
+};
+
+/// Normalizes a valid schedule into nonsinks-first form while preserving the
+/// relative order of nonsinks: the nonsink subsequence is kept, and all sinks
+/// are moved to the back (in their original relative order). The result is
+/// still a valid schedule, and its eligibility profile pointwise dominates
+/// the input's (executing a sink never renders anything ELIGIBLE).
+[[nodiscard]] Schedule normalizeNonsinksFirst(const Dag& g, const Schedule& s);
+
+}  // namespace icsched

@@ -1,0 +1,119 @@
+#include "exec/dag_executor.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+
+#include "exec/thread_pool.hpp"
+
+namespace icsched {
+
+ExecutionTrace executeSequential(const Dag& g, const Schedule& s,
+                                 const std::function<void(NodeId)>& task) {
+  s.validate(g);
+  ExecutionTrace trace;
+  trace.dispatchOrder.reserve(g.numNodes());
+  for (NodeId v : s.order()) {
+    trace.dispatchOrder.push_back(v);
+    task(v);
+  }
+  return trace;
+}
+
+namespace {
+
+/// Shared state for one parallel run.
+struct ParallelState {
+  explicit ParallelState(const Dag& g, const Schedule& s)
+      : dag(&g), priority(s.positions()), pendingParents(g.numNodes()) {
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      pendingParents[v] = g.inDegree(v);
+    }
+  }
+
+  const Dag* dag;
+  std::vector<std::size_t> priority;
+  std::vector<std::size_t> pendingParents;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  /// Min-heap of (schedule position, node): lowest position dispatches first.
+  std::priority_queue<std::pair<std::size_t, NodeId>,
+                      std::vector<std::pair<std::size_t, NodeId>>, std::greater<>>
+      ready;
+  std::vector<NodeId> dispatchOrder;
+  std::size_t completed = 0;
+  std::exception_ptr firstError;
+};
+
+}  // namespace
+
+ExecutionTrace executeParallel(const Dag& g, const Schedule& s,
+                               const std::function<void(NodeId)>& task,
+                               std::size_t numThreads) {
+  s.validate(g);
+  ParallelState st(g, s);
+  for (NodeId v = 0; v < g.numNodes(); ++v)
+    if (g.isSource(v)) st.ready.push({st.priority[v], v});
+
+  ThreadPool pool(numThreads);
+
+  // Each submitted closure claims the highest-priority READY task at the
+  // moment it runs (not necessarily the task whose readiness triggered the
+  // submission) -- this is exactly the IC server allocating the best
+  // ELIGIBLE task to the next available client.
+  std::function<void()> worker = [&] {
+    NodeId v;
+    {
+      std::lock_guard lock(st.mutex);
+      if (st.firstError || st.ready.empty()) return;
+      v = st.ready.top().second;
+      st.ready.pop();
+      st.dispatchOrder.push_back(v);
+    }
+    try {
+      task(v);
+    } catch (...) {
+      std::lock_guard lock(st.mutex);
+      if (!st.firstError) st.firstError = std::current_exception();
+      ++st.completed;
+      st.done.notify_all();
+      return;
+    }
+    std::size_t newlyReady = 0;
+    {
+      std::lock_guard lock(st.mutex);
+      ++st.completed;
+      for (NodeId c : g.children(v)) {
+        if (--st.pendingParents[c] == 0) {
+          st.ready.push({st.priority[c], c});
+          ++newlyReady;
+        }
+      }
+      if (st.completed == g.numNodes()) st.done.notify_all();
+    }
+    for (std::size_t i = 0; i < newlyReady; ++i) pool.submit(worker);
+  };
+
+  {
+    std::lock_guard lock(st.mutex);
+    for (std::size_t i = 0; i < st.ready.size(); ++i) pool.submit(worker);
+  }
+
+  {
+    std::unique_lock lock(st.mutex);
+    st.done.wait(lock, [&] {
+      return st.firstError != nullptr || st.completed == g.numNodes();
+    });
+  }
+  pool.waitIdle();
+  if (st.firstError) std::rethrow_exception(st.firstError);
+
+  ExecutionTrace trace;
+  trace.dispatchOrder = std::move(st.dispatchOrder);
+  return trace;
+}
+
+}  // namespace icsched

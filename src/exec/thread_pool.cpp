@@ -1,0 +1,60 @@
+#include "exec/thread_pool.hpp"
+
+#include <utility>
+
+namespace icsched {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads == 0) {
+    numThreads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+    stopping_ = true;
+  }
+  workAvailable_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  workAvailable_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      workAvailable_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --busy_;
+      if (queue_.empty() && busy_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace icsched

@@ -1,0 +1,52 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief A small fixed-size thread pool used by the parallel dag executor.
+///
+/// Plain mutex + condition-variable work queue; tasks are type-erased
+/// std::function<void()>. The pool joins all workers on destruction after
+/// draining the queue.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icsched {
+
+class ThreadPool {
+ public:
+  /// Spawns \p numThreads workers (at least 1; 0 maps to
+  /// hardware_concurrency).
+  explicit ThreadPool(std::size_t numThreads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins.
+  ~ThreadPool();
+
+  /// Enqueues a task. Safe to call from worker threads (tasks may submit
+  /// follow-up tasks).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void waitIdle();
+
+  [[nodiscard]] std::size_t numThreads() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable workAvailable_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace icsched

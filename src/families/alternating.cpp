@@ -1,0 +1,77 @@
+#include "families/alternating.hpp"
+
+#include <stdexcept>
+
+#include "core/linear_composition.hpp"
+#include "families/diamond.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+
+namespace {
+
+ScheduledDag stageDag(const AlternatingStage& s) {
+  switch (s.kind) {
+    case AlternatingStage::Kind::kDiamond:
+      return symmetricDiamond(s.tree).composite;
+    case AlternatingStage::Kind::kInTree:
+    case AlternatingStage::Kind::kOutTree:
+      return s.tree;
+  }
+  throw std::logic_error("stageDag: unknown stage kind");
+}
+
+}  // namespace
+
+ScheduledDag alternatingChain(const std::vector<AlternatingStage>& stages) {
+  if (stages.empty()) throw std::invalid_argument("alternatingChain: no stages");
+  LinearCompositionBuilder b(stageDag(stages.front()));
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    if (b.dag().sinks().size() != 1) {
+      throw std::invalid_argument(
+          "alternatingChain: interior stage must end in a single sink");
+    }
+    const ScheduledDag next = stageDag(stages[i]);
+    if (next.dag.sources().size() != 1) {
+      throw std::invalid_argument(
+          "alternatingChain: interior stage must begin with a single source");
+    }
+    b.appendFullMerge(next);
+  }
+  return b.build();
+}
+
+ScheduledDag chainOfDiamonds(const std::vector<ScheduledDag>& outTrees) {
+  std::vector<AlternatingStage> stages;
+  stages.reserve(outTrees.size());
+  for (const ScheduledDag& t : outTrees)
+    stages.push_back({AlternatingStage::Kind::kDiamond, t});
+  return alternatingChain(stages);
+}
+
+ScheduledDag inTreeThenDiamonds(const ScheduledDag& leadingInTree,
+                                const std::vector<ScheduledDag>& outTrees) {
+  std::vector<AlternatingStage> stages;
+  stages.push_back({AlternatingStage::Kind::kInTree, leadingInTree});
+  for (const ScheduledDag& t : outTrees)
+    stages.push_back({AlternatingStage::Kind::kDiamond, t});
+  return alternatingChain(stages);
+}
+
+ScheduledDag diamondsThenOutTree(const std::vector<ScheduledDag>& outTrees,
+                                 const ScheduledDag& trailingOutTree) {
+  std::vector<AlternatingStage> stages;
+  for (const ScheduledDag& t : outTrees)
+    stages.push_back({AlternatingStage::Kind::kDiamond, t});
+  stages.push_back({AlternatingStage::Kind::kOutTree, trailingOutTree});
+  return alternatingChain(stages);
+}
+
+ScheduledDag inTreeThenOutTree(const ScheduledDag& inTree, const ScheduledDag& outTree) {
+  std::vector<AlternatingStage> stages;
+  stages.push_back({AlternatingStage::Kind::kInTree, inTree});
+  stages.push_back({AlternatingStage::Kind::kOutTree, outTree});
+  return alternatingChain(stages);
+}
+
+}  // namespace icsched

@@ -1,0 +1,58 @@
+#pragma once
+/// \file alternating.hpp
+/// \brief Alternating expansion-reduction compositions (Section 3.1, Fig 4,
+/// Table 1).
+///
+/// Beyond single diamonds, the paper's analysis covers any alternating
+/// composition of out-trees and in-trees of the three composition types of
+/// Table 1:
+///   (1)  D_0 ⇑ D_1 ⇑ ... ⇑ D_n                 (chain of diamonds)
+///   (2)  T_0^(in) ⇑ D_1 ⇑ ... ⇑ D_n            (leading in-tree)
+///   (3)  D_1 ⇑ ... ⇑ D_n ⇑ T_0^(out)           (trailing out-tree)
+/// Adjacent stages meet at a single merged node (a diamond has one source
+/// and one sink), so the composite's topology forces stage-by-stage
+/// execution; executing each stage with its own IC-optimal schedule is
+/// IC-optimal for the whole.
+
+#include <vector>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// One stage of an alternating chain: either a diamond (built from the given
+/// out-tree and in-tree), a bare in-tree, or a bare out-tree.
+struct AlternatingStage {
+  enum class Kind { kDiamond, kInTree, kOutTree };
+  Kind kind;
+  /// For kDiamond: the expansive out-tree (the reductive in-tree is its
+  /// dual). For kInTree / kOutTree: the tree itself (kInTree expects an
+  /// in-tree-shaped ScheduledDag, e.g. from inTreeFor()).
+  ScheduledDag tree;
+};
+
+/// Builds the alternating composition of \p stages, merging each stage's
+/// single sink with the next stage's single source.
+/// \throws std::invalid_argument if a stage boundary does not present
+///         exactly one sink / one source, or if stages is empty.
+[[nodiscard]] ScheduledDag alternatingChain(const std::vector<AlternatingStage>& stages);
+
+/// Table 1 row 1: D_0 ⇑ ... ⇑ D_n where D_i = symmetricDiamond(outTrees[i]).
+[[nodiscard]] ScheduledDag chainOfDiamonds(const std::vector<ScheduledDag>& outTrees);
+
+/// Table 1 row 2: T_0^(in) ⇑ D_1 ⇑ ... ⇑ D_n.
+[[nodiscard]] ScheduledDag inTreeThenDiamonds(const ScheduledDag& leadingInTree,
+                                              const std::vector<ScheduledDag>& outTrees);
+
+/// Table 1 row 3: D_1 ⇑ ... ⇑ D_n ⇑ T_0^(out).
+[[nodiscard]] ScheduledDag diamondsThenOutTree(const std::vector<ScheduledDag>& outTrees,
+                                               const ScheduledDag& trailingOutTree);
+
+/// The leftmost dag of Fig 4: T' ⇑ T (an in-tree whose sink is merged with
+/// an out-tree's source). Although in-tree ▷ out-tree does *not* hold in
+/// general, the topology forces all of T' before any of T, so the
+/// stage-by-stage schedule is IC-optimal.
+[[nodiscard]] ScheduledDag inTreeThenOutTree(const ScheduledDag& inTree,
+                                             const ScheduledDag& outTree);
+
+}  // namespace icsched

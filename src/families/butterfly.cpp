@@ -1,0 +1,111 @@
+#include "families/butterfly.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/building_blocks.hpp"
+#include "core/linear_composition.hpp"
+
+namespace icsched {
+
+namespace {
+
+void checkDim(std::size_t dim) {
+  if (dim == 0 || dim > 25) {
+    throw std::invalid_argument("butterfly: need 1 <= dim <= 25");
+  }
+}
+
+}  // namespace
+
+NodeId butterflyNodeId(std::size_t dim, std::size_t level, std::size_t row) {
+  if (level > dim || row >= (std::size_t{1} << dim)) {
+    throw std::invalid_argument("butterflyNodeId: position out of range");
+  }
+  return static_cast<NodeId>(level * (std::size_t{1} << dim) + row);
+}
+
+std::size_t butterflyNumNodes(std::size_t dim) { return (dim + 1) * (std::size_t{1} << dim); }
+
+ScheduledDag butterfly(std::size_t dim) {
+  checkDim(dim);
+  const std::size_t rows = std::size_t{1} << dim;
+  Dag g(butterflyNumNodes(dim));
+  for (std::size_t l = 0; l < dim; ++l) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      g.addArc(butterflyNodeId(dim, l, r), butterflyNodeId(dim, l + 1, r));
+      g.addArc(butterflyNodeId(dim, l, r), butterflyNodeId(dim, l + 1, r ^ (std::size_t{1} << l)));
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(g.numNodes());
+  for (std::size_t l = 0; l < dim; ++l) {
+    const std::size_t bit = std::size_t{1} << l;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r & bit) continue;
+      order.push_back(butterflyNodeId(dim, l, r));
+      order.push_back(butterflyNodeId(dim, l, r ^ bit));
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) order.push_back(butterflyNodeId(dim, dim, r));
+  return {std::move(g), Schedule(std::move(order))};
+}
+
+ScheduledDag butterflyFromBlocks(std::size_t dim) {
+  checkDim(dim);
+  const std::size_t rows = std::size_t{1} << dim;
+  // For each grid position at levels 1..dim, which appended block's sink
+  // realizes it: (block index in the builder, node id 2 or 3 within the
+  // block). Block node ids: 0,1 = sources (low row, high row); 2,3 = sinks.
+  struct SinkRef {
+    std::size_t block;
+    NodeId node;
+  };
+  std::vector<std::vector<SinkRef>> sinkRef(dim + 1, std::vector<SinkRef>(rows));
+
+  const ScheduledDag block = butterflyBlock();
+  std::unique_ptr<LinearCompositionBuilder> b;
+  std::size_t blockIndex = 0;
+  for (std::size_t l = 0; l < dim; ++l) {
+    const std::size_t bit = std::size_t{1} << l;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r & bit) continue;
+      const std::size_t r2 = r | bit;
+      if (!b) {
+        b = std::make_unique<LinearCompositionBuilder>(block);
+      } else if (l == 0) {
+        b->append(block, {});  // disjoint sum: level-0 blocks share nothing
+      } else {
+        // Merge the block's sources with the already-built sinks at (l, r)
+        // and (l, r2).
+        const SinkRef a = sinkRef[l][r];
+        const SinkRef c = sinkRef[l][r2];
+        b->append(block, {{b->constituentNodeMap(a.block)[a.node], 0},
+                          {b->constituentNodeMap(c.block)[c.node], 1}});
+      }
+      sinkRef[l + 1][r] = {blockIndex, 2};
+      sinkRef[l + 1][r2] = {blockIndex, 3};
+      ++blockIndex;
+    }
+  }
+  return b->build();
+}
+
+bool executesBlockPairsConsecutively(std::size_t dim, const Schedule& s) {
+  checkDim(dim);
+  const std::size_t rows = std::size_t{1} << dim;
+  const std::vector<std::size_t> pos = s.positions();
+  for (std::size_t l = 0; l < dim; ++l) {
+    const std::size_t bit = std::size_t{1} << l;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r & bit) continue;
+      const std::size_t pa = pos[butterflyNodeId(dim, l, r)];
+      const std::size_t pb = pos[butterflyNodeId(dim, l, r ^ bit)];
+      const std::size_t diff = pa > pb ? pa - pb : pb - pa;
+      if (diff != 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace icsched

@@ -1,0 +1,43 @@
+#pragma once
+/// \file butterfly.hpp
+/// \brief Butterfly-structured dags (Section 5, Figs 8-10).
+///
+/// The d-dimensional butterfly network B_d has d+1 levels of 2^d nodes.
+/// Level l node r (r a d-bit row index) has arcs to level-(l+1) nodes r and
+/// r XOR 2^l. B_1 is the butterfly building block B; B_d is an iterated
+/// composition of copies of B, and since B ▷ B every B_d is a ▷-linear
+/// composition, hence admits an IC-optimal schedule. A schedule is
+/// IC-optimal iff it executes the two sources of each copy of B within the
+/// network in consecutive steps ([23]).
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// Node id of butterfly position (level, row) in B_dim: level * 2^dim + row.
+[[nodiscard]] NodeId butterflyNodeId(std::size_t dim, std::size_t level, std::size_t row);
+
+/// Number of nodes of B_dim: (dim+1) * 2^dim.
+[[nodiscard]] std::size_t butterflyNumNodes(std::size_t dim);
+
+/// The d-dimensional butterfly network B_d (Figs 9-10) with an IC-optimal
+/// schedule: level by level; within level l, the two sources of each
+/// butterfly block (rows r and r XOR 2^l) are executed consecutively.
+/// \throws std::invalid_argument if dim == 0 or dim > 25.
+[[nodiscard]] ScheduledDag butterfly(std::size_t dim);
+
+/// Rebuilds B_dim as an explicit iterated composition of butterflyBlock()
+/// copies (Fig 10), via the Theorem 2.1 builder: the 2^{dim-1} blocks of
+/// level 0 are summed in (empty merges), then each subsequent level's blocks
+/// are appended merging their sources with the matching block sinks below.
+/// The result's dag is isomorphic to butterfly(dim).dag and its schedule is
+/// IC-optimal.
+[[nodiscard]] ScheduledDag butterflyFromBlocks(std::size_t dim);
+
+/// True iff \p s executes the two sources of every embedded butterfly block
+/// of B_dim in consecutive steps — the [23] characterization.
+[[nodiscard]] bool executesBlockPairsConsecutively(std::size_t dim, const Schedule& s);
+
+}  // namespace icsched

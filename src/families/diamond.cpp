@@ -1,0 +1,27 @@
+#include "families/diamond.hpp"
+
+#include <stdexcept>
+
+#include "families/trees.hpp"
+
+namespace icsched {
+
+DiamondDag diamond(const ScheduledDag& outTree, const ScheduledDag& inTree) {
+  if (outTree.dag.sinks().size() != inTree.dag.sources().size()) {
+    throw std::invalid_argument(
+        "diamond: out-tree leaf count must equal in-tree source count");
+  }
+  LinearCompositionBuilder b(outTree);
+  b.appendFullMerge(inTree);
+  DiamondDag d;
+  d.outTreeMap = b.constituentNodeMap(0);
+  d.inTreeMap = b.constituentNodeMap(1);
+  d.composite = b.build();
+  return d;
+}
+
+DiamondDag symmetricDiamond(const ScheduledDag& outTree) {
+  return diamond(outTree, inTreeFor(outTree));
+}
+
+}  // namespace icsched

@@ -1,0 +1,34 @@
+#pragma once
+/// \file diamond.hpp
+/// \brief Diamond dags (Section 3.1, Fig 2): an expansive out-tree composed
+/// with a reductive in-tree by merging the out-tree's leaves with the
+/// in-tree's sources.
+///
+/// Every diamond dag is composite of type V ⇑ ... ⇑ V ⇑ Λ ⇑ ... ⇑ Λ; since
+/// V ▷ V, V ▷ Λ and Λ ▷ Λ, it is a ▷-linear composition and admits an
+/// IC-optimal schedule (Theorem 2.1): execute all of the out-tree with an
+/// IC-optimal schedule, then all of the in-tree with an IC-optimal schedule.
+
+#include "core/linear_composition.hpp"
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// A diamond dag together with the constituent bookkeeping needed by the
+/// coarsening transforms and the figure benches.
+struct DiamondDag {
+  ScheduledDag composite;          ///< the diamond + its Theorem 2.1 schedule
+  std::vector<NodeId> outTreeMap;  ///< out-tree node id -> composite id
+  std::vector<NodeId> inTreeMap;   ///< in-tree node id -> composite id
+};
+
+/// Composes \p outTree with \p inTree, merging all leaves of the former with
+/// all sources of the latter (counts must match), in increasing id order.
+/// Both constituents' schedules must be IC-optimal and nonsinks-first.
+[[nodiscard]] DiamondDag diamond(const ScheduledDag& outTree, const ScheduledDag& inTree);
+
+/// The Fig 2/Fig 3 simplification: composes \p outTree with its own dual
+/// in-tree (via the Theorem 2.2 schedule construction).
+[[nodiscard]] DiamondDag symmetricDiamond(const ScheduledDag& outTree);
+
+}  // namespace icsched

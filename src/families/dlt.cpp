@@ -1,0 +1,73 @@
+#include "families/dlt.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/linear_composition.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+
+namespace {
+
+std::size_t log2Exact(std::size_t n, const char* what) {
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument(std::string(what) + ": n must be a power of 2, >= 2");
+  }
+  return static_cast<std::size_t>(std::bit_width(n) - 1);
+}
+
+}  // namespace
+
+DltDag dltPrefixDag(std::size_t n) {
+  const std::size_t p = log2Exact(n, "dltPrefixDag");
+  LinearCompositionBuilder b(prefixDag(n));
+  b.appendFullMerge(completeInTree(2, p));
+  DltDag d;
+  d.generatorMap = b.constituentNodeMap(0);
+  d.inTreeMap = b.constituentNodeMap(1);
+  d.composite = b.build();
+  return d;
+}
+
+ScheduledDag ternaryOutTree(std::size_t leaves) {
+  if (leaves == 0 || leaves % 2 == 0) {
+    throw std::invalid_argument("ternaryOutTree: leaf count must be odd (1 + 2k)");
+  }
+  std::vector<std::uint32_t> parent{kRoot};
+  std::size_t leafCount = 1;
+  std::size_t nextToExpand = 0;  // breadth-first: expand nodes in id order
+  while (leafCount < leaves) {
+    const auto v = static_cast<std::uint32_t>(nextToExpand++);
+    parent.push_back(v);
+    parent.push_back(v);
+    parent.push_back(v);
+    leafCount += 2;  // v stops being a leaf; three new leaves appear
+  }
+  return outTreeFromParents(parent);
+}
+
+DltDag dltTernaryDag(std::size_t n) {
+  const std::size_t p = log2Exact(n, "dltTernaryDag");
+  const ScheduledDag out = ternaryOutTree(n - 1);
+  const ScheduledDag in = completeInTree(2, p);
+  const std::vector<NodeId> leaves = out.dag.sinks();
+  const std::vector<NodeId> sources = in.dag.sources();
+  std::vector<MergePair> pairs;
+  pairs.reserve(n - 1);
+  // In-tree source 0 stays free: it is the x_0 * w^0 term, which needs no
+  // generated power of w.
+  for (std::size_t i = 0; i + 1 < n; ++i) pairs.push_back({leaves[i], sources[i + 1]});
+  LinearCompositionBuilder b(out);
+  b.append(in, pairs);
+  DltDag d;
+  d.generatorMap = b.constituentNodeMap(0);
+  d.inTreeMap = b.constituentNodeMap(1);
+  d.composite = b.build();
+  return d;
+}
+
+DltDag pathsDag(std::size_t k) { return dltPrefixDag(k); }
+
+}  // namespace icsched

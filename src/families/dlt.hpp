@@ -1,0 +1,53 @@
+#pragma once
+/// \file dlt.hpp
+/// \brief Discrete Laplace Transform dags (Section 6.2.1, Figs 13-15).
+///
+/// Both DLT algorithms accumulate the terms x_i * w^{ik} with an n-source
+/// in-tree; they differ in how the powers of w are generated:
+///   - dltPrefixDag (Fig 13 left):  L_n  = P_n ⇑ T_n, the powers coming from
+///     an n-input parallel-prefix dag. L_n is ▷-linear because
+///     N_s ▷ N_t, N_s ▷ Λ and Λ ▷ Λ.
+///   - dltTernaryDag (Fig 15):      L'_n = ternary out-tree ⇑ T_n, the
+///     powers coming from a specialized out-tree built of 3-prong Vee dags;
+///     the out-tree's leaves feed in-tree sources 1..n-1 while source 0
+///     (the x_0 * w^0 term) remains a free source of the composite. L'_n is
+///     ▷-linear via the chain V_3 ▷ V_3 ▷ Λ ▷ Λ.
+///
+/// The paths-in-a-graph computation of Section 6.2.2 (Fig 16) has exactly
+/// the L_n structure with matrix-valued tasks; pathsDag() exposes it.
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// Bookkeeping for a DLT dag: the composite plus constituent node maps.
+struct DltDag {
+  ScheduledDag composite;
+  std::vector<NodeId> generatorMap;  ///< generator (P_n / out-tree) node -> composite id
+  std::vector<NodeId> inTreeMap;     ///< accumulating in-tree node -> composite id
+};
+
+/// The n-input DLT dag L_n = P_n ⇑ T_n (Fig 13 left), with the Theorem 2.1
+/// schedule (P_n IC-optimally, then T_n IC-optimally).
+/// \throws std::invalid_argument unless n is a power of 2, n >= 2.
+[[nodiscard]] DltDag dltPrefixDag(std::size_t n);
+
+/// A ternary out-tree with exactly \p leaves leaves built from 3-prong Vee
+/// dags, expanded breadth-first (leaves must be odd: expansions add 2).
+[[nodiscard]] ScheduledDag ternaryOutTree(std::size_t leaves);
+
+/// The alternative n-input DLT dag L'_n (Fig 15): ternaryOutTree(n-1) with
+/// its leaves merged onto in-tree sources 1..n-1 (source 0 stays free). The
+/// schedule executes the out-tree, then the leftmost source, then the
+/// in-tree.
+/// \throws std::invalid_argument unless n is a power of 2, n >= 2.
+[[nodiscard]] DltDag dltTernaryDag(std::size_t n);
+
+/// The Section 6.2.2 paths-computation dag (Fig 16): structurally L_k where
+/// k is the number of matrix powers accumulated (k = 8 in the paper's 9-node
+/// example). Tasks are matrix-valued; see apps/graph_paths.
+[[nodiscard]] DltDag pathsDag(std::size_t k);
+
+}  // namespace icsched

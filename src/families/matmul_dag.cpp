@@ -1,0 +1,53 @@
+#include "families/matmul_dag.hpp"
+
+#include "core/building_blocks.hpp"
+#include "core/linear_composition.hpp"
+
+namespace icsched {
+
+MatmulDag matmulDag() {
+  LinearCompositionBuilder b(cycleDag(4));
+  b.append(cycleDag(4), {});  // disjoint second cycle
+  // Cycle 1: sources 0..3 = A,E,C,F; sinks (products) 4..7 = AF,AE,CE,CF
+  // (cycle-dag sink j has parents sources (j-1) mod 4 and j).
+  // Cycle 2: sources 8..11 = B,G,D,H; sinks 12..15 = BH,BG,DG,DH.
+  const NodeId kAE = 5, kCE = 6, kCF = 7, kAF = 4;
+  const NodeId kBG = 13, kDG = 14, kDH = 15, kBH = 12;
+  const ScheduledDag lam = lambda(2);
+  b.append(lam, {{kAE, 0}, {kBG, 1}});  // sum 16 = AE+BG
+  b.append(lam, {{kCE, 0}, {kDG, 1}});  // sum 17 = CE+DG
+  b.append(lam, {{kCF, 0}, {kDH, 1}});  // sum 18 = CF+DH
+  b.append(lam, {{kAF, 0}, {kBH, 1}});  // sum 19 = AF+BH
+
+  MatmulDag m;
+  m.composite = b.build();
+  m.ids.inputs = {0, 1, 2, 3, 8, 9, 10, 11};
+  m.ids.products = {kAF, kAE, kCE, kCF, kBH, kBG, kDG, kDH};
+  m.ids.sums = {16, 17, 18, 19};
+
+  static constexpr const char* kInputNames[8] = {"A", "E", "C", "F", "B", "G", "D", "H"};
+  static constexpr const char* kProductNames[8] = {"AF", "AE", "CE", "CF",
+                                                   "BH", "BG", "DG", "DH"};
+  static constexpr const char* kSumNames[4] = {"AE+BG", "CE+DG", "CF+DH", "AF+BH"};
+  for (std::size_t i = 0; i < 8; ++i) {
+    m.composite.dag.setLabel(m.ids.inputs[i], kInputNames[i]);
+    m.composite.dag.setLabel(m.ids.products[i], kProductNames[i]);
+  }
+  for (std::size_t i = 0; i < 4; ++i) m.composite.dag.setLabel(m.ids.sums[i], kSumNames[i]);
+  return m;
+}
+
+Schedule paperMatmulSchedule(const MatmulDag& m) {
+  const auto& in = m.ids.inputs;
+  std::vector<NodeId> order(in.begin(), in.end());
+  // "Compute the eight required products in the order AE, CE, CF, AF,
+  //  BG, DG, DH, BH. Then compute the four required sums ... in any order."
+  const NodeId kAE = m.ids.products[1], kCE = m.ids.products[2], kCF = m.ids.products[3],
+               kAF = m.ids.products[0], kBG = m.ids.products[5], kDG = m.ids.products[6],
+               kDH = m.ids.products[7], kBH = m.ids.products[4];
+  for (NodeId v : {kAE, kCE, kCF, kAF, kBG, kDG, kDH, kBH}) order.push_back(v);
+  for (NodeId v : m.ids.sums) order.push_back(v);
+  return Schedule(std::move(order));
+}
+
+}  // namespace icsched

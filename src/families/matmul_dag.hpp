@@ -1,0 +1,43 @@
+#pragma once
+/// \file matmul_dag.hpp
+/// \brief The matrix-multiplication dag M (Section 7, Fig 17).
+///
+/// M captures one level of the recursive 2x2 block algorithm (7.1): eight
+/// input-fetch tasks (the blocks A..H), eight product tasks, four sum tasks.
+/// It is composite of type C_4 ⇑ C_4 ⇑ Λ ⇑ Λ ⇑ Λ ⇑ Λ: one cycle-dag
+/// computes AE, AF, CE, CF, the other BG, BH, DG, DH, and the Λs compute the
+/// four block sums. Since C_4 ▷ C_4 ▷ Λ ▷ Λ, M is ▷-linear and admits an
+/// IC-optimal schedule (Theorem 2.1).
+
+#include <array>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// Node ids of matmulDag(), fixed by construction.
+struct MatmulDagIds {
+  // Inputs, in the first cycle's order A,E,C,F then the second's B,G,D,H.
+  std::array<NodeId, 8> inputs;  // A,E,C,F,B,G,D,H
+  // Products. Cycle sinks in cycle order.
+  std::array<NodeId, 8> products;  // AF,AE,CE,CF, BH,BG,DG,DH
+  // Sums: AE+BG, CE+DG, CF+DH, AF+BH.
+  std::array<NodeId, 4> sums;
+};
+
+/// The dag M plus its Theorem 2.1 IC-optimal schedule and the id map.
+struct MatmulDag {
+  ScheduledDag composite;
+  MatmulDagIds ids;
+};
+
+/// Builds M (Fig 17) as the ▷-linear composition C_4 ⇑ C_4 ⇑ Λ⇑Λ⇑Λ⇑Λ.
+[[nodiscard]] MatmulDag matmulDag();
+
+/// The schedule stated verbatim by the paper (Section 7.2): inputs first (in
+/// cycle order), then the eight products in the order
+/// AE, CE, CF, AF, BG, DG, DH, BH, then the four sums. Exposed so the bench
+/// can compare it against the oracle and the Theorem 2.1 schedule.
+[[nodiscard]] Schedule paperMatmulSchedule(const MatmulDag& m);
+
+}  // namespace icsched

@@ -1,0 +1,42 @@
+#include "families/mesh.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/building_blocks.hpp"
+#include "core/duality.hpp"
+#include "core/linear_composition.hpp"
+
+namespace icsched {
+
+NodeId meshNodeId(std::size_t diagonal, std::size_t offset) {
+  if (offset > diagonal) throw std::invalid_argument("meshNodeId: offset > diagonal");
+  return static_cast<NodeId>(diagonal * (diagonal + 1) / 2 + offset);
+}
+
+std::size_t meshNumNodes(std::size_t diagonals) { return diagonals * (diagonals + 1) / 2; }
+
+ScheduledDag outMesh(std::size_t diagonals) {
+  if (diagonals == 0) throw std::invalid_argument("outMesh: need >= 1 diagonal");
+  Dag g(meshNumNodes(diagonals));
+  for (std::size_t d = 0; d + 1 < diagonals; ++d) {
+    for (std::size_t p = 0; p <= d; ++p) {
+      g.addArc(meshNodeId(d, p), meshNodeId(d + 1, p));
+      g.addArc(meshNodeId(d, p), meshNodeId(d + 1, p + 1));
+    }
+  }
+  std::vector<NodeId> order(g.numNodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return {std::move(g), Schedule(std::move(order))};
+}
+
+ScheduledDag inMesh(std::size_t diagonals) { return dualScheduledDag(outMesh(diagonals)); }
+
+ScheduledDag outMeshFromWDags(std::size_t diagonals) {
+  if (diagonals < 2) throw std::invalid_argument("outMeshFromWDags: need >= 2 diagonals");
+  LinearCompositionBuilder b(wdag(1));
+  for (std::size_t s = 2; s + 1 <= diagonals; ++s) b.appendFullMerge(wdag(s));
+  return b.build();
+}
+
+}  // namespace icsched

@@ -1,0 +1,43 @@
+#pragma once
+/// \file mesh.hpp
+/// \brief Wavefront (mesh-like) dags (Section 4, Figs 5-6): two-dimensional
+/// meshes truncated along their diagonals.
+///
+/// The out-mesh with n diagonals has nodes (i, j) with i + j <= n-1 and arcs
+/// (i,j) -> (i+1,j) and (i,j) -> (i,j+1). Diagonal d = { (i,j) : i+j = d }
+/// has d+1 nodes; the single source is (0,0) and the sinks are diagonal n-1.
+/// Every out-mesh is a ▷-linear composition of W-dags with increasing
+/// numbers of sources (Fig 6), so it admits an IC-optimal schedule: execute
+/// diagonal by diagonal, each diagonal's nodes consecutively. The in-mesh
+/// ("pyramid dag" [8]) is its dual.
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// Node id of mesh position (diagonal d, offset p in [0, d]) under the
+/// diagonal-major numbering used by outMesh/inMesh: d(d+1)/2 + p.
+[[nodiscard]] NodeId meshNodeId(std::size_t diagonal, std::size_t offset);
+
+/// Number of nodes in a mesh with \p diagonals diagonals: D(D+1)/2.
+[[nodiscard]] std::size_t meshNumNodes(std::size_t diagonals);
+
+/// The out-mesh with \p diagonals diagonals (Fig 5 left), with the
+/// diagonal-by-diagonal IC-optimal schedule.
+/// \throws std::invalid_argument if diagonals == 0.
+[[nodiscard]] ScheduledDag outMesh(std::size_t diagonals);
+
+/// The in-mesh / pyramid dag with \p diagonals diagonals (Fig 5 right):
+/// dual(outMesh), with the Theorem 2.2 dual schedule.
+[[nodiscard]] ScheduledDag inMesh(std::size_t diagonals);
+
+/// Rebuilds the out-mesh as an explicit ▷-linear composition of W-dags
+/// W_1 ⇑ W_2 ⇑ ... ⇑ W_{diagonals-1} (Fig 6), returning the Theorem 2.1
+/// composite. The result's dag is isomorphic (indeed equal, under the
+/// diagonal-major numbering) to outMesh(diagonals).dag.
+/// \throws std::invalid_argument if diagonals < 2.
+[[nodiscard]] ScheduledDag outMeshFromWDags(std::size_t diagonals);
+
+}  // namespace icsched

@@ -1,0 +1,85 @@
+#include "families/prefix.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/building_blocks.hpp"
+#include "core/linear_composition.hpp"
+
+namespace icsched {
+
+std::size_t prefixNumStages(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("prefixDag: need n >= 2");
+  return static_cast<std::size_t>(std::bit_width(n - 1));
+}
+
+NodeId prefixNodeId(std::size_t n, std::size_t level, std::size_t index) {
+  if (index >= n || level > prefixNumStages(n)) {
+    throw std::invalid_argument("prefixNodeId: position out of range");
+  }
+  return static_cast<NodeId>(level * n + index);
+}
+
+ScheduledDag prefixDag(std::size_t n) {
+  const std::size_t stages = prefixNumStages(n);
+  Dag g((stages + 1) * n);
+  for (std::size_t t = 0; t < stages; ++t) {
+    const std::size_t shift = std::size_t{1} << t;
+    for (std::size_t i = 0; i < n; ++i) {
+      g.addArc(prefixNodeId(n, t, i), prefixNodeId(n, t + 1, i));
+      if (i >= shift) g.addArc(prefixNodeId(n, t, i - shift), prefixNodeId(n, t + 1, i));
+    }
+  }
+  // Stage-by-stage schedule, each stage's N-dags (index chains congruent
+  // mod 2^t) executed whole, anchor (smallest index) first.
+  std::vector<NodeId> order;
+  order.reserve(g.numNodes());
+  for (std::size_t t = 0; t < stages; ++t) {
+    const std::size_t shift = std::size_t{1} << t;
+    for (std::size_t residue = 0; residue < shift && residue < n; ++residue)
+      for (std::size_t i = residue; i < n; i += shift)
+        order.push_back(prefixNodeId(n, t, i));
+  }
+  for (std::size_t i = 0; i < n; ++i) order.push_back(prefixNodeId(n, stages, i));
+  return {std::move(g), Schedule(std::move(order))};
+}
+
+ScheduledDag prefixFromNDags(std::size_t n) {
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("prefixFromNDags: n must be a power of 2, >= 2");
+  }
+  const std::size_t stages = prefixNumStages(n);
+  // Where each (level, index) grid position lives: (constituent, node id
+  // within that N-dag). N-dag node ids: sources 0..s-1, sinks s..2s-1.
+  struct Ref {
+    std::size_t block;
+    NodeId node;
+  };
+  std::vector<std::vector<Ref>> ref(stages + 1, std::vector<Ref>(n));
+
+  LinearCompositionBuilder b(ndag(n));
+  for (std::size_t i = 0; i < n; ++i) ref[1][i] = {0, static_cast<NodeId>(n + i)};
+  std::size_t blockIndex = 1;
+  for (std::size_t t = 1; t < stages; ++t) {
+    const std::size_t shift = std::size_t{1} << t;
+    const std::size_t chainLen = n / shift;
+    for (std::size_t residue = 0; residue < shift; ++residue) {
+      // This N-dag's source k sits at grid (t, residue + k*shift) -- merge
+      // it with the matching already-built sink.
+      std::vector<MergePair> pairs;
+      pairs.reserve(chainLen);
+      for (std::size_t k = 0; k < chainLen; ++k) {
+        const Ref r = ref[t][residue + k * shift];
+        pairs.push_back({b.constituentNodeMap(r.block)[r.node], static_cast<NodeId>(k)});
+      }
+      b.append(ndag(chainLen), pairs);
+      for (std::size_t k = 0; k < chainLen; ++k) {
+        ref[t + 1][residue + k * shift] = {blockIndex, static_cast<NodeId>(chainLen + k)};
+      }
+      ++blockIndex;
+    }
+  }
+  return b.build();
+}
+
+}  // namespace icsched

@@ -1,0 +1,38 @@
+#pragma once
+/// \file prefix.hpp
+/// \brief Parallel-prefix (scan) dags P_n (Section 6.1, Figs 11-12).
+///
+/// P_n represents the O(log n)-step parallel-prefix algorithm
+///   for j = 0 .. floor(log2(n-1)):  x_i <- x_{i-2^j} * x_i  (i >= 2^j).
+/// It is an iterated composition of N-dags: stage j consists of the 2^j
+/// chains of indices congruent mod 2^j... each chain an N-dag whose anchor
+/// is its smallest index. Since (a) the anchor-first sequential schedule of
+/// an N-dag is IC-optimal, and (b) N_s ▷ N_t for all s, t ([21]), every P_n
+/// is a ▷-linear composition; any schedule executing the constituent N-dags
+/// in nonincreasing order of source count is IC-optimal.
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// Number of combining stages of P_n: floor(log2(n-1)) + 1 (n >= 2).
+[[nodiscard]] std::size_t prefixNumStages(std::size_t n);
+
+/// Node id of P_n position (level t in 0..numStages, index i in 0..n-1)
+/// under the level-major numbering used by prefixDag: t*n + i.
+[[nodiscard]] NodeId prefixNodeId(std::size_t n, std::size_t level, std::size_t index);
+
+/// The n-input parallel-prefix dag P_n (Fig 11) with the IC-optimal
+/// stage-by-stage, anchor-first schedule described above.
+/// \throws std::invalid_argument if n < 2.
+[[nodiscard]] ScheduledDag prefixDag(std::size_t n);
+
+/// Rebuilds P_n (n a power of 2) as an explicit ▷-linear composition of
+/// N-dags (Fig 12) via the Theorem 2.1 builder. Isomorphic to
+/// prefixDag(n).dag, with an identical eligibility profile.
+/// \throws std::invalid_argument if n is not a power of 2 or n < 2.
+[[nodiscard]] ScheduledDag prefixFromNDags(std::size_t n);
+
+}  // namespace icsched

@@ -1,0 +1,118 @@
+#include "families/trees.hpp"
+
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "core/duality.hpp"
+
+namespace icsched {
+
+namespace {
+
+Schedule identitySchedule(std::size_t n) {
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return Schedule(std::move(order));
+}
+
+}  // namespace
+
+ScheduledDag outTreeFromParents(const std::vector<std::uint32_t>& parent) {
+  if (parent.empty() || parent[0] != kRoot) {
+    throw std::invalid_argument("outTreeFromParents: node 0 must be the root");
+  }
+  Dag g(parent.size());
+  for (std::size_t v = 1; v < parent.size(); ++v) {
+    if (parent[v] >= v) {
+      throw std::invalid_argument("outTreeFromParents: parent[v] must be < v");
+    }
+    g.addArc(parent[v], static_cast<NodeId>(v));
+  }
+  // Identity order is a valid linear extension (parent < v); normalize it so
+  // leaves go last -- the theory's tools require nonsinks-first schedules.
+  Schedule s = normalizeNonsinksFirst(g, identitySchedule(parent.size()));
+  return {std::move(g), std::move(s)};
+}
+
+ScheduledDag completeOutTree(std::size_t arity, std::size_t height) {
+  if (arity < 1) throw std::invalid_argument("completeOutTree: need arity >= 1");
+  std::vector<std::uint32_t> parent{kRoot};
+  // Level-order construction: children of node v are appended while walking
+  // v from 0 upward, stopping one level short of the leaves.
+  std::size_t levelStart = 0;
+  std::size_t levelSize = 1;
+  for (std::size_t level = 0; level < height; ++level) {
+    for (std::size_t v = levelStart; v < levelStart + levelSize; ++v) {
+      for (std::size_t c = 0; c < arity; ++c) parent.push_back(static_cast<std::uint32_t>(v));
+    }
+    levelStart += levelSize;
+    levelSize *= arity;
+  }
+  return outTreeFromParents(parent);
+}
+
+ScheduledDag randomOutTree(std::size_t n, std::size_t maxArity, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("randomOutTree: need n >= 1");
+  if (maxArity == 0) throw std::invalid_argument("randomOutTree: need maxArity >= 1");
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint32_t> parent{kRoot};
+  std::vector<std::size_t> arity(n, 0);
+  std::vector<std::uint32_t> open{0};  // nodes that may still take children
+  for (std::size_t v = 1; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, open.size() - 1);
+    const std::size_t idx = pick(rng);
+    const std::uint32_t p = open[idx];
+    parent.push_back(p);
+    if (++arity[p] == maxArity) {
+      open[idx] = open.back();
+      open.pop_back();
+    }
+    open.push_back(static_cast<std::uint32_t>(v));
+  }
+  return outTreeFromParents(parent);
+}
+
+ScheduledDag randomBinaryOutTree(std::size_t leaves, std::uint64_t seed) {
+  if (leaves == 0) throw std::invalid_argument("randomBinaryOutTree: need leaves >= 1");
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint32_t> parent{kRoot};
+  std::vector<std::uint32_t> frontier{0};  // current leaves
+  for (std::size_t l = 1; l < leaves; ++l) {
+    std::uniform_int_distribution<std::size_t> pick(0, frontier.size() - 1);
+    const std::size_t idx = pick(rng);
+    const std::uint32_t v = frontier[idx];
+    const auto c0 = static_cast<std::uint32_t>(parent.size());
+    parent.push_back(v);
+    parent.push_back(v);
+    frontier[idx] = c0;
+    frontier.push_back(c0 + 1);
+  }
+  return outTreeFromParents(parent);
+}
+
+ScheduledDag inTreeFor(const ScheduledDag& outTree) { return dualScheduledDag(outTree); }
+
+ScheduledDag completeInTree(std::size_t arity, std::size_t height) {
+  return inTreeFor(completeOutTree(arity, height));
+}
+
+bool executesSiblingsConsecutively(const Dag& inTree, const Schedule& s) {
+  const std::vector<std::size_t> pos = s.positions();
+  for (NodeId v = 0; v < inTree.numNodes(); ++v) {
+    const auto group = inTree.parents(v);  // v's sibling group (tree children)
+    if (group.size() < 2) continue;
+    std::size_t lo = pos[group.front()];
+    std::size_t hi = lo;
+    for (NodeId u : group) {
+      lo = std::min(lo, pos[u]);
+      hi = std::max(hi, pos[u]);
+    }
+    if (hi - lo != group.size() - 1) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> leavesOf(const Dag& outTree) { return outTree.sinks(); }
+
+}  // namespace icsched

@@ -1,0 +1,75 @@
+#pragma once
+/// \file trees.hpp
+/// \brief Out-trees and in-trees (Section 3.1): the "expansive" and
+/// "reductive" halves of expansion-reduction computations.
+///
+/// An out-tree is an iterated composition of Vee dags, so *every* schedule
+/// for it is IC-optimal. (As everywhere in the theory, "every schedule"
+/// means every schedule in nonsinks-first normal form: wasting an early step
+/// on a leaf, which renders nothing ELIGIBLE, is trivially dominated. All
+/// constructors here return nonsinks-first schedules.)
+/// An in-tree is dual to an out-tree; a schedule for an
+/// in-tree is IC-optimal iff it executes the two sources of each copy of
+/// Lambda in consecutive steps ([23]). The constructors here return such
+/// schedules (the in-tree ones are produced by the Theorem 2.2 dual-schedule
+/// construction, which yields sibling-consecutive orders automatically).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/priority.hpp"
+
+namespace icsched {
+
+/// An out-tree given by its parent array: parent[0] == kRoot for the root
+/// (node 0), and parent[v] < v for every other node, so node ids are already
+/// topological.
+inline constexpr std::uint32_t kRoot = 0xFFFFFFFFu;
+
+/// Builds an out-tree dag from a parent array (see kRoot convention above).
+/// The returned schedule is the identity order (IC-optimal: every schedule
+/// of an out-tree is).
+/// \throws std::invalid_argument on malformed parent arrays.
+[[nodiscard]] ScheduledDag outTreeFromParents(const std::vector<std::uint32_t>& parent);
+
+/// The complete \p arity-ary out-tree of height \p height (height 0 = a
+/// single node). Ids are level-order: root 0, then level 1 left-to-right, ...
+[[nodiscard]] ScheduledDag completeOutTree(std::size_t arity, std::size_t height);
+
+/// A pseudorandom out-tree with \p n nodes in which every internal node has
+/// between 1 and \p maxArity children. Deterministic in \p seed.
+///
+/// CAUTION on optimality: the paper's "every schedule for an out-tree is IC
+/// optimal" relies on the tree being an iterated composition of *one* Vee
+/// shape ("any fixed degree works", footnote 7). A mixed-arity tree is a
+/// composition of different V_d blocks with V_a ▷ V_b only for a >= b, and
+/// the topology may force a low-arity ancestor before a high-arity
+/// descendant -- such trees can fail to admit any IC-optimal schedule (see
+/// EXPERIMENTS.md). The returned schedule is therefore only guaranteed
+/// valid and nonsinks-first.
+[[nodiscard]] ScheduledDag randomOutTree(std::size_t n, std::size_t maxArity,
+                                         std::uint64_t seed);
+
+/// A random *binary expansion* out-tree in the shape produced by adaptive
+/// divide-and-conquer (Section 3.2): every node has exactly 0 or 2 children;
+/// exactly \p leaves leaves. Deterministic in \p seed.
+/// \throws std::invalid_argument if leaves == 0.
+[[nodiscard]] ScheduledDag randomBinaryOutTree(std::size_t leaves, std::uint64_t seed);
+
+/// The in-tree dual to \p outTree, with an IC-optimal (sibling-consecutive)
+/// schedule obtained by the Theorem 2.2 construction.
+[[nodiscard]] ScheduledDag inTreeFor(const ScheduledDag& outTree);
+
+/// The complete \p arity-ary in-tree of height \p height.
+[[nodiscard]] ScheduledDag completeInTree(std::size_t arity, std::size_t height);
+
+/// True iff \p s executes the sources of every embedded Lambda copy of the
+/// binary in-tree \p g (i.e. every full sibling group) in consecutive steps
+/// -- the [23] characterization of IC-optimality for in-trees.
+[[nodiscard]] bool executesSiblingsConsecutively(const Dag& inTree, const Schedule& s);
+
+/// The leaves (sinks) of an out-tree, in increasing id order.
+[[nodiscard]] std::vector<NodeId> leavesOf(const Dag& outTree);
+
+}  // namespace icsched

@@ -1,0 +1,75 @@
+#include "granularity/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace icsched {
+
+Clustering clusterDag(const Dag& g, const std::vector<std::uint32_t>& assignment) {
+  if (assignment.size() != g.numNodes()) {
+    throw std::invalid_argument("clusterDag: assignment size != node count");
+  }
+  std::uint32_t numClusters = 0;
+  for (std::uint32_t c : assignment) numClusters = std::max(numClusters, c + 1);
+  if (g.numNodes() == 0) numClusters = 0;
+  // Density check: every cluster id below numClusters must be used.
+  std::vector<std::size_t> size(numClusters, 0);
+  for (std::uint32_t c : assignment) ++size[c];
+  for (std::uint32_t c = 0; c < numClusters; ++c) {
+    if (size[c] == 0) {
+      throw std::invalid_argument("clusterDag: cluster ids must be dense; id " +
+                                  std::to_string(c) + " unused");
+    }
+  }
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> weight;
+  std::size_t cross = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) {
+      const std::uint32_t cu = assignment[u];
+      const std::uint32_t cv = assignment[v];
+      if (cu == cv) continue;
+      ++weight[{cu, cv}];
+      ++cross;
+    }
+  }
+
+  Clustering out;
+  out.assignment = assignment;
+  out.clusterSize = std::move(size);
+  out.crossArcs = cross;
+  out.quotient = Dag(numClusters);
+  out.arcWeight.reserve(weight.size());
+  for (const auto& [arc, w] : weight) {
+    out.quotient.addArc(arc.first, arc.second);
+  }
+  // quotient.arcs() enumerates by (from, insertion order); std::map iterates
+  // by (from, to), which matches insertion order above.
+  for (const Arc& a : out.quotient.arcs()) {
+    out.arcWeight.push_back(weight.at({a.from, a.to}));
+  }
+  if (!out.quotient.isAcyclic()) {
+    throw std::logic_error(
+        "clusterDag: inadmissible clustering (quotient has a cycle; some "
+        "cluster is not convex)");
+  }
+  return out;
+}
+
+bool isAdmissibleClustering(const Dag& g, const std::vector<std::uint32_t>& assignment) {
+  try {
+    (void)clusterDag(g, assignment);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+std::vector<std::uint32_t> identityAssignment(const Dag& g) {
+  std::vector<std::uint32_t> a(g.numNodes());
+  for (NodeId v = 0; v < g.numNodes(); ++v) a[v] = v;
+  return a;
+}
+
+}  // namespace icsched

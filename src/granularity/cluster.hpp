@@ -1,0 +1,50 @@
+#pragma once
+/// \file cluster.hpp
+/// \brief Generic task-clustering (multi-granularity) support.
+///
+/// Every coarsening in the paper (Figs 3, 7, 13; Section 5.1) is a quotient
+/// of a fine-grained dag by a partition of its nodes into clusters, each
+/// cluster becoming one coarse task. A clustering is *admissible* when the
+/// quotient graph is again a dag (equivalently, every cluster is convex: no
+/// dependency path leaves a cluster and returns to it), so coarse tasks can
+/// be executed atomically.
+///
+/// The quotient also carries the two quantities the paper weighs against
+/// each other: per-task computation (cluster size) and inter-task
+/// communication (number of fine arcs crossing cluster boundaries), the
+/// latter being "a much dearer resource in IC".
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace icsched {
+
+/// Result of clustering a dag.
+struct Clustering {
+  Dag quotient;                            ///< one node per cluster
+  std::vector<std::uint32_t> assignment;   ///< fine node -> cluster id
+  std::vector<std::size_t> clusterSize;    ///< #fine nodes per cluster (computation)
+  std::vector<std::size_t> arcWeight;      ///< per quotient-arc: #fine arcs it bundles
+                                           ///< (indexed in quotient.arcs() order)
+  std::size_t crossArcs = 0;               ///< total inter-cluster fine arcs (communication)
+};
+
+/// Builds the quotient of \p g under \p assignment (cluster ids must be
+/// dense: 0..max). Parallel fine arcs between the same cluster pair become
+/// one weighted quotient arc.
+/// \throws std::invalid_argument if the assignment is malformed.
+/// \throws std::logic_error if the quotient has a cycle (inadmissible
+///         clustering: some cluster is not convex).
+[[nodiscard]] Clustering clusterDag(const Dag& g, const std::vector<std::uint32_t>& assignment);
+
+/// True iff \p assignment yields an acyclic quotient (admissible coarsening).
+[[nodiscard]] bool isAdmissibleClustering(const Dag& g,
+                                          const std::vector<std::uint32_t>& assignment);
+
+/// The identity clustering (every node its own cluster); quotient == g.
+[[nodiscard]] std::vector<std::uint32_t> identityAssignment(const Dag& g);
+
+}  // namespace icsched

@@ -1,0 +1,34 @@
+#include "granularity/coarsen_butterfly.hpp"
+
+#include <stdexcept>
+
+#include "families/butterfly.hpp"
+
+namespace icsched {
+
+CoarsenedButterfly coarsenButterfly(std::size_t a, std::size_t b) {
+  if (a == 0 || b == 0 || a + b > 25) {
+    throw std::invalid_argument("coarsenButterfly: need a >= 1, b >= 1, a+b <= 25");
+  }
+  const std::size_t dim = a + b;
+  const ScheduledDag fine = butterfly(dim);
+  const std::size_t rows = std::size_t{1} << dim;
+
+  std::vector<std::uint32_t> assignment(fine.dag.numNodes(), 0);
+  for (std::size_t l = 0; l <= dim; ++l) {
+    const std::size_t superLevel = (l <= b) ? 0 : l - b;
+    for (std::size_t r = 0; r < rows; ++r) {
+      assignment[butterflyNodeId(dim, l, r)] =
+          butterflyNodeId(a, superLevel, r >> b);
+    }
+  }
+
+  CoarsenedButterfly out;
+  out.a = a;
+  out.b = b;
+  out.clustering = clusterDag(fine.dag, assignment);
+  out.coarse = butterfly(a);
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,37 @@
+#pragma once
+/// \file coarsen_butterfly.hpp
+/// \brief Coarsening butterfly-structured computations (Section 5.1).
+///
+/// The paper cites [1]: every (a+b)-dimensional butterfly network is
+/// (isomorphic to) a copy of B_a each of whose nodes is a copy of B_b. The
+/// computational analogue implemented here clusters B_{a+b} so that the
+/// quotient is *exactly* B_a:
+///   - fine node (l, r) with l <= b joins super-task (0, r >> b): each such
+///     super-task is a full copy of B_b ((b+1) * 2^b nodes);
+///   - fine node (l, r) with l > b joins super-task (l - b, r >> b): a
+///     2^b-node row-slab.
+/// All fine arcs at levels < b stay inside their B_b copy; arcs at levels
+/// >= b project onto exactly the arcs of B_a. This lets one dial task
+/// granularity while always retaining butterfly-structured dependencies.
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+#include "granularity/cluster.hpp"
+
+namespace icsched {
+
+/// A coarsened butterfly.
+struct CoarsenedButterfly {
+  ScheduledDag coarse;    ///< B_a with its IC-optimal schedule
+  Clustering clustering;  ///< quotient bookkeeping on the fine B_{a+b}
+  std::size_t a = 0;      ///< coarse dimension
+  std::size_t b = 0;      ///< granularity exponent (2^b rows per super-task)
+};
+
+/// Coarsens butterfly(a + b) as described above; the quotient equals
+/// butterfly(a) exactly under the level-major numbering.
+/// \throws std::invalid_argument if a == 0 or b == 0 or a + b > 25.
+[[nodiscard]] CoarsenedButterfly coarsenButterfly(std::size_t a, std::size_t b);
+
+}  // namespace icsched

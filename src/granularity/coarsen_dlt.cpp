@@ -1,0 +1,47 @@
+#include "granularity/coarsen_dlt.hpp"
+
+#include <stdexcept>
+
+#include "core/optimality.hpp"
+#include "families/dlt.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+
+CoarsenedDlt coarsenDltColumns(std::size_t n, bool verify) {
+  const DltDag fine = dltPrefixDag(n);
+  const std::size_t stages = prefixNumStages(n);
+
+  // Cluster ids: columns 0..n-1 first, then the in-tree's interior nodes in
+  // increasing fine-id order.
+  std::vector<std::uint32_t> assignment(fine.composite.dag.numNodes(), 0);
+  std::vector<bool> assigned(fine.composite.dag.numNodes(), false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t <= stages; ++t) {
+      const NodeId fineId = fine.generatorMap[prefixNodeId(n, t, i)];
+      assignment[fineId] = static_cast<std::uint32_t>(i);
+      assigned[fineId] = true;
+    }
+  }
+  // The prefix sinks coincide with the in-tree sources (merged), so the only
+  // unassigned fine nodes are the in-tree's interior.
+  std::uint32_t next = static_cast<std::uint32_t>(n);
+  for (NodeId v = 0; v < fine.composite.dag.numNodes(); ++v) {
+    if (!assigned[v]) assignment[v] = next++;
+  }
+
+  CoarsenedDlt out;
+  out.clustering = clusterDag(fine.composite.dag, assignment);
+  out.coarse = out.clustering.quotient;
+  if (verify) {
+    if (out.coarse.numNodes() > 32) {
+      throw std::invalid_argument(
+          "coarsenDltColumns: verification limited to small n; pass verify=false");
+    }
+    out.schedule = findICOptimalSchedule(out.coarse);
+  }
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,34 @@
+#pragma once
+/// \file coarsen_dlt.hpp
+/// \brief Coarsening DLT dags (Section 6.2.1, Fig 13 right).
+///
+/// The coarsened version of L_n collapses each column of the parallel-prefix
+/// generator -- the chain computing one power of w, together with the merged
+/// accumulation source it feeds -- into a single coarse task, keeping the
+/// accumulating in-tree's interior fine-grained. The coarse dag still admits
+/// an IC-optimal schedule: the column dag's ▷-priorities combine with the
+/// purely topological fact that the right-hand portion of the in-tree cannot
+/// be executed until its sources have been.
+
+#include <cstddef>
+#include <optional>
+
+#include "core/priority.hpp"
+#include "granularity/cluster.hpp"
+
+namespace icsched {
+
+/// A coarsened DLT dag.
+struct CoarsenedDlt {
+  Dag coarse;                         ///< columns ⇑ in-tree interior
+  std::optional<Schedule> schedule;   ///< an IC-optimal schedule, when found
+  Clustering clustering;              ///< quotient bookkeeping on the fine L_n
+};
+
+/// Coarsens dltPrefixDag(n) by prefix columns as described above. For
+/// n <= 16 an IC-optimal schedule for the coarse dag is produced by the
+/// exhaustive search; pass verify = false to skip it for large n.
+/// \throws std::invalid_argument unless n is a power of 2, n >= 2.
+[[nodiscard]] CoarsenedDlt coarsenDltColumns(std::size_t n, bool verify = true);
+
+}  // namespace icsched

@@ -1,0 +1,35 @@
+#include "granularity/coarsen_mesh.hpp"
+
+#include <stdexcept>
+
+#include "families/mesh.hpp"
+
+namespace icsched {
+
+CoarsenedMesh coarsenMesh(std::size_t diagonals, std::size_t blockSide) {
+  if (diagonals == 0 || blockSide == 0) {
+    throw std::invalid_argument("coarsenMesh: need diagonals >= 1 and blockSide >= 1");
+  }
+  const ScheduledDag fine = outMesh(diagonals);
+  const std::size_t coarseDiagonals = (diagonals + blockSide - 1) / blockSide;
+
+  // Fine node (diagonal d, offset p) has mesh coordinates i = p, j = d - p;
+  // it joins coarse block (I, J) = (i/b, j/b), i.e. coarse diagonal I+J,
+  // coarse offset I.
+  std::vector<std::uint32_t> assignment(fine.dag.numNodes(), 0);
+  for (std::size_t d = 0; d < diagonals; ++d) {
+    for (std::size_t p = 0; p <= d; ++p) {
+      const std::size_t bi = p / blockSide;
+      const std::size_t bj = (d - p) / blockSide;
+      assignment[meshNodeId(d, p)] = meshNodeId(bi + bj, bi);
+    }
+  }
+
+  CoarsenedMesh out;
+  out.blockSide = blockSide;
+  out.clustering = clusterDag(fine.dag, assignment);
+  out.coarse = outMesh(coarseDiagonals);
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,34 @@
+#pragma once
+/// \file coarsen_mesh.hpp
+/// \brief Coarsening wavefront computations (Section 4.1, Fig 7).
+///
+/// Clustering the out-mesh's tasks into b-by-b blocks (in the original
+/// (i, j) coordinates) yields "equilateral rectangles and triangles" whose
+/// areas set the coarsening factor. With uniform granularity the coarse
+/// mesh is just a smaller out-mesh, hence still admits an IC-optimal
+/// schedule. The paper's key economic observation -- computation per coarse
+/// task grows quadratically with its sidelength while communication grows
+/// only linearly -- is exposed through the clustering's size/crossArcs
+/// metrics (see the granularity ablation bench).
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+#include "granularity/cluster.hpp"
+
+namespace icsched {
+
+/// A coarsened out-mesh.
+struct CoarsenedMesh {
+  ScheduledDag coarse;    ///< the coarse out-mesh with its IC-optimal schedule
+  Clustering clustering;  ///< quotient bookkeeping on the fine mesh
+  std::size_t blockSide;  ///< the coarsening factor b
+};
+
+/// Coarsens outMesh(diagonals) by b-by-b blocks: fine node (i, j) joins the
+/// coarse task (i/b, j/b). The quotient equals
+/// outMesh(ceil(diagonals / b)) exactly (under diagonal-major numbering).
+/// \throws std::invalid_argument if b == 0 or diagonals == 0.
+[[nodiscard]] CoarsenedMesh coarsenMesh(std::size_t diagonals, std::size_t blockSide);
+
+}  // namespace icsched

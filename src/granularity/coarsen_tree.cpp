@@ -1,0 +1,122 @@
+#include "granularity/coarsen_tree.hpp"
+
+#include <stdexcept>
+
+#include "families/trees.hpp"
+
+namespace icsched {
+
+namespace {
+
+/// Marks v and all its descendants in the out-tree.
+void markSubtree(const Dag& tree, NodeId v, std::vector<bool>& mark) {
+  mark[v] = true;
+  for (NodeId c : tree.children(v)) markSubtree(tree, c, mark);
+}
+
+}  // namespace
+
+ScheduledDag truncateOutTree(const ScheduledDag& outTree, const std::vector<NodeId>& truncateAt) {
+  const Dag& t = outTree.dag;
+  std::vector<bool> listed(t.numNodes(), false);
+  for (NodeId v : truncateAt) {
+    if (v >= t.numNodes()) throw std::invalid_argument("truncateOutTree: node out of range");
+    if (listed[v]) throw std::invalid_argument("truncateOutTree: node listed twice");
+    listed[v] = true;
+  }
+  // Reject nesting: no listed node may have a listed proper ancestor.
+  for (NodeId v : truncateAt) {
+    NodeId u = v;
+    while (!t.isSource(u)) {
+      u = t.parents(u)[0];
+      if (listed[u]) {
+        throw std::invalid_argument(
+            "truncateOutTree: truncation nodes must not be nested (node " +
+            std::to_string(v) + " lies under node " + std::to_string(u) + ")");
+      }
+    }
+  }
+  std::vector<bool> inSubtree(t.numNodes(), false);
+  for (NodeId v : truncateAt) markSubtree(t, v, inSubtree);
+  for (NodeId v : truncateAt) inSubtree[v] = false;  // keep the roots of the cuts
+
+  // Rebuild the parent array over kept nodes (ids compacted, order kept).
+  std::vector<NodeId> newId(t.numNodes(), 0);
+  NodeId next = 0;
+  for (NodeId v = 0; v < t.numNodes(); ++v)
+    if (!inSubtree[v]) newId[v] = next++;
+  std::vector<std::uint32_t> parent;
+  parent.reserve(next);
+  for (NodeId v = 0; v < t.numNodes(); ++v) {
+    if (inSubtree[v]) continue;
+    if (t.isSource(v)) {
+      parent.push_back(kRoot);
+    } else {
+      parent.push_back(newId[t.parents(v)[0]]);
+    }
+  }
+  return outTreeFromParents(parent);
+}
+
+CoarsenedDiamond coarsenDiamond(const ScheduledDag& outTree,
+                                const std::vector<NodeId>& truncateAt) {
+  const Dag& t = outTree.dag;
+  const DiamondDag fine = symmetricDiamond(outTree);
+  const ScheduledDag truncated = truncateOutTree(outTree, truncateAt);
+
+  // Recompute which fine tree nodes are strict descendants of a cut, and
+  // which cut node owns them.
+  std::vector<NodeId> owner(t.numNodes(), kRoot);  // kRoot = not absorbed
+  for (NodeId v : truncateAt) {
+    std::vector<bool> mark(t.numNodes(), false);
+    markSubtree(t, v, mark);
+    mark[v] = false;
+    for (NodeId u = 0; u < t.numNodes(); ++u)
+      if (mark[u]) owner[u] = v;
+  }
+
+  // Kept-node renumbering, mirroring truncateOutTree.
+  std::vector<NodeId> newId(t.numNodes(), 0);
+  NodeId next = 0;
+  for (NodeId v = 0; v < t.numNodes(); ++v)
+    if (owner[v] == kRoot) newId[v] = next++;
+  const NodeId keptCount = next;
+
+  // Coarse in-tree internal node numbering: the coarse diamond gives the
+  // dual tree's unmerged nodes (internal nodes of the truncated tree) ids
+  // keptCount, keptCount+1, ... in increasing tree-id order.
+  std::vector<NodeId> internalRank(t.numNodes(), 0);
+  NodeId rank = 0;
+  for (NodeId v = 0; v < t.numNodes(); ++v) {
+    if (owner[v] != kRoot) continue;
+    const bool leafInTruncated =
+        t.isSink(v) || (!t.children(v).empty() && owner[t.children(v)[0]] != kRoot);
+    if (!leafInTruncated) internalRank[v] = keptCount + rank++;
+  }
+
+  // Build the cluster assignment over the fine composite's nodes.
+  std::vector<std::uint32_t> assignment(fine.composite.dag.numNodes(), 0);
+  auto clusterOfTreeNode = [&](NodeId u) -> std::uint32_t {
+    return owner[u] == kRoot ? newId[u] : newId[owner[u]];
+  };
+  for (NodeId u = 0; u < t.numNodes(); ++u) {
+    assignment[fine.outTreeMap[u]] = clusterOfTreeNode(u);
+    const bool leafInTruncated =
+        owner[u] == kRoot &&
+        (t.isSink(u) || (!t.children(u).empty() && owner[t.children(u)[0]] != kRoot));
+    if (owner[u] != kRoot || leafInTruncated) {
+      // Absorbed nodes and new leaves: the in-tree mate joins the same task.
+      assignment[fine.inTreeMap[u]] = clusterOfTreeNode(u);
+    } else {
+      // Internal kept node: its in-tree mate is a separate coarse task.
+      assignment[fine.inTreeMap[u]] = internalRank[u];
+    }
+  }
+
+  CoarsenedDiamond out;
+  out.clustering = clusterDag(fine.composite.dag, assignment);
+  out.coarse = symmetricDiamond(truncated);
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,42 @@
+#pragma once
+/// \file coarsen_tree.hpp
+/// \brief Coarsening expansion-reduction computations (Section 3.1, Fig 3).
+///
+/// One coarsens a diamond dag by selectively truncating branches of the
+/// out-tree together with the mated portions of the in-tree, leaving more of
+/// the overall computation inside single (coarser) remote tasks. Truncating
+/// at out-tree node v merges v's whole subtree and the mated in-tree subtree
+/// into one task; the coarse dag is again a diamond (of the truncated tree),
+/// hence still admits an IC-optimal schedule.
+
+#include <vector>
+
+#include "families/diamond.hpp"
+#include "granularity/cluster.hpp"
+
+namespace icsched {
+
+/// A coarsened diamond: the coarse dag (a diamond of the truncated tree),
+/// plus the clustering of the original fine diamond that produced it.
+struct CoarsenedDiamond {
+  DiamondDag coarse;      ///< coarse diamond with its IC-optimal schedule
+  Clustering clustering;  ///< quotient bookkeeping on the fine diamond
+};
+
+/// Truncates the out-tree at \p truncateAt (each listed node's strict
+/// descendants are removed; the node itself becomes a leaf). Nodes are
+/// renumbered densely; the result keeps an IC-optimal schedule.
+/// \throws std::invalid_argument if a listed node is an ancestor or
+///         descendant of another listed node, or out of range.
+[[nodiscard]] ScheduledDag truncateOutTree(const ScheduledDag& outTree,
+                                           const std::vector<NodeId>& truncateAt);
+
+/// Coarsens symmetricDiamond(outTree) at the given out-tree nodes (Fig 3):
+/// for each v in \p truncateAt, the expansion subtree below v and the mated
+/// reduction subtree collapse into one coarse task. Verifies (via the
+/// quotient) that the clustering is admissible and that the coarse dag is
+/// exactly symmetricDiamond(truncateOutTree(outTree, truncateAt)).
+[[nodiscard]] CoarsenedDiamond coarsenDiamond(const ScheduledDag& outTree,
+                                              const std::vector<NodeId>& truncateAt);
+
+}  // namespace icsched

@@ -1,0 +1,146 @@
+#include "io/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/heuristics.hpp"
+#include "approx/regret.hpp"
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "families/butterfly.hpp"
+#include "families/diamond.hpp"
+#include "families/dlt.hpp"
+#include "families/matmul_dag.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+#include "io/dag_io.hpp"
+#include "sim/simulation.hpp"
+
+namespace icsched {
+
+namespace {
+
+std::size_t parseSize(const std::string& s, const char* what) {
+  try {
+    const long long v = std::stoll(s);
+    if (v < 0) throw std::invalid_argument("negative");
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+ScheduledDag generate(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::invalid_argument("gen: missing family name");
+  const std::string& family = args[0];
+  auto param = [&](std::size_t i, const char* what) {
+    if (i >= args.size()) throw std::invalid_argument(std::string("gen: missing ") + what);
+    return parseSize(args[i], what);
+  };
+  if (family == "mesh") return outMesh(param(1, "diagonals"));
+  if (family == "butterfly") return butterfly(param(1, "dimension"));
+  if (family == "prefix") return prefixDag(param(1, "inputs"));
+  if (family == "dlt") return dltPrefixDag(param(1, "inputs")).composite;
+  if (family == "matmul") return matmulDag().composite;
+  if (family == "tree") return completeOutTree(param(1, "arity"), param(2, "height"));
+  if (family == "diamond") {
+    return symmetricDiamond(completeOutTree(param(1, "arity"), param(2, "height"))).composite;
+  }
+  if (family == "cycle") return cycleDag(param(1, "sources"));
+  if (family == "ndag") return ndag(param(1, "sources"));
+  throw std::invalid_argument("gen: unknown family '" + family + "'");
+}
+
+int cmdGen(const std::vector<std::string>& args, std::ostream& out) {
+  const ScheduledDag g = generate(args);
+  writeDag(out, g.dag);
+  writeSchedule(out, g.schedule);
+  return 0;
+}
+
+int cmdProfile(std::istream& in, std::ostream& out) {
+  const Dag g = readDag(in);
+  const Schedule s = readSchedule(in);
+  out << "profile";
+  for (std::size_t e : eligibilityProfile(g, s)) out << " " << e;
+  out << "\n";
+  return 0;
+}
+
+int cmdVerify(std::istream& in, std::ostream& out) {
+  const Dag g = readDag(in);
+  const Schedule s = readSchedule(in);
+  s.validate(g);
+  const bool optimal = isICOptimal(g, s);
+  const Regret r = scheduleRegret(g, s);
+  out << (optimal ? "IC-OPTIMAL" : "SUBOPTIMAL") << " maxDeficit=" << r.maxDeficit
+      << " totalDeficit=" << r.totalDeficit << "\n";
+  return optimal ? 0 : 2;
+}
+
+int cmdSchedule(const std::vector<std::string>& args, std::istream& in, std::ostream& out) {
+  const Dag g = readDag(in);
+  const std::string method = args.empty() ? "beam" : args[0];
+  Schedule s;
+  if (method == "greedy") {
+    s = greedyEligibleSchedule(g);
+  } else if (method == "beam") {
+    s = beamSearchSchedule(g, 32);
+  } else if (method == "exact") {
+    s = minimumRegretSchedule(g).schedule;
+  } else {
+    throw std::invalid_argument("schedule: unknown method '" + method + "'");
+  }
+  writeSchedule(out, s);
+  return 0;
+}
+
+int cmdDot(std::istream& in, std::ostream& out) {
+  out << readDag(in).toDot();
+  return 0;
+}
+
+int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ostream& out) {
+  if (args.size() < 3) {
+    throw std::invalid_argument("simulate: expected CLIENTS SCHEDULER SEED");
+  }
+  const Dag g = readDag(in);
+  const Schedule s = readSchedule(in);
+  SimulationConfig cfg;
+  cfg.numClients = parseSize(args[0], "clients");
+  cfg.seed = parseSize(args[2], "seed");
+  const SimulationResult r = simulateWith(g, s, args[1], cfg);
+  out << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
+      << " stalls=" << r.stallEvents << " readyPool=" << r.avgReadyPool << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+           std::ostream& err) {
+  try {
+    if (args.empty()) {
+      err << "usage: icsched <gen|profile|verify|schedule|dot|simulate> [args...]\n";
+      return 64;
+    }
+    const std::string& cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "gen") return cmdGen(rest, out);
+    if (cmd == "profile") return cmdProfile(in, out);
+    if (cmd == "verify") return cmdVerify(in, out);
+    if (cmd == "schedule") return cmdSchedule(rest, in, out);
+    if (cmd == "dot") return cmdDot(in, out);
+    if (cmd == "simulate") return cmdSimulate(rest, in, out);
+    err << "icsched: unknown command '" << cmd << "'\n";
+    return 64;
+  } catch (const std::exception& e) {
+    err << "icsched: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace icsched

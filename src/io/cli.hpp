@@ -1,0 +1,27 @@
+#pragma once
+/// \file cli.hpp
+/// \brief The `icsched` command-line tool's engine (testable, stream-based).
+///
+/// Subcommands (dag/schedule text per dag_io.hpp, read from stdin unless a
+/// generator is used):
+///   gen <family> [params...]       emit a family dag (+ its schedule)
+///       families: mesh N | butterfly D | prefix N | diamond ARITY HEIGHT |
+///                 dlt N | matmul | tree ARITY HEIGHT | cycle S | ndag S
+///   profile                        read dag+schedule, print E(t) series
+///   verify                         read dag+schedule, oracle-check (<= 64 nodes)
+///   schedule [greedy|beam|exact]   read dag, emit a schedule (default beam)
+///   dot                            read dag, emit GraphViz
+///   simulate CLIENTS SCHEDULER SEED   read dag+schedule, run the simulator
+///
+/// Returns a process exit code; all output goes to the provided streams.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace icsched {
+
+int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace icsched

@@ -1,0 +1,121 @@
+#include "io/dag_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace icsched {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("dag_io: line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void writeDag(std::ostream& os, const Dag& g) {
+  os << "dag " << g.numNodes() << "\n";
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const std::string label = g.label(v);
+    if (label != std::to_string(v)) os << "label " << v << " " << label << "\n";
+  }
+  for (const Arc& a : g.arcs()) os << "arc " << a.from << " " << a.to << "\n";
+  os << "end\n";
+}
+
+std::string dagToString(const Dag& g) {
+  std::ostringstream os;
+  writeDag(os, g);
+  return os.str();
+}
+
+Dag readDag(std::istream& is) {
+  std::string line;
+  std::size_t lineNo = 0;
+  // Find the header, skipping blanks and comments.
+  Dag g;
+  bool haveHeader = false;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (!haveHeader) {
+      if (kw != "dag") fail(lineNo, "expected 'dag <numNodes>' header, got '" + kw + "'");
+      std::size_t n = 0;
+      if (!(ls >> n)) fail(lineNo, "missing node count");
+      g = Dag(n);
+      haveHeader = true;
+      continue;
+    }
+    if (kw == "end") {
+      g.validateAcyclic();
+      return g;
+    }
+    if (kw == "label") {
+      NodeId v = 0;
+      if (!(ls >> v)) fail(lineNo, "label: missing node id");
+      if (v >= g.numNodes()) fail(lineNo, "label: node id out of range");
+      std::string text;
+      std::getline(ls, text);
+      const std::size_t start = text.find_first_not_of(' ');
+      g.setLabel(v, start == std::string::npos ? "" : text.substr(start));
+      continue;
+    }
+    if (kw == "arc") {
+      NodeId from = 0;
+      NodeId to = 0;
+      if (!(ls >> from >> to)) fail(lineNo, "arc: expected 'arc <from> <to>'");
+      try {
+        g.addArc(from, to);
+      } catch (const std::invalid_argument& e) {
+        fail(lineNo, e.what());
+      }
+      continue;
+    }
+    fail(lineNo, "unknown keyword '" + kw + "'");
+  }
+  fail(lineNo, haveHeader ? "missing 'end'" : "missing 'dag' header");
+}
+
+Dag dagFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readDag(is);
+}
+
+void writeSchedule(std::ostream& os, const Schedule& s) {
+  os << "schedule";
+  for (NodeId v : s.order()) os << " " << v;
+  os << "\n";
+}
+
+std::string scheduleToString(const Schedule& s) {
+  std::ostringstream os;
+  writeSchedule(os, s);
+  return os.str();
+}
+
+Schedule readSchedule(std::istream& is) {
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (kw != "schedule") fail(lineNo, "expected 'schedule ...'");
+    std::vector<NodeId> order;
+    NodeId v = 0;
+    while (ls >> v) order.push_back(v);
+    if (!ls.eof()) fail(lineNo, "schedule: non-numeric entry");
+    return Schedule(std::move(order));
+  }
+  fail(lineNo, "missing 'schedule' line");
+}
+
+Schedule scheduleFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readSchedule(is);
+}
+
+}  // namespace icsched

@@ -1,0 +1,41 @@
+#pragma once
+/// \file dag_io.hpp
+/// \brief Plain-text serialization for dags and schedules.
+///
+/// The format is line-oriented and diff-friendly:
+///
+///   dag <numNodes>
+///   # optional comment lines anywhere
+///   label <node> <text...>
+///   arc <from> <to>
+///   end
+///
+/// Schedules serialize as a single line: `schedule v0 v1 v2 ...`.
+/// Parsers validate as they read (ids in range, no duplicate arcs,
+/// acyclicity on demand) and throw std::invalid_argument with a line number
+/// on malformed input.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Writes \p g in the format above (labels only when set).
+void writeDag(std::ostream& os, const Dag& g);
+[[nodiscard]] std::string dagToString(const Dag& g);
+
+/// Parses a dag; consumes up to and including the `end` line.
+/// \throws std::invalid_argument on malformed input.
+[[nodiscard]] Dag readDag(std::istream& is);
+[[nodiscard]] Dag dagFromString(const std::string& text);
+
+/// Writes / parses a schedule line.
+void writeSchedule(std::ostream& os, const Schedule& s);
+[[nodiscard]] Schedule readSchedule(std::istream& is);
+[[nodiscard]] std::string scheduleToString(const Schedule& s);
+[[nodiscard]] Schedule scheduleFromString(const std::string& text);
+
+}  // namespace icsched

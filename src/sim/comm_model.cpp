@@ -1,0 +1,37 @@
+#include "sim/comm_model.hpp"
+
+namespace icsched {
+
+std::vector<double> taskDurations(const Dag& g, const CommModel& model) {
+  std::vector<double> out(g.numNodes());
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    out[v] = model.computePerUnit +
+             model.commPerUnit * static_cast<double>(g.inDegree(v));
+  }
+  return out;
+}
+
+std::vector<double> taskDurations(const Clustering& clustering, const CommModel& model) {
+  const Dag& q = clustering.quotient;
+  std::vector<double> inVolume(q.numNodes(), 0.0);
+  const std::vector<Arc> arcs = q.arcs();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    inVolume[arcs[i].to] += static_cast<double>(clustering.arcWeight[i]);
+  }
+  std::vector<double> out(q.numNodes());
+  for (NodeId v = 0; v < q.numNodes(); ++v) {
+    out[v] = model.computePerUnit * static_cast<double>(clustering.clusterSize[v]) +
+             model.commPerUnit * inVolume[v];
+  }
+  return out;
+}
+
+double totalCommVolume(const Dag& g, const CommModel& model) {
+  return model.commPerUnit * static_cast<double>(g.numArcs());
+}
+
+double totalCommVolume(const Clustering& clustering, const CommModel& model) {
+  return model.commPerUnit * static_cast<double>(clustering.crossArcs);
+}
+
+}  // namespace icsched

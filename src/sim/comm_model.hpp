@@ -1,0 +1,46 @@
+#pragma once
+/// \file comm_model.hpp
+/// \brief A simple communication-cost model (Section 8, thrust 3).
+///
+/// The paper defers "concerns such as communication load, which are
+/// critically important to IC" to future work; this module supplies the
+/// natural first model. A task's wall time on a remote client is
+///
+///   compute * work(v) + comm * inputVolume(v)
+///
+/// where work(v) is the task's computational weight (1 for fine tasks, the
+/// cluster size for coarse tasks) and inputVolume(v) the amount of parent
+/// data shipped over the Internet (the fine in-degree, or the bundled
+/// arc weights of a clustering). Feeding the resulting per-task durations
+/// into the simulator makes the paper's multi-granularity economics
+/// measurable: coarsening shrinks total communication but caps parallelism.
+
+#include <vector>
+
+#include "core/dag.hpp"
+#include "granularity/cluster.hpp"
+
+namespace icsched {
+
+/// Cost coefficients; time units match the simulator's.
+struct CommModel {
+  double computePerUnit = 1.0;  ///< per unit of task work
+  double commPerUnit = 0.0;     ///< per unit of input data fetched
+};
+
+/// Per-task durations for a fine-grained dag: every task has unit work and
+/// fetches one unit per incoming arc.
+[[nodiscard]] std::vector<double> taskDurations(const Dag& g, const CommModel& model);
+
+/// Per-task durations for a coarsened dag: task work is the cluster size,
+/// input volume the summed weights of incoming quotient arcs.
+[[nodiscard]] std::vector<double> taskDurations(const Clustering& clustering,
+                                                const CommModel& model);
+
+/// Total communication volume of a dag under the unit model (the number of
+/// arcs), or of a clustering (its crossArcs) -- the quantity the paper says
+/// is "a much dearer resource in IC".
+[[nodiscard]] double totalCommVolume(const Dag& g, const CommModel& model);
+[[nodiscard]] double totalCommVolume(const Clustering& clustering, const CommModel& model);
+
+}  // namespace icsched

@@ -1,0 +1,96 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icsched {
+
+StaticPriorityScheduler::StaticPriorityScheduler(const Schedule& s, std::string name)
+    : priority_(s.positions()), name_(std::move(name)) {}
+
+void StaticPriorityScheduler::onEligible(NodeId v) {
+  if (v >= priority_.size()) {
+    throw std::invalid_argument("StaticPriorityScheduler: node out of range");
+  }
+  heap_.push({priority_[v], v});
+}
+
+NodeId StaticPriorityScheduler::pick() {
+  const NodeId v = heap_.top().second;
+  heap_.pop();
+  return v;
+}
+
+NodeId FifoScheduler::pick() {
+  const NodeId v = queue_.front();
+  queue_.pop();
+  return v;
+}
+
+NodeId LifoScheduler::pick() {
+  const NodeId v = stack_.back();
+  stack_.pop_back();
+  return v;
+}
+
+NodeId RandomScheduler::pick() {
+  std::uniform_int_distribution<std::size_t> d(0, pool_.size() - 1);
+  const std::size_t i = d(rng_);
+  const NodeId v = pool_[i];
+  pool_[i] = pool_.back();
+  pool_.pop_back();
+  return v;
+}
+
+MaxOutDegreeScheduler::MaxOutDegreeScheduler(const Dag& g) : g_(&g) {}
+
+void MaxOutDegreeScheduler::onEligible(NodeId v) {
+  // Second component is bit-flipped so that ties prefer the smaller id.
+  heap_.push({g_->outDegree(v), ~v});
+}
+
+NodeId MaxOutDegreeScheduler::pick() {
+  const NodeId v = ~heap_.top().second;
+  heap_.pop();
+  return v;
+}
+
+std::vector<std::size_t> longestPathToSink(const Dag& g) {
+  std::vector<std::size_t> height(g.numNodes(), 0);
+  const std::vector<NodeId> order = g.topologicalOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (NodeId c : g.children(*it)) {
+      height[*it] = std::max(height[*it], height[c] + 1);
+    }
+  }
+  return height;
+}
+
+CriticalPathScheduler::CriticalPathScheduler(const Dag& g) : height_(longestPathToSink(g)) {}
+
+void CriticalPathScheduler::onEligible(NodeId v) { heap_.push({height_[v], ~v}); }
+
+NodeId CriticalPathScheduler::pick() {
+  const NodeId v = ~heap_.top().second;
+  heap_.pop();
+  return v;
+}
+
+std::unique_ptr<Scheduler> makeScheduler(const std::string& name, const Dag& g,
+                                         const Schedule& icOptimal, std::uint64_t seed) {
+  if (name == "IC-OPT") return std::make_unique<StaticPriorityScheduler>(icOptimal);
+  if (name == "FIFO") return std::make_unique<FifoScheduler>();
+  if (name == "LIFO") return std::make_unique<LifoScheduler>();
+  if (name == "RANDOM") return std::make_unique<RandomScheduler>(seed);
+  if (name == "MAX-OUT") return std::make_unique<MaxOutDegreeScheduler>(g);
+  if (name == "CRIT-PATH") return std::make_unique<CriticalPathScheduler>(g);
+  throw std::invalid_argument("makeScheduler: unknown scheduler '" + name + "'");
+}
+
+const std::vector<std::string>& allSchedulerNames() {
+  static const std::vector<std::string> kNames = {"IC-OPT",  "FIFO",    "LIFO",
+                                                  "RANDOM",  "MAX-OUT", "CRIT-PATH"};
+  return kNames;
+}
+
+}  // namespace icsched

@@ -1,0 +1,142 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Server-side allocation policies for the IC simulator.
+///
+/// The IC server keeps the set of ELIGIBLE tasks; whenever a client asks for
+/// work, the scheduler picks which ELIGIBLE task to allocate. The policies
+/// mirror the comparisons of the companion studies [15, 19]: the IC-optimal
+/// static schedule versus FIFO (Condor's dag-heuristic), LIFO, RANDOM,
+/// MAX-OUTDEGREE (greedy fan-out), and CRITICAL-PATH.
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// Allocation policy interface. The simulator calls onEligible() whenever a
+/// task becomes ELIGIBLE and pick() when a client requests work.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Notifies that \p v just became ELIGIBLE.
+  virtual void onEligible(NodeId v) = 0;
+
+  /// True when at least one ELIGIBLE task is available to allocate.
+  [[nodiscard]] virtual bool hasWork() const = 0;
+
+  /// Removes and returns the chosen ELIGIBLE task. Precondition: hasWork().
+  virtual NodeId pick() = 0;
+};
+
+/// Allocates in the fixed priority order of a static schedule (pass an
+/// IC-optimal schedule to get the theory's policy).
+class StaticPriorityScheduler final : public Scheduler {
+ public:
+  StaticPriorityScheduler(const Schedule& s, std::string name = "IC-OPT");
+  [[nodiscard]] std::string name() const override { return name_; }
+  void onEligible(NodeId v) override;
+  [[nodiscard]] bool hasWork() const override { return !heap_.empty(); }
+  NodeId pick() override;
+
+ private:
+  std::vector<std::size_t> priority_;
+  std::priority_queue<std::pair<std::size_t, NodeId>,
+                      std::vector<std::pair<std::size_t, NodeId>>, std::greater<>>
+      heap_;
+  std::string name_;
+};
+
+/// First-in-first-out over eligibility events (the "FIFO" heuristic of
+/// [19, 15]).
+class FifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+  void onEligible(NodeId v) override { queue_.push(v); }
+  [[nodiscard]] bool hasWork() const override { return !queue_.empty(); }
+  NodeId pick() override;
+
+ private:
+  std::queue<NodeId> queue_;
+};
+
+/// Last-in-first-out over eligibility events.
+class LifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "LIFO"; }
+  void onEligible(NodeId v) override { stack_.push_back(v); }
+  [[nodiscard]] bool hasWork() const override { return !stack_.empty(); }
+  NodeId pick() override;
+
+ private:
+  std::vector<NodeId> stack_;
+};
+
+/// Uniformly random ELIGIBLE task; deterministic in the seed.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "RANDOM"; }
+  void onEligible(NodeId v) override { pool_.push_back(v); }
+  [[nodiscard]] bool hasWork() const override { return !pool_.empty(); }
+  NodeId pick() override;
+
+ private:
+  std::vector<NodeId> pool_;
+  std::mt19937_64 rng_;
+};
+
+/// Greedy fan-out: the ELIGIBLE task with the most children first
+/// (ties: smaller id).
+class MaxOutDegreeScheduler final : public Scheduler {
+ public:
+  explicit MaxOutDegreeScheduler(const Dag& g);
+  [[nodiscard]] std::string name() const override { return "MAX-OUT"; }
+  void onEligible(NodeId v) override;
+  [[nodiscard]] bool hasWork() const override { return !heap_.empty(); }
+  NodeId pick() override;
+
+ private:
+  const Dag* g_;
+  // max-heap on (outdegree, then lower id preferred).
+  std::priority_queue<std::pair<std::size_t, NodeId>> heap_;
+};
+
+/// Longest path to a sink first (classic HLF/critical-path heuristic).
+class CriticalPathScheduler final : public Scheduler {
+ public:
+  explicit CriticalPathScheduler(const Dag& g);
+  [[nodiscard]] std::string name() const override { return "CRIT-PATH"; }
+  void onEligible(NodeId v) override;
+  [[nodiscard]] bool hasWork() const override { return !heap_.empty(); }
+  NodeId pick() override;
+
+ private:
+  std::vector<std::size_t> height_;
+  std::priority_queue<std::pair<std::size_t, NodeId>> heap_;
+};
+
+/// The longest-path heights used by CriticalPathScheduler (exposed for
+/// tests): height[v] = length of the longest path from v to a sink.
+[[nodiscard]] std::vector<std::size_t> longestPathToSink(const Dag& g);
+
+/// Factory covering the whole comparison suite of the bench harness.
+/// Known names: "IC-OPT" (requires \p icOptimal), "FIFO", "LIFO", "RANDOM",
+/// "MAX-OUT", "CRIT-PATH".
+[[nodiscard]] std::unique_ptr<Scheduler> makeScheduler(const std::string& name, const Dag& g,
+                                                       const Schedule& icOptimal,
+                                                       std::uint64_t seed);
+
+/// All scheduler names in canonical comparison order.
+[[nodiscard]] const std::vector<std::string>& allSchedulerNames();
+
+}  // namespace icsched

@@ -1,0 +1,169 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+#include "core/eligibility.hpp"
+
+namespace icsched {
+
+namespace {
+
+struct Completion {
+  double time;
+  std::size_t client;
+  NodeId node;
+  friend bool operator>(const Completion& a, const Completion& b) { return a.time > b.time; }
+};
+
+}  // namespace
+
+SimulationResult simulate(const Dag& g, Scheduler& sched, const SimulationConfig& config) {
+  if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
+  if (config.numClients == 0) throw std::invalid_argument("simulate: need >= 1 client");
+  if (config.durationJitter < 0.0 || config.durationJitter >= 1.0) {
+    throw std::invalid_argument("simulate: durationJitter must be in [0, 1)");
+  }
+  std::vector<double> speeds = config.clientSpeeds;
+  if (speeds.empty()) {
+    speeds.assign(config.numClients, 1.0);
+  } else if (speeds.size() != config.numClients) {
+    throw std::invalid_argument("simulate: clientSpeeds size != numClients");
+  }
+  for (double s : speeds) {
+    if (s <= 0.0) throw std::invalid_argument("simulate: client speeds must be positive");
+  }
+  if (config.failureProbability < 0.0 || config.failureProbability >= 1.0) {
+    throw std::invalid_argument("simulate: failureProbability must be in [0, 1)");
+  }
+  std::vector<double> baseDuration = config.taskBaseDurations;
+  if (baseDuration.empty()) {
+    baseDuration.assign(g.numNodes(), config.meanTaskDuration);
+  } else if (baseDuration.size() != g.numNodes()) {
+    throw std::invalid_argument("simulate: taskBaseDurations size != node count");
+  }
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> jitter(1.0 - config.durationJitter,
+                                                1.0 + config.durationJitter);
+  std::bernoulli_distribution fails(config.failureProbability);
+
+  EligibilityTracker tracker(g);
+  for (NodeId v : tracker.eligibleNodes()) sched.onEligible(v);
+
+  SimulationResult res;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+  // Idle clients, in the order they went idle; idleSince[c] tracks the
+  // moment each waiting client last asked for work.
+  std::deque<std::size_t> idleQueue;
+  std::vector<double> idleSince(config.numClients, 0.0);
+
+  double now = 0.0;
+  double readyPoolIntegral = 0.0;
+  double lastEventTime = 0.0;
+  std::size_t readyPoolCount = 0;  // ELIGIBLE and not yet allocated
+
+  // Count the ready pool as the scheduler sees it.
+  readyPoolCount = tracker.eligibleCount();
+
+  auto advanceIntegralTo = [&](double t) {
+    readyPoolIntegral += static_cast<double>(readyPoolCount) * (t - lastEventTime);
+    lastEventTime = t;
+  };
+
+  auto assignOrIdle = [&](std::size_t client) {
+    if (sched.hasWork()) {
+      const NodeId v = sched.pick();
+      --readyPoolCount;
+      const double duration = baseDuration[v] * jitter(rng) / speeds[client];
+      completions.push({now + duration, client, v});
+    } else {
+      ++res.stallEvents;
+      idleSince[client] = now;
+      idleQueue.push_back(client);
+    }
+  };
+
+  for (std::size_t c = 0; c < config.numClients; ++c) assignOrIdle(c);
+
+  std::size_t executed = 0;
+  while (executed < g.numNodes()) {
+    if (completions.empty()) {
+      throw std::logic_error("simulate: no in-flight task but work remains");
+    }
+    const Completion done = completions.top();
+    completions.pop();
+    advanceIntegralTo(done.time);
+    now = done.time;
+    if (config.failureProbability > 0.0 && fails(rng)) {
+      // The client departed mid-task ([14]): the result is lost and the
+      // task returns to the ready pool; the client (node rebooted / a
+      // replacement) asks for fresh work like any finisher.
+      ++res.failedAttempts;
+      sched.onEligible(done.node);
+      ++readyPoolCount;
+      idleQueue.push_back(done.client);
+      idleSince[done.client] = now;
+      while (!idleQueue.empty() && sched.hasWork()) {
+        const std::size_t client = idleQueue.front();
+        idleQueue.pop_front();
+        res.totalIdleTime += now - idleSince[client];
+        const NodeId v = sched.pick();
+        --readyPoolCount;
+        const double duration = baseDuration[v] * jitter(rng) / speeds[client];
+        completions.push({now + duration, client, v});
+      }
+      continue;
+    }
+    const std::vector<NodeId> packet = tracker.execute(done.node);
+    ++executed;
+    res.eligibleAfterCompletion.push_back(tracker.eligibleCount());
+    for (NodeId v : packet) {
+      sched.onEligible(v);
+      ++readyPoolCount;
+    }
+    // Waiting clients asked earlier, so they are served first; the finishing
+    // client joins the back of the queue (unless the computation is over).
+    if (executed < g.numNodes()) {
+      idleQueue.push_back(done.client);
+      idleSince[done.client] = now;
+      bool finisherServed = false;
+      while (!idleQueue.empty() && sched.hasWork()) {
+        const std::size_t client = idleQueue.front();
+        idleQueue.pop_front();
+        res.totalIdleTime += now - idleSince[client];
+        if (client == done.client) finisherServed = true;
+        const NodeId v = sched.pick();
+        --readyPoolCount;
+        const double duration = baseDuration[v] * jitter(rng) / speeds[client];
+        completions.push({now + duration, client, v});
+      }
+      // The finisher's unsatisfied request is a stall (waiting clients'
+      // stalls were counted when they first went idle).
+      if (!finisherServed) ++res.stallEvents;
+    }
+  }
+  res.makespan = now;
+  // Clients still waiting at the end idled until makespan.
+  while (!idleQueue.empty()) {
+    res.totalIdleTime += now - idleSince[idleQueue.front()];
+    idleQueue.pop_front();
+  }
+  res.avgReadyPool = res.makespan > 0.0 ? readyPoolIntegral / res.makespan : 0.0;
+  return res;
+}
+
+SimulationResult simulateWith(const Dag& g, const Schedule& icOptimal,
+                              const std::string& schedulerName,
+                              const SimulationConfig& config) {
+  const std::unique_ptr<Scheduler> sched =
+      makeScheduler(schedulerName, g, icOptimal, config.seed ^ 0x9E3779B97F4A7C15ull);
+  SimulationResult res = simulate(g, *sched, config);
+  res.schedulerName = schedulerName;
+  return res;
+}
+
+}  // namespace icsched

@@ -1,0 +1,77 @@
+#pragma once
+/// \file simulation.hpp
+/// \brief Discrete-event simulation of Internet-based computing.
+///
+/// Models the setting of Section 1: an IC server owns a computation-dag and
+/// allocates ELIGIBLE tasks to remote clients as they become available.
+/// Clients have heterogeneous speeds and per-task duration jitter (drawn
+/// deterministically from the seed). A client whose work request cannot be
+/// satisfied -- no task is ELIGIBLE -- idles until the next completion; such
+/// *stalls* are the simulator's proxy for the paper's "gridlock" risk, and
+/// client idle time its proxy for poor utilization.
+///
+/// This substitutes for the testbeds of the companion studies [15, 19]
+/// (Condor/PRIO), which are not available; see DESIGN.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "sim/scheduler.hpp"
+
+namespace icsched {
+
+/// Simulation parameters. All randomness is derived from \p seed.
+struct SimulationConfig {
+  std::size_t numClients = 4;
+  /// Mean task duration (arbitrary time units).
+  double meanTaskDuration = 1.0;
+  /// Durations are uniform in mean * [1-jitter, 1+jitter], divided by the
+  /// executing client's speed. Must lie in [0, 1).
+  double durationJitter = 0.5;
+  /// Per-client speed factors; empty = all 1.0. Size must equal numClients
+  /// when non-empty.
+  std::vector<double> clientSpeeds;
+  /// Per-task base durations (e.g. from a communication model, see
+  /// comm_model.hpp); empty = meanTaskDuration for every task. Size must
+  /// equal the dag's node count when non-empty. Jitter and client speed
+  /// still apply multiplicatively.
+  std::vector<double> taskBaseDurations;
+  /// Probability that an allocated task fails (the client departs or the
+  /// result is lost, cf. [14]) and must be re-allocated. Must be in [0, 1).
+  double failureProbability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Simulation outcome and quality metrics.
+struct SimulationResult {
+  std::string schedulerName;
+  /// Time of the last task completion.
+  double makespan = 0.0;
+  /// Total client time spent idle (wanting work, none ELIGIBLE) before
+  /// makespan.
+  double totalIdleTime = 0.0;
+  /// Number of work requests that found no ELIGIBLE task.
+  std::size_t stallEvents = 0;
+  /// Time-average of the number of ELIGIBLE-and-unallocated tasks (the
+  /// server's ready pool).
+  double avgReadyPool = 0.0;
+  /// Failed allocations that had to be re-issued (unreliable clients).
+  std::size_t failedAttempts = 0;
+  /// Theory-consistent event trace: number of ELIGIBLE (unexecuted,
+  /// parents-complete) tasks after each completion event.
+  std::vector<std::size_t> eligibleAfterCompletion;
+};
+
+/// Runs one simulation of \p g under \p sched.
+/// \throws std::invalid_argument on malformed configs or an empty dag.
+[[nodiscard]] SimulationResult simulate(const Dag& g, Scheduler& sched,
+                                        const SimulationConfig& config);
+
+/// Convenience: builds the named scheduler (see makeScheduler) and runs it.
+[[nodiscard]] SimulationResult simulateWith(const Dag& g, const Schedule& icOptimal,
+                                            const std::string& schedulerName,
+                                            const SimulationConfig& config);
+
+}  // namespace icsched

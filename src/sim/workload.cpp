@@ -1,0 +1,155 @@
+#include "sim/workload.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "families/butterfly.hpp"
+#include "families/diamond.hpp"
+#include "families/dlt.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+
+Dag layeredRandomDag(std::size_t layers, std::size_t width, double density,
+                     std::uint64_t seed) {
+  if (layers == 0 || width == 0) {
+    throw std::invalid_argument("layeredRandomDag: need layers, width >= 1");
+  }
+  if (density < 0.0 || density > 1.0) {
+    throw std::invalid_argument("layeredRandomDag: density must be in [0, 1]");
+  }
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution extra(density);
+  std::uniform_int_distribution<std::size_t> pickParent(0, width - 1);
+  Dag g(layers * width);
+  auto id = [&](std::size_t layer, std::size_t i) {
+    return static_cast<NodeId>(layer * width + i);
+  };
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (std::size_t i = 0; i < width; ++i) {
+      // Guaranteed parent keeps the dag layered and connected per column.
+      const std::size_t base = pickParent(rng);
+      g.addArc(id(l - 1, base), id(l, i));
+      for (std::size_t p = 0; p < width; ++p) {
+        if (p != base && extra(rng)) g.addArc(id(l - 1, p), id(l, i));
+      }
+    }
+  }
+  return g;
+}
+
+Dag forkJoinDag(std::size_t stages, std::size_t width) {
+  if (stages == 0 || width == 0) {
+    throw std::invalid_argument("forkJoinDag: need stages, width >= 1");
+  }
+  // Layout per stage: fork node, then width workers, then the next fork
+  // doubles as the join.
+  Dag g(stages * (width + 1) + 1);
+  NodeId next = 0;
+  NodeId fork = next++;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const NodeId firstWorker = next;
+    for (std::size_t w = 0; w < width; ++w) {
+      const NodeId worker = next++;
+      g.addArc(fork, worker);
+    }
+    const NodeId join = next++;
+    for (std::size_t w = 0; w < width; ++w) {
+      g.addArc(firstWorker + static_cast<NodeId>(w), join);
+    }
+    fork = join;
+  }
+  return g;
+}
+
+Dag gaussianEliminationDag(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("gaussianEliminationDag: need n >= 1");
+  // Task (k, j), j in [k, n): dense ids row by row.
+  std::vector<std::vector<NodeId>> id(n);
+  NodeId next = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    id[k].resize(n);
+    for (std::size_t j = k; j < n; ++j) id[k][j] = next++;
+  }
+  Dag g(next);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = k + 1; j < n; ++j) {
+      g.addArc(id[k][k], id[k][j]);                      // pivot before updates
+      if (k + 1 <= j) g.addArc(id[k][j], id[k + 1][j]);  // step k feeds step k+1
+    }
+  }
+  return g;
+}
+
+Dag choleskyDag(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("choleskyDag: need n >= 1");
+  // Blocked right-looking Cholesky tasks:
+  //   POTRF(k); TRSM(k, i) for i > k; UPD(k, i, j) for k < j <= i < n
+  // with the standard dependences:
+  //   POTRF(k) -> TRSM(k, i)
+  //   TRSM(k, i), TRSM(k, j) -> UPD(k, i, j)
+  //   UPD(k, i, j) -> TRSM(k+1, i) when j == k+1; -> UPD(k+1, i, j) otherwise
+  //   UPD(k, k+1, k+1) -> POTRF(k+1)
+  std::vector<NodeId> potrf(n);
+  std::vector<std::vector<NodeId>> trsm(n, std::vector<NodeId>(n));
+  std::vector<std::vector<std::vector<NodeId>>> upd(
+      n, std::vector<std::vector<NodeId>>(n, std::vector<NodeId>(n)));
+  NodeId next = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    potrf[k] = next++;
+    for (std::size_t i = k + 1; i < n; ++i) trsm[k][i] = next++;
+    for (std::size_t i = k + 1; i < n; ++i)
+      for (std::size_t j = k + 1; j <= i; ++j) upd[k][i][j] = next++;
+  }
+  Dag g(next);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = k + 1; i < n; ++i) g.addArc(potrf[k], trsm[k][i]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        g.addArc(trsm[k][i], upd[k][i][j]);
+        if (j != i) g.addArc(trsm[k][j], upd[k][i][j]);
+        if (j == k + 1) {
+          if (i == k + 1) {
+            g.addArc(upd[k][i][j], potrf[k + 1]);
+          } else {
+            g.addArc(upd[k][i][j], trsm[k + 1][i]);
+          }
+        } else {
+          g.addArc(upd[k][i][j], upd[k + 1][i][j]);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+Workload fromScheduled(std::string name, const ScheduledDag& g) {
+  return {std::move(name), g.dag, g.schedule, /*theoryOptimal=*/true};
+}
+
+Workload fromDag(std::string name, Dag g) {
+  Schedule s = normalizeNonsinksFirst(g, Schedule(g.topologicalOrder()));
+  return {std::move(name), std::move(g), std::move(s), /*theoryOptimal=*/false};
+}
+
+}  // namespace
+
+std::vector<Workload> comparisonSuite(std::uint64_t seed) {
+  std::vector<Workload> suite;
+  suite.push_back(fromScheduled("diamond(h=5)", symmetricDiamond(completeOutTree(2, 5)).composite));
+  suite.push_back(fromScheduled("out-mesh(12)", outMesh(12)));
+  suite.push_back(fromScheduled("butterfly(4)", butterfly(4)));
+  suite.push_back(fromScheduled("prefix(16)", prefixDag(16)));
+  suite.push_back(fromScheduled("dlt(16)", dltPrefixDag(16).composite));
+  suite.push_back(fromDag("gauss-elim(10)", gaussianEliminationDag(10)));
+  suite.push_back(fromDag("cholesky(6)", choleskyDag(6)));
+  suite.push_back(fromDag("fork-join(6x12)", forkJoinDag(6, 12)));
+  suite.push_back(fromDag("layered(8x10)", layeredRandomDag(8, 10, 0.25, seed)));
+  return suite;
+}
+
+}  // namespace icsched

@@ -1,0 +1,61 @@
+#pragma once
+/// \file workload.hpp
+/// \brief Workload dags for the scheduler-comparison experiments.
+///
+/// The companion studies compared schedulers on "four real scientific dags"
+/// [19] and "many artificially generated dags" [15]. Neither corpus is
+/// available, so we generate structurally equivalent substitutes (see
+/// DESIGN.md): layered random dags, fork-join (bag-of-tasks with barriers),
+/// Gaussian-elimination / LU-style dags, and Cholesky-style dags -- the
+/// latter two being the canonical "real scientific" dependence structures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+
+namespace icsched {
+
+/// A random layered dag: \p layers layers of \p width nodes; each non-first-
+/// layer node draws 1 + Binomial(width-1, density) parents uniformly from
+/// the previous layer. Deterministic in \p seed.
+[[nodiscard]] Dag layeredRandomDag(std::size_t layers, std::size_t width, double density,
+                                   std::uint64_t seed);
+
+/// A fork-join dag: \p stages sequential barriers, each fanning out to
+/// \p width parallel tasks that re-join (the classic bag-of-tasks with
+/// synchronization points).
+[[nodiscard]] Dag forkJoinDag(std::size_t stages, std::size_t width);
+
+/// The Gaussian-elimination / LU task dag on an n x n matrix: task (k, j)
+/// for j >= k eliminates column j at step k; (k, k) is the pivot. Arcs:
+/// pivot (k,k) -> (k, j) for j > k, and (k, j) -> (k+1, j) for j > k.
+/// Total n(n+1)/2 tasks.
+[[nodiscard]] Dag gaussianEliminationDag(std::size_t n);
+
+/// The right-looking Cholesky task dag on an n x n lower-triangular blocking:
+/// tasks POTRF(k), TRSM(k, i) for i > k, SYRK/GEMM(k, i, j) for i >= j > k.
+/// Standard dependence arcs of the blocked algorithm.
+[[nodiscard]] Dag choleskyDag(std::size_t n);
+
+/// A named workload for the comparison harness.
+struct Workload {
+  std::string name;
+  Dag dag;
+  /// The theory's IC-optimal schedule where the family provides one;
+  /// otherwise a nonsinks-first topological order (the best generic static
+  /// policy available for arbitrary dags, cf. [15]).
+  Schedule schedule;
+  /// True when `schedule` is a genuine IC-optimal schedule from the theory
+  /// (the paper's families); false for generic dags, where no IC-optimal
+  /// schedule may exist at all ([21]) and the static order is best-effort.
+  bool theoryOptimal = false;
+};
+
+/// The comparison suite used by the sim bench: the paper's structured
+/// families at moderate sizes plus the synthetic scientific dags above.
+[[nodiscard]] std::vector<Workload> comparisonSuite(std::uint64_t seed);
+
+}  // namespace icsched

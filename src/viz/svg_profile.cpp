@@ -1,0 +1,125 @@
+#include "viz/svg_profile.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace icsched {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#2563eb", "#dc2626", "#16a34a", "#9333ea",
+                                    "#ea580c", "#0891b2", "#4b5563"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string escapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string renderProfileSvg(const std::vector<ProfileSeries>& series,
+                             const SvgChartOptions& options) {
+  if (series.empty()) throw std::invalid_argument("renderProfileSvg: no series");
+  std::size_t maxX = 0;
+  std::size_t maxY = 1;
+  for (const ProfileSeries& s : series) {
+    if (s.values.empty()) throw std::invalid_argument("renderProfileSvg: empty series");
+    maxX = std::max(maxX, s.values.size() - 1);
+    for (std::size_t v : s.values) maxY = std::max(maxY, v);
+  }
+  if (maxX == 0) maxX = 1;
+
+  const double margin = 48.0;
+  const double w = static_cast<double>(options.width);
+  const double h = static_cast<double>(options.height);
+  const double plotW = w - 2 * margin;
+  const double plotH = h - 2 * margin;
+  const auto px = [&](std::size_t t) {
+    return margin + plotW * static_cast<double>(t) / static_cast<double>(maxX);
+  };
+  const auto py = [&](std::size_t v) {
+    return h - margin - plotH * static_cast<double>(v) / static_cast<double>(maxY);
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+     << "\" height=\"" << options.height << "\" viewBox=\"0 0 " << options.width << " "
+     << options.height << "\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    os << "  <text x=\"" << w / 2 << "\" y=\"24\" text-anchor=\"middle\" "
+          "font-family=\"sans-serif\" font-size=\"16\">"
+       << escapeXml(options.title) << "</text>\n";
+  }
+  // Axes.
+  os << "  <line x1=\"" << margin << "\" y1=\"" << h - margin << "\" x2=\"" << w - margin
+     << "\" y2=\"" << h - margin << "\" stroke=\"#111\"/>\n";
+  os << "  <line x1=\"" << margin << "\" y1=\"" << margin << "\" x2=\"" << margin
+     << "\" y2=\"" << h - margin << "\" stroke=\"#111\"/>\n";
+  // Horizontal grid + y labels (at most ~8 lines).
+  const std::size_t yStep = std::max<std::size_t>(1, maxY / 8);
+  for (std::size_t v = 0; v <= maxY; v += yStep) {
+    os << "  <line x1=\"" << margin << "\" y1=\"" << py(v) << "\" x2=\"" << w - margin
+       << "\" y2=\"" << py(v) << "\" stroke=\"#ddd\"/>\n";
+    os << "  <text x=\"" << margin - 6 << "\" y=\"" << py(v) + 4
+       << "\" text-anchor=\"end\" font-family=\"sans-serif\" font-size=\"11\">" << v
+       << "</text>\n";
+  }
+  // X labels: 0, max/2, max.
+  for (std::size_t t : {std::size_t{0}, maxX / 2, maxX}) {
+    os << "  <text x=\"" << px(t) << "\" y=\"" << h - margin + 16
+       << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">" << t
+       << "</text>\n";
+  }
+  os << "  <text x=\"" << w / 2 << "\" y=\"" << h - 8
+     << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\">"
+        "tasks executed (t)</text>\n";
+  os << "  <text x=\"14\" y=\"" << h / 2
+     << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\" "
+        "transform=\"rotate(-90 14 "
+     << h / 2 << ")\">ELIGIBLE tasks E(t)</text>\n";
+
+  // Step polylines.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const ProfileSeries& s = series[i];
+    std::ostringstream points;
+    for (std::size_t t = 0; t < s.values.size(); ++t) {
+      if (t > 0) points << " " << px(t) << "," << py(s.values[t - 1]);
+      points << " " << px(t) << "," << py(s.values[t]);
+    }
+    os << "  <polyline fill=\"none\" stroke=\"" << kPalette[i % kPaletteSize]
+       << "\" stroke-width=\"2\" points=\"" << points.str() << "\"/>\n";
+    // Legend entry.
+    const double ly = margin + 18.0 * static_cast<double>(i);
+    os << "  <rect x=\"" << w - margin - 150 << "\" y=\"" << ly - 9
+       << "\" width=\"12\" height=\"12\" fill=\"" << kPalette[i % kPaletteSize] << "\"/>\n";
+    os << "  <text x=\"" << w - margin - 132 << "\" y=\"" << ly + 2
+       << "\" font-family=\"sans-serif\" font-size=\"12\">" << escapeXml(s.label)
+       << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void writeProfileSvg(const std::string& path, const std::vector<ProfileSeries>& series,
+                     const SvgChartOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeProfileSvg: cannot open " + path);
+  out << renderProfileSvg(series, options);
+  if (!out) throw std::runtime_error("writeProfileSvg: write failed for " + path);
+}
+
+}  // namespace icsched

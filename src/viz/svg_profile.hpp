@@ -1,0 +1,39 @@
+#pragma once
+/// \file svg_profile.hpp
+/// \brief Self-contained SVG rendering of eligibility profiles.
+///
+/// Renders one or more E(t) series as a step chart -- the visual the paper's
+/// quality model implies (ELIGIBLE tasks after each execution). No external
+/// dependencies; output is a single <svg> element suitable for embedding in
+/// reports or viewing directly.
+
+#include <string>
+#include <vector>
+
+namespace icsched {
+
+/// One plotted series.
+struct ProfileSeries {
+  std::string label;
+  std::vector<std::size_t> values;  ///< E(t), t = 0..n
+};
+
+/// Chart options.
+struct SvgChartOptions {
+  std::size_t width = 640;
+  std::size_t height = 360;
+  std::string title;
+};
+
+/// Renders the series as an SVG step chart with axes, grid lines, and a
+/// legend. Colors cycle through a fixed qualitative palette.
+/// \throws std::invalid_argument if no series or an empty series is given.
+[[nodiscard]] std::string renderProfileSvg(const std::vector<ProfileSeries>& series,
+                                           const SvgChartOptions& options = {});
+
+/// Writes the chart to a file (overwrites).
+/// \throws std::runtime_error when the file cannot be written.
+void writeProfileSvg(const std::string& path, const std::vector<ProfileSeries>& series,
+                     const SvgChartOptions& options = {});
+
+}  // namespace icsched

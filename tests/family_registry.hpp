@@ -1,0 +1,85 @@
+#pragma once
+/// \file family_registry.hpp
+/// \brief A registry of every dag family the library constructs, used by the
+/// parameterized cross-cutting test suites (validity, optimality, duality,
+/// batching, heuristics) so each invariant is exercised against the whole
+/// catalogue rather than hand-picked cases.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/building_blocks.hpp"
+#include "families/alternating.hpp"
+#include "families/butterfly.hpp"
+#include "families/diamond.hpp"
+#include "families/dlt.hpp"
+#include "families/matmul_dag.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+
+namespace icsched::testing {
+
+struct FamilyCase {
+  std::string name;
+  std::function<ScheduledDag()> make;
+  /// True when the instance is small enough for the exhaustive oracle.
+  bool oracleFriendly = true;
+  /// True when the theory claims the bundled schedule is IC-optimal.
+  /// (Mixed-arity random trees fall outside the paper's fixed-degree claim
+  /// and may admit no IC-optimal schedule at all.)
+  bool claimedOptimal = true;
+};
+
+/// Every family at a small ("oracle-friendly") size plus a larger instance.
+inline const std::vector<FamilyCase>& allFamilies() {
+  static const std::vector<FamilyCase> kCases = {
+      {"vee2", [] { return vee(2); }},
+      {"vee3", [] { return vee(3); }},
+      {"lambda2", [] { return lambda(2); }},
+      {"lambda4", [] { return lambda(4); }},
+      {"wdag3", [] { return wdag(3); }},
+      {"mdag4", [] { return mdag(4); }},
+      {"ndag5", [] { return ndag(5); }},
+      {"cycle4", [] { return cycleDag(4); }},
+      {"cycle7", [] { return cycleDag(7); }},
+      {"butterflyBlock", [] { return butterflyBlock(); }},
+      {"outTree_2_3", [] { return completeOutTree(2, 3); }},
+      {"outTree_3_2", [] { return completeOutTree(3, 2); }},
+      {"inTree_2_3", [] { return completeInTree(2, 3); }},
+      {"randomTree", [] { return randomOutTree(14, 3, 5); }, true, false},
+      {"binaryTree7", [] { return randomBinaryOutTree(7, 9); }},
+      {"diamond_h2", [] { return symmetricDiamond(completeOutTree(2, 2)).composite; }},
+      {"diamond_irregular",
+       [] { return symmetricDiamond(randomBinaryOutTree(5, 3)).composite; }},
+      {"chain2diamonds",
+       [] {
+         return chainOfDiamonds({completeOutTree(2, 1), completeOutTree(2, 2)});
+       }},
+      {"outMesh5", [] { return outMesh(5); }},
+      {"inMesh5", [] { return inMesh(5); }},
+      {"outMesh12", [] { return outMesh(12); }, false},
+      {"butterfly2", [] { return butterfly(2); }},
+      {"butterfly3", [] { return butterfly(3); }},
+      {"butterfly5", [] { return butterfly(5); }, false},
+      {"prefix6", [] { return prefixDag(6); }},
+      {"prefix8", [] { return prefixDag(8); }},
+      {"prefix32", [] { return prefixDag(32); }, false},
+      {"dlt4", [] { return dltPrefixDag(4).composite; }},
+      {"dlt16", [] { return dltPrefixDag(16).composite; }, false},
+      {"dltTernary8", [] { return dltTernaryDag(8).composite; }},
+      {"ternaryTree9", [] { return ternaryOutTree(9); }},
+      {"matmulM", [] { return matmulDag().composite; }},
+      {"meshFromWDags6", [] { return outMeshFromWDags(6); }},
+      {"prefixFromNDags8", [] { return prefixFromNDags(8); }},
+      {"butterflyFromBlocks3", [] { return butterflyFromBlocks(3); }},
+  };
+  return kCases;
+}
+
+inline std::string familyCaseName(const ::testing::TestParamInfo<FamilyCase>& info) {
+  return info.param.name;
+}
+
+}  // namespace icsched::testing

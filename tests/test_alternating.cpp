@@ -1,0 +1,74 @@
+#include "families/alternating.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimality.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(AlternatingTest, InTreeThenOutTreeOptimal) {
+  // Fig 4 leftmost: T' ⇑ T merging T''s sink with T's source. The topology
+  // forces all of T' before any of T; stagewise execution is IC-optimal.
+  const ScheduledDag g =
+      inTreeThenOutTree(completeInTree(2, 2), completeOutTree(2, 2));
+  EXPECT_EQ(g.dag.numNodes(), 13u);
+  EXPECT_EQ(g.dag.sources().size(), 4u);
+  EXPECT_EQ(g.dag.sinks().size(), 4u);
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+TEST(AlternatingTest, Table1Row1ChainOfDiamonds) {
+  // D_0 ⇑ D_1 ⇑ D_2 with mixed tree sizes (leaf counts need not match,
+  // Fig 4 rightmost).
+  const ScheduledDag g = chainOfDiamonds(
+      {completeOutTree(2, 1), completeOutTree(2, 2), completeOutTree(3, 1)});
+  EXPECT_EQ(g.dag.sources().size(), 1u);
+  EXPECT_EQ(g.dag.sinks().size(), 1u);
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+TEST(AlternatingTest, Table1Row2InTreeThenDiamonds) {
+  const ScheduledDag g = inTreeThenDiamonds(
+      completeInTree(2, 2), {completeOutTree(2, 1), completeOutTree(2, 2)});
+  EXPECT_EQ(g.dag.sources().size(), 4u);  // leading in-tree's sources
+  EXPECT_EQ(g.dag.sinks().size(), 1u);
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+TEST(AlternatingTest, Table1Row3DiamondsThenOutTree) {
+  const ScheduledDag g = diamondsThenOutTree(
+      {completeOutTree(2, 1), completeOutTree(2, 2)}, completeOutTree(2, 2));
+  EXPECT_EQ(g.dag.sources().size(), 1u);
+  EXPECT_EQ(g.dag.sinks().size(), 4u);  // trailing out-tree's leaves
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+TEST(AlternatingTest, LongerChainStillOptimal) {
+  const ScheduledDag g = chainOfDiamonds({completeOutTree(2, 1), completeOutTree(2, 1),
+                                          completeOutTree(2, 1), completeOutTree(2, 1)});
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+TEST(AlternatingTest, EmptyChainRejected) {
+  EXPECT_THROW((void)alternatingChain({}), std::invalid_argument);
+}
+
+TEST(AlternatingTest, InteriorInTreeRejected) {
+  // An in-tree mid-chain has many sources; it cannot follow a single-sink
+  // stage.
+  std::vector<AlternatingStage> stages;
+  stages.push_back({AlternatingStage::Kind::kDiamond, completeOutTree(2, 1)});
+  stages.push_back({AlternatingStage::Kind::kInTree, completeInTree(2, 2)});
+  EXPECT_THROW((void)alternatingChain(stages), std::invalid_argument);
+}
+
+TEST(AlternatingTest, IrregularTreesInChain) {
+  const ScheduledDag g =
+      chainOfDiamonds({randomBinaryOutTree(3, 2), randomBinaryOutTree(4, 3)});
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+}  // namespace
+}  // namespace icsched

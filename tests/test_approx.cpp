@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "approx/heuristics.hpp"
+#include "approx/regret.hpp"
+#include "core/building_blocks.hpp"
+#include "core/optimality.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+#include "sim/workload.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(RegretTest, ZeroForICOptimalSchedules) {
+  for (const ScheduledDag& g : {outMesh(4), prefixDag(4), cycleDag(5), completeOutTree(2, 3)}) {
+    const Regret r = scheduleRegret(g.dag, g.schedule);
+    EXPECT_EQ(r.maxDeficit, 0u);
+    EXPECT_EQ(r.totalDeficit, 0u);
+  }
+}
+
+TEST(RegretTest, PositiveForBadSchedules) {
+  const ScheduledDag n = ndag(4);
+  const Schedule bad({1, 0, 2, 3, 4, 5, 6, 7});  // non-anchor first
+  const Regret r = scheduleRegret(n.dag, bad);
+  EXPECT_GT(r.maxDeficit, 0u);
+  EXPECT_GT(r.totalDeficit, 0u);
+}
+
+TEST(RegretTest, DeficitVectorShape) {
+  const ScheduledDag m = outMesh(3);
+  const auto d = scheduleDeficit(m.dag, m.schedule);
+  EXPECT_EQ(d.size(), m.dag.numNodes() + 1);
+  for (std::size_t x : d) EXPECT_EQ(x, 0u);
+}
+
+TEST(RegretTest, MinimumRegretZeroWhenOptimalExists) {
+  for (const ScheduledDag& g : {outMesh(4), cycleDag(4), completeInTree(2, 2)}) {
+    const OptimalRegret opt = minimumRegretSchedule(g.dag);
+    EXPECT_EQ(opt.regret.maxDeficit, 0u);
+    EXPECT_EQ(opt.regret.totalDeficit, 0u);
+    EXPECT_TRUE(isICOptimal(g.dag, opt.schedule));
+  }
+}
+
+TEST(RegretTest, MinimumRegretOnDagWithoutOptimalSchedule) {
+  // Two competing Vee+Lambda structures whose step maxima conflict:
+  //   a -> x,y,z (3-prong Vee);  b,c -> p (Lambda); p -> q,r (2-prong Vee).
+  Dag g(9);
+  g.addArc(0, 3);
+  g.addArc(0, 4);
+  g.addArc(0, 5);
+  g.addArc(1, 6);
+  g.addArc(2, 6);
+  g.addArc(6, 7);
+  g.addArc(6, 8);
+  const OptimalRegret opt = minimumRegretSchedule(g);
+  opt.schedule.validate(g);
+  // Whatever the regret, it must equal the schedule's measured regret and
+  // lower-bound every heuristic.
+  EXPECT_EQ(opt.regret, scheduleRegret(g, opt.schedule));
+  const Regret greedy = scheduleRegret(g, greedyEligibleSchedule(g));
+  EXPECT_LE(opt.regret.maxDeficit, greedy.maxDeficit);
+  if (admitsICOptimalSchedule(g)) {
+    EXPECT_EQ(opt.regret.maxDeficit, 0u);
+  } else {
+    EXPECT_GT(opt.regret.maxDeficit, 0u);
+  }
+}
+
+TEST(HeuristicsTest, SchedulesAreValid) {
+  const std::vector<Dag> dags = {outMesh(5).dag, prefixDag(8).dag, cycleDag(6).dag,
+                                 gaussianEliminationDag(5), choleskyDag(4)};
+  for (const Dag& g : dags) {
+    greedyEligibleSchedule(g).validate(g);
+    lookaheadSchedule(g, 2).validate(g);
+    beamSearchSchedule(g, 4).validate(g);
+  }
+}
+
+TEST(HeuristicsTest, GreedyRecoversOptimalOnEasyFamilies) {
+  // On out-trees every nonsinks-first schedule is optimal, and greedy's
+  // gain rule prefers nonsinks, so greedy must be IC-optimal there.
+  const ScheduledDag t = completeOutTree(2, 3);
+  EXPECT_TRUE(isICOptimal(t.dag, greedyEligibleSchedule(t.dag)));
+}
+
+TEST(HeuristicsTest, BeamWidthImprovesRegret) {
+  // Beam regret is monotone... not guaranteed in general, but a wide beam
+  // must do at least as well as greedy on total deficit for these cases.
+  for (const Dag& g : {outMesh(5).dag, gaussianEliminationDag(5)}) {
+    const Regret narrow = scheduleRegret(g, beamSearchSchedule(g, 1));
+    const Regret wide = scheduleRegret(g, beamSearchSchedule(g, 16));
+    EXPECT_LE(wide.totalDeficit, narrow.totalDeficit);
+  }
+}
+
+TEST(HeuristicsTest, WideBeamFindsOptimumOnSmallDags) {
+  for (const ScheduledDag& g : {outMesh(4), cycleDag(4), prefixDag(4)}) {
+    const Schedule s = beamSearchSchedule(g.dag, 64);
+    EXPECT_TRUE(isICOptimal(g.dag, s)) << g.dag.toDot();
+  }
+}
+
+TEST(HeuristicsTest, LookaheadDepthHelpsOnTrickyDag) {
+  // N-dags punish myopia mildly; depth-2 must be at least as good as
+  // depth-1 in total regret.
+  const Dag g = prefixDag(6).dag;
+  const Regret d1 = scheduleRegret(g, lookaheadSchedule(g, 1));
+  const Regret d2 = scheduleRegret(g, lookaheadSchedule(g, 2));
+  EXPECT_LE(d2.totalDeficit, d1.totalDeficit + 2);  // allow tie-break noise
+}
+
+TEST(HeuristicsTest, BadArgsRejected) {
+  const Dag g = outMesh(3).dag;
+  EXPECT_THROW((void)lookaheadSchedule(g, 0), std::invalid_argument);
+  EXPECT_THROW((void)beamSearchSchedule(g, 0), std::invalid_argument);
+}
+
+TEST(PriorityOrderTest, OrdersMatmulConstituents) {
+  // Shuffle M's decomposition; the [21] ordering step must recover a
+  // ▷-linear order (cycles before lambdas).
+  const std::vector<ScheduledDag> shuffled = {lambda(), cycleDag(4), lambda(), cycleDag(4),
+                                              lambda(), lambda()};
+  const auto order = findPriorityLinearOrder(shuffled);
+  ASSERT_TRUE(order.has_value());
+  std::vector<ScheduledDag> arranged;
+  for (std::size_t i : *order) arranged.push_back(shuffled[i]);
+  EXPECT_TRUE(isPriorityChain(arranged));
+  // The two cycle-dags must precede all four lambdas.
+  EXPECT_TRUE(arranged[0].dag.numNodes() == 8 && arranged[1].dag.numNodes() == 8);
+}
+
+TEST(PriorityOrderTest, DetectsImpossibleOrders) {
+  // W_3 and W_2 and Lambda: W_2 ▷ W_3 but Λ and W_3 are ▷-incomparable in
+  // the wrong direction... construct a genuinely unorderable pair: two dags
+  // where neither has priority: V and... V ▷ V holds; use W_3 vs M-dag?
+  // Simplest: a pair (A, B) with neither A ▷ B nor B ▷ A. C_4's dipping
+  // profile vs N_4's flat profile gives N ⋫ C; and C ▷ N? check both ways
+  // via the matrix and assert consistency with findPriorityLinearOrder.
+  const std::vector<ScheduledDag> pair = {ndag(4), cycleDag(4)};
+  const auto m = priorityMatrix(pair);
+  const auto order = findPriorityLinearOrder(pair);
+  if (!m[0][1] && !m[1][0]) {
+    EXPECT_FALSE(order.has_value());
+  } else {
+    ASSERT_TRUE(order.has_value());
+    std::vector<ScheduledDag> arranged;
+    for (std::size_t i : *order) arranged.push_back(pair[i]);
+    EXPECT_TRUE(isPriorityChain(arranged));
+  }
+}
+
+TEST(PriorityOrderTest, OrdersTheFullL8Decomposition) {
+  // The complete Fig 12/13 constituent list of L_8, shuffled: one N_8, two
+  // N_4s, four N_2s, seven Lambdas. The [21] ordering step must place every
+  // N-dag before every Lambda (N_s |> Lambda but not conversely).
+  std::vector<ScheduledDag> shuffled = {lambda(), ndag(2), lambda(), ndag(8),  lambda(),
+                                        ndag(4),  lambda(), ndag(2), lambda(), ndag(4),
+                                        lambda(), ndag(2),  lambda(), ndag(2)};
+  const auto order = findPriorityLinearOrder(shuffled);
+  ASSERT_TRUE(order.has_value());
+  std::vector<ScheduledDag> arranged;
+  for (std::size_t i : *order) arranged.push_back(shuffled[i]);
+  EXPECT_TRUE(isPriorityChain(arranged));
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_GT(arranged[i].dag.numNodes(), 3u) << "N-dags must precede Lambdas";
+  }
+}
+
+TEST(PriorityOrderTest, MDagsOrderLikeDualWDags) {
+  // Theorem 2.3 transfers the W-dag ordering to the duals: W_s |> W_t for
+  // s <= t gives dual(W_t) |> dual(W_s), i.e. larger M-dags take priority
+  // over smaller ones.
+  EXPECT_TRUE(hasPriority(mdag(5), mdag(3)));
+  EXPECT_FALSE(hasPriority(mdag(3), mdag(5)));
+  const auto order = findPriorityLinearOrder({mdag(2), mdag(4), mdag(3)});
+  ASSERT_TRUE(order.has_value());
+  // Descending source counts: indices 1 (M_4), 2 (M_3), 0 (M_2).
+  EXPECT_EQ(*order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(PriorityOrderTest, EmptyAndSingleton) {
+  EXPECT_TRUE(findPriorityLinearOrder({}).has_value());
+  const auto one = findPriorityLinearOrder({vee()});
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->size(), 1u);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "apps/dlt_transform.hpp"
+#include "apps/fft.hpp"
+#include "apps/graph_paths.hpp"
+#include "apps/integration.hpp"
+#include "apps/matmul.hpp"
+#include "apps/scan.hpp"
+#include "apps/sorting.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+// ---------- Section 3.2: adaptive integration ----------
+
+TEST(IntegrationAppTest, PolynomialExact) {
+  // Simpson integrates cubics exactly; the tree stays tiny.
+  const auto r = integrateAdaptive([](double x) { return x * x * x; }, 0.0, 2.0, 1e-9,
+                                   QuadratureRule::kSimpson);
+  EXPECT_NEAR(r.value, 4.0, 1e-7);
+}
+
+TEST(IntegrationAppTest, TrapezoidRefinesCurvature) {
+  const auto r = integrateAdaptive([](double x) { return std::sin(x); }, 0.0,
+                                   std::numbers::pi, 1e-5);
+  EXPECT_NEAR(r.value, 2.0, 1e-3);
+  EXPECT_GT(r.leafCount, 8u);  // curvature forces refinement
+}
+
+TEST(IntegrationAppTest, IrregularRefinement) {
+  // A sharp bump concentrates leaves near x = 0.5: the out-tree is
+  // irregular, exactly the Section 3.2 scenario.
+  const auto f = [](double x) { return 1.0 / (0.001 + (x - 0.5) * (x - 0.5)); };
+  const auto r = integrateAdaptive(f, 0.0, 1.0, 1e-4, QuadratureRule::kSimpson);
+  const double exact = (std::atan(0.5 / std::sqrt(0.001)) * 2.0) / std::sqrt(0.001);
+  EXPECT_NEAR(r.value, exact, 1e-2 * exact);
+  EXPECT_GT(r.treeHeight, 4u);
+}
+
+TEST(IntegrationAppTest, ParallelMatchesSequential) {
+  const auto f = [](double x) { return std::exp(-x * x); };
+  const auto seq = integrateAdaptive(f, -3.0, 3.0, 1e-6, QuadratureRule::kSimpson, 30, 0);
+  const auto par = integrateAdaptive(f, -3.0, 3.0, 1e-6, QuadratureRule::kSimpson, 30, 4);
+  EXPECT_DOUBLE_EQ(seq.value, par.value);
+}
+
+TEST(IntegrationAppTest, DiamondIsWellFormed) {
+  const auto r = integrateAdaptive([](double x) { return std::sqrt(x); }, 0.0, 1.0, 1e-4);
+  EXPECT_EQ(r.dag.composite.dag.sinks().size(), 1u);
+  EXPECT_EQ(r.dag.composite.dag.sources().size(), 1u);
+  r.dag.composite.schedule.validate(r.dag.composite.dag);
+}
+
+TEST(IntegrationAppTest, BadArgsRejected) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_THROW((void)integrateAdaptive(f, 1.0, 0.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW((void)integrateAdaptive(f, 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)integrateAdaptive(f, 0.0, 1.0, 1e-3, QuadratureRule::kTrapezoid, 0),
+               std::invalid_argument);
+}
+
+// ---------- Section 5.2: sorting ----------
+
+TEST(SortingAppTest, SortsRandomInputs) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> d(-100.0, 100.0);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<double> in(n);
+    for (double& x : in) x = d(rng);
+    std::vector<double> expect = in;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(bitonicSort(in), expect) << "n=" << n;
+  }
+}
+
+TEST(SortingAppTest, ZeroOnePrincipleExhaustive) {
+  // A comparator network sorts all inputs iff it sorts all 0-1 inputs [2].
+  for (std::size_t n : {4u, 8u}) {
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+      std::vector<double> in(n);
+      for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<double>((mask >> i) & 1);
+      std::vector<double> expect = in;
+      std::sort(expect.begin(), expect.end());
+      ASSERT_EQ(bitonicSort(in), expect) << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(SortingAppTest, ParallelMatchesSequential) {
+  std::vector<double> in{5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+  EXPECT_EQ(bitonicSort(in, 4), bitonicSort(in, 0));
+}
+
+TEST(SortingAppTest, NetworkStageCount) {
+  // n = 2^k needs k(k+1)/2 stages.
+  EXPECT_EQ(bitonicNetwork(8).stages, 6u);
+  EXPECT_EQ(bitonicNetwork(16).stages, 10u);
+  EXPECT_THROW((void)bitonicNetwork(6), std::invalid_argument);
+  EXPECT_THROW((void)bitonicNetwork(1), std::invalid_argument);
+}
+
+TEST(SortingAppTest, NetworkScheduleValid) {
+  const BitonicNetwork net = bitonicNetwork(8);
+  net.scheduled.schedule.validate(net.scheduled.dag);
+  EXPECT_TRUE(net.scheduled.schedule.executesNonsinksFirst(net.scheduled.dag));
+}
+
+TEST(SortingAppTest, OddEvenMergeSortSorts) {
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> d(-50.0, 50.0);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const ComparatorNetwork net = oddEvenMergeSortNetwork(n);
+    std::vector<double> in(n);
+    for (double& x : in) x = d(rng);
+    std::vector<double> expect = in;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(sortWithNetwork(net, in), expect) << "n=" << n;
+  }
+}
+
+TEST(SortingAppTest, OddEvenZeroOnePrinciple) {
+  const std::size_t n = 8;
+  const ComparatorNetwork net = oddEvenMergeSortNetwork(n);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<double> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<double>((mask >> i) & 1);
+    std::vector<double> expect = in;
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(sortWithNetwork(net, in), expect) << "mask=" << mask;
+  }
+}
+
+TEST(SortingAppTest, OddEvenUsesFewerComparatorsThanBitonic) {
+  // Batcher's odd-even network is the "more complicated" but cheaper
+  // composition the paper alludes to via [11].
+  for (std::size_t n : {8u, 16u, 64u}) {
+    const std::size_t bitonicComparators = bitonicNetwork(n).stages * n / 2;
+    const std::size_t oddEvenComparators = oddEvenMergeSortNetwork(n).comparators.size();
+    EXPECT_LT(oddEvenComparators, bitonicComparators) << "n=" << n;
+  }
+}
+
+TEST(SortingAppTest, ComparatorDagIsButterflyComposition) {
+  const ComparatorNetwork net = oddEvenMergeSortNetwork(4);
+  const ComparatorDag cd = comparatorNetworkDag(net);
+  EXPECT_EQ(cd.scheduled.dag.numNodes(), 4 + 2 * net.comparators.size());
+  cd.scheduled.schedule.validate(cd.scheduled.dag);
+  // Every comparator-output node has exactly two parents (a B block).
+  for (NodeId v = 4; v < cd.scheduled.dag.numNodes(); ++v) {
+    EXPECT_EQ(cd.scheduled.dag.inDegree(v), 2u);
+  }
+}
+
+TEST(SortingAppTest, ComparatorDagScheduleICOptimalSmall) {
+  // n = 4: 5 comparators, 14 nodes -- oracle-friendly.
+  const ComparatorDag cd = comparatorNetworkDag(oddEvenMergeSortNetwork(4));
+  EXPECT_TRUE(isICOptimal(cd.scheduled.dag, cd.scheduled.schedule));
+}
+
+TEST(SortingAppTest, NetworkDagRejectsBadComparators) {
+  ComparatorNetwork net;
+  net.wires = 4;
+  net.comparators = {{0, 9}};
+  EXPECT_THROW((void)comparatorNetworkDag(net), std::invalid_argument);
+  net.comparators = {{1, 1}};
+  EXPECT_THROW((void)comparatorNetworkDag(net), std::invalid_argument);
+  EXPECT_THROW((void)oddEvenMergeSortNetwork(6), std::invalid_argument);
+}
+
+TEST(SortingAppTest, OddEvenParallelMatchesSequential) {
+  const ComparatorNetwork net = oddEvenMergeSortNetwork(16);
+  std::vector<double> in{9, 2, 7, 4, 1, 8, 3, 6, 5, 0, 11, 15, 13, 12, 10, 14};
+  EXPECT_EQ(sortWithNetwork(net, in, 4), sortWithNetwork(net, in, 0));
+}
+
+// ---------- Section 5.2: FFT / convolution ----------
+
+TEST(FftAppTest, MatchesNaiveDft) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+    std::vector<std::complex<double>> in(n);
+    for (auto& c : in) c = {d(rng), d(rng)};
+    const auto fast = fftViaButterfly(in);
+    const auto slow = naiveDft(in);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(fast[i] - slow[i]), 0.0, 1e-9) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(FftAppTest, InverseRoundTrips) {
+  std::vector<std::complex<double>> in{{1, 0}, {2, -1}, {0, 3}, {-4, 0.5}};
+  const auto back = fftViaButterfly(fftViaButterfly(in), true);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_NEAR(std::abs(back[i] - in[i]), 0.0, 1e-12);
+}
+
+TEST(FftAppTest, PolynomialMultiplyMatchesConvolution) {
+  const std::vector<double> f{1, 2, 3};
+  const std::vector<double> g{4, 0, -1, 2};
+  const auto fast = polynomialMultiplyFft(f, g);
+  const auto slow = naiveConvolution(f, g);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < slow.size(); ++i) EXPECT_NEAR(fast[i], slow[i], 1e-9);
+}
+
+TEST(FftAppTest, ParallelMatchesSequential) {
+  std::vector<std::complex<double>> in(32);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = {std::sin(0.3 * static_cast<double>(i)), 0};
+  const auto seq = fftViaButterfly(in, false, 0);
+  const auto par = fftViaButterfly(in, false, 4);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_NEAR(std::abs(seq[i] - par[i]), 0.0, 1e-12);
+}
+
+TEST(FftAppTest, BadSizeRejected) {
+  EXPECT_THROW((void)fftViaButterfly({{1, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)fftViaButterfly(std::vector<std::complex<double>>(12)),
+               std::invalid_argument);
+}
+
+// ---------- Section 6.1: scans ----------
+
+TEST(ScanAppTest, SumScanMatchesStdInclusiveScan) {
+  for (std::size_t n : {2u, 3u, 5u, 8u, 13u, 16u, 31u}) {
+    std::vector<long> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<long>(i * i - 3);
+    const auto scanned = parallelPrefix(in, [](long a, long b) { return a + b; });
+    long acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += in[i];
+      EXPECT_EQ(scanned[i], acc) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ScanAppTest, IntegerPowers) {
+  const auto p = integerPowers(3, 8);
+  std::uint64_t expect = 1;
+  for (std::size_t i = 0; i < 8; ++i) {
+    expect *= 3;
+    EXPECT_EQ(p[i], expect);
+  }
+}
+
+TEST(ScanAppTest, ComplexPowers) {
+  // Section 6.1's second example: powers of a complex number.
+  const std::complex<double> w = std::polar(1.0, std::numbers::pi / 4);
+  const std::vector<std::complex<double>> in(8, w);
+  const auto p = parallelPrefix(in, [](std::complex<double> a, std::complex<double> b) {
+    return a * b;
+  });
+  // w^8 = e^{i 2 pi} = 1.
+  EXPECT_NEAR(std::abs(p[7] - std::complex<double>{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(ScanAppTest, CarryLookaheadMatchesArithmetic) {
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng());
+    std::vector<std::uint8_t> av(32), bv(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      av[i] = (a >> i) & 1;
+      bv[i] = (b >> i) & 1;
+    }
+    const auto sum = carryLookaheadAdd(av, bv);
+    const std::uint64_t expect = std::uint64_t{a} + b;
+    for (std::size_t i = 0; i < 33; ++i)
+      ASSERT_EQ(sum[i], (expect >> i) & 1) << "trial " << trial << " bit " << i;
+  }
+}
+
+TEST(ScanAppTest, ParallelMatchesSequential) {
+  std::vector<long> in(64);
+  for (std::size_t i = 0; i < 64; ++i) in[i] = static_cast<long>(i + 1);
+  const auto op = [](long a, long b) { return a + b; };
+  EXPECT_EQ(parallelPrefix(in, op, 4), parallelPrefix(in, op, 0));
+}
+
+// ---------- Section 6.2.2: paths in a graph ----------
+
+TEST(GraphPathsTest, NineNodeExampleMatchesNaive) {
+  // The paper's 9-node graph with an 8-step horizon (Fig 16).
+  BoolMatrix adj(9);
+  std::mt19937_64 rng(21);
+  std::bernoulli_distribution edge(0.3);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 9; ++j)
+      if (i != j && edge(rng)) adj.set(i, j, true);
+  const PathsMatrix fast = computeAllPaths(adj, 8);
+  const PathsMatrix slow = computeAllPathsNaive(adj, 8);
+  EXPECT_EQ(fast.pathBits, slow.pathBits);
+}
+
+TEST(GraphPathsTest, DirectedCycleHasPeriodicPaths) {
+  BoolMatrix adj(3);  // 0 -> 1 -> 2 -> 0
+  adj.set(0, 1, true);
+  adj.set(1, 2, true);
+  adj.set(2, 0, true);
+  const PathsMatrix p = computeAllPaths(adj, 8);
+  EXPECT_TRUE(p.hasPath(0, 1, 1));
+  EXPECT_TRUE(p.hasPath(0, 2, 2));
+  EXPECT_TRUE(p.hasPath(0, 0, 3));
+  EXPECT_TRUE(p.hasPath(0, 0, 6));
+  EXPECT_FALSE(p.hasPath(0, 0, 4));
+  EXPECT_FALSE(p.hasPath(0, 1, 2));
+}
+
+TEST(GraphPathsTest, ParallelMatchesSequential) {
+  BoolMatrix adj(5);
+  adj.set(0, 1, true);
+  adj.set(1, 2, true);
+  adj.set(2, 3, true);
+  adj.set(3, 4, true);
+  adj.set(4, 0, true);
+  adj.set(0, 3, true);
+  EXPECT_EQ(computeAllPaths(adj, 8, 4).pathBits, computeAllPaths(adj, 8, 0).pathBits);
+}
+
+TEST(GraphPathsTest, BadHorizonRejected) {
+  BoolMatrix adj(2);
+  EXPECT_THROW((void)computeAllPaths(adj, 3), std::invalid_argument);
+  EXPECT_THROW((void)computeAllPaths(adj, 128), std::invalid_argument);
+  EXPECT_THROW((void)computeAllPaths(BoolMatrix(), 8), std::invalid_argument);
+}
+
+// ---------- Section 6.2.1: DLT ----------
+
+TEST(DltAppTest, PrefixAlgorithmMatchesNaive) {
+  const std::vector<double> x{1.0, -0.5, 2.0, 0.25, 3.0, -1.0, 0.5, 1.5};
+  const std::complex<double> omega = std::polar(0.9, 0.35);
+  const auto fast = dltViaPrefix(x, omega, 6);
+  const auto slow = dltNaive(x, omega, 6);
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-9) << "k=" << k;
+}
+
+TEST(DltAppTest, TernaryAlgorithmMatchesNaive) {
+  const std::vector<double> x{1.0, -0.5, 2.0, 0.25, 3.0, -1.0, 0.5, 1.5};
+  const std::complex<double> omega = std::polar(0.9, 0.35);
+  const auto fast = dltViaTernaryTree(x, omega, 6);
+  const auto slow = dltNaive(x, omega, 6);
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-9) << "k=" << k;
+}
+
+TEST(DltAppTest, TwoAlgorithmsAgree) {
+  const std::vector<double> x{0.5, 1.5, -2.0, 4.0};
+  const std::complex<double> omega = std::polar(1.0, 0.7);
+  const auto a = dltViaPrefix(x, omega, 5);
+  const auto b = dltViaTernaryTree(x, omega, 5);
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_NEAR(std::abs(a[k] - b[k]), 0.0, 1e-9) << "k=" << k;
+}
+
+TEST(DltAppTest, ParallelMatchesSequential) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::complex<double> omega = std::polar(0.95, 0.2);
+  const auto seq = dltViaPrefix(x, omega, 4, 0);
+  const auto par = dltViaPrefix(x, omega, 4, 3);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_NEAR(std::abs(seq[k] - par[k]), 0.0, 1e-12);
+}
+
+TEST(DltAppTest, BadSizesRejected) {
+  EXPECT_THROW((void)dltViaPrefix({1.0}, {1.0, 0.0}, 2), std::invalid_argument);
+  EXPECT_THROW((void)dltViaTernaryTree({1, 2, 3}, {1.0, 0.0}, 2), std::invalid_argument);
+}
+
+// ---------- Section 7: matrix multiplication ----------
+
+TEST(MatmulAppTest, RecursiveMatchesNaive) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const Matrix a = Matrix::random(n, n, 100 + n);
+    const Matrix b = Matrix::random(n, n, 200 + n);
+    const Matrix fast = multiplyRecursive(a, b, /*threshold=*/2);
+    const Matrix slow = multiplyNaive(a, b);
+    EXPECT_LT(fast.maxAbsDiff(slow), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(MatmulAppTest, ParallelMatchesSequential) {
+  const Matrix a = Matrix::random(16, 16, 7);
+  const Matrix b = Matrix::random(16, 16, 8);
+  const Matrix seq = multiplyRecursive(a, b, 4, 0);
+  const Matrix par = multiplyRecursive(a, b, 4, 3);
+  EXPECT_LT(seq.maxAbsDiff(par), 1e-12);
+}
+
+TEST(MatmulAppTest, ThresholdShortCircuits) {
+  const Matrix a = Matrix::random(8, 8, 1);
+  const Matrix b = Matrix::random(8, 8, 2);
+  EXPECT_LT(multiplyRecursive(a, b, 8).maxAbsDiff(multiplyNaive(a, b)), 1e-12);
+}
+
+TEST(MatmulAppTest, NonCommutativeSafety) {
+  // Order of operands matters; (7.1) must compute A*B, not B*A.
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 1) = 1.0;
+  b.at(1, 0) = 1.0;
+  const Matrix ab = multiplyRecursive(a, b, 1);
+  EXPECT_DOUBLE_EQ(ab.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ab.at(1, 1), 0.0);
+}
+
+TEST(MatmulAppTest, BadShapesRejected) {
+  EXPECT_THROW((void)multiplyRecursive(Matrix(3, 3), Matrix(3, 3), 1), std::invalid_argument);
+  EXPECT_THROW((void)multiplyRecursive(Matrix(4, 4), Matrix(2, 2), 1), std::invalid_argument);
+  EXPECT_THROW((void)multiplyRecursive(Matrix(4, 2), Matrix(4, 2), 1), std::invalid_argument);
+  EXPECT_THROW((void)multiplyRecursive(Matrix(4, 4), Matrix(4, 4), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,115 @@
+#include "core/building_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+class BlockSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockSizeTest, WDagStructure) {
+  const std::size_t s = GetParam();
+  const ScheduledDag w = wdag(s);
+  EXPECT_EQ(w.dag.numNodes(), 2 * s + 1);
+  EXPECT_EQ(w.dag.numArcs(), 2 * s);
+  EXPECT_EQ(w.dag.sources().size(), s);
+  EXPECT_EQ(w.dag.sinks().size(), s + 1);
+  EXPECT_TRUE(w.dag.isConnected());
+  w.schedule.validate(w.dag);
+}
+
+TEST_P(BlockSizeTest, NDagStructure) {
+  const std::size_t s = GetParam();
+  const ScheduledDag n = ndag(s);
+  EXPECT_EQ(n.dag.numNodes(), 2 * s);
+  EXPECT_EQ(n.dag.numArcs(), 2 * s - 1);
+  // The anchor's child (sink 0) has no other parents.
+  EXPECT_EQ(n.dag.inDegree(static_cast<NodeId>(s)), 1u);
+  EXPECT_EQ(n.dag.parents(static_cast<NodeId>(s))[0], 0u);
+  n.schedule.validate(n.dag);
+}
+
+TEST_P(BlockSizeTest, SchedulesAreICOptimal) {
+  const std::size_t s = GetParam();
+  if (s <= 8) {  // keep the oracle cheap
+    EXPECT_TRUE(isICOptimal(wdag(s).dag, wdag(s).schedule));
+    EXPECT_TRUE(isICOptimal(ndag(s).dag, ndag(s).schedule));
+    if (s >= 2) {
+      EXPECT_TRUE(isICOptimal(mdag(s).dag, mdag(s).schedule));
+      EXPECT_TRUE(isICOptimal(cycleDag(s).dag, cycleDag(s).schedule));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockSizeTest, ::testing::Values(1, 2, 3, 4, 5, 8, 12));
+
+TEST(BuildingBlocksTest, VeeShape) {
+  const ScheduledDag v = vee(2);
+  EXPECT_EQ(v.dag.numNodes(), 3u);
+  EXPECT_EQ(v.dag.sources().size(), 1u);
+  EXPECT_EQ(v.dag.sinks().size(), 2u);
+  EXPECT_EQ(v.dag.label(0), "w");
+  EXPECT_EQ(v.dag.label(1), "x0");
+}
+
+TEST(BuildingBlocksTest, LambdaIsDualOfVee) {
+  for (std::size_t d : {2u, 3u, 5u}) {
+    // Fig 1: "Λ and V are dual to one another" (up to node renaming).
+    const Dag dv = dual(vee(d).dag);
+    const ScheduledDag l = lambda(d);
+    EXPECT_EQ(dv.numNodes(), l.dag.numNodes());
+    EXPECT_EQ(dv.sources().size(), l.dag.sources().size());
+    EXPECT_EQ(dv.sinks().size(), l.dag.sinks().size());
+  }
+}
+
+TEST(BuildingBlocksTest, MDagIsDualOfWDag) {
+  // M_s ≅ dual(W_{s-1}): same node/arc counts and degree multiset.
+  for (std::size_t s : {2u, 3u, 4u}) {
+    const Dag m = mdag(s).dag;
+    const Dag dw = dual(wdag(s - 1).dag);
+    EXPECT_EQ(m.numNodes(), dw.numNodes());
+    EXPECT_EQ(m.numArcs(), dw.numArcs());
+    EXPECT_EQ(m.sources().size(), dw.sources().size());
+  }
+}
+
+TEST(BuildingBlocksTest, CycleDagClosesTheCycle) {
+  const ScheduledDag c = cycleDag(4);
+  EXPECT_EQ(c.dag.numArcs(), 8u);
+  // Rightmost source (3) also feeds the leftmost sink (id 4).
+  EXPECT_TRUE(c.dag.hasArc(3, 4));
+  for (NodeId j = 0; j < 4; ++j) EXPECT_EQ(c.dag.inDegree(4 + j), 2u);
+}
+
+TEST(BuildingBlocksTest, ButterflyBlockIsCompleteBipartite) {
+  const ScheduledDag b = butterflyBlock();
+  EXPECT_EQ(b.dag.numNodes(), 4u);
+  for (NodeId s = 0; s < 2; ++s)
+    for (NodeId t = 2; t < 4; ++t) EXPECT_TRUE(b.dag.hasArc(s, t));
+  EXPECT_EQ(b.dag.label(0), "x0");
+  EXPECT_EQ(b.dag.label(3), "y1");
+}
+
+TEST(BuildingBlocksTest, InvalidSizesThrow) {
+  EXPECT_THROW((void)vee(0), std::invalid_argument);
+  EXPECT_THROW((void)lambda(0), std::invalid_argument);
+  EXPECT_THROW((void)wdag(0), std::invalid_argument);
+  EXPECT_THROW((void)mdag(1), std::invalid_argument);
+  EXPECT_THROW((void)ndag(0), std::invalid_argument);
+  EXPECT_THROW((void)cycleDag(1), std::invalid_argument);
+}
+
+TEST(BuildingBlocksTest, CycleDagProfileDipsByOne) {
+  // C_s: E(0) = s, E(x) = s-1 for 0 < x < s, E(s) = s; the oracle agrees
+  // this is the best achievable (Section 7.2's schedule).
+  const ScheduledDag c = cycleDag(5);
+  const auto p = nonsinkEligibilityProfile(c.dag, c.schedule);
+  EXPECT_EQ(p, (std::vector<std::size_t>{5, 4, 4, 4, 4, 5}));
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,113 @@
+#include "families/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(ButterflyTest, Counts) {
+  EXPECT_EQ(butterflyNumNodes(1), 4u);
+  EXPECT_EQ(butterflyNumNodes(2), 12u);
+  EXPECT_EQ(butterflyNumNodes(3), 32u);
+  const ScheduledDag b2 = butterfly(2);
+  EXPECT_EQ(b2.dag.numNodes(), 12u);
+  EXPECT_EQ(b2.dag.numArcs(), 16u);
+  EXPECT_EQ(b2.dag.sources().size(), 4u);
+  EXPECT_EQ(b2.dag.sinks().size(), 4u);
+  EXPECT_TRUE(b2.dag.isConnected());
+}
+
+TEST(ButterflyTest, B1IsTheBuildingBlock) {
+  const ScheduledDag b1 = butterfly(1);
+  EXPECT_EQ(b1.dag.numNodes(), 4u);
+  for (NodeId s = 0; s < 2; ++s)
+    for (NodeId t = 2; t < 4; ++t) EXPECT_TRUE(b1.dag.hasArc(s, t));
+}
+
+TEST(ButterflyTest, EveryNonSourceHasTwoParents) {
+  const ScheduledDag b = butterfly(3);
+  for (std::size_t l = 1; l <= 3; ++l) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      EXPECT_EQ(b.dag.inDegree(butterflyNodeId(3, l, r)), 2u);
+    }
+  }
+}
+
+class ButterflyDimTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ButterflyDimTest, PairScheduleICOptimal) {
+  const ScheduledDag b = butterfly(GetParam());
+  EXPECT_TRUE(executesBlockPairsConsecutively(GetParam(), b.schedule));
+  EXPECT_TRUE(isICOptimal(b.dag, b.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ButterflyDimTest, ::testing::Values(1, 2, 3));
+
+TEST(ButterflyTest, BlockCompositionMatchesDirect) {
+  // Fig 10: B_d as an iterated composition of butterfly blocks.
+  for (std::size_t dim : {1u, 2u, 3u}) {
+    const ScheduledDag direct = butterfly(dim);
+    const ScheduledDag composed = butterflyFromBlocks(dim);
+    EXPECT_EQ(composed.dag.numNodes(), direct.dag.numNodes()) << "dim=" << dim;
+    EXPECT_EQ(composed.dag.numArcs(), direct.dag.numArcs()) << "dim=" << dim;
+    EXPECT_EQ(eligibilityProfile(composed.dag, composed.schedule),
+              eligibilityProfile(direct.dag, direct.schedule))
+        << "dim=" << dim;
+    if (dim <= 2) EXPECT_TRUE(isICOptimal(composed.dag, composed.schedule));
+  }
+}
+
+TEST(ButterflyTest, SplitPairScheduleNotOptimal) {
+  // The [23] "only if": a schedule separating the two sources of some block
+  // cannot be IC-optimal. Execute level 0 of B_2 in row order 0,2,1,3 --
+  // pairs at level 0 are (0,1) and (2,3), both split.
+  const std::size_t dim = 2;
+  const ScheduledDag b = butterfly(dim);
+  std::vector<NodeId> order;
+  for (std::size_t r : {0u, 2u, 1u, 3u}) order.push_back(butterflyNodeId(dim, 0, r));
+  // Remaining levels in the optimal pair order.
+  for (std::size_t r : {0u, 2u, 1u, 3u}) order.push_back(butterflyNodeId(dim, 1, r));
+  for (std::size_t r = 0; r < 4; ++r) order.push_back(butterflyNodeId(dim, 2, r));
+  const Schedule s(order);
+  ASSERT_TRUE(s.isValidFor(b.dag));
+  EXPECT_FALSE(executesBlockPairsConsecutively(dim, s));
+  EXPECT_FALSE(isICOptimal(b.dag, s));
+}
+
+TEST(ButterflyTest, AllPairConsecutiveLevelOrdersOptimal) {
+  // Any level-by-level order keeping block pairs consecutive is IC-optimal:
+  // try a few permutations of the pair order within levels of B_2.
+  const std::size_t dim = 2;
+  const ScheduledDag b = butterfly(dim);
+  const std::vector<std::vector<std::size_t>> level0PairStarts = {{0, 2}, {2, 0}};
+  const std::vector<std::vector<std::size_t>> level1PairStarts = {{0, 1}, {1, 0}};
+  for (const auto& l0 : level0PairStarts) {
+    for (const auto& l1 : level1PairStarts) {
+      std::vector<NodeId> order;
+      for (std::size_t r : l0) {
+        order.push_back(butterflyNodeId(dim, 0, r));
+        order.push_back(butterflyNodeId(dim, 0, r ^ 1u));
+      }
+      for (std::size_t r : l1) {
+        order.push_back(butterflyNodeId(dim, 1, r));
+        order.push_back(butterflyNodeId(dim, 1, r ^ 2u));
+      }
+      for (std::size_t r = 0; r < 4; ++r) order.push_back(butterflyNodeId(dim, 2, r));
+      const Schedule s(order);
+      ASSERT_TRUE(s.isValidFor(b.dag));
+      EXPECT_TRUE(isICOptimal(b.dag, s));
+    }
+  }
+}
+
+TEST(ButterflyTest, InvalidDimsRejected) {
+  EXPECT_THROW((void)butterfly(0), std::invalid_argument);
+  EXPECT_THROW((void)butterflyNodeId(2, 3, 0), std::invalid_argument);
+  EXPECT_THROW((void)butterflyNodeId(2, 0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,77 @@
+#include "granularity/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "families/mesh.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(ClusterTest, IdentityClusteringIsTheSameDag) {
+  const ScheduledDag m = outMesh(4);
+  const Clustering c = clusterDag(m.dag, identityAssignment(m.dag));
+  EXPECT_EQ(c.quotient, m.dag);
+  EXPECT_EQ(c.crossArcs, m.dag.numArcs());
+  for (std::size_t s : c.clusterSize) EXPECT_EQ(s, 1u);
+}
+
+TEST(ClusterTest, CollapseAllIsOneNode) {
+  const ScheduledDag m = outMesh(3);
+  const std::vector<std::uint32_t> all(m.dag.numNodes(), 0);
+  const Clustering c = clusterDag(m.dag, all);
+  EXPECT_EQ(c.quotient.numNodes(), 1u);
+  EXPECT_EQ(c.quotient.numArcs(), 0u);
+  EXPECT_EQ(c.crossArcs, 0u);
+  EXPECT_EQ(c.clusterSize[0], m.dag.numNodes());
+}
+
+TEST(ClusterTest, ParallelArcsMergeWithWeight) {
+  // Two sources both feeding two sinks; cluster sources together and sinks
+  // together: one quotient arc of weight 4.
+  const ScheduledDag b = butterflyBlock();
+  const Clustering c = clusterDag(b.dag, {0, 0, 1, 1});
+  EXPECT_EQ(c.quotient.numNodes(), 2u);
+  EXPECT_EQ(c.quotient.numArcs(), 1u);
+  ASSERT_EQ(c.arcWeight.size(), 1u);
+  EXPECT_EQ(c.arcWeight[0], 4u);
+  EXPECT_EQ(c.crossArcs, 4u);
+}
+
+TEST(ClusterTest, NonConvexClusterRejected) {
+  // Path 0 -> 1 -> 2 with {0,2} clustered: quotient has a 2-cycle.
+  Dag g(3);
+  g.addArc(0, 1);
+  g.addArc(1, 2);
+  EXPECT_THROW((void)clusterDag(g, {0, 1, 0}), std::logic_error);
+  EXPECT_FALSE(isAdmissibleClustering(g, {0, 1, 0}));
+  EXPECT_TRUE(isAdmissibleClustering(g, {0, 0, 1}));
+}
+
+TEST(ClusterTest, NonDenseIdsRejected) {
+  Dag g(2);
+  g.addArc(0, 1);
+  EXPECT_THROW((void)clusterDag(g, {0, 2}), std::invalid_argument);
+  EXPECT_THROW((void)clusterDag(g, {0}), std::invalid_argument);
+}
+
+TEST(ClusterTest, ArcWeightsMatchArcOrder) {
+  // Chain of 3 clusters over a 6-node dag with differing cross multiplicity.
+  Dag g(6);
+  g.addArc(0, 2);
+  g.addArc(1, 2);
+  g.addArc(1, 3);
+  g.addArc(2, 4);
+  g.addArc(3, 4);
+  g.addArc(3, 5);
+  const Clustering c = clusterDag(g, {0, 0, 1, 1, 2, 2});
+  const std::vector<Arc> arcs = c.quotient.arcs();
+  ASSERT_EQ(arcs.size(), 2u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < arcs.size(); ++i) total += c.arcWeight[i];
+  EXPECT_EQ(total, c.crossArcs);
+  EXPECT_EQ(c.crossArcs, 6u);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,114 @@
+#include "core/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(CompositionTest, VeeUpLambdaMakesDiamondOfFour) {
+  // Merging both sinks of V with both sources of Λ yields the 4-node
+  // diamond: w -> {a, b} -> z.
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  const Composition c = composeFullMerge(v.dag, l.dag);
+  EXPECT_EQ(c.dag.numNodes(), 4u);
+  EXPECT_EQ(c.dag.numArcs(), 4u);
+  EXPECT_EQ(c.dag.sources().size(), 1u);
+  EXPECT_EQ(c.dag.sinks().size(), 1u);
+  // Merged ids agree across the two maps.
+  EXPECT_EQ(c.mapA[1], c.mapB[0]);
+  EXPECT_EQ(c.mapA[2], c.mapB[1]);
+  c.dag.validateAcyclic();
+}
+
+TEST(CompositionTest, EmptyPairListIsDisjointSum) {
+  const ScheduledDag v = vee(2);
+  const Composition c = compose(v.dag, v.dag, {});
+  EXPECT_EQ(c.dag.numNodes(), 6u);
+  EXPECT_FALSE(c.dag.isConnected());
+}
+
+TEST(CompositionTest, PartialMerge) {
+  // Merge only one sink of V with one source of Λ: 5 nodes remain.
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  const Composition c = compose(v.dag, l.dag, {{1, 0}});
+  EXPECT_EQ(c.dag.numNodes(), 5u);
+  EXPECT_EQ(c.dag.sources().size(), 2u);  // w and the unmerged Λ source
+  EXPECT_EQ(c.dag.sinks().size(), 2u);    // x1 and z
+}
+
+TEST(CompositionTest, RejectsNonSink) {
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  EXPECT_THROW((void)compose(v.dag, l.dag, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(CompositionTest, RejectsNonSource) {
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  EXPECT_THROW((void)compose(v.dag, l.dag, {{1, 2}}), std::invalid_argument);
+}
+
+TEST(CompositionTest, RejectsDoubleMerge) {
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  EXPECT_THROW((void)compose(v.dag, l.dag, {{1, 0}, {1, 1}}), std::invalid_argument);
+  EXPECT_THROW((void)compose(v.dag, l.dag, {{1, 0}, {2, 0}}), std::invalid_argument);
+}
+
+TEST(CompositionTest, RejectsMismatchedFullMerge) {
+  const ScheduledDag v = vee(3);
+  const ScheduledDag l = lambda(2);
+  EXPECT_THROW((void)composeFullMerge(v.dag, l.dag), std::invalid_argument);
+}
+
+TEST(CompositionTest, MapsCoverAllNodes) {
+  const ScheduledDag w = wdag(2);  // 2 sources, 3 sinks
+  const ScheduledDag m = mdag(3);  // 3 sources, 2 sinks
+  const Composition c = composeFullMerge(w.dag, m.dag);
+  EXPECT_EQ(c.dag.numNodes(), w.dag.numNodes() + m.dag.numNodes() - 3);
+  std::vector<bool> covered(c.dag.numNodes(), false);
+  for (NodeId v : c.mapA) covered[v] = true;
+  for (NodeId v : c.mapB) covered[v] = true;
+  for (bool b : covered) EXPECT_TRUE(b);
+}
+
+TEST(CompositionTest, ArcsAreInducedCorrectly) {
+  const ScheduledDag w = wdag(2);
+  const ScheduledDag m = mdag(3);
+  const Composition c = composeFullMerge(w.dag, m.dag);
+  for (const Arc& a : w.dag.arcs()) EXPECT_TRUE(c.dag.hasArc(c.mapA[a.from], c.mapA[a.to]));
+  for (const Arc& a : m.dag.arcs()) EXPECT_TRUE(c.dag.hasArc(c.mapB[a.from], c.mapB[a.to]));
+  EXPECT_EQ(c.dag.numArcs(), w.dag.numArcs() + m.dag.numArcs());
+}
+
+TEST(CompositionTest, AssociativityUpToProfile) {
+  // (V ⇑ Λ) ⇑ V vs V ⇑ (Λ ⇑ V): dag-composition is associative [21]; the
+  // composites here are isomorphic. Compare node/arc counts and the dual
+  // pair of source/sink sets.
+  const ScheduledDag v = vee(2);
+  const ScheduledDag l = lambda(2);
+  const Composition vl = composeFullMerge(v.dag, l.dag);
+  const Composition left = composeFullMerge(vl.dag, v.dag);
+  const Composition lv = composeFullMerge(l.dag, v.dag);
+  const Composition right = composeFullMerge(v.dag, lv.dag);
+  EXPECT_EQ(left.dag.numNodes(), right.dag.numNodes());
+  EXPECT_EQ(left.dag.numArcs(), right.dag.numArcs());
+  EXPECT_EQ(left.dag.sources().size(), right.dag.sources().size());
+  EXPECT_EQ(left.dag.sinks().size(), right.dag.sinks().size());
+}
+
+TEST(CompositionTest, ZipSinksToSourcesCountCheck) {
+  const ScheduledDag v = vee(2);
+  EXPECT_THROW((void)zipSinksToSources(v.dag, v.dag, 5), std::invalid_argument);
+  const auto pairs = zipSinksToSources(v.dag, v.dag, 1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].sinkOfA, 1u);
+  EXPECT_EQ(pairs[0].sourceOfB, 0u);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,159 @@
+#include "core/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace icsched {
+namespace {
+
+TEST(DagTest, EmptyDag) {
+  Dag g;
+  EXPECT_EQ(g.numNodes(), 0u);
+  EXPECT_EQ(g.numArcs(), 0u);
+  EXPECT_TRUE(g.isAcyclic());
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_TRUE(g.topologicalOrder().empty());
+}
+
+TEST(DagTest, SingleNode) {
+  Dag g(1);
+  EXPECT_EQ(g.numNodes(), 1u);
+  EXPECT_TRUE(g.isSource(0));
+  EXPECT_TRUE(g.isSink(0));
+  EXPECT_EQ(g.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<NodeId>{0});
+  EXPECT_EQ(g.numNonsinks(), 0u);
+  EXPECT_EQ(g.numNonsources(), 0u);
+}
+
+TEST(DagTest, AddArcUpdatesAdjacency) {
+  Dag g(3);
+  g.addArc(0, 1);
+  g.addArc(0, 2);
+  g.addArc(1, 2);
+  EXPECT_EQ(g.numArcs(), 3u);
+  EXPECT_TRUE(g.hasArc(0, 1));
+  EXPECT_FALSE(g.hasArc(1, 0));
+  EXPECT_EQ(g.outDegree(0), 2u);
+  EXPECT_EQ(g.inDegree(2), 2u);
+  EXPECT_EQ(g.parents(2).size(), 2u);
+  EXPECT_EQ(g.children(0).size(), 2u);
+}
+
+TEST(DagTest, RejectsSelfLoop) {
+  Dag g(2);
+  EXPECT_THROW(g.addArc(1, 1), std::invalid_argument);
+}
+
+TEST(DagTest, RejectsDuplicateArc) {
+  Dag g(2);
+  g.addArc(0, 1);
+  EXPECT_THROW(g.addArc(0, 1), std::invalid_argument);
+}
+
+TEST(DagTest, RejectsOutOfRange) {
+  Dag g(2);
+  EXPECT_THROW(g.addArc(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)g.children(5), std::invalid_argument);
+}
+
+TEST(DagTest, DetectsCycle) {
+  Dag g(3);
+  g.addArc(0, 1);
+  g.addArc(1, 2);
+  EXPECT_TRUE(g.isAcyclic());
+  g.addArc(2, 0);
+  EXPECT_FALSE(g.isAcyclic());
+  EXPECT_THROW(g.validateAcyclic(), std::logic_error);
+  EXPECT_THROW((void)g.topologicalOrder(), std::logic_error);
+}
+
+TEST(DagTest, TopologicalOrderRespectsArcs) {
+  Dag g(5);
+  g.addArc(3, 1);
+  g.addArc(1, 4);
+  g.addArc(3, 0);
+  g.addArc(0, 2);
+  const std::vector<NodeId> order = g.topologicalOrder();
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Arc& a : g.arcs()) EXPECT_LT(pos[a.from], pos[a.to]);
+}
+
+TEST(DagTest, ConnectivityIgnoresOrientation) {
+  Dag g(4);
+  g.addArc(0, 1);
+  g.addArc(2, 1);  // 2 reaches 1 only forward; undirected-connected
+  g.addArc(2, 3);
+  EXPECT_TRUE(g.isConnected());
+  Dag h(4);
+  h.addArc(0, 1);
+  h.addArc(2, 3);
+  EXPECT_FALSE(h.isConnected());
+}
+
+TEST(DagTest, DualReversesArcs) {
+  Dag g(3);
+  g.addArc(0, 1);
+  g.addArc(1, 2);
+  const Dag d = dual(g);
+  EXPECT_TRUE(d.hasArc(1, 0));
+  EXPECT_TRUE(d.hasArc(2, 1));
+  EXPECT_EQ(d.numArcs(), 2u);
+  EXPECT_EQ(d.sources(), g.sinks());
+  EXPECT_EQ(d.sinks(), g.sources());
+}
+
+TEST(DagTest, DualIsInvolution) {
+  Dag g(6);
+  g.addArc(0, 2);
+  g.addArc(0, 3);
+  g.addArc(1, 3);
+  g.addArc(2, 4);
+  g.addArc(3, 5);
+  EXPECT_EQ(dual(dual(g)), g);
+}
+
+TEST(DagTest, SumIsDisjointUnion) {
+  Dag a(2);
+  a.addArc(0, 1);
+  Dag b(3);
+  b.addArc(0, 2);
+  const Dag s = sum(a, b);
+  EXPECT_EQ(s.numNodes(), 5u);
+  EXPECT_EQ(s.numArcs(), 2u);
+  EXPECT_TRUE(s.hasArc(0, 1));
+  EXPECT_TRUE(s.hasArc(2, 4));
+  EXPECT_FALSE(s.isConnected());
+}
+
+TEST(DagTest, LabelsDefaultToIds) {
+  Dag g(2);
+  EXPECT_EQ(g.label(1), "1");
+  g.setLabel(1, "w");
+  EXPECT_EQ(g.label(1), "w");
+}
+
+TEST(DagTest, ToDotMentionsAllNodesAndArcs) {
+  Dag g(2);
+  g.addArc(0, 1);
+  const std::string dot = g.toDot("T");
+  EXPECT_NE(dot.find("digraph T"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DagTest, EqualityIsOrderInsensitive) {
+  Dag a(3);
+  a.addArc(0, 1);
+  a.addArc(0, 2);
+  Dag b(3);
+  b.addArc(0, 2);
+  b.addArc(0, 1);
+  EXPECT_EQ(a, b);
+  b.addArc(1, 2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace icsched

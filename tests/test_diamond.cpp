@@ -1,0 +1,82 @@
+#include "families/diamond.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(DiamondTest, Fig2DiamondShape) {
+  // Fig 2: a height-2 binary out-tree composed with the matching in-tree.
+  const DiamondDag d = symmetricDiamond(completeOutTree(2, 2));
+  EXPECT_EQ(d.composite.dag.numNodes(), 7u + 7u - 4u);
+  EXPECT_EQ(d.composite.dag.sources().size(), 1u);
+  EXPECT_EQ(d.composite.dag.sinks().size(), 1u);
+  EXPECT_TRUE(d.composite.dag.isConnected());
+}
+
+TEST(DiamondTest, Fig2ScheduleIsICOptimal) {
+  const DiamondDag d = symmetricDiamond(completeOutTree(2, 2));
+  EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule));
+}
+
+class DiamondHeightTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DiamondHeightTest, SymmetricDiamondOptimal) {
+  const DiamondDag d = symmetricDiamond(completeOutTree(2, GetParam()));
+  EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, DiamondHeightTest, ::testing::Values(1, 2, 3));
+
+TEST(DiamondTest, IrregularDiamondsOptimal) {
+  // Divide-and-conquer produces irregular expansion trees (Section 3.2);
+  // their diamonds still admit IC-optimal schedules.
+  for (std::uint64_t seed : {1u, 5u, 11u}) {
+    const DiamondDag d = symmetricDiamond(randomBinaryOutTree(6, seed));
+    EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule)) << "seed " << seed;
+  }
+}
+
+TEST(DiamondTest, MismatchedTreesRejected) {
+  EXPECT_THROW((void)diamond(completeOutTree(2, 2), completeInTree(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(DiamondTest, AsymmetricDiamondOptimal) {
+  // Out-tree arity 2 with 4 leaves into an in-tree of arity 4 (one Λ_4).
+  const ScheduledDag out = completeOutTree(2, 2);
+  const ScheduledDag in = inTreeFor(completeOutTree(4, 1));
+  const DiamondDag d = diamond(out, in);
+  EXPECT_EQ(d.composite.dag.sinks().size(), 1u);
+  EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule));
+}
+
+TEST(DiamondTest, MapsLandOnComposite) {
+  const DiamondDag d = symmetricDiamond(completeOutTree(2, 2));
+  for (NodeId v : d.outTreeMap) EXPECT_LT(v, d.composite.dag.numNodes());
+  for (NodeId v : d.inTreeMap) EXPECT_LT(v, d.composite.dag.numNodes());
+  // Out-tree leaves coincide with in-tree sources after the merge.
+  const ScheduledDag t = completeOutTree(2, 2);
+  const ScheduledDag tin = inTreeFor(t);
+  const std::vector<NodeId> leaves = t.dag.sinks();
+  const std::vector<NodeId> srcs = tin.dag.sources();
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    EXPECT_EQ(d.outTreeMap[leaves[i]], d.inTreeMap[srcs[i]]);
+}
+
+TEST(DiamondTest, ProfileNeverWorseThanReverseOrder) {
+  // Executing the in-tree's reductive structure "too early" cannot beat the
+  // Theorem 2.1 schedule anywhere.
+  const DiamondDag d = symmetricDiamond(completeOutTree(2, 3));
+  const Schedule topo(d.composite.dag.topologicalOrder());
+  const auto optProfile = eligibilityProfile(d.composite.dag, d.composite.schedule);
+  const auto topoProfile = eligibilityProfile(d.composite.dag, topo);
+  EXPECT_TRUE(dominates(optProfile, topoProfile));
+}
+
+}  // namespace
+}  // namespace icsched

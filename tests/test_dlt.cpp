@@ -1,0 +1,102 @@
+#include "families/dlt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "families/prefix.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(DltTest, L8Shape) {
+  // Fig 13 left: L_8 = P_8 ⇑ T_8. P_8 has 32 nodes, T_8 has 15; 8 merge.
+  const DltDag d = dltPrefixDag(8);
+  EXPECT_EQ(d.composite.dag.numNodes(), 32u + 15u - 8u);
+  EXPECT_EQ(d.composite.dag.sources().size(), 8u);
+  EXPECT_EQ(d.composite.dag.sinks().size(), 1u);
+  EXPECT_TRUE(d.composite.dag.isConnected());
+}
+
+TEST(DltTest, L4ScheduleICOptimal) {
+  const DltDag d = dltPrefixDag(4);  // 12 + 7 - 4 = 15 nodes: oracle-friendly
+  EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule));
+}
+
+TEST(DltTest, L8ScheduleValidAndDominant) {
+  const DltDag d = dltPrefixDag(8);  // 39 nodes: compare against heuristics
+  d.composite.schedule.validate(d.composite.dag);
+  const auto opt = eligibilityProfile(d.composite.dag, d.composite.schedule);
+  const Schedule topo(d.composite.dag.topologicalOrder());
+  EXPECT_TRUE(dominates(opt, eligibilityProfile(d.composite.dag, topo)));
+}
+
+TEST(DltTest, PrefixChainPriorityHolds) {
+  // Section 6.2.1's facts give N_s ▷ N_t ▷ Λ ▷ Λ; confirm the whole
+  // decomposition chain of L_4 = (N_4, N_2, N_2, Λ, Λ, Λ).
+  EXPECT_TRUE(isPriorityChain(
+      {ndag(4), ndag(2), ndag(2), lambda(), lambda(), lambda()}));
+}
+
+TEST(DltTest, TernaryOutTreeShapes) {
+  EXPECT_EQ(ternaryOutTree(1).dag.numNodes(), 1u);
+  const ScheduledDag t7 = ternaryOutTree(7);
+  EXPECT_EQ(t7.dag.sinks().size(), 7u);
+  for (NodeId v = 0; v < t7.dag.numNodes(); ++v) {
+    const std::size_t d = t7.dag.outDegree(v);
+    EXPECT_TRUE(d == 0 || d == 3);
+  }
+  EXPECT_THROW((void)ternaryOutTree(4), std::invalid_argument);
+  EXPECT_THROW((void)ternaryOutTree(0), std::invalid_argument);
+}
+
+TEST(DltTest, LPrime8Shape) {
+  // Fig 15: ternary out-tree (7 leaves -> 10 nodes) merged onto in-tree
+  // sources 1..7; source 0 stays free.
+  const DltDag d = dltTernaryDag(8);
+  EXPECT_EQ(d.composite.dag.numNodes(), 10u + 15u - 7u);
+  EXPECT_EQ(d.composite.dag.sources().size(), 2u);  // out-tree root + free x0
+  EXPECT_EQ(d.composite.dag.sinks().size(), 1u);
+}
+
+TEST(DltTest, LPrime4ScheduleICOptimal) {
+  const DltDag d = dltTernaryDag(4);  // ternary tree (3 leaves) + T_4
+  EXPECT_EQ(d.composite.dag.numNodes(), 4u + 7u - 3u);
+  EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule));
+}
+
+TEST(DltTest, LPrime8ScheduleICOptimal) {
+  const DltDag d = dltTernaryDag(8);  // 18 nodes
+  EXPECT_TRUE(isICOptimal(d.composite.dag, d.composite.schedule));
+}
+
+TEST(DltTest, TernaryChainPriorityHolds) {
+  // Section 6.2.1: V_3 ▷ V_3 ▷ Λ ▷ Λ.
+  EXPECT_TRUE(isPriorityChain({vee(3), vee(3), lambda(), lambda()}));
+}
+
+TEST(DltTest, PathsDagIsPrefixStructured) {
+  // Fig 16's computation has the L_8 structure.
+  const DltDag paths = pathsDag(8);
+  const DltDag l8 = dltPrefixDag(8);
+  EXPECT_EQ(paths.composite.dag, l8.composite.dag);
+}
+
+TEST(DltTest, NonPowerOfTwoRejected) {
+  EXPECT_THROW((void)dltPrefixDag(6), std::invalid_argument);
+  EXPECT_THROW((void)dltTernaryDag(6), std::invalid_argument);
+  EXPECT_THROW((void)dltPrefixDag(1), std::invalid_argument);
+}
+
+TEST(DltTest, GeneratorAndInTreeMapsConsistent) {
+  const DltDag d = dltPrefixDag(4);
+  // P_4's sinks coincide with the in-tree's sources in the composite.
+  const ScheduledDag p = prefixDag(4);
+  const std::vector<NodeId> pSinks = p.dag.sinks();
+  for (std::size_t i = 0; i < pSinks.size(); ++i)
+    EXPECT_FALSE(d.composite.dag.isSink(d.generatorMap[pSinks[i]]));
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,73 @@
+#include "core/duality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "core/optimality.hpp"
+#include "families/mesh.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(DualityTest, DualScheduleOfVeeIsLambdaSchedule) {
+  const ScheduledDag v = vee(2);
+  const Schedule ds = dualSchedule(v.dag, v.schedule);
+  // Dual of V is Λ with ids preserved: nodes 1,2 sources, node 0 sink.
+  EXPECT_TRUE(ds.isValidFor(dual(v.dag)));
+  EXPECT_EQ(ds.order().back(), 0u);
+}
+
+TEST(DualityTest, DualScheduleIsDualByDefinition) {
+  const ScheduledDag w = wdag(3);
+  const Schedule ds = dualSchedule(w.dag, w.schedule);
+  EXPECT_TRUE(isDualScheduleOf(w.dag, w.schedule, ds));
+}
+
+TEST(DualityTest, NonDualScheduleDetected) {
+  const ScheduledDag n = ndag(3);  // sources 0-2, sinks 3-5
+  // A valid schedule for the dual that does NOT reverse packet order.
+  const Dag d = dual(n.dag);
+  const Schedule notDual({3, 4, 5, 0, 1, 2});
+  ASSERT_TRUE(notDual.isValidFor(d));
+  EXPECT_FALSE(isDualScheduleOf(n.dag, n.schedule, notDual));
+}
+
+TEST(DualityTest, Theorem22PreservesICOptimality) {
+  // Theorem 2.2: dualizing an IC-optimal schedule gives an IC-optimal
+  // schedule for the dual. Verify exhaustively on several families.
+  const std::vector<ScheduledDag> cases = {
+      vee(2),  vee(3),      lambda(2), wdag(3),        ndag(4),
+      mdag(3), cycleDag(4), outMesh(4), completeOutTree(2, 2),
+  };
+  for (const ScheduledDag& g : cases) {
+    ASSERT_TRUE(isICOptimal(g.dag, g.schedule)) << g.dag.toDot();
+    const ScheduledDag d = dualScheduledDag(g);
+    EXPECT_TRUE(isICOptimal(d.dag, d.schedule)) << d.dag.toDot();
+  }
+}
+
+TEST(DualityTest, DoubleDualScheduleStillOptimal) {
+  const ScheduledDag m = outMesh(4);
+  const ScheduledDag dd = dualScheduledDag(dualScheduledDag(m));
+  EXPECT_EQ(dd.dag, m.dag);
+  EXPECT_TRUE(isICOptimal(dd.dag, dd.schedule));
+}
+
+TEST(DualityTest, InTreeScheduleIsSiblingConsecutive) {
+  // The [23] characterization: IC-optimal in-tree schedules execute the two
+  // sources of each Λ copy consecutively. Theorem 2.2's construction does.
+  for (std::size_t h = 1; h <= 4; ++h) {
+    const ScheduledDag t = completeInTree(2, h);
+    EXPECT_TRUE(executesSiblingsConsecutively(t.dag, t.schedule)) << "height " << h;
+  }
+}
+
+TEST(DualityTest, DualScheduleValidatesInput) {
+  const ScheduledDag w = wdag(2);
+  const Schedule interleaved({0, 2, 1, 3, 4});  // valid but not nonsinks-first
+  EXPECT_THROW((void)dualSchedule(w.dag, interleaved), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "families/matmul_dag.hpp"
+#include "families/mesh.hpp"
+#include "io/cli.hpp"
+#include "io/dag_io.hpp"
+
+namespace icsched {
+namespace {
+
+// ---------- dag/schedule text round-trips ----------
+
+TEST(DagIoTest, RoundTripPlainDag) {
+  const Dag g = outMesh(5).dag;
+  const Dag back = dagFromString(dagToString(g));
+  EXPECT_EQ(back, g);
+}
+
+TEST(DagIoTest, RoundTripPreservesLabels) {
+  const Dag g = matmulDag().composite.dag;
+  const Dag back = dagFromString(dagToString(g));
+  EXPECT_EQ(back, g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) EXPECT_EQ(back.label(v), g.label(v));
+}
+
+TEST(DagIoTest, RoundTripSchedule) {
+  const ScheduledDag m = outMesh(4);
+  const Schedule back = scheduleFromString(scheduleToString(m.schedule));
+  EXPECT_EQ(back, m.schedule);
+}
+
+TEST(DagIoTest, CommentsAndBlankLinesIgnored) {
+  const Dag g = dagFromString(
+      "# a comment\n\ndag 3\n# another\narc 0 1\n\narc 1 2\nend\n");
+  EXPECT_EQ(g.numNodes(), 3u);
+  EXPECT_EQ(g.numArcs(), 2u);
+}
+
+TEST(DagIoTest, LabelsWithSpaces) {
+  Dag g(2);
+  g.setLabel(0, "AE+BG sum");
+  g.addArc(0, 1);
+  const Dag back = dagFromString(dagToString(g));
+  EXPECT_EQ(back.label(0), "AE+BG sum");
+}
+
+TEST(DagIoTest, MalformedInputsRejectedWithLineNumbers) {
+  EXPECT_THROW((void)dagFromString("arc 0 1\n"), std::invalid_argument);      // no header
+  EXPECT_THROW((void)dagFromString("dag 2\narc 0 5\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag 2\narc 0 0\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag 2\nfrobnicate\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag 2\narc 0 1\n"), std::invalid_argument);  // no end
+  EXPECT_THROW((void)dagFromString("dag two\nend\n"), std::invalid_argument);
+  try {
+    (void)dagFromString("dag 2\narc 0 9\nend\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(DagIoTest, CyclicInputRejectedAtEnd) {
+  EXPECT_THROW((void)dagFromString("dag 2\narc 0 1\narc 1 0\nend\n"),
+               std::logic_error);
+}
+
+TEST(DagIoTest, ScheduleParseErrors) {
+  EXPECT_THROW((void)scheduleFromString("profile 1 2\n"), std::invalid_argument);
+  EXPECT_THROW((void)scheduleFromString("schedule 1 x 2\n"), std::invalid_argument);
+  EXPECT_THROW((void)scheduleFromString(""), std::invalid_argument);
+}
+
+// ---------- CLI ----------
+
+int cli(const std::vector<std::string>& args, const std::string& input, std::string* out,
+        std::string* errOut = nullptr) {
+  std::istringstream in(input);
+  std::ostringstream os;
+  std::ostringstream es;
+  const int rc = runCli(args, in, os, es);
+  if (out) *out = os.str();
+  if (errOut) *errOut = es.str();
+  return rc;
+}
+
+TEST(CliTest, GenThenVerifyFamilies) {
+  for (const std::vector<std::string>& gen :
+       {std::vector<std::string>{"gen", "mesh", "4"},
+        std::vector<std::string>{"gen", "butterfly", "2"},
+        std::vector<std::string>{"gen", "prefix", "8"},
+        std::vector<std::string>{"gen", "matmul"},
+        std::vector<std::string>{"gen", "diamond", "2", "2"},
+        std::vector<std::string>{"gen", "cycle", "5"},
+        std::vector<std::string>{"gen", "ndag", "6"}}) {
+    std::string text;
+    ASSERT_EQ(cli(gen, "", &text), 0);
+    std::string verdict;
+    EXPECT_EQ(cli({"verify"}, text, &verdict), 0) << gen[1];
+    EXPECT_NE(verdict.find("IC-OPTIMAL"), std::string::npos) << gen[1];
+  }
+}
+
+TEST(CliTest, ProfileOutputsSeries) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "cycle", "4"}, "", &text), 0);
+  std::string out;
+  ASSERT_EQ(cli({"profile"}, text, &out), 0);
+  EXPECT_EQ(out, "profile 4 3 3 3 4 3 2 1 0\n");
+}
+
+TEST(CliTest, ScheduleMethodsProduceValidSchedules) {
+  std::string dagText;
+  ASSERT_EQ(cli({"gen", "mesh", "5"}, "", &dagText), 0);
+  // Strip the bundled schedule line: take only up to "end".
+  const std::string dagOnly = dagText.substr(0, dagText.find("schedule"));
+  for (const std::string method : {"greedy", "beam", "exact"}) {
+    std::string schedText;
+    ASSERT_EQ(cli({"schedule", method}, dagOnly, &schedText), 0) << method;
+    const Schedule s = scheduleFromString(schedText);
+    s.validate(dagFromString(dagOnly));
+  }
+}
+
+TEST(CliTest, VerifyFlagsSuboptimalSchedules) {
+  // A valid but suboptimal schedule for N_4 (non-anchor first).
+  const std::string input =
+      "dag 8\narc 0 4\narc 0 5\narc 1 5\narc 1 6\narc 2 6\narc 2 7\narc 3 7\nend\n"
+      "schedule 1 0 2 3 4 5 6 7\n";
+  std::string out;
+  EXPECT_EQ(cli({"verify"}, input, &out), 2);
+  EXPECT_NE(out.find("SUBOPTIMAL"), std::string::npos);
+}
+
+TEST(CliTest, DotEmitsGraphviz) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "matmul"}, "", &text), 0);
+  std::string dot;
+  ASSERT_EQ(cli({"dot"}, text, &dot), 0);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("AE"), std::string::npos);
+}
+
+TEST(CliTest, SimulateReportsMetrics) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "mesh", "6"}, "", &text), 0);
+  std::string out;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3"}, text, &out), 0);
+  EXPECT_NE(out.find("makespan="), std::string::npos);
+  EXPECT_NE(out.find("stalls="), std::string::npos);
+  // Determinism across runs.
+  std::string out2;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3"}, text, &out2), 0);
+  EXPECT_EQ(out, out2);
+}
+
+TEST(CliTest, ErrorsGoToStderrWithExitCodes) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({}, "", &out, &err), 64);
+  EXPECT_NE(err.find("usage"), std::string::npos);
+  EXPECT_EQ(cli({"frobnicate"}, "", &out, &err), 64);
+  EXPECT_EQ(cli({"gen", "nosuchfamily"}, "", &out, &err), 1);
+  EXPECT_EQ(cli({"gen", "mesh", "-3"}, "", &out, &err), 1);
+  EXPECT_EQ(cli({"simulate", "4"}, "", &out, &err), 1);
+  EXPECT_EQ(cli({"profile"}, "garbage\n", &out, &err), 1);
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,84 @@
+#include "families/matmul_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(MatmulDagTest, Fig17Shape) {
+  const MatmulDag m = matmulDag();
+  EXPECT_EQ(m.composite.dag.numNodes(), 20u);
+  EXPECT_EQ(m.composite.dag.sources().size(), 8u);   // A..H
+  EXPECT_EQ(m.composite.dag.sinks().size(), 4u);     // the four block sums
+  EXPECT_EQ(m.composite.dag.numArcs(), 8u + 8u + 8u);
+  EXPECT_TRUE(m.composite.dag.isConnected());
+}
+
+TEST(MatmulDagTest, ProductsHaveRightOperands) {
+  const MatmulDag m = matmulDag();
+  const Dag& g = m.composite.dag;
+  // AE's parents are A and E.
+  const NodeId kAE = m.ids.products[1];
+  EXPECT_TRUE(g.hasArc(m.ids.inputs[0], kAE));  // A
+  EXPECT_TRUE(g.hasArc(m.ids.inputs[1], kAE));  // E
+  // Sum AE+BG's parents are AE and BG.
+  EXPECT_TRUE(g.hasArc(kAE, m.ids.sums[0]));
+  EXPECT_TRUE(g.hasArc(m.ids.products[5], m.ids.sums[0]));  // BG
+  EXPECT_EQ(g.label(kAE), "AE");
+  EXPECT_EQ(g.label(m.ids.sums[0]), "AE+BG");
+}
+
+TEST(MatmulDagTest, PriorityChainHolds) {
+  // Section 7.2: C_4 ▷ C_4 ▷ Λ ▷ Λ (▷-linearity of M's decomposition).
+  EXPECT_TRUE(isPriorityChain(
+      {cycleDag(4), cycleDag(4), lambda(), lambda(), lambda(), lambda()}));
+}
+
+TEST(MatmulDagTest, Theorem21ScheduleICOptimal) {
+  const MatmulDag m = matmulDag();
+  EXPECT_TRUE(isICOptimal(m.composite.dag, m.composite.schedule));
+}
+
+TEST(MatmulDagTest, PaperScheduleValid) {
+  const MatmulDag m = matmulDag();
+  const Schedule s = paperMatmulSchedule(m);
+  EXPECT_TRUE(s.isValidFor(m.composite.dag));
+  EXPECT_TRUE(s.executesNonsinksFirst(m.composite.dag));
+}
+
+TEST(MatmulDagTest, PaperScheduleProfileVsOracle) {
+  // The paper's Section 7.2 schedule lists the product order
+  // AE, CE, CF, AF, BG, DG, DH, BH after the inputs. Record how it compares
+  // to the oracle's per-step maxima (the bench prints the full series).
+  const MatmulDag m = matmulDag();
+  const Schedule s = paperMatmulSchedule(m);
+  const auto profile = eligibilityProfile(m.composite.dag, s);
+  const auto best = maxEligibleProfile(m.composite.dag);
+  // At minimum the input phase (consecutive cycle order) tracks the optimum.
+  for (std::size_t t = 0; t <= 8; ++t) EXPECT_EQ(profile[t], best[t]) << "t=" << t;
+}
+
+TEST(MatmulDagTest, ScatteredInputOrderNotOptimal) {
+  // Executing the two cycles' inputs interleaved one-by-one dips below.
+  const MatmulDag m = matmulDag();
+  std::vector<NodeId> order;
+  for (std::size_t i = 0; i < 4; ++i) {
+    order.push_back(m.ids.inputs[i]);      // cycle 1
+    order.push_back(m.ids.inputs[4 + i]);  // cycle 2
+  }
+  // Products in Theorem order, then sums.
+  for (NodeId v : m.composite.schedule.order())
+    if (std::find(order.begin(), order.end(), v) == order.end()) order.push_back(v);
+  const Schedule s(order);
+  ASSERT_TRUE(s.isValidFor(m.composite.dag));
+  EXPECT_FALSE(isICOptimal(m.composite.dag, s));
+}
+
+}  // namespace
+}  // namespace icsched

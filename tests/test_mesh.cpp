@@ -1,0 +1,94 @@
+#include "families/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "core/linear_composition.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(MeshTest, NodeNumbering) {
+  EXPECT_EQ(meshNodeId(0, 0), 0u);
+  EXPECT_EQ(meshNodeId(1, 0), 1u);
+  EXPECT_EQ(meshNodeId(1, 1), 2u);
+  EXPECT_EQ(meshNodeId(3, 2), 8u);
+  EXPECT_THROW((void)meshNodeId(2, 3), std::invalid_argument);
+  EXPECT_EQ(meshNumNodes(5), 15u);
+}
+
+TEST(MeshTest, OutMeshStructure) {
+  const ScheduledDag m = outMesh(4);
+  EXPECT_EQ(m.dag.numNodes(), 10u);
+  EXPECT_EQ(m.dag.sources().size(), 1u);
+  EXPECT_EQ(m.dag.sinks().size(), 4u);
+  // Interior node (1,0) feeds (2,0) and (2,1).
+  EXPECT_TRUE(m.dag.hasArc(meshNodeId(1, 0), meshNodeId(2, 0)));
+  EXPECT_TRUE(m.dag.hasArc(meshNodeId(1, 0), meshNodeId(2, 1)));
+  EXPECT_TRUE(m.dag.isConnected());
+}
+
+class MeshSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshSizeTest, DiagonalScheduleICOptimal) {
+  const ScheduledDag m = outMesh(GetParam());
+  EXPECT_TRUE(isICOptimal(m.dag, m.schedule));
+}
+
+TEST_P(MeshSizeTest, InMeshScheduleICOptimal) {
+  const ScheduledDag m = inMesh(GetParam());
+  EXPECT_EQ(m.dag.sinks().size(), 1u);
+  EXPECT_TRUE(isICOptimal(m.dag, m.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizeTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(MeshTest, WDagCompositionEqualsDirectConstruction) {
+  // Fig 6: the out-mesh *is* the ▷-linear composition of growing W-dags;
+  // under our numbering the two constructions coincide exactly.
+  for (std::size_t n : {2u, 3u, 4u, 5u, 7u}) {
+    const ScheduledDag direct = outMesh(n);
+    const ScheduledDag composed = outMeshFromWDags(n);
+    EXPECT_EQ(direct.dag, composed.dag) << "n=" << n;
+    EXPECT_EQ(eligibilityProfile(direct.dag, direct.schedule),
+              eligibilityProfile(composed.dag, composed.schedule));
+  }
+}
+
+TEST(MeshTest, WDagChainHasPriority) {
+  // The builder's recorded profiles confirm W_1 ▷ W_2 ▷ ... ▷ W_{n-1}.
+  LinearCompositionBuilder b(wdag(1));
+  for (std::size_t s = 2; s <= 5; ++s) b.appendFullMerge(wdag(s));
+  EXPECT_TRUE(b.verifyPriorityChain());
+}
+
+TEST(MeshTest, ColumnMajorScheduleNotOptimal) {
+  // Executing the mesh row by row (i.e. a "depth-first" wavefront) falls
+  // behind the diagonal schedule.
+  const ScheduledDag m = outMesh(4);
+  // Row-major topological order: sort nodes by (i, j) = (offset, diag-off).
+  std::vector<NodeId> order;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t d = i; d < 4; ++d) order.push_back(meshNodeId(d, i));
+  const Schedule rowMajor(order);
+  ASSERT_TRUE(rowMajor.isValidFor(m.dag));
+  EXPECT_FALSE(isICOptimal(m.dag, rowMajor));
+}
+
+TEST(MeshTest, OutMeshProfilePeaksAtLastDiagonal) {
+  const ScheduledDag m = outMesh(6);
+  const auto p = eligibilityProfile(m.dag, m.schedule);
+  // After executing diagonals 0..d-1 entirely (t = d(d+1)/2), the whole
+  // diagonal d is ELIGIBLE: E = d+1.
+  for (std::size_t d = 0; d < 6; ++d) EXPECT_EQ(p[meshNumNodes(d + 1) - (d + 1)], d + 1);
+}
+
+TEST(MeshTest, ZeroDiagonalsRejected) {
+  EXPECT_THROW((void)outMesh(0), std::invalid_argument);
+  EXPECT_THROW((void)outMeshFromWDags(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icsched

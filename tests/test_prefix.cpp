@@ -1,0 +1,105 @@
+#include "families/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "core/linear_composition.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(PrefixTest, StageCount) {
+  EXPECT_EQ(prefixNumStages(2), 1u);
+  EXPECT_EQ(prefixNumStages(3), 2u);
+  EXPECT_EQ(prefixNumStages(4), 2u);
+  EXPECT_EQ(prefixNumStages(5), 3u);
+  EXPECT_EQ(prefixNumStages(8), 3u);
+  EXPECT_EQ(prefixNumStages(9), 4u);
+  EXPECT_THROW((void)prefixNumStages(1), std::invalid_argument);
+}
+
+TEST(PrefixTest, P8Shape) {
+  // Fig 11: the 8-input parallel-prefix dag has 4 levels of 8 nodes.
+  const ScheduledDag p = prefixDag(8);
+  EXPECT_EQ(p.dag.numNodes(), 32u);
+  EXPECT_EQ(p.dag.sources().size(), 8u);
+  EXPECT_EQ(p.dag.sinks().size(), 8u);
+  // Combine arcs: level 0 node i feeds level 1 node i+1.
+  EXPECT_TRUE(p.dag.hasArc(prefixNodeId(8, 0, 3), prefixNodeId(8, 1, 4)));
+  // Stage 2 shift = 4.
+  EXPECT_TRUE(p.dag.hasArc(prefixNodeId(8, 2, 1), prefixNodeId(8, 3, 5)));
+  // Pass-through arc.
+  EXPECT_TRUE(p.dag.hasArc(prefixNodeId(8, 1, 0), prefixNodeId(8, 2, 0)));
+}
+
+TEST(PrefixTest, ColumnZeroIsAPassThroughChain) {
+  const ScheduledDag p = prefixDag(8);
+  for (std::size_t t = 1; t <= 3; ++t)
+    EXPECT_EQ(p.dag.inDegree(prefixNodeId(8, t, 0)), 1u);
+}
+
+class PrefixSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSizeTest, ScheduleIsValid) {
+  const ScheduledDag p = prefixDag(GetParam());
+  p.schedule.validate(p.dag);
+  EXPECT_TRUE(p.schedule.executesNonsinksFirst(p.dag));
+}
+
+TEST_P(PrefixSizeTest, ScheduleIsICOptimalSmall) {
+  const std::size_t n = GetParam();
+  const ScheduledDag p = prefixDag(n);
+  if (p.dag.numNodes() <= 24) {
+    EXPECT_TRUE(isICOptimal(p.dag, p.schedule)) << "n=" << n;
+  } else {
+    // Large sizes: rely on the ▷-linear composition argument; spot-check
+    // that the profile is nondecreasing through each stage (the N-dags keep
+    // E flat, never dipping).
+    const auto profile = eligibilityProfile(p.dag, p.schedule);
+    for (std::size_t t = 0; t + 1 < p.dag.numNonsinks(); ++t)
+      EXPECT_GE(profile[t + 1] + 1, profile[t]) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSizeTest, ::testing::Values(2, 3, 4, 5, 6, 8, 16));
+
+TEST(PrefixTest, NDagCompositionMatchesDirect) {
+  // Fig 12: P_n as a ▷-linear composition of N-dags.
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const ScheduledDag direct = prefixDag(n);
+    const ScheduledDag composed = prefixFromNDags(n);
+    EXPECT_EQ(composed.dag.numNodes(), direct.dag.numNodes()) << "n=" << n;
+    EXPECT_EQ(composed.dag.numArcs(), direct.dag.numArcs()) << "n=" << n;
+    EXPECT_EQ(eligibilityProfile(composed.dag, composed.schedule),
+              eligibilityProfile(direct.dag, direct.schedule))
+        << "n=" << n;
+  }
+}
+
+TEST(PrefixTest, NDagChainIsPriorityLinear) {
+  // N_s ▷ N_t for all s,t, so any constituent order works; verify the
+  // builder's chain for P_8.
+  LinearCompositionBuilder b(ndag(8));
+  // Manually mirror prefixFromNDags' chain shape to use verifyPriorityChain.
+  // (The full composition is already covered above; here we check ▷ only.)
+  EXPECT_TRUE(isPriorityChain({ndag(8), ndag(4), ndag(4), ndag(2), ndag(2), ndag(2), ndag(2)}));
+}
+
+TEST(PrefixTest, NonPowerOfTwoRejectedByComposition) {
+  EXPECT_THROW((void)prefixFromNDags(6), std::invalid_argument);
+  EXPECT_NO_THROW((void)prefixDag(6));
+}
+
+TEST(PrefixTest, NonAnchorFirstScheduleNotOptimal) {
+  // Executing a non-anchor source of the first N-dag wastes the step: the
+  // node it would expose still awaits another parent, so E(1) dips.
+  const ScheduledDag p = prefixDag(4);
+  const Schedule nonAnchor({1, 0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  ASSERT_TRUE(nonAnchor.isValidFor(p.dag));
+  EXPECT_FALSE(isICOptimal(p.dag, nonAnchor));
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,127 @@
+/// Verifies every ▷-priority claim the paper makes, via inequality (2.1).
+
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "core/duality.hpp"
+#include "families/trees.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(PriorityTest, VeeOverVee) {
+  // Section 3.1: "a trivial computation using (2.1) shows that V ▷ V".
+  EXPECT_TRUE(hasPriority(vee(), vee()));
+}
+
+TEST(PriorityTest, VeeOverLambda) {
+  // Section 3.1: "a trivial computation involving (2.1) shows that V ▷ Λ".
+  EXPECT_TRUE(hasPriority(vee(), lambda()));
+}
+
+TEST(PriorityTest, LambdaOverLambda) {
+  // Section 6.2.1, fact (3): Λ ▷ Λ.
+  EXPECT_TRUE(hasPriority(lambda(), lambda()));
+}
+
+TEST(PriorityTest, LambdaNotOverVee) {
+  // The converse of V ▷ Λ fails: delaying the expansive block loses
+  // ELIGIBLE nodes.
+  EXPECT_FALSE(hasPriority(lambda(), vee()));
+}
+
+TEST(PriorityTest, SmallerWDagsOverLarger) {
+  // Section 4.1: "smaller W-dags have ▷-priority over larger ones".
+  for (std::size_t s = 1; s <= 5; ++s)
+    for (std::size_t t = s; t <= 6; ++t)
+      EXPECT_TRUE(hasPriority(wdag(s), wdag(t))) << "W_" << s << " ▷ W_" << t;
+}
+
+TEST(PriorityTest, LargerWDagsNotOverSmaller) {
+  for (std::size_t s = 1; s <= 4; ++s)
+    for (std::size_t t = s + 1; t <= 6; ++t)
+      EXPECT_FALSE(hasPriority(wdag(t), wdag(s))) << "W_" << t << " ⋫ W_" << s;
+}
+
+TEST(PriorityTest, NDagsOverEachOtherBothWays) {
+  // Section 6.2.1, fact (1): N_s ▷ N_t for all s and t (profiles are flat).
+  for (std::size_t s : {1u, 2u, 4u, 7u})
+    for (std::size_t t : {1u, 3u, 8u}) {
+      EXPECT_TRUE(hasPriority(ndag(s), ndag(t))) << "N_" << s << " ▷ N_" << t;
+      EXPECT_TRUE(hasPriority(ndag(t), ndag(s))) << "N_" << t << " ▷ N_" << s;
+    }
+}
+
+TEST(PriorityTest, NDagOverLambda) {
+  // Section 6.2.1, fact (2): N_s ▷ Λ for all s.
+  for (std::size_t s : {1u, 2u, 3u, 6u, 9u})
+    EXPECT_TRUE(hasPriority(ndag(s), lambda())) << "N_" << s;
+}
+
+TEST(PriorityTest, ButterflyBlockOverItself) {
+  // Section 5.1: "a trivial computation using (2.1) shows that B ▷ B".
+  EXPECT_TRUE(hasPriority(butterflyBlock(), butterflyBlock()));
+}
+
+TEST(PriorityTest, MatmulChain) {
+  // Section 7.2: C_4 ▷ C_4 ▷ Λ ▷ Λ.
+  EXPECT_TRUE(isPriorityChain({cycleDag(4), cycleDag(4), lambda(), lambda()}));
+}
+
+TEST(PriorityTest, TernaryDltChain) {
+  // Section 6.2.1: V_3 ▷ V_3 ▷ Λ ▷ Λ.
+  EXPECT_TRUE(isPriorityChain({vee(3), vee(3), lambda(), lambda()}));
+}
+
+TEST(PriorityTest, OutTreeOverInTree) {
+  // Section 3.1: "T ▷ T' for any out-tree T and in-tree T'".
+  for (std::size_t h = 1; h <= 3; ++h) {
+    const ScheduledDag t = completeOutTree(2, h);
+    const ScheduledDag tin = completeInTree(2, h);
+    EXPECT_TRUE(hasPriority(t, tin)) << "height " << h;
+  }
+}
+
+TEST(PriorityTest, InTreeNotOverOutTree) {
+  // Section 3.1: "...the converse does not hold."
+  for (std::size_t h = 1; h <= 3; ++h) {
+    const ScheduledDag t = completeOutTree(2, h);
+    const ScheduledDag tin = completeInTree(2, h);
+    EXPECT_FALSE(hasPriority(tin, t)) << "height " << h;
+  }
+}
+
+TEST(PriorityTest, MixedArityTreesStillOrdered) {
+  const ScheduledDag t = completeOutTree(3, 2);
+  const ScheduledDag tin = completeInTree(2, 3);
+  EXPECT_TRUE(hasPriority(t, tin));
+}
+
+TEST(PriorityTest, PriorityDualityTheorem) {
+  // Theorem 2.3: G1 ▷ G2 iff dual(G2) ▷ dual(G1). Exercise both the
+  // positive and negative directions on several pairs.
+  const std::vector<std::pair<ScheduledDag, ScheduledDag>> pairs = {
+      {vee(), lambda()},    {wdag(2), wdag(4)},        {ndag(3), lambda()},
+      {wdag(3), wdag(2)},   {lambda(), vee()},         {cycleDag(4), lambda()},
+      {vee(3), lambda(3)},  {completeOutTree(2, 2), completeInTree(2, 2)},
+  };
+  for (const auto& [g1, g2] : pairs) {
+    EXPECT_EQ(hasPriority(g1, g2), hasPriority(dualScheduledDag(g2), dualScheduledDag(g1)))
+        << "Theorem 2.3 violated";
+  }
+}
+
+TEST(PriorityTest, ProfilesMustIncludeZero) {
+  EXPECT_THROW((void)hasPriorityProfiles({}, {1}), std::invalid_argument);
+}
+
+TEST(PriorityTest, ChainOfOne) { EXPECT_TRUE(isPriorityChain({vee()})); }
+
+TEST(PriorityTest, BrokenChainDetected) {
+  EXPECT_FALSE(isPriorityChain({vee(), lambda(), vee()}));
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,181 @@
+/// Randomized property tests: invariants that must hold for *arbitrary*
+/// dags, checked on seeded random instances (deterministic, no flaky runs).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "approx/heuristics.hpp"
+#include "approx/regret.hpp"
+#include "batch/batch_schedule.hpp"
+#include "core/composition.hpp"
+#include "core/duality.hpp"
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "granularity/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace icsched {
+namespace {
+
+/// A random dag on n nodes: arcs only from lower to higher ids, each present
+/// with probability density. Connected-ness not guaranteed (that is part of
+/// the point).
+Dag randomDag(std::size_t n, double density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution arc(density);
+  Dag g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (arc(rng)) g.addArc(u, v);
+  return g;
+}
+
+Schedule someValidSchedule(const Dag& g, std::uint64_t seed) {
+  // Random linear extension: repeatedly pick a random ELIGIBLE node.
+  std::mt19937_64 rng(seed);
+  EligibilityTracker t(g);
+  std::vector<NodeId> order;
+  while (order.size() < g.numNodes()) {
+    const std::vector<NodeId> elig = t.eligibleNodes();
+    std::uniform_int_distribution<std::size_t> pick(0, elig.size() - 1);
+    const NodeId v = elig[pick(rng)];
+    (void)t.execute(v);
+    order.push_back(v);
+  }
+  return Schedule(std::move(order));
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, DualIsInvolutionOnRandomDags) {
+  const Dag g = randomDag(18, 0.2, GetParam());
+  EXPECT_EQ(dual(dual(g)), g);
+  EXPECT_EQ(dual(g).numArcs(), g.numArcs());
+  EXPECT_EQ(dual(g).sources(), g.sinks());
+}
+
+TEST_P(FuzzTest, RandomLinearExtensionsAreValid) {
+  const Dag g = randomDag(20, 0.25, GetParam());
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const Schedule sched = someValidSchedule(g, GetParam() * 101 + s);
+    sched.validate(g);
+    const auto profile = eligibilityProfile(g, sched);
+    EXPECT_EQ(profile.back(), 0u);
+  }
+}
+
+TEST_P(FuzzTest, NormalizationNeverLosesQuality) {
+  const Dag g = randomDag(16, 0.3, GetParam());
+  const Schedule s = someValidSchedule(g, GetParam() ^ 0xABCD);
+  const Schedule normalized = normalizeNonsinksFirst(g, s);
+  EXPECT_TRUE(dominates(eligibilityProfile(g, normalized), eligibilityProfile(g, s)));
+}
+
+TEST_P(FuzzTest, OracleDominatesEverySampledSchedule) {
+  const Dag g = randomDag(14, 0.25, GetParam());
+  const auto best = maxEligibleProfile(g);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto profile = eligibilityProfile(g, someValidSchedule(g, GetParam() * 7 + s));
+    EXPECT_TRUE(dominates(best, profile));
+  }
+}
+
+TEST_P(FuzzTest, PriorityDualityOnRandomPairs) {
+  // Theorem 2.3 on random dags: use minimum-regret schedules as Σ (they are
+  // IC-optimal when one exists; the duality statement is about the profile
+  // machinery either way, so we require zero-regret instances).
+  const Dag a = randomDag(8, 0.3, GetParam());
+  const Dag b = randomDag(8, 0.35, GetParam() + 1);
+  const OptimalRegret ra = minimumRegretSchedule(a);
+  const OptimalRegret rb = minimumRegretSchedule(b);
+  if (ra.regret.maxDeficit != 0 || rb.regret.maxDeficit != 0) {
+    GTEST_SKIP() << "instance lacks an IC-optimal schedule";
+  }
+  const ScheduledDag ga{a, normalizeNonsinksFirst(a, ra.schedule)};
+  const ScheduledDag gb{b, normalizeNonsinksFirst(b, rb.schedule)};
+  const ScheduledDag da = dualScheduledDag(ga);
+  const ScheduledDag db = dualScheduledDag(gb);
+  EXPECT_EQ(hasPriority(ga, gb), hasPriority(db, da));
+  EXPECT_EQ(hasPriority(gb, ga), hasPriority(da, db));
+}
+
+TEST_P(FuzzTest, MinimumRegretLowerBoundsHeuristics) {
+  const Dag g = randomDag(12, 0.3, GetParam());
+  const OptimalRegret opt = minimumRegretSchedule(g);
+  const Regret greedy = scheduleRegret(g, greedyEligibleSchedule(g));
+  const Regret beam = scheduleRegret(g, beamSearchSchedule(g, 8));
+  EXPECT_LE(opt.regret.maxDeficit, greedy.maxDeficit);
+  EXPECT_LE(opt.regret.maxDeficit, beam.maxDeficit);
+  if (opt.regret.maxDeficit == greedy.maxDeficit) {
+    EXPECT_LE(opt.regret.totalDeficit, greedy.totalDeficit);
+  }
+}
+
+TEST_P(FuzzTest, BatchSlicingConsistentAcrossSizes) {
+  const Dag g = randomDag(15, 0.25, GetParam());
+  const Schedule s = normalizeNonsinksFirst(g, someValidSchedule(g, GetParam() + 9));
+  std::size_t prevRounds = SIZE_MAX;
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    const BatchSchedule b = sliceIntoBatches(g, s, p);
+    EXPECT_TRUE(isValidBatchSchedule(g, b, p));
+    EXPECT_LE(b.numRounds(), prevRounds);
+    prevRounds = b.numRounds();
+  }
+}
+
+TEST_P(FuzzTest, GreedyBatchMatchesStepGreedyAtP1) {
+  const Dag g = randomDag(12, 0.3, GetParam());
+  const BatchSchedule b = greedyBatchSchedule(g, 1);
+  EXPECT_EQ(b.numRounds(), g.numNodes());
+  for (const auto& round : b.rounds) EXPECT_EQ(round.size(), 1u);
+}
+
+TEST_P(FuzzTest, ClusteringByTopologicalBlocksIsAdmissible) {
+  // Clustering contiguous blocks of a linear extension is always convex.
+  const Dag g = randomDag(18, 0.2, GetParam());
+  const Schedule s = someValidSchedule(g, GetParam() + 2);
+  std::vector<std::uint32_t> assignment(g.numNodes());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    assignment[s.at(i)] = static_cast<std::uint32_t>(i / 3);
+  }
+  EXPECT_TRUE(isAdmissibleClustering(g, assignment));
+  const Clustering c = clusterDag(g, assignment);
+  std::size_t totalFine = 0;
+  for (std::size_t sz : c.clusterSize) totalFine += sz;
+  EXPECT_EQ(totalFine, g.numNodes());
+}
+
+TEST_P(FuzzTest, SimulationConservesWork) {
+  Dag g = randomDag(20, 0.25, GetParam());
+  const Schedule s = normalizeNonsinksFirst(g, someValidSchedule(g, GetParam() + 3));
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.seed = GetParam();
+  for (const char* name : {"IC-OPT", "FIFO", "RANDOM"}) {
+    const SimulationResult r = simulateWith(g, s, name, cfg);
+    EXPECT_EQ(r.eligibleAfterCompletion.size(), g.numNodes());
+    EXPECT_EQ(r.eligibleAfterCompletion.back(), 0u);
+    EXPECT_GE(r.makespan, 1.0 * (1.0 - cfg.durationJitter));
+  }
+}
+
+TEST_P(FuzzTest, ComposeThenProfileConsistency) {
+  // Composing two random dags via full merge (when counts allow) preserves
+  // node/arc accounting.
+  const Dag a = randomDag(10, 0.3, GetParam());
+  const Dag b = randomDag(10, 0.3, GetParam() + 17);
+  const std::size_t k = std::min(a.sinks().size(), b.sources().size());
+  if (k == 0) GTEST_SKIP();
+  const Composition c = compose(a, b, zipSinksToSources(a, b, k));
+  EXPECT_EQ(c.dag.numNodes(), a.numNodes() + b.numNodes() - k);
+  EXPECT_EQ(c.dag.numArcs(), a.numArcs() + b.numArcs());
+  c.dag.validateAcyclic();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace icsched

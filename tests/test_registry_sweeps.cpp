@@ -1,0 +1,123 @@
+/// Cross-cutting invariant sweeps over the whole family catalogue: every
+/// library-constructed ScheduledDag must satisfy the theory's structural
+/// contracts, and the small ones must pass the exhaustive oracle.
+
+#include <gtest/gtest.h>
+
+#include "approx/heuristics.hpp"
+#include "approx/regret.hpp"
+#include "batch/batch_schedule.hpp"
+#include "core/duality.hpp"
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+#include "family_registry.hpp"
+
+namespace icsched {
+namespace {
+
+using icsched::testing::FamilyCase;
+using icsched::testing::allFamilies;
+using icsched::testing::familyCaseName;
+
+class FamilySweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilySweep, DagIsWellFormed) {
+  const ScheduledDag g = GetParam().make();
+  g.dag.validateAcyclic();
+  EXPECT_GT(g.dag.numNodes(), 0u);
+  EXPECT_TRUE(g.dag.isConnected());
+}
+
+TEST_P(FamilySweep, ScheduleIsValidAndNonsinksFirst) {
+  const ScheduledDag g = GetParam().make();
+  g.schedule.validate(g.dag);
+  EXPECT_TRUE(g.schedule.executesNonsinksFirst(g.dag));
+}
+
+TEST_P(FamilySweep, ScheduleIsICOptimalOnOracleFriendlyCases) {
+  if (!GetParam().oracleFriendly) GTEST_SKIP() << "too large for the oracle";
+  if (!GetParam().claimedOptimal) GTEST_SKIP() << "outside the fixed-degree claim";
+  const ScheduledDag g = GetParam().make();
+  EXPECT_TRUE(isICOptimal(g.dag, g.schedule));
+}
+
+TEST_P(FamilySweep, ProfileInvariants) {
+  const ScheduledDag g = GetParam().make();
+  const auto profile = eligibilityProfile(g.dag, g.schedule);
+  ASSERT_EQ(profile.size(), g.dag.numNodes() + 1);
+  EXPECT_EQ(profile.front(), g.dag.sources().size());
+  EXPECT_EQ(profile.back(), 0u);
+  // Each step changes E by (packet size - 1) >= -1.
+  for (std::size_t t = 0; t + 1 < profile.size(); ++t) {
+    EXPECT_GE(profile[t + 1] + 1, profile[t]) << "t=" << t;
+  }
+  // Conservation: sum of (E(t+1) - E(t) + 1) over nonsink executions equals
+  // the number of nonsources (every nonsource enters ELIGIBLE exactly once).
+  std::size_t entered = profile.front();
+  for (std::size_t t = 0; t + 1 < profile.size(); ++t) {
+    entered += profile[t + 1] + 1 - profile[t];
+  }
+  EXPECT_EQ(entered, g.dag.numNodes());
+}
+
+TEST_P(FamilySweep, DualScheduleOptimalOnOracleFriendlyCases) {
+  if (!GetParam().oracleFriendly || !GetParam().claimedOptimal) GTEST_SKIP();
+  const ScheduledDag g = GetParam().make();
+  const ScheduledDag d = dualScheduledDag(g);
+  d.schedule.validate(d.dag);
+  EXPECT_TRUE(isICOptimal(d.dag, d.schedule)) << "Theorem 2.2 violated";
+}
+
+TEST_P(FamilySweep, DualOfDualRestoresProfile) {
+  const ScheduledDag g = GetParam().make();
+  const ScheduledDag dd = dualScheduledDag(dualScheduledDag(g));
+  EXPECT_EQ(dd.dag, g.dag);
+  EXPECT_EQ(eligibilityProfile(dd.dag, dd.schedule).front(),
+            eligibilityProfile(g.dag, g.schedule).front());
+}
+
+TEST_P(FamilySweep, PacketsCoverNonsources) {
+  const ScheduledDag g = GetParam().make();
+  const auto packets = packetDecomposition(g.dag, g.schedule);
+  std::size_t covered = 0;
+  for (const auto& p : packets) covered += p.size();
+  EXPECT_EQ(covered, g.dag.numNonsources());
+}
+
+TEST_P(FamilySweep, ZeroRegret) {
+  if (!GetParam().oracleFriendly || !GetParam().claimedOptimal) GTEST_SKIP();
+  const ScheduledDag g = GetParam().make();
+  const Regret r = scheduleRegret(g.dag, g.schedule);
+  EXPECT_EQ(r.maxDeficit, 0u);
+  EXPECT_EQ(r.totalDeficit, 0u);
+}
+
+TEST_P(FamilySweep, SlicedBatchesAlwaysValid) {
+  const ScheduledDag g = GetParam().make();
+  for (std::size_t p : {1u, 3u, 7u}) {
+    const BatchSchedule b = sliceIntoBatches(g.dag, g.schedule, p);
+    EXPECT_TRUE(isValidBatchSchedule(g.dag, b, p)) << "p=" << p;
+  }
+}
+
+TEST_P(FamilySweep, GreedyHeuristicValid) {
+  const ScheduledDag g = GetParam().make();
+  greedyEligibleSchedule(g.dag).validate(g.dag);
+}
+
+TEST_P(FamilySweep, BeamMatchesOracleOnSmallCases) {
+  if (!GetParam().oracleFriendly) GTEST_SKIP();
+  const ScheduledDag g = GetParam().make();
+  if (g.dag.numNodes() > 40) GTEST_SKIP();
+  const Schedule s = beamSearchSchedule(g.dag, 64);
+  // The family schedules ARE IC-optimal; a wide beam should find one too on
+  // these structured dags (the beam keeps the per-step max by construction
+  // and these dags admit simultaneous maxima).
+  EXPECT_TRUE(isICOptimal(g.dag, s)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, FamilySweep, ::testing::ValuesIn(allFamilies()),
+                         familyCaseName);
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,95 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/building_blocks.hpp"
+
+namespace icsched {
+namespace {
+
+Dag pathDag() {  // 0 -> 1 -> 2
+  Dag g(3);
+  g.addArc(0, 1);
+  g.addArc(1, 2);
+  return g;
+}
+
+TEST(ScheduleTest, ValidLinearExtension) {
+  const Dag g = pathDag();
+  EXPECT_TRUE(Schedule({0, 1, 2}).isValidFor(g));
+  EXPECT_NO_THROW(Schedule({0, 1, 2}).validate(g));
+}
+
+TEST(ScheduleTest, RejectsNonEligibleExecution) {
+  const Dag g = pathDag();
+  EXPECT_FALSE(Schedule({1, 0, 2}).isValidFor(g));
+  EXPECT_THROW(Schedule({1, 0, 2}).validate(g), std::invalid_argument);
+}
+
+TEST(ScheduleTest, RejectsWrongLength) {
+  const Dag g = pathDag();
+  EXPECT_FALSE(Schedule({0, 1}).isValidFor(g));
+}
+
+TEST(ScheduleTest, RejectsRepeatedNode) {
+  const Dag g = pathDag();
+  EXPECT_FALSE(Schedule({0, 0, 1}).isValidFor(g));
+}
+
+TEST(ScheduleTest, RejectsOutOfRangeNode) {
+  const Dag g = pathDag();
+  EXPECT_FALSE(Schedule({0, 1, 7}).isValidFor(g));
+}
+
+TEST(ScheduleTest, NonsinksFirstDetection) {
+  const ScheduledDag v = vee(2);  // 0 source; 1,2 sinks
+  EXPECT_TRUE(Schedule({0, 1, 2}).executesNonsinksFirst(v.dag));
+  EXPECT_TRUE(Schedule({0, 2, 1}).executesNonsinksFirst(v.dag));
+  const ScheduledDag l = lambda(2);  // 0,1 sources; 2 sink
+  EXPECT_TRUE(Schedule({0, 1, 2}).executesNonsinksFirst(l.dag));
+  EXPECT_TRUE(Schedule({1, 0, 2}).executesNonsinksFirst(l.dag));
+}
+
+TEST(ScheduleTest, NonsinkOrderFiltersSinks) {
+  const ScheduledDag w = wdag(2);  // sources 0,1; sinks 2,3,4
+  const Schedule s({0, 1, 2, 3, 4});
+  EXPECT_EQ(s.nonsinkOrder(w.dag), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(ScheduleTest, PositionsAreInverse) {
+  const Schedule s({2, 0, 1});
+  const std::vector<std::size_t> pos = s.positions();
+  EXPECT_EQ(pos[2], 0u);
+  EXPECT_EQ(pos[0], 1u);
+  EXPECT_EQ(pos[1], 2u);
+}
+
+TEST(ScheduleTest, NormalizeMovesSinksBack) {
+  // Dag: 0 -> 1, 0 -> 2, 1 -> 3; sinks are 2 and 3.
+  Dag g(4);
+  g.addArc(0, 1);
+  g.addArc(0, 2);
+  g.addArc(1, 3);
+  const Schedule s({0, 2, 1, 3});
+  const Schedule n = normalizeNonsinksFirst(g, s);
+  EXPECT_EQ(n.order(), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_TRUE(n.isValidFor(g));
+  EXPECT_TRUE(n.executesNonsinksFirst(g));
+}
+
+TEST(ScheduleTest, NormalizePreservesNonsinkOrder) {
+  Dag g(5);  // 0 -> 1 -> 2; 0 -> 3; 1 -> 4  (sinks 2,3,4)
+  g.addArc(0, 1);
+  g.addArc(1, 2);
+  g.addArc(0, 3);
+  g.addArc(1, 4);
+  const Schedule s({0, 3, 1, 4, 2});
+  const Schedule n = normalizeNonsinksFirst(g, s);
+  EXPECT_EQ(n.nonsinkOrder(g), s.nonsinkOrder(g));
+  EXPECT_TRUE(n.isValidFor(g));
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace icsched {
+namespace {
+
+// ---------- schedulers ----------
+
+TEST(SchedulerTest, StaticPriorityFollowsSchedule) {
+  const ScheduledDag m = outMesh(3);
+  StaticPriorityScheduler s(m.schedule);
+  s.onEligible(3);
+  s.onEligible(0);
+  s.onEligible(1);
+  EXPECT_EQ(s.pick(), 0u);
+  EXPECT_EQ(s.pick(), 1u);
+  EXPECT_EQ(s.pick(), 3u);
+  EXPECT_FALSE(s.hasWork());
+}
+
+TEST(SchedulerTest, FifoAndLifo) {
+  FifoScheduler fifo;
+  fifo.onEligible(5);
+  fifo.onEligible(2);
+  EXPECT_EQ(fifo.pick(), 5u);
+  EXPECT_EQ(fifo.pick(), 2u);
+  LifoScheduler lifo;
+  lifo.onEligible(5);
+  lifo.onEligible(2);
+  EXPECT_EQ(lifo.pick(), 2u);
+  EXPECT_EQ(lifo.pick(), 5u);
+}
+
+TEST(SchedulerTest, RandomIsDeterministicInSeed) {
+  auto draw = [](std::uint64_t seed) {
+    RandomScheduler s(seed);
+    for (NodeId v = 0; v < 10; ++v) s.onEligible(v);
+    std::vector<NodeId> order;
+    while (s.hasWork()) order.push_back(s.pick());
+    return order;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(SchedulerTest, MaxOutDegreePrefersFanOut) {
+  const ScheduledDag v3 = vee(3);  // source 0 has outdegree 3
+  MaxOutDegreeScheduler s(v3.dag);
+  s.onEligible(1);  // a sink, outdegree 0
+  s.onEligible(0);
+  EXPECT_EQ(s.pick(), 0u);
+}
+
+TEST(SchedulerTest, LongestPathHeights) {
+  const ScheduledDag m = outMesh(4);
+  const std::vector<std::size_t> h = longestPathToSink(m.dag);
+  EXPECT_EQ(h[0], 3u);                         // source reaches diagonal 3
+  EXPECT_EQ(h[meshNodeId(3, 0)], 0u);          // sinks
+  EXPECT_EQ(h[meshNodeId(1, 1)], 2u);
+}
+
+TEST(SchedulerTest, CriticalPathPrefersDeepNodes) {
+  const ScheduledDag m = outMesh(3);
+  CriticalPathScheduler s(m.dag);
+  s.onEligible(meshNodeId(2, 0));  // sink, height 0
+  s.onEligible(meshNodeId(1, 0));  // height 1
+  EXPECT_EQ(s.pick(), meshNodeId(1, 0));
+}
+
+TEST(SchedulerTest, FactoryKnowsAllNames) {
+  const ScheduledDag m = outMesh(3);
+  for (const std::string& name : allSchedulerNames()) {
+    const auto s = makeScheduler(name, m.dag, m.schedule, 1);
+    EXPECT_EQ(s->name(), name);
+    EXPECT_FALSE(s->hasWork());
+  }
+  EXPECT_THROW((void)makeScheduler("NOPE", m.dag, m.schedule, 1), std::invalid_argument);
+}
+
+// ---------- simulation ----------
+
+class SimSchedulerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimSchedulerTest, ExecutesWholeDag) {
+  const ScheduledDag m = outMesh(8);
+  SimulationConfig cfg;
+  cfg.numClients = 5;
+  cfg.seed = 3;
+  const SimulationResult r = simulateWith(m.dag, m.schedule, GetParam(), cfg);
+  EXPECT_EQ(r.eligibleAfterCompletion.size(), m.dag.numNodes());
+  EXPECT_EQ(r.eligibleAfterCompletion.back(), 0u);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SimSchedulerTest,
+                         ::testing::ValuesIn(allSchedulerNames()));
+
+TEST(SimulationTest, DeterministicInSeed) {
+  const ScheduledDag m = outMesh(6);
+  SimulationConfig cfg;
+  cfg.numClients = 3;
+  cfg.seed = 11;
+  const SimulationResult a = simulateWith(m.dag, m.schedule, "RANDOM", cfg);
+  const SimulationResult b = simulateWith(m.dag, m.schedule, "RANDOM", cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stallEvents, b.stallEvents);
+  EXPECT_EQ(a.eligibleAfterCompletion, b.eligibleAfterCompletion);
+}
+
+TEST(SimulationTest, SingleClientSequentialNoIdle) {
+  const ScheduledDag m = outMesh(5);
+  SimulationConfig cfg;
+  cfg.numClients = 1;
+  cfg.durationJitter = 0.0;
+  const SimulationResult r = simulateWith(m.dag, m.schedule, "IC-OPT", cfg);
+  // One client executing an IC-optimal order never stalls after start.
+  EXPECT_EQ(r.stallEvents, 0u);
+  EXPECT_DOUBLE_EQ(r.totalIdleTime, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, static_cast<double>(m.dag.numNodes()));
+}
+
+TEST(SimulationTest, ManyClientsOnAChainStall) {
+  // A pure chain admits no parallelism: extra clients must stall.
+  Dag chain(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) chain.addArc(v, v + 1);
+  const Schedule s(chain.topologicalOrder());
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  const SimulationResult r = simulateWith(chain, s, "FIFO", cfg);
+  EXPECT_GT(r.stallEvents, 0u);
+  EXPECT_GT(r.totalIdleTime, 0.0);
+}
+
+TEST(SimulationTest, IcOptimalEligibleTraceDominatesWithOneClient) {
+  // With a single client and zero jitter the simulator's completion order
+  // IS the schedule, so the trace equals the theory's eligibility profile
+  // (sans the t=0 entry).
+  const ScheduledDag m = outMesh(6);
+  SimulationConfig cfg;
+  cfg.numClients = 1;
+  cfg.durationJitter = 0.0;
+  const SimulationResult r = simulateWith(m.dag, m.schedule, "IC-OPT", cfg);
+  const std::vector<std::size_t> profile = eligibilityProfile(m.dag, m.schedule);
+  const std::vector<std::size_t> tail(profile.begin() + 1, profile.end());
+  EXPECT_EQ(r.eligibleAfterCompletion, tail);
+}
+
+TEST(SimulationTest, HeterogeneousClientSpeeds) {
+  const ScheduledDag m = outMesh(6);
+  SimulationConfig cfg;
+  cfg.numClients = 2;
+  cfg.clientSpeeds = {1.0, 4.0};
+  cfg.durationJitter = 0.0;
+  const SimulationResult r = simulateWith(m.dag, m.schedule, "IC-OPT", cfg);
+  EXPECT_GT(r.makespan, 0.0);
+  SimulationConfig bad = cfg;
+  bad.clientSpeeds = {1.0};
+  EXPECT_THROW((void)simulateWith(m.dag, m.schedule, "IC-OPT", bad), std::invalid_argument);
+  bad.clientSpeeds = {1.0, -2.0};
+  EXPECT_THROW((void)simulateWith(m.dag, m.schedule, "IC-OPT", bad), std::invalid_argument);
+}
+
+TEST(SimulationTest, InvalidConfigsRejected) {
+  const ScheduledDag m = outMesh(3);
+  SimulationConfig cfg;
+  cfg.numClients = 0;
+  EXPECT_THROW((void)simulateWith(m.dag, m.schedule, "FIFO", cfg), std::invalid_argument);
+  cfg.numClients = 2;
+  cfg.durationJitter = 1.5;
+  EXPECT_THROW((void)simulateWith(m.dag, m.schedule, "FIFO", cfg), std::invalid_argument);
+}
+
+// ---------- unreliable clients ([14]) ----------
+
+TEST(FailureSimTest, ZeroFailureProbabilityMatchesBaseline) {
+  const ScheduledDag m = outMesh(6);
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.seed = 5;
+  const SimulationResult base = simulateWith(m.dag, m.schedule, "IC-OPT", cfg);
+  cfg.failureProbability = 0.0;
+  const SimulationResult same = simulateWith(m.dag, m.schedule, "IC-OPT", cfg);
+  EXPECT_EQ(base.makespan, same.makespan);
+  EXPECT_EQ(same.failedAttempts, 0u);
+}
+
+TEST(FailureSimTest, FailuresAreReallocatedAndWorkCompletes) {
+  const ScheduledDag m = outMesh(8);
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.seed = 11;
+  cfg.failureProbability = 0.3;
+  const SimulationResult r = simulateWith(m.dag, m.schedule, "IC-OPT", cfg);
+  EXPECT_EQ(r.eligibleAfterCompletion.size(), m.dag.numNodes());
+  EXPECT_EQ(r.eligibleAfterCompletion.back(), 0u);
+  EXPECT_GT(r.failedAttempts, 0u);
+}
+
+TEST(FailureSimTest, HigherFailureRateLongerMakespan) {
+  const ScheduledDag m = outMesh(10);
+  auto runAt = [&](double q) {
+    double total = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      SimulationConfig cfg;
+      cfg.numClients = 4;
+      cfg.seed = 100 + seed;
+      cfg.failureProbability = q;
+      total += simulateWith(m.dag, m.schedule, "IC-OPT", cfg).makespan;
+    }
+    return total / 10;
+  };
+  const double none = runAt(0.0);
+  const double some = runAt(0.2);
+  const double lots = runAt(0.5);
+  EXPECT_LT(none, some);
+  EXPECT_LT(some, lots);
+}
+
+TEST(FailureSimTest, InvalidProbabilityRejected) {
+  const ScheduledDag m = outMesh(3);
+  SimulationConfig cfg;
+  cfg.failureProbability = 1.0;
+  EXPECT_THROW((void)simulateWith(m.dag, m.schedule, "FIFO", cfg), std::invalid_argument);
+  cfg.failureProbability = -0.1;
+  EXPECT_THROW((void)simulateWith(m.dag, m.schedule, "FIFO", cfg), std::invalid_argument);
+}
+
+TEST(FailureSimTest, AllSchedulersSurviveFailures) {
+  const ScheduledDag m = outMesh(6);
+  for (const std::string& name : allSchedulerNames()) {
+    SimulationConfig cfg;
+    cfg.numClients = 3;
+    cfg.seed = 21;
+    cfg.failureProbability = 0.25;
+    const SimulationResult r = simulateWith(m.dag, m.schedule, name, cfg);
+    EXPECT_EQ(r.eligibleAfterCompletion.size(), m.dag.numNodes()) << name;
+  }
+}
+
+// ---------- workloads ----------
+
+TEST(WorkloadTest, LayeredRandomDagShape) {
+  const Dag g = layeredRandomDag(5, 8, 0.3, 42);
+  EXPECT_EQ(g.numNodes(), 40u);
+  g.validateAcyclic();
+  // Every non-first-layer node has at least one parent in the layer above.
+  for (NodeId v = 8; v < 40; ++v) EXPECT_GE(g.inDegree(v), 1u);
+  EXPECT_EQ(layeredRandomDag(5, 8, 0.3, 42), g);  // deterministic
+}
+
+TEST(WorkloadTest, ForkJoinShape) {
+  const Dag g = forkJoinDag(3, 4);
+  EXPECT_EQ(g.numNodes(), 3u * 5u + 1u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  g.validateAcyclic();
+}
+
+TEST(WorkloadTest, GaussianEliminationShape) {
+  const Dag g = gaussianEliminationDag(4);
+  EXPECT_EQ(g.numNodes(), 10u);  // 4+3+2+1
+  g.validateAcyclic();
+  EXPECT_EQ(g.sources().size(), 1u);  // only the first pivot
+}
+
+TEST(WorkloadTest, CholeskyShape) {
+  const Dag g = choleskyDag(4);
+  // POTRF: 4; TRSM: 3+2+1 = 6; UPD: 6+3+1 = 10.
+  EXPECT_EQ(g.numNodes(), 20u);
+  g.validateAcyclic();
+  EXPECT_EQ(g.sources().size(), 1u);  // POTRF(0)
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(WorkloadTest, ComparisonSuiteIsWellFormed) {
+  for (const Workload& w : comparisonSuite(1)) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_GT(w.dag.numNodes(), 0u);
+    w.dag.validateAcyclic();
+  }
+}
+
+}  // namespace
+}  // namespace icsched

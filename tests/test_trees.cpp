@@ -1,0 +1,139 @@
+#include "families/trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/eligibility.hpp"
+#include "core/optimality.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(TreesTest, CompleteOutTreeCounts) {
+  const ScheduledDag t = completeOutTree(2, 3);
+  EXPECT_EQ(t.dag.numNodes(), 15u);
+  EXPECT_EQ(t.dag.sinks().size(), 8u);
+  EXPECT_EQ(t.dag.sources().size(), 1u);
+  EXPECT_TRUE(t.dag.isConnected());
+  const ScheduledDag t3 = completeOutTree(3, 2);
+  EXPECT_EQ(t3.dag.numNodes(), 13u);
+  EXPECT_EQ(t3.dag.sinks().size(), 9u);
+}
+
+TEST(TreesTest, HeightZeroIsSingleNode) {
+  const ScheduledDag t = completeOutTree(2, 0);
+  EXPECT_EQ(t.dag.numNodes(), 1u);
+}
+
+TEST(TreesTest, OutTreeFromParentsRejectsBadInput) {
+  EXPECT_THROW((void)outTreeFromParents({}), std::invalid_argument);
+  EXPECT_THROW((void)outTreeFromParents({0}), std::invalid_argument);       // root marker missing
+  EXPECT_THROW((void)outTreeFromParents({kRoot, 1}), std::invalid_argument);  // parent >= v
+}
+
+TEST(TreesTest, EveryNonsinksFirstScheduleOfOutTreeIsICOptimal) {
+  // Section 3.1: "easily, every schedule for an out-tree is IC optimal!"
+  // -- in the theory's nonsinks-first normal form. Check every linear
+  // extension of a small out-tree's *nonsinks* (with leaves appended), and
+  // additionally that normalizing an arbitrary extension never loses
+  // quality.
+  const ScheduledDag t = completeOutTree(2, 2);  // 7 nodes
+  const std::vector<std::size_t> best = maxEligibleProfile(t.dag);
+  std::vector<NodeId> order;
+  std::vector<bool> used(t.dag.numNodes(), false);
+  std::size_t checked = 0;
+  auto allParentsUsed = [&](NodeId v) {
+    for (NodeId p : t.dag.parents(v))
+      if (!used[p]) return false;
+    return true;
+  };
+  std::function<void()> dfs = [&] {
+    if (order.size() == t.dag.numNodes()) {
+      ++checked;
+      const Schedule s(order);
+      const Schedule normalized = normalizeNonsinksFirst(t.dag, s);
+      // Every nonsinks-first schedule achieves the optimum...
+      EXPECT_EQ(eligibilityProfile(t.dag, normalized), best);
+      // ...and dominates the raw (possibly sink-interleaved) original.
+      EXPECT_TRUE(dominates(eligibilityProfile(t.dag, normalized),
+                            eligibilityProfile(t.dag, s)));
+      return;
+    }
+    for (NodeId v = 0; v < t.dag.numNodes(); ++v) {
+      if (!used[v] && allParentsUsed(v)) {
+        used[v] = true;
+        order.push_back(v);
+        dfs();
+        order.pop_back();
+        used[v] = false;
+      }
+    }
+  };
+  dfs();
+  // The hook-length formula gives exactly 80 linear extensions here.
+  EXPECT_EQ(checked, 80u);
+}
+
+TEST(TreesTest, RandomOutTreeRespectsArity) {
+  for (std::uint64_t seed : {1u, 2u, 42u}) {
+    const ScheduledDag t = randomOutTree(40, 3, seed);
+    EXPECT_EQ(t.dag.numNodes(), 40u);
+    for (NodeId v = 0; v < 40; ++v) EXPECT_LE(t.dag.outDegree(v), 3u);
+    EXPECT_TRUE(t.dag.isConnected());
+    t.schedule.validate(t.dag);
+  }
+}
+
+TEST(TreesTest, RandomOutTreeIsDeterministic) {
+  EXPECT_EQ(randomOutTree(30, 2, 7).dag, randomOutTree(30, 2, 7).dag);
+}
+
+TEST(TreesTest, RandomBinaryOutTreeHasExactLeaves) {
+  for (std::size_t leaves : {1u, 2u, 5u, 17u}) {
+    const ScheduledDag t = randomBinaryOutTree(leaves, 3);
+    EXPECT_EQ(t.dag.sinks().size(), leaves);
+    EXPECT_EQ(t.dag.numNodes(), 2 * leaves - 1);
+    for (NodeId v = 0; v < t.dag.numNodes(); ++v) {
+      const std::size_t d = t.dag.outDegree(v);
+      EXPECT_TRUE(d == 0 || d == 2) << "node " << v;
+    }
+  }
+}
+
+TEST(TreesTest, InTreeIsDualWithOptimalSchedule) {
+  for (std::size_t h = 1; h <= 3; ++h) {
+    const ScheduledDag tin = completeInTree(2, h);
+    EXPECT_EQ(tin.dag.sinks().size(), 1u);
+    EXPECT_TRUE(isICOptimal(tin.dag, tin.schedule)) << "height " << h;
+    EXPECT_TRUE(executesSiblingsConsecutively(tin.dag, tin.schedule));
+  }
+}
+
+TEST(TreesTest, IrregularInTreeScheduleOptimal) {
+  for (std::uint64_t seed : {3u, 9u, 27u}) {
+    const ScheduledDag tin = inTreeFor(randomBinaryOutTree(6, seed));
+    EXPECT_TRUE(isICOptimal(tin.dag, tin.schedule)) << "seed " << seed;
+    EXPECT_TRUE(executesSiblingsConsecutively(tin.dag, tin.schedule));
+  }
+}
+
+TEST(TreesTest, SiblingScatteredInTreeScheduleNotOptimal) {
+  // The [23] characterization's negative side: separating a sibling pair
+  // breaks IC-optimality. Complete binary in-tree of height 2:
+  // dual ids: leaves 3,4,5,6 -> internal 1,2 -> root 0.
+  const ScheduledDag tin = completeInTree(2, 2);
+  // Execute leaves as 3,5,4,6: pairs (3,4) and (5,6) both split.
+  const Schedule scattered({3, 5, 4, 6, 1, 2, 0});
+  ASSERT_TRUE(scattered.isValidFor(tin.dag));
+  EXPECT_FALSE(executesSiblingsConsecutively(tin.dag, scattered));
+  EXPECT_FALSE(isICOptimal(tin.dag, scattered));
+}
+
+TEST(TreesTest, LeavesOfReturnsSinks) {
+  const ScheduledDag t = completeOutTree(2, 2);
+  EXPECT_EQ(leavesOf(t.dag), (std::vector<NodeId>{3, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace icsched

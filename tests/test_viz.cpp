@@ -1,0 +1,72 @@
+#include "viz/svg_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/eligibility.hpp"
+#include "families/mesh.hpp"
+
+namespace icsched {
+namespace {
+
+TEST(SvgProfileTest, RendersWellFormedSvg) {
+  const ScheduledDag m = outMesh(5);
+  const std::string svg = renderProfileSvg(
+      {{"IC-optimal", eligibilityProfile(m.dag, m.schedule)}}, {640, 360, "mesh"});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("mesh"), std::string::npos);
+  EXPECT_NE(svg.find("IC-optimal"), std::string::npos);
+  // One polyline per series.
+  std::size_t count = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SvgProfileTest, MultipleSeriesGetDistinctColors) {
+  const std::string svg = renderProfileSvg(
+      {{"a", {1, 2, 3}}, {"b", {3, 2, 1}}, {"c", {2, 2, 2}}});
+  EXPECT_NE(svg.find("#2563eb"), std::string::npos);
+  EXPECT_NE(svg.find("#dc2626"), std::string::npos);
+  EXPECT_NE(svg.find("#16a34a"), std::string::npos);
+}
+
+TEST(SvgProfileTest, EscapesXmlInLabels) {
+  const std::string svg = renderProfileSvg({{"a<b & c>\"d\"", {1, 2}}});
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b &amp; c&gt;&quot;d&quot;"), std::string::npos);
+}
+
+TEST(SvgProfileTest, RejectsEmptyInput) {
+  EXPECT_THROW((void)renderProfileSvg({}), std::invalid_argument);
+  EXPECT_THROW((void)renderProfileSvg({{"x", {}}}), std::invalid_argument);
+}
+
+TEST(SvgProfileTest, SingleValueSeriesRenders) {
+  const std::string svg = renderProfileSvg({{"point", {5}}});
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+}
+
+TEST(SvgProfileTest, WriteToFileRoundTrip) {
+  const std::string path = "/tmp/icsched_test_profile.svg";
+  writeProfileSvg(path, {{"s", {1, 3, 2, 0}}}, {400, 300, "t"});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, renderProfileSvg({{"s", {1, 3, 2, 0}}}, {400, 300, "t"}));
+  std::remove(path.c_str());
+}
+
+TEST(SvgProfileTest, WriteToBadPathThrows) {
+  EXPECT_THROW(writeProfileSvg("/nonexistent-dir/x.svg", {{"s", {1}}}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace icsched

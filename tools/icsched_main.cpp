@@ -1,0 +1,13 @@
+/// The `icsched` command-line tool: generate, inspect, verify, schedule,
+/// and simulate computation-dags from the shell. See src/io/cli.hpp.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return icsched::runCli(args, std::cin, std::cout, std::cerr);
+}
