@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_granularity.dir/bench_ablation_granularity.cpp.o"
+  "CMakeFiles/bench_ablation_granularity.dir/bench_ablation_granularity.cpp.o.d"
+  "bench_ablation_granularity"
+  "bench_ablation_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

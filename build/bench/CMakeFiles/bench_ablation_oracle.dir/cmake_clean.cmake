@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oracle.dir/bench_ablation_oracle.cpp.o"
+  "CMakeFiles/bench_ablation_oracle.dir/bench_ablation_oracle.cpp.o.d"
+  "bench_ablation_oracle"
+  "bench_ablation_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

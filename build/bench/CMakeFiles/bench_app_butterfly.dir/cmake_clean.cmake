@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_butterfly.dir/bench_app_butterfly.cpp.o"
+  "CMakeFiles/bench_app_butterfly.dir/bench_app_butterfly.cpp.o.d"
+  "bench_app_butterfly"
+  "bench_app_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

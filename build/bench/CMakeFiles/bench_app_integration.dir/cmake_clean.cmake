@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_integration.dir/bench_app_integration.cpp.o"
+  "CMakeFiles/bench_app_integration.dir/bench_app_integration.cpp.o.d"
+  "bench_app_integration"
+  "bench_app_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

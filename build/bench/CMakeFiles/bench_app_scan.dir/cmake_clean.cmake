@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_scan.dir/bench_app_scan.cpp.o"
+  "CMakeFiles/bench_app_scan.dir/bench_app_scan.cpp.o.d"
+  "bench_app_scan"
+  "bench_app_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_approx.dir/bench_ext_approx.cpp.o"
+  "CMakeFiles/bench_ext_approx.dir/bench_ext_approx.cpp.o.d"
+  "bench_ext_approx"
+  "bench_ext_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

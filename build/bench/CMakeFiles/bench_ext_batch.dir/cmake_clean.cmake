@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_batch.dir/bench_ext_batch.cpp.o"
+  "CMakeFiles/bench_ext_batch.dir/bench_ext_batch.cpp.o.d"
+  "bench_ext_batch"
+  "bench_ext_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_comm.dir/bench_ext_comm.cpp.o"
+  "CMakeFiles/bench_ext_comm.dir/bench_ext_comm.cpp.o.d"
+  "bench_ext_comm"
+  "bench_ext_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

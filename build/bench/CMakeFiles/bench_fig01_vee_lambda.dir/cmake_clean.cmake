@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_vee_lambda.dir/bench_fig01_vee_lambda.cpp.o"
+  "CMakeFiles/bench_fig01_vee_lambda.dir/bench_fig01_vee_lambda.cpp.o.d"
+  "bench_fig01_vee_lambda"
+  "bench_fig01_vee_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_vee_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

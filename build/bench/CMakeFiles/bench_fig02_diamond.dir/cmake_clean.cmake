@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_diamond.dir/bench_fig02_diamond.cpp.o"
+  "CMakeFiles/bench_fig02_diamond.dir/bench_fig02_diamond.cpp.o.d"
+  "bench_fig02_diamond"
+  "bench_fig02_diamond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_diamond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

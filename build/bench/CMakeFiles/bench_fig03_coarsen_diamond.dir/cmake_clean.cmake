@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_coarsen_diamond.dir/bench_fig03_coarsen_diamond.cpp.o"
+  "CMakeFiles/bench_fig03_coarsen_diamond.dir/bench_fig03_coarsen_diamond.cpp.o.d"
+  "bench_fig03_coarsen_diamond"
+  "bench_fig03_coarsen_diamond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_coarsen_diamond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_mesh.dir/bench_fig05_mesh.cpp.o"
+  "CMakeFiles/bench_fig05_mesh.dir/bench_fig05_mesh.cpp.o.d"
+  "bench_fig05_mesh"
+  "bench_fig05_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

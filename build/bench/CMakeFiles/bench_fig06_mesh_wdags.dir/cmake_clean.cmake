@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_mesh_wdags.dir/bench_fig06_mesh_wdags.cpp.o"
+  "CMakeFiles/bench_fig06_mesh_wdags.dir/bench_fig06_mesh_wdags.cpp.o.d"
+  "bench_fig06_mesh_wdags"
+  "bench_fig06_mesh_wdags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_mesh_wdags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_coarsen_mesh.dir/bench_fig07_coarsen_mesh.cpp.o"
+  "CMakeFiles/bench_fig07_coarsen_mesh.dir/bench_fig07_coarsen_mesh.cpp.o.d"
+  "bench_fig07_coarsen_mesh"
+  "bench_fig07_coarsen_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_coarsen_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_10_butterfly.dir/bench_fig08_10_butterfly.cpp.o"
+  "CMakeFiles/bench_fig08_10_butterfly.dir/bench_fig08_10_butterfly.cpp.o.d"
+  "bench_fig08_10_butterfly"
+  "bench_fig08_10_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_10_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_prefix.dir/bench_fig11_12_prefix.cpp.o"
+  "CMakeFiles/bench_fig11_12_prefix.dir/bench_fig11_12_prefix.cpp.o.d"
+  "bench_fig11_12_prefix"
+  "bench_fig11_12_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

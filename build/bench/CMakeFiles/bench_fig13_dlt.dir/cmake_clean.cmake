@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dlt.dir/bench_fig13_dlt.cpp.o"
+  "CMakeFiles/bench_fig13_dlt.dir/bench_fig13_dlt.cpp.o.d"
+  "bench_fig13_dlt"
+  "bench_fig13_dlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

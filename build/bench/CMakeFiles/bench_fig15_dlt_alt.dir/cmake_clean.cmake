@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dlt_alt.dir/bench_fig15_dlt_alt.cpp.o"
+  "CMakeFiles/bench_fig15_dlt_alt.dir/bench_fig15_dlt_alt.cpp.o.d"
+  "bench_fig15_dlt_alt"
+  "bench_fig15_dlt_alt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dlt_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_paths.dir/bench_fig16_paths.cpp.o"
+  "CMakeFiles/bench_fig16_paths.dir/bench_fig16_paths.cpp.o.d"
+  "bench_fig16_paths"
+  "bench_fig16_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

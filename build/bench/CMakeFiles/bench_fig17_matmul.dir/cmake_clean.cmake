@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_matmul.dir/bench_fig17_matmul.cpp.o"
+  "CMakeFiles/bench_fig17_matmul.dir/bench_fig17_matmul.cpp.o.d"
+  "bench_fig17_matmul"
+  "bench_fig17_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_comparison.dir/bench_sim_comparison.cpp.o"
+  "CMakeFiles/bench_sim_comparison.dir/bench_sim_comparison.cpp.o.d"
+  "bench_sim_comparison"
+  "bench_sim_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

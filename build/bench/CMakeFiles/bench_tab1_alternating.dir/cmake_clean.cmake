@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_alternating.dir/bench_tab1_alternating.cpp.o"
+  "CMakeFiles/bench_tab1_alternating.dir/bench_tab1_alternating.cpp.o.d"
+  "bench_tab1_alternating"
+  "bench_tab1_alternating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_alternating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

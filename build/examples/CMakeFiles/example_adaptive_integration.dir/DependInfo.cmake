@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_integration.cpp" "examples/CMakeFiles/example_adaptive_integration.dir/adaptive_integration.cpp.o" "gcc" "examples/CMakeFiles/example_adaptive_integration.dir/adaptive_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/families/CMakeFiles/icsched_families.dir/DependInfo.cmake"
+  "/root/repo/build/src/granularity/CMakeFiles/icsched_granularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/icsched_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/icsched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/icsched_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

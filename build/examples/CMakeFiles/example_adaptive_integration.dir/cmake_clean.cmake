@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_integration.dir/adaptive_integration.cpp.o"
+  "CMakeFiles/example_adaptive_integration.dir/adaptive_integration.cpp.o.d"
+  "example_adaptive_integration"
+  "example_adaptive_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

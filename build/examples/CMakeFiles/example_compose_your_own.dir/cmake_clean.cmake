@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compose_your_own.dir/compose_your_own.cpp.o"
+  "CMakeFiles/example_compose_your_own.dir/compose_your_own.cpp.o.d"
+  "example_compose_your_own"
+  "example_compose_your_own.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compose_your_own.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

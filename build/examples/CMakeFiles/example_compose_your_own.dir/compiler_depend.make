@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_compose_your_own.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fft_convolution.dir/fft_convolution.cpp.o"
+  "CMakeFiles/example_fft_convolution.dir/fft_convolution.cpp.o.d"
+  "example_fft_convolution"
+  "example_fft_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fft_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

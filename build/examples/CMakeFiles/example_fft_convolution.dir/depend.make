@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fft_convolution.
+# This may be replaced when dependencies are built.

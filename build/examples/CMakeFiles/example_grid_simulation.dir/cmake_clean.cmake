@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grid_simulation.dir/grid_simulation.cpp.o"
+  "CMakeFiles/example_grid_simulation.dir/grid_simulation.cpp.o.d"
+  "example_grid_simulation"
+  "example_grid_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grid_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

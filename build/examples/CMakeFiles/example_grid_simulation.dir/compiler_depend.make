@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_grid_simulation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_paths.dir/matrix_paths.cpp.o"
+  "CMakeFiles/example_matrix_paths.dir/matrix_paths.cpp.o.d"
+  "example_matrix_paths"
+  "example_matrix_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_matrix_paths.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_render_profiles.dir/render_profiles.cpp.o"
+  "CMakeFiles/example_render_profiles.dir/render_profiles.cpp.o.d"
+  "example_render_profiles"
+  "example_render_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_render_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/heuristics.cpp" "src/approx/CMakeFiles/icsched_approx.dir/heuristics.cpp.o" "gcc" "src/approx/CMakeFiles/icsched_approx.dir/heuristics.cpp.o.d"
+  "/root/repo/src/approx/regret.cpp" "src/approx/CMakeFiles/icsched_approx.dir/regret.cpp.o" "gcc" "src/approx/CMakeFiles/icsched_approx.dir/regret.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_approx.dir/heuristics.cpp.o"
+  "CMakeFiles/icsched_approx.dir/heuristics.cpp.o.d"
+  "CMakeFiles/icsched_approx.dir/regret.cpp.o"
+  "CMakeFiles/icsched_approx.dir/regret.cpp.o.d"
+  "libicsched_approx.a"
+  "libicsched_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

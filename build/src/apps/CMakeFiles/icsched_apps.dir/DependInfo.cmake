@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bool_matrix.cpp" "src/apps/CMakeFiles/icsched_apps.dir/bool_matrix.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/bool_matrix.cpp.o.d"
+  "/root/repo/src/apps/dlt_transform.cpp" "src/apps/CMakeFiles/icsched_apps.dir/dlt_transform.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/dlt_transform.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/icsched_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/graph_paths.cpp" "src/apps/CMakeFiles/icsched_apps.dir/graph_paths.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/graph_paths.cpp.o.d"
+  "/root/repo/src/apps/integration.cpp" "src/apps/CMakeFiles/icsched_apps.dir/integration.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/integration.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/icsched_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/scan.cpp" "src/apps/CMakeFiles/icsched_apps.dir/scan.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/scan.cpp.o.d"
+  "/root/repo/src/apps/sorting.cpp" "src/apps/CMakeFiles/icsched_apps.dir/sorting.cpp.o" "gcc" "src/apps/CMakeFiles/icsched_apps.dir/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/families/CMakeFiles/icsched_families.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/icsched_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_apps.dir/bool_matrix.cpp.o"
+  "CMakeFiles/icsched_apps.dir/bool_matrix.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/dlt_transform.cpp.o"
+  "CMakeFiles/icsched_apps.dir/dlt_transform.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/fft.cpp.o"
+  "CMakeFiles/icsched_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/graph_paths.cpp.o"
+  "CMakeFiles/icsched_apps.dir/graph_paths.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/integration.cpp.o"
+  "CMakeFiles/icsched_apps.dir/integration.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/matmul.cpp.o"
+  "CMakeFiles/icsched_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/scan.cpp.o"
+  "CMakeFiles/icsched_apps.dir/scan.cpp.o.d"
+  "CMakeFiles/icsched_apps.dir/sorting.cpp.o"
+  "CMakeFiles/icsched_apps.dir/sorting.cpp.o.d"
+  "libicsched_apps.a"
+  "libicsched_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

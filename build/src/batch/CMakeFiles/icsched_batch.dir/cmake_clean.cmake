@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_batch.dir/batch_schedule.cpp.o"
+  "CMakeFiles/icsched_batch.dir/batch_schedule.cpp.o.d"
+  "libicsched_batch.a"
+  "libicsched_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/building_blocks.cpp" "src/core/CMakeFiles/icsched_core.dir/building_blocks.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/building_blocks.cpp.o.d"
+  "/root/repo/src/core/composition.cpp" "src/core/CMakeFiles/icsched_core.dir/composition.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/composition.cpp.o.d"
+  "/root/repo/src/core/dag.cpp" "src/core/CMakeFiles/icsched_core.dir/dag.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/dag.cpp.o.d"
+  "/root/repo/src/core/duality.cpp" "src/core/CMakeFiles/icsched_core.dir/duality.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/duality.cpp.o.d"
+  "/root/repo/src/core/eligibility.cpp" "src/core/CMakeFiles/icsched_core.dir/eligibility.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/eligibility.cpp.o.d"
+  "/root/repo/src/core/linear_composition.cpp" "src/core/CMakeFiles/icsched_core.dir/linear_composition.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/linear_composition.cpp.o.d"
+  "/root/repo/src/core/optimality.cpp" "src/core/CMakeFiles/icsched_core.dir/optimality.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/optimality.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/icsched_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/priority.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/icsched_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/icsched_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

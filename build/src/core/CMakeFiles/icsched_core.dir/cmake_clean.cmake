@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_core.dir/building_blocks.cpp.o"
+  "CMakeFiles/icsched_core.dir/building_blocks.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/composition.cpp.o"
+  "CMakeFiles/icsched_core.dir/composition.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/dag.cpp.o"
+  "CMakeFiles/icsched_core.dir/dag.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/duality.cpp.o"
+  "CMakeFiles/icsched_core.dir/duality.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/eligibility.cpp.o"
+  "CMakeFiles/icsched_core.dir/eligibility.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/linear_composition.cpp.o"
+  "CMakeFiles/icsched_core.dir/linear_composition.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/optimality.cpp.o"
+  "CMakeFiles/icsched_core.dir/optimality.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/priority.cpp.o"
+  "CMakeFiles/icsched_core.dir/priority.cpp.o.d"
+  "CMakeFiles/icsched_core.dir/schedule.cpp.o"
+  "CMakeFiles/icsched_core.dir/schedule.cpp.o.d"
+  "libicsched_core.a"
+  "libicsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_exec.dir/dag_executor.cpp.o"
+  "CMakeFiles/icsched_exec.dir/dag_executor.cpp.o.d"
+  "CMakeFiles/icsched_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/icsched_exec.dir/thread_pool.cpp.o.d"
+  "libicsched_exec.a"
+  "libicsched_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

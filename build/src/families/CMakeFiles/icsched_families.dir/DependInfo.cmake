@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/families/alternating.cpp" "src/families/CMakeFiles/icsched_families.dir/alternating.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/alternating.cpp.o.d"
+  "/root/repo/src/families/butterfly.cpp" "src/families/CMakeFiles/icsched_families.dir/butterfly.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/butterfly.cpp.o.d"
+  "/root/repo/src/families/diamond.cpp" "src/families/CMakeFiles/icsched_families.dir/diamond.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/diamond.cpp.o.d"
+  "/root/repo/src/families/dlt.cpp" "src/families/CMakeFiles/icsched_families.dir/dlt.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/dlt.cpp.o.d"
+  "/root/repo/src/families/matmul_dag.cpp" "src/families/CMakeFiles/icsched_families.dir/matmul_dag.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/matmul_dag.cpp.o.d"
+  "/root/repo/src/families/mesh.cpp" "src/families/CMakeFiles/icsched_families.dir/mesh.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/mesh.cpp.o.d"
+  "/root/repo/src/families/prefix.cpp" "src/families/CMakeFiles/icsched_families.dir/prefix.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/prefix.cpp.o.d"
+  "/root/repo/src/families/trees.cpp" "src/families/CMakeFiles/icsched_families.dir/trees.cpp.o" "gcc" "src/families/CMakeFiles/icsched_families.dir/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

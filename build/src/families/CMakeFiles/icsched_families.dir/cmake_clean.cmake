@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_families.dir/alternating.cpp.o"
+  "CMakeFiles/icsched_families.dir/alternating.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/butterfly.cpp.o"
+  "CMakeFiles/icsched_families.dir/butterfly.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/diamond.cpp.o"
+  "CMakeFiles/icsched_families.dir/diamond.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/dlt.cpp.o"
+  "CMakeFiles/icsched_families.dir/dlt.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/matmul_dag.cpp.o"
+  "CMakeFiles/icsched_families.dir/matmul_dag.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/mesh.cpp.o"
+  "CMakeFiles/icsched_families.dir/mesh.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/prefix.cpp.o"
+  "CMakeFiles/icsched_families.dir/prefix.cpp.o.d"
+  "CMakeFiles/icsched_families.dir/trees.cpp.o"
+  "CMakeFiles/icsched_families.dir/trees.cpp.o.d"
+  "libicsched_families.a"
+  "libicsched_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/granularity/cluster.cpp" "src/granularity/CMakeFiles/icsched_granularity.dir/cluster.cpp.o" "gcc" "src/granularity/CMakeFiles/icsched_granularity.dir/cluster.cpp.o.d"
+  "/root/repo/src/granularity/coarsen_butterfly.cpp" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_butterfly.cpp.o" "gcc" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_butterfly.cpp.o.d"
+  "/root/repo/src/granularity/coarsen_dlt.cpp" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_dlt.cpp.o" "gcc" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_dlt.cpp.o.d"
+  "/root/repo/src/granularity/coarsen_mesh.cpp" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_mesh.cpp.o" "gcc" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_mesh.cpp.o.d"
+  "/root/repo/src/granularity/coarsen_tree.cpp" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_tree.cpp.o" "gcc" "src/granularity/CMakeFiles/icsched_granularity.dir/coarsen_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/families/CMakeFiles/icsched_families.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_granularity.dir/cluster.cpp.o"
+  "CMakeFiles/icsched_granularity.dir/cluster.cpp.o.d"
+  "CMakeFiles/icsched_granularity.dir/coarsen_butterfly.cpp.o"
+  "CMakeFiles/icsched_granularity.dir/coarsen_butterfly.cpp.o.d"
+  "CMakeFiles/icsched_granularity.dir/coarsen_dlt.cpp.o"
+  "CMakeFiles/icsched_granularity.dir/coarsen_dlt.cpp.o.d"
+  "CMakeFiles/icsched_granularity.dir/coarsen_mesh.cpp.o"
+  "CMakeFiles/icsched_granularity.dir/coarsen_mesh.cpp.o.d"
+  "CMakeFiles/icsched_granularity.dir/coarsen_tree.cpp.o"
+  "CMakeFiles/icsched_granularity.dir/coarsen_tree.cpp.o.d"
+  "libicsched_granularity.a"
+  "libicsched_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

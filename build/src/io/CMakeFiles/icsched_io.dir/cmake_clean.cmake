@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_io.dir/cli.cpp.o"
+  "CMakeFiles/icsched_io.dir/cli.cpp.o.d"
+  "CMakeFiles/icsched_io.dir/dag_io.cpp.o"
+  "CMakeFiles/icsched_io.dir/dag_io.cpp.o.d"
+  "libicsched_io.a"
+  "libicsched_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm_model.cpp" "src/sim/CMakeFiles/icsched_sim.dir/comm_model.cpp.o" "gcc" "src/sim/CMakeFiles/icsched_sim.dir/comm_model.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/icsched_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/icsched_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/icsched_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/icsched_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/icsched_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/icsched_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/families/CMakeFiles/icsched_families.dir/DependInfo.cmake"
+  "/root/repo/build/src/granularity/CMakeFiles/icsched_granularity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_sim.dir/comm_model.cpp.o"
+  "CMakeFiles/icsched_sim.dir/comm_model.cpp.o.d"
+  "CMakeFiles/icsched_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/icsched_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/icsched_sim.dir/simulation.cpp.o"
+  "CMakeFiles/icsched_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/icsched_sim.dir/workload.cpp.o"
+  "CMakeFiles/icsched_sim.dir/workload.cpp.o.d"
+  "libicsched_sim.a"
+  "libicsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

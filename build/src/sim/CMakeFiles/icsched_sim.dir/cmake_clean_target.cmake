@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicsched_sim.a"
+)

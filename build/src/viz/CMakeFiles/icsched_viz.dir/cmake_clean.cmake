@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched_viz.dir/svg_profile.cpp.o"
+  "CMakeFiles/icsched_viz.dir/svg_profile.cpp.o.d"
+  "libicsched_viz.a"
+  "libicsched_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

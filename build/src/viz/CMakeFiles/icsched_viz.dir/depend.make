@@ -1,0 +1,2 @@
+# Empty dependencies file for icsched_viz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alternating.cpp" "tests/CMakeFiles/icsched_tests.dir/test_alternating.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_alternating.cpp.o.d"
+  "/root/repo/tests/test_approx.cpp" "tests/CMakeFiles/icsched_tests.dir/test_approx.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_approx.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/icsched_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_batch.cpp" "tests/CMakeFiles/icsched_tests.dir/test_batch.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_batch.cpp.o.d"
+  "/root/repo/tests/test_building_blocks.cpp" "tests/CMakeFiles/icsched_tests.dir/test_building_blocks.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_building_blocks.cpp.o.d"
+  "/root/repo/tests/test_butterfly.cpp" "tests/CMakeFiles/icsched_tests.dir/test_butterfly.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_butterfly.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/icsched_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_coarsen.cpp" "tests/CMakeFiles/icsched_tests.dir/test_coarsen.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_coarsen.cpp.o.d"
+  "/root/repo/tests/test_comm_model.cpp" "tests/CMakeFiles/icsched_tests.dir/test_comm_model.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_comm_model.cpp.o.d"
+  "/root/repo/tests/test_composition.cpp" "tests/CMakeFiles/icsched_tests.dir/test_composition.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_composition.cpp.o.d"
+  "/root/repo/tests/test_dag.cpp" "tests/CMakeFiles/icsched_tests.dir/test_dag.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_dag.cpp.o.d"
+  "/root/repo/tests/test_diamond.cpp" "tests/CMakeFiles/icsched_tests.dir/test_diamond.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_diamond.cpp.o.d"
+  "/root/repo/tests/test_dlt.cpp" "tests/CMakeFiles/icsched_tests.dir/test_dlt.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_dlt.cpp.o.d"
+  "/root/repo/tests/test_duality.cpp" "tests/CMakeFiles/icsched_tests.dir/test_duality.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_duality.cpp.o.d"
+  "/root/repo/tests/test_eligibility.cpp" "tests/CMakeFiles/icsched_tests.dir/test_eligibility.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_eligibility.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/icsched_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/icsched_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_linear_composition.cpp" "tests/CMakeFiles/icsched_tests.dir/test_linear_composition.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_linear_composition.cpp.o.d"
+  "/root/repo/tests/test_matmul_dag.cpp" "tests/CMakeFiles/icsched_tests.dir/test_matmul_dag.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_matmul_dag.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/icsched_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_optimality.cpp" "tests/CMakeFiles/icsched_tests.dir/test_optimality.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_optimality.cpp.o.d"
+  "/root/repo/tests/test_prefix.cpp" "tests/CMakeFiles/icsched_tests.dir/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_prefix.cpp.o.d"
+  "/root/repo/tests/test_priority.cpp" "tests/CMakeFiles/icsched_tests.dir/test_priority.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_priority.cpp.o.d"
+  "/root/repo/tests/test_property_fuzz.cpp" "tests/CMakeFiles/icsched_tests.dir/test_property_fuzz.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_property_fuzz.cpp.o.d"
+  "/root/repo/tests/test_registry_sweeps.cpp" "tests/CMakeFiles/icsched_tests.dir/test_registry_sweeps.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_registry_sweeps.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/icsched_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/icsched_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_trees.cpp" "tests/CMakeFiles/icsched_tests.dir/test_trees.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_trees.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/icsched_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/icsched_tests.dir/test_viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/families/CMakeFiles/icsched_families.dir/DependInfo.cmake"
+  "/root/repo/build/src/granularity/CMakeFiles/icsched_granularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/icsched_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/icsched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/icsched_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/icsched_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/icsched_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/icsched_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsched.dir/icsched_main.cpp.o"
+  "CMakeFiles/icsched.dir/icsched_main.cpp.o.d"
+  "icsched"
+  "icsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
