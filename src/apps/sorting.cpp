@@ -33,7 +33,7 @@ BitonicNetwork bitonicNetwork(std::size_t n) {
   }
   net.stages = net.stagePartner.size();
 
-  Dag g((net.stages + 1) * n);
+  DagBuilder g((net.stages + 1) * n);
   for (std::size_t t = 0; t < net.stages; ++t) {
     const std::size_t m = net.stagePartner[t];
     for (std::size_t w = 0; w < n; ++w) {
@@ -54,7 +54,7 @@ BitonicNetwork bitonicNetwork(std::size_t n) {
     }
   }
   for (std::size_t w = 0; w < n; ++w) order.push_back(bitonicNodeId(net, net.stages, w));
-  net.scheduled = {std::move(g), Schedule(std::move(order))};
+  net.scheduled = {g.freeze(), Schedule(std::move(order))};
   return net;
 }
 
@@ -99,7 +99,7 @@ ComparatorDag comparatorNetworkDag(const ComparatorNetwork& net) {
   if (net.wires < 2) throw std::invalid_argument("comparatorNetworkDag: need >= 2 wires");
   ComparatorDag out;
   out.wires = net.wires;
-  Dag g(net.wires);  // input tasks; comparator outputs appended below
+  DagBuilder g(net.wires);  // input tasks; comparator outputs appended below
   std::vector<NodeId> holder(net.wires);  // node currently carrying wire w
   for (std::size_t w = 0; w < net.wires; ++w) holder[w] = static_cast<NodeId>(w);
 
@@ -137,9 +137,10 @@ ComparatorDag comparatorNetworkDag(const ComparatorNetwork& net) {
     }
   }
   out.finalWireNode = holder;
+  Dag frozen = g.freeze();
   Schedule s(std::move(order));
-  s.validate(g);
-  out.scheduled = {std::move(g), std::move(s)};
+  s.validate(frozen);
+  out.scheduled = {std::move(frozen), std::move(s)};
   return out;
 }
 

@@ -19,73 +19,75 @@ Schedule identitySchedule(std::size_t n) {
 
 ScheduledDag vee(std::size_t d) {
   if (d < 1) throw std::invalid_argument("vee: need d >= 1");
-  Dag g(1 + d);
+  DagBuilder g(1 + d);
   g.setLabel(0, "w");
   for (std::size_t i = 0; i < d; ++i) {
     g.addArc(0, static_cast<NodeId>(1 + i));
     g.setLabel(static_cast<NodeId>(1 + i), "x" + std::to_string(i));
   }
-  return {std::move(g), identitySchedule(1 + d)};
+  return {g.freeze(), identitySchedule(1 + d)};
 }
 
 ScheduledDag lambda(std::size_t d) {
   if (d < 1) throw std::invalid_argument("lambda: need d >= 1");
-  Dag g(d + 1);
+  DagBuilder g(d + 1);
   const NodeId sink = static_cast<NodeId>(d);
   g.setLabel(sink, "z");
   for (std::size_t i = 0; i < d; ++i) {
     g.addArc(static_cast<NodeId>(i), sink);
     g.setLabel(static_cast<NodeId>(i), "y" + std::to_string(i));
   }
-  return {std::move(g), identitySchedule(d + 1)};
+  return {g.freeze(), identitySchedule(d + 1)};
 }
 
 ScheduledDag wdag(std::size_t s) {
   if (s < 1) throw std::invalid_argument("wdag: need s >= 1");
-  Dag g(s + (s + 1));
+  DagBuilder g(s + (s + 1));
   for (std::size_t i = 0; i < s; ++i) {
     g.addArc(static_cast<NodeId>(i), static_cast<NodeId>(s + i));
     g.addArc(static_cast<NodeId>(i), static_cast<NodeId>(s + i + 1));
   }
-  return {std::move(g), identitySchedule(2 * s + 1)};
+  return {g.freeze(), identitySchedule(2 * s + 1)};
 }
 
 ScheduledDag mdag(std::size_t s) {
   if (s < 2) throw std::invalid_argument("mdag: need s >= 2");
-  Dag g(s + (s - 1));
+  DagBuilder g(s + (s - 1));
   for (std::size_t j = 0; j + 1 < s; ++j) {
     g.addArc(static_cast<NodeId>(j), static_cast<NodeId>(s + j));
     g.addArc(static_cast<NodeId>(j + 1), static_cast<NodeId>(s + j));
   }
-  return {std::move(g), identitySchedule(2 * s - 1)};
+  return {g.freeze(), identitySchedule(2 * s - 1)};
 }
 
 ScheduledDag ndag(std::size_t s) {
   if (s < 1) throw std::invalid_argument("ndag: need s >= 1");
-  Dag g(2 * s);
+  DagBuilder g(2 * s);
   for (std::size_t v = 0; v < s; ++v) {
     g.addArc(static_cast<NodeId>(v), static_cast<NodeId>(s + v));
     if (v + 1 < s) g.addArc(static_cast<NodeId>(v), static_cast<NodeId>(s + v + 1));
   }
-  return {std::move(g), identitySchedule(2 * s)};
+  return {g.freeze(), identitySchedule(2 * s)};
 }
 
 ScheduledDag cycleDag(std::size_t s) {
   if (s < 2) throw std::invalid_argument("cycleDag: need s >= 2");
-  Dag g(2 * s);
+  DagBuilder g(2 * s);
   for (std::size_t v = 0; v < s; ++v) {
     g.addArc(static_cast<NodeId>(v), static_cast<NodeId>(s + v));
     g.addArc(static_cast<NodeId>(v), static_cast<NodeId>(s + (v + 1) % s));
   }
-  return {std::move(g), identitySchedule(2 * s)};
+  return {g.freeze(), identitySchedule(2 * s)};
 }
 
 ScheduledDag butterflyBlock() {
   ScheduledDag b = cycleDag(2);
-  b.dag.setLabel(0, "x0");
-  b.dag.setLabel(1, "x1");
-  b.dag.setLabel(2, "y0");
-  b.dag.setLabel(3, "y1");
+  DagBuilder relabel(b.dag);  // thaw, relabel, refreeze
+  relabel.setLabel(0, "x0");
+  relabel.setLabel(1, "x1");
+  relabel.setLabel(2, "y0");
+  relabel.setLabel(3, "y1");
+  b.dag = relabel.freeze();
   return b;
 }
 

@@ -43,7 +43,7 @@ Composition compose(const Dag& a, const Dag& b, const std::vector<MergePair>& pa
   }
   for (const MergePair& p : pairs) out.mapB[p.sourceOfB] = out.mapA[p.sinkOfA];
 
-  Dag g(next);
+  DagBuilder g(next);
   for (NodeId u = 0; u < a.numNodes(); ++u) {
     g.setLabel(out.mapA[u], a.label(u));
     for (NodeId v : a.children(u)) g.addArc(out.mapA[u], out.mapA[v]);
@@ -53,7 +53,7 @@ Composition compose(const Dag& a, const Dag& b, const std::vector<MergePair>& pa
     if (!mergedSourceB[u]) g.setLabel(out.mapB[u], b.label(u));
     for (NodeId v : b.children(u)) g.addArc(out.mapB[u], out.mapB[v]);
   }
-  out.dag = std::move(g);
+  out.dag = g.freeze();
   return out;
 }
 

@@ -7,149 +7,132 @@
 
 namespace icsched {
 
-Dag::Dag(std::size_t n) : children_(n), parents_(n), labels_(n) {}
+// ---------------------------------------------------------------------------
+// Dag (frozen, CSR-backed)
+// ---------------------------------------------------------------------------
 
-Dag::Dag(std::size_t n, const std::vector<Arc>& arcs) : Dag(n) {
-  for (const Arc& a : arcs) addArc(a.from, a.to);
-}
+Dag::Dag()
+    : childOffsets_{0},
+      parentOffsets_{0},
+      cache_(std::make_shared<StructureCache>()) {}
 
-NodeId Dag::addNode() {
-  children_.emplace_back();
-  parents_.emplace_back();
-  labels_.emplace_back();
-  return static_cast<NodeId>(children_.size() - 1);
-}
-
-NodeId Dag::addNodes(std::size_t k) {
-  const NodeId first = static_cast<NodeId>(children_.size());
-  for (std::size_t i = 0; i < k; ++i) addNode();
-  return first;
-}
+Dag::Dag(std::vector<std::size_t> childOffsets, std::vector<NodeId> childData,
+         std::vector<std::size_t> parentOffsets, std::vector<NodeId> parentData,
+         std::vector<std::string> labels)
+    : childOffsets_(std::move(childOffsets)),
+      childData_(std::move(childData)),
+      parentOffsets_(std::move(parentOffsets)),
+      parentData_(std::move(parentData)),
+      labels_(std::move(labels)),
+      cache_(std::make_shared<StructureCache>()) {}
 
 void Dag::checkNode(NodeId v) const {
-  if (v >= children_.size()) {
+  if (v >= numNodes()) {
     throw std::invalid_argument("Dag: node id " + std::to_string(v) +
                                 " out of range (numNodes=" +
-                                std::to_string(children_.size()) + ")");
+                                std::to_string(numNodes()) + ")");
   }
-}
-
-void Dag::addArc(NodeId from, NodeId to) {
-  checkNode(from);
-  checkNode(to);
-  if (from == to) throw std::invalid_argument("Dag: self-loop on node " + std::to_string(from));
-  if (hasArc(from, to)) {
-    throw std::invalid_argument("Dag: duplicate arc (" + std::to_string(from) +
-                                " -> " + std::to_string(to) + ")");
-  }
-  children_[from].push_back(to);
-  parents_[to].push_back(from);
-  ++numArcs_;
-}
-
-bool Dag::hasArc(NodeId from, NodeId to) const {
-  checkNode(from);
-  checkNode(to);
-  const auto& cs = children_[from];
-  return std::find(cs.begin(), cs.end(), to) != cs.end();
 }
 
 std::span<const NodeId> Dag::children(NodeId u) const {
   checkNode(u);
-  return children_[u];
+  return {childData_.data() + childOffsets_[u], childOffsets_[u + 1] - childOffsets_[u]};
 }
 
 std::span<const NodeId> Dag::parents(NodeId v) const {
   checkNode(v);
-  return parents_[v];
+  return {parentData_.data() + parentOffsets_[v], parentOffsets_[v + 1] - parentOffsets_[v]};
 }
 
-std::vector<NodeId> Dag::sources() const {
-  std::vector<NodeId> out;
-  for (NodeId v = 0; v < numNodes(); ++v)
-    if (isSource(v)) out.push_back(v);
-  return out;
+bool Dag::hasArc(NodeId from, NodeId to) const {
+  checkNode(to);
+  const std::span<const NodeId> cs = children(from);
+  return std::find(cs.begin(), cs.end(), to) != cs.end();
 }
 
-std::vector<NodeId> Dag::sinks() const {
-  std::vector<NodeId> out;
-  for (NodeId v = 0; v < numNodes(); ++v)
-    if (isSink(v)) out.push_back(v);
-  return out;
+const Dag::StructureCache& Dag::structure() const {
+  std::call_once(cache_->once, [this] { fillStructure(*cache_); });
+  return *cache_;
 }
 
-std::size_t Dag::numNonsinks() const {
-  std::size_t n = 0;
-  for (NodeId v = 0; v < numNodes(); ++v)
-    if (!isSink(v)) ++n;
-  return n;
-}
-
-std::size_t Dag::numNonsources() const {
-  std::size_t n = 0;
-  for (NodeId v = 0; v < numNodes(); ++v)
-    if (!isSource(v)) ++n;
-  return n;
-}
-
-std::vector<NodeId> Dag::topologicalOrder() const {
-  std::vector<std::size_t> remaining(numNodes());
-  std::queue<NodeId> ready;
-  for (NodeId v = 0; v < numNodes(); ++v) {
-    remaining[v] = inDegree(v);
-    if (remaining[v] == 0) ready.push(v);
+void Dag::fillStructure(StructureCache& s) const {
+  const std::size_t n = numNodes();
+  s.inDegree.resize(n);
+  s.outDegree.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    s.inDegree[v] = static_cast<std::uint32_t>(parentOffsets_[v + 1] - parentOffsets_[v]);
+    s.outDegree[v] = static_cast<std::uint32_t>(childOffsets_[v + 1] - childOffsets_[v]);
+    if (s.inDegree[v] == 0) s.sources.push_back(v);
+    if (s.outDegree[v] == 0) s.sinks.push_back(v);
   }
-  std::vector<NodeId> order;
-  order.reserve(numNodes());
+  s.numNonsinks = n - s.sinks.size();
+  s.numNonsources = n - s.sources.size();
+
+  // Kahn's algorithm. Frozen dags are acyclic (freeze() checked), so this
+  // always covers all n nodes.
+  std::vector<std::uint32_t> remaining = s.inDegree;
+  std::queue<NodeId> ready;
+  for (NodeId v : s.sources) ready.push(v);
+  s.topoOrder.reserve(n);
   while (!ready.empty()) {
     const NodeId v = ready.front();
     ready.pop();
-    order.push_back(v);
+    s.topoOrder.push_back(v);
     for (NodeId c : children(v)) {
       if (--remaining[c] == 0) ready.push(c);
     }
   }
-  if (order.size() != numNodes()) throw std::logic_error("Dag: graph has a directed cycle");
-  return order;
-}
 
-bool Dag::isAcyclic() const {
-  try {
-    (void)topologicalOrder();
-    return true;
-  } catch (const std::logic_error&) {
-    return false;
+  // Longest path to a sink, filled in reverse topological order.
+  s.heightToSink.assign(n, 0);
+  for (auto it = s.topoOrder.rbegin(); it != s.topoOrder.rend(); ++it) {
+    const NodeId v = *it;
+    std::size_t h = 0;
+    for (NodeId c : children(v)) h = std::max(h, s.heightToSink[c] + 1);
+    s.heightToSink[v] = h;
+  }
+
+  // Undirected connectivity.
+  s.connected = true;
+  if (n > 0) {
+    std::vector<bool> seen(n, false);
+    std::vector<NodeId> stack{0};
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId w) {
+        if (!seen[w]) {
+          seen[w] = true;
+          ++count;
+          stack.push_back(w);
+        }
+      };
+      for (NodeId c : children(v)) visit(c);
+      for (NodeId p : parents(v)) visit(p);
+    }
+    s.connected = count == n;
   }
 }
 
-void Dag::validateAcyclic() const { (void)topologicalOrder(); }
+const std::vector<NodeId>& Dag::sources() const { return structure().sources; }
 
-bool Dag::isConnected() const {
-  if (numNodes() == 0) return true;
-  std::vector<bool> seen(numNodes(), false);
-  std::vector<NodeId> stack{0};
-  seen[0] = true;
-  std::size_t count = 1;
-  while (!stack.empty()) {
-    const NodeId v = stack.back();
-    stack.pop_back();
-    auto visit = [&](NodeId w) {
-      if (!seen[w]) {
-        seen[w] = true;
-        ++count;
-        stack.push_back(w);
-      }
-    };
-    for (NodeId c : children(v)) visit(c);
-    for (NodeId p : parents(v)) visit(p);
-  }
-  return count == numNodes();
-}
+const std::vector<NodeId>& Dag::sinks() const { return structure().sinks; }
 
-void Dag::setLabel(NodeId v, std::string label) {
-  checkNode(v);
-  labels_[v] = std::move(label);
-}
+std::size_t Dag::numNonsinks() const { return structure().numNonsinks; }
+
+std::size_t Dag::numNonsources() const { return structure().numNonsources; }
+
+bool Dag::isConnected() const { return structure().connected; }
+
+const std::vector<NodeId>& Dag::topologicalOrder() const { return structure().topoOrder; }
+
+const std::vector<std::uint32_t>& Dag::inDegrees() const { return structure().inDegree; }
+
+const std::vector<std::uint32_t>& Dag::outDegrees() const { return structure().outDegree; }
+
+const std::vector<std::size_t>& Dag::heightsToSink() const { return structure().heightToSink; }
 
 std::string Dag::label(NodeId v) const {
   checkNode(v);
@@ -158,7 +141,7 @@ std::string Dag::label(NodeId v) const {
 
 std::vector<Arc> Dag::arcs() const {
   std::vector<Arc> out;
-  out.reserve(numArcs_);
+  out.reserve(numArcs());
   for (NodeId u = 0; u < numNodes(); ++u)
     for (NodeId v : children(u)) out.push_back(Arc{u, v});
   return out;
@@ -178,8 +161,11 @@ std::string Dag::toDot(const std::string& name) const {
 bool operator==(const Dag& a, const Dag& b) {
   if (a.numNodes() != b.numNodes() || a.numArcs() != b.numArcs()) return false;
   for (NodeId u = 0; u < a.numNodes(); ++u) {
-    std::vector<NodeId> ca(a.children_[u]);
-    std::vector<NodeId> cb(b.children_[u]);
+    const std::span<const NodeId> sa = a.children(u);
+    const std::span<const NodeId> sb = b.children(u);
+    if (sa.size() != sb.size()) return false;
+    std::vector<NodeId> ca(sa.begin(), sa.end());
+    std::vector<NodeId> cb(sb.begin(), sb.end());
     std::sort(ca.begin(), ca.end());
     std::sort(cb.begin(), cb.end());
     if (ca != cb) return false;
@@ -187,17 +173,147 @@ bool operator==(const Dag& a, const Dag& b) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// DagBuilder
+// ---------------------------------------------------------------------------
+
+DagBuilder::DagBuilder(std::size_t n) : children_(n), parents_(n), labels_(n) {}
+
+DagBuilder::DagBuilder(std::size_t n, const std::vector<Arc>& arcs) : DagBuilder(n) {
+  for (const Arc& a : arcs) addArc(a.from, a.to);
+}
+
+DagBuilder::DagBuilder(const Dag& frozen) : DagBuilder(frozen.numNodes()) {
+  for (NodeId u = 0; u < frozen.numNodes(); ++u) {
+    const std::span<const NodeId> cs = frozen.children(u);
+    children_[u].assign(cs.begin(), cs.end());
+    const std::span<const NodeId> ps = frozen.parents(u);
+    parents_[u].assign(ps.begin(), ps.end());
+    // Preserve raw labels: only copy what was explicitly set, so unset
+    // labels keep defaulting to the (possibly renumbered-later) id.
+    const std::string l = frozen.label(u);
+    if (l != std::to_string(u)) labels_[u] = l;
+  }
+  numArcs_ = frozen.numArcs();
+}
+
+NodeId DagBuilder::addNode() {
+  children_.emplace_back();
+  parents_.emplace_back();
+  labels_.emplace_back();
+  return static_cast<NodeId>(children_.size() - 1);
+}
+
+NodeId DagBuilder::addNodes(std::size_t k) {
+  const NodeId first = static_cast<NodeId>(children_.size());
+  for (std::size_t i = 0; i < k; ++i) addNode();
+  return first;
+}
+
+void DagBuilder::checkNode(NodeId v) const {
+  if (v >= children_.size()) {
+    throw std::invalid_argument("Dag: node id " + std::to_string(v) +
+                                " out of range (numNodes=" +
+                                std::to_string(children_.size()) + ")");
+  }
+}
+
+void DagBuilder::addArc(NodeId from, NodeId to) {
+  checkNode(from);
+  checkNode(to);
+  if (from == to) throw std::invalid_argument("Dag: self-loop on node " + std::to_string(from));
+  if (hasArc(from, to)) {
+    throw std::invalid_argument("Dag: duplicate arc (" + std::to_string(from) +
+                                " -> " + std::to_string(to) + ")");
+  }
+  children_[from].push_back(to);
+  parents_[to].push_back(from);
+  ++numArcs_;
+}
+
+bool DagBuilder::hasArc(NodeId from, NodeId to) const {
+  checkNode(from);
+  checkNode(to);
+  const auto& cs = children_[from];
+  return std::find(cs.begin(), cs.end(), to) != cs.end();
+}
+
+std::span<const NodeId> DagBuilder::children(NodeId u) const {
+  checkNode(u);
+  return children_[u];
+}
+
+std::span<const NodeId> DagBuilder::parents(NodeId v) const {
+  checkNode(v);
+  return parents_[v];
+}
+
+void DagBuilder::setLabel(NodeId v, std::string label) {
+  checkNode(v);
+  labels_[v] = std::move(label);
+}
+
+std::string DagBuilder::label(NodeId v) const {
+  checkNode(v);
+  return labels_[v].empty() ? std::to_string(v) : labels_[v];
+}
+
+bool DagBuilder::isAcyclic() const {
+  const std::size_t n = children_.size();
+  std::vector<std::size_t> remaining(n);
+  std::queue<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    remaining[v] = parents_[v].size();
+    if (remaining[v] == 0) ready.push(v);
+  }
+  std::size_t ordered = 0;
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    ++ordered;
+    for (NodeId c : children_[v]) {
+      if (--remaining[c] == 0) ready.push(c);
+    }
+  }
+  return ordered == n;
+}
+
+Dag DagBuilder::freeze() const {
+  if (!isAcyclic()) throw std::logic_error("Dag: graph has a directed cycle");
+  const std::size_t n = children_.size();
+  std::vector<std::size_t> childOffsets(n + 1, 0);
+  std::vector<std::size_t> parentOffsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    childOffsets[v + 1] = childOffsets[v] + children_[v].size();
+    parentOffsets[v + 1] = parentOffsets[v] + parents_[v].size();
+  }
+  std::vector<NodeId> childData;
+  childData.reserve(numArcs_);
+  std::vector<NodeId> parentData;
+  parentData.reserve(numArcs_);
+  for (std::size_t v = 0; v < n; ++v) {
+    childData.insert(childData.end(), children_[v].begin(), children_[v].end());
+    parentData.insert(parentData.end(), parents_[v].begin(), parents_[v].end());
+  }
+  return Dag(std::move(childOffsets), std::move(childData), std::move(parentOffsets),
+             std::move(parentData), labels_);
+}
+
+// ---------------------------------------------------------------------------
+// Free functions
+// ---------------------------------------------------------------------------
+
 Dag dual(const Dag& g) {
-  Dag d(g.numNodes());
+  DagBuilder d(g.numNodes());
   for (NodeId u = 0; u < g.numNodes(); ++u) {
     for (NodeId v : g.children(u)) d.addArc(v, u);
     d.setLabel(u, g.label(u));
   }
-  return d;
+  return d.freeze();
 }
 
 Dag sum(const Dag& a, const Dag& b) {
-  Dag s(a.numNodes() + b.numNodes());
+  DagBuilder s(a.numNodes() + b.numNodes());
   const NodeId off = static_cast<NodeId>(a.numNodes());
   for (NodeId u = 0; u < a.numNodes(); ++u) {
     s.setLabel(u, a.label(u));
@@ -207,7 +323,9 @@ Dag sum(const Dag& a, const Dag& b) {
     s.setLabel(off + u, b.label(u));
     for (NodeId v : b.children(u)) s.addArc(off + u, off + v);
   }
-  return s;
+  return s.freeze();
 }
+
+const std::vector<std::size_t>& longestPathToSink(const Dag& g) { return g.heightsToSink(); }
 
 }  // namespace icsched

@@ -4,11 +4,28 @@
 ///
 /// A dag models a computation per Section 2.1 of the paper: nodes are tasks,
 /// an arc (u -> v) means task v cannot be executed until task u has been.
-/// The representation is id-dense (nodes are 0..numNodes()-1) with adjacency
-/// stored per node, so all structural queries are O(1) or O(degree).
+/// The representation is split in two:
+///
+///  - DagBuilder: the mutable construction surface (addNode/addArc/setLabel
+///    with the full validation story -- dense ids, no self-loops, no
+///    duplicate arcs). Adjacency is per-node vectors, cheap to grow.
+///  - Dag: the immutable result of DagBuilder::freeze(). Adjacency is stored
+///    CSR-style (one flat children array + one flat parents array with
+///    offset tables), so children(u)/parents(v) are contiguous spans with no
+///    per-node heap indirection, and degrees are O(1) offset subtractions.
+///    freeze() validates acyclicity once; every frozen Dag is a dag by
+///    construction.
+///
+/// Because a frozen Dag can never change, it safely memoizes the structural
+/// facts every layer of the library keeps asking for (topological order,
+/// sources, sinks, nonsink/nonsource counts, degree arrays, longest-path
+/// heights, connectivity). The cache is computed lazily on first use, at
+/// most once, and shared by copies of the Dag.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,24 +42,158 @@ struct Arc {
   friend bool operator==(const Arc&, const Arc&) = default;
 };
 
-/// A computation-dag (Section 2.1).
+class DagBuilder;
+
+/// An immutable computation-dag (Section 2.1), produced by
+/// DagBuilder::freeze().
 ///
-/// Invariants maintained by the class:
+/// Invariants guaranteed by construction:
 ///  - node ids are dense: 0..numNodes()-1;
-///  - no self-loops and no duplicate arcs (addArc rejects both);
-///  - acyclicity is *checked on demand* via validateAcyclic() / isAcyclic();
-///    construction helpers in the library only ever build acyclic graphs.
+///  - no self-loops and no duplicate arcs;
+///  - the graph is acyclic (freeze() throws otherwise).
+///
+/// All structural queries are O(1) or O(degree); the derived facts exposed
+/// by topologicalOrder()/sources()/sinks()/heightsToSink()/... are memoized
+/// in a structure cache computed once (thread-safely) on first access and
+/// shared by all copies of this Dag.
 class Dag {
  public:
-  Dag() = default;
+  /// The empty dag (0 nodes). Non-empty dags come from DagBuilder::freeze().
+  Dag();
 
-  /// Creates a dag with \p n isolated nodes and no arcs.
-  explicit Dag(std::size_t n);
+  /// True if the arc (from -> to) is present. O(outDegree(from)).
+  [[nodiscard]] bool hasArc(NodeId from, NodeId to) const;
 
-  /// Creates a dag with \p n nodes and the given arcs.
+  [[nodiscard]] std::size_t numNodes() const { return labels_.size(); }
+  [[nodiscard]] std::size_t numArcs() const { return childData_.size(); }
+
+  /// The children of \p u (nodes v with an arc u -> v), in insertion order,
+  /// as a contiguous span into the CSR array.
+  [[nodiscard]] std::span<const NodeId> children(NodeId u) const;
+
+  /// The parents of \p v (nodes u with an arc u -> v), in insertion order,
+  /// as a contiguous span into the CSR array.
+  [[nodiscard]] std::span<const NodeId> parents(NodeId v) const;
+
+  [[nodiscard]] std::size_t outDegree(NodeId u) const { return children(u).size(); }
+  [[nodiscard]] std::size_t inDegree(NodeId v) const { return parents(v).size(); }
+
+  /// A source is a parentless node (always ELIGIBLE at the start).
+  [[nodiscard]] bool isSource(NodeId v) const { return inDegree(v) == 0; }
+
+  /// A sink is a childless node.
+  [[nodiscard]] bool isSink(NodeId v) const { return outDegree(v) == 0; }
+
+  /// All sources, in increasing id order. Cached.
+  [[nodiscard]] const std::vector<NodeId>& sources() const;
+
+  /// All sinks, in increasing id order. Cached.
+  [[nodiscard]] const std::vector<NodeId>& sinks() const;
+
+  /// Number of nonsink nodes (the "n_i" of the priority relation (2.1)).
+  [[nodiscard]] std::size_t numNonsinks() const;
+
+  /// Number of nonsource nodes (the "N" of Section 2.3.2).
+  [[nodiscard]] std::size_t numNonsources() const;
+
+  /// Always true: frozen dags are acyclic by construction. Kept so generic
+  /// code (and the textual io layer) can assert the invariant uniformly.
+  [[nodiscard]] bool isAcyclic() const { return true; }
+
+  /// No-op for a frozen dag; acyclicity was established by freeze().
+  void validateAcyclic() const {}
+
+  /// True if the dag is connected when arc orientations are ignored
+  /// (Section 2.1). The empty dag is vacuously connected. Cached.
+  [[nodiscard]] bool isConnected() const;
+
+  /// A topological order of all nodes (sources first). Cached; returns a
+  /// reference into the structure cache.
+  [[nodiscard]] const std::vector<NodeId>& topologicalOrder() const;
+
+  /// Flat in-degree array (inDegrees()[v] == inDegree(v)), cached. This is
+  /// the array EligibilityTracker::reset() copies wholesale.
+  [[nodiscard]] const std::vector<std::uint32_t>& inDegrees() const;
+
+  /// Flat out-degree array, cached.
+  [[nodiscard]] const std::vector<std::uint32_t>& outDegrees() const;
+
+  /// heightsToSink()[v] = length (in arcs) of the longest directed path from
+  /// v to a sink; sinks have height 0. Cached. This is the critical-path
+  /// metric the sim layer's CriticalPathScheduler consumes.
+  [[nodiscard]] const std::vector<std::size_t>& heightsToSink() const;
+
+  /// Optional human-readable node label (used by figure benches and dot
+  /// export). Defaults to the decimal id.
+  [[nodiscard]] std::string label(NodeId v) const;
+
+  /// All arcs in (from, then insertion) order.
+  [[nodiscard]] std::vector<Arc> arcs() const;
+
+  /// GraphViz dot rendering, for debugging and documentation.
+  [[nodiscard]] std::string toDot(const std::string& name = "G") const;
+
+  /// Structural equality: same node count and same arc *set* (insertion
+  /// order of arcs is irrelevant). Labels are not compared.
+  friend bool operator==(const Dag& a, const Dag& b);
+
+ private:
+  friend class DagBuilder;
+
+  /// Everything derivable from the (frozen) structure, computed at most
+  /// once. Held behind a shared_ptr so copies of a Dag share one cache and
+  /// the Dag itself stays cheaply copyable; std::call_once makes the fill
+  /// race-free when several threads query the same dag.
+  struct StructureCache {
+    std::once_flag once;
+    std::vector<NodeId> topoOrder;
+    std::vector<NodeId> sources;
+    std::vector<NodeId> sinks;
+    std::size_t numNonsinks = 0;
+    std::size_t numNonsources = 0;
+    std::vector<std::uint32_t> inDegree;
+    std::vector<std::uint32_t> outDegree;
+    std::vector<std::size_t> heightToSink;
+    bool connected = true;
+  };
+
+  Dag(std::vector<std::size_t> childOffsets, std::vector<NodeId> childData,
+      std::vector<std::size_t> parentOffsets, std::vector<NodeId> parentData,
+      std::vector<std::string> labels);
+
+  void checkNode(NodeId v) const;
+  const StructureCache& structure() const;
+  void fillStructure(StructureCache& s) const;
+
+  // CSR adjacency: children of u are childData_[childOffsets_[u] ..
+  // childOffsets_[u+1]), in insertion order; parents symmetric.
+  std::vector<std::size_t> childOffsets_;
+  std::vector<NodeId> childData_;
+  std::vector<std::size_t> parentOffsets_;
+  std::vector<NodeId> parentData_;
+  std::vector<std::string> labels_;
+  std::shared_ptr<StructureCache> cache_;
+};
+
+/// The mutable construction surface for Dag. Keeps the original validation
+/// behaviour: dense ids, addArc rejects out-of-range endpoints, self-loops
+/// and duplicate arcs with std::invalid_argument. Cycles are permitted
+/// *during* construction and rejected by freeze().
+class DagBuilder {
+ public:
+  DagBuilder() = default;
+
+  /// Starts from \p n isolated nodes and no arcs.
+  explicit DagBuilder(std::size_t n);
+
+  /// Starts from \p n nodes and the given arcs.
   /// \throws std::invalid_argument on out-of-range endpoints, self-loops,
   ///         or duplicate arcs.
-  Dag(std::size_t n, const std::vector<Arc>& arcs);
+  DagBuilder(std::size_t n, const std::vector<Arc>& arcs);
+
+  /// Thaws a frozen dag: the builder starts with the same nodes, arcs, and
+  /// labels, ready for further additions or relabeling.
+  explicit DagBuilder(const Dag& frozen);
 
   /// Appends a new isolated node; returns its id.
   NodeId addNode();
@@ -61,59 +212,22 @@ class Dag {
   [[nodiscard]] std::size_t numNodes() const { return children_.size(); }
   [[nodiscard]] std::size_t numArcs() const { return numArcs_; }
 
-  /// The children of \p u (nodes v with an arc u -> v), in insertion order.
+  /// The children of \p u added so far, in insertion order.
   [[nodiscard]] std::span<const NodeId> children(NodeId u) const;
 
-  /// The parents of \p v (nodes u with an arc u -> v), in insertion order.
+  /// The parents of \p v added so far, in insertion order.
   [[nodiscard]] std::span<const NodeId> parents(NodeId v) const;
 
-  [[nodiscard]] std::size_t outDegree(NodeId u) const { return children(u).size(); }
-  [[nodiscard]] std::size_t inDegree(NodeId v) const { return parents(v).size(); }
-
-  /// A source is a parentless node (always ELIGIBLE at the start).
-  [[nodiscard]] bool isSource(NodeId v) const { return inDegree(v) == 0; }
-
-  /// A sink is a childless node.
-  [[nodiscard]] bool isSink(NodeId v) const { return outDegree(v) == 0; }
-
-  /// All sources, in increasing id order.
-  [[nodiscard]] std::vector<NodeId> sources() const;
-
-  /// All sinks, in increasing id order.
-  [[nodiscard]] std::vector<NodeId> sinks() const;
-
-  /// Number of nonsink nodes (the "n_i" of the priority relation (2.1)).
-  [[nodiscard]] std::size_t numNonsinks() const;
-
-  /// Number of nonsource nodes (the "N" of Section 2.3.2).
-  [[nodiscard]] std::size_t numNonsources() const;
+  void setLabel(NodeId v, std::string label);
+  [[nodiscard]] std::string label(NodeId v) const;
 
   /// True if the graph (with arcs added so far) has no directed cycle.
   [[nodiscard]] bool isAcyclic() const;
 
+  /// Freezes into an immutable CSR-backed Dag, preserving per-node insertion
+  /// order of children and parents, labels, and the arc set.
   /// \throws std::logic_error if the graph has a directed cycle.
-  void validateAcyclic() const;
-
-  /// True if the dag is connected when arc orientations are ignored
-  /// (Section 2.1). The empty dag is vacuously connected.
-  [[nodiscard]] bool isConnected() const;
-
-  /// A topological order of all nodes (sources first).
-  /// \throws std::logic_error if the graph is cyclic.
-  [[nodiscard]] std::vector<NodeId> topologicalOrder() const;
-
-  /// Optional human-readable node label (used by figure benches and dot
-  /// export). Defaults to the decimal id.
-  void setLabel(NodeId v, std::string label);
-  [[nodiscard]] std::string label(NodeId v) const;
-
-  /// All arcs in (from, then insertion) order.
-  [[nodiscard]] std::vector<Arc> arcs() const;
-
-  /// GraphViz dot rendering, for debugging and documentation.
-  [[nodiscard]] std::string toDot(const std::string& name = "G") const;
-
-  friend bool operator==(const Dag& a, const Dag& b);
+  [[nodiscard]] Dag freeze() const;
 
  private:
   void checkNode(NodeId v) const;
@@ -131,5 +245,11 @@ class Dag {
 /// The sum G1 + G2: disjoint union. Nodes of \p b are renumbered by adding
 /// a.numNodes(); the offset is a.numNodes().
 [[nodiscard]] Dag sum(const Dag& a, const Dag& b);
+
+/// heights[v] = length of the longest directed path from v to a sink
+/// (sinks have height 0): the critical-path metric. Returns a reference to
+/// \p g's memoized structure cache; valid as long as any copy of \p g (or
+/// the cache-sharing family it belongs to) is alive.
+[[nodiscard]] const std::vector<std::size_t>& longestPathToSink(const Dag& g);
 
 }  // namespace icsched

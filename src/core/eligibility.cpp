@@ -9,18 +9,15 @@ EligibilityTracker::EligibilityTracker(const Dag& g) : g_(&g) { reset(); }
 
 void EligibilityTracker::reset() {
   const std::size_t n = g_->numNodes();
-  pendingParents_.assign(n, 0);
+  // O(V): a flat copy of the memoized in-degree array plus the cached
+  // source list, instead of the old O(V+E) per-node adjacency walk.
+  pendingParents_ = g_->inDegrees();
   eligible_.assign(n, false);
   executed_.assign(n, false);
-  eligibleCount_ = 0;
   executedCount_ = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    pendingParents_[v] = g_->inDegree(v);
-    if (pendingParents_[v] == 0) {
-      eligible_[v] = true;
-      ++eligibleCount_;
-    }
-  }
+  const std::vector<NodeId>& srcs = g_->sources();
+  for (NodeId v : srcs) eligible_[v] = true;
+  eligibleCount_ = srcs.size();
 }
 
 std::vector<NodeId> EligibilityTracker::eligibleNodes() const {

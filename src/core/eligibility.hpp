@@ -18,7 +18,8 @@ namespace icsched {
 
 /// Incremental ELIGIBLE-set tracker for one execution of a dag.
 ///
-/// Complexity: executing all nodes costs O(V + E) total.
+/// Complexity: executing all nodes costs O(V + E) total; reset() is an O(V)
+/// copy of the frozen dag's cached in-degree array (no adjacency walk).
 class EligibilityTracker {
  public:
   explicit EligibilityTracker(const Dag& g);
@@ -43,7 +44,7 @@ class EligibilityTracker {
 
  private:
   const Dag* g_;
-  std::vector<std::size_t> pendingParents_;
+  std::vector<std::uint32_t> pendingParents_;
   std::vector<bool> eligible_;
   std::vector<bool> executed_;
   std::size_t eligibleCount_ = 0;

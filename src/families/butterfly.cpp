@@ -30,7 +30,7 @@ std::size_t butterflyNumNodes(std::size_t dim) { return (dim + 1) * (std::size_t
 ScheduledDag butterfly(std::size_t dim) {
   checkDim(dim);
   const std::size_t rows = std::size_t{1} << dim;
-  Dag g(butterflyNumNodes(dim));
+  DagBuilder g(butterflyNumNodes(dim));
   for (std::size_t l = 0; l < dim; ++l) {
     for (std::size_t r = 0; r < rows; ++r) {
       g.addArc(butterflyNodeId(dim, l, r), butterflyNodeId(dim, l + 1, r));
@@ -48,7 +48,7 @@ ScheduledDag butterfly(std::size_t dim) {
     }
   }
   for (std::size_t r = 0; r < rows; ++r) order.push_back(butterflyNodeId(dim, dim, r));
-  return {std::move(g), Schedule(std::move(order))};
+  return {g.freeze(), Schedule(std::move(order))};
 }
 
 ScheduledDag butterflyFromBlocks(std::size_t dim) {

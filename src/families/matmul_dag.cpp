@@ -29,11 +29,13 @@ MatmulDag matmulDag() {
   static constexpr const char* kProductNames[8] = {"AF", "AE", "CE", "CF",
                                                    "BH", "BG", "DG", "DH"};
   static constexpr const char* kSumNames[4] = {"AE+BG", "CE+DG", "CF+DH", "AF+BH"};
+  DagBuilder relabel(m.composite.dag);  // thaw, name the tasks, refreeze
   for (std::size_t i = 0; i < 8; ++i) {
-    m.composite.dag.setLabel(m.ids.inputs[i], kInputNames[i]);
-    m.composite.dag.setLabel(m.ids.products[i], kProductNames[i]);
+    relabel.setLabel(m.ids.inputs[i], kInputNames[i]);
+    relabel.setLabel(m.ids.products[i], kProductNames[i]);
   }
-  for (std::size_t i = 0; i < 4; ++i) m.composite.dag.setLabel(m.ids.sums[i], kSumNames[i]);
+  for (std::size_t i = 0; i < 4; ++i) relabel.setLabel(m.ids.sums[i], kSumNames[i]);
+  m.composite.dag = relabel.freeze();
   return m;
 }
 

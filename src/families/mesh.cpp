@@ -18,7 +18,7 @@ std::size_t meshNumNodes(std::size_t diagonals) { return diagonals * (diagonals 
 
 ScheduledDag outMesh(std::size_t diagonals) {
   if (diagonals == 0) throw std::invalid_argument("outMesh: need >= 1 diagonal");
-  Dag g(meshNumNodes(diagonals));
+  DagBuilder g(meshNumNodes(diagonals));
   for (std::size_t d = 0; d + 1 < diagonals; ++d) {
     for (std::size_t p = 0; p <= d; ++p) {
       g.addArc(meshNodeId(d, p), meshNodeId(d + 1, p));
@@ -27,7 +27,7 @@ ScheduledDag outMesh(std::size_t diagonals) {
   }
   std::vector<NodeId> order(g.numNodes());
   std::iota(order.begin(), order.end(), NodeId{0});
-  return {std::move(g), Schedule(std::move(order))};
+  return {g.freeze(), Schedule(std::move(order))};
 }
 
 ScheduledDag inMesh(std::size_t diagonals) { return dualScheduledDag(outMesh(diagonals)); }

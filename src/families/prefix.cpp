@@ -22,7 +22,7 @@ NodeId prefixNodeId(std::size_t n, std::size_t level, std::size_t index) {
 
 ScheduledDag prefixDag(std::size_t n) {
   const std::size_t stages = prefixNumStages(n);
-  Dag g((stages + 1) * n);
+  DagBuilder g((stages + 1) * n);
   for (std::size_t t = 0; t < stages; ++t) {
     const std::size_t shift = std::size_t{1} << t;
     for (std::size_t i = 0; i < n; ++i) {
@@ -41,7 +41,7 @@ ScheduledDag prefixDag(std::size_t n) {
         order.push_back(prefixNodeId(n, t, i));
   }
   for (std::size_t i = 0; i < n; ++i) order.push_back(prefixNodeId(n, stages, i));
-  return {std::move(g), Schedule(std::move(order))};
+  return {g.freeze(), Schedule(std::move(order))};
 }
 
 ScheduledDag prefixFromNDags(std::size_t n) {

@@ -22,13 +22,14 @@ ScheduledDag outTreeFromParents(const std::vector<std::uint32_t>& parent) {
   if (parent.empty() || parent[0] != kRoot) {
     throw std::invalid_argument("outTreeFromParents: node 0 must be the root");
   }
-  Dag g(parent.size());
+  DagBuilder b(parent.size());
   for (std::size_t v = 1; v < parent.size(); ++v) {
     if (parent[v] >= v) {
       throw std::invalid_argument("outTreeFromParents: parent[v] must be < v");
     }
-    g.addArc(parent[v], static_cast<NodeId>(v));
+    b.addArc(parent[v], static_cast<NodeId>(v));
   }
+  Dag g = b.freeze();
   // Identity order is a valid linear extension (parent < v); normalize it so
   // leaves go last -- the theory's tools require nonsinks-first schedules.
   Schedule s = normalizeNonsinksFirst(g, identitySchedule(parent.size()));

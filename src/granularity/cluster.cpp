@@ -39,20 +39,23 @@ Clustering clusterDag(const Dag& g, const std::vector<std::uint32_t>& assignment
   out.assignment = assignment;
   out.clusterSize = std::move(size);
   out.crossArcs = cross;
-  out.quotient = Dag(numClusters);
-  out.arcWeight.reserve(weight.size());
+  DagBuilder quotient(numClusters);
   for (const auto& [arc, w] : weight) {
-    out.quotient.addArc(arc.first, arc.second);
+    quotient.addArc(arc.first, arc.second);
   }
-  // quotient.arcs() enumerates by (from, insertion order); std::map iterates
-  // by (from, to), which matches insertion order above.
-  for (const Arc& a : out.quotient.arcs()) {
-    out.arcWeight.push_back(weight.at({a.from, a.to}));
-  }
-  if (!out.quotient.isAcyclic()) {
+  // Admissibility must be rejected *before* freeze(): an inadmissible
+  // clustering yields a cyclic quotient, which a frozen Dag cannot hold.
+  if (!quotient.isAcyclic()) {
     throw std::logic_error(
         "clusterDag: inadmissible clustering (quotient has a cycle; some "
         "cluster is not convex)");
+  }
+  out.quotient = quotient.freeze();
+  // quotient.arcs() enumerates by (from, insertion order); std::map iterates
+  // by (from, to), which matches insertion order above.
+  out.arcWeight.reserve(weight.size());
+  for (const Arc& a : out.quotient.arcs()) {
+    out.arcWeight.push_back(weight.at({a.from, a.to}));
   }
   return out;
 }

@@ -33,7 +33,7 @@ Dag readDag(std::istream& is) {
   std::string line;
   std::size_t lineNo = 0;
   // Find the header, skipping blanks and comments.
-  Dag g;
+  DagBuilder b;
   bool haveHeader = false;
   while (std::getline(is, line)) {
     ++lineNo;
@@ -44,22 +44,21 @@ Dag readDag(std::istream& is) {
       if (kw != "dag") fail(lineNo, "expected 'dag <numNodes>' header, got '" + kw + "'");
       std::size_t n = 0;
       if (!(ls >> n)) fail(lineNo, "missing node count");
-      g = Dag(n);
+      b = DagBuilder(n);
       haveHeader = true;
       continue;
     }
     if (kw == "end") {
-      g.validateAcyclic();
-      return g;
+      return b.freeze();  // throws std::logic_error on a cyclic input
     }
     if (kw == "label") {
       NodeId v = 0;
       if (!(ls >> v)) fail(lineNo, "label: missing node id");
-      if (v >= g.numNodes()) fail(lineNo, "label: node id out of range");
+      if (v >= b.numNodes()) fail(lineNo, "label: node id out of range");
       std::string text;
       std::getline(ls, text);
       const std::size_t start = text.find_first_not_of(' ');
-      g.setLabel(v, start == std::string::npos ? "" : text.substr(start));
+      b.setLabel(v, start == std::string::npos ? "" : text.substr(start));
       continue;
     }
     if (kw == "arc") {
@@ -67,7 +66,7 @@ Dag readDag(std::istream& is) {
       NodeId to = 0;
       if (!(ls >> from >> to)) fail(lineNo, "arc: expected 'arc <from> <to>'");
       try {
-        g.addArc(from, to);
+        b.addArc(from, to);
       } catch (const std::invalid_argument& e) {
         fail(lineNo, e.what());
       }

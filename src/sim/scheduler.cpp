@@ -34,8 +34,11 @@ NodeId LifoScheduler::pick() {
 }
 
 NodeId RandomScheduler::pick() {
-  std::uniform_int_distribution<std::size_t> d(0, pool_.size() - 1);
-  const std::size_t i = d(rng_);
+  // O(1) swap-and-pop. The raw engine output is reduced by modulo rather
+  // than std::uniform_int_distribution so the draw is portable across
+  // standard libraries (the distribution's algorithm is unspecified); the
+  // modulo bias over a 64-bit engine is negligible for pool sizes here.
+  const std::size_t i = static_cast<std::size_t>(rng_() % pool_.size());
   const NodeId v = pool_[i];
   pool_[i] = pool_.back();
   pool_.pop_back();
@@ -55,17 +58,8 @@ NodeId MaxOutDegreeScheduler::pick() {
   return v;
 }
 
-std::vector<std::size_t> longestPathToSink(const Dag& g) {
-  std::vector<std::size_t> height(g.numNodes(), 0);
-  const std::vector<NodeId> order = g.topologicalOrder();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    for (NodeId c : g.children(*it)) {
-      height[*it] = std::max(height[*it], height[c] + 1);
-    }
-  }
-  return height;
-}
-
+// Heights come from the frozen dag's memoized structure cache (core's
+// longestPathToSink), not a per-scheduler recomputation.
 CriticalPathScheduler::CriticalPathScheduler(const Dag& g) : height_(longestPathToSink(g)) {}
 
 void CriticalPathScheduler::onEligible(NodeId v) { heap_.push({height_[v], ~v}); }

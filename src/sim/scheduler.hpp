@@ -81,7 +81,11 @@ class LifoScheduler final : public Scheduler {
   std::vector<NodeId> stack_;
 };
 
-/// Uniformly random ELIGIBLE task; deterministic in the seed.
+/// Uniformly random ELIGIBLE task; deterministic in the seed. The pool is a
+/// plain vector and pick() is O(1) swap-and-pop; the index draw uses the raw
+/// engine output (not std::uniform_int_distribution, whose algorithm is
+/// implementation-defined), so pick sequences are reproducible across
+/// standard libraries.
 class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
@@ -124,10 +128,6 @@ class CriticalPathScheduler final : public Scheduler {
   std::vector<std::size_t> height_;
   std::priority_queue<std::pair<std::size_t, NodeId>> heap_;
 };
-
-/// The longest-path heights used by CriticalPathScheduler (exposed for
-/// tests): height[v] = length of the longest path from v to a sink.
-[[nodiscard]] std::vector<std::size_t> longestPathToSink(const Dag& g);
 
 /// Factory covering the whole comparison suite of the bench harness.
 /// Known names: "IC-OPT" (requires \p icOptimal), "FIFO", "LIFO", "RANDOM",

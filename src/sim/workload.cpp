@@ -23,7 +23,7 @@ Dag layeredRandomDag(std::size_t layers, std::size_t width, double density,
   std::mt19937_64 rng(seed);
   std::bernoulli_distribution extra(density);
   std::uniform_int_distribution<std::size_t> pickParent(0, width - 1);
-  Dag g(layers * width);
+  DagBuilder g(layers * width);
   auto id = [&](std::size_t layer, std::size_t i) {
     return static_cast<NodeId>(layer * width + i);
   };
@@ -37,7 +37,7 @@ Dag layeredRandomDag(std::size_t layers, std::size_t width, double density,
       }
     }
   }
-  return g;
+  return g.freeze();
 }
 
 Dag forkJoinDag(std::size_t stages, std::size_t width) {
@@ -46,7 +46,7 @@ Dag forkJoinDag(std::size_t stages, std::size_t width) {
   }
   // Layout per stage: fork node, then width workers, then the next fork
   // doubles as the join.
-  Dag g(stages * (width + 1) + 1);
+  DagBuilder g(stages * (width + 1) + 1);
   NodeId next = 0;
   NodeId fork = next++;
   for (std::size_t s = 0; s < stages; ++s) {
@@ -61,7 +61,7 @@ Dag forkJoinDag(std::size_t stages, std::size_t width) {
     }
     fork = join;
   }
-  return g;
+  return g.freeze();
 }
 
 Dag gaussianEliminationDag(std::size_t n) {
@@ -73,14 +73,14 @@ Dag gaussianEliminationDag(std::size_t n) {
     id[k].resize(n);
     for (std::size_t j = k; j < n; ++j) id[k][j] = next++;
   }
-  Dag g(next);
+  DagBuilder g(next);
   for (std::size_t k = 0; k < n; ++k) {
     for (std::size_t j = k + 1; j < n; ++j) {
       g.addArc(id[k][k], id[k][j]);                      // pivot before updates
       if (k + 1 <= j) g.addArc(id[k][j], id[k + 1][j]);  // step k feeds step k+1
     }
   }
-  return g;
+  return g.freeze();
 }
 
 Dag choleskyDag(std::size_t n) {
@@ -103,7 +103,7 @@ Dag choleskyDag(std::size_t n) {
     for (std::size_t i = k + 1; i < n; ++i)
       for (std::size_t j = k + 1; j <= i; ++j) upd[k][i][j] = next++;
   }
-  Dag g(next);
+  DagBuilder g(next);
   for (std::size_t k = 0; k < n; ++k) {
     for (std::size_t i = k + 1; i < n; ++i) g.addArc(potrf[k], trsm[k][i]);
     for (std::size_t i = k + 1; i < n; ++i) {
@@ -122,7 +122,7 @@ Dag choleskyDag(std::size_t n) {
       }
     }
   }
-  return g;
+  return g.freeze();
 }
 
 namespace {

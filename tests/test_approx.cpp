@@ -47,14 +47,9 @@ TEST(RegretTest, MinimumRegretZeroWhenOptimalExists) {
 TEST(RegretTest, MinimumRegretOnDagWithoutOptimalSchedule) {
   // Two competing Vee+Lambda structures whose step maxima conflict:
   //   a -> x,y,z (3-prong Vee);  b,c -> p (Lambda); p -> q,r (2-prong Vee).
-  Dag g(9);
-  g.addArc(0, 3);
-  g.addArc(0, 4);
-  g.addArc(0, 5);
-  g.addArc(1, 6);
-  g.addArc(2, 6);
-  g.addArc(6, 7);
-  g.addArc(6, 8);
+  const Dag g =
+      DagBuilder(9, {{0, 3}, {0, 4}, {0, 5}, {1, 6}, {2, 6}, {6, 7}, {6, 8}})
+          .freeze();
   const OptimalRegret opt = minimumRegretSchedule(g);
   opt.schedule.validate(g);
   // Whatever the regret, it must equal the schedule's measured regret and

@@ -40,30 +40,22 @@ TEST(ClusterTest, ParallelArcsMergeWithWeight) {
 
 TEST(ClusterTest, NonConvexClusterRejected) {
   // Path 0 -> 1 -> 2 with {0,2} clustered: quotient has a 2-cycle.
-  Dag g(3);
-  g.addArc(0, 1);
-  g.addArc(1, 2);
+  const Dag g = DagBuilder(3, {{0, 1}, {1, 2}}).freeze();
   EXPECT_THROW((void)clusterDag(g, {0, 1, 0}), std::logic_error);
   EXPECT_FALSE(isAdmissibleClustering(g, {0, 1, 0}));
   EXPECT_TRUE(isAdmissibleClustering(g, {0, 0, 1}));
 }
 
 TEST(ClusterTest, NonDenseIdsRejected) {
-  Dag g(2);
-  g.addArc(0, 1);
+  const Dag g = DagBuilder(2, {{0, 1}}).freeze();
   EXPECT_THROW((void)clusterDag(g, {0, 2}), std::invalid_argument);
   EXPECT_THROW((void)clusterDag(g, {0}), std::invalid_argument);
 }
 
 TEST(ClusterTest, ArcWeightsMatchArcOrder) {
   // Chain of 3 clusters over a 6-node dag with differing cross multiplicity.
-  Dag g(6);
-  g.addArc(0, 2);
-  g.addArc(1, 2);
-  g.addArc(1, 3);
-  g.addArc(2, 4);
-  g.addArc(3, 4);
-  g.addArc(3, 5);
+  const Dag g =
+      DagBuilder(6, {{0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5}}).freeze();
   const Clustering c = clusterDag(g, {0, 0, 1, 1, 2, 2});
   const std::vector<Arc> arcs = c.quotient.arcs();
   ASSERT_EQ(arcs.size(), 2u);

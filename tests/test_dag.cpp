@@ -17,7 +17,7 @@ TEST(DagTest, EmptyDag) {
 }
 
 TEST(DagTest, SingleNode) {
-  Dag g(1);
+  const Dag g = DagBuilder(1).freeze();
   EXPECT_EQ(g.numNodes(), 1u);
   EXPECT_TRUE(g.isSource(0));
   EXPECT_TRUE(g.isSink(0));
@@ -28,10 +28,11 @@ TEST(DagTest, SingleNode) {
 }
 
 TEST(DagTest, AddArcUpdatesAdjacency) {
-  Dag g(3);
-  g.addArc(0, 1);
-  g.addArc(0, 2);
-  g.addArc(1, 2);
+  DagBuilder b(3);
+  b.addArc(0, 1);
+  b.addArc(0, 2);
+  b.addArc(1, 2);
+  const Dag g = b.freeze();
   EXPECT_EQ(g.numArcs(), 3u);
   EXPECT_TRUE(g.hasArc(0, 1));
   EXPECT_FALSE(g.hasArc(1, 0));
@@ -42,61 +43,82 @@ TEST(DagTest, AddArcUpdatesAdjacency) {
 }
 
 TEST(DagTest, RejectsSelfLoop) {
-  Dag g(2);
-  EXPECT_THROW(g.addArc(1, 1), std::invalid_argument);
+  DagBuilder b(2);
+  EXPECT_THROW(b.addArc(1, 1), std::invalid_argument);
 }
 
 TEST(DagTest, RejectsDuplicateArc) {
-  Dag g(2);
-  g.addArc(0, 1);
-  EXPECT_THROW(g.addArc(0, 1), std::invalid_argument);
+  DagBuilder b(2);
+  b.addArc(0, 1);
+  EXPECT_THROW(b.addArc(0, 1), std::invalid_argument);
 }
 
 TEST(DagTest, RejectsOutOfRange) {
-  Dag g(2);
-  EXPECT_THROW(g.addArc(0, 2), std::invalid_argument);
+  DagBuilder b(2);
+  EXPECT_THROW(b.addArc(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)b.children(5), std::invalid_argument);
+  const Dag g = b.freeze();
   EXPECT_THROW((void)g.children(5), std::invalid_argument);
 }
 
 TEST(DagTest, DetectsCycle) {
-  Dag g(3);
-  g.addArc(0, 1);
-  g.addArc(1, 2);
+  DagBuilder b(3);
+  b.addArc(0, 1);
+  b.addArc(1, 2);
+  EXPECT_TRUE(b.isAcyclic());
+  b.addArc(2, 0);
+  EXPECT_FALSE(b.isAcyclic());
+  EXPECT_THROW((void)b.freeze(), std::logic_error);
+}
+
+TEST(DagTest, FrozenDagIsAcyclicByConstruction) {
+  const Dag g = DagBuilder(3, {{0, 1}, {1, 2}}).freeze();
   EXPECT_TRUE(g.isAcyclic());
-  g.addArc(2, 0);
-  EXPECT_FALSE(g.isAcyclic());
-  EXPECT_THROW(g.validateAcyclic(), std::logic_error);
-  EXPECT_THROW((void)g.topologicalOrder(), std::logic_error);
+  g.validateAcyclic();  // no-op, must not throw
 }
 
 TEST(DagTest, TopologicalOrderRespectsArcs) {
-  Dag g(5);
-  g.addArc(3, 1);
-  g.addArc(1, 4);
-  g.addArc(3, 0);
-  g.addArc(0, 2);
-  const std::vector<NodeId> order = g.topologicalOrder();
+  const Dag g = DagBuilder(5, {{3, 1}, {1, 4}, {3, 0}, {0, 2}}).freeze();
+  const std::vector<NodeId>& order = g.topologicalOrder();
+  ASSERT_EQ(order.size(), 5u);
   std::vector<std::size_t> pos(5);
   for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
   for (const Arc& a : g.arcs()) EXPECT_LT(pos[a.from], pos[a.to]);
 }
 
 TEST(DagTest, ConnectivityIgnoresOrientation) {
-  Dag g(4);
-  g.addArc(0, 1);
-  g.addArc(2, 1);  // 2 reaches 1 only forward; undirected-connected
-  g.addArc(2, 3);
+  // 2 reaches 1 only forward; undirected-connected.
+  const Dag g = DagBuilder(4, {{0, 1}, {2, 1}, {2, 3}}).freeze();
   EXPECT_TRUE(g.isConnected());
-  Dag h(4);
-  h.addArc(0, 1);
-  h.addArc(2, 3);
+  const Dag h = DagBuilder(4, {{0, 1}, {2, 3}}).freeze();
   EXPECT_FALSE(h.isConnected());
 }
 
+TEST(DagTest, DegreeArraysMatchPerNodeQueries) {
+  const Dag g = DagBuilder(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}).freeze();
+  const std::vector<std::uint32_t>& in = g.inDegrees();
+  const std::vector<std::uint32_t>& out = g.outDegrees();
+  ASSERT_EQ(in.size(), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(in[v], g.inDegree(v));
+    EXPECT_EQ(out[v], g.outDegree(v));
+  }
+}
+
+TEST(DagTest, HeightsToSink) {
+  const Dag g = DagBuilder(5, {{0, 1}, {1, 2}, {0, 3}, {3, 2}, {2, 4}}).freeze();
+  const std::vector<std::size_t>& h = g.heightsToSink();
+  EXPECT_EQ(h[4], 0u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[3], 2u);
+  EXPECT_EQ(h[0], 3u);
+  EXPECT_EQ(&longestPathToSink(g), &h);  // the free function is the cache
+}
+
 TEST(DagTest, DualReversesArcs) {
-  Dag g(3);
-  g.addArc(0, 1);
-  g.addArc(1, 2);
+  const Dag g = DagBuilder(3, {{0, 1}, {1, 2}}).freeze();
   const Dag d = dual(g);
   EXPECT_TRUE(d.hasArc(1, 0));
   EXPECT_TRUE(d.hasArc(2, 1));
@@ -106,20 +128,14 @@ TEST(DagTest, DualReversesArcs) {
 }
 
 TEST(DagTest, DualIsInvolution) {
-  Dag g(6);
-  g.addArc(0, 2);
-  g.addArc(0, 3);
-  g.addArc(1, 3);
-  g.addArc(2, 4);
-  g.addArc(3, 5);
+  const Dag g =
+      DagBuilder(6, {{0, 2}, {0, 3}, {1, 3}, {2, 4}, {3, 5}}).freeze();
   EXPECT_EQ(dual(dual(g)), g);
 }
 
 TEST(DagTest, SumIsDisjointUnion) {
-  Dag a(2);
-  a.addArc(0, 1);
-  Dag b(3);
-  b.addArc(0, 2);
+  const Dag a = DagBuilder(2, {{0, 1}}).freeze();
+  const Dag b = DagBuilder(3, {{0, 2}}).freeze();
   const Dag s = sum(a, b);
   EXPECT_EQ(s.numNodes(), 5u);
   EXPECT_EQ(s.numArcs(), 2u);
@@ -129,30 +145,35 @@ TEST(DagTest, SumIsDisjointUnion) {
 }
 
 TEST(DagTest, LabelsDefaultToIds) {
-  Dag g(2);
-  EXPECT_EQ(g.label(1), "1");
-  g.setLabel(1, "w");
+  DagBuilder b(2);
+  EXPECT_EQ(b.label(1), "1");
+  b.setLabel(1, "w");
+  EXPECT_EQ(b.label(1), "w");
+  const Dag g = b.freeze();
+  EXPECT_EQ(g.label(0), "0");
   EXPECT_EQ(g.label(1), "w");
 }
 
 TEST(DagTest, ToDotMentionsAllNodesAndArcs) {
-  Dag g(2);
-  g.addArc(0, 1);
+  const Dag g = DagBuilder(2, {{0, 1}}).freeze();
   const std::string dot = g.toDot("T");
   EXPECT_NE(dot.find("digraph T"), std::string::npos);
   EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
 }
 
 TEST(DagTest, EqualityIsOrderInsensitive) {
-  Dag a(3);
-  a.addArc(0, 1);
-  a.addArc(0, 2);
-  Dag b(3);
-  b.addArc(0, 2);
-  b.addArc(0, 1);
+  const Dag a = DagBuilder(3, {{0, 1}, {0, 2}}).freeze();
+  const Dag b = DagBuilder(3, {{0, 2}, {0, 1}}).freeze();
   EXPECT_EQ(a, b);
-  b.addArc(1, 2);
-  EXPECT_FALSE(a == b);
+  const Dag c = DagBuilder(3, {{0, 2}, {0, 1}, {1, 2}}).freeze();
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DagTest, CopiesShareTheStructureCache) {
+  const Dag g = DagBuilder(4, {{0, 1}, {1, 2}, {2, 3}}).freeze();
+  const Dag copy = g;  // cheap copy; same cache
+  EXPECT_EQ(&g.topologicalOrder(), &copy.topologicalOrder());
+  EXPECT_EQ(&g.sources(), &copy.sources());
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#include "core/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "family_registry.hpp"
+
+namespace icsched {
+namespace {
+
+using testing::FamilyCase;
+using testing::allFamilies;
+using testing::familyCaseName;
+
+// ---------- freeze() fidelity ----------
+
+TEST(DagBuilderTest, FreezePreservesInsertionOrder) {
+  DagBuilder b(5);
+  b.addArc(0, 3);
+  b.addArc(0, 1);
+  b.addArc(0, 2);
+  b.addArc(4, 2);
+  b.addArc(1, 2);
+  const Dag g = b.freeze();
+  // children(u) and parents(v) come back in exactly the order the arcs were
+  // added, now as contiguous CSR spans.
+  const std::vector<NodeId> kids(g.children(0).begin(), g.children(0).end());
+  EXPECT_EQ(kids, (std::vector<NodeId>{3, 1, 2}));
+  const std::vector<NodeId> pars(g.parents(2).begin(), g.parents(2).end());
+  EXPECT_EQ(pars, (std::vector<NodeId>{0, 4, 1}));
+}
+
+TEST(DagBuilderTest, FreezePreservesLabels) {
+  DagBuilder b(3);
+  b.setLabel(0, "alpha");
+  b.setLabel(2, "gamma");
+  b.addArc(0, 1);
+  const Dag g = b.freeze();
+  EXPECT_EQ(g.label(0), "alpha");
+  EXPECT_EQ(g.label(1), "1");  // unset labels keep the id default
+  EXPECT_EQ(g.label(2), "gamma");
+}
+
+TEST(DagBuilderTest, FreezePreservesArcSet) {
+  DagBuilder b(4);
+  b.addArc(2, 3);
+  b.addArc(0, 1);
+  b.addArc(1, 3);
+  b.addArc(0, 2);
+  const Dag g = b.freeze();
+  // Structural equality against an independently hand-built dag with the
+  // same arcs in a different insertion order.
+  const Dag h = DagBuilder(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}).freeze();
+  EXPECT_EQ(g, h);
+  EXPECT_EQ(g.numArcs(), b.numArcs());
+  for (const Arc& a : b.freeze().arcs()) EXPECT_TRUE(g.hasArc(a.from, a.to));
+}
+
+TEST(DagBuilderTest, IncrementalNodeGrowth) {
+  DagBuilder b;
+  EXPECT_EQ(b.numNodes(), 0u);
+  const NodeId u = b.addNode();
+  const NodeId first = b.addNodes(3);
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(b.numNodes(), 4u);
+  b.addArc(u, first + 2);
+  EXPECT_TRUE(b.freeze().hasArc(0, 3));
+}
+
+TEST(DagBuilderTest, ThawRoundTripsStructureAndLabels) {
+  DagBuilder b(4);
+  b.addArc(0, 2);
+  b.addArc(1, 2);
+  b.addArc(2, 3);
+  b.setLabel(3, "sink");
+  const Dag g = b.freeze();
+  DagBuilder thawed(g);
+  EXPECT_EQ(thawed.numNodes(), g.numNodes());
+  EXPECT_EQ(thawed.numArcs(), g.numArcs());
+  const Dag h = thawed.freeze();
+  EXPECT_EQ(h, g);
+  EXPECT_EQ(h.label(3), "sink");
+  EXPECT_EQ(h.label(0), "0");
+  // The thawed builder accepts further edits.
+  thawed.addArc(0, 3);
+  EXPECT_EQ(thawed.freeze().numArcs(), g.numArcs() + 1);
+}
+
+TEST(DagBuilderTest, FreezeIsRepeatable) {
+  DagBuilder b(3, {{0, 1}, {1, 2}});
+  const Dag g1 = b.freeze();
+  b.addArc(0, 2);
+  const Dag g2 = b.freeze();
+  EXPECT_EQ(g1.numArcs(), 2u);  // earlier freeze is unaffected
+  EXPECT_EQ(g2.numArcs(), 3u);
+}
+
+// ---------- structure cache vs fresh computation, whole catalogue ----------
+
+class BuilderFamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(BuilderFamilyTest, StructureCacheMatchesFreshComputation) {
+  const Dag g = GetParam().make().dag;
+  const std::size_t n = g.numNodes();
+
+  // Recompute everything from the raw adjacency, independently of the cache.
+  std::vector<std::uint32_t> in(n, 0), out(n, 0);
+  std::vector<NodeId> sources, sinks;
+  for (NodeId v = 0; v < n; ++v) {
+    in[v] = static_cast<std::uint32_t>(g.parents(v).size());
+    out[v] = static_cast<std::uint32_t>(g.children(v).size());
+    if (in[v] == 0) sources.push_back(v);
+    if (out[v] == 0) sinks.push_back(v);
+  }
+  EXPECT_EQ(g.inDegrees(), in);
+  EXPECT_EQ(g.outDegrees(), out);
+  EXPECT_EQ(g.sources(), sources);
+  EXPECT_EQ(g.sinks(), sinks);
+  EXPECT_EQ(g.numNonsinks(), n - sinks.size());
+  EXPECT_EQ(g.numNonsources(), n - sources.size());
+
+  // Kahn from scratch; verify the cached topo order is a permutation that
+  // respects every arc.
+  const std::vector<NodeId>& order = g.topologicalOrder();
+  ASSERT_EQ(order.size(), n);
+  std::vector<std::size_t> pos(n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(seen[order[i]]);
+    seen[order[i]] = true;
+    pos[order[i]] = i;
+  }
+  for (const Arc& a : g.arcs()) EXPECT_LT(pos[a.from], pos[a.to]);
+
+  // Heights by independent reverse-topo DP.
+  std::vector<std::size_t> height(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (NodeId c : g.children(*it))
+      height[*it] = std::max(height[*it], height[c] + 1);
+  }
+  EXPECT_EQ(g.heightsToSink(), height);
+}
+
+TEST_P(BuilderFamilyTest, ThawFreezeRoundTripsWholeCatalogue) {
+  const Dag g = GetParam().make().dag;
+  const Dag h = DagBuilder(g).freeze();
+  EXPECT_EQ(h, g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) EXPECT_EQ(h.label(v), g.label(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, BuilderFamilyTest,
+                         ::testing::ValuesIn(allFamilies()), familyCaseName);
+
+}  // namespace
+}  // namespace icsched

@@ -124,7 +124,7 @@ TEST(DagExecutorTest, ExceptionPropagates) {
 }
 
 TEST(DagExecutorTest, EmptyDagIsFine) {
-  const Dag g(0);
+  const Dag g;  // the empty frozen dag
   const ExecutionTrace t = executeParallel(g, Schedule(std::vector<NodeId>{}), [](NodeId) {}, 2);
   EXPECT_TRUE(t.dispatchOrder.empty());
 }

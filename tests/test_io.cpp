@@ -39,9 +39,10 @@ TEST(DagIoTest, CommentsAndBlankLinesIgnored) {
 }
 
 TEST(DagIoTest, LabelsWithSpaces) {
-  Dag g(2);
-  g.setLabel(0, "AE+BG sum");
-  g.addArc(0, 1);
+  DagBuilder b(2);
+  b.setLabel(0, "AE+BG sum");
+  b.addArc(0, 1);
+  const Dag g = b.freeze();
   const Dag back = dagFromString(dagToString(g));
   EXPECT_EQ(back.label(0), "AE+BG sum");
 }

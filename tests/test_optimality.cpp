@@ -85,13 +85,9 @@ TEST(OptimalityTest, DagWithNoICOptimalSchedule) {
   // Use a known-hard shape instead: two Vees sharing no nodes but with
   // different arities force a choice; max E(1) from the 3-prong Vee, but
   // then max E(2) requires having executed both Vee sources...
-  Dag g(7);
   // 3-prong Vee on {0; 2,3,4} and 2-prong Vee on {1; 5,6}.
-  g.addArc(0, 2);
-  g.addArc(0, 3);
-  g.addArc(0, 4);
-  g.addArc(1, 5);
-  g.addArc(1, 6);
+  const Dag g =
+      DagBuilder(7, {{0, 2}, {0, 3}, {0, 4}, {1, 5}, {1, 6}}).freeze();
   // E(0)=2. Executing 0: E(1) = 1+3 = 4 (max). Executing both: E(2) = 5.
   // From {0 executed}, executing a sink keeps E(2)=3+1=... the oracle tells:
   const std::vector<std::size_t> best = maxEligibleProfile(g);
@@ -108,11 +104,7 @@ TEST(OptimalityTest, BowtieAdmitsNoICOptimalSchedule) {
   // conflict. nodes: v=0 -> {1,2}; {3,4} -> z=5.
   // E(0) = 3 (v, 3, 4). Best E(1): execute v: 2 sinks + {3,4} = 4.
   // Best E(2): execute 3,4: E = {v,z} + ... = compute; the oracle decides.
-  Dag g(6);
-  g.addArc(0, 1);
-  g.addArc(0, 2);
-  g.addArc(3, 5);
-  g.addArc(4, 5);
+  const Dag g = DagBuilder(6, {{0, 1}, {0, 2}, {3, 5}, {4, 5}}).freeze();
   const std::vector<std::size_t> best = maxEligibleProfile(g);
   // E(1): execute 0 -> eligible {1,2,3,4} = 4.
   EXPECT_EQ(best[1], 4u);
@@ -136,14 +128,9 @@ TEST(OptimalityTest, KnownNonSchedulableDag) {
   // So step 1 must execute a. After a: E(2) options: b -> {c}+0 = ... let
   // the oracle decide whether maxima are simultaneously achievable; the
   // point of this test is exercising the search's failure path if not.
-  Dag g(9);
-  g.addArc(0, 3);
-  g.addArc(0, 4);
-  g.addArc(0, 5);
-  g.addArc(1, 6);
-  g.addArc(2, 6);
-  g.addArc(6, 7);
-  g.addArc(6, 8);
+  const Dag g =
+      DagBuilder(9, {{0, 3}, {0, 4}, {0, 5}, {1, 6}, {2, 6}, {6, 7}, {6, 8}})
+          .freeze();
   const auto found = findICOptimalSchedule(g);
   const std::vector<std::size_t> best = maxEligibleProfile(g);
   if (found.has_value()) {
@@ -155,7 +142,7 @@ TEST(OptimalityTest, KnownNonSchedulableDag) {
 }
 
 TEST(OptimalityTest, OracleRejectsOversizedDag) {
-  Dag g(65);
+  const Dag g = DagBuilder(65).freeze();
   EXPECT_THROW((void)maxEligibleProfile(g), std::invalid_argument);
 }
 

@@ -25,11 +25,11 @@ namespace {
 Dag randomDag(std::size_t n, double density, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::bernoulli_distribution arc(density);
-  Dag g(n);
+  DagBuilder g(n);
   for (NodeId u = 0; u < n; ++u)
     for (NodeId v = u + 1; v < n; ++v)
       if (arc(rng)) g.addArc(u, v);
-  return g;
+  return g.freeze();
 }
 
 Schedule someValidSchedule(const Dag& g, std::uint64_t seed) {

@@ -10,10 +10,7 @@ namespace icsched {
 namespace {
 
 Dag pathDag() {  // 0 -> 1 -> 2
-  Dag g(3);
-  g.addArc(0, 1);
-  g.addArc(1, 2);
-  return g;
+  return DagBuilder(3, {{0, 1}, {1, 2}}).freeze();
 }
 
 TEST(ScheduleTest, ValidLinearExtension) {
@@ -68,10 +65,7 @@ TEST(ScheduleTest, PositionsAreInverse) {
 
 TEST(ScheduleTest, NormalizeMovesSinksBack) {
   // Dag: 0 -> 1, 0 -> 2, 1 -> 3; sinks are 2 and 3.
-  Dag g(4);
-  g.addArc(0, 1);
-  g.addArc(0, 2);
-  g.addArc(1, 3);
+  const Dag g = DagBuilder(4, {{0, 1}, {0, 2}, {1, 3}}).freeze();
   const Schedule s({0, 2, 1, 3});
   const Schedule n = normalizeNonsinksFirst(g, s);
   EXPECT_EQ(n.order(), (std::vector<NodeId>{0, 1, 2, 3}));
@@ -80,11 +74,8 @@ TEST(ScheduleTest, NormalizeMovesSinksBack) {
 }
 
 TEST(ScheduleTest, NormalizePreservesNonsinkOrder) {
-  Dag g(5);  // 0 -> 1 -> 2; 0 -> 3; 1 -> 4  (sinks 2,3,4)
-  g.addArc(0, 1);
-  g.addArc(1, 2);
-  g.addArc(0, 3);
-  g.addArc(1, 4);
+  // 0 -> 1 -> 2; 0 -> 3; 1 -> 4  (sinks 2,3,4)
+  const Dag g = DagBuilder(5, {{0, 1}, {1, 2}, {0, 3}, {1, 4}}).freeze();
   const Schedule s({0, 3, 1, 4, 2});
   const Schedule n = normalizeNonsinksFirst(g, s);
   EXPECT_EQ(n.nonsinkOrder(g), s.nonsinkOrder(g));

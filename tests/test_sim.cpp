@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "core/building_blocks.hpp"
 #include "core/eligibility.hpp"
 #include "families/mesh.hpp"
@@ -48,6 +50,26 @@ TEST(SchedulerTest, RandomIsDeterministicInSeed) {
   };
   EXPECT_EQ(draw(7), draw(7));
   EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(SchedulerTest, RandomPickMatchesPortableReference) {
+  // Regression for the O(1) swap-and-pop pool: pick() must consume exactly
+  // one raw engine draw reduced by modulo (no std::uniform_int_distribution,
+  // whose algorithm differs between standard libraries), so the allocation
+  // sequence is pinned across platforms for a given seed.
+  RandomScheduler s(42);
+  for (NodeId v = 0; v < 8; ++v) s.onEligible(v);
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < 8; ++v) pool.push_back(v);
+  std::mt19937_64 ref(42);
+  while (s.hasWork()) {
+    const std::size_t i = static_cast<std::size_t>(ref() % pool.size());
+    const NodeId expect = pool[i];
+    pool[i] = pool.back();
+    pool.pop_back();
+    EXPECT_EQ(s.pick(), expect);
+  }
+  EXPECT_TRUE(pool.empty());
 }
 
 TEST(SchedulerTest, MaxOutDegreePrefersFanOut) {
@@ -128,8 +150,9 @@ TEST(SimulationTest, SingleClientSequentialNoIdle) {
 
 TEST(SimulationTest, ManyClientsOnAChainStall) {
   // A pure chain admits no parallelism: extra clients must stall.
-  Dag chain(6);
-  for (NodeId v = 0; v + 1 < 6; ++v) chain.addArc(v, v + 1);
+  DagBuilder cb(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) cb.addArc(v, v + 1);
+  const Dag chain = cb.freeze();
   const Schedule s(chain.topologicalOrder());
   SimulationConfig cfg;
   cfg.numClients = 4;
