@@ -1,14 +1,34 @@
 #include "exec/dag_executor.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
 
 #include "exec/thread_pool.hpp"
 
 namespace icsched {
+
+void RetryPolicy::validate() const {
+  auto require = [](bool ok, const char* message) {
+    if (!ok) throw std::invalid_argument(std::string("RetryPolicy: ") + message);
+  };
+  require(maxAttempts >= 1, "maxAttempts must be >= 1");
+  require(std::isfinite(initialBackoffSeconds) && initialBackoffSeconds >= 0.0,
+          "initialBackoffSeconds must be finite and >= 0");
+  require(std::isfinite(backoffMultiplier) && backoffMultiplier >= 1.0,
+          "backoffMultiplier must be >= 1");
+  require(std::isfinite(maxBackoffSeconds) && maxBackoffSeconds >= 0.0,
+          "maxBackoffSeconds must be finite and >= 0");
+  require(std::isfinite(taskDeadlineSeconds) && taskDeadlineSeconds >= 0.0,
+          "taskDeadlineSeconds must be finite and >= 0");
+}
 
 ExecutionTrace executeSequential(const Dag& g, const Schedule& s,
                                  const std::function<void(NodeId)>& task) {
@@ -63,7 +83,9 @@ ExecutionTrace executeParallel(const Dag& g, const Schedule& s,
   // Each submitted closure claims the highest-priority READY task at the
   // moment it runs (not necessarily the task whose readiness triggered the
   // submission) -- this is exactly the IC server allocating the best
-  // ELIGIBLE task to the next available client.
+  // ELIGIBLE task to the next available client. Once firstError is recorded
+  // no further task is claimed (fail-fast); the first exception recorded is
+  // the one that propagates.
   std::function<void()> worker = [&] {
     NodeId v;
     {
@@ -114,6 +136,270 @@ ExecutionTrace executeParallel(const Dag& g, const Schedule& s,
   ExecutionTrace trace;
   trace.dispatchOrder = std::move(st.dispatchOrder);
   return trace;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared state for one retrying run. All mutable members are guarded by
+/// `mutex`; the timer thread owns deadline expiry and delayed re-dispatch.
+class RetryRun {
+ public:
+  RetryRun(const Dag& g, const RetryingTask& task, const Schedule& s, std::size_t numThreads,
+           const RetryPolicy& policy)
+      : g_(g),
+        task_(task),
+        policy_(policy),
+        priority_(s.positions()),
+        pendingParents_(g.numNodes()),
+        failures_(g.numNodes(), 0),
+        pool_(numThreads) {
+    for (NodeId v = 0; v < g.numNodes(); ++v) pendingParents_[v] = g.inDegree(v);
+  }
+
+  ExecutionTrace run() {
+    start_ = Clock::now();
+    std::size_t initial = 0;
+    {
+      std::lock_guard lock(mutex_);
+      for (NodeId v = 0; v < g_.numNodes(); ++v)
+        if (g_.isSource(v)) ready_.push({priority_[v], v});
+      initial = ready_.size();
+    }
+    std::thread timer([this] { timerLoop(); });
+    for (std::size_t i = 0; i < initial; ++i) pool_.submit([this] { workerStep(); });
+
+    {
+      std::unique_lock lock(mutex_);
+      done_.wait(lock, [&] {
+        return completed_ == g_.numNodes() ||
+               (failFast_ && inFlight_ == 0 && pendingRetries_ == 0);
+      });
+      shuttingDown_ = true;
+    }
+    timerCv_.notify_all();
+    timer.join();
+    pool_.waitIdle();
+    if (firstError_) std::rethrow_exception(firstError_);
+
+    ExecutionTrace trace;
+    trace.dispatchOrder = std::move(dispatchOrder_);
+    trace.faults = std::move(faults_);
+    trace.resilience = summarize(trace.faults);
+    return trace;
+  }
+
+ private:
+  struct AttemptRec {
+    NodeId node = 0;
+    CancelSource source;
+    Clock::time_point start{};
+    bool deadlined = false;  ///< the watchdog cancelled this attempt
+    bool resolved = false;   ///< the payload returned (success or failure)
+  };
+
+  struct TimerItem {
+    Clock::time_point when;
+    bool isRetry = false;  ///< false: deadline watchdog
+    NodeId node = 0;       ///< retry items
+    std::size_t attempt = 0;  ///< deadline items
+    friend bool operator>(const TimerItem& a, const TimerItem& b) { return a.when > b.when; }
+  };
+
+  [[nodiscard]] double secondsSince(Clock::time_point t) const {
+    return std::chrono::duration<double>(Clock::now() - t).count();
+  }
+
+  // Callers hold mutex_.
+  void addTimerLocked(TimerItem item) {
+    timers_.push(item);
+    timerCv_.notify_all();
+  }
+
+  // Callers hold mutex_. Cancels every unresolved attempt's token so
+  // cooperative payloads stop early, and stops all future dispatch.
+  void enterFailFastLocked() {
+    failFast_ = true;
+    for (std::size_t i = 0; i < attempts_.size(); ++i) {
+      AttemptRec& at = attempts_[i];
+      if (!at.resolved && !at.source.cancelled()) {
+        at.source.cancel();
+        faults_.add(secondsSince(start_), FaultEventKind::Cancelled, kNoClient, at.node,
+                    failures_[at.node] + 1, secondsSince(at.start));
+      }
+    }
+    done_.notify_all();
+    timerCv_.notify_all();
+  }
+
+  void workerStep() {
+    NodeId v = 0;
+    std::size_t attemptId = 0;
+    CancelToken token;
+    {
+      std::lock_guard lock(mutex_);
+      if (failFast_ || ready_.empty()) return;
+      v = ready_.top().second;
+      ready_.pop();
+      dispatchOrder_.push_back(v);
+      attemptId = attempts_.size();
+      attempts_.emplace_back();
+      AttemptRec& at = attempts_.back();
+      at.node = v;
+      at.start = Clock::now();
+      token = at.source.token();
+      ++inFlight_;
+      if (policy_.taskDeadlineSeconds > 0.0) {
+        addTimerLocked({at.start + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           policy_.taskDeadlineSeconds)),
+                        false, v, attemptId});
+      }
+    }
+
+    bool threw = false;
+    std::exception_ptr err;
+    try {
+      task_(v, token);
+    } catch (...) {
+      threw = true;
+      err = std::current_exception();
+    }
+
+    std::size_t newlyReady = 0;
+    {
+      std::lock_guard lock(mutex_);
+      --inFlight_;
+      AttemptRec& at = attempts_[attemptId];
+      at.resolved = true;
+      const bool failed = threw || at.deadlined;
+      if (!failed) {
+        ++completed_;
+        for (NodeId c : g_.children(v)) {
+          if (--pendingParents_[c] == 0 && !failFast_) {
+            ready_.push({priority_[c], c});
+            ++newlyReady;
+          }
+        }
+        if (completed_ == g_.numNodes()) done_.notify_all();
+      } else {
+        ++failures_[v];
+        faults_.add(secondsSince(start_),
+                    at.deadlined ? FaultEventKind::DeadlineExceeded
+                                 : FaultEventKind::TaskFailure,
+                    kNoClient, v, failures_[v], secondsSince(at.start));
+        if (failures_[v] >= policy_.maxAttempts) {
+          if (!firstError_) {
+            firstError_ = threw ? err
+                                : std::make_exception_ptr(std::runtime_error(
+                                      "executeParallelRetrying: node " + std::to_string(v) +
+                                      " exceeded its deadline on the final attempt"));
+          }
+          enterFailFastLocked();
+        } else if (!failFast_) {
+          const double backoff =
+              std::min(policy_.maxBackoffSeconds,
+                       policy_.initialBackoffSeconds *
+                           std::pow(policy_.backoffMultiplier,
+                                    static_cast<double>(failures_[v] - 1)));
+          faults_.add(secondsSince(start_), FaultEventKind::Retry, kNoClient, v,
+                      failures_[v], backoff);
+          if (backoff <= 0.0) {
+            ready_.push({priority_[v], v});
+            ++newlyReady;
+          } else {
+            ++pendingRetries_;
+            addTimerLocked({Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                               std::chrono::duration<double>(backoff)),
+                            true, v, 0});
+          }
+        }
+      }
+      if (failFast_ && inFlight_ == 0 && pendingRetries_ == 0) done_.notify_all();
+    }
+    for (std::size_t i = 0; i < newlyReady; ++i) pool_.submit([this] { workerStep(); });
+  }
+
+  void timerLoop() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (shuttingDown_) return;
+      if (failFast_ && !timers_.empty()) {
+        // Retries are moot and deadline watchdogs are superseded by the
+        // fail-fast cancellation: drain everything.
+        while (!timers_.empty()) {
+          if (timers_.top().isRetry) --pendingRetries_;
+          timers_.pop();
+        }
+        done_.notify_all();
+        continue;
+      }
+      if (timers_.empty()) {
+        timerCv_.wait(lock);
+        continue;
+      }
+      const Clock::time_point next = timers_.top().when;
+      if (Clock::now() < next) {
+        timerCv_.wait_until(lock, next);
+        continue;
+      }
+      const TimerItem item = timers_.top();
+      timers_.pop();
+      if (item.isRetry) {
+        --pendingRetries_;
+        if (!failFast_) {
+          ready_.push({priority_[item.node], item.node});
+          pool_.submit([this] { workerStep(); });
+        }
+      } else {
+        AttemptRec& at = attempts_[item.attempt];
+        if (!at.resolved && !at.deadlined) {
+          at.deadlined = true;
+          at.source.cancel();
+        }
+      }
+    }
+  }
+
+  const Dag& g_;
+  const RetryingTask& task_;
+  const RetryPolicy& policy_;
+  std::vector<std::size_t> priority_;
+  std::vector<std::size_t> pendingParents_;
+  std::vector<std::size_t> failures_;
+
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::condition_variable timerCv_;
+  std::priority_queue<std::pair<std::size_t, NodeId>,
+                      std::vector<std::pair<std::size_t, NodeId>>, std::greater<>>
+      ready_;
+  std::priority_queue<TimerItem, std::vector<TimerItem>, std::greater<>> timers_;
+  std::vector<AttemptRec> attempts_;
+  std::vector<NodeId> dispatchOrder_;
+  FaultTrace faults_;
+  std::exception_ptr firstError_;
+  std::size_t completed_ = 0;
+  std::size_t inFlight_ = 0;
+  std::size_t pendingRetries_ = 0;
+  bool failFast_ = false;
+  bool shuttingDown_ = false;
+  Clock::time_point start_{};
+
+  ThreadPool pool_;
+};
+
+}  // namespace
+
+ExecutionTrace executeParallelRetrying(const Dag& g, const Schedule& s,
+                                       const RetryingTask& task, std::size_t numThreads,
+                                       const RetryPolicy& policy) {
+  s.validate(g);
+  policy.validate();
+  if (g.numNodes() == 0) return {};
+  RetryRun run(g, task, s, numThreads, policy);
+  return run.run();
 }
 
 }  // namespace icsched

@@ -9,21 +9,76 @@
 /// parallel execution dispatches ELIGIBLE tasks to a thread pool in
 /// schedule-priority order (tasks may *complete* out of order, but every
 /// task starts only after all of its parents completed).
+///
+/// **Exception contract (executeParallel).** Tasks may throw. The executor
+/// is fail-fast: once any task's exception is recorded, no further task is
+/// *dispatched* (tasks already running are allowed to finish). When several
+/// tasks throw concurrently, the first exception recorded wins and exactly
+/// that one propagates to the caller after the in-flight work drains; the
+/// others are discarded. Nodes whose parents never completed are never
+/// dispatched.
+///
+/// **Resilient execution (executeParallelRetrying).** Real IC clients fail,
+/// straggle, and miss deadlines, so the retrying variant wraps every task in
+/// a RetryPolicy: a failed attempt (a throw, or outliving its deadline) is
+/// re-dispatched after a capped exponential backoff, up to maxAttempts;
+/// exhausting the attempts fails fast as above. Deadlines are enforced
+/// cooperatively via the CancelTokens of thread_pool.hpp -- a watchdog
+/// cancels the attempt's token at the deadline, and a completion observed
+/// after that is discarded as stale (the payload should poll the token and
+/// bail out). Every failure, retry, re-issue, deadline expiry and
+/// cancellation is recorded in the trace's FaultTrace with wall-clock
+/// timestamps (seconds since the run started), mirroring the simulator's
+/// resilience reporting (see resilience/fault_trace.hpp).
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
 #include "core/dag.hpp"
 #include "core/schedule.hpp"
+#include "exec/thread_pool.hpp"
+#include "resilience/fault_trace.hpp"
 
 namespace icsched {
 
 /// Per-execution trace, for assertions and the figure benches.
 struct ExecutionTrace {
   /// Order in which tasks were dispatched (== schedule order when
-  /// sequential).
+  /// sequential). The retrying executor appends re-dispatches too, so a
+  /// node may appear once per attempt.
   std::vector<NodeId> dispatchOrder;
+  /// Failure/retry/cancellation events (retrying executor only; empty for
+  /// the plain entry points).
+  FaultTrace faults;
+  /// Roll-up of `faults` (see summarize()).
+  ResilienceMetrics resilience;
 };
+
+/// Retry/deadline policy for executeParallelRetrying. All durations are in
+/// seconds of wall-clock time.
+struct RetryPolicy {
+  /// Total attempts per task (first dispatch included). Must be >= 1;
+  /// 1 means no retry.
+  std::size_t maxAttempts = 3;
+  /// Delay before re-dispatching a failed task:
+  /// min(maxBackoff, initialBackoff * backoffMultiplier^(failures-1)).
+  /// 0 re-dispatches immediately.
+  double initialBackoffSeconds = 0.0;
+  double backoffMultiplier = 2.0;
+  double maxBackoffSeconds = 1.0;
+  /// Per-attempt deadline; the attempt's CancelToken fires when it expires
+  /// and the attempt counts as failed. 0 disables deadlines.
+  double taskDeadlineSeconds = 0.0;
+
+  /// \throws std::invalid_argument with a field-specific message.
+  void validate() const;
+};
+
+/// A payload for the retrying executor: \p token is cancelled when the
+/// attempt's deadline expires or the run is shutting down fail-fast;
+/// long-running payloads should poll it and return (or throw) promptly.
+using RetryingTask = std::function<void(NodeId, const CancelToken&)>;
 
 /// Runs \p task(v) for every node, strictly in schedule order (the schedule
 /// is validated against \p g first).
@@ -33,10 +88,20 @@ ExecutionTrace executeSequential(const Dag& g, const Schedule& s,
 /// Runs \p task(v) for every node on \p numThreads workers. Dependencies are
 /// honoured; among simultaneously-ELIGIBLE tasks the schedule's order
 /// decides dispatch priority. \p task must be safe to invoke concurrently on
-/// distinct nodes. Exceptions thrown by tasks propagate (first one wins)
-/// after the dag drains.
+/// distinct nodes. See the exception contract above: fail-fast dispatch,
+/// exactly one exception propagates after the dag drains.
 ExecutionTrace executeParallel(const Dag& g, const Schedule& s,
                                const std::function<void(NodeId)>& task,
                                std::size_t numThreads);
+
+/// executeParallel with fault handling per \p policy: failed attempts (throw
+/// or deadline expiry) are retried with backoff up to policy.maxAttempts;
+/// a task exhausting its attempts fails the run fast (its last exception
+/// propagates; outstanding tokens are cancelled so cooperative payloads stop
+/// early). \p task may run concurrently on distinct nodes and must tolerate
+/// re-invocation of the same node after a failed attempt.
+ExecutionTrace executeParallelRetrying(const Dag& g, const Schedule& s,
+                                       const RetryingTask& task, std::size_t numThreads,
+                                       const RetryPolicy& policy);
 
 }  // namespace icsched

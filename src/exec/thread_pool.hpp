@@ -1,20 +1,64 @@
 #pragma once
 /// \file thread_pool.hpp
-/// \brief A small fixed-size thread pool used by the parallel dag executor.
+/// \brief A small fixed-size thread pool used by the parallel dag executor,
+/// plus the cooperative cancellation primitive its tasks consume.
 ///
 /// Plain mutex + condition-variable work queue; tasks are type-erased
 /// std::function<void()>. The pool joins all workers on destruction after
 /// draining the queue.
+///
+/// Cancellation is cooperative: a CancelSource owns a shared flag, hands out
+/// CancelTokens, and flips the flag on cancel(). A running task cannot be
+/// preempted -- long-running payloads should poll token.cancelled() and bail
+/// out; the retrying executor (dag_executor.hpp) uses this to enforce
+/// per-task deadlines and to stop in-flight work on fail-fast shutdown.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace icsched {
+
+class CancelSource;
+
+/// A read-only view of a CancelSource's flag. Cheap to copy; safe to poll
+/// from any thread. A default-constructed token is never cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owns a cancellation flag. cancel() is idempotent and thread-safe.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  [[nodiscard]] CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
 
 class ThreadPool {
  public:

@@ -103,18 +103,83 @@ int cmdDot(std::istream& in, std::ostream& out) {
   return 0;
 }
 
+double parseDouble(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+/// Applies one `key=value` fault flag to the config (`trace` toggles the
+/// FaultTrace dump instead).
+void applyFaultFlag(SimulationConfig& cfg, bool& dumpTrace, const std::string& flag) {
+  const std::size_t eq = flag.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("simulate: expected key=value, got '" + flag + "'");
+  }
+  const std::string key = flag.substr(0, eq);
+  const std::string value = flag.substr(eq + 1);
+  if (key == "failure") {
+    cfg.failureProbability = parseDouble(value, "failure");
+  } else if (key == "depart") {
+    cfg.faults.clientDepartureRate = parseDouble(value, "depart");
+  } else if (key == "join") {
+    cfg.faults.clientRejoinRate = parseDouble(value, "join");
+  } else if (key == "minalive") {
+    cfg.faults.minAliveClients = parseSize(value, "minalive");
+  } else if (key == "timeout") {
+    cfg.faults.taskTimeout = parseDouble(value, "timeout");
+  } else if (key == "straggler") {
+    cfg.faults.stragglerProbability = parseDouble(value, "straggler");
+  } else if (key == "slowdown") {
+    cfg.faults.stragglerSlowdown = parseDouble(value, "slowdown");
+  } else if (key == "spec") {
+    cfg.faults.speculationFactor = parseDouble(value, "spec");
+  } else if (key == "transient") {
+    cfg.faults.transientFailureProbability = parseDouble(value, "transient");
+  } else if (key == "permanent") {
+    cfg.faults.permanentFailureProbability = parseDouble(value, "permanent");
+  } else if (key == "attempts") {
+    cfg.faults.maxAttempts = parseSize(value, "attempts");
+  } else if (key == "backoff") {
+    cfg.faults.backoffBase = parseDouble(value, "backoff");
+  } else if (key == "backoffcap") {
+    cfg.faults.backoffCap = parseDouble(value, "backoffcap");
+  } else if (key == "trace") {
+    dumpTrace = parseSize(value, "trace") != 0;
+  } else {
+    throw std::invalid_argument("simulate: unknown fault key '" + key + "'");
+  }
+}
+
 int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ostream& out) {
   if (args.size() < 3) {
-    throw std::invalid_argument("simulate: expected CLIENTS SCHEDULER SEED");
+    throw std::invalid_argument("simulate: expected CLIENTS SCHEDULER SEED [key=value...]");
   }
   const Dag g = readDag(in);
   const Schedule s = readSchedule(in);
   SimulationConfig cfg;
   cfg.numClients = parseSize(args[0], "clients");
   cfg.seed = parseSize(args[2], "seed");
+  bool dumpTrace = false;
+  for (std::size_t i = 3; i < args.size(); ++i) applyFaultFlag(cfg, dumpTrace, args[i]);
   const SimulationResult r = simulateWith(g, s, args[1], cfg);
   out << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
       << " stalls=" << r.stallEvents << " readyPool=" << r.avgReadyPool << "\n";
+  if (cfg.failureProbability > 0.0 || cfg.faults.anyEnabled()) {
+    const ResilienceMetrics& m = r.resilience;
+    out << "resilience departures=" << m.departures << " rejoins=" << m.rejoins
+        << " lost=" << m.lostTasks << " timeouts=" << m.timeouts
+        << " specIssues=" << m.speculativeIssues << " specCancels=" << m.speculativeCancels
+        << " transient=" << m.transientFailures << " permanent=" << m.permanentFailures
+        << " reissues=" << m.reissues << " wasted=" << m.wastedWork
+        << " recovery=" << m.avgRecoveryLatency() << "\n";
+  }
+  if (dumpTrace) r.faultTrace.writeTo(out);
   return 0;
 }
 

@@ -11,7 +11,13 @@
 ///   verify                         read dag+schedule, oracle-check (<= 64 nodes)
 ///   schedule [greedy|beam|exact]   read dag, emit a schedule (default beam)
 ///   dot                            read dag, emit GraphViz
-///   simulate CLIENTS SCHEDULER SEED   read dag+schedule, run the simulator
+///   simulate CLIENTS SCHEDULER SEED [key=value...]
+///                                  read dag+schedule, run the simulator.
+///       Fault-injection keys (see sim/fault_model.hpp): failure=P
+///       depart=RATE join=RATE minalive=N timeout=T straggler=P slowdown=X
+///       spec=FACTOR transient=P permanent=P attempts=N backoff=B
+///       backoffcap=C trace=1 (dump the FaultTrace). With any fault key set
+///       a second "resilience ..." metrics line is printed.
 ///
 /// Returns a process exit code; all output goes to the provided streams.
 

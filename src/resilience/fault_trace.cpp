@@ -1,0 +1,135 @@
+#include "resilience/fault_trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace icsched {
+
+const char* toString(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::ClientDeparture:
+      return "client-departure";
+    case FaultEventKind::ClientRejoin:
+      return "client-rejoin";
+    case FaultEventKind::TaskLost:
+      return "task-lost";
+    case FaultEventKind::TaskTimeout:
+      return "task-timeout";
+    case FaultEventKind::SpeculativeIssue:
+      return "speculative-issue";
+    case FaultEventKind::SpeculativeCancel:
+      return "speculative-cancel";
+    case FaultEventKind::TransientFailure:
+      return "transient-failure";
+    case FaultEventKind::PermanentFailure:
+      return "permanent-failure";
+    case FaultEventKind::Reissue:
+      return "reissue";
+    case FaultEventKind::ReliableFallback:
+      return "reliable-fallback";
+    case FaultEventKind::TaskFailure:
+      return "task-failure";
+    case FaultEventKind::DeadlineExceeded:
+      return "deadline-exceeded";
+    case FaultEventKind::Retry:
+      return "retry";
+    case FaultEventKind::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+void FaultTrace::writeTo(std::ostream& os) const {
+  os << std::setprecision(17);
+  for (const FaultEvent& e : events) {
+    os << "t=" << e.time << " kind=" << icsched::toString(e.kind) << " client=";
+    if (e.client == kNoClient) {
+      os << "-";
+    } else {
+      os << e.client;
+    }
+    os << " node=";
+    if (e.node == kNoNode) {
+      os << "-";
+    } else {
+      os << e.node;
+    }
+    os << " attempt=" << e.attempt << " detail=" << e.detail << "\n";
+  }
+}
+
+std::string FaultTrace::toString() const {
+  std::ostringstream os;
+  writeTo(os);
+  return os.str();
+}
+
+std::uint64_t FaultTrace::fingerprint() const {
+  const std::string s = toString();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ResilienceMetrics summarize(const FaultTrace& trace) {
+  ResilienceMetrics m;
+  for (const FaultEvent& e : trace.events) {
+    switch (e.kind) {
+      case FaultEventKind::ClientDeparture:
+        ++m.departures;
+        break;
+      case FaultEventKind::ClientRejoin:
+        ++m.rejoins;
+        break;
+      case FaultEventKind::TaskLost:
+        ++m.lostTasks;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::TaskTimeout:
+        ++m.timeouts;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::SpeculativeIssue:
+        ++m.speculativeIssues;
+        break;
+      case FaultEventKind::SpeculativeCancel:
+        ++m.speculativeCancels;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::TransientFailure:
+        ++m.transientFailures;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::PermanentFailure:
+        ++m.permanentFailures;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::Reissue:
+        ++m.reissues;
+        break;
+      case FaultEventKind::ReliableFallback:
+        break;
+      case FaultEventKind::TaskFailure:
+        ++m.taskFailures;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::DeadlineExceeded:
+        ++m.deadlineExceeded;
+        m.wastedWork += e.detail;
+        break;
+      case FaultEventKind::Retry:
+        ++m.retries;
+        break;
+      case FaultEventKind::Cancelled:
+        m.wastedWork += e.detail;
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace icsched

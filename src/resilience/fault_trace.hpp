@@ -1,0 +1,124 @@
+#pragma once
+/// \file fault_trace.hpp
+/// \brief Common fault-event vocabulary for the simulator and the real
+/// executor.
+///
+/// Both the discrete-event simulator (sim/fault_model.hpp) and the retrying
+/// parallel executor (exec/dag_executor.hpp) record every failure, retry,
+/// re-issue and cancellation as a timestamped FaultEvent, so resilience
+/// metrics (wasted work, recovery latency, re-issue counts, makespan
+/// inflation) mean the same thing in both worlds. Simulator timestamps are
+/// simulated time and fully deterministic in the seed; executor timestamps
+/// are wall-clock seconds since the run started.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace icsched {
+
+/// Marker for events not tied to a particular client / node.
+inline constexpr std::size_t kNoClient = static_cast<std::size_t>(-1);
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class FaultEventKind : std::uint8_t {
+  // Simulator-side churn and fault events.
+  ClientDeparture,    ///< a client left the computation
+  ClientRejoin,       ///< a departed client came back
+  TaskLost,           ///< an in-flight attempt died with its client
+  TaskTimeout,        ///< an attempt exceeded its deadline and was abandoned
+  SpeculativeIssue,   ///< a duplicate copy of a lagging task was issued
+  SpeculativeCancel,  ///< a duplicate attempt was cancelled (a copy won)
+  TransientFailure,   ///< an attempt failed; a re-issue may succeed
+  PermanentFailure,   ///< an attempt failed and took its client down
+  Reissue,            ///< a lost/failed task went back to the ready pool
+  ReliableFallback,   ///< attempts exhausted; the task now runs shielded
+  // Executor-side events.
+  TaskFailure,       ///< a task payload threw
+  DeadlineExceeded,  ///< an attempt outlived its deadline (token cancelled)
+  Retry,             ///< a failed task was re-dispatched
+  Cancelled,         ///< an attempt's token was cancelled (fail-fast)
+};
+
+[[nodiscard]] const char* toString(FaultEventKind kind);
+
+/// One timestamped resilience event. `detail` carries a kind-specific value:
+/// the wasted duration for losses/failures/cancellations, the re-issue delay
+/// for Reissue/Retry, 0 otherwise.
+struct FaultEvent {
+  double time = 0.0;
+  FaultEventKind kind = FaultEventKind::TaskFailure;
+  std::size_t client = kNoClient;
+  NodeId node = kNoNode;
+  std::size_t attempt = 0;
+  double detail = 0.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Append-only event log; line-oriented serialization so two runs can be
+/// compared byte-for-byte.
+struct FaultTrace {
+  std::vector<FaultEvent> events;
+
+  void add(double time, FaultEventKind kind, std::size_t client, NodeId node,
+           std::size_t attempt, double detail = 0.0) {
+    events.push_back({time, kind, client, node, attempt, detail});
+  }
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+
+  /// One event per line: "t=<time> kind=<name> client=<c> node=<v>
+  /// attempt=<k> detail=<d>". Deterministic given identical events.
+  void writeTo(std::ostream& os) const;
+  [[nodiscard]] std::string toString() const;
+
+  /// FNV-1a hash of toString(); a compact determinism fingerprint.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  friend bool operator==(const FaultTrace&, const FaultTrace&) = default;
+};
+
+/// The common resilience report. Counts are derivable from a FaultTrace via
+/// summarize(); the continuous metrics (wasted work, recovery latency) are
+/// filled by the engines, which know attempt durations.
+struct ResilienceMetrics {
+  std::size_t departures = 0;
+  std::size_t rejoins = 0;
+  std::size_t lostTasks = 0;
+  std::size_t timeouts = 0;
+  std::size_t speculativeIssues = 0;
+  std::size_t speculativeCancels = 0;
+  std::size_t transientFailures = 0;
+  std::size_t permanentFailures = 0;
+  std::size_t reissues = 0;
+  std::size_t retries = 0;
+  std::size_t deadlineExceeded = 0;
+  std::size_t taskFailures = 0;
+  /// Total attempt-time spent on attempts that did not produce the winning
+  /// completion (failed, timed out, lost, or cancelled attempts).
+  double wastedWork = 0.0;
+  /// Sum over recovered tasks of (completion time - first fault time).
+  double totalRecoveryLatency = 0.0;
+  std::size_t recoveries = 0;
+  /// makespan / fault-free makespan - 1; filled by harnesses that ran both.
+  double makespanInflation = 0.0;
+
+  [[nodiscard]] double avgRecoveryLatency() const {
+    return recoveries == 0 ? 0.0 : totalRecoveryLatency / static_cast<double>(recoveries);
+  }
+
+  friend bool operator==(const ResilienceMetrics&, const ResilienceMetrics&) = default;
+};
+
+/// Rebuilds the countable metrics (every field except recovery latency and
+/// makespan inflation) from a trace. wastedWork sums the `detail` field of
+/// loss/failure/cancel events.
+[[nodiscard]] ResilienceMetrics summarize(const FaultTrace& trace);
+
+}  // namespace icsched

@@ -1,0 +1,41 @@
+#pragma once
+/// \file portable_random.hpp
+/// \brief Cross-standard-library deterministic random draws.
+///
+/// std::uniform_real_distribution, std::bernoulli_distribution and
+/// std::exponential_distribution are *algorithmically* implementation-defined:
+/// libstdc++ and libc++ may consume different numbers of engine calls and
+/// produce different values for the same seed. Every stochastic decision in
+/// the simulator's fault paths therefore goes through these helpers, which
+/// reduce raw std::mt19937_64 output (fully specified by the standard) with a
+/// fixed algorithm. Given a seed, the whole draw sequence is pinned across
+/// platforms and standard libraries; test_fault_model.cpp asserts the exact
+/// values for a reference seed.
+
+#include <cmath>
+#include <random>
+
+namespace icsched {
+
+/// Uniform double in [0, 1): the top 53 bits of one engine call.
+inline double portableUnit(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli(p) from exactly one engine call.
+inline bool portableBernoulli(std::mt19937_64& rng, double p) {
+  return portableUnit(rng) < p;
+}
+
+/// Uniform double in [lo, hi) from exactly one engine call.
+inline double portableUniform(std::mt19937_64& rng, double lo, double hi) {
+  return lo + (hi - lo) * portableUnit(rng);
+}
+
+/// Exponential(rate) via inversion from exactly one engine call.
+/// Precondition: rate > 0.
+inline double portableExponential(std::mt19937_64& rng, double rate) {
+  return -std::log1p(-portableUnit(rng)) / rate;
+}
+
+}  // namespace icsched

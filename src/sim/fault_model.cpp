@@ -1,0 +1,49 @@
+#include "sim/fault_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace icsched {
+
+namespace {
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("FaultModelConfig: " + message);
+}
+
+bool finiteNonNegative(double x) { return std::isfinite(x) && x >= 0.0; }
+
+}  // namespace
+
+bool FaultModelConfig::anyEnabled() const {
+  return clientDepartureRate > 0.0 || taskTimeout > 0.0 || stragglerProbability > 0.0 ||
+         speculationFactor > 0.0 || transientFailureProbability > 0.0 ||
+         permanentFailureProbability > 0.0;
+}
+
+void FaultModelConfig::validate(std::size_t numClients) const {
+  require(finiteNonNegative(clientDepartureRate),
+          "clientDepartureRate must be finite and >= 0");
+  require(finiteNonNegative(clientRejoinRate), "clientRejoinRate must be finite and >= 0");
+  require(minAliveClients >= 1, "minAliveClients must be >= 1");
+  require(minAliveClients <= numClients, "minAliveClients must be <= numClients");
+  require(finiteNonNegative(taskTimeout), "taskTimeout must be finite and >= 0");
+  require(stragglerProbability >= 0.0 && stragglerProbability < 1.0,
+          "stragglerProbability must be in [0, 1)");
+  require(std::isfinite(stragglerSlowdown) && stragglerSlowdown >= 1.0,
+          "stragglerSlowdown must be >= 1");
+  require(finiteNonNegative(speculationFactor), "speculationFactor must be finite and >= 0");
+  require(transientFailureProbability >= 0.0 && transientFailureProbability < 1.0,
+          "transientFailureProbability must be in [0, 1)");
+  require(permanentFailureProbability >= 0.0 && permanentFailureProbability < 1.0,
+          "permanentFailureProbability must be in [0, 1)");
+  require(transientFailureProbability + permanentFailureProbability < 1.0,
+          "transientFailureProbability + permanentFailureProbability must be < 1");
+  require(maxAttempts >= 1, "maxAttempts must be >= 1");
+  require(finiteNonNegative(backoffBase), "backoffBase must be finite and >= 0");
+  require(finiteNonNegative(backoffCap), "backoffCap must be finite and >= 0");
+  require(backoffCap >= backoffBase, "backoffCap must be >= backoffBase");
+}
+
+}  // namespace icsched

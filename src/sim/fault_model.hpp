@@ -1,0 +1,81 @@
+#pragma once
+/// \file fault_model.hpp
+/// \brief Deterministic, seed-driven fault model for the IC simulator.
+///
+/// IC-Scheduling Theory exists because remote clients are temporally
+/// unpredictable: they slow down, vanish, and lose results. This config
+/// turns those hazards on in the simulator, all derived from the simulation
+/// seed so that two runs with the same seed produce byte-identical
+/// FaultTraces:
+///
+///  - **Client churn.** Each client departs after an Exponential
+///    (clientDepartureRate) holding time; an in-flight attempt dies with its
+///    client and the task is re-issued. Departed clients rejoin after an
+///    Exponential(clientRejoinRate) absence (never, when the rate is 0). A
+///    departure that would leave fewer than minAliveClients alive is
+///    skipped, which (together with the reliable fallback below) rules out
+///    permanent gridlock.
+///  - **Timeouts.** An attempt still in flight taskTimeout time units after
+///    dispatch is abandoned: the server re-allocates the task immediately
+///    (deadline-based re-allocation) and the client returns to the pool.
+///  - **Stragglers + speculation.** With stragglerProbability an attempt
+///    runs stragglerSlowdown times slower. When speculationFactor > 0, an
+///    attempt still in flight speculationFactor * baseDuration after
+///    dispatch gets a duplicate copy issued to the next free client; the
+///    first completion wins and the other attempt is cancelled.
+///  - **Transient vs. permanent failures.** At completion an attempt fails
+///    transiently with transientFailureProbability (the task is re-issued
+///    after a capped exponential backoff) or permanently with
+///    permanentFailureProbability (additionally the client crashes and
+///    departs). After maxAttempts failed attempts the task falls back to
+///    *reliable* execution -- the server shepherds it directly (no failure
+///    draws, no timeout, immune to churn), modelling the standard
+///    run-it-locally fallback of real IC servers -- so every simulation
+///    terminates with all tasks executed.
+///
+/// See DESIGN.md ("Fault model & resilience") for how the resulting metrics
+/// map onto the paper's gridlock/utilization discussion.
+
+#include <cstddef>
+
+namespace icsched {
+
+struct FaultModelConfig {
+  /// Per-client departure rate (events per time unit); 0 disables churn.
+  double clientDepartureRate = 0.0;
+  /// Per-departed-client rejoin rate; 0 means departures are permanent.
+  double clientRejoinRate = 0.0;
+  /// Departures are skipped while alive clients <= minAliveClients. Must be
+  /// >= 1 and <= numClients.
+  std::size_t minAliveClients = 1;
+  /// Abandon + re-allocate attempts older than this; 0 disables timeouts.
+  double taskTimeout = 0.0;
+  /// Probability an attempt is a straggler (runs stragglerSlowdown slower).
+  double stragglerProbability = 0.0;
+  /// Straggler slowdown factor; must be >= 1.
+  double stragglerSlowdown = 4.0;
+  /// Issue a speculative duplicate once an attempt is in flight longer than
+  /// speculationFactor * its base duration; 0 disables speculation.
+  double speculationFactor = 0.0;
+  /// Probability an attempt fails transiently at completion.
+  double transientFailureProbability = 0.0;
+  /// Probability an attempt fails permanently, crashing its client.
+  /// transient + permanent must be < 1.
+  double permanentFailureProbability = 0.0;
+  /// Failed attempts per task before the reliable fallback kicks in.
+  std::size_t maxAttempts = 6;
+  /// Failure re-issue delay: min(backoffCap, backoffBase * 2^(failures-1));
+  /// 0 re-issues immediately.
+  double backoffBase = 0.0;
+  double backoffCap = 8.0;
+
+  /// True when any fault mechanism is active (the simulator takes the exact
+  /// legacy code path when false and only `failureProbability` is set).
+  [[nodiscard]] bool anyEnabled() const;
+
+  /// \throws std::invalid_argument with a field-specific message.
+  /// \p numClients is the owning SimulationConfig's client count.
+  void validate(std::size_t numClients) const;
+};
+
+}  // namespace icsched

@@ -1,159 +1,531 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <random>
 #include <stdexcept>
+#include <string>
 
 #include "core/eligibility.hpp"
+#include "resilience/portable_random.hpp"
 
 namespace icsched {
 
 namespace {
 
-struct Completion {
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("SimulationConfig: " + message);
+}
+
+}  // namespace
+
+void SimulationConfig::validate(std::size_t numNodes) const {
+  require(numClients >= 1, "numClients must be >= 1");
+  require(std::isfinite(meanTaskDuration) && meanTaskDuration >= 0.0,
+          "meanTaskDuration must be finite and >= 0");
+  require(durationJitter >= 0.0 && durationJitter < 1.0, "durationJitter must be in [0, 1)");
+  if (!clientSpeeds.empty()) {
+    require(clientSpeeds.size() == numClients, "clientSpeeds size != numClients");
+    for (double s : clientSpeeds) {
+      require(std::isfinite(s) && s > 0.0, "client speeds must be finite and positive");
+    }
+  }
+  if (!taskBaseDurations.empty() && numNodes != std::numeric_limits<std::size_t>::max()) {
+    require(taskBaseDurations.size() == numNodes, "taskBaseDurations size != node count");
+  }
+  for (double d : taskBaseDurations) {
+    require(std::isfinite(d) && d >= 0.0, "task base durations must be finite and >= 0");
+  }
+  require(failureProbability >= 0.0 && failureProbability < 1.0,
+          "failureProbability must be in [0, 1)");
+  faults.validate(numClients);
+}
+
+namespace {
+
+enum class EvKind : std::uint8_t { Finish, Departure, Rejoin, Timeout, SpecCheck, Backoff };
+
+/// Events are processed in (time, seq) order; seq makes ties deterministic.
+struct Event {
   double time;
-  std::size_t client;
+  std::uint64_t seq;
+  EvKind kind;
+  /// Finish/Timeout/SpecCheck: attempt id; Departure/Rejoin: client id;
+  /// Backoff: node id.
+  std::size_t id;
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+enum class ClientState : std::uint8_t { Idle, Busy, Departed };
+
+struct Attempt {
   NodeId node;
-  friend bool operator>(const Completion& a, const Completion& b) { return a.time > b.time; }
+  std::size_t client;
+  double start;
+  bool reliable;  ///< shepherded by the server: immune to faults
+  bool active;
+};
+
+struct TaskState {
+  bool done = false;
+  bool specQueued = false;     ///< a duplicate copy awaits an idle client
+  bool backoffPending = false; ///< a Backoff event will re-issue the task
+  double backoffDelay = 0.0;   ///< the pending event's delay (trace detail)
+  std::uint32_t inFlight = 0;
+  std::size_t failures = 0;
+  double firstFault = -1.0;
+};
+
+/// The discrete-event engine. Single-threaded; every stochastic decision
+/// uses the portable draws of resilience/portable_random.hpp in a fixed
+/// order, so the run (including the FaultTrace) is a pure function of the
+/// config.
+class SimEngine {
+ public:
+  SimEngine(const Dag& g, Scheduler& sched, const SimulationConfig& config)
+      : g_(g), sched_(sched), cfg_(config), fm_(config.faults), tracker_(g) {
+    speeds_ = cfg_.clientSpeeds;
+    if (speeds_.empty()) speeds_.assign(cfg_.numClients, 1.0);
+    base_ = cfg_.taskBaseDurations;
+    if (base_.empty()) base_.assign(g.numNodes(), cfg_.meanTaskDuration);
+    rng_.seed(cfg_.seed);
+    faultsOn_ = fm_.anyEnabled();
+  }
+
+  SimulationResult run() {
+    const std::size_t n = g_.numNodes();
+    const std::size_t numClients = cfg_.numClients;
+    tasks_.assign(n, TaskState{});
+    liveAttempts_.assign(n, {});
+    clientState_.assign(numClients, ClientState::Idle);
+    clientAttempt_.assign(numClients, 0);
+    idleSince_.assign(numClients, 0.0);
+    inIdleQueue_.assign(numClients, 0);
+    alive_ = numClients;
+
+    for (NodeId v : tracker_.eligibleNodes()) sched_.onEligible(v);
+    readyPoolCount_ = tracker_.eligibleCount();
+
+    // Fixed draw order at t=0: per-client departure holding times first,
+    // then the initial work assignment for clients 0..numClients-1.
+    if (fm_.clientDepartureRate > 0.0) {
+      for (std::size_t c = 0; c < numClients; ++c) {
+        pushEvent(portableExponential(rng_, fm_.clientDepartureRate), EvKind::Departure, c);
+      }
+    }
+    for (std::size_t c = 0; c < numClients; ++c) {
+      if (sched_.hasWork()) {
+        const NodeId v = sched_.pick();
+        --readyPoolCount_;
+        dispatch(c, v, /*isCopy=*/false);
+      } else {
+        ++res_.stallEvents;
+        clientIdle(c);
+      }
+    }
+
+    while (executed_ < n) {
+      if (events_.empty()) {
+        throw std::logic_error("simulate: no in-flight task but work remains");
+      }
+      const Event ev = events_.top();
+      events_.pop();
+      advanceIntegralTo(ev.time);
+      now_ = ev.time;
+      switch (ev.kind) {
+        case EvKind::Finish:
+          onFinish(ev.id);
+          break;
+        case EvKind::Departure:
+          onDeparture(ev.id);
+          break;
+        case EvKind::Rejoin:
+          onRejoin(ev.id);
+          break;
+        case EvKind::Timeout:
+          onTimeout(ev.id);
+          break;
+        case EvKind::SpecCheck:
+          onSpecCheck(ev.id);
+          break;
+        case EvKind::Backoff:
+          onBackoff(static_cast<NodeId>(ev.id));
+          break;
+      }
+    }
+
+    res_.makespan = now_;
+    for (std::size_t c = 0; c < numClients; ++c) {
+      if (clientState_[c] == ClientState::Idle) {
+        res_.totalIdleTime += now_ - idleSince_[c];
+      }
+    }
+    res_.avgReadyPool = res_.makespan > 0.0 ? readyPoolIntegral_ / res_.makespan : 0.0;
+    return std::move(res_);
+  }
+
+ private:
+  void pushEvent(double time, EvKind kind, std::size_t id) {
+    events_.push({time, seq_++, kind, id});
+  }
+
+  void advanceIntegralTo(double t) {
+    readyPoolIntegral_ += static_cast<double>(readyPoolCount_) * (t - lastEventTime_);
+    lastEventTime_ = t;
+  }
+
+  void trace(FaultEventKind kind, std::size_t client, NodeId node, std::size_t attempt,
+             double detail = 0.0) {
+    res_.faultTrace.add(now_, kind, client, node, attempt, detail);
+  }
+
+  void clientIdle(std::size_t c) {
+    clientState_[c] = ClientState::Idle;
+    idleSince_[c] = now_;
+    if (!inIdleQueue_[c]) {
+      inIdleQueue_[c] = 1;
+      idleQueue_.push_back(c);
+    }
+  }
+
+  /// Fixed per-dispatch draw order: one jitter draw, then (only when
+  /// straggler injection is on) one straggler draw.
+  void dispatch(std::size_t client, NodeId v, bool isCopy) {
+    const double jitter =
+        portableUniform(rng_, 1.0 - cfg_.durationJitter, 1.0 + cfg_.durationJitter);
+    double duration = base_[v] * jitter / speeds_[client];
+    if (fm_.stragglerProbability > 0.0 &&
+        portableBernoulli(rng_, fm_.stragglerProbability)) {
+      duration *= fm_.stragglerSlowdown;
+    }
+    const bool reliable = faultsOn_ && tasks_[v].failures >= fm_.maxAttempts;
+    const std::size_t aid = attempts_.size();
+    attempts_.push_back({v, client, now_, reliable, true});
+    liveAttempts_[v].push_back(aid);
+    ++tasks_[v].inFlight;
+    clientState_[client] = ClientState::Busy;
+    clientAttempt_[client] = aid;
+    pushEvent(now_ + duration, EvKind::Finish, aid);
+    if (faultsOn_ && !reliable) {
+      if (fm_.taskTimeout > 0.0) pushEvent(now_ + fm_.taskTimeout, EvKind::Timeout, aid);
+      if (!isCopy && fm_.speculationFactor > 0.0) {
+        pushEvent(now_ + fm_.speculationFactor * base_[v], EvKind::SpecCheck, aid);
+      }
+    }
+  }
+
+  /// Serves idle clients in request order: regular ELIGIBLE work first,
+  /// then pending speculative copies.
+  void serveIdle() {
+    for (;;) {
+      while (!idleQueue_.empty() && clientState_[idleQueue_.front()] != ClientState::Idle) {
+        inIdleQueue_[idleQueue_.front()] = 0;
+        idleQueue_.pop_front();
+      }
+      if (idleQueue_.empty()) break;
+      NodeId v = kNoNode;
+      bool isCopy = false;
+      if (sched_.hasWork()) {
+        v = sched_.pick();
+        --readyPoolCount_;
+      } else {
+        while (!specQueue_.empty()) {
+          const NodeId cand = specQueue_.front();
+          specQueue_.pop_front();
+          if (tasks_[cand].specQueued && !tasks_[cand].done) {
+            tasks_[cand].specQueued = false;
+            v = cand;
+            isCopy = true;
+            break;
+          }
+        }
+        if (v == kNoNode) break;
+      }
+      const std::size_t client = idleQueue_.front();
+      idleQueue_.pop_front();
+      inIdleQueue_[client] = 0;
+      res_.totalIdleTime += now_ - idleSince_[client];
+      dispatch(client, v, isCopy);
+    }
+  }
+
+  void deactivate(std::size_t aid) {
+    Attempt& a = attempts_[aid];
+    a.active = false;
+    --tasks_[a.node].inFlight;
+    auto& live = liveAttempts_[a.node];
+    live.erase(std::remove(live.begin(), live.end(), aid), live.end());
+  }
+
+  /// Records a failed/lost/timed-out attempt: wasted work, the trace event,
+  /// and the per-task failure count (which drives backoff and the reliable
+  /// fallback).
+  void attemptLost(std::size_t aid, FaultEventKind kind) {
+    const Attempt& a = attempts_[aid];
+    const double wasted = now_ - a.start;
+    deactivate(aid);
+    TaskState& t = tasks_[a.node];
+    trace(kind, a.client, a.node, t.failures, wasted);
+    res_.resilience.wastedWork += wasted;
+    switch (kind) {
+      case FaultEventKind::TaskLost:
+        ++res_.resilience.lostTasks;
+        break;
+      case FaultEventKind::TaskTimeout:
+        ++res_.resilience.timeouts;
+        break;
+      case FaultEventKind::TransientFailure:
+        ++res_.resilience.transientFailures;
+        break;
+      case FaultEventKind::PermanentFailure:
+        ++res_.resilience.permanentFailures;
+        break;
+      default:
+        break;
+    }
+    if (t.firstFault < 0.0) t.firstFault = now_;
+    ++t.failures;
+    if (faultsOn_ && t.failures == fm_.maxAttempts) {
+      trace(FaultEventKind::ReliableFallback, kNoClient, a.node, t.failures);
+    }
+  }
+
+  void requeueNow(NodeId v, double delay = 0.0) {
+    sched_.onEligible(v);
+    ++readyPoolCount_;
+    trace(FaultEventKind::Reissue, kNoClient, v, tasks_[v].failures, delay);
+    ++res_.resilience.reissues;
+  }
+
+  /// Returns the task to the ready pool unless another attempt (in flight or
+  /// queued as a speculative copy) or a pending backoff already covers it.
+  void requeueOrBackoff(NodeId v, bool immediate) {
+    TaskState& t = tasks_[v];
+    if (t.done || t.inFlight > 0 || t.specQueued || t.backoffPending) return;
+    if (immediate || fm_.backoffBase <= 0.0) {
+      requeueNow(v);
+      return;
+    }
+    const double exponent =
+        static_cast<double>(std::min<std::size_t>(t.failures > 0 ? t.failures - 1 : 0, 60));
+    const double delay = std::min(fm_.backoffCap, fm_.backoffBase * std::exp2(exponent));
+    t.backoffPending = true;
+    t.backoffDelay = delay;
+    pushEvent(now_ + delay, EvKind::Backoff, v);
+  }
+
+  void departClient(std::size_t c) {
+    trace(FaultEventKind::ClientDeparture, c, kNoNode, 0);
+    ++res_.resilience.departures;
+    if (clientState_[c] == ClientState::Idle) {
+      res_.totalIdleTime += now_ - idleSince_[c];
+    }
+    clientState_[c] = ClientState::Departed;
+    --alive_;
+    if (fm_.clientRejoinRate > 0.0) {
+      pushEvent(now_ + portableExponential(rng_, fm_.clientRejoinRate), EvKind::Rejoin, c);
+    }
+  }
+
+  void onFinish(std::size_t aid) {
+    Attempt& a = attempts_[aid];
+    if (!a.active) return;  // abandoned or cancelled; the client was freed then
+    const NodeId v = a.node;
+    TaskState& t = tasks_[v];
+
+    // Outcome draws, in fixed order: the legacy loss draw (only when the
+    // legacy knob is set), then the transient/permanent draw (only when the
+    // fault model injects failures). Reliable attempts always succeed.
+    bool legacyLoss = false;
+    bool transientFail = false;
+    bool permanentFail = false;
+    if (!a.reliable) {
+      if (cfg_.failureProbability > 0.0 &&
+          portableBernoulli(rng_, cfg_.failureProbability)) {
+        legacyLoss = true;
+      }
+      const double pFail =
+          fm_.transientFailureProbability + fm_.permanentFailureProbability;
+      if (!legacyLoss && pFail > 0.0) {
+        const double u = portableUnit(rng_);
+        if (u < fm_.permanentFailureProbability) {
+          permanentFail = true;
+        } else if (u < pFail) {
+          transientFail = true;
+        }
+      }
+    }
+
+    if (legacyLoss || transientFail || permanentFail) {
+      // The attempt's full duration is wasted; the task returns to the pool.
+      ++res_.failedAttempts;
+      const FaultEventKind kind = legacyLoss      ? FaultEventKind::TaskLost
+                                  : transientFail ? FaultEventKind::TransientFailure
+                                                  : FaultEventKind::PermanentFailure;
+      attemptLost(aid, kind);
+      requeueOrBackoff(v, /*immediate=*/legacyLoss);
+      if (permanentFail && alive_ > fm_.minAliveClients) {
+        departClient(a.client);
+      } else {
+        clientIdle(a.client);
+      }
+      serveIdle();
+      return;
+    }
+
+    // Success: first completion wins; any duplicate attempts are cancelled
+    // and their clients freed now.
+    deactivate(aid);
+    t.done = true;
+    ++executed_;
+    while (!liveAttempts_[v].empty()) {
+      const std::size_t loser = liveAttempts_[v].back();
+      const Attempt& la = attempts_[loser];
+      const double wasted = now_ - la.start;
+      trace(FaultEventKind::SpeculativeCancel, la.client, v, t.failures, wasted);
+      ++res_.resilience.speculativeCancels;
+      res_.resilience.wastedWork += wasted;
+      const std::size_t loserClient = la.client;
+      deactivate(loser);
+      clientIdle(loserClient);
+    }
+    if (t.specQueued) {
+      t.specQueued = false;
+      trace(FaultEventKind::SpeculativeCancel, kNoClient, v, t.failures);
+      ++res_.resilience.speculativeCancels;
+    }
+    if (t.firstFault >= 0.0) {
+      res_.resilience.totalRecoveryLatency += now_ - t.firstFault;
+      ++res_.resilience.recoveries;
+    }
+
+    const std::vector<NodeId> packet = tracker_.execute(v);
+    res_.eligibleAfterCompletion.push_back(tracker_.eligibleCount());
+    for (NodeId w : packet) {
+      sched_.onEligible(w);
+      ++readyPoolCount_;
+    }
+    if (executed_ == g_.numNodes()) return;  // makespan = now_
+    // Waiting clients asked earlier, so they are served first; the finishing
+    // client joins the back of the queue. Its unsatisfied request is a stall
+    // (waiting clients' stalls were counted when they first went idle).
+    const std::size_t finisher = a.client;
+    clientIdle(finisher);
+    serveIdle();
+    if (clientState_[finisher] == ClientState::Idle) ++res_.stallEvents;
+  }
+
+  void onDeparture(std::size_t c) {
+    if (clientState_[c] == ClientState::Departed) return;  // rejoin reschedules
+    const bool busyReliable =
+        clientState_[c] == ClientState::Busy && attempts_[clientAttempt_[c]].reliable;
+    if (alive_ <= fm_.minAliveClients || busyReliable) {
+      // Departure deferred (resilience floor, or the server shepherds this
+      // client's task); the client's next departure hazard is redrawn.
+      pushEvent(now_ + portableExponential(rng_, fm_.clientDepartureRate), EvKind::Departure,
+                c);
+      return;
+    }
+    if (clientState_[c] == ClientState::Busy) {
+      const std::size_t aid = clientAttempt_[c];
+      const NodeId v = attempts_[aid].node;
+      attemptLost(aid, FaultEventKind::TaskLost);
+      requeueOrBackoff(v, /*immediate=*/true);
+    }
+    departClient(c);
+    serveIdle();
+  }
+
+  void onRejoin(std::size_t c) {
+    if (clientState_[c] != ClientState::Departed) return;
+    ++alive_;
+    trace(FaultEventKind::ClientRejoin, c, kNoNode, 0);
+    ++res_.resilience.rejoins;
+    clientIdle(c);
+    if (fm_.clientDepartureRate > 0.0) {
+      pushEvent(now_ + portableExponential(rng_, fm_.clientDepartureRate), EvKind::Departure,
+                c);
+    }
+    serveIdle();
+    if (clientState_[c] == ClientState::Idle) ++res_.stallEvents;
+  }
+
+  void onTimeout(std::size_t aid) {
+    const Attempt& a = attempts_[aid];
+    if (!a.active || a.reliable || tasks_[a.node].done) return;
+    // The server abandons the attempt and re-allocates the task now; the
+    // client returns to the pool (the server cancelled its assignment).
+    const NodeId v = a.node;
+    const std::size_t client = a.client;
+    attemptLost(aid, FaultEventKind::TaskTimeout);
+    requeueOrBackoff(v, /*immediate=*/true);
+    clientIdle(client);
+    serveIdle();
+  }
+
+  void onSpecCheck(std::size_t aid) {
+    const Attempt& a = attempts_[aid];
+    TaskState& t = tasks_[a.node];
+    if (!a.active || t.done || t.specQueued || t.inFlight != 1) return;
+    t.specQueued = true;
+    specQueue_.push_back(a.node);
+    trace(FaultEventKind::SpeculativeIssue, a.client, a.node, t.failures, now_ - a.start);
+    ++res_.resilience.speculativeIssues;
+    serveIdle();
+  }
+
+  void onBackoff(NodeId v) {
+    TaskState& t = tasks_[v];
+    t.backoffPending = false;
+    if (t.done || t.inFlight > 0 || t.specQueued) return;
+    requeueNow(v, t.backoffDelay);
+    serveIdle();
+  }
+
+  const Dag& g_;
+  Scheduler& sched_;
+  const SimulationConfig& cfg_;
+  const FaultModelConfig& fm_;
+  EligibilityTracker tracker_;
+  std::mt19937_64 rng_;
+  bool faultsOn_ = false;
+
+  std::vector<double> speeds_;
+  std::vector<double> base_;
+  std::vector<TaskState> tasks_;
+  std::vector<Attempt> attempts_;
+  std::vector<std::vector<std::size_t>> liveAttempts_;
+  std::vector<ClientState> clientState_;
+  std::vector<std::size_t> clientAttempt_;
+  std::vector<double> idleSince_;
+  std::vector<std::uint8_t> inIdleQueue_;
+  std::deque<std::size_t> idleQueue_;
+  std::deque<NodeId> specQueue_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t alive_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t readyPoolCount_ = 0;
+  double readyPoolIntegral_ = 0.0;
+  double lastEventTime_ = 0.0;
+  double now_ = 0.0;
+  SimulationResult res_;
 };
 
 }  // namespace
 
 SimulationResult simulate(const Dag& g, Scheduler& sched, const SimulationConfig& config) {
   if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
-  if (config.numClients == 0) throw std::invalid_argument("simulate: need >= 1 client");
-  if (config.durationJitter < 0.0 || config.durationJitter >= 1.0) {
-    throw std::invalid_argument("simulate: durationJitter must be in [0, 1)");
-  }
-  std::vector<double> speeds = config.clientSpeeds;
-  if (speeds.empty()) {
-    speeds.assign(config.numClients, 1.0);
-  } else if (speeds.size() != config.numClients) {
-    throw std::invalid_argument("simulate: clientSpeeds size != numClients");
-  }
-  for (double s : speeds) {
-    if (s <= 0.0) throw std::invalid_argument("simulate: client speeds must be positive");
-  }
-  if (config.failureProbability < 0.0 || config.failureProbability >= 1.0) {
-    throw std::invalid_argument("simulate: failureProbability must be in [0, 1)");
-  }
-  std::vector<double> baseDuration = config.taskBaseDurations;
-  if (baseDuration.empty()) {
-    baseDuration.assign(g.numNodes(), config.meanTaskDuration);
-  } else if (baseDuration.size() != g.numNodes()) {
-    throw std::invalid_argument("simulate: taskBaseDurations size != node count");
-  }
-
-  std::mt19937_64 rng(config.seed);
-  std::uniform_real_distribution<double> jitter(1.0 - config.durationJitter,
-                                                1.0 + config.durationJitter);
-  std::bernoulli_distribution fails(config.failureProbability);
-
-  EligibilityTracker tracker(g);
-  for (NodeId v : tracker.eligibleNodes()) sched.onEligible(v);
-
-  SimulationResult res;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
-  // Idle clients, in the order they went idle; idleSince[c] tracks the
-  // moment each waiting client last asked for work.
-  std::deque<std::size_t> idleQueue;
-  std::vector<double> idleSince(config.numClients, 0.0);
-
-  double now = 0.0;
-  double readyPoolIntegral = 0.0;
-  double lastEventTime = 0.0;
-  std::size_t readyPoolCount = 0;  // ELIGIBLE and not yet allocated
-
-  // Count the ready pool as the scheduler sees it.
-  readyPoolCount = tracker.eligibleCount();
-
-  auto advanceIntegralTo = [&](double t) {
-    readyPoolIntegral += static_cast<double>(readyPoolCount) * (t - lastEventTime);
-    lastEventTime = t;
-  };
-
-  auto assignOrIdle = [&](std::size_t client) {
-    if (sched.hasWork()) {
-      const NodeId v = sched.pick();
-      --readyPoolCount;
-      const double duration = baseDuration[v] * jitter(rng) / speeds[client];
-      completions.push({now + duration, client, v});
-    } else {
-      ++res.stallEvents;
-      idleSince[client] = now;
-      idleQueue.push_back(client);
-    }
-  };
-
-  for (std::size_t c = 0; c < config.numClients; ++c) assignOrIdle(c);
-
-  std::size_t executed = 0;
-  while (executed < g.numNodes()) {
-    if (completions.empty()) {
-      throw std::logic_error("simulate: no in-flight task but work remains");
-    }
-    const Completion done = completions.top();
-    completions.pop();
-    advanceIntegralTo(done.time);
-    now = done.time;
-    if (config.failureProbability > 0.0 && fails(rng)) {
-      // The client departed mid-task ([14]): the result is lost and the
-      // task returns to the ready pool; the client (node rebooted / a
-      // replacement) asks for fresh work like any finisher.
-      ++res.failedAttempts;
-      sched.onEligible(done.node);
-      ++readyPoolCount;
-      idleQueue.push_back(done.client);
-      idleSince[done.client] = now;
-      while (!idleQueue.empty() && sched.hasWork()) {
-        const std::size_t client = idleQueue.front();
-        idleQueue.pop_front();
-        res.totalIdleTime += now - idleSince[client];
-        const NodeId v = sched.pick();
-        --readyPoolCount;
-        const double duration = baseDuration[v] * jitter(rng) / speeds[client];
-        completions.push({now + duration, client, v});
-      }
-      continue;
-    }
-    const std::vector<NodeId> packet = tracker.execute(done.node);
-    ++executed;
-    res.eligibleAfterCompletion.push_back(tracker.eligibleCount());
-    for (NodeId v : packet) {
-      sched.onEligible(v);
-      ++readyPoolCount;
-    }
-    // Waiting clients asked earlier, so they are served first; the finishing
-    // client joins the back of the queue (unless the computation is over).
-    if (executed < g.numNodes()) {
-      idleQueue.push_back(done.client);
-      idleSince[done.client] = now;
-      bool finisherServed = false;
-      while (!idleQueue.empty() && sched.hasWork()) {
-        const std::size_t client = idleQueue.front();
-        idleQueue.pop_front();
-        res.totalIdleTime += now - idleSince[client];
-        if (client == done.client) finisherServed = true;
-        const NodeId v = sched.pick();
-        --readyPoolCount;
-        const double duration = baseDuration[v] * jitter(rng) / speeds[client];
-        completions.push({now + duration, client, v});
-      }
-      // The finisher's unsatisfied request is a stall (waiting clients'
-      // stalls were counted when they first went idle).
-      if (!finisherServed) ++res.stallEvents;
-    }
-  }
-  res.makespan = now;
-  // Clients still waiting at the end idled until makespan.
-  while (!idleQueue.empty()) {
-    res.totalIdleTime += now - idleSince[idleQueue.front()];
-    idleQueue.pop_front();
-  }
-  res.avgReadyPool = res.makespan > 0.0 ? readyPoolIntegral / res.makespan : 0.0;
-  return res;
+  config.validate(g.numNodes());
+  SimEngine engine(g, sched, config);
+  return engine.run();
 }
 
 SimulationResult simulateWith(const Dag& g, const Schedule& icOptimal,

@@ -10,6 +10,13 @@
 /// *stalls* are the simulator's proxy for the paper's "gridlock" risk, and
 /// client idle time its proxy for poor utilization.
 ///
+/// Beyond the ideal setting, the simulator injects the hazards that motivate
+/// IC-Scheduling in the first place -- client churn, timeouts, stragglers
+/// with speculative re-issue, transient/permanent failures -- via the
+/// FaultModelConfig (see fault_model.hpp). Every fault event is derived from
+/// `seed`, recorded in a FaultTrace, and rolled up into ResilienceMetrics,
+/// so two runs with the same config are byte-identical.
+///
 /// This substitutes for the testbeds of the companion studies [15, 19]
 /// (Condor/PRIO), which are not available; see DESIGN.md.
 
@@ -18,6 +25,8 @@
 #include <vector>
 
 #include "core/dag.hpp"
+#include "resilience/fault_trace.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/scheduler.hpp"
 
 namespace icsched {
@@ -25,7 +34,7 @@ namespace icsched {
 /// Simulation parameters. All randomness is derived from \p seed.
 struct SimulationConfig {
   std::size_t numClients = 4;
-  /// Mean task duration (arbitrary time units).
+  /// Mean task duration (arbitrary time units). Must be finite and >= 0.
   double meanTaskDuration = 1.0;
   /// Durations are uniform in mean * [1-jitter, 1+jitter], divided by the
   /// executing client's speed. Must lie in [0, 1).
@@ -40,8 +49,19 @@ struct SimulationConfig {
   std::vector<double> taskBaseDurations;
   /// Probability that an allocated task fails (the client departs or the
   /// result is lost, cf. [14]) and must be re-allocated. Must be in [0, 1).
+  /// This legacy knob re-issues immediately with no backoff; the richer
+  /// fault mechanics live in `faults`.
   double failureProbability = 0.0;
+  /// Churn / timeout / speculation / failure injection (all off by default).
+  FaultModelConfig faults;
   std::uint64_t seed = 1;
+
+  /// Central validity check: every constraint on this config (and on
+  /// `faults`) in one place, with a field-specific error message.
+  /// \p numNodes is the dag's node count (for taskBaseDurations sizing);
+  /// pass SIZE_MAX to skip dag-dependent checks.
+  /// \throws std::invalid_argument naming the offending field.
+  void validate(std::size_t numNodes) const;
 };
 
 /// Simulation outcome and quality metrics.
@@ -50,7 +70,7 @@ struct SimulationResult {
   /// Time of the last task completion.
   double makespan = 0.0;
   /// Total client time spent idle (wanting work, none ELIGIBLE) before
-  /// makespan.
+  /// makespan. Time spent departed does not count as idle.
   double totalIdleTime = 0.0;
   /// Number of work requests that found no ELIGIBLE task.
   std::size_t stallEvents = 0;
@@ -62,6 +82,13 @@ struct SimulationResult {
   /// Theory-consistent event trace: number of ELIGIBLE (unexecuted,
   /// parents-complete) tasks after each completion event.
   std::vector<std::size_t> eligibleAfterCompletion;
+  /// Every churn/timeout/speculation/failure event, in simulated-time order.
+  /// Empty when no fault mechanism fired.
+  FaultTrace faultTrace;
+  /// Roll-up of faultTrace plus wasted work and recovery latency
+  /// (makespanInflation is left 0; harnesses that also run fault-free fill
+  /// it in).
+  ResilienceMetrics resilience;
 };
 
 /// Runs one simulation of \p g under \p sched.

@@ -152,4 +152,13 @@ std::vector<Workload> comparisonSuite(std::uint64_t seed) {
   return suite;
 }
 
+std::vector<Workload> resilienceSuite(std::uint64_t seed) {
+  std::vector<Workload> suite;
+  suite.push_back(fromScheduled("out-mesh(10)", outMesh(10)));
+  suite.push_back(fromScheduled("butterfly(4)", butterfly(4)));
+  suite.push_back(fromScheduled("prefix(16)", prefixDag(16)));
+  suite.push_back(fromDag("layered(6x8)", layeredRandomDag(6, 8, 0.25, seed)));
+  return suite;
+}
+
 }  // namespace icsched

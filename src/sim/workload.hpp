@@ -58,4 +58,11 @@ struct Workload {
 /// families at moderate sizes plus the synthetic scientific dags above.
 [[nodiscard]] std::vector<Workload> comparisonSuite(std::uint64_t seed);
 
+/// The fault-injection suite (tools/resilience_sweep, bench_resilience):
+/// dag families with genuine IC-optimal schedules -- where the theory's
+/// eligible-task cushion should absorb churn -- plus one generic scientific
+/// dag as a control. Smaller than comparisonSuite so a full fault sweep
+/// stays fast.
+[[nodiscard]] std::vector<Workload> resilienceSuite(std::uint64_t seed);
+
 }  // namespace icsched

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
+#include <thread>
 
 #include "exec/dag_executor.hpp"
 #include "exec/thread_pool.hpp"
@@ -127,6 +130,210 @@ TEST(DagExecutorTest, EmptyDagIsFine) {
   const Dag g;  // the empty frozen dag
   const ExecutionTrace t = executeParallel(g, Schedule(std::vector<NodeId>{}), [](NodeId) {}, 2);
   EXPECT_TRUE(t.dispatchOrder.empty());
+}
+
+// ---------- exception contract (fail-fast, exactly one propagates) ----------
+
+TEST(DagExecutorTest, FailFastStopsDispatchAfterFailure) {
+  // One worker makes dispatch order deterministic: the schedule's first node
+  // throws, so nothing else may ever be dispatched.
+  const ScheduledDag m = outMesh(4);
+  const NodeId first = m.schedule.order().front();
+  std::atomic<int> invoked{0};
+  EXPECT_THROW(executeParallel(
+                   m.dag, m.schedule,
+                   [&](NodeId v) {
+                     ++invoked;
+                     if (v == first) throw std::runtime_error("first task failed");
+                   },
+                   1),
+               std::runtime_error);
+  EXPECT_EQ(invoked.load(), 1);
+}
+
+TEST(DagExecutorTest, ExactlyOneExceptionPropagatesFromConcurrentThrowers) {
+  // Four independent sources rendezvous, then all throw at once. The
+  // contract: exactly one of the four exceptions reaches the caller.
+  constexpr std::size_t kTasks = 4;
+  const Dag g = DagBuilder(kTasks).freeze();  // no arcs: every node a source
+  std::vector<NodeId> order(kTasks);
+  std::iota(order.begin(), order.end(), 0);
+  std::atomic<int> arrived{0};
+  std::string caught;
+  try {
+    executeParallel(
+        g, Schedule(order),
+        [&](NodeId v) {
+          ++arrived;
+          while (arrived.load() < static_cast<int>(kTasks)) std::this_thread::yield();
+          throw std::runtime_error("thrower-" + std::to_string(v));
+        },
+        kTasks);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught.rfind("thrower-", 0), 0u) << caught;
+  EXPECT_EQ(arrived.load(), static_cast<int>(kTasks));
+}
+
+// ---------- cancellation tokens ----------
+
+TEST(ThreadPoolTest, CancelSourcePropagatesToTokens) {
+  CancelSource src;
+  const CancelToken tok = src.token();
+  EXPECT_FALSE(tok.cancelled());
+  EXPECT_FALSE(src.cancelled());
+  src.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_TRUE(src.cancelled());
+  const CancelToken fresh;  // default token never fires
+  EXPECT_FALSE(fresh.cancelled());
+}
+
+// ---------- retrying execution ----------
+
+TEST(RetryingExecutorTest, PolicyValidateCoversEveryBranch) {
+  RetryPolicy p;
+  p.validate();  // defaults are valid
+  auto expectInvalid = [](RetryPolicy bad, const std::string& needle) {
+    try {
+      bad.validate();
+      FAIL() << "expected invalid_argument mentioning '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  RetryPolicy bad;
+  bad.maxAttempts = 0;
+  expectInvalid(bad, "maxAttempts");
+  bad = RetryPolicy{};
+  bad.initialBackoffSeconds = -1.0;
+  expectInvalid(bad, "initialBackoffSeconds");
+  bad = RetryPolicy{};
+  bad.backoffMultiplier = 0.5;
+  expectInvalid(bad, "backoffMultiplier");
+  bad = RetryPolicy{};
+  bad.maxBackoffSeconds = -0.1;
+  expectInvalid(bad, "maxBackoffSeconds");
+  bad = RetryPolicy{};
+  bad.taskDeadlineSeconds = -2.0;
+  expectInvalid(bad, "taskDeadlineSeconds");
+}
+
+TEST(RetryingExecutorTest, TransientFailuresAreRetriedToCompletion) {
+  const ScheduledDag m = outMesh(5);
+  const std::size_t n = m.dag.numNodes();
+  std::vector<std::atomic<int>> attempts(n);
+  std::vector<std::atomic<int>> successes(n);
+  RetryPolicy policy;
+  policy.maxAttempts = 3;
+  const ExecutionTrace t = executeParallelRetrying(
+      m.dag, m.schedule,
+      [&](NodeId v, const CancelToken&) {
+        // Every third node fails its first attempt, then succeeds.
+        if (attempts[v]++ == 0 && v % 3 == 0) throw std::runtime_error("transient");
+        ++successes[v];
+      },
+      4, policy);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(successes[v].load(), 1) << "node " << v;
+    EXPECT_EQ(attempts[v].load(), v % 3 == 0 ? 2 : 1) << "node " << v;
+  }
+  EXPECT_GT(t.resilience.taskFailures, 0u);
+  EXPECT_EQ(t.resilience.taskFailures, t.resilience.retries);
+  EXPECT_EQ(t.resilience, summarize(t.faults));
+}
+
+TEST(RetryingExecutorTest, ExhaustedRetriesPropagateTheTaskException) {
+  const ScheduledDag m = outMesh(4);
+  const NodeId doomed = m.schedule.order().front();
+  std::atomic<int> attempts{0};
+  RetryPolicy policy;
+  policy.maxAttempts = 3;
+  try {
+    executeParallelRetrying(
+        m.dag, m.schedule,
+        [&](NodeId v, const CancelToken&) {
+          if (v == doomed) {
+            ++attempts;
+            throw std::runtime_error("always fails");
+          }
+        },
+        2, policy);
+    FAIL() << "expected the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "always fails");
+  }
+  EXPECT_EQ(attempts.load(), 3);  // policy.maxAttempts total attempts
+}
+
+TEST(RetryingExecutorTest, DeadlineCancelsStragglerThenRetrySucceeds) {
+  const ScheduledDag m = outMesh(3);
+  const NodeId slow = m.schedule.order().front();
+  std::vector<std::atomic<int>> attempts(m.dag.numNodes());
+  std::atomic<bool> sawCancel{false};
+  RetryPolicy policy;
+  policy.maxAttempts = 2;
+  policy.taskDeadlineSeconds = 0.05;
+  const ExecutionTrace t = executeParallelRetrying(
+      m.dag, m.schedule,
+      [&](NodeId v, const CancelToken& token) {
+        if (v == slow && attempts[v]++ == 0) {
+          // A cooperative straggler: outlive the deadline, observe the
+          // token fire, bail out. The attempt counts as failed.
+          while (!token.cancelled()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          sawCancel = true;
+          return;
+        }
+        if (v != slow) ++attempts[v];
+      },
+      2, policy);
+  EXPECT_TRUE(sawCancel.load());
+  EXPECT_EQ(attempts[slow].load(), 2);
+  EXPECT_GE(t.resilience.deadlineExceeded, 1u);
+  EXPECT_GE(t.resilience.retries, 1u);
+}
+
+TEST(RetryingExecutorTest, FailFastCancelsOutstandingTokens) {
+  // Two independent sources: one fails terminally, the other runs long but
+  // cooperatively -- it must observe its token cancelled and stop early.
+  const Dag g = DagBuilder(2).freeze();
+  std::atomic<bool> slowStarted{false};
+  std::atomic<bool> slowCancelled{false};
+  RetryPolicy policy;
+  policy.maxAttempts = 1;
+  try {
+    executeParallelRetrying(
+        g, Schedule(std::vector<NodeId>{0, 1}),
+        [&](NodeId v, const CancelToken& token) {
+          if (v == 1) {
+            slowStarted = true;
+            while (!token.cancelled()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            slowCancelled = true;
+            return;
+          }
+          while (!slowStarted.load()) std::this_thread::yield();
+          throw std::runtime_error("terminal failure");
+        },
+        2, policy);
+    FAIL() << "expected the terminal failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "terminal failure");
+  }
+  EXPECT_TRUE(slowCancelled.load());
+}
+
+TEST(RetryingExecutorTest, MatchesPlainExecutionWhenNothingFails) {
+  const ScheduledDag m = prefixDag(8);
+  const std::size_t n = m.dag.numNodes();
+  std::vector<std::atomic<int>> runs(n);
+  RetryPolicy policy;
+  const ExecutionTrace t = executeParallelRetrying(
+      m.dag, m.schedule, [&](NodeId v, const CancelToken&) { ++runs[v]; }, 4, policy);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v].load(), 1) << "node " << v;
+  EXPECT_EQ(t.dispatchOrder.size(), n);
+  EXPECT_TRUE(t.faults.empty());
 }
 
 }  // namespace

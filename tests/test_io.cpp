@@ -156,6 +156,51 @@ TEST(CliTest, SimulateReportsMetrics) {
   EXPECT_EQ(out, out2);
 }
 
+TEST(CliTest, SimulateFaultFlagsPrintResilienceLine) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "mesh", "6"}, "", &text), 0);
+  std::string out;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "depart=0.1", "join=0.5", "minalive=2",
+                 "timeout=5", "straggler=0.2", "slowdown=6", "spec=1.5"},
+                text, &out),
+            0);
+  EXPECT_NE(out.find("makespan="), std::string::npos);
+  EXPECT_NE(out.find("resilience departures="), std::string::npos);
+  EXPECT_NE(out.find("timeouts="), std::string::npos);
+  // Without fault flags there is no resilience line.
+  std::string plain;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3"}, text, &plain), 0);
+  EXPECT_EQ(plain.find("resilience"), std::string::npos);
+  // trace=1 appends the FaultTrace dump; with faults active it is nonempty
+  // and deterministic across runs.
+  std::string traced;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "depart=0.3", "join=0.5", "trace=1"}, text,
+                &traced),
+            0);
+  EXPECT_NE(traced.find("kind=client-departure"), std::string::npos);
+  std::string traced2;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "depart=0.3", "join=0.5", "trace=1"}, text,
+                &traced2),
+            0);
+  EXPECT_EQ(traced, traced2);
+}
+
+TEST(CliTest, SimulateRejectsMalformedFaultFlags) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "mesh", "4"}, "", &text), 0);
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"simulate", "2", "IC-OPT", "1", "bogus=1"}, text, &out, &err), 1);
+  EXPECT_NE(err.find("unknown fault key"), std::string::npos);
+  EXPECT_EQ(cli({"simulate", "2", "IC-OPT", "1", "depart"}, text, &out, &err), 1);
+  EXPECT_NE(err.find("key=value"), std::string::npos);
+  EXPECT_EQ(cli({"simulate", "2", "IC-OPT", "1", "depart=abc"}, text, &out, &err), 1);
+  EXPECT_NE(err.find("bad depart"), std::string::npos);
+  // Invalid values surface the config's field-specific message.
+  EXPECT_EQ(cli({"simulate", "2", "IC-OPT", "1", "straggler=1.5"}, text, &out, &err), 1);
+  EXPECT_NE(err.find("stragglerProbability"), std::string::npos);
+}
+
 TEST(CliTest, ErrorsGoToStderrWithExitCodes) {
   std::string out;
   std::string err;

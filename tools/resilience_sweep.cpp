@@ -1,0 +1,213 @@
+/// \file resilience_sweep.cpp
+/// \brief Fault-injection sweep harness: `icsched_resilience_sweep [OUT.json]`.
+///
+/// Sweeps the resilience suite (workload.hpp) x {IC-OPT, RANDOM} x five
+/// fault scenarios (fault-free, churn, timeouts+stragglers, speculation,
+/// everything at once), all from one fixed seed. For every cell it
+///   - runs the simulation twice and demands byte-identical FaultTraces
+///     (the determinism guarantee of fault_model.hpp),
+///   - checks the run completed every task (eligibleAfterCompletion has one
+///     entry per node and ends at zero -- no gridlock),
+///   - computes makespan inflation against the fault-free run of the same
+///     (family, scheduler) pair.
+/// Results land in BENCH_resilience.json (or argv[1]); the file is
+/// deterministic, so re-running the binary reproduces it byte for byte.
+/// Exits nonzero if any run is incomplete or non-deterministic.
+
+#include <cstddef>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fault_model.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace icsched {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+struct Scenario {
+  std::string name;
+  FaultModelConfig faults;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"fault-free", {}});
+
+  FaultModelConfig churn;
+  churn.clientDepartureRate = 0.05;
+  churn.clientRejoinRate = 0.5;
+  churn.minAliveClients = 2;
+  out.push_back({"churn", churn});
+
+  FaultModelConfig timeouts;
+  timeouts.taskTimeout = 4.0;
+  timeouts.stragglerProbability = 0.15;
+  timeouts.stragglerSlowdown = 6.0;
+  out.push_back({"timeout+straggler", timeouts});
+
+  FaultModelConfig speculation;
+  speculation.stragglerProbability = 0.2;
+  speculation.stragglerSlowdown = 8.0;
+  speculation.speculationFactor = 1.5;
+  out.push_back({"speculation", speculation});
+
+  FaultModelConfig full;
+  full.clientDepartureRate = 0.05;
+  full.clientRejoinRate = 0.5;
+  full.minAliveClients = 2;
+  full.taskTimeout = 6.0;
+  full.stragglerProbability = 0.1;
+  full.stragglerSlowdown = 6.0;
+  full.speculationFactor = 1.5;
+  full.transientFailureProbability = 0.05;
+  full.permanentFailureProbability = 0.01;
+  full.maxAttempts = 5;
+  full.backoffBase = 0.1;
+  full.backoffCap = 2.0;
+  out.push_back({"full", full});
+  return out;
+}
+
+struct Cell {
+  std::string family;
+  std::string scheduler;
+  std::string scenario;
+  SimulationResult result;
+  std::uint64_t fingerprint = 0;
+};
+
+void writeJson(std::ostream& os, const std::vector<Cell>& cells) {
+  os << std::setprecision(17);
+  os << "{\n  \"bench\": \"resilience_sweep\",\n  \"seed\": " << kSeed
+     << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const ResilienceMetrics& m = c.result.resilience;
+    os << "    {\"family\": \"" << c.family << "\", \"scheduler\": \"" << c.scheduler
+       << "\", \"scenario\": \"" << c.scenario << "\", \"makespan\": " << c.result.makespan
+       << ", \"makespan_inflation\": " << m.makespanInflation
+       << ", \"stalls\": " << c.result.stallEvents << ", \"idle\": " << c.result.totalIdleTime
+       << ", \"ready_pool\": " << c.result.avgReadyPool << ", \"departures\": " << m.departures
+       << ", \"rejoins\": " << m.rejoins << ", \"lost\": " << m.lostTasks
+       << ", \"timeouts\": " << m.timeouts << ", \"spec_issues\": " << m.speculativeIssues
+       << ", \"spec_cancels\": " << m.speculativeCancels
+       << ", \"transient\": " << m.transientFailures << ", \"permanent\": " << m.permanentFailures
+       << ", \"reissues\": " << m.reissues << ", \"wasted_work\": " << m.wastedWork
+       << ", \"recovery_latency\": " << m.avgRecoveryLatency()
+       << ", \"trace_fingerprint\": " << c.fingerprint << "}";
+    os << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+int run(const std::string& outPath) {
+  const std::vector<Workload> suite = resilienceSuite(kSeed);
+  const std::vector<Scenario> scens = scenarios();
+  const std::vector<std::string> schedulers = {"IC-OPT", "RANDOM"};
+
+  std::vector<Cell> cells;
+  // Fault-free makespans, keyed (family, scheduler), for inflation.
+  std::map<std::pair<std::string, std::string>, double> baseline;
+  int failures = 0;
+
+  for (const Workload& w : suite) {
+    for (const std::string& sched : schedulers) {
+      for (const Scenario& sc : scens) {
+        SimulationConfig cfg;
+        cfg.numClients = 8;
+        cfg.seed = kSeed;
+        cfg.faults = sc.faults;
+
+        SimulationResult r = simulateWith(w.dag, w.schedule, sched, cfg);
+        const SimulationResult again = simulateWith(w.dag, w.schedule, sched, cfg);
+
+        if (r.faultTrace.toString() != again.faultTrace.toString() ||
+            r.makespan != again.makespan) {
+          std::cerr << "NON-DETERMINISTIC: " << w.name << " / " << sched << " / " << sc.name
+                    << "\n";
+          ++failures;
+        }
+        const bool complete = r.eligibleAfterCompletion.size() == w.dag.numNodes() &&
+                              (r.eligibleAfterCompletion.empty() ||
+                               r.eligibleAfterCompletion.back() == 0);
+        if (!complete) {
+          std::cerr << "INCOMPLETE (gridlock?): " << w.name << " / " << sched << " / "
+                    << sc.name << " completed " << r.eligibleAfterCompletion.size() << "/"
+                    << w.dag.numNodes() << " tasks\n";
+          ++failures;
+        }
+
+        if (sc.name == "fault-free") {
+          baseline[{w.name, sched}] = r.makespan;
+          r.resilience.makespanInflation = 1.0;
+        } else {
+          const double base = baseline.at({w.name, sched});
+          r.resilience.makespanInflation = base > 0.0 ? r.makespan / base : 1.0;
+        }
+
+        Cell cell;
+        cell.family = w.name;
+        cell.scheduler = sched;
+        cell.scenario = sc.name;
+        cell.fingerprint = r.faultTrace.fingerprint();
+        cell.result = std::move(r);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // IC-OPT vs RANDOM side by side on stdout (the artifact has the details).
+  std::cout << std::left << std::setw(16) << "family" << std::setw(20) << "scenario"
+            << std::setw(22) << "IC-OPT infl/stalls" << "RANDOM infl/stalls\n";
+  for (const Workload& w : suite) {
+    for (const Scenario& sc : scens) {
+      std::cout << std::left << std::setw(16) << w.name << std::setw(20) << sc.name;
+      for (const std::string& sched : schedulers) {
+        for (const Cell& c : cells) {
+          if (c.family == w.name && c.scheduler == sched && c.scenario == sc.name) {
+            std::ostringstream col;
+            col << std::fixed << std::setprecision(2) << c.result.resilience.makespanInflation
+                << "x / " << c.result.stallEvents;
+            std::cout << std::left << std::setw(22) << col.str();
+          }
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+
+  std::ofstream json(outPath);
+  if (!json) {
+    std::cerr << "cannot open " << outPath << "\n";
+    return 2;
+  }
+  writeJson(json, cells);
+  std::cout << "\nwrote " << outPath << " (" << cells.size() << " cells)\n";
+  if (failures > 0) {
+    std::cerr << failures << " check(s) failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace icsched
+
+int main(int argc, char** argv) {
+  const std::string outPath = argc > 1 ? argv[1] : "BENCH_resilience.json";
+  try {
+    return icsched::run(outPath);
+  } catch (const std::exception& e) {
+    std::cerr << "resilience_sweep: " << e.what() << "\n";
+    return 2;
+  }
+}
