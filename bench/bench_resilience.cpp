@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
@@ -66,9 +67,28 @@ int main(int argc, char** argv) {
   ib::Outcome outcome;
 
   constexpr std::uint64_t kSeed = 42;
-  const std::vector<std::string> schedulers = {"IC-OPT", "RANDOM"};
+  const std::vector<Workload> suite = resilienceSuite(kSeed);
 
-  for (const Workload& w : resilienceSuite(kSeed)) {
+  // One sweep covers the whole bench: every workload x {IC-OPT, RANDOM} x
+  // {fault-free, full faults}, executed serially as the reference and again
+  // on the thread pool for the determinism check.
+  SweepSpec spec;
+  for (const Workload& w : suite) spec.add(w);
+  spec.schedulers = {"IC-OPT", "RANDOM"};
+  spec.seeds = seedRange(kSeed, 1);
+  spec.faultCases = {{"fault-free", {}}, {"full", fullFaults()}};
+  spec.base.numClients = 8;
+
+  const std::vector<Replication> serial = BatchRunner(1).run(spec);
+  const std::vector<Replication> parallel = BatchRunner().run(spec);
+
+  // cell(d, s, f): replication index with the single-seed axis collapsed.
+  const auto cell = [&](std::size_t d, std::size_t s, std::size_t f) -> const Replication& {
+    return serial[(d * spec.schedulers.size() + s) * spec.faultCases.size() + f];
+  };
+
+  for (std::size_t d = 0; d < suite.size(); ++d) {
+    const Workload& w = suite[d];
     std::cout << "\n================ WORKLOAD " << w.name << "  (|V|=" << w.dag.numNodes()
               << ", |A|=" << w.dag.numArcs()
               << (w.theoryOptimal ? ", IC-optimal schedule" : ", generic static order")
@@ -82,31 +102,26 @@ int main(int argc, char** argv) {
 
     bool allComplete = true;
     bool allDeterministic = true;
-    for (const std::string& sched : schedulers) {
-      SimulationConfig cfg;
-      cfg.numClients = 8;
-      cfg.seed = kSeed;
-
-      const SimulationResult clean = simulateWith(w.dag, w.schedule, sched, cfg);
-      cfg.faults = fullFaults();
-      const SimulationResult faulty = simulateWith(w.dag, w.schedule, sched, cfg);
-      const SimulationResult again = simulateWith(w.dag, w.schedule, sched, cfg);
+    for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+      const SimulationResult& clean = cell(d, s, 0).result;
+      const SimulationResult& faulty = cell(d, s, 1).result;
+      const SimulationResult& pooled = parallel[cell(d, s, 1).index].result;
 
       allDeterministic = allDeterministic &&
-                         faulty.faultTrace.fingerprint() == again.faultTrace.fingerprint() &&
-                         faulty.makespan == again.makespan;
+                         faulty.faultTrace.fingerprint() == pooled.faultTrace.fingerprint() &&
+                         faulty.makespan == pooled.makespan;
       allComplete = allComplete &&
                     faulty.eligibleAfterCompletion.size() == w.dag.numNodes() &&
                     faulty.eligibleAfterCompletion.back() == 0;
 
       const double inflation = clean.makespan > 0.0 ? faulty.makespan / clean.makespan : 1.0;
-      t.printRow(sched, inflation, static_cast<double>(faulty.stallEvents),
+      t.printRow(spec.schedulers[s], inflation, static_cast<double>(faulty.stallEvents),
                  faulty.avgReadyPool, faulty.resilience.wastedWork,
                  faulty.resilience.avgRecoveryLatency());
     }
 
     ib::verdict(allComplete, "every faulty run completes all tasks (no gridlock)");
-    ib::verdict(allDeterministic, "repeated runs are byte-identical (same seed)");
+    ib::verdict(allDeterministic, "parallel sweep matches the serial reference");
     outcome.note(allComplete && allDeterministic);
   }
 

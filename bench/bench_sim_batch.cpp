@@ -1,0 +1,239 @@
+/// \file bench_sim_batch.cpp
+/// \brief Batched simulation throughput: serial vs parallel replications,
+/// allocating vs allocation-free event path. Results land in BENCH_sim.json.
+///
+///   bench_sim_batch [OUT.json] [--smoke]
+///
+/// The sweep is the acceptance workload: all 6 schedulers x 16 seeds over
+/// mesh300 (outMesh(24), |V|=300) and butterfly12 (the 12-dimensional
+/// butterfly, |V|=53248), run once serially (the reference) and once on the
+/// thread pool. The bench
+///   - times both runs over several repetitions (best-of; 1 in --smoke mode)
+///     and reports replications/second and the parallel speedup,
+///   - measures the per-event cost of EligibilityTracker::execute() (fresh
+///     vector per call) against executeInto() (reused scratch buffer) -- the
+///     allocation the simulator's hot loop no longer pays,
+///   - verifies the parallel sweep is byte-identical to the serial one
+///     (makespans, stalls, eligibility traces, fault fingerprints), plus a
+///     fault-injected block under the pool, and exits nonzero on divergence.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/eligibility.hpp"
+#include "families/butterfly.hpp"
+#include "families/mesh.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/workload.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// ns/node of a full dag execution through the allocating execute() path.
+double perEventNsExecute(const Dag& g, std::size_t reps) {
+  EligibilityTracker tracker(g);
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    tracker.reset();
+    const auto start = Clock::now();
+    for (NodeId v : g.topologicalOrder()) {
+      std::vector<NodeId> packet = tracker.execute(v);
+      benchmark::DoNotOptimize(packet.data());
+    }
+    best = std::min(best, secondsSince(start));
+  }
+  return best * 1e9 / static_cast<double>(g.numNodes());
+}
+
+/// ns/node of the same execution through the scratch-buffer executeInto().
+double perEventNsExecuteInto(const Dag& g, std::size_t reps) {
+  EligibilityTracker tracker(g);
+  std::vector<NodeId> packet;
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    tracker.reset();
+    const auto start = Clock::now();
+    for (NodeId v : g.topologicalOrder()) {
+      tracker.executeInto(v, packet);
+      benchmark::DoNotOptimize(packet.data());
+    }
+    best = std::min(best, secondsSince(start));
+  }
+  return best * 1e9 / static_cast<double>(g.numNodes());
+}
+
+bool sameResults(const std::vector<Replication>& a, const std::vector<Replication>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SimulationResult& x = a[i].result;
+    const SimulationResult& y = b[i].result;
+    if (x.schedulerName != y.schedulerName || x.makespan != y.makespan ||
+        x.totalIdleTime != y.totalIdleTime || x.stallEvents != y.stallEvents ||
+        x.avgReadyPool != y.avgReadyPool || x.failedAttempts != y.failedAttempts ||
+        x.eligibleAfterCompletion != y.eligibleAfterCompletion ||
+        x.faultTrace.fingerprint() != y.faultTrace.fingerprint()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FaultModelConfig fullFaults() {
+  FaultModelConfig f;
+  f.clientDepartureRate = 0.05;
+  f.clientRejoinRate = 0.5;
+  f.minAliveClients = 2;
+  f.taskTimeout = 6.0;
+  f.stragglerProbability = 0.1;
+  f.stragglerSlowdown = 6.0;
+  f.speculationFactor = 1.5;
+  f.transientFailureProbability = 0.05;
+  f.permanentFailureProbability = 0.01;
+  f.maxAttempts = 5;
+  f.backoffBase = 0.1;
+  f.backoffCap = 2.0;
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_sim.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      outPath = arg;
+    }
+  }
+  const std::size_t reps = smoke ? 1 : 5;
+
+  ib::header("B1", "Batched simulation engine: serial vs parallel replication throughput");
+  ib::Outcome outcome;
+
+  const ScheduledDag mesh300 = outMesh(24);        // |V| = 300
+  const ScheduledDag butterfly12 = butterfly(12);  // |V| = 53248
+  const Workload wMesh{"mesh300", mesh300.dag, mesh300.schedule, true};
+  const Workload wButterfly{"butterfly12", butterfly12.dag, butterfly12.schedule, true};
+
+  // ---- per-event cost of the allocation-free eligibility path ----
+  std::cout << "\nPer-event eligibility cost (" << reps << " reps, best-of):\n";
+  ib::Table evt({"family", "execute ns", "into ns", "speedup"});
+  evt.printHeader();
+  struct PerEvent {
+    std::string family;
+    double executeNs;
+    double intoNs;
+  };
+  std::vector<PerEvent> perEvent;
+  for (const Workload* w : {&wMesh, &wButterfly}) {
+    const double alloc = perEventNsExecute(w->dag, reps);
+    const double into = perEventNsExecuteInto(w->dag, reps);
+    evt.printRow(w->name, alloc, into, alloc / into);
+    perEvent.push_back({w->name, alloc, into});
+  }
+
+  // ---- replication throughput: all schedulers x 16 seeds x both dags ----
+  SweepSpec spec;
+  spec.add(wMesh);
+  spec.add(wButterfly);
+  spec.schedulers = allSchedulerNames();
+  spec.seeds = seedRange(1, 16);
+  spec.base.numClients = 8;
+
+  const std::size_t total = spec.numReplications();
+  const BatchRunner serialRunner(1);
+  const BatchRunner parallelRunner;  // hardware concurrency
+  std::cout << "\nSweep: " << spec.dags.size() << " dags x " << spec.schedulers.size()
+            << " schedulers x " << spec.seeds.size() << " seeds = " << total
+            << " replications; pool threads = " << parallelRunner.numThreads() << "\n";
+
+  std::vector<Replication> serial;
+  std::vector<Replication> parallel;
+  double serialSec = 1e300;
+  double parallelSec = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    serial = serialRunner.run(spec);
+    serialSec = std::min(serialSec, secondsSince(start));
+    start = Clock::now();
+    parallel = parallelRunner.run(spec);
+    parallelSec = std::min(parallelSec, secondsSince(start));
+  }
+
+  std::size_t totalEvents = 0;
+  for (const Replication& r : serial) totalEvents += r.result.eligibleAfterCompletion.size();
+  const double speedup = serialSec / parallelSec;
+  const bool identical = sameResults(serial, parallel);
+
+  ib::Table t({"mode", "seconds", "reps/sec", "sim-events/sec"});
+  t.printHeader();
+  t.printRow("serial", serialSec, static_cast<double>(total) / serialSec,
+             static_cast<double>(totalEvents) / serialSec);
+  t.printRow("parallel", parallelSec, static_cast<double>(total) / parallelSec,
+             static_cast<double>(totalEvents) / parallelSec);
+  std::cout << "  parallel speedup: " << std::fixed << std::setprecision(2) << speedup
+            << "x on " << parallelRunner.numThreads() << " thread(s)\n";
+  ib::verdict(identical, "parallel sweep is byte-identical to the serial reference");
+  outcome.note(identical);
+
+  // ---- fault-injected replications under the pool stay deterministic ----
+  SweepSpec faulty = spec;
+  faulty.schedulers = {"IC-OPT", "RANDOM"};
+  faulty.seeds = seedRange(1, 8);
+  faulty.faultCases = {{"full", fullFaults()}};
+  const bool faultyIdentical =
+      sameResults(serialRunner.run(faulty), parallelRunner.run(faulty));
+  ib::verdict(faultyIdentical, "fault-injected sweep is byte-identical under the pool");
+  outcome.note(faultyIdentical);
+
+  std::ofstream json(outPath);
+  if (!json) {
+    std::cerr << "cannot open " << outPath << "\n";
+    return 2;
+  }
+  json << std::setprecision(17);
+  json << "{\n  \"bench\": \"sim_batch\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"repetitions\": " << reps << ",\n"
+       << "  \"threads\": " << parallelRunner.numThreads() << ",\n"
+       << "  \"families\": [\"mesh300\", \"butterfly12\"],\n"
+       << "  \"schedulers\": " << spec.schedulers.size() << ",\n"
+       << "  \"seeds\": " << spec.seeds.size() << ",\n"
+       << "  \"replications\": " << total << ",\n"
+       << "  \"total_sim_events\": " << totalEvents << ",\n"
+       << "  \"serial_seconds\": " << serialSec << ",\n"
+       << "  \"parallel_seconds\": " << parallelSec << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"serial_reps_per_sec\": " << static_cast<double>(total) / serialSec << ",\n"
+       << "  \"parallel_reps_per_sec\": " << static_cast<double>(total) / parallelSec << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"faulty_identical\": " << (faultyIdentical ? "true" : "false") << ",\n"
+       << "  \"per_event_ns\": {\n";
+  for (std::size_t i = 0; i < perEvent.size(); ++i) {
+    json << "    \"" << perEvent[i].family << "\": {\"execute\": " << perEvent[i].executeNs
+         << ", \"execute_into\": " << perEvent[i].intoNs << "}"
+         << (i + 1 < perEvent.size() ? ",\n" : "\n");
+  }
+  json << "  }\n}\n";
+  std::cout << "\nwrote " << outPath << "\n";
+
+  return outcome.exitCode();
+}

@@ -21,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "core/optimality.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
 
@@ -28,6 +29,11 @@ namespace ib = icsched::bench;
 using namespace icsched;
 
 namespace {
+
+/// First seed of every comparison sweep. The seed axis is always
+/// seedRange(kFirstSeed, trials) -- the same helper the sweep tools use --
+/// so bench and tools can never drift on seeding conventions.
+constexpr std::uint64_t kFirstSeed = 1000;
 
 struct Agg {
   double makespan = 0;
@@ -38,18 +44,23 @@ struct Agg {
 
 std::map<std::string, Agg> runAll(const Workload& w, const SimulationConfig& base,
                                   std::size_t trials) {
+  SweepSpec spec;
+  spec.add(w);
+  spec.schedulers = allSchedulerNames();
+  spec.seeds = seedRange(kFirstSeed, trials);
+  spec.base = base;
+
   std::map<std::string, Agg> agg;
-  for (const std::string& name : allSchedulerNames()) {
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      SimulationConfig cfg = base;
-      cfg.seed = 1000 + trial;
-      const SimulationResult r = simulateWith(w.dag, w.schedule, name, cfg);
-      const double t = static_cast<double>(trials);
-      agg[name].makespan += r.makespan / t;
-      agg[name].idle += r.totalIdleTime / t;
-      agg[name].stalls += static_cast<double>(r.stallEvents) / t;
-      agg[name].ready += r.avgReadyPool / t;
-    }
+  const double t = static_cast<double>(trials);
+  // Replications come back ordered by index (seed fastest within scheduler),
+  // so the mean accumulates in the same order for any thread count.
+  for (const Replication& rep : BatchRunner().run(spec)) {
+    const SimulationResult& r = rep.result;
+    Agg& a = agg[spec.schedulers[rep.schedulerIndex]];
+    a.makespan += r.makespan / t;
+    a.idle += r.totalIdleTime / t;
+    a.stalls += static_cast<double>(r.stallEvents) / t;
+    a.ready += r.avgReadyPool / t;
   }
   return agg;
 }

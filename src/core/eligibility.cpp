@@ -7,6 +7,11 @@ namespace icsched {
 
 EligibilityTracker::EligibilityTracker(const Dag& g) : g_(&g) { reset(); }
 
+void EligibilityTracker::rebind(const Dag& g) {
+  g_ = &g;
+  reset();
+}
+
 void EligibilityTracker::reset() {
   const std::size_t n = g_->numNodes();
   // O(V): a flat copy of the memoized in-degree array plus the cached
@@ -22,30 +27,40 @@ void EligibilityTracker::reset() {
 
 std::vector<NodeId> EligibilityTracker::eligibleNodes() const {
   std::vector<NodeId> out;
-  out.reserve(eligibleCount_);
-  for (NodeId v = 0; v < g_->numNodes(); ++v)
-    if (eligible_[v]) out.push_back(v);
+  eligibleNodesInto(out);
   return out;
 }
 
+void EligibilityTracker::eligibleNodesInto(std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(eligibleCount_);
+  for (NodeId v = 0; v < g_->numNodes(); ++v)
+    if (eligible_[v]) out.push_back(v);
+}
+
 std::vector<NodeId> EligibilityTracker::execute(NodeId v) {
+  std::vector<NodeId> packet;
+  executeInto(v, packet);
+  return packet;
+}
+
+void EligibilityTracker::executeInto(NodeId v, std::vector<NodeId>& out) {
   if (v >= g_->numNodes() || !eligible_[v]) {
     throw std::logic_error("EligibilityTracker: node " + std::to_string(v) +
                            " is not ELIGIBLE");
   }
+  out.clear();
   eligible_[v] = false;
   executed_[v] = true;
   --eligibleCount_;
   ++executedCount_;
-  std::vector<NodeId> packet;
   for (NodeId c : g_->children(v)) {
     if (--pendingParents_[c] == 0) {
       eligible_[c] = true;
       ++eligibleCount_;
-      packet.push_back(c);
+      out.push_back(c);
     }
   }
-  return packet;
 }
 
 std::vector<std::size_t> eligibilityProfile(const Dag& g, const Schedule& s) {

@@ -34,13 +34,27 @@ class EligibilityTracker {
   /// All currently ELIGIBLE nodes, in increasing id order.
   [[nodiscard]] std::vector<NodeId> eligibleNodes() const;
 
+  /// Allocation-free variant of eligibleNodes(): clears \p out and fills it
+  /// with the ELIGIBLE nodes in increasing id order, reusing its capacity.
+  void eligibleNodesInto(std::vector<NodeId>& out) const;
+
   /// Executes \p v and returns the "packet" of nodes this execution rendered
   /// ELIGIBLE (the P_j of Section 2.3.2), in increasing id order.
   /// \throws std::logic_error if \p v is not ELIGIBLE.
   std::vector<NodeId> execute(NodeId v);
 
+  /// Allocation-free variant of execute() for hot loops (the simulator's
+  /// event path): clears \p out and fills it with the packet, reusing the
+  /// caller's buffer capacity instead of returning a fresh vector.
+  /// \throws std::logic_error if \p v is not ELIGIBLE.
+  void executeInto(NodeId v, std::vector<NodeId>& out);
+
   /// Resets to the initial state (nothing executed, sources ELIGIBLE).
   void reset();
+
+  /// Re-targets the tracker at \p g and resets, reusing the existing buffer
+  /// capacity (for engines that recycle one tracker across many dags).
+  void rebind(const Dag& g);
 
  private:
   const Dag* g_;

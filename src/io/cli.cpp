@@ -17,6 +17,7 @@
 #include "families/prefix.hpp"
 #include "families/trees.hpp"
 #include "io/dag_io.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/simulation.hpp"
 
 namespace icsched {
@@ -166,20 +167,66 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   cfg.numClients = parseSize(args[0], "clients");
   cfg.seed = parseSize(args[2], "seed");
   bool dumpTrace = false;
-  for (std::size_t i = 3; i < args.size(); ++i) applyFaultFlag(cfg, dumpTrace, args[i]);
-  const SimulationResult r = simulateWith(g, s, args[1], cfg);
-  out << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
-      << " stalls=" << r.stallEvents << " readyPool=" << r.avgReadyPool << "\n";
-  if (cfg.failureProbability > 0.0 || cfg.faults.anyEnabled()) {
-    const ResilienceMetrics& m = r.resilience;
-    out << "resilience departures=" << m.departures << " rejoins=" << m.rejoins
-        << " lost=" << m.lostTasks << " timeouts=" << m.timeouts
-        << " specIssues=" << m.speculativeIssues << " specCancels=" << m.speculativeCancels
-        << " transient=" << m.transientFailures << " permanent=" << m.permanentFailures
-        << " reissues=" << m.reissues << " wasted=" << m.wastedWork
-        << " recovery=" << m.avgRecoveryLatency() << "\n";
+  std::size_t trials = 1;
+  std::size_t threads = 1;  // 0 = hardware concurrency (BatchRunner convention)
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag.rfind("trials=", 0) == 0) {
+      trials = parseSize(flag.substr(7), "trials");
+    } else if (flag.rfind("threads=", 0) == 0) {
+      threads = parseSize(flag.substr(8), "threads");
+    } else {
+      applyFaultFlag(cfg, dumpTrace, flag);
+    }
   }
-  if (dumpTrace) r.faultTrace.writeTo(out);
+  if (trials == 0) throw std::invalid_argument("simulate: trials must be >= 1");
+
+  SweepSpec spec;
+  spec.dags.push_back({"cli", &g, &s});
+  spec.schedulers = {args[1]};
+  spec.seeds = seedRange(cfg.seed, trials);
+  spec.faultCases = {{"cli", cfg.faults}};
+  spec.base = cfg;
+  const std::vector<Replication> reps = BatchRunner(threads).run(spec);
+
+  const auto printResult = [&](const SimulationResult& r, const char* prefix) {
+    out << prefix << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
+        << " stalls=" << r.stallEvents << " readyPool=" << r.avgReadyPool << "\n";
+  };
+  if (trials == 1) {
+    const SimulationResult& r = reps[0].result;
+    printResult(r, "");
+    if (cfg.failureProbability > 0.0 || cfg.faults.anyEnabled()) {
+      const ResilienceMetrics& m = r.resilience;
+      out << "resilience departures=" << m.departures << " rejoins=" << m.rejoins
+          << " lost=" << m.lostTasks << " timeouts=" << m.timeouts
+          << " specIssues=" << m.speculativeIssues << " specCancels=" << m.speculativeCancels
+          << " transient=" << m.transientFailures << " permanent=" << m.permanentFailures
+          << " reissues=" << m.reissues << " wasted=" << m.wastedWork
+          << " recovery=" << m.avgRecoveryLatency() << "\n";
+    }
+    if (dumpTrace) r.faultTrace.writeTo(out);
+    return 0;
+  }
+
+  // Multi-trial: one line per seed (consecutive seeds from SEED up) plus the
+  // mean row. Replications arrive ordered by seed regardless of threads.
+  SimulationResult mean;
+  const double t = static_cast<double>(trials);
+  for (const Replication& rep : reps) {
+    const SimulationResult& r = rep.result;
+    std::ostringstream prefix;
+    prefix << "trial seed=" << spec.seeds[rep.seedIndex] << " ";
+    printResult(r, prefix.str().c_str());
+    if (dumpTrace) r.faultTrace.writeTo(out);
+    mean.makespan += r.makespan / t;
+    mean.totalIdleTime += r.totalIdleTime / t;
+    mean.stallEvents += r.stallEvents;
+    mean.avgReadyPool += r.avgReadyPool / t;
+  }
+  out << "mean makespan=" << mean.makespan << " idle=" << mean.totalIdleTime
+      << " stalls=" << static_cast<double>(mean.stallEvents) / t
+      << " readyPool=" << mean.avgReadyPool << "\n";
   return 0;
 }
 

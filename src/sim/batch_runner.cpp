@@ -1,0 +1,103 @@
+#include "sim/batch_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/thread_pool.hpp"
+
+namespace icsched {
+
+void SweepSpec::validate() const {
+  if (dags.empty()) throw std::invalid_argument("SweepSpec: no dag cases");
+  if (schedulers.empty()) throw std::invalid_argument("SweepSpec: no schedulers");
+  if (seeds.empty()) throw std::invalid_argument("SweepSpec: no seeds");
+  if (faultCases.empty()) throw std::invalid_argument("SweepSpec: no fault cases");
+  for (const DagCase& d : dags) {
+    if (d.dag == nullptr || d.schedule == nullptr) {
+      throw std::invalid_argument("SweepSpec: dag case '" + d.name +
+                                  "' has a null dag or schedule");
+    }
+  }
+}
+
+std::vector<std::uint64_t> seedRange(std::uint64_t first, std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(first + i);
+  return seeds;
+}
+
+BatchRunner::BatchRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+namespace {
+
+/// Executes replication \p index of \p spec on \p engine. Pure in
+/// (spec, index): the engine only contributes recycled buffer capacity.
+Replication runOne(const SweepSpec& spec, std::size_t index, SimulationEngine& engine) {
+  Replication r;
+  r.index = index;
+  std::size_t rest = index;
+  r.seedIndex = rest % spec.seeds.size();
+  rest /= spec.seeds.size();
+  r.faultIndex = rest % spec.faultCases.size();
+  rest /= spec.faultCases.size();
+  r.schedulerIndex = rest % spec.schedulers.size();
+  r.dagIndex = rest / spec.schedulers.size();
+
+  const SweepSpec::DagCase& d = spec.dags[r.dagIndex];
+  SimulationConfig cfg = spec.base;
+  cfg.seed = spec.seeds[r.seedIndex];
+  cfg.faults = spec.faultCases[r.faultIndex].faults;
+  r.result = engine.runWith(*d.dag, *d.schedule, spec.schedulers[r.schedulerIndex], cfg);
+  return r;
+}
+
+}  // namespace
+
+std::vector<Replication> BatchRunner::run(const SweepSpec& spec) const {
+  spec.validate();
+  const std::size_t total = spec.numReplications();
+  std::vector<Replication> out(total);
+
+  // Dynamic load balancing: workers claim the next unclaimed index and write
+  // the result into its pre-sized slot, so completion order never affects
+  // output order. One engine per worker keeps the hot path allocation-free.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  auto workerBody = [&] {
+    SimulationEngine engine;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total || failed.load(std::memory_order_relaxed)) return;
+      try {
+        out[i] = runOne(spec, i, engine);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(threads_, std::max<std::size_t>(total, 1));
+  if (workers <= 1) {
+    workerBody();
+  } else {
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.submit(workerBody);
+    pool.waitIdle();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  return out;
+}
+
+}  // namespace icsched

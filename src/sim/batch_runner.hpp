@@ -1,0 +1,104 @@
+#pragma once
+/// \file batch_runner.hpp
+/// \brief Parallel batched simulation: sweep spec -> independent replications.
+///
+/// The paper's experimental methodology (and the companion evaluations
+/// [15, 19]) rests on sweeping many simulated executions -- scheduler x dag
+/// family x seed x fault configuration. A SweepSpec names those four axes
+/// once; BatchRunner expands the cross product into independent replications
+/// and executes them on an exec::ThreadPool, one resettable SimulationEngine
+/// per worker so a replication costs no per-run allocation.
+///
+/// Determinism contract: every replication is a pure function of its
+/// (dag, scheduler, seed, faults) cell -- the engine derives all randomness
+/// from the cell's seed -- and results are collected into a pre-sized vector
+/// slot keyed by replication index. Parallel output is therefore
+/// byte-identical to serial output, for any thread count and any scheduling
+/// of workers (verified by tools/icsched_resilience_sweep and
+/// bench/bench_sim_batch on every run).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/schedule.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace icsched {
+
+/// The four axes of a simulation sweep. Dags and schedules are referenced,
+/// not copied; they must outlive any BatchRunner::run over the spec.
+struct SweepSpec {
+  struct DagCase {
+    std::string name;
+    const Dag* dag = nullptr;
+    /// Static priority order for the "IC-OPT" scheduler (ignored by others).
+    const Schedule* schedule = nullptr;
+  };
+  struct FaultCase {
+    std::string name = "fault-free";
+    FaultModelConfig faults;
+  };
+
+  std::vector<DagCase> dags;
+  /// Scheduler names as understood by makeScheduler().
+  std::vector<std::string> schedulers;
+  std::vector<std::uint64_t> seeds;
+  /// Fault configurations; leave empty for a single fault-free case.
+  std::vector<FaultCase> faultCases = {FaultCase{}};
+  /// Shared base config; `seed` and `faults` are overridden per replication.
+  SimulationConfig base;
+
+  /// Appends \p w as a dag case (referencing its dag and schedule).
+  void add(const Workload& w) { dags.push_back({w.name, &w.dag, &w.schedule}); }
+
+  [[nodiscard]] std::size_t numReplications() const {
+    return dags.size() * schedulers.size() * seeds.size() * faultCases.size();
+  }
+
+  /// \throws std::invalid_argument on empty axes or null dag/schedule refs.
+  void validate() const;
+};
+
+/// The seed convention shared by every sweep harness: \p count consecutive
+/// seeds starting at \p first. Benches and tools must derive their seed axes
+/// through this helper so they can never drift on seeding.
+[[nodiscard]] std::vector<std::uint64_t> seedRange(std::uint64_t first, std::size_t count);
+
+/// One executed replication. `index` is the row-major position in the
+/// dag x scheduler x fault x seed expansion (seed fastest); the axis indices
+/// identify the cell without string comparisons.
+struct Replication {
+  std::size_t index = 0;
+  std::size_t dagIndex = 0;
+  std::size_t schedulerIndex = 0;
+  std::size_t faultIndex = 0;
+  std::size_t seedIndex = 0;
+  SimulationResult result;
+};
+
+/// Expands sweep specs and executes the replications, serially or on a
+/// thread pool. Stateless between run() calls; safe to reuse.
+class BatchRunner {
+ public:
+  /// \p threads workers: 1 runs inline on the caller's thread (the serial
+  /// reference), 0 maps to hardware_concurrency.
+  explicit BatchRunner(std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t numThreads() const { return threads_; }
+
+  /// Runs every replication of \p spec; the returned vector is ordered by
+  /// replication index regardless of thread count, and its contents are
+  /// byte-identical to a 1-thread run. The first exception thrown by a
+  /// replication is rethrown after in-flight work drains.
+  [[nodiscard]] std::vector<Replication> run(const SweepSpec& spec) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace icsched

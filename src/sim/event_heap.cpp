@@ -1,0 +1,51 @@
+#include "sim/event_heap.hpp"
+
+#include <algorithm>
+
+namespace icsched {
+
+void EventHeap::push(const SimEvent& ev) {
+  data_.push_back(ev);
+  siftUp(data_.size() - 1);
+}
+
+void EventHeap::pop() {
+  if (data_.size() > 1) {
+    data_.front() = data_.back();
+    data_.pop_back();
+    siftDown(0);
+  } else {
+    data_.pop_back();
+  }
+}
+
+void EventHeap::siftUp(std::size_t i) {
+  const SimEvent ev = data_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!ev.before(data_[parent])) break;
+    data_[i] = data_[parent];
+    i = parent;
+  }
+  data_[i] = ev;
+}
+
+void EventHeap::siftDown(std::size_t i) {
+  const std::size_t n = data_.size();
+  const SimEvent ev = data_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (data_[c].before(data_[best])) best = c;
+    }
+    if (!data_[best].before(ev)) break;
+    data_[i] = data_[best];
+    i = best;
+  }
+  data_[i] = ev;
+}
+
+}  // namespace icsched

@@ -5,6 +5,19 @@
 
 namespace icsched {
 
+namespace {
+
+/// Empty-pool guard shared by every pick(): calling pick() with no ELIGIBLE
+/// task is a simulator logic error (RandomScheduler's modulo draw would even
+/// be UB), so it throws instead of corrupting the run.
+void requireWork(bool hasWork, const char* who) {
+  if (!hasWork) {
+    throw std::logic_error(std::string(who) + "::pick: no ELIGIBLE task (pool is empty)");
+  }
+}
+
+}  // namespace
+
 StaticPriorityScheduler::StaticPriorityScheduler(const Schedule& s, std::string name)
     : priority_(s.positions()), name_(std::move(name)) {}
 
@@ -16,18 +29,31 @@ void StaticPriorityScheduler::onEligible(NodeId v) {
 }
 
 NodeId StaticPriorityScheduler::pick() {
+  requireWork(!heap_.empty(), "StaticPriorityScheduler");
   const NodeId v = heap_.top().second;
   heap_.pop();
   return v;
 }
 
+void FifoScheduler::onEligible(NodeId v) {
+  if (v >= numNodes_) throw std::invalid_argument("FifoScheduler: node out of range");
+  queue_.push(v);
+}
+
 NodeId FifoScheduler::pick() {
+  requireWork(!queue_.empty(), "FifoScheduler");
   const NodeId v = queue_.front();
   queue_.pop();
   return v;
 }
 
+void LifoScheduler::onEligible(NodeId v) {
+  if (v >= numNodes_) throw std::invalid_argument("LifoScheduler: node out of range");
+  stack_.push_back(v);
+}
+
 NodeId LifoScheduler::pick() {
+  requireWork(!stack_.empty(), "LifoScheduler");
   const NodeId v = stack_.back();
   stack_.pop_back();
   return v;
@@ -38,6 +64,7 @@ NodeId RandomScheduler::pick() {
   // than std::uniform_int_distribution so the draw is portable across
   // standard libraries (the distribution's algorithm is unspecified); the
   // modulo bias over a 64-bit engine is negligible for pool sizes here.
+  requireWork(!pool_.empty(), "RandomScheduler");
   const std::size_t i = static_cast<std::size_t>(rng_() % pool_.size());
   const NodeId v = pool_[i];
   pool_[i] = pool_.back();
@@ -53,6 +80,7 @@ void MaxOutDegreeScheduler::onEligible(NodeId v) {
 }
 
 NodeId MaxOutDegreeScheduler::pick() {
+  requireWork(!heap_.empty(), "MaxOutDegreeScheduler");
   const NodeId v = ~heap_.top().second;
   heap_.pop();
   return v;
@@ -65,6 +93,7 @@ CriticalPathScheduler::CriticalPathScheduler(const Dag& g) : height_(longestPath
 void CriticalPathScheduler::onEligible(NodeId v) { heap_.push({height_[v], ~v}); }
 
 NodeId CriticalPathScheduler::pick() {
+  requireWork(!heap_.empty(), "CriticalPathScheduler");
   const NodeId v = ~heap_.top().second;
   heap_.pop();
   return v;
@@ -73,8 +102,8 @@ NodeId CriticalPathScheduler::pick() {
 std::unique_ptr<Scheduler> makeScheduler(const std::string& name, const Dag& g,
                                          const Schedule& icOptimal, std::uint64_t seed) {
   if (name == "IC-OPT") return std::make_unique<StaticPriorityScheduler>(icOptimal);
-  if (name == "FIFO") return std::make_unique<FifoScheduler>();
-  if (name == "LIFO") return std::make_unique<LifoScheduler>();
+  if (name == "FIFO") return std::make_unique<FifoScheduler>(g);
+  if (name == "LIFO") return std::make_unique<LifoScheduler>(g);
   if (name == "RANDOM") return std::make_unique<RandomScheduler>(seed);
   if (name == "MAX-OUT") return std::make_unique<MaxOutDegreeScheduler>(g);
   if (name == "CRIT-PATH") return std::make_unique<CriticalPathScheduler>(g);

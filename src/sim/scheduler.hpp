@@ -34,7 +34,9 @@ class Scheduler {
   /// True when at least one ELIGIBLE task is available to allocate.
   [[nodiscard]] virtual bool hasWork() const = 0;
 
-  /// Removes and returns the chosen ELIGIBLE task. Precondition: hasWork().
+  /// Removes and returns the chosen ELIGIBLE task.
+  /// \throws std::logic_error when no ELIGIBLE task is available (every
+  /// implementation guards the empty pool rather than invoking UB).
   virtual NodeId pick() = 0;
 };
 
@@ -57,28 +59,37 @@ class StaticPriorityScheduler final : public Scheduler {
 };
 
 /// First-in-first-out over eligibility events (the "FIFO" heuristic of
-/// [19, 15]).
+/// [19, 15]). When constructed with a dag, onEligible() bounds-checks node
+/// ids the way StaticPriorityScheduler does; the default construction
+/// accepts any id (no dag to check against).
 class FifoScheduler final : public Scheduler {
  public:
+  FifoScheduler() = default;
+  explicit FifoScheduler(const Dag& g) : numNodes_(g.numNodes()) {}
   [[nodiscard]] std::string name() const override { return "FIFO"; }
-  void onEligible(NodeId v) override { queue_.push(v); }
+  void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !queue_.empty(); }
   NodeId pick() override;
 
  private:
   std::queue<NodeId> queue_;
+  std::size_t numNodes_ = SIZE_MAX;
 };
 
-/// Last-in-first-out over eligibility events.
+/// Last-in-first-out over eligibility events. Bounds-checking mirrors
+/// FifoScheduler's.
 class LifoScheduler final : public Scheduler {
  public:
+  LifoScheduler() = default;
+  explicit LifoScheduler(const Dag& g) : numNodes_(g.numNodes()) {}
   [[nodiscard]] std::string name() const override { return "LIFO"; }
-  void onEligible(NodeId v) override { stack_.push_back(v); }
+  void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !stack_.empty(); }
   NodeId pick() override;
 
  private:
   std::vector<NodeId> stack_;
+  std::size_t numNodes_ = SIZE_MAX;
 };
 
 /// Uniformly random ELIGIBLE task; deterministic in the seed. The pool is a

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <queue>
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <string>
 
 #include "core/eligibility.hpp"
 #include "resilience/portable_random.hpp"
+#include "sim/event_heap.hpp"
 
 namespace icsched {
 
@@ -20,6 +21,11 @@ namespace {
 void require(bool ok, const std::string& message) {
   if (!ok) throw std::invalid_argument("SimulationConfig: " + message);
 }
+
+/// Salt applied to the simulation seed when deriving the scheduler's own
+/// stream (RandomScheduler), shared by simulateWith and SimulationEngine so
+/// batch and one-shot runs allocate identically.
+constexpr std::uint64_t kSchedulerSeedSalt = 0x9E3779B97F4A7C15ull;
 
 }  // namespace
 
@@ -49,20 +55,6 @@ namespace {
 
 enum class EvKind : std::uint8_t { Finish, Departure, Rejoin, Timeout, SpecCheck, Backoff };
 
-/// Events are processed in (time, seq) order; seq makes ties deterministic.
-struct Event {
-  double time;
-  std::uint64_t seq;
-  EvKind kind;
-  /// Finish/Timeout/SpecCheck: attempt id; Departure/Rejoin: client id;
-  /// Backoff: node id.
-  std::size_t id;
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
 enum class ClientState : std::uint8_t { Idle, Busy, Departed };
 
 struct Attempt {
@@ -83,115 +75,71 @@ struct TaskState {
   double firstFault = -1.0;
 };
 
-/// The discrete-event engine. Single-threaded; every stochastic decision
-/// uses the portable draws of resilience/portable_random.hpp in a fixed
-/// order, so the run (including the FaultTrace) is a pure function of the
-/// config.
-class SimEngine {
- public:
-  SimEngine(const Dag& g, Scheduler& sched, const SimulationConfig& config)
-      : g_(g), sched_(sched), cfg_(config), fm_(config.faults), tracker_(g) {
-    speeds_ = cfg_.clientSpeeds;
-    if (speeds_.empty()) speeds_.assign(cfg_.numClients, 1.0);
-    base_ = cfg_.taskBaseDurations;
-    if (base_.empty()) base_.assign(g.numNodes(), cfg_.meanTaskDuration);
-    rng_.seed(cfg_.seed);
-    faultsOn_ = fm_.anyEnabled();
-  }
+}  // namespace
 
-  SimulationResult run() {
-    const std::size_t n = g_.numNodes();
-    const std::size_t numClients = cfg_.numClients;
-    tasks_.assign(n, TaskState{});
-    liveAttempts_.assign(n, {});
-    clientState_.assign(numClients, ClientState::Idle);
-    clientAttempt_.assign(numClients, 0);
-    idleSince_.assign(numClients, 0.0);
-    inIdleQueue_.assign(numClients, 0);
-    alive_ = numClients;
+/// The discrete-event engine state. Single-threaded; every stochastic
+/// decision uses the portable draws of resilience/portable_random.hpp in a
+/// fixed order, so each run (including the FaultTrace) is a pure function of
+/// (dag, scheduler, config) -- independent of what the engine ran before.
+///
+/// Every container below is a long-lived buffer: run() re-initializes it
+/// with assign()/clear() (which keep capacity), so a replication over an
+/// already-warm engine performs no per-event allocation and no per-run
+/// allocation beyond the SimulationResult it hands back.
+struct SimulationEngine::Impl {
+  // Bound for the duration of one run().
+  const Dag* g = nullptr;
+  Scheduler* sched = nullptr;
+  const SimulationConfig* cfg = nullptr;
+  const FaultModelConfig* fm = nullptr;
+  std::optional<EligibilityTracker> tracker;
+  std::mt19937_64 rng;
+  bool faultsOn = false;
 
-    for (NodeId v : tracker_.eligibleNodes()) sched_.onEligible(v);
-    readyPoolCount_ = tracker_.eligibleCount();
+  std::vector<double> speeds;
+  std::vector<double> base;
+  std::vector<TaskState> tasks;
+  std::vector<Attempt> attempts;
+  std::vector<std::vector<std::size_t>> liveAttempts;
+  std::vector<ClientState> clientState;
+  std::vector<std::size_t> clientAttempt;
+  std::vector<double> idleSince;
+  std::vector<std::uint8_t> inIdleQueue;
+  std::deque<std::size_t> idleQueue;
+  std::deque<NodeId> specQueue;
+  EventHeap events;
+  std::vector<NodeId> packet;  ///< executeInto scratch: reused every event
+  std::uint64_t seq = 0;
+  std::size_t alive = 0;
+  std::size_t executed = 0;
+  std::size_t readyPoolCount = 0;
+  double readyPoolIntegral = 0.0;
+  double lastEventTime = 0.0;
+  double now = 0.0;
+  SimulationResult res;
 
-    // Fixed draw order at t=0: per-client departure holding times first,
-    // then the initial work assignment for clients 0..numClients-1.
-    if (fm_.clientDepartureRate > 0.0) {
-      for (std::size_t c = 0; c < numClients; ++c) {
-        pushEvent(portableExponential(rng_, fm_.clientDepartureRate), EvKind::Departure, c);
-      }
-    }
-    for (std::size_t c = 0; c < numClients; ++c) {
-      if (sched_.hasWork()) {
-        const NodeId v = sched_.pick();
-        --readyPoolCount_;
-        dispatch(c, v, /*isCopy=*/false);
-      } else {
-        ++res_.stallEvents;
-        clientIdle(c);
-      }
-    }
+  SimulationResult run(const Dag& dag, Scheduler& scheduler, const SimulationConfig& config);
 
-    while (executed_ < n) {
-      if (events_.empty()) {
-        throw std::logic_error("simulate: no in-flight task but work remains");
-      }
-      const Event ev = events_.top();
-      events_.pop();
-      advanceIntegralTo(ev.time);
-      now_ = ev.time;
-      switch (ev.kind) {
-        case EvKind::Finish:
-          onFinish(ev.id);
-          break;
-        case EvKind::Departure:
-          onDeparture(ev.id);
-          break;
-        case EvKind::Rejoin:
-          onRejoin(ev.id);
-          break;
-        case EvKind::Timeout:
-          onTimeout(ev.id);
-          break;
-        case EvKind::SpecCheck:
-          onSpecCheck(ev.id);
-          break;
-        case EvKind::Backoff:
-          onBackoff(static_cast<NodeId>(ev.id));
-          break;
-      }
-    }
-
-    res_.makespan = now_;
-    for (std::size_t c = 0; c < numClients; ++c) {
-      if (clientState_[c] == ClientState::Idle) {
-        res_.totalIdleTime += now_ - idleSince_[c];
-      }
-    }
-    res_.avgReadyPool = res_.makespan > 0.0 ? readyPoolIntegral_ / res_.makespan : 0.0;
-    return std::move(res_);
-  }
-
- private:
   void pushEvent(double time, EvKind kind, std::size_t id) {
-    events_.push({time, seq_++, kind, id});
+    events.push({time, seq++, static_cast<std::uint8_t>(kind), id});
   }
 
   void advanceIntegralTo(double t) {
-    readyPoolIntegral_ += static_cast<double>(readyPoolCount_) * (t - lastEventTime_);
-    lastEventTime_ = t;
+    readyPoolIntegral += static_cast<double>(readyPoolCount) * (t - lastEventTime);
+    lastEventTime = t;
   }
 
   void trace(FaultEventKind kind, std::size_t client, NodeId node, std::size_t attempt,
              double detail = 0.0) {
-    res_.faultTrace.add(now_, kind, client, node, attempt, detail);
+    res.faultTrace.add(now, kind, client, node, attempt, detail);
   }
 
   void clientIdle(std::size_t c) {
-    clientState_[c] = ClientState::Idle;
-    idleSince_[c] = now_;
-    if (!inIdleQueue_[c]) {
-      inIdleQueue_[c] = 1;
-      idleQueue_.push_back(c);
+    clientState[c] = ClientState::Idle;
+    idleSince[c] = now;
+    if (!inIdleQueue[c]) {
+      inIdleQueue[c] = 1;
+      idleQueue.push_back(c);
     }
   }
 
@@ -199,24 +147,24 @@ class SimEngine {
   /// straggler injection is on) one straggler draw.
   void dispatch(std::size_t client, NodeId v, bool isCopy) {
     const double jitter =
-        portableUniform(rng_, 1.0 - cfg_.durationJitter, 1.0 + cfg_.durationJitter);
-    double duration = base_[v] * jitter / speeds_[client];
-    if (fm_.stragglerProbability > 0.0 &&
-        portableBernoulli(rng_, fm_.stragglerProbability)) {
-      duration *= fm_.stragglerSlowdown;
+        portableUniform(rng, 1.0 - cfg->durationJitter, 1.0 + cfg->durationJitter);
+    double duration = base[v] * jitter / speeds[client];
+    if (fm->stragglerProbability > 0.0 &&
+        portableBernoulli(rng, fm->stragglerProbability)) {
+      duration *= fm->stragglerSlowdown;
     }
-    const bool reliable = faultsOn_ && tasks_[v].failures >= fm_.maxAttempts;
-    const std::size_t aid = attempts_.size();
-    attempts_.push_back({v, client, now_, reliable, true});
-    liveAttempts_[v].push_back(aid);
-    ++tasks_[v].inFlight;
-    clientState_[client] = ClientState::Busy;
-    clientAttempt_[client] = aid;
-    pushEvent(now_ + duration, EvKind::Finish, aid);
-    if (faultsOn_ && !reliable) {
-      if (fm_.taskTimeout > 0.0) pushEvent(now_ + fm_.taskTimeout, EvKind::Timeout, aid);
-      if (!isCopy && fm_.speculationFactor > 0.0) {
-        pushEvent(now_ + fm_.speculationFactor * base_[v], EvKind::SpecCheck, aid);
+    const bool reliable = faultsOn && tasks[v].failures >= fm->maxAttempts;
+    const std::size_t aid = attempts.size();
+    attempts.push_back({v, client, now, reliable, true});
+    liveAttempts[v].push_back(aid);
+    ++tasks[v].inFlight;
+    clientState[client] = ClientState::Busy;
+    clientAttempt[client] = aid;
+    pushEvent(now + duration, EvKind::Finish, aid);
+    if (faultsOn && !reliable) {
+      if (fm->taskTimeout > 0.0) pushEvent(now + fm->taskTimeout, EvKind::Timeout, aid);
+      if (!isCopy && fm->speculationFactor > 0.0) {
+        pushEvent(now + fm->speculationFactor * base[v], EvKind::SpecCheck, aid);
       }
     }
   }
@@ -225,22 +173,22 @@ class SimEngine {
   /// then pending speculative copies.
   void serveIdle() {
     for (;;) {
-      while (!idleQueue_.empty() && clientState_[idleQueue_.front()] != ClientState::Idle) {
-        inIdleQueue_[idleQueue_.front()] = 0;
-        idleQueue_.pop_front();
+      while (!idleQueue.empty() && clientState[idleQueue.front()] != ClientState::Idle) {
+        inIdleQueue[idleQueue.front()] = 0;
+        idleQueue.pop_front();
       }
-      if (idleQueue_.empty()) break;
+      if (idleQueue.empty()) break;
       NodeId v = kNoNode;
       bool isCopy = false;
-      if (sched_.hasWork()) {
-        v = sched_.pick();
-        --readyPoolCount_;
+      if (sched->hasWork()) {
+        v = sched->pick();
+        --readyPoolCount;
       } else {
-        while (!specQueue_.empty()) {
-          const NodeId cand = specQueue_.front();
-          specQueue_.pop_front();
-          if (tasks_[cand].specQueued && !tasks_[cand].done) {
-            tasks_[cand].specQueued = false;
+        while (!specQueue.empty()) {
+          const NodeId cand = specQueue.front();
+          specQueue.pop_front();
+          if (tasks[cand].specQueued && !tasks[cand].done) {
+            tasks[cand].specQueued = false;
             v = cand;
             isCopy = true;
             break;
@@ -248,19 +196,19 @@ class SimEngine {
         }
         if (v == kNoNode) break;
       }
-      const std::size_t client = idleQueue_.front();
-      idleQueue_.pop_front();
-      inIdleQueue_[client] = 0;
-      res_.totalIdleTime += now_ - idleSince_[client];
+      const std::size_t client = idleQueue.front();
+      idleQueue.pop_front();
+      inIdleQueue[client] = 0;
+      res.totalIdleTime += now - idleSince[client];
       dispatch(client, v, isCopy);
     }
   }
 
   void deactivate(std::size_t aid) {
-    Attempt& a = attempts_[aid];
+    Attempt& a = attempts[aid];
     a.active = false;
-    --tasks_[a.node].inFlight;
-    auto& live = liveAttempts_[a.node];
+    --tasks[a.node].inFlight;
+    auto& live = liveAttempts[a.node];
     live.erase(std::remove(live.begin(), live.end(), aid), live.end());
   }
 
@@ -268,77 +216,77 @@ class SimEngine {
   /// and the per-task failure count (which drives backoff and the reliable
   /// fallback).
   void attemptLost(std::size_t aid, FaultEventKind kind) {
-    const Attempt& a = attempts_[aid];
-    const double wasted = now_ - a.start;
+    const Attempt& a = attempts[aid];
+    const double wasted = now - a.start;
     deactivate(aid);
-    TaskState& t = tasks_[a.node];
+    TaskState& t = tasks[a.node];
     trace(kind, a.client, a.node, t.failures, wasted);
-    res_.resilience.wastedWork += wasted;
+    res.resilience.wastedWork += wasted;
     switch (kind) {
       case FaultEventKind::TaskLost:
-        ++res_.resilience.lostTasks;
+        ++res.resilience.lostTasks;
         break;
       case FaultEventKind::TaskTimeout:
-        ++res_.resilience.timeouts;
+        ++res.resilience.timeouts;
         break;
       case FaultEventKind::TransientFailure:
-        ++res_.resilience.transientFailures;
+        ++res.resilience.transientFailures;
         break;
       case FaultEventKind::PermanentFailure:
-        ++res_.resilience.permanentFailures;
+        ++res.resilience.permanentFailures;
         break;
       default:
         break;
     }
-    if (t.firstFault < 0.0) t.firstFault = now_;
+    if (t.firstFault < 0.0) t.firstFault = now;
     ++t.failures;
-    if (faultsOn_ && t.failures == fm_.maxAttempts) {
+    if (faultsOn && t.failures == fm->maxAttempts) {
       trace(FaultEventKind::ReliableFallback, kNoClient, a.node, t.failures);
     }
   }
 
   void requeueNow(NodeId v, double delay = 0.0) {
-    sched_.onEligible(v);
-    ++readyPoolCount_;
-    trace(FaultEventKind::Reissue, kNoClient, v, tasks_[v].failures, delay);
-    ++res_.resilience.reissues;
+    sched->onEligible(v);
+    ++readyPoolCount;
+    trace(FaultEventKind::Reissue, kNoClient, v, tasks[v].failures, delay);
+    ++res.resilience.reissues;
   }
 
   /// Returns the task to the ready pool unless another attempt (in flight or
   /// queued as a speculative copy) or a pending backoff already covers it.
   void requeueOrBackoff(NodeId v, bool immediate) {
-    TaskState& t = tasks_[v];
+    TaskState& t = tasks[v];
     if (t.done || t.inFlight > 0 || t.specQueued || t.backoffPending) return;
-    if (immediate || fm_.backoffBase <= 0.0) {
+    if (immediate || fm->backoffBase <= 0.0) {
       requeueNow(v);
       return;
     }
     const double exponent =
         static_cast<double>(std::min<std::size_t>(t.failures > 0 ? t.failures - 1 : 0, 60));
-    const double delay = std::min(fm_.backoffCap, fm_.backoffBase * std::exp2(exponent));
+    const double delay = std::min(fm->backoffCap, fm->backoffBase * std::exp2(exponent));
     t.backoffPending = true;
     t.backoffDelay = delay;
-    pushEvent(now_ + delay, EvKind::Backoff, v);
+    pushEvent(now + delay, EvKind::Backoff, v);
   }
 
   void departClient(std::size_t c) {
     trace(FaultEventKind::ClientDeparture, c, kNoNode, 0);
-    ++res_.resilience.departures;
-    if (clientState_[c] == ClientState::Idle) {
-      res_.totalIdleTime += now_ - idleSince_[c];
+    ++res.resilience.departures;
+    if (clientState[c] == ClientState::Idle) {
+      res.totalIdleTime += now - idleSince[c];
     }
-    clientState_[c] = ClientState::Departed;
-    --alive_;
-    if (fm_.clientRejoinRate > 0.0) {
-      pushEvent(now_ + portableExponential(rng_, fm_.clientRejoinRate), EvKind::Rejoin, c);
+    clientState[c] = ClientState::Departed;
+    --alive;
+    if (fm->clientRejoinRate > 0.0) {
+      pushEvent(now + portableExponential(rng, fm->clientRejoinRate), EvKind::Rejoin, c);
     }
   }
 
   void onFinish(std::size_t aid) {
-    Attempt& a = attempts_[aid];
+    Attempt& a = attempts[aid];
     if (!a.active) return;  // abandoned or cancelled; the client was freed then
     const NodeId v = a.node;
-    TaskState& t = tasks_[v];
+    TaskState& t = tasks[v];
 
     // Outcome draws, in fixed order: the legacy loss draw (only when the
     // legacy knob is set), then the transient/permanent draw (only when the
@@ -347,15 +295,15 @@ class SimEngine {
     bool transientFail = false;
     bool permanentFail = false;
     if (!a.reliable) {
-      if (cfg_.failureProbability > 0.0 &&
-          portableBernoulli(rng_, cfg_.failureProbability)) {
+      if (cfg->failureProbability > 0.0 &&
+          portableBernoulli(rng, cfg->failureProbability)) {
         legacyLoss = true;
       }
       const double pFail =
-          fm_.transientFailureProbability + fm_.permanentFailureProbability;
+          fm->transientFailureProbability + fm->permanentFailureProbability;
       if (!legacyLoss && pFail > 0.0) {
-        const double u = portableUnit(rng_);
-        if (u < fm_.permanentFailureProbability) {
+        const double u = portableUnit(rng);
+        if (u < fm->permanentFailureProbability) {
           permanentFail = true;
         } else if (u < pFail) {
           transientFail = true;
@@ -365,13 +313,13 @@ class SimEngine {
 
     if (legacyLoss || transientFail || permanentFail) {
       // The attempt's full duration is wasted; the task returns to the pool.
-      ++res_.failedAttempts;
+      ++res.failedAttempts;
       const FaultEventKind kind = legacyLoss      ? FaultEventKind::TaskLost
                                   : transientFail ? FaultEventKind::TransientFailure
                                                   : FaultEventKind::PermanentFailure;
       attemptLost(aid, kind);
       requeueOrBackoff(v, /*immediate=*/legacyLoss);
-      if (permanentFail && alive_ > fm_.minAliveClients) {
+      if (permanentFail && alive > fm->minAliveClients) {
         departClient(a.client);
       } else {
         clientIdle(a.client);
@@ -384,14 +332,14 @@ class SimEngine {
     // and their clients freed now.
     deactivate(aid);
     t.done = true;
-    ++executed_;
-    while (!liveAttempts_[v].empty()) {
-      const std::size_t loser = liveAttempts_[v].back();
-      const Attempt& la = attempts_[loser];
-      const double wasted = now_ - la.start;
+    ++executed;
+    while (!liveAttempts[v].empty()) {
+      const std::size_t loser = liveAttempts[v].back();
+      const Attempt& la = attempts[loser];
+      const double wasted = now - la.start;
       trace(FaultEventKind::SpeculativeCancel, la.client, v, t.failures, wasted);
-      ++res_.resilience.speculativeCancels;
-      res_.resilience.wastedWork += wasted;
+      ++res.resilience.speculativeCancels;
+      res.resilience.wastedWork += wasted;
       const std::size_t loserClient = la.client;
       deactivate(loser);
       clientIdle(loserClient);
@@ -399,43 +347,43 @@ class SimEngine {
     if (t.specQueued) {
       t.specQueued = false;
       trace(FaultEventKind::SpeculativeCancel, kNoClient, v, t.failures);
-      ++res_.resilience.speculativeCancels;
+      ++res.resilience.speculativeCancels;
     }
     if (t.firstFault >= 0.0) {
-      res_.resilience.totalRecoveryLatency += now_ - t.firstFault;
-      ++res_.resilience.recoveries;
+      res.resilience.totalRecoveryLatency += now - t.firstFault;
+      ++res.resilience.recoveries;
     }
 
-    const std::vector<NodeId> packet = tracker_.execute(v);
-    res_.eligibleAfterCompletion.push_back(tracker_.eligibleCount());
+    tracker->executeInto(v, packet);
+    res.eligibleAfterCompletion.push_back(tracker->eligibleCount());
     for (NodeId w : packet) {
-      sched_.onEligible(w);
-      ++readyPoolCount_;
+      sched->onEligible(w);
+      ++readyPoolCount;
     }
-    if (executed_ == g_.numNodes()) return;  // makespan = now_
+    if (executed == g->numNodes()) return;  // makespan = now
     // Waiting clients asked earlier, so they are served first; the finishing
     // client joins the back of the queue. Its unsatisfied request is a stall
     // (waiting clients' stalls were counted when they first went idle).
     const std::size_t finisher = a.client;
     clientIdle(finisher);
     serveIdle();
-    if (clientState_[finisher] == ClientState::Idle) ++res_.stallEvents;
+    if (clientState[finisher] == ClientState::Idle) ++res.stallEvents;
   }
 
   void onDeparture(std::size_t c) {
-    if (clientState_[c] == ClientState::Departed) return;  // rejoin reschedules
+    if (clientState[c] == ClientState::Departed) return;  // rejoin reschedules
     const bool busyReliable =
-        clientState_[c] == ClientState::Busy && attempts_[clientAttempt_[c]].reliable;
-    if (alive_ <= fm_.minAliveClients || busyReliable) {
+        clientState[c] == ClientState::Busy && attempts[clientAttempt[c]].reliable;
+    if (alive <= fm->minAliveClients || busyReliable) {
       // Departure deferred (resilience floor, or the server shepherds this
       // client's task); the client's next departure hazard is redrawn.
-      pushEvent(now_ + portableExponential(rng_, fm_.clientDepartureRate), EvKind::Departure,
+      pushEvent(now + portableExponential(rng, fm->clientDepartureRate), EvKind::Departure,
                 c);
       return;
     }
-    if (clientState_[c] == ClientState::Busy) {
-      const std::size_t aid = clientAttempt_[c];
-      const NodeId v = attempts_[aid].node;
+    if (clientState[c] == ClientState::Busy) {
+      const std::size_t aid = clientAttempt[c];
+      const NodeId v = attempts[aid].node;
       attemptLost(aid, FaultEventKind::TaskLost);
       requeueOrBackoff(v, /*immediate=*/true);
     }
@@ -444,22 +392,22 @@ class SimEngine {
   }
 
   void onRejoin(std::size_t c) {
-    if (clientState_[c] != ClientState::Departed) return;
-    ++alive_;
+    if (clientState[c] != ClientState::Departed) return;
+    ++alive;
     trace(FaultEventKind::ClientRejoin, c, kNoNode, 0);
-    ++res_.resilience.rejoins;
+    ++res.resilience.rejoins;
     clientIdle(c);
-    if (fm_.clientDepartureRate > 0.0) {
-      pushEvent(now_ + portableExponential(rng_, fm_.clientDepartureRate), EvKind::Departure,
+    if (fm->clientDepartureRate > 0.0) {
+      pushEvent(now + portableExponential(rng, fm->clientDepartureRate), EvKind::Departure,
                 c);
     }
     serveIdle();
-    if (clientState_[c] == ClientState::Idle) ++res_.stallEvents;
+    if (clientState[c] == ClientState::Idle) ++res.stallEvents;
   }
 
   void onTimeout(std::size_t aid) {
-    const Attempt& a = attempts_[aid];
-    if (!a.active || a.reliable || tasks_[a.node].done) return;
+    const Attempt& a = attempts[aid];
+    if (!a.active || a.reliable || tasks[a.node].done) return;
     // The server abandons the attempt and re-allocates the task now; the
     // client returns to the pool (the server cancelled its assignment).
     const NodeId v = a.node;
@@ -471,71 +419,165 @@ class SimEngine {
   }
 
   void onSpecCheck(std::size_t aid) {
-    const Attempt& a = attempts_[aid];
-    TaskState& t = tasks_[a.node];
+    const Attempt& a = attempts[aid];
+    TaskState& t = tasks[a.node];
     if (!a.active || t.done || t.specQueued || t.inFlight != 1) return;
     t.specQueued = true;
-    specQueue_.push_back(a.node);
-    trace(FaultEventKind::SpeculativeIssue, a.client, a.node, t.failures, now_ - a.start);
-    ++res_.resilience.speculativeIssues;
+    specQueue.push_back(a.node);
+    trace(FaultEventKind::SpeculativeIssue, a.client, a.node, t.failures, now - a.start);
+    ++res.resilience.speculativeIssues;
     serveIdle();
   }
 
   void onBackoff(NodeId v) {
-    TaskState& t = tasks_[v];
+    TaskState& t = tasks[v];
     t.backoffPending = false;
     if (t.done || t.inFlight > 0 || t.specQueued) return;
     requeueNow(v, t.backoffDelay);
     serveIdle();
   }
-
-  const Dag& g_;
-  Scheduler& sched_;
-  const SimulationConfig& cfg_;
-  const FaultModelConfig& fm_;
-  EligibilityTracker tracker_;
-  std::mt19937_64 rng_;
-  bool faultsOn_ = false;
-
-  std::vector<double> speeds_;
-  std::vector<double> base_;
-  std::vector<TaskState> tasks_;
-  std::vector<Attempt> attempts_;
-  std::vector<std::vector<std::size_t>> liveAttempts_;
-  std::vector<ClientState> clientState_;
-  std::vector<std::size_t> clientAttempt_;
-  std::vector<double> idleSince_;
-  std::vector<std::uint8_t> inIdleQueue_;
-  std::deque<std::size_t> idleQueue_;
-  std::deque<NodeId> specQueue_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::uint64_t seq_ = 0;
-  std::size_t alive_ = 0;
-  std::size_t executed_ = 0;
-  std::size_t readyPoolCount_ = 0;
-  double readyPoolIntegral_ = 0.0;
-  double lastEventTime_ = 0.0;
-  double now_ = 0.0;
-  SimulationResult res_;
 };
 
-}  // namespace
+SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& scheduler,
+                                             const SimulationConfig& config) {
+  g = &dag;
+  sched = &scheduler;
+  cfg = &config;
+  fm = &config.faults;
+  if (tracker) {
+    tracker->rebind(dag);  // reset + retarget, reusing buffer capacity
+  } else {
+    tracker.emplace(dag);
+  }
+  rng.seed(config.seed);
+  faultsOn = fm->anyEnabled();
 
-SimulationResult simulate(const Dag& g, Scheduler& sched, const SimulationConfig& config) {
+  const std::size_t n = dag.numNodes();
+  const std::size_t numClients = config.numClients;
+
+  speeds.assign(config.clientSpeeds.begin(), config.clientSpeeds.end());
+  if (speeds.empty()) speeds.assign(numClients, 1.0);
+  base.assign(config.taskBaseDurations.begin(), config.taskBaseDurations.end());
+  if (base.empty()) base.assign(n, config.meanTaskDuration);
+
+  tasks.assign(n, TaskState{});
+  attempts.clear();
+  // Clear-then-resize (rather than assign) keeps the inner vectors' heap
+  // buffers alive across replications.
+  for (std::size_t v = 0; v < std::min(liveAttempts.size(), n); ++v) liveAttempts[v].clear();
+  liveAttempts.resize(n);
+  clientState.assign(numClients, ClientState::Idle);
+  clientAttempt.assign(numClients, 0);
+  idleSince.assign(numClients, 0.0);
+  inIdleQueue.assign(numClients, 0);
+  idleQueue.clear();
+  specQueue.clear();
+  events.clear();
+  events.reserve(numClients + 8);
+  seq = 0;
+  alive = numClients;
+  executed = 0;
+  readyPoolCount = 0;
+  readyPoolIntegral = 0.0;
+  lastEventTime = 0.0;
+  now = 0.0;
+  res = SimulationResult{};
+  res.eligibleAfterCompletion.reserve(n);
+
+  tracker->eligibleNodesInto(packet);
+  for (NodeId v : packet) sched->onEligible(v);
+  readyPoolCount = tracker->eligibleCount();
+
+  // Fixed draw order at t=0: per-client departure holding times first,
+  // then the initial work assignment for clients 0..numClients-1.
+  if (fm->clientDepartureRate > 0.0) {
+    for (std::size_t c = 0; c < numClients; ++c) {
+      pushEvent(portableExponential(rng, fm->clientDepartureRate), EvKind::Departure, c);
+    }
+  }
+  for (std::size_t c = 0; c < numClients; ++c) {
+    if (sched->hasWork()) {
+      const NodeId v = sched->pick();
+      --readyPoolCount;
+      dispatch(c, v, /*isCopy=*/false);
+    } else {
+      ++res.stallEvents;
+      clientIdle(c);
+    }
+  }
+
+  while (executed < n) {
+    if (events.empty()) {
+      throw std::logic_error("simulate: no in-flight task but work remains");
+    }
+    const SimEvent ev = events.top();
+    events.pop();
+    advanceIntegralTo(ev.time);
+    now = ev.time;
+    switch (static_cast<EvKind>(ev.kind)) {
+      case EvKind::Finish:
+        onFinish(ev.id);
+        break;
+      case EvKind::Departure:
+        onDeparture(ev.id);
+        break;
+      case EvKind::Rejoin:
+        onRejoin(ev.id);
+        break;
+      case EvKind::Timeout:
+        onTimeout(ev.id);
+        break;
+      case EvKind::SpecCheck:
+        onSpecCheck(ev.id);
+        break;
+      case EvKind::Backoff:
+        onBackoff(static_cast<NodeId>(ev.id));
+        break;
+    }
+  }
+
+  res.makespan = now;
+  for (std::size_t c = 0; c < numClients; ++c) {
+    if (clientState[c] == ClientState::Idle) {
+      res.totalIdleTime += now - idleSince[c];
+    }
+  }
+  res.avgReadyPool = res.makespan > 0.0 ? readyPoolIntegral / res.makespan : 0.0;
+  return std::move(res);
+}
+
+SimulationEngine::SimulationEngine() : impl_(std::make_unique<Impl>()) {}
+SimulationEngine::~SimulationEngine() = default;
+SimulationEngine::SimulationEngine(SimulationEngine&&) noexcept = default;
+SimulationEngine& SimulationEngine::operator=(SimulationEngine&&) noexcept = default;
+
+SimulationResult SimulationEngine::run(const Dag& g, Scheduler& sched,
+                                       const SimulationConfig& config) {
   if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
   config.validate(g.numNodes());
-  SimEngine engine(g, sched, config);
-  return engine.run();
+  return impl_->run(g, sched, config);
+}
+
+SimulationResult SimulationEngine::runWith(const Dag& g, const Schedule& icOptimal,
+                                           const std::string& schedulerName,
+                                           const SimulationConfig& config) {
+  const std::unique_ptr<Scheduler> sched =
+      makeScheduler(schedulerName, g, icOptimal, config.seed ^ kSchedulerSeedSalt);
+  SimulationResult res = run(g, *sched, config);
+  res.schedulerName = schedulerName;
+  return res;
+}
+
+SimulationResult simulate(const Dag& g, Scheduler& sched, const SimulationConfig& config) {
+  SimulationEngine engine;
+  return engine.run(g, sched, config);
 }
 
 SimulationResult simulateWith(const Dag& g, const Schedule& icOptimal,
                               const std::string& schedulerName,
                               const SimulationConfig& config) {
-  const std::unique_ptr<Scheduler> sched =
-      makeScheduler(schedulerName, g, icOptimal, config.seed ^ 0x9E3779B97F4A7C15ull);
-  SimulationResult res = simulate(g, *sched, config);
-  res.schedulerName = schedulerName;
-  return res;
+  SimulationEngine engine;
+  return engine.runWith(g, icOptimal, schedulerName, config);
 }
 
 }  // namespace icsched

@@ -21,6 +21,7 @@
 /// (Condor/PRIO), which are not available; see DESIGN.md.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,43 @@ struct SimulationResult {
   /// (makespanInflation is left 0; harnesses that also run fault-free fill
   /// it in).
   ResilienceMetrics resilience;
+};
+
+/// A resettable discrete-event engine for running many replications cheaply.
+///
+/// simulate() constructs a fresh engine per call; an engine instance instead
+/// reuses every internal buffer (task/attempt/client arrays, the event heap,
+/// the eligibility tracker, the packet scratch) across run() calls, so a
+/// replication over an already-seen dag performs no per-run allocation
+/// beyond the result it returns. Results are identical to simulate() /
+/// simulateWith() for the same inputs: the engine is a pure function of
+/// (dag, scheduler, config) regardless of what it ran before.
+///
+/// Not thread-safe; use one engine per worker thread (see
+/// sim/batch_runner.hpp).
+class SimulationEngine {
+ public:
+  SimulationEngine();
+  ~SimulationEngine();
+  SimulationEngine(SimulationEngine&&) noexcept;
+  SimulationEngine& operator=(SimulationEngine&&) noexcept;
+  SimulationEngine(const SimulationEngine&) = delete;
+  SimulationEngine& operator=(const SimulationEngine&) = delete;
+
+  /// Runs one replication of \p g under \p sched, reusing internal buffers.
+  /// \throws std::invalid_argument on malformed configs or an empty dag.
+  [[nodiscard]] SimulationResult run(const Dag& g, Scheduler& sched,
+                                     const SimulationConfig& config);
+
+  /// Convenience: builds the named scheduler with the same per-seed salt as
+  /// simulateWith() and runs it, so batch and one-shot runs agree exactly.
+  [[nodiscard]] SimulationResult runWith(const Dag& g, const Schedule& icOptimal,
+                                         const std::string& schedulerName,
+                                         const SimulationConfig& config);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Runs one simulation of \p g under \p sched.

@@ -185,6 +185,44 @@ TEST(CliTest, SimulateFaultFlagsPrintResilienceLine) {
   EXPECT_EQ(traced, traced2);
 }
 
+TEST(CliTest, SimulateTrialsAndThreadsFlags) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "mesh", "6"}, "", &text), 0);
+  // trials=1 (the default) keeps the original single-line format.
+  std::string single;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3"}, text, &single), 0);
+  std::string singleExplicit;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "trials=1"}, text, &singleExplicit), 0);
+  EXPECT_EQ(single, singleExplicit);
+  // trials=N prints one line per consecutive seed plus the mean row, and the
+  // first trial reproduces the single-run metrics for the same seed.
+  std::string multi;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "trials=3"}, text, &multi), 0);
+  EXPECT_NE(multi.find("trial seed=3 "), std::string::npos);
+  EXPECT_NE(multi.find("trial seed=4 "), std::string::npos);
+  EXPECT_NE(multi.find("trial seed=5 "), std::string::npos);
+  EXPECT_NE(multi.find("mean makespan="), std::string::npos);
+  EXPECT_NE(multi.find("trial seed=3 " + single), std::string::npos);
+  // threads= routes through the batch runner: output is thread-count
+  // invariant (the BatchRunner determinism contract).
+  std::string pooled;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "trials=3", "threads=4"}, text, &pooled), 0);
+  EXPECT_EQ(multi, pooled);
+  // Flags compose with fault flags regardless of position.
+  std::string faulty;
+  ASSERT_EQ(cli({"simulate", "4", "RANDOM", "9", "depart=0.1", "trials=2", "join=0.5",
+                 "threads=2"},
+                text, &faulty),
+            0);
+  EXPECT_NE(faulty.find("trial seed=9 "), std::string::npos);
+  EXPECT_NE(faulty.find("trial seed=10 "), std::string::npos);
+  // trials=0 is rejected.
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"simulate", "4", "IC-OPT", "3", "trials=0"}, text, &out, &err), 1);
+  EXPECT_NE(err.find("trials must be >= 1"), std::string::npos);
+}
+
 TEST(CliTest, SimulateRejectsMalformedFaultFlags) {
   std::string text;
   ASSERT_EQ(cli({"gen", "mesh", "4"}, "", &text), 0);

@@ -1,0 +1,387 @@
+/// \file test_sim_batch.cpp
+/// \brief Batched simulation engine: SweepSpec expansion, BatchRunner
+/// parallel-equals-serial determinism, EventHeap, the allocation-free
+/// eligibility path, and the scheduler pick() guards.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/eligibility.hpp"
+#include "core/schedule.hpp"
+#include "families/butterfly.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/event_heap.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace icsched {
+namespace {
+
+FaultModelConfig someFaults() {
+  FaultModelConfig f;
+  f.clientDepartureRate = 0.05;
+  f.clientRejoinRate = 0.5;
+  f.minAliveClients = 2;
+  f.taskTimeout = 5.0;
+  f.stragglerProbability = 0.1;
+  f.stragglerSlowdown = 5.0;
+  f.transientFailureProbability = 0.05;
+  f.maxAttempts = 4;
+  return f;
+}
+
+void expectIdentical(const std::vector<Replication>& a, const std::vector<Replication>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SimulationResult& x = a[i].result;
+    const SimulationResult& y = b[i].result;
+    EXPECT_EQ(a[i].index, b[i].index) << "replication " << i;
+    EXPECT_EQ(x.schedulerName, y.schedulerName) << "replication " << i;
+    EXPECT_EQ(x.makespan, y.makespan) << "replication " << i;
+    EXPECT_EQ(x.totalIdleTime, y.totalIdleTime) << "replication " << i;
+    EXPECT_EQ(x.stallEvents, y.stallEvents) << "replication " << i;
+    EXPECT_EQ(x.avgReadyPool, y.avgReadyPool) << "replication " << i;
+    EXPECT_EQ(x.eligibleAfterCompletion, y.eligibleAfterCompletion) << "replication " << i;
+    EXPECT_EQ(x.faultTrace.toString(), y.faultTrace.toString()) << "replication " << i;
+  }
+}
+
+// ---------- SweepSpec ----------
+
+TEST(SweepSpecTest, SeedRange) {
+  EXPECT_EQ(seedRange(5, 3), (std::vector<std::uint64_t>{5, 6, 7}));
+  EXPECT_TRUE(seedRange(0, 0).empty());
+}
+
+TEST(SweepSpecTest, NumReplicationsIsAxisProduct) {
+  const ScheduledDag m = outMesh(4);
+  SweepSpec spec;
+  spec.dags.push_back({"a", &m.dag, &m.schedule});
+  spec.dags.push_back({"b", &m.dag, &m.schedule});
+  spec.schedulers = {"IC-OPT", "FIFO", "RANDOM"};
+  spec.seeds = seedRange(1, 5);
+  spec.faultCases = {{"fault-free", {}}, {"faulty", someFaults()}};
+  EXPECT_EQ(spec.numReplications(), 2u * 3u * 5u * 2u);
+}
+
+TEST(SweepSpecTest, ValidateRejectsEmptyAxesAndNullRefs) {
+  const ScheduledDag m = outMesh(3);
+  SweepSpec spec;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // no dags
+  spec.dags.push_back({"m", &m.dag, &m.schedule});
+  spec.seeds = seedRange(1, 1);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // no schedulers
+  spec.schedulers = {"IC-OPT"};
+  EXPECT_NO_THROW(spec.validate());
+  spec.seeds.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // no seeds
+  spec.seeds = seedRange(1, 1);
+  spec.faultCases.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // no fault cases
+  spec.faultCases = {{"fault-free", {}}};
+  spec.dags.push_back({"null", nullptr, nullptr});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // null dag
+}
+
+TEST(SweepSpecTest, AddReferencesWorkload) {
+  const std::vector<Workload> suite = comparisonSuite(3);
+  SweepSpec spec;
+  spec.add(suite[0]);
+  ASSERT_EQ(spec.dags.size(), 1u);
+  EXPECT_EQ(spec.dags[0].name, suite[0].name);
+  EXPECT_EQ(spec.dags[0].dag, &suite[0].dag);
+  EXPECT_EQ(spec.dags[0].schedule, &suite[0].schedule);
+}
+
+// ---------- BatchRunner determinism ----------
+
+TEST(BatchRunnerTest, ParallelMatchesSerialAcrossFamiliesAndSchedulers) {
+  // Three dag families x all six schedulers x eight seeds; the pooled sweep
+  // must reproduce the serial reference byte for byte.
+  const ScheduledDag mesh = outMesh(8);
+  const ScheduledDag bfly = butterfly(4);
+  const ScheduledDag pfx = prefixDag(16);
+  SweepSpec spec;
+  spec.dags.push_back({"mesh8", &mesh.dag, &mesh.schedule});
+  spec.dags.push_back({"butterfly4", &bfly.dag, &bfly.schedule});
+  spec.dags.push_back({"prefix16", &pfx.dag, &pfx.schedule});
+  spec.schedulers = allSchedulerNames();
+  spec.seeds = seedRange(100, 8);
+  spec.base.numClients = 6;
+
+  const std::vector<Replication> serial = BatchRunner(1).run(spec);
+  const std::vector<Replication> parallel = BatchRunner(4).run(spec);
+  ASSERT_EQ(serial.size(), spec.numReplications());
+  expectIdentical(serial, parallel);
+}
+
+TEST(BatchRunnerTest, FaultInjectedSweepIsSeedDeterministicUnderPool) {
+  const ScheduledDag mesh = outMesh(8);
+  SweepSpec spec;
+  spec.dags.push_back({"mesh8", &mesh.dag, &mesh.schedule});
+  spec.schedulers = {"IC-OPT", "RANDOM"};
+  spec.seeds = seedRange(7, 6);
+  spec.faultCases = {{"fault-free", {}}, {"faulty", someFaults()}};
+  spec.base.numClients = 8;
+
+  const std::vector<Replication> serial = BatchRunner(1).run(spec);
+  const std::vector<Replication> parallel = BatchRunner(3).run(spec);
+  expectIdentical(serial, parallel);
+  // The faulty cells actually injected something (the sweep is not vacuous).
+  bool sawFault = false;
+  for (const Replication& r : serial) {
+    if (r.faultIndex == 1 && !r.result.faultTrace.empty()) sawFault = true;
+  }
+  EXPECT_TRUE(sawFault);
+}
+
+TEST(BatchRunnerTest, ReplicationIndicesDecomposeRowMajor) {
+  const ScheduledDag mesh = outMesh(4);
+  SweepSpec spec;
+  spec.dags.push_back({"a", &mesh.dag, &mesh.schedule});
+  spec.dags.push_back({"b", &mesh.dag, &mesh.schedule});
+  spec.schedulers = {"FIFO", "LIFO", "RANDOM"};
+  spec.seeds = seedRange(1, 4);
+  spec.faultCases = {{"fault-free", {}}, {"faulty", someFaults()}};
+
+  const std::vector<Replication> reps = BatchRunner(2).run(spec);
+  ASSERT_EQ(reps.size(), spec.numReplications());
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const Replication& r = reps[i];
+    EXPECT_EQ(r.index, i);
+    // Row-major: dag, then scheduler, then fault, then seed (fastest).
+    const std::size_t reconstructed =
+        ((r.dagIndex * spec.schedulers.size() + r.schedulerIndex) * spec.faultCases.size() +
+         r.faultIndex) *
+            spec.seeds.size() +
+        r.seedIndex;
+    EXPECT_EQ(reconstructed, i);
+    EXPECT_EQ(r.result.schedulerName, spec.schedulers[r.schedulerIndex]);
+  }
+}
+
+TEST(BatchRunnerTest, MatchesOneShotSimulateWith) {
+  // A replication is the same pure function simulateWith computes.
+  const ScheduledDag mesh = outMesh(6);
+  SweepSpec spec;
+  spec.dags.push_back({"mesh6", &mesh.dag, &mesh.schedule});
+  spec.schedulers = {"IC-OPT", "RANDOM"};
+  spec.seeds = seedRange(11, 3);
+  spec.base.numClients = 5;
+  spec.base.faults = someFaults();
+  spec.faultCases = {{"faulty", someFaults()}};
+
+  for (const Replication& rep : BatchRunner(2).run(spec)) {
+    SimulationConfig cfg = spec.base;
+    cfg.seed = spec.seeds[rep.seedIndex];
+    const SimulationResult ref =
+        simulateWith(mesh.dag, mesh.schedule, spec.schedulers[rep.schedulerIndex], cfg);
+    EXPECT_EQ(rep.result.makespan, ref.makespan);
+    EXPECT_EQ(rep.result.stallEvents, ref.stallEvents);
+    EXPECT_EQ(rep.result.faultTrace.toString(), ref.faultTrace.toString());
+  }
+}
+
+TEST(BatchRunnerTest, ThreadCountConventions) {
+  EXPECT_EQ(BatchRunner(1).numThreads(), 1u);
+  EXPECT_EQ(BatchRunner(5).numThreads(), 5u);
+  EXPECT_GE(BatchRunner(0).numThreads(), 1u);  // hardware concurrency
+}
+
+TEST(BatchRunnerTest, WorkerExceptionPropagates) {
+  const ScheduledDag mesh = outMesh(4);
+  SweepSpec spec;
+  spec.dags.push_back({"mesh4", &mesh.dag, &mesh.schedule});
+  spec.schedulers = {"NO-SUCH-SCHEDULER"};
+  spec.seeds = seedRange(1, 4);
+  EXPECT_THROW((void)BatchRunner(2).run(spec), std::invalid_argument);
+  EXPECT_THROW((void)BatchRunner(1).run(spec), std::invalid_argument);
+}
+
+// ---------- SimulationEngine reuse ----------
+
+TEST(SimulationEngineTest, ReuseAcrossDagsMatchesFreshRuns) {
+  // One engine recycled across different dags and configs must agree with a
+  // fresh simulateWith() on every run, including returning to an earlier dag
+  // (the rebind path, not pointer-identity caching).
+  const ScheduledDag mesh = outMesh(7);
+  const ScheduledDag bfly = butterfly(3);
+  SimulationEngine engine;
+  struct Case {
+    const ScheduledDag* g;
+    const char* sched;
+    std::uint64_t seed;
+  };
+  const std::vector<Case> cases = {{&mesh, "IC-OPT", 1},
+                                   {&bfly, "RANDOM", 2},
+                                   {&mesh, "FIFO", 3},
+                                   {&bfly, "CRIT-PATH", 4},
+                                   {&mesh, "IC-OPT", 1}};
+  for (const Case& c : cases) {
+    SimulationConfig cfg;
+    cfg.numClients = 4;
+    cfg.seed = c.seed;
+    cfg.faults = someFaults();
+    const SimulationResult got = engine.runWith(c.g->dag, c.g->schedule, c.sched, cfg);
+    const SimulationResult ref = simulateWith(c.g->dag, c.g->schedule, c.sched, cfg);
+    EXPECT_EQ(got.makespan, ref.makespan) << c.sched;
+    EXPECT_EQ(got.eligibleAfterCompletion, ref.eligibleAfterCompletion) << c.sched;
+    EXPECT_EQ(got.faultTrace.toString(), ref.faultTrace.toString()) << c.sched;
+  }
+}
+
+// ---------- allocation-free eligibility path ----------
+
+TEST(EligibilityIntoTest, ExecuteIntoMatchesExecuteOnRandomDags) {
+  std::mt19937_64 rng(99);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Dag g = layeredRandomDag(5, 6, 0.3, seed);
+    EligibilityTracker a(g);
+    EligibilityTracker b(g);
+    std::vector<NodeId> scratch;
+    // Execute in a random ELIGIBLE order, not topological order, so packets
+    // are exercised under interleavings the simulator actually produces.
+    std::vector<NodeId> pool = a.eligibleNodes();
+    while (!pool.empty()) {
+      const std::size_t i = static_cast<std::size_t>(rng() % pool.size());
+      const NodeId v = pool[i];
+      pool[i] = pool.back();
+      pool.pop_back();
+      const std::vector<NodeId> packet = a.execute(v);
+      b.executeInto(v, scratch);
+      EXPECT_EQ(scratch, packet) << "node " << v << " seed " << seed;
+      pool.insert(pool.end(), packet.begin(), packet.end());
+    }
+    EXPECT_EQ(a.executedCount(), g.numNodes());
+    EXPECT_EQ(b.executedCount(), g.numNodes());
+  }
+}
+
+TEST(EligibilityIntoTest, EligibleNodesIntoMatchesEligibleNodes) {
+  const ScheduledDag m = outMesh(5);
+  EligibilityTracker t(m.dag);
+  std::vector<NodeId> into;
+  t.eligibleNodesInto(into);
+  EXPECT_EQ(into, t.eligibleNodes());
+  t.executeInto(0, into);  // the unique source
+  t.eligibleNodesInto(into);
+  EXPECT_EQ(into, t.eligibleNodes());
+}
+
+TEST(EligibilityIntoTest, RebindRetargetsAndResets) {
+  const ScheduledDag mesh = outMesh(5);
+  const ScheduledDag bfly = butterfly(3);
+  EligibilityTracker t(mesh.dag);
+  std::vector<NodeId> scratch;
+  t.executeInto(0, scratch);
+  t.rebind(bfly.dag);
+  EXPECT_EQ(t.executedCount(), 0u);
+  EXPECT_EQ(t.eligibleNodes(), EligibilityTracker(bfly.dag).eligibleNodes());
+  t.rebind(mesh.dag);  // back to the first dag: plain reset semantics
+  EXPECT_EQ(t.eligibleNodes(), EligibilityTracker(mesh.dag).eligibleNodes());
+}
+
+// ---------- EventHeap ----------
+
+TEST(EventHeapTest, PopsInTimeThenSeqOrderAgainstReference) {
+  struct RefCmp {
+    bool operator()(const SimEvent& a, const SimEvent& b) const { return b.before(a); }
+  };
+  std::mt19937_64 rng(7);
+  EventHeap heap;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, RefCmp> ref;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const bool push = ref.empty() || (rng() % 3) != 0;
+    if (push) {
+      SimEvent ev;
+      // Coarse times force plenty of ties; seq must break them FIFO.
+      ev.time = static_cast<double>(rng() % 16);
+      ev.seq = seq++;
+      ev.kind = static_cast<std::uint8_t>(rng() % 4);
+      ev.id = static_cast<std::size_t>(rng() % 100);
+      heap.push(ev);
+      ref.push(ev);
+    } else {
+      ASSERT_FALSE(heap.empty());
+      const SimEvent& got = heap.top();
+      const SimEvent& want = ref.top();
+      ASSERT_EQ(got.time, want.time);
+      ASSERT_EQ(got.seq, want.seq);
+      ASSERT_EQ(got.kind, want.kind);
+      ASSERT_EQ(got.id, want.id);
+      heap.pop();
+      ref.pop();
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(heap.top().seq, ref.top().seq);
+    heap.pop();
+    ref.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeapTest, SimultaneousEventsPopInInsertionOrder) {
+  EventHeap heap;
+  for (std::uint64_t s = 0; s < 10; ++s) heap.push({1.5, s, 0, 0});
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(heap.top().seq, s);
+    heap.pop();
+  }
+}
+
+TEST(EventHeapTest, ClearAndReserveReuseBackingStore) {
+  EventHeap heap;
+  heap.reserve(64);
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    heap.push({static_cast<double>(50 - s), s, 0, 0});
+  }
+  EXPECT_EQ(heap.size(), 50u);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  // Refill after clear: ordering still holds.
+  heap.push({2.0, 1, 0, 0});
+  heap.push({1.0, 2, 0, 0});
+  EXPECT_EQ(heap.top().time, 1.0);
+}
+
+// ---------- scheduler guards ----------
+
+TEST(SchedulerGuardTest, EveryPickThrowsOnEmptyPool) {
+  const ScheduledDag m = outMesh(3);
+  for (const std::string& name : allSchedulerNames()) {
+    const auto s = makeScheduler(name, m.dag, m.schedule, 1);
+    EXPECT_FALSE(s->hasWork()) << name;
+    EXPECT_THROW((void)s->pick(), std::logic_error) << name;
+    // After draining real work the guard still holds.
+    s->onEligible(0);
+    EXPECT_EQ(s->pick(), 0u) << name;
+    EXPECT_THROW((void)s->pick(), std::logic_error) << name;
+  }
+}
+
+TEST(SchedulerGuardTest, FifoAndLifoRejectOutOfRangeNodes) {
+  const ScheduledDag m = outMesh(3);  // 6 nodes
+  FifoScheduler fifo(m.dag);
+  LifoScheduler lifo(m.dag);
+  EXPECT_NO_THROW(fifo.onEligible(5));
+  EXPECT_NO_THROW(lifo.onEligible(5));
+  EXPECT_THROW(fifo.onEligible(6), std::invalid_argument);
+  EXPECT_THROW(lifo.onEligible(6), std::invalid_argument);
+  // Default-constructed schedulers stay permissive (no dag to bound against).
+  FifoScheduler unbound;
+  EXPECT_NO_THROW(unbound.onEligible(1000000));
+}
+
+}  // namespace
+}  // namespace icsched

@@ -1,18 +1,22 @@
 /// \file resilience_sweep.cpp
-/// \brief Fault-injection sweep harness: `icsched_resilience_sweep [OUT.json]`.
+/// \brief Fault-injection sweep harness:
+///   `icsched_resilience_sweep [OUT.json] [THREADS]`.
 ///
 /// Sweeps the resilience suite (workload.hpp) x {IC-OPT, RANDOM} x five
 /// fault scenarios (fault-free, churn, timeouts+stragglers, speculation,
-/// everything at once), all from one fixed seed. For every cell it
-///   - runs the simulation twice and demands byte-identical FaultTraces
-///     (the determinism guarantee of fault_model.hpp),
+/// everything at once), all from one fixed seed, expanded and executed by
+/// the batched simulation engine (sim/batch_runner.hpp). For every cell it
+///   - runs the sweep twice -- once serially, once on the thread pool -- and
+///     demands byte-identical results (the BatchRunner determinism contract
+///     on top of fault_model.hpp's seed-determinism guarantee),
 ///   - checks the run completed every task (eligibleAfterCompletion has one
 ///     entry per node and ends at zero -- no gridlock),
 ///   - computes makespan inflation against the fault-free run of the same
 ///     (family, scheduler) pair.
 /// Results land in BENCH_resilience.json (or argv[1]); the file is
 /// deterministic, so re-running the binary reproduces it byte for byte.
-/// Exits nonzero if any run is incomplete or non-deterministic.
+/// Exits nonzero if any run is incomplete or the parallel sweep diverges
+/// from the serial one.
 
 #include <cstddef>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/batch_runner.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workload.hpp"
@@ -33,13 +38,8 @@ namespace {
 
 constexpr std::uint64_t kSeed = 42;
 
-struct Scenario {
-  std::string name;
-  FaultModelConfig faults;
-};
-
-std::vector<Scenario> scenarios() {
-  std::vector<Scenario> out;
+std::vector<SweepSpec::FaultCase> scenarios() {
+  std::vector<SweepSpec::FaultCase> out;
   out.push_back({"fault-free", {}});
 
   FaultModelConfig churn;
@@ -109,69 +109,74 @@ void writeJson(std::ostream& os, const std::vector<Cell>& cells) {
   os << "  ]\n}\n";
 }
 
-int run(const std::string& outPath) {
+int run(const std::string& outPath, std::size_t threads) {
   const std::vector<Workload> suite = resilienceSuite(kSeed);
-  const std::vector<Scenario> scens = scenarios();
-  const std::vector<std::string> schedulers = {"IC-OPT", "RANDOM"};
+
+  SweepSpec spec;
+  for (const Workload& w : suite) spec.add(w);
+  spec.schedulers = {"IC-OPT", "RANDOM"};
+  spec.seeds = seedRange(kSeed, 1);
+  spec.faultCases = scenarios();
+  spec.base.numClients = 8;
+
+  // The determinism gate: the serial expansion is the reference; the pooled
+  // run must match it byte for byte.
+  const std::vector<Replication> serial = BatchRunner(1).run(spec);
+  const std::vector<Replication> parallel = BatchRunner(threads).run(spec);
 
   std::vector<Cell> cells;
   // Fault-free makespans, keyed (family, scheduler), for inflation.
   std::map<std::pair<std::string, std::string>, double> baseline;
   int failures = 0;
 
-  for (const Workload& w : suite) {
-    for (const std::string& sched : schedulers) {
-      for (const Scenario& sc : scens) {
-        SimulationConfig cfg;
-        cfg.numClients = 8;
-        cfg.seed = kSeed;
-        cfg.faults = sc.faults;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SimulationResult r = serial[i].result;
+    const SimulationResult& p = parallel[i].result;
+    const std::string& family = spec.dags[serial[i].dagIndex].name;
+    const std::string& sched = spec.schedulers[serial[i].schedulerIndex];
+    const std::string& scenario = spec.faultCases[serial[i].faultIndex].name;
+    const Dag& dag = *spec.dags[serial[i].dagIndex].dag;
 
-        SimulationResult r = simulateWith(w.dag, w.schedule, sched, cfg);
-        const SimulationResult again = simulateWith(w.dag, w.schedule, sched, cfg);
-
-        if (r.faultTrace.toString() != again.faultTrace.toString() ||
-            r.makespan != again.makespan) {
-          std::cerr << "NON-DETERMINISTIC: " << w.name << " / " << sched << " / " << sc.name
-                    << "\n";
-          ++failures;
-        }
-        const bool complete = r.eligibleAfterCompletion.size() == w.dag.numNodes() &&
-                              (r.eligibleAfterCompletion.empty() ||
-                               r.eligibleAfterCompletion.back() == 0);
-        if (!complete) {
-          std::cerr << "INCOMPLETE (gridlock?): " << w.name << " / " << sched << " / "
-                    << sc.name << " completed " << r.eligibleAfterCompletion.size() << "/"
-                    << w.dag.numNodes() << " tasks\n";
-          ++failures;
-        }
-
-        if (sc.name == "fault-free") {
-          baseline[{w.name, sched}] = r.makespan;
-          r.resilience.makespanInflation = 1.0;
-        } else {
-          const double base = baseline.at({w.name, sched});
-          r.resilience.makespanInflation = base > 0.0 ? r.makespan / base : 1.0;
-        }
-
-        Cell cell;
-        cell.family = w.name;
-        cell.scheduler = sched;
-        cell.scenario = sc.name;
-        cell.fingerprint = r.faultTrace.fingerprint();
-        cell.result = std::move(r);
-        cells.push_back(std::move(cell));
-      }
+    if (r.faultTrace.toString() != p.faultTrace.toString() || r.makespan != p.makespan ||
+        r.eligibleAfterCompletion != p.eligibleAfterCompletion) {
+      std::cerr << "PARALLEL DIVERGES FROM SERIAL: " << family << " / " << sched << " / "
+                << scenario << "\n";
+      ++failures;
     }
+    const bool complete = r.eligibleAfterCompletion.size() == dag.numNodes() &&
+                          (r.eligibleAfterCompletion.empty() ||
+                           r.eligibleAfterCompletion.back() == 0);
+    if (!complete) {
+      std::cerr << "INCOMPLETE (gridlock?): " << family << " / " << sched << " / "
+                << scenario << " completed " << r.eligibleAfterCompletion.size() << "/"
+                << dag.numNodes() << " tasks\n";
+      ++failures;
+    }
+
+    if (scenario == "fault-free") {
+      baseline[{family, sched}] = r.makespan;
+      r.resilience.makespanInflation = 1.0;
+    } else {
+      const double base = baseline.at({family, sched});
+      r.resilience.makespanInflation = base > 0.0 ? r.makespan / base : 1.0;
+    }
+
+    Cell cell;
+    cell.family = family;
+    cell.scheduler = sched;
+    cell.scenario = scenario;
+    cell.fingerprint = r.faultTrace.fingerprint();
+    cell.result = std::move(r);
+    cells.push_back(std::move(cell));
   }
 
   // IC-OPT vs RANDOM side by side on stdout (the artifact has the details).
   std::cout << std::left << std::setw(16) << "family" << std::setw(20) << "scenario"
             << std::setw(22) << "IC-OPT infl/stalls" << "RANDOM infl/stalls\n";
   for (const Workload& w : suite) {
-    for (const Scenario& sc : scens) {
+    for (const SweepSpec::FaultCase& sc : spec.faultCases) {
       std::cout << std::left << std::setw(16) << w.name << std::setw(20) << sc.name;
-      for (const std::string& sched : schedulers) {
+      for (const std::string& sched : spec.schedulers) {
         for (const Cell& c : cells) {
           if (c.family == w.name && c.scheduler == sched && c.scenario == sc.name) {
             std::ostringstream col;
@@ -190,6 +195,8 @@ int run(const std::string& outPath) {
     std::cerr << "cannot open " << outPath << "\n";
     return 2;
   }
+  // Replication order is dag, then scheduler, then scenario -- the same
+  // cell order the artifact has always used, so the file stays byte-stable.
   writeJson(json, cells);
   std::cout << "\nwrote " << outPath << " (" << cells.size() << " cells)\n";
   if (failures > 0) {
@@ -204,8 +211,10 @@ int run(const std::string& outPath) {
 
 int main(int argc, char** argv) {
   const std::string outPath = argc > 1 ? argv[1] : "BENCH_resilience.json";
+  std::size_t threads = 0;  // hardware concurrency
   try {
-    return icsched::run(outPath);
+    if (argc > 2) threads = static_cast<std::size_t>(std::stoull(argv[2]));
+    return icsched::run(outPath, threads);
   } catch (const std::exception& e) {
     std::cerr << "resilience_sweep: " << e.what() << "\n";
     return 2;
