@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "recovery/checkpoint_io.hpp"
+#include "recovery/journal.hpp"
 
 namespace icsched {
 
@@ -400,6 +402,183 @@ ExecutionTrace executeParallelRetrying(const Dag& g, const Schedule& s,
   if (g.numNodes() == 0) return {};
   RetryRun run(g, task, s, numThreads, policy);
   return run.run();
+}
+
+namespace {
+
+/// Binds a journal to (dag structure, schedule order): a resume against a
+/// different dag or a re-prioritised schedule is a StateMismatchError.
+std::uint64_t execFingerprint(const Dag& g, const Schedule& s) {
+  using recovery::fnv1aU64;
+  std::uint64_t h = recovery::kFnvOffset;
+  h = fnv1aU64(g.numNodes(), h);
+  h = fnv1aU64(g.numArcs(), h);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) {
+      h = fnv1aU64((static_cast<std::uint64_t>(u) << 32) | v, h);
+    }
+  }
+  for (NodeId v : s.order()) h = fnv1aU64(v, h);
+  return h;
+}
+
+/// Opens (or resumes) the journal and returns the replayed completion set.
+/// A salvaged set must be closed under dependencies -- a completion record
+/// is only ever appended after the node's payload ran, which requires all
+/// of its parents' records to be already on disk -- so a violation means
+/// the journal belongs to different work or was tampered with.
+std::vector<std::uint8_t> openExecJournal(recovery::JournalWriter& writer, const Dag& g,
+                                          const Schedule& s,
+                                          const ExecJournalOptions& journal) {
+  if (journal.path.empty()) {
+    throw std::invalid_argument("ExecJournalOptions: journal path is empty");
+  }
+  const std::uint64_t fingerprint = execFingerprint(g, s);
+  std::vector<std::uint8_t> done(g.numNodes(), 0);
+  if (journal.resume && recovery::journalUsable(journal.path)) {
+    const recovery::JournalContents salvaged =
+        writer.openResumed(journal.path, fingerprint, journal.fsyncEvery);
+    for (const std::string& record : salvaged.records) {
+      recovery::ByteReader r(record);
+      const NodeId v = r.u32();
+      r.expectDone();
+      if (v >= g.numNodes()) {
+        throw recovery::CorruptError("executor journal: completed node " + std::to_string(v) +
+                                     " out of range (dag has " + std::to_string(g.numNodes()) +
+                                     " nodes)");
+      }
+      done[v] = 1;
+    }
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (done[v] == 0) continue;
+      for (NodeId p : g.parents(v)) {
+        if (done[p] == 0) {
+          throw recovery::CorruptError(
+              "executor journal: node " + std::to_string(v) +
+              " recorded complete but its parent " + std::to_string(p) + " is not");
+        }
+      }
+    }
+  } else {
+    writer.open(journal.path, fingerprint, journal.fsyncEvery);
+  }
+  writer.setCrashAfterAppends(journal.crashAfterAppends, journal.crashMidRecord);
+  return done;
+}
+
+}  // namespace
+
+ExecutionTrace executeSequentialJournaled(const Dag& g, const Schedule& s,
+                                          const std::function<void(NodeId)>& task,
+                                          const ExecJournalOptions& journal) {
+  s.validate(g);
+  recovery::JournalWriter writer;
+  const std::vector<std::uint8_t> done = openExecJournal(writer, g, s, journal);
+  ExecutionTrace trace;
+  trace.dispatchOrder.reserve(g.numNodes());
+  recovery::ByteWriter record;
+  for (NodeId v : s.order()) {
+    trace.dispatchOrder.push_back(v);
+    if (done[v] != 0) continue;  // replayed: payload already ran before the crash
+    task(v);
+    record.clear();
+    record.u32(v);
+    writer.append(record.bytes());
+  }
+  writer.close();
+  return trace;
+}
+
+ExecutionTrace executeParallelJournaled(const Dag& g, const Schedule& s,
+                                        const std::function<void(NodeId)>& task,
+                                        std::size_t numThreads,
+                                        const ExecJournalOptions& journal) {
+  s.validate(g);
+  recovery::JournalWriter writer;
+  const std::vector<std::uint8_t> done = openExecJournal(writer, g, s, journal);
+
+  ParallelState st(g, s);
+  std::size_t replayed = 0;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (done[v] == 0) continue;
+    ++replayed;
+    for (NodeId c : g.children(v)) --st.pendingParents[c];
+  }
+  st.completed = replayed;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (done[v] == 0 && st.pendingParents[v] == 0) st.ready.push({st.priority[v], v});
+  }
+  if (st.completed == g.numNodes()) {
+    writer.close();
+    return {};
+  }
+
+  ThreadPool pool(numThreads);
+
+  // executeParallel's claim-the-best-ready loop, with one addition: the
+  // completion record is appended (under st.mutex -- the writer is
+  // single-threaded) BEFORE children are unlocked, so no child can ever be
+  // journaled ahead of a parent and any kill point leaves a closed set.
+  std::function<void()> worker = [&] {
+    NodeId v;
+    {
+      std::lock_guard lock(st.mutex);
+      if (st.firstError || st.ready.empty()) return;
+      v = st.ready.top().second;
+      st.ready.pop();
+      st.dispatchOrder.push_back(v);
+    }
+    try {
+      task(v);
+    } catch (...) {
+      std::lock_guard lock(st.mutex);
+      if (!st.firstError) st.firstError = std::current_exception();
+      ++st.completed;
+      st.done.notify_all();
+      return;
+    }
+    std::size_t newlyReady = 0;
+    {
+      std::lock_guard lock(st.mutex);
+      if (!st.firstError) {
+        try {
+          recovery::ByteWriter record;
+          record.u32(v);
+          writer.append(record.bytes());
+        } catch (...) {
+          st.firstError = std::current_exception();
+        }
+      }
+      ++st.completed;
+      for (NodeId c : g.children(v)) {
+        if (--st.pendingParents[c] == 0 && !st.firstError) {
+          st.ready.push({st.priority[c], c});
+          ++newlyReady;
+        }
+      }
+      if (st.completed == g.numNodes() || st.firstError) st.done.notify_all();
+    }
+    for (std::size_t i = 0; i < newlyReady; ++i) pool.submit(worker);
+  };
+
+  {
+    std::lock_guard lock(st.mutex);
+    for (std::size_t i = 0; i < st.ready.size(); ++i) pool.submit(worker);
+  }
+
+  {
+    std::unique_lock lock(st.mutex);
+    st.done.wait(lock, [&] {
+      return st.firstError != nullptr || st.completed == g.numNodes();
+    });
+  }
+  pool.waitIdle();
+  if (st.firstError) std::rethrow_exception(st.firstError);
+  writer.close();
+
+  ExecutionTrace trace;
+  trace.dispatchOrder = std::move(st.dispatchOrder);
+  return trace;
 }
 
 }  // namespace icsched

@@ -104,4 +104,47 @@ ExecutionTrace executeParallelRetrying(const Dag& g, const Schedule& s,
                                        const RetryingTask& task, std::size_t numThreads,
                                        const RetryPolicy& policy);
 
+/// Write-ahead journaling for the journaled executor entry points: one
+/// record per completed node (see recovery/journal.hpp for format and crash
+/// semantics). The journal's fingerprint binds it to (dag structure,
+/// schedule order), so replaying against different work is a typed
+/// StateMismatchError.
+struct ExecJournalOptions {
+  /// Journal file path. Must be non-empty.
+  std::string path;
+  /// fsync after every N appended records (0 = only at the end of the run).
+  std::size_t fsyncEvery = 16;
+  /// When true and `path` holds a usable journal for this (dag, schedule),
+  /// nodes recorded there are *replayed* -- marked complete without invoking
+  /// the payload (valid because payload effects already happened before the
+  /// completion record hit the journal). When false the journal starts
+  /// fresh. A crash-torn tail is truncated; its node re-executes.
+  bool resume = false;
+  /// Crash-test hook: SIGKILL the process after this many appends in this
+  /// session (0 = never). See recovery::JournalWriter::setCrashAfterAppends.
+  std::size_t crashAfterAppends = 0;
+  /// Crash mid-record (torn tail) instead of between records.
+  bool crashMidRecord = false;
+};
+
+/// executeSequential with a write-ahead journal. The returned dispatchOrder
+/// covers the full logical run (== schedule order); replayed nodes simply
+/// skip the payload call.
+/// \throws recovery::StateMismatchError / recovery::CorruptError on a
+/// foreign or malformed journal (e.g. a completion set that is not closed
+/// under dependencies).
+ExecutionTrace executeSequentialJournaled(const Dag& g, const Schedule& s,
+                                          const std::function<void(NodeId)>& task,
+                                          const ExecJournalOptions& journal);
+
+/// executeParallel with a write-ahead journal. Replayed nodes are marked
+/// complete up front (their children's dependencies count as satisfied) and
+/// this session's dispatchOrder lists only the nodes actually dispatched
+/// now. Completion records are appended before a completion unlocks any
+/// child, so any kill point is recoverable.
+ExecutionTrace executeParallelJournaled(const Dag& g, const Schedule& s,
+                                        const std::function<void(NodeId)>& task,
+                                        std::size_t numThreads,
+                                        const ExecJournalOptions& journal);
+
 }  // namespace icsched

@@ -169,33 +169,32 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   bool dumpTrace = false;
   std::size_t trials = 1;
   std::size_t threads = 1;  // 0 = hardware concurrency (BatchRunner convention)
+  std::string checkpointPath;
+  std::string resumePath;
+  std::size_t checkpointEvery = 10000;
   for (std::size_t i = 3; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag.rfind("trials=", 0) == 0) {
       trials = parseSize(flag.substr(7), "trials");
     } else if (flag.rfind("threads=", 0) == 0) {
       threads = parseSize(flag.substr(8), "threads");
+    } else if (flag.rfind("checkpoint=", 0) == 0) {
+      checkpointPath = flag.substr(11);
+    } else if (flag.rfind("checkpoint_every=", 0) == 0) {
+      checkpointEvery = parseSize(flag.substr(17), "checkpoint_every");
+    } else if (flag.rfind("resume=", 0) == 0) {
+      resumePath = flag.substr(7);
     } else {
       applyFaultFlag(cfg, dumpTrace, flag);
     }
   }
   if (trials == 0) throw std::invalid_argument("simulate: trials must be >= 1");
 
-  SweepSpec spec;
-  spec.dags.push_back({"cli", &g, &s});
-  spec.schedulers = {args[1]};
-  spec.seeds = seedRange(cfg.seed, trials);
-  spec.faultCases = {{"cli", cfg.faults}};
-  spec.base = cfg;
-  const std::vector<Replication> reps = BatchRunner(threads).run(spec);
-
   const auto printResult = [&](const SimulationResult& r, const char* prefix) {
     out << prefix << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
         << " stalls=" << r.stallEvents << " readyPool=" << r.avgReadyPool << "\n";
   };
-  if (trials == 1) {
-    const SimulationResult& r = reps[0].result;
-    printResult(r, "");
+  const auto printResilience = [&](const SimulationResult& r) {
     if (cfg.failureProbability > 0.0 || cfg.faults.anyEnabled()) {
       const ResilienceMetrics& m = r.resilience;
       out << "resilience departures=" << m.departures << " rejoins=" << m.rejoins
@@ -205,6 +204,46 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
           << " reissues=" << m.reissues << " wasted=" << m.wastedWork
           << " recovery=" << m.avgRecoveryLatency() << "\n";
     }
+  };
+
+  if (!checkpointPath.empty() || !resumePath.empty()) {
+    // Checkpointed (or resumed) single run: drive the stepped engine and
+    // save a recoverable snapshot file every checkpoint_every events.
+    if (trials != 1) {
+      throw std::invalid_argument("simulate: checkpoint/resume require trials=1");
+    }
+    if (checkpointEvery == 0) {
+      throw std::invalid_argument("simulate: checkpoint_every must be >= 1");
+    }
+    SimulationEngine engine;
+    if (!resumePath.empty()) {
+      engine.restoreCheckpointWith(resumePath, g, s, cfg);
+      out << "resumed events=" << engine.eventsProcessed() << "\n";
+    } else {
+      engine.beginWith(g, s, args[1], cfg);
+    }
+    while (!engine.step(checkpointEvery)) {
+      if (!checkpointPath.empty()) engine.saveCheckpoint(checkpointPath);
+    }
+    const SimulationResult r = engine.takeResult();
+    printResult(r, "");
+    printResilience(r);
+    if (dumpTrace) r.faultTrace.writeTo(out);
+    return 0;
+  }
+
+  SweepSpec spec;
+  spec.dags.push_back({"cli", &g, &s});
+  spec.schedulers = {args[1]};
+  spec.seeds = seedRange(cfg.seed, trials);
+  spec.faultCases = {{"cli", cfg.faults}};
+  spec.base = cfg;
+  const std::vector<Replication> reps = BatchRunner(threads).run(spec);
+
+  if (trials == 1) {
+    const SimulationResult& r = reps[0].result;
+    printResult(r, "");
+    printResilience(r);
     if (dumpTrace) r.faultTrace.writeTo(out);
     return 0;
   }

@@ -7,8 +7,39 @@ namespace icsched {
 
 namespace {
 
+/// Caps applied BEFORE any size-driven allocation, so a hostile stream (a
+/// fuzzer artifact, a truncated download, a wrong file fed to the CLI) can
+/// name an absurd count without driving a matching allocation.
+constexpr std::size_t kMaxNodes = std::size_t{1} << 24;      // 16M nodes
+constexpr std::size_t kMaxLineBytes = std::size_t{1} << 26;  // 64 MiB
+constexpr std::size_t kMaxLabelBytes = 4096;
+
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   throw std::invalid_argument("dag_io: line " + std::to_string(line) + ": " + what);
+}
+
+/// getline with a hard byte cap: reads at most kMaxLineBytes before giving
+/// up, instead of buffering an arbitrarily long "line" first.
+bool getlineBounded(std::istream& is, std::string& line, std::size_t lineNo) {
+  line.clear();
+  char c = 0;
+  while (is.get(c)) {
+    if (c == '\n') return true;
+    if (line.size() >= kMaxLineBytes) {
+      fail(lineNo, "line exceeds the " + std::to_string(kMaxLineBytes) + "-byte cap");
+    }
+    line.push_back(c);
+  }
+  return !line.empty();
+}
+
+/// Rejects trailing tokens (comments excepted) so a malformed line fails
+/// loudly instead of being silently half-read.
+void expectLineEnd(std::istringstream& ls, std::size_t lineNo, const char* what) {
+  std::string extra;
+  if (ls >> extra && extra[0] != '#') {
+    fail(lineNo, std::string(what) + ": unexpected trailing token '" + extra + "'");
+  }
 }
 
 }  // namespace
@@ -35,7 +66,7 @@ Dag readDag(std::istream& is) {
   // Find the header, skipping blanks and comments.
   DagBuilder b;
   bool haveHeader = false;
-  while (std::getline(is, line)) {
+  while (getlineBounded(is, line, lineNo + 1)) {
     ++lineNo;
     std::istringstream ls(line);
     std::string kw;
@@ -43,28 +74,43 @@ Dag readDag(std::istream& is) {
     if (!haveHeader) {
       if (kw != "dag") fail(lineNo, "expected 'dag <numNodes>' header, got '" + kw + "'");
       std::size_t n = 0;
-      if (!(ls >> n)) fail(lineNo, "missing node count");
+      if (!(ls >> n)) fail(lineNo, "missing or non-numeric node count");
+      if (n > kMaxNodes) {
+        fail(lineNo, "node count " + std::to_string(n) + " exceeds the " +
+                         std::to_string(kMaxNodes) + "-node cap");
+      }
+      expectLineEnd(ls, lineNo, "dag header");
       b = DagBuilder(n);
       haveHeader = true;
       continue;
     }
     if (kw == "end") {
-      return b.freeze();  // throws std::logic_error on a cyclic input
+      expectLineEnd(ls, lineNo, "end");
+      try {
+        return b.freeze();  // throws on a cyclic input
+      } catch (const std::exception& e) {
+        fail(lineNo, e.what());
+      }
     }
     if (kw == "label") {
       NodeId v = 0;
-      if (!(ls >> v)) fail(lineNo, "label: missing node id");
+      if (!(ls >> v)) fail(lineNo, "label: missing or non-numeric node id");
       if (v >= b.numNodes()) fail(lineNo, "label: node id out of range");
       std::string text;
       std::getline(ls, text);
       const std::size_t start = text.find_first_not_of(' ');
-      b.setLabel(v, start == std::string::npos ? "" : text.substr(start));
+      std::string trimmed = start == std::string::npos ? "" : text.substr(start);
+      if (trimmed.size() > kMaxLabelBytes) {
+        fail(lineNo, "label exceeds the " + std::to_string(kMaxLabelBytes) + "-byte cap");
+      }
+      b.setLabel(v, std::move(trimmed));
       continue;
     }
     if (kw == "arc") {
       NodeId from = 0;
       NodeId to = 0;
       if (!(ls >> from >> to)) fail(lineNo, "arc: expected 'arc <from> <to>'");
+      expectLineEnd(ls, lineNo, "arc");
       try {
         b.addArc(from, to);
       } catch (const std::invalid_argument& e) {
@@ -97,7 +143,7 @@ std::string scheduleToString(const Schedule& s) {
 Schedule readSchedule(std::istream& is) {
   std::string line;
   std::size_t lineNo = 0;
-  while (std::getline(is, line)) {
+  while (getlineBounded(is, line, lineNo + 1)) {
     ++lineNo;
     std::istringstream ls(line);
     std::string kw;
@@ -105,9 +151,18 @@ Schedule readSchedule(std::istream& is) {
     if (kw != "schedule") fail(lineNo, "expected 'schedule ...'");
     std::vector<NodeId> order;
     NodeId v = 0;
-    while (ls >> v) order.push_back(v);
+    while (ls >> v) {
+      if (order.size() >= kMaxNodes) {
+        fail(lineNo, "schedule exceeds the " + std::to_string(kMaxNodes) + "-entry cap");
+      }
+      order.push_back(v);
+    }
     if (!ls.eof()) fail(lineNo, "schedule: non-numeric entry");
-    return Schedule(std::move(order));
+    try {
+      return Schedule(std::move(order));
+    } catch (const std::exception& e) {
+      fail(lineNo, e.what());
+    }
   }
   fail(lineNo, "missing 'schedule' line");
 }

@@ -1,0 +1,311 @@
+#include "recovery/checkpoint_io.hpp"
+
+#include <array>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <locale>
+#include <sstream>
+
+namespace icsched::recovery {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+/// The on-disk endianness tag. All multi-byte fields are written explicitly
+/// little-endian byte by byte, so files are portable; the tag exists so a
+/// hypothetical big-endian *writer* variant is detected rather than
+/// misparsed.
+constexpr std::uint8_t kLittleEndianTag = 1;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = kCrcTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t seed) {
+  return fnv1a(s.data(), s.size(), seed);
+}
+
+std::uint64_t fnv1aU64(std::uint64_t v, std::uint64_t seed) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return fnv1a(bytes, 8, seed);
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+const unsigned char* ByteReader::need(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw TruncatedError("checkpoint_io: payload ends mid-field (wanted " +
+                         std::to_string(n) + " bytes, " +
+                         std::to_string(data_.size() - pos_) + " remain)");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() { return *need(1); }
+
+std::uint32_t ByteReader::u32() {
+  const unsigned char* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const unsigned char* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = *need(1);
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) {
+      // Reject non-canonical 10-byte encodings that would overflow.
+      if (shift == 63 && b > 1) throw CorruptError("checkpoint_io: varint overflows u64");
+      return v;
+    }
+  }
+  throw CorruptError("checkpoint_io: varint longer than 10 bytes");
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t len = u64();
+  if (len > remaining()) {
+    throw TruncatedError("checkpoint_io: string length " + std::to_string(len) +
+                         " exceeds the " + std::to_string(remaining()) +
+                         " bytes that remain");
+  }
+  const unsigned char* p = need(static_cast<std::size_t>(len));
+  return std::string(reinterpret_cast<const char*>(p), static_cast<std::size_t>(len));
+}
+
+std::size_t ByteReader::count(std::size_t maxCount, std::size_t minElementBytes) {
+  const std::uint64_t n = varint();
+  if (n > maxCount) {
+    throw CorruptError("checkpoint_io: element count " + std::to_string(n) +
+                       " exceeds the cap of " + std::to_string(maxCount));
+  }
+  if (minElementBytes > 0 && n > remaining() / minElementBytes) {
+    throw TruncatedError("checkpoint_io: element count " + std::to_string(n) +
+                         " cannot fit in the bytes that remain");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void ByteReader::expectDone() const {
+  if (pos_ != data_.size()) {
+    throw CorruptError("checkpoint_io: " + std::to_string(data_.size() - pos_) +
+                       " trailing bytes after the last field");
+  }
+}
+
+namespace {
+
+/// mt19937_64 state block size (template parameter n).
+constexpr std::size_t kMtStateWords = 312;
+
+/// Forward tempering transform of std::mt19937_64 (parameters u/d/s/b/t/l
+/// from the standard's mersenne_twister_engine instantiation).
+constexpr std::uint64_t mtTemper(std::uint64_t y) {
+  y ^= (y >> 29) & 0x5555555555555555ull;
+  y ^= (y << 17) & 0x71D67FFFEDA60000ull;
+  y ^= (y << 37) & 0xFFF7EEE000000000ull;
+  y ^= y >> 43;
+  return y;
+}
+
+/// Inverse of mtTemper. Each xor-shift stage is inverted in reverse order;
+/// stages whose shift is >= 32 invert in one application, the others by
+/// iterating until every bit has propagated.
+constexpr std::uint64_t mtUntemper(std::uint64_t y) {
+  y ^= y >> 43;
+  y ^= (y << 37) & 0xFFF7EEE000000000ull;
+  // Correct low bits grow by 17 per application (low 17 start correct), so
+  // three applications reach all 64.
+  std::uint64_t x = y;
+  x = y ^ ((x << 17) & 0x71D67FFFEDA60000ull);
+  x = y ^ ((x << 17) & 0x71D67FFFEDA60000ull);
+  y = y ^ ((x << 17) & 0x71D67FFFEDA60000ull);
+  // Correct high bits grow by 29 per application: two suffice.
+  x = y ^ ((y >> 29) & 0x5555555555555555ull);
+  return y ^ ((x >> 29) & 0x5555555555555555ull);
+}
+
+}  // namespace
+
+void saveRngState(ByteWriter& w, const std::mt19937_64& rng) {
+  // Cloning trick: draw a full state block from a copy and invert the
+  // tempering transform. The untempered words are a state that is
+  // output-equivalent to the original with position 0, so the serialized
+  // form is a pure function of the generator's observable state (stable
+  // across save/restore cycles) and ~10x cheaper than the iostream textual
+  // representation.
+  std::mt19937_64 copy = rng;
+  w.varint(kMtStateWords);
+  char buf[kMtStateWords * 8];
+  char* p = buf;
+  for (std::size_t i = 0; i < kMtStateWords; ++i) {
+    const std::uint64_t x = mtUntemper(copy());
+    for (int j = 0; j < 8; ++j) p[j] = static_cast<char>(x >> (8 * j));
+    p += 8;
+  }
+  w.raw(buf, sizeof buf);
+}
+
+void loadRngState(ByteReader& r, std::mt19937_64& rng) {
+  const std::uint64_t n = r.varint();
+  if (n != kMtStateWords)
+    throw CorruptError("checkpoint_io: mt19937_64 state has " + std::to_string(n) +
+                       " words, expected " + std::to_string(kMtStateWords));
+  std::array<std::uint64_t, kMtStateWords> words{};
+  for (auto& word : words) word = r.u64();
+
+  // The only portable way to *set* engine state is operator>>, whose textual
+  // representation (libstdc++, libc++) is the state words oldest-first
+  // followed by the position index; position 0 means the whole block is
+  // still ahead.
+  std::string text;
+  text.reserve(kMtStateWords * 21 + 2);
+  char buf[24];
+  for (const std::uint64_t word : words) {
+    const auto res = std::to_chars(buf, buf + sizeof(buf), word);
+    text.append(buf, res.ptr);
+    text.push_back(' ');
+  }
+  text.push_back('0');
+  std::istringstream is(text);
+  is.imbue(std::locale::classic());
+  is >> rng;
+  if (is.fail()) throw CorruptError("checkpoint_io: malformed mt19937_64 state");
+
+  // Guard against a library whose textual format differs from the one we
+  // synthesize: the next output must be the tempered first word.
+  std::mt19937_64 probe = rng;
+  if (probe() != mtTemper(words[0]))
+    throw CorruptError("checkpoint_io: mt19937_64 state reconstruction mismatch");
+}
+
+void writeFramedFile(const std::string& path, std::string_view magic,
+                     std::uint32_t version, std::string_view payload) {
+  if (magic.size() != 8) throw FileError("checkpoint_io: magic must be 8 bytes");
+  ByteWriter header;
+  header.raw(magic.data(), magic.size());
+  header.u32(version);
+  header.u8(kLittleEndianTag);
+  header.u64(payload.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw FileError("checkpoint_io: cannot open '" + tmp + "' for writing");
+    os.write(header.bytes().data(), static_cast<std::streamsize>(header.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    ByteWriter tail;
+    tail.u32(crc);
+    os.write(tail.bytes().data(), static_cast<std::streamsize>(tail.size()));
+    if (!os) throw FileError("checkpoint_io: short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw FileError("checkpoint_io: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+std::string readFramedFile(const std::string& path, std::string_view magic,
+                           std::uint32_t expectedVersion, std::uint64_t maxPayload) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw FileError("checkpoint_io: cannot open '" + path + "'");
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  if (is.bad()) throw FileError("checkpoint_io: read error on '" + path + "'");
+
+  constexpr std::size_t kHeaderSize = 8 + 4 + 1 + 8;
+  if (contents.size() < kHeaderSize + 4) {
+    throw TruncatedError("checkpoint_io: '" + path + "' is shorter than a frame header");
+  }
+  if (std::string_view(contents).substr(0, 8) != magic) {
+    throw CorruptError("checkpoint_io: '" + path + "' has the wrong magic (not a " +
+                       std::string(magic.substr(0, magic.find('\0'))) + " file)");
+  }
+  ByteReader header(std::string_view(contents).substr(8, kHeaderSize - 8));
+  const std::uint32_t version = header.u32();
+  const std::uint8_t endian = header.u8();
+  const std::uint64_t len = header.u64();
+  if (endian != kLittleEndianTag) {
+    throw CorruptError("checkpoint_io: '" + path +
+                       "' was written with a foreign byte order (endian tag " +
+                       std::to_string(endian) + ")");
+  }
+  if (version != expectedVersion) {
+    throw VersionError("checkpoint_io: '" + path + "' is format version " +
+                       std::to_string(version) + "; this build reads version " +
+                       std::to_string(expectedVersion));
+  }
+  if (len > maxPayload) {
+    throw CorruptError("checkpoint_io: '" + path + "' declares a " +
+                       std::to_string(len) + "-byte payload (cap " +
+                       std::to_string(maxPayload) + ")");
+  }
+  if (contents.size() != kHeaderSize + len + 4) {
+    throw TruncatedError("checkpoint_io: '" + path + "' is " +
+                         std::to_string(contents.size()) + " bytes; the header implies " +
+                         std::to_string(kHeaderSize + len + 4));
+  }
+  const std::string_view payload = std::string_view(contents).substr(kHeaderSize,
+                                                                     static_cast<std::size_t>(len));
+  ByteReader tail(std::string_view(contents).substr(kHeaderSize + static_cast<std::size_t>(len)));
+  const std::uint32_t stored = tail.u32();
+  const std::uint32_t actual = crc32(payload.data(), payload.size());
+  if (stored != actual) {
+    throw CorruptError("checkpoint_io: '" + path + "' fails its CRC-32 check");
+  }
+  return std::string(payload);
+}
+
+}  // namespace icsched::recovery

@@ -1,0 +1,192 @@
+#pragma once
+/// \file checkpoint_io.hpp
+/// \brief The recovery layer's binary serialization primitives.
+///
+/// Every durable artifact of the recovery subsystem -- engine checkpoints
+/// (sim/simulation.hpp), sweep journals (recovery/journal.hpp), executor
+/// replay logs (exec/dag_executor.hpp) -- is built from the same two pieces:
+///
+///  - **ByteWriter / ByteReader**: explicit little-endian field codecs over a
+///    growable byte buffer. The reader is strictly bounds-validated: running
+///    off the end of the payload, an over-long string, or an over-long array
+///    throws a typed TruncatedError / CorruptError instead of reading out of
+///    bounds. Doubles travel as IEEE-754 bit patterns, so round trips are
+///    exact and results reassembled from a checkpoint are byte-identical to
+///    an uninterrupted run.
+///  - **Framed files**: `[magic 8][version u32][endian u8][payload-len u64]
+///    [payload][crc32 u32]`. writeFramedFile() writes to `path.tmp` and
+///    renames, so a crash mid-write never leaves a half-written file under
+///    the final name; readFramedFile() rejects wrong magic, foreign
+///    endianness, unknown versions, absurd lengths, truncation and CRC
+///    mismatches with typed errors -- corrupt input can never become UB.
+///
+/// Versioning policy (see DESIGN.md "Checkpoint & recovery"): readers accept
+/// exactly the versions they know; any format change that alters the payload
+/// layout bumps the version, and older binaries reject newer files with
+/// VersionError rather than misparsing them.
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace icsched::recovery {
+
+/// Base class of every recovery-layer failure, so callers can catch the
+/// whole family with one handler.
+class RecoveryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The bytes are malformed: bad magic, CRC mismatch, impossible field value.
+class CorruptError : public RecoveryError {
+ public:
+  using RecoveryError::RecoveryError;
+};
+
+/// The file/payload ends before a complete value could be read.
+class TruncatedError : public CorruptError {
+ public:
+  using CorruptError::CorruptError;
+};
+
+/// The file carries a version this reader does not understand.
+class VersionError : public RecoveryError {
+ public:
+  using RecoveryError::RecoveryError;
+};
+
+/// The file is well-formed but belongs to a different run: its fingerprint
+/// (dag/config/sweep-spec hash) does not match the caller's state.
+class StateMismatchError : public RecoveryError {
+ public:
+  using RecoveryError::RecoveryError;
+};
+
+/// The file cannot be opened / written (ENOENT, EACCES, short write, ...).
+class FileError : public RecoveryError {
+ public:
+  using RecoveryError::RecoveryError;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum of every framed
+/// file and journal record. \p seed chains incremental computations.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+/// FNV-1a 64-bit hash, used for state fingerprints (dag + config + sweep
+/// spec). Chain calls via \p seed to hash structured data.
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size,
+                                  std::uint64_t seed = kFnvOffset);
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s,
+                                  std::uint64_t seed = kFnvOffset);
+[[nodiscard]] std::uint64_t fnv1aU64(std::uint64_t v,
+                                     std::uint64_t seed = kFnvOffset);
+
+/// Appends explicit little-endian fields to a growable byte buffer.
+/// The buffer can be reused across snapshots via clear() to amortize
+/// allocation on hot checkpoint paths.
+class ByteWriter {
+ public:
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    buf_.append(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    buf_.append(b, 8);
+  }
+  /// Unsigned LEB128; compact for small counts (eligibility profiles).
+  void varint(std::uint64_t v) {
+    char b[10];
+    std::size_t k = 0;
+    while (v >= 0x80) {
+      b[k++] = static_cast<char>(v | 0x80u);
+      v >>= 7;
+    }
+    b[k++] = static_cast<char>(v);
+    buf_.append(b, k);
+  }
+  /// IEEE-754 bit pattern; exact round trip.
+  void f64(double v);
+  /// u64 length followed by raw bytes.
+  void str(std::string_view s);
+  void raw(const void* data, std::size_t size);
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-validated little-endian reads over a borrowed byte range. Every
+/// accessor throws TruncatedError instead of reading past the end; length-
+/// prefixed reads additionally reject lengths larger than the bytes that
+/// remain (so a corrupted length can never drive a huge allocation).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : data_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  /// varint count, validated against \p maxCount *and* the bytes remaining
+  /// (each element costs at least \p minElementBytes).
+  [[nodiscard]] std::size_t count(std::size_t maxCount,
+                                  std::size_t minElementBytes = 1);
+
+  /// Throws CorruptError unless the whole payload was consumed.
+  void expectDone() const;
+
+ private:
+  const unsigned char* need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// mt19937_64 state as 312 raw little-endian words, recovered from a copy
+/// of the generator by inverting the tempering transform (exact, portable
+/// round trip); used by engine and scheduler checkpoints so resumed RNG
+/// draw sequences match the uninterrupted run bit for bit.
+void saveRngState(ByteWriter& w, const std::mt19937_64& rng);
+/// \throws CorruptError on malformed state text.
+void loadRngState(ByteReader& r, std::mt19937_64& rng);
+
+/// Hard cap on any framed payload this library will load (defense against a
+/// corrupted or hostile length field driving a giant allocation).
+inline constexpr std::uint64_t kMaxFramedPayload = 1ull << 31;  // 2 GiB
+
+/// Writes `[magic][version][endian][len][payload][crc]` to \p path.tmp and
+/// atomically renames it over \p path. \p magic must be exactly 8 bytes.
+/// \throws FileError on any I/O failure.
+void writeFramedFile(const std::string& path, std::string_view magic,
+                     std::uint32_t version, std::string_view payload);
+
+/// Reads and validates a framed file, returning the payload.
+/// \throws FileError (unopenable), CorruptError (magic/endian/CRC/length),
+/// TruncatedError (short file), VersionError (version != expectedVersion).
+[[nodiscard]] std::string readFramedFile(const std::string& path,
+                                         std::string_view magic,
+                                         std::uint32_t expectedVersion,
+                                         std::uint64_t maxPayload = kMaxFramedPayload);
+
+}  // namespace icsched::recovery

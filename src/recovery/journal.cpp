@@ -1,0 +1,256 @@
+#include "recovery/journal.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace icsched::recovery {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 1 + 8 + 4;
+constexpr std::uint8_t kLittleEndianTag = 1;
+
+std::string buildHeader(std::uint64_t fingerprint) {
+  ByteWriter w;
+  w.raw(kJournalMagic.data(), kJournalMagic.size());
+  w.u32(kJournalVersion);
+  w.u8(kLittleEndianTag);
+  w.u64(fingerprint);
+  // The CRC covers everything before it.
+  const std::uint32_t crc = crc32(w.bytes().data(), w.size());
+  w.u32(crc);
+  return w.take();
+}
+
+/// Parses the header; throws typed errors on any anomaly.
+std::uint64_t parseHeader(std::string_view bytes, const std::string& path) {
+  if (bytes.size() < kHeaderSize) {
+    throw TruncatedError("journal: '" + path + "' is shorter than a journal header");
+  }
+  if (bytes.substr(0, 8) != kJournalMagic) {
+    throw CorruptError("journal: '" + path + "' has the wrong magic (not a journal)");
+  }
+  ByteReader r(bytes.substr(8, kHeaderSize - 8));
+  const std::uint32_t version = r.u32();
+  const std::uint8_t endian = r.u8();
+  const std::uint64_t fingerprint = r.u64();
+  const std::uint32_t storedCrc = r.u32();
+  if (endian != kLittleEndianTag) {
+    throw CorruptError("journal: '" + path + "' was written with a foreign byte order");
+  }
+  if (version != kJournalVersion) {
+    throw VersionError("journal: '" + path + "' is format version " +
+                       std::to_string(version) + "; this build reads version " +
+                       std::to_string(kJournalVersion));
+  }
+  const std::uint32_t actualCrc = crc32(bytes.data(), kHeaderSize - 4);
+  if (storedCrc != actualCrc) {
+    throw CorruptError("journal: '" + path + "' fails its header CRC check");
+  }
+  return fingerprint;
+}
+
+}  // namespace
+
+JournalContents readJournal(const std::string& path, JournalReadMode mode) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw FileError("journal: cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (is.bad()) throw FileError("journal: read error on '" + path + "'");
+
+  JournalContents out;
+  out.fingerprint = parseHeader(bytes, path);
+  out.validBytes = kHeaderSize;
+
+  std::size_t pos = kHeaderSize;
+  const std::string_view view(bytes);
+  while (pos < bytes.size()) {
+    // [len u32][payload][crc u32]; any anomaly here is a torn tail in
+    // Recover mode and a typed error in Strict mode.
+    auto torn = [&](const std::string& what) -> bool {
+      if (mode == JournalReadMode::Recover) {
+        out.tornTail = true;
+        return true;
+      }
+      throw CorruptError("journal: '" + path + "' record " +
+                         std::to_string(out.records.size()) + ": " + what);
+    };
+    if (bytes.size() - pos < 4) {
+      if (torn("truncated length prefix")) break;
+    }
+    ByteReader lenReader(view.substr(pos, 4));
+    const std::uint32_t len = lenReader.u32();
+    if (len > kMaxJournalRecord) {
+      if (torn("payload length " + std::to_string(len) + " exceeds the record cap")) break;
+    }
+    if (bytes.size() - pos - 4 < static_cast<std::size_t>(len) + 4) {
+      if (torn("truncated payload")) break;
+    }
+    const std::string_view payload = view.substr(pos + 4, len);
+    ByteReader crcReader(view.substr(pos + 4 + len, 4));
+    const std::uint32_t stored = crcReader.u32();
+    if (stored != crc32(payload.data(), payload.size())) {
+      if (torn("payload fails its CRC check")) break;
+    }
+    out.records.emplace_back(payload);
+    pos += 4 + static_cast<std::size_t>(len) + 4;
+    out.validBytes = pos;
+  }
+  return out;
+}
+
+bool journalUsable(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::string header(kHeaderSize, '\0');
+  is.read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (static_cast<std::size_t>(is.gcount()) != kHeaderSize) return false;
+  try {
+    (void)parseHeader(header, path);
+    return true;
+  } catch (const RecoveryError&) {
+    return false;
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() reports failures.
+  }
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      fsyncEvery_(other.fsyncEvery_),
+      appends_(other.appends_),
+      sinceSync_(other.sinceSync_),
+      crashAfterAppends_(other.crashAfterAppends_),
+      crashMidRecord_(other.crashMidRecord_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    try {
+      close();
+    } catch (...) {
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    fsyncEvery_ = other.fsyncEvery_;
+    appends_ = other.appends_;
+    sinceSync_ = other.sinceSync_;
+    crashAfterAppends_ = other.crashAfterAppends_;
+    crashMidRecord_ = other.crashMidRecord_;
+  }
+  return *this;
+}
+
+void JournalWriter::open(const std::string& path, std::uint64_t fingerprint,
+                         std::size_t fsyncEvery) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw FileError("journal: cannot create '" + path + "'");
+  path_ = path;
+  fsyncEvery_ = fsyncEvery;
+  appends_ = 0;
+  sinceSync_ = 0;
+  const std::string header = buildHeader(fingerprint);
+  writeAll(header.data(), header.size());
+  // The header is the durability anchor of every later record: sync it now.
+  sync();
+}
+
+JournalContents JournalWriter::openResumed(const std::string& path,
+                                           std::uint64_t fingerprint,
+                                           std::size_t fsyncEvery) {
+  close();
+  JournalContents contents = readJournal(path, JournalReadMode::Recover);
+  if (contents.fingerprint != fingerprint) {
+    throw StateMismatchError(
+        "journal: '" + path + "' was written for different work (fingerprint " +
+        std::to_string(contents.fingerprint) + ", expected " +
+        std::to_string(fingerprint) + ")");
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) throw FileError("journal: cannot reopen '" + path + "'");
+  // Cut the torn tail (if any) so new records start on a record boundary.
+  if (::ftruncate(fd_, static_cast<off_t>(contents.validBytes)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(contents.validBytes), SEEK_SET) < 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    throw FileError("journal: cannot truncate the torn tail of '" + path + "'");
+  }
+  path_ = path;
+  fsyncEvery_ = fsyncEvery;
+  appends_ = contents.records.size();
+  sinceSync_ = 0;
+  return contents;
+}
+
+void JournalWriter::writeAll(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, p, size);
+    if (n < 0) throw FileError("journal: write to '" + path_ + "' failed");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void JournalWriter::append(std::string_view payload) {
+  if (fd_ < 0) throw FileError("journal: append on a closed writer");
+  if (payload.size() > kMaxJournalRecord) {
+    throw FileError("journal: record of " + std::to_string(payload.size()) +
+                    " bytes exceeds the cap");
+  }
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.raw(payload.data(), payload.size());
+  frame.u32(crc32(payload.data(), payload.size()));
+
+  const bool crashNow = crashAfterAppends_ > 0 && appends_ + 1 >= crashAfterAppends_;
+  if (crashNow && crashMidRecord_) {
+    // Leave a torn record on disk: the frame is cut mid-payload, exactly
+    // what a power loss between write(2) calls produces.
+    writeAll(frame.bytes().data(), frame.size() / 2);
+    ::fsync(fd_);
+    ::raise(SIGKILL);
+  }
+  writeAll(frame.bytes().data(), frame.size());
+  ++appends_;
+  if (fsyncEvery_ > 0 && ++sinceSync_ >= fsyncEvery_) sync();
+  if (crashNow) {
+    ::fsync(fd_);
+    ::raise(SIGKILL);
+  }
+}
+
+void JournalWriter::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) throw FileError("journal: fsync on '" + path_ + "' failed");
+  sinceSync_ = 0;
+}
+
+void JournalWriter::close() {
+  if (fd_ < 0) return;
+  sync();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) throw FileError("journal: close of '" + path_ + "' failed");
+}
+
+void JournalWriter::setCrashAfterAppends(std::size_t n, bool midRecord) {
+  crashAfterAppends_ = n;
+  crashMidRecord_ = midRecord;
+}
+
+}  // namespace icsched::recovery

@@ -1,0 +1,133 @@
+#pragma once
+/// \file journal.hpp
+/// \brief Append-only write-ahead journal for crash-recoverable sweeps.
+///
+/// A journal is a header frame followed by self-delimiting records:
+///
+///   header: [magic 8 = "ICSJRNL\0"][version u32][endian u8]
+///           [fingerprint u64][header-crc u32]
+///   record: [payload-len u32][payload][payload-crc u32]
+///
+/// The fingerprint binds the journal to the work that produced it (a hash of
+/// the sweep spec / dag / schedule); resuming against different work is a
+/// typed StateMismatchError, not silent garbage.
+///
+/// **Crash semantics.** Writers append records with plain write(2) calls and
+/// fsync in batches, so a SIGKILL can leave a *torn tail*: a final record
+/// whose bytes are incomplete or whose CRC fails. readJournal() in Recover
+/// mode treats the torn tail the way production WALs do (SQLite, Redis AOF):
+/// the valid prefix is the journal's content, the tail is discarded, and the
+/// caller re-executes whatever the lost records covered -- which is safe
+/// because records are idempotent completion facts. Strict mode instead
+/// throws a typed error on the first malformed byte (the fuzz tests use it
+/// to prove corruption can never be silently absorbed where it matters).
+///
+/// JournalWriter::openResumed() truncates the torn tail before appending, so
+/// a journal that survived a crash is made well-formed again before new
+/// records land.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "recovery/checkpoint_io.hpp"
+
+namespace icsched::recovery {
+
+// Explicit length: the literal's embedded NUL is part of the 8-byte magic.
+inline constexpr std::string_view kJournalMagic{"ICSJRNL\0", 8};
+inline constexpr std::uint32_t kJournalVersion = 1;
+/// Cap on a single record's payload (a corrupted length field can never
+/// drive a larger allocation).
+inline constexpr std::uint32_t kMaxJournalRecord = 1u << 26;  // 64 MiB
+
+/// How readJournal treats malformed bytes.
+enum class JournalReadMode {
+  /// Any anomaly anywhere is a typed error (corruption can't hide).
+  Strict,
+  /// The valid record prefix is returned; the first malformed/incomplete
+  /// record and everything after it is treated as a crash-torn tail.
+  Recover,
+};
+
+struct JournalContents {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::string> records;
+  /// True when Recover mode discarded a torn tail.
+  bool tornTail = false;
+  /// Byte offset of the end of the valid prefix (where a resumed writer
+  /// continues appending).
+  std::uint64_t validBytes = 0;
+};
+
+/// Reads a journal file.
+/// \throws FileError (unopenable), TruncatedError / CorruptError (malformed
+/// header always; malformed records in Strict mode), VersionError.
+/// The header must always be intact -- a journal whose header is torn never
+/// had a single durable record, so Recover mode has nothing to salvage and
+/// the caller should start fresh (see journalUsable()).
+[[nodiscard]] JournalContents readJournal(const std::string& path,
+                                          JournalReadMode mode = JournalReadMode::Recover);
+
+/// True when \p path exists and has a well-formed journal header (any
+/// fingerprint). Convenience for "resume if possible, else start fresh".
+[[nodiscard]] bool journalUsable(const std::string& path);
+
+/// Appends length-prefixed, CRC-protected records to a journal file with
+/// batched fsync. Not thread-safe; callers serialize appends.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(JournalWriter&&) noexcept;
+  JournalWriter& operator=(JournalWriter&&) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates/truncates \p path and writes a fresh header.
+  /// \p fsyncEvery = N flushes to stable storage every N appends (0 = only
+  /// on sync()/close()).
+  void open(const std::string& path, std::uint64_t fingerprint,
+            std::size_t fsyncEvery = 64);
+
+  /// Opens an existing journal for appending: validates the header, checks
+  /// the fingerprint, truncates any torn tail, and positions at the end of
+  /// the valid prefix. Returns the salvaged records.
+  /// \throws StateMismatchError when the fingerprint differs.
+  [[nodiscard]] JournalContents openResumed(const std::string& path,
+                                            std::uint64_t fingerprint,
+                                            std::size_t fsyncEvery = 64);
+
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
+  [[nodiscard]] std::size_t appendCount() const { return appends_; }
+
+  /// Appends one record. \throws FileError on I/O failure.
+  void append(std::string_view payload);
+
+  /// Forces written records to stable storage (fsync).
+  void sync();
+
+  /// sync() + close. Safe to call twice.
+  void close();
+
+  /// Crash-test hooks (tools/icsched_crashtest): after \p n successful
+  /// appends the writer raises SIGKILL on the calling process -- mid-record
+  /// (after the length prefix and half the payload are on disk) when
+  /// \p midRecord is set, else between records. 0 disables.
+  void setCrashAfterAppends(std::size_t n, bool midRecord);
+
+ private:
+  void writeAll(const void* data, std::size_t size);
+
+  int fd_ = -1;
+  std::string path_;
+  std::size_t fsyncEvery_ = 64;
+  std::size_t appends_ = 0;
+  std::size_t sinceSync_ = 0;
+  std::size_t crashAfterAppends_ = 0;
+  bool crashMidRecord_ = false;
+};
+
+}  // namespace icsched::recovery

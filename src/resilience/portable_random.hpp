@@ -17,24 +17,30 @@
 
 namespace icsched {
 
-/// Uniform double in [0, 1): the top 53 bits of one engine call.
-inline double portableUnit(std::mt19937_64& rng) {
+/// Uniform double in [0, 1): the top 53 bits of one engine call. Templated
+/// so wrappers around std::mt19937_64 (e.g. the simulation engine's
+/// draw-counting RNG) draw through the same fixed reduction.
+template <class Rng>
+inline double portableUnit(Rng& rng) {
   return static_cast<double>(rng() >> 11) * 0x1.0p-53;
 }
 
 /// Bernoulli(p) from exactly one engine call.
-inline bool portableBernoulli(std::mt19937_64& rng, double p) {
+template <class Rng>
+inline bool portableBernoulli(Rng& rng, double p) {
   return portableUnit(rng) < p;
 }
 
 /// Uniform double in [lo, hi) from exactly one engine call.
-inline double portableUniform(std::mt19937_64& rng, double lo, double hi) {
+template <class Rng>
+inline double portableUniform(Rng& rng, double lo, double hi) {
   return lo + (hi - lo) * portableUnit(rng);
 }
 
 /// Exponential(rate) via inversion from exactly one engine call.
 /// Precondition: rate > 0.
-inline double portableExponential(std::mt19937_64& rng, double rate) {
+template <class Rng>
+inline double portableExponential(Rng& rng, double rate) {
   return -std::log1p(-portableUnit(rng)) / rate;
 }
 

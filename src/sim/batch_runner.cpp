@@ -1,12 +1,15 @@
 #include "sim/batch_runner.hpp"
 
 #include <atomic>
+#include <bit>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "exec/thread_pool.hpp"
+#include "recovery/journal.hpp"
+#include "sim/result_codec.hpp"
 
 namespace icsched {
 
@@ -38,9 +41,9 @@ BatchRunner::BatchRunner(std::size_t threads) : threads_(threads) {
 
 namespace {
 
-/// Executes replication \p index of \p spec on \p engine. Pure in
-/// (spec, index): the engine only contributes recycled buffer capacity.
-Replication runOne(const SweepSpec& spec, std::size_t index, SimulationEngine& engine) {
+/// Row-major index -> axis indices (seed fastest, then fault, scheduler,
+/// dag), shared by execution and journal-record decoding.
+Replication decodeReplication(const SweepSpec& spec, std::size_t index) {
   Replication r;
   r.index = index;
   std::size_t rest = index;
@@ -50,7 +53,13 @@ Replication runOne(const SweepSpec& spec, std::size_t index, SimulationEngine& e
   rest /= spec.faultCases.size();
   r.schedulerIndex = rest % spec.schedulers.size();
   r.dagIndex = rest / spec.schedulers.size();
+  return r;
+}
 
+/// Executes replication \p index of \p spec on \p engine. Pure in
+/// (spec, index): the engine only contributes recycled buffer capacity.
+Replication runOne(const SweepSpec& spec, std::size_t index, SimulationEngine& engine) {
+  Replication r = decodeReplication(spec, index);
   const SweepSpec::DagCase& d = spec.dags[r.dagIndex];
   SimulationConfig cfg = spec.base;
   cfg.seed = spec.seeds[r.seedIndex];
@@ -59,7 +68,66 @@ Replication runOne(const SweepSpec& spec, std::size_t index, SimulationEngine& e
   return r;
 }
 
+std::uint64_t mixDouble(double d, std::uint64_t h) {
+  return recovery::fnv1aU64(std::bit_cast<std::uint64_t>(d), h);
+}
+
+std::uint64_t mixFaults(const FaultModelConfig& f, std::uint64_t h) {
+  h = mixDouble(f.clientDepartureRate, h);
+  h = mixDouble(f.clientRejoinRate, h);
+  h = recovery::fnv1aU64(f.minAliveClients, h);
+  h = mixDouble(f.taskTimeout, h);
+  h = mixDouble(f.stragglerProbability, h);
+  h = mixDouble(f.stragglerSlowdown, h);
+  h = mixDouble(f.speculationFactor, h);
+  h = mixDouble(f.transientFailureProbability, h);
+  h = mixDouble(f.permanentFailureProbability, h);
+  h = recovery::fnv1aU64(f.maxAttempts, h);
+  h = mixDouble(f.backoffBase, h);
+  h = mixDouble(f.backoffCap, h);
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t sweepFingerprint(const SweepSpec& spec) {
+  using recovery::fnv1a;
+  using recovery::fnv1aU64;
+  std::uint64_t h = recovery::kFnvOffset;
+  h = fnv1aU64(spec.dags.size(), h);
+  for (const SweepSpec::DagCase& d : spec.dags) {
+    h = fnv1a(d.name, h);
+    if (d.dag != nullptr) {
+      h = fnv1aU64(d.dag->numNodes(), h);
+      h = fnv1aU64(d.dag->numArcs(), h);
+      for (std::size_t u = 0; u < d.dag->numNodes(); ++u) {
+        for (NodeId v : d.dag->children(static_cast<NodeId>(u))) {
+          h = fnv1aU64((static_cast<std::uint64_t>(u) << 32) | v, h);
+        }
+      }
+    }
+  }
+  h = fnv1aU64(spec.schedulers.size(), h);
+  for (const std::string& s : spec.schedulers) h = fnv1a(s, h);
+  h = fnv1aU64(spec.seeds.size(), h);
+  for (std::uint64_t s : spec.seeds) h = fnv1aU64(s, h);
+  h = fnv1aU64(spec.faultCases.size(), h);
+  for (const SweepSpec::FaultCase& f : spec.faultCases) {
+    h = fnv1a(f.name, h);
+    h = mixFaults(f.faults, h);
+  }
+  h = fnv1aU64(spec.base.numClients, h);
+  h = mixDouble(spec.base.meanTaskDuration, h);
+  h = mixDouble(spec.base.durationJitter, h);
+  h = fnv1aU64(spec.base.clientSpeeds.size(), h);
+  for (double s : spec.base.clientSpeeds) h = mixDouble(s, h);
+  h = fnv1aU64(spec.base.taskBaseDurations.size(), h);
+  for (double d : spec.base.taskBaseDurations) h = mixDouble(d, h);
+  h = mixDouble(spec.base.failureProbability, h);
+  h = mixFaults(spec.base.faults, h);
+  h = fnv1aU64(spec.base.seed, h);
+  return h;
+}
 
 std::vector<Replication> BatchRunner::run(const SweepSpec& spec) const {
   spec.validate();
@@ -97,6 +165,90 @@ std::vector<Replication> BatchRunner::run(const SweepSpec& spec) const {
     pool.waitIdle();
   }
   if (firstError) std::rethrow_exception(firstError);
+  return out;
+}
+
+std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
+                                                   const JournalOptions& journal) const {
+  spec.validate();
+  if (journal.path.empty()) {
+    throw std::invalid_argument("BatchRunner: journal path is empty");
+  }
+  const std::size_t total = spec.numReplications();
+  const std::uint64_t fingerprint = sweepFingerprint(spec);
+
+  std::vector<Replication> out(total);
+  std::vector<std::uint8_t> done(total, 0);
+
+  recovery::JournalWriter writer;
+  if (journal.resume && recovery::journalUsable(journal.path)) {
+    // Salvage completed replications from the (possibly crash-torn) journal;
+    // openResumed() validates the fingerprint and truncates the torn tail.
+    const recovery::JournalContents salvaged =
+        writer.openResumed(journal.path, fingerprint, journal.fsyncEvery);
+    for (const std::string& record : salvaged.records) {
+      recovery::ByteReader r(record);
+      const std::uint64_t index = r.varint();
+      if (index >= total) {
+        throw recovery::CorruptError("BatchRunner: journal record index " +
+                                     std::to_string(index) + " out of range (sweep has " +
+                                     std::to_string(total) + " replications)");
+      }
+      Replication rep = decodeReplication(spec, static_cast<std::size_t>(index));
+      rep.result = readResult(r, spec.dags[rep.dagIndex].dag->numNodes());
+      r.expectDone();
+      done[index] = 1;
+      out[index] = std::move(rep);
+    }
+  } else {
+    writer.open(journal.path, fingerprint, journal.fsyncEvery);
+  }
+  writer.setCrashAfterAppends(journal.crashAfterAppends, journal.crashMidRecord);
+
+  // Same claim-an-index scheme as run(), skipping salvaged slots. Each
+  // completion is journaled (under a mutex; the writer is single-threaded)
+  // before the worker moves on -- the write-ahead discipline that makes any
+  // kill point recoverable.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  std::mutex journalMutex;
+  auto workerBody = [&] {
+    SimulationEngine engine;
+    recovery::ByteWriter record;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total || failed.load(std::memory_order_relaxed)) return;
+      if (done[i] != 0) continue;
+      try {
+        Replication rep = runOne(spec, i, engine);
+        record.clear();
+        record.varint(i);
+        writeResult(record, rep.result);
+        {
+          const std::lock_guard<std::mutex> lock(journalMutex);
+          writer.append(record.bytes());
+        }
+        out[i] = std::move(rep);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(threads_, std::max<std::size_t>(total, 1));
+  if (workers <= 1) {
+    workerBody();
+  } else {
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.submit(workerBody);
+    pool.waitIdle();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  writer.close();
   return out;
 }
 

@@ -81,6 +81,31 @@ struct Replication {
   SimulationResult result;
 };
 
+/// FNV-1a fingerprint over every axis of \p spec (dag structure, scheduler
+/// names, seeds, fault configs, base config). A journal carries this hash so
+/// a resume against a different sweep is a typed StateMismatchError instead
+/// of silently merged garbage.
+[[nodiscard]] std::uint64_t sweepFingerprint(const SweepSpec& spec);
+
+/// Write-ahead journaling for BatchRunner::runJournaled: one append-only
+/// record per completed replication (see recovery/journal.hpp for the
+/// on-disk format and crash semantics).
+struct JournalOptions {
+  /// Journal file path. Must be non-empty.
+  std::string path;
+  /// fsync after every N appended records (0 = only at the end of the run).
+  std::size_t fsyncEvery = 64;
+  /// When true and `path` holds a usable journal for this sweep, completed
+  /// replications recorded there are salvaged instead of re-run (a torn tail
+  /// from a crash is truncated). When false the journal starts fresh.
+  bool resume = false;
+  /// Crash-test hook: SIGKILL the process after this many appends in this
+  /// session (0 = never). See recovery::JournalWriter::setCrashAfterAppends.
+  std::size_t crashAfterAppends = 0;
+  /// Crash mid-record (torn tail) instead of between records.
+  bool crashMidRecord = false;
+};
+
 /// Expands sweep specs and executes the replications, serially or on a
 /// thread pool. Stateless between run() calls; safe to reuse.
 class BatchRunner {
@@ -96,6 +121,18 @@ class BatchRunner {
   /// byte-identical to a 1-thread run. The first exception thrown by a
   /// replication is rethrown after in-flight work drains.
   [[nodiscard]] std::vector<Replication> run(const SweepSpec& spec) const;
+
+  /// run() with a write-ahead journal: every completed replication is
+  /// appended to \p journal.path before it counts, and (with
+  /// journal.resume) replications already recorded by an earlier --
+  /// possibly SIGKILLed -- run are salvaged instead of re-executed. Because
+  /// every replication is a pure function of its cell and results travel
+  /// through an exact binary codec, the merged result set is byte-identical
+  /// to an uninterrupted run() for ANY kill point and any thread count.
+  /// \throws recovery::StateMismatchError when resuming a journal written
+  /// for a different sweep; recovery::CorruptError on malformed records.
+  [[nodiscard]] std::vector<Replication> runJournaled(const SweepSpec& spec,
+                                                      const JournalOptions& journal) const;
 
  private:
   std::size_t threads_;

@@ -48,4 +48,13 @@ void EventHeap::siftDown(std::size_t i) {
   data_[i] = ev;
 }
 
+
+bool EventHeap::assign(std::vector<SimEvent>&& evs) {
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    if (evs[i].before(evs[(i - 1) / kArity])) return false;
+  }
+  data_ = std::move(evs);
+  return true;
+}
+
 }  // namespace icsched

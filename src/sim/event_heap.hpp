@@ -58,6 +58,16 @@ class EventHeap {
   /// Removes the earliest event. Precondition: !empty().
   void pop();
 
+  /// The backing array in heap layout. Checkpoints store it verbatim: the
+  /// layout is a deterministic function of the push/pop history, so
+  /// serializing it raw keeps snapshot bytes reproducible while avoiding a
+  /// copy-and-sort per snapshot.
+  [[nodiscard]] const std::vector<SimEvent>& data() const { return data_; }
+
+  /// Installs a backing array verbatim (checkpoint restore). Returns false
+  /// and leaves the heap untouched if \p evs violates the heap invariant.
+  [[nodiscard]] bool assign(std::vector<SimEvent>&& evs);
+
  private:
   static constexpr std::size_t kArity = 4;
 

@@ -1,0 +1,102 @@
+#include "sim/result_codec.hpp"
+
+#include <cmath>
+
+namespace icsched {
+
+void writeResult(recovery::ByteWriter& w, const SimulationResult& r) {
+  w.str(r.schedulerName);
+  w.f64(r.makespan);
+  w.f64(r.totalIdleTime);
+  w.varint(r.stallEvents);
+  w.f64(r.avgReadyPool);
+  w.varint(r.failedAttempts);
+  w.varint(r.eligibleAfterCompletion.size());
+  for (std::size_t e : r.eligibleAfterCompletion) w.varint(e);
+  w.varint(r.faultTrace.size());
+  for (const FaultEvent& fe : r.faultTrace.events) {
+    w.f64(fe.time);
+    w.u8(static_cast<std::uint8_t>(fe.kind));
+    w.varint(fe.client);
+    w.u32(fe.node);
+    w.varint(fe.attempt);
+    w.f64(fe.detail);
+  }
+  const ResilienceMetrics& m = r.resilience;
+  w.varint(m.departures);
+  w.varint(m.rejoins);
+  w.varint(m.lostTasks);
+  w.varint(m.timeouts);
+  w.varint(m.speculativeIssues);
+  w.varint(m.speculativeCancels);
+  w.varint(m.transientFailures);
+  w.varint(m.permanentFailures);
+  w.varint(m.reissues);
+  w.varint(m.retries);
+  w.varint(m.deadlineExceeded);
+  w.varint(m.taskFailures);
+  w.f64(m.wastedWork);
+  w.f64(m.totalRecoveryLatency);
+  w.varint(m.recoveries);
+  w.f64(m.makespanInflation);
+}
+
+SimulationResult readResult(recovery::ByteReader& r, std::size_t maxNodes) {
+  using recovery::CorruptError;
+  SimulationResult out;
+  out.schedulerName = r.str();
+  out.makespan = r.f64();
+  out.totalIdleTime = r.f64();
+  out.stallEvents = r.varint();
+  out.avgReadyPool = r.f64();
+  out.failedAttempts = r.varint();
+  if (!std::isfinite(out.makespan) || !std::isfinite(out.totalIdleTime) ||
+      !std::isfinite(out.avgReadyPool)) {
+    throw CorruptError("result_codec: non-finite summary metric");
+  }
+  const std::size_t profileCount = r.count(maxNodes);
+  out.eligibleAfterCompletion.reserve(profileCount);
+  for (std::size_t i = 0; i < profileCount; ++i) {
+    const std::uint64_t e = r.varint();
+    if (e > maxNodes) {
+      throw CorruptError("result_codec: eligibility profile entry exceeds node count");
+    }
+    out.eligibleAfterCompletion.push_back(static_cast<std::size_t>(e));
+  }
+  const std::size_t traceCount = r.count(r.remaining() / 23, 23);
+  out.faultTrace.events.reserve(traceCount);
+  for (std::size_t i = 0; i < traceCount; ++i) {
+    FaultEvent fe;
+    fe.time = r.f64();
+    const std::uint8_t k = r.u8();
+    if (k > static_cast<std::uint8_t>(FaultEventKind::Cancelled)) {
+      throw CorruptError("result_codec: unknown fault-event kind");
+    }
+    fe.kind = static_cast<FaultEventKind>(k);
+    fe.client = r.varint();
+    fe.node = r.u32();
+    fe.attempt = r.varint();
+    fe.detail = r.f64();
+    out.faultTrace.events.push_back(fe);
+  }
+  ResilienceMetrics& m = out.resilience;
+  m.departures = r.varint();
+  m.rejoins = r.varint();
+  m.lostTasks = r.varint();
+  m.timeouts = r.varint();
+  m.speculativeIssues = r.varint();
+  m.speculativeCancels = r.varint();
+  m.transientFailures = r.varint();
+  m.permanentFailures = r.varint();
+  m.reissues = r.varint();
+  m.retries = r.varint();
+  m.deadlineExceeded = r.varint();
+  m.taskFailures = r.varint();
+  m.wastedWork = r.f64();
+  m.totalRecoveryLatency = r.f64();
+  m.recoveries = r.varint();
+  m.makespanInflation = r.f64();
+  return out;
+}
+
+}  // namespace icsched

@@ -1,0 +1,34 @@
+#pragma once
+/// \file result_codec.hpp
+/// \brief Binary serde for SimulationResult over the recovery byte codecs.
+///
+/// One codec serves both durable forms of a replication's outcome: the
+/// partial result inside an engine snapshot (sim/simulation.cpp) and the
+/// completed-replication records of a sweep journal (sim/batch_runner.hpp).
+/// Doubles travel as IEEE-754 bit patterns, so a result decoded from a
+/// journal is byte-identical to the one an uninterrupted run would have
+/// produced -- the property the kill-and-resume determinism tests assert.
+
+#include <cstddef>
+#include <limits>
+
+#include "recovery/checkpoint_io.hpp"
+#include "sim/simulation.hpp"
+
+namespace icsched {
+
+/// Appends every field of \p r (including the fault trace and resilience
+/// metrics) to \p w.
+void writeResult(recovery::ByteWriter& w, const SimulationResult& r);
+
+/// Decodes a result written by writeResult(). \p maxNodes bounds the
+/// eligibility-profile length and entries (pass the dag's node count;
+/// SIZE_MAX skips the semantic bound, leaving only the structural
+/// bytes-remaining checks).
+/// \throws recovery::CorruptError / recovery::TruncatedError on malformed
+/// bytes; never reads out of bounds.
+[[nodiscard]] SimulationResult readResult(
+    recovery::ByteReader& r,
+    std::size_t maxNodes = std::numeric_limits<std::size_t>::max());
+
+}  // namespace icsched

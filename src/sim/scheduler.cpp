@@ -7,6 +7,21 @@ namespace icsched {
 
 namespace {
 
+/// Serializes a priority-queue scheduler's pool as node ids in pop order.
+/// All built-in heap keys are injective in the node id, so re-pushing the
+/// ids through onEligible() rebuilds a heap with the identical pick()
+/// sequence regardless of internal layout.
+template <typename Heap>
+void saveHeapNodes(recovery::ByteWriter& w, Heap heap /* by value: drained */,
+                   NodeId extract(const typename Heap::value_type&)) {
+  w.varint(heap.size());
+  while (!heap.empty()) {
+    w.u32(extract(heap.top()));
+    heap.pop();
+  }
+}
+
+
 /// Empty-pool guard shared by every pick(): calling pick() with no ELIGIBLE
 /// task is a simulator logic error (RandomScheduler's modulo draw would even
 /// be UB), so it throws instead of corrupting the run.
@@ -17,6 +32,14 @@ void requireWork(bool hasWork, const char* who) {
 }
 
 }  // namespace
+
+void Scheduler::saveState(recovery::ByteWriter&) const {
+  throw std::logic_error("Scheduler '" + name() + "' does not support checkpointing");
+}
+
+void Scheduler::loadState(recovery::ByteReader&) {
+  throw std::logic_error("Scheduler '" + name() + "' does not support checkpointing");
+}
 
 StaticPriorityScheduler::StaticPriorityScheduler(const Schedule& s, std::string name)
     : priority_(s.positions()), name_(std::move(name)) {}
@@ -97,6 +120,95 @@ NodeId CriticalPathScheduler::pick() {
   const NodeId v = ~heap_.top().second;
   heap_.pop();
   return v;
+}
+
+void StaticPriorityScheduler::saveState(recovery::ByteWriter& w) const {
+  saveHeapNodes(w, heap_, +[](const std::pair<std::size_t, NodeId>& e) { return e.second; });
+}
+
+void StaticPriorityScheduler::loadState(recovery::ByteReader& r) {
+  heap_ = {};
+  const std::size_t n = r.count(priority_.size(), 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = r.u32();
+    if (v >= priority_.size()) {
+      throw recovery::CorruptError("StaticPriorityScheduler: node id out of range");
+    }
+    heap_.push({priority_[v], v});
+  }
+}
+
+void FifoScheduler::saveState(recovery::ByteWriter& w) const {
+  std::queue<NodeId> copy = queue_;
+  w.varint(copy.size());
+  while (!copy.empty()) {
+    w.u32(copy.front());
+    copy.pop();
+  }
+}
+
+void FifoScheduler::loadState(recovery::ByteReader& r) {
+  queue_ = {};
+  const std::size_t n =
+      r.count(numNodes_ == SIZE_MAX ? r.remaining() / 4 : numNodes_, 4);
+  for (std::size_t i = 0; i < n; ++i) onEligible(r.u32());
+}
+
+void LifoScheduler::saveState(recovery::ByteWriter& w) const {
+  w.varint(stack_.size());
+  for (NodeId v : stack_) w.u32(v);
+}
+
+void LifoScheduler::loadState(recovery::ByteReader& r) {
+  stack_.clear();
+  const std::size_t n =
+      r.count(numNodes_ == SIZE_MAX ? r.remaining() / 4 : numNodes_, 4);
+  for (std::size_t i = 0; i < n; ++i) onEligible(r.u32());
+}
+
+void RandomScheduler::saveState(recovery::ByteWriter& w) const {
+  w.varint(pool_.size());
+  for (NodeId v : pool_) w.u32(v);
+  recovery::saveRngState(w, rng_);
+}
+
+void RandomScheduler::loadState(recovery::ByteReader& r) {
+  pool_.clear();
+  const std::size_t n = r.count(r.remaining() / 4, 4);
+  for (std::size_t i = 0; i < n; ++i) pool_.push_back(r.u32());
+  recovery::loadRngState(r, rng_);
+}
+
+void MaxOutDegreeScheduler::saveState(recovery::ByteWriter& w) const {
+  saveHeapNodes(w, heap_, +[](const std::pair<std::size_t, NodeId>& e) { return ~e.second; });
+}
+
+void MaxOutDegreeScheduler::loadState(recovery::ByteReader& r) {
+  heap_ = {};
+  const std::size_t n = r.count(g_->numNodes(), 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = r.u32();
+    if (v >= g_->numNodes()) {
+      throw recovery::CorruptError("MaxOutDegreeScheduler: node id out of range");
+    }
+    onEligible(v);
+  }
+}
+
+void CriticalPathScheduler::saveState(recovery::ByteWriter& w) const {
+  saveHeapNodes(w, heap_, +[](const std::pair<std::size_t, NodeId>& e) { return ~e.second; });
+}
+
+void CriticalPathScheduler::loadState(recovery::ByteReader& r) {
+  heap_ = {};
+  const std::size_t n = r.count(height_.size(), 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = r.u32();
+    if (v >= height_.size()) {
+      throw recovery::CorruptError("CriticalPathScheduler: node id out of range");
+    }
+    onEligible(v);
+  }
 }
 
 std::unique_ptr<Scheduler> makeScheduler(const std::string& name, const Dag& g,

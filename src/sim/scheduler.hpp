@@ -17,6 +17,7 @@
 
 #include "core/dag.hpp"
 #include "core/schedule.hpp"
+#include "recovery/checkpoint_io.hpp"
 
 namespace icsched {
 
@@ -38,6 +39,19 @@ class Scheduler {
   /// \throws std::logic_error when no ELIGIBLE task is available (every
   /// implementation guards the empty pool rather than invoking UB).
   virtual NodeId pick() = 0;
+
+  /// Serializes the scheduler's mutable state (ready pool contents and any
+  /// RNG stream) into an engine checkpoint. Restoring via loadState() on an
+  /// identically-constructed scheduler must reproduce the exact pick()
+  /// sequence, including RNG draws. The built-in policies all implement the
+  /// pair; the defaults throw so a custom policy without snapshot support
+  /// fails a checkpoint loudly rather than resuming with silently-wrong
+  /// state.
+  virtual void saveState(recovery::ByteWriter& w) const;
+
+  /// Restores state written by saveState(). The reader's bounds checks turn
+  /// malformed bytes into recovery::CorruptError / TruncatedError.
+  virtual void loadState(recovery::ByteReader& r);
 };
 
 /// Allocates in the fixed priority order of a static schedule (pass an
@@ -49,6 +63,8 @@ class StaticPriorityScheduler final : public Scheduler {
   void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !heap_.empty(); }
   NodeId pick() override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
 
  private:
   std::vector<std::size_t> priority_;
@@ -70,6 +86,8 @@ class FifoScheduler final : public Scheduler {
   void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !queue_.empty(); }
   NodeId pick() override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
 
  private:
   std::queue<NodeId> queue_;
@@ -86,6 +104,8 @@ class LifoScheduler final : public Scheduler {
   void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !stack_.empty(); }
   NodeId pick() override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
 
  private:
   std::vector<NodeId> stack_;
@@ -104,6 +124,10 @@ class RandomScheduler final : public Scheduler {
   void onEligible(NodeId v) override { pool_.push_back(v); }
   [[nodiscard]] bool hasWork() const override { return !pool_.empty(); }
   NodeId pick() override;
+  /// Serializes the pool *in vector order* (pick() indexes into it) plus the
+  /// full mt19937_64 stream state, so resumed draw sequences match exactly.
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
 
  private:
   std::vector<NodeId> pool_;
@@ -119,6 +143,8 @@ class MaxOutDegreeScheduler final : public Scheduler {
   void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !heap_.empty(); }
   NodeId pick() override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
 
  private:
   const Dag* g_;
@@ -134,6 +160,8 @@ class CriticalPathScheduler final : public Scheduler {
   void onEligible(NodeId v) override;
   [[nodiscard]] bool hasWork() const override { return !heap_.empty(); }
   NodeId pick() override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
 
  private:
   std::vector<std::size_t> height_;

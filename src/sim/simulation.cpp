@@ -1,6 +1,7 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <deque>
@@ -9,10 +10,13 @@
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/eligibility.hpp"
+#include "recovery/checkpoint_io.hpp"
 #include "resilience/portable_random.hpp"
 #include "sim/event_heap.hpp"
+#include "sim/result_codec.hpp"
 
 namespace icsched {
 
@@ -57,6 +61,20 @@ enum class EvKind : std::uint8_t { Finish, Departure, Rejoin, Timeout, SpecCheck
 
 enum class ClientState : std::uint8_t { Idle, Busy, Departed };
 
+/// Finish/Timeout/SpecCheck events carry an attempt id (remapped by the
+/// snapshot compactor); Departure/Rejoin carry a client id, Backoff a node.
+constexpr bool eventTargetsAttempt(std::uint8_t kind) {
+  return kind == static_cast<std::uint8_t>(EvKind::Finish) ||
+         kind == static_cast<std::uint8_t>(EvKind::Timeout) ||
+         kind == static_cast<std::uint8_t>(EvKind::SpecCheck);
+}
+
+constexpr std::size_t kUnmapped = static_cast<std::size_t>(-1);
+
+/// Framing of saveCheckpoint() files (see recovery/checkpoint_io.hpp).
+constexpr std::string_view kCheckpointMagic = "ICSCHKPT";
+constexpr std::uint32_t kCheckpointVersion = 1;
+
 struct Attempt {
   NodeId node;
   std::size_t client;
@@ -73,6 +91,83 @@ struct TaskState {
   std::uint32_t inFlight = 0;
   std::size_t failures = 0;
   double firstFault = -1.0;
+};
+
+/// mt19937_64 wrapper whose serialized form is (seed, draw count, optional
+/// cached base state) rather than the full 312-word state. The base state is
+/// captured only at fixed draw-count boundaries (kSyncInterval), so the
+/// encoding stays a pure function of (seed, draws) -- independent of when or
+/// how often snapshots are taken -- while a typical snapshot serializes the
+/// RNG in a handful of bytes instead of cloning the generator. Restore
+/// replays at most kSyncInterval - 1 draws via discard() (cold path).
+class SnapshotableRng {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+
+  /// One draw boundary every 16Ki draws: a run shorter than that never pays
+  /// for a state clone at all.
+  static constexpr std::uint64_t kSyncInterval = 1ull << 14;
+
+  result_type operator()() {
+    const result_type x = eng_();
+    if (++draws_ % kSyncInterval == 0) sync();
+    return x;
+  }
+
+  void seed(std::uint64_t s) {
+    eng_.seed(s);
+    seed_ = s;
+    draws_ = 0;
+    baseDraws_ = 0;
+    base_.clear();
+  }
+
+  void save(recovery::ByteWriter& w) const {
+    w.varint(seed_);
+    w.varint(draws_);
+    w.varint(baseDraws_);
+    if (baseDraws_ > 0) w.raw(base_.bytes().data(), base_.size());
+  }
+
+  /// \throws recovery::CorruptError on inconsistent counters.
+  /// \p expectedSeed cross-checks the stored seed against the bound config.
+  void load(recovery::ByteReader& r, std::uint64_t expectedSeed) {
+    using recovery::CorruptError;
+    seed_ = r.varint();
+    if (seed_ != expectedSeed) {
+      throw CorruptError("SimulationEngine: RNG seed disagrees with the run's config");
+    }
+    draws_ = r.varint();
+    baseDraws_ = r.varint();
+    if (baseDraws_ % kSyncInterval != 0 || baseDraws_ > draws_ ||
+        draws_ - baseDraws_ >= kSyncInterval) {
+      throw CorruptError("SimulationEngine: RNG draw counters are inconsistent");
+    }
+    if (baseDraws_ > 0) {
+      recovery::loadRngState(r, eng_);
+      base_.clear();
+      recovery::saveRngState(base_, eng_);
+    } else {
+      eng_.seed(seed_);
+      base_.clear();
+    }
+    eng_.discard(draws_ - baseDraws_);
+  }
+
+ private:
+  void sync() {
+    base_.clear();
+    recovery::saveRngState(base_, eng_);
+    baseDraws_ = draws_;
+  }
+
+  std::mt19937_64 eng_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t draws_ = 0;
+  std::uint64_t baseDraws_ = 0;       ///< draw count at which base_ was captured
+  recovery::ByteWriter base_;         ///< serialized eng_ state at baseDraws_
 };
 
 }  // namespace
@@ -93,7 +188,7 @@ struct SimulationEngine::Impl {
   const SimulationConfig* cfg = nullptr;
   const FaultModelConfig* fm = nullptr;
   std::optional<EligibilityTracker> tracker;
-  std::mt19937_64 rng;
+  SnapshotableRng rng;
   bool faultsOn = false;
 
   std::vector<double> speeds;
@@ -118,7 +213,41 @@ struct SimulationEngine::Impl {
   double now = 0.0;
   SimulationResult res;
 
+  // Stepped-run state (begin()/step()/snapshot()/restore()).
+  enum class Phase : std::uint8_t { Idle, Running, Finished };
+  Phase phase = Phase::Idle;
+  std::uint64_t eventsProcessed = 0;
+  /// Owns the scheduler of beginWith()/restoreWith() runs; begin()/run()
+  /// borrow the caller's instead.
+  std::unique_ptr<Scheduler> ownedSched;
+  /// Every run copies its config here (so a checkpointed stepped run cannot
+  /// dangle on the caller's argument); `cfg` always points at this copy.
+  SimulationConfig cfgStorage;
+  /// FNV-1a over (dag structure, config, seed), computed at begin()/restore()
+  /// time and embedded in every snapshot, so a checkpoint only restores
+  /// against the exact run it came from.
+  std::uint64_t stateFingerprint = 0;
+  mutable recovery::ByteWriter snapWriter;          ///< reused by snapshotInto()
+  mutable std::vector<std::uint8_t> snapBits;       ///< scratch: done bitmap
+  mutable std::vector<NodeId> snapExceptional;      ///< scratch: fault-touched tasks
+  mutable std::vector<std::size_t> snapRemap;       ///< scratch: attempt renumbering
+  /// Incremental encodings of the two append-only result vectors
+  /// (eligibility profile, fault trace), maintained as the run produces
+  /// them so saveTo() copies bytes instead of re-encoding the whole
+  /// history at every snapshot. Byte layout matches writeResult().
+  recovery::ByteWriter eligBytes;
+  recovery::ByteWriter traceBytes;
+
   SimulationResult run(const Dag& dag, Scheduler& scheduler, const SimulationConfig& config);
+  void bindRun(const Dag& dag, Scheduler& scheduler, const SimulationConfig& config);
+  void beginRun(const Dag& dag, Scheduler& scheduler, const SimulationConfig& config);
+  bool stepEvents(std::size_t maxEvents);
+  void finalizeRun();
+  [[nodiscard]] std::uint64_t computeFingerprint() const;
+  void saveTo(recovery::ByteWriter& w) const;
+  void restoreRun(std::string_view snap, const Dag& dag, Scheduler& scheduler,
+                  const SimulationConfig& config);
+  void loadFrom(recovery::ByteReader& r);
 
   void pushEvent(double time, EvKind kind, std::size_t id) {
     events.push({time, seq++, static_cast<std::uint8_t>(kind), id});
@@ -132,6 +261,12 @@ struct SimulationEngine::Impl {
   void trace(FaultEventKind kind, std::size_t client, NodeId node, std::size_t attempt,
              double detail = 0.0) {
     res.faultTrace.add(now, kind, client, node, attempt, detail);
+    traceBytes.f64(now);
+    traceBytes.u8(static_cast<std::uint8_t>(kind));
+    traceBytes.varint(client);
+    traceBytes.u32(node);
+    traceBytes.varint(attempt);
+    traceBytes.f64(detail);
   }
 
   void clientIdle(std::size_t c) {
@@ -356,6 +491,7 @@ struct SimulationEngine::Impl {
 
     tracker->executeInto(v, packet);
     res.eligibleAfterCompletion.push_back(tracker->eligibleCount());
+    eligBytes.varint(tracker->eligibleCount());
     for (NodeId w : packet) {
       sched->onEligible(w);
       ++readyPoolCount;
@@ -438,27 +574,35 @@ struct SimulationEngine::Impl {
   }
 };
 
-SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& scheduler,
-                                             const SimulationConfig& config) {
+/// Binds the run's inputs: pointers, the config copy, the tracker, and the
+/// derived speed/duration tables. Shared by fresh begins and restores.
+void SimulationEngine::Impl::bindRun(const Dag& dag, Scheduler& scheduler,
+                                     const SimulationConfig& config) {
+  phase = Phase::Idle;
   g = &dag;
   sched = &scheduler;
-  cfg = &config;
-  fm = &config.faults;
+  cfgStorage = config;
+  cfg = &cfgStorage;
+  fm = &cfgStorage.faults;
   if (tracker) {
     tracker->rebind(dag);  // reset + retarget, reusing buffer capacity
   } else {
     tracker.emplace(dag);
   }
-  rng.seed(config.seed);
   faultsOn = fm->anyEnabled();
+  speeds.assign(cfgStorage.clientSpeeds.begin(), cfgStorage.clientSpeeds.end());
+  if (speeds.empty()) speeds.assign(cfgStorage.numClients, 1.0);
+  base.assign(cfgStorage.taskBaseDurations.begin(), cfgStorage.taskBaseDurations.end());
+  if (base.empty()) base.assign(dag.numNodes(), cfgStorage.meanTaskDuration);
+}
+
+void SimulationEngine::Impl::beginRun(const Dag& dag, Scheduler& scheduler,
+                                      const SimulationConfig& config) {
+  bindRun(dag, scheduler, config);
+  rng.seed(cfgStorage.seed);
 
   const std::size_t n = dag.numNodes();
-  const std::size_t numClients = config.numClients;
-
-  speeds.assign(config.clientSpeeds.begin(), config.clientSpeeds.end());
-  if (speeds.empty()) speeds.assign(numClients, 1.0);
-  base.assign(config.taskBaseDurations.begin(), config.taskBaseDurations.end());
-  if (base.empty()) base.assign(n, config.meanTaskDuration);
+  const std::size_t numClients = cfgStorage.numClients;
 
   tasks.assign(n, TaskState{});
   attempts.clear();
@@ -475,6 +619,7 @@ SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& schedule
   events.clear();
   events.reserve(numClients + 8);
   seq = 0;
+  eventsProcessed = 0;
   alive = numClients;
   executed = 0;
   readyPoolCount = 0;
@@ -483,6 +628,8 @@ SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& schedule
   now = 0.0;
   res = SimulationResult{};
   res.eligibleAfterCompletion.reserve(n);
+  eligBytes.clear();
+  traceBytes.clear();
 
   tracker->eligibleNodesInto(packet);
   for (NodeId v : packet) sched->onEligible(v);
@@ -505,8 +652,12 @@ SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& schedule
       clientIdle(c);
     }
   }
+  phase = Phase::Running;
+}
 
-  while (executed < n) {
+bool SimulationEngine::Impl::stepEvents(std::size_t maxEvents) {
+  const std::size_t n = g->numNodes();
+  for (std::size_t processed = 0; executed < n && processed < maxEvents; ++processed) {
     if (events.empty()) {
       throw std::logic_error("simulate: no in-flight task but work remains");
     }
@@ -514,6 +665,7 @@ SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& schedule
     events.pop();
     advanceIntegralTo(ev.time);
     now = ev.time;
+    ++eventsProcessed;
     switch (static_cast<EvKind>(ev.kind)) {
       case EvKind::Finish:
         onFinish(ev.id);
@@ -535,15 +687,424 @@ SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& schedule
         break;
     }
   }
+  if (executed < n) return false;
+  finalizeRun();
+  return true;
+}
 
+void SimulationEngine::Impl::finalizeRun() {
   res.makespan = now;
-  for (std::size_t c = 0; c < numClients; ++c) {
+  for (std::size_t c = 0; c < cfg->numClients; ++c) {
     if (clientState[c] == ClientState::Idle) {
       res.totalIdleTime += now - idleSince[c];
     }
   }
   res.avgReadyPool = res.makespan > 0.0 ? readyPoolIntegral / res.makespan : 0.0;
+  phase = Phase::Finished;
+}
+
+SimulationResult SimulationEngine::Impl::run(const Dag& dag, Scheduler& scheduler,
+                                             const SimulationConfig& config) {
+  beginRun(dag, scheduler, config);
+  stepEvents(std::numeric_limits<std::size_t>::max());
+  phase = Phase::Idle;
   return std::move(res);
+}
+
+std::uint64_t SimulationEngine::Impl::computeFingerprint() const {
+  using recovery::fnv1aU64;
+  const auto mix = [](double d, std::uint64_t h) {
+    return fnv1aU64(std::bit_cast<std::uint64_t>(d), h);
+  };
+  std::uint64_t h = recovery::kFnvOffset;
+  h = fnv1aU64(g->numNodes(), h);
+  h = fnv1aU64(g->numArcs(), h);
+  for (std::size_t u = 0; u < g->numNodes(); ++u) {
+    for (NodeId v : g->children(static_cast<NodeId>(u))) {
+      h = fnv1aU64((static_cast<std::uint64_t>(u) << 32) | v, h);
+    }
+  }
+  h = fnv1aU64(cfg->numClients, h);
+  h = mix(cfg->meanTaskDuration, h);
+  h = mix(cfg->durationJitter, h);
+  h = fnv1aU64(cfg->clientSpeeds.size(), h);
+  for (double s : cfg->clientSpeeds) h = mix(s, h);
+  h = fnv1aU64(cfg->taskBaseDurations.size(), h);
+  for (double d : cfg->taskBaseDurations) h = mix(d, h);
+  h = mix(cfg->failureProbability, h);
+  h = mix(fm->clientDepartureRate, h);
+  h = mix(fm->clientRejoinRate, h);
+  h = fnv1aU64(fm->minAliveClients, h);
+  h = mix(fm->taskTimeout, h);
+  h = mix(fm->stragglerProbability, h);
+  h = mix(fm->stragglerSlowdown, h);
+  h = mix(fm->speculationFactor, h);
+  h = mix(fm->transientFailureProbability, h);
+  h = mix(fm->permanentFailureProbability, h);
+  h = fnv1aU64(fm->maxAttempts, h);
+  h = mix(fm->backoffBase, h);
+  h = mix(fm->backoffCap, h);
+  h = fnv1aU64(cfg->seed, h);
+  return h;
+}
+
+void SimulationEngine::Impl::saveTo(recovery::ByteWriter& w) const {
+  const std::size_t n = g->numNodes();
+  w.u64(stateFingerprint);
+  w.str(sched->name());
+  w.varint(n);
+  w.varint(cfg->numClients);
+  w.varint(seq);
+  w.varint(eventsProcessed);
+  w.varint(alive);
+  w.varint(executed);
+  w.varint(readyPoolCount);
+  w.f64(readyPoolIntegral);
+  w.f64(lastEventTime);
+  w.f64(now);
+  rng.save(w);
+
+  // Task state: a done bitmap plus sparse records for the few tasks the
+  // fault machinery has touched. inFlight is recomputed from the attempt
+  // table on restore rather than stored.
+  snapBits.assign((n + 7) / 8, 0);
+  snapExceptional.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    const TaskState& t = tasks[v];
+    snapBits[v >> 3] |= static_cast<std::uint8_t>(static_cast<unsigned>(t.done) << (v & 7));
+    if (t.specQueued || t.backoffPending || t.firstFault >= 0.0 || t.failures > 0) {
+      snapExceptional.push_back(static_cast<NodeId>(v));
+    }
+  }
+  w.raw(snapBits.data(), snapBits.size());
+  w.varint(snapExceptional.size());
+  for (const NodeId v : snapExceptional) {
+    const TaskState& t = tasks[v];
+    const std::uint8_t flags = static_cast<std::uint8_t>(
+        (t.specQueued ? 1u : 0u) | (t.backoffPending ? 2u : 0u) |
+        (t.firstFault >= 0.0 ? 4u : 0u) | (t.failures > 0 ? 8u : 0u));
+    w.u32(v);
+    w.u8(flags);
+    if (t.backoffPending) w.f64(t.backoffDelay);
+    if (t.firstFault >= 0.0) w.f64(t.firstFault);
+    if (t.failures > 0) w.varint(t.failures);
+  }
+
+  // The pending-event heap's backing array, stored verbatim: the layout is
+  // a deterministic function of the push/pop history and round-trips
+  // unchanged, so snapshot -> restore -> snapshot stays byte-identical
+  // without a copy-and-sort per snapshot.
+  const std::vector<SimEvent>& evs = events.data();
+
+  // Compact the append-only attempt table to the attempts still reachable
+  // (active, or referenced by a pending event), renumbering in increasing
+  // old-id order. Attempt ids never escape into results, so the renumbering
+  // is invisible to the resumed run.
+  std::vector<std::size_t>& remap = snapRemap;
+  remap.assign(attempts.size(), kUnmapped);
+  for (const SimEvent& ev : evs) {
+    if (eventTargetsAttempt(ev.kind)) remap[ev.id] = 0;
+  }
+  std::size_t compacted = 0;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (attempts[i].active || remap[i] != kUnmapped) remap[i] = compacted++;
+  }
+  w.varint(compacted);
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (remap[i] == kUnmapped) continue;
+    const Attempt& a = attempts[i];
+    w.u32(a.node);
+    w.varint(a.client);
+    w.f64(a.start);
+    w.u8(static_cast<std::uint8_t>((a.reliable ? 1u : 0u) | (a.active ? 2u : 0u)));
+  }
+
+  for (std::size_t c = 0; c < cfg->numClients; ++c) {
+    w.u8(static_cast<std::uint8_t>(clientState[c]));
+    w.f64(idleSince[c]);
+    if (clientState[c] == ClientState::Busy) w.varint(remap[clientAttempt[c]]);
+  }
+
+  // inIdleQueue is the deque's membership bitmap; rebuilt on restore.
+  w.varint(idleQueue.size());
+  for (std::size_t c : idleQueue) w.varint(c);
+  w.varint(specQueue.size());
+  for (NodeId v : specQueue) w.u32(v);
+
+  w.varint(evs.size());
+  for (const SimEvent& ev : evs) {
+    w.f64(ev.time);
+    w.varint(ev.seq);
+    w.u8(ev.kind);
+    w.varint(eventTargetsAttempt(ev.kind) ? remap[ev.id] : ev.id);
+  }
+
+  sched->saveState(w);
+
+  // The partial result accumulated so far (makespan/avgReadyPool stay 0
+  // mid-run and are recomputed by finalizeRun()). Byte-identical to
+  // writeResult(w, res) — the append-only vectors come from the
+  // incrementally maintained encodings instead of being re-encoded;
+  // result_codec tests pin the layout.
+  w.str(res.schedulerName);
+  w.f64(res.makespan);
+  w.f64(res.totalIdleTime);
+  w.varint(res.stallEvents);
+  w.f64(res.avgReadyPool);
+  w.varint(res.failedAttempts);
+  w.varint(res.eligibleAfterCompletion.size());
+  w.raw(eligBytes.bytes().data(), eligBytes.size());
+  w.varint(res.faultTrace.size());
+  w.raw(traceBytes.bytes().data(), traceBytes.size());
+  const ResilienceMetrics& m = res.resilience;
+  w.varint(m.departures);
+  w.varint(m.rejoins);
+  w.varint(m.lostTasks);
+  w.varint(m.timeouts);
+  w.varint(m.speculativeIssues);
+  w.varint(m.speculativeCancels);
+  w.varint(m.transientFailures);
+  w.varint(m.permanentFailures);
+  w.varint(m.reissues);
+  w.varint(m.retries);
+  w.varint(m.deadlineExceeded);
+  w.varint(m.taskFailures);
+  w.f64(m.wastedWork);
+  w.f64(m.totalRecoveryLatency);
+  w.varint(m.recoveries);
+  w.f64(m.makespanInflation);
+}
+
+void SimulationEngine::Impl::restoreRun(std::string_view snap, const Dag& dag,
+                                        Scheduler& scheduler, const SimulationConfig& config) {
+  bindRun(dag, scheduler, config);
+  stateFingerprint = computeFingerprint();
+  recovery::ByteReader r(snap);
+  loadFrom(r);
+  phase = Phase::Running;
+}
+
+void SimulationEngine::Impl::loadFrom(recovery::ByteReader& r) {
+  using recovery::CorruptError;
+  using recovery::StateMismatchError;
+  const std::size_t n = g->numNodes();
+  const std::size_t numClients = cfg->numClients;
+
+  const std::uint64_t storedFp = r.u64();
+  if (storedFp != stateFingerprint) {
+    throw StateMismatchError(
+        "SimulationEngine: snapshot fingerprint does not match this (dag, config, seed)");
+  }
+  const std::string schedName = r.str();
+  if (schedName != sched->name()) {
+    throw StateMismatchError("SimulationEngine: snapshot was taken under scheduler '" +
+                             schedName + "', not '" + sched->name() + "'");
+  }
+  if (r.varint() != n || r.varint() != numClients) {
+    throw CorruptError("SimulationEngine: snapshot dimensions disagree with its fingerprint");
+  }
+  seq = r.varint();
+  eventsProcessed = r.varint();
+  alive = r.varint();
+  executed = r.varint();
+  readyPoolCount = r.varint();
+  if (alive > numClients || executed >= n || readyPoolCount > n) {
+    throw CorruptError("SimulationEngine: snapshot counters out of range");
+  }
+  readyPoolIntegral = r.f64();
+  lastEventTime = r.f64();
+  now = r.f64();
+  if (!std::isfinite(readyPoolIntegral) || !std::isfinite(lastEventTime) ||
+      !std::isfinite(now) || now < 0.0) {
+    throw CorruptError("SimulationEngine: snapshot clock fields are not finite");
+  }
+  rng.load(r, cfg->seed);
+
+  tasks.assign(n, TaskState{});
+  std::size_t doneCount = 0;
+  for (std::size_t byte = 0; byte < (n + 7) / 8; ++byte) {
+    const std::uint8_t bits = r.u8();
+    if (byte == n / 8 && (n & 7) != 0 && (bits >> (n & 7)) != 0) {
+      throw CorruptError("SimulationEngine: done bitmap has bits past the last task");
+    }
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::size_t v = byte * 8 + j;
+      if (v >= n) break;
+      tasks[v].done = (bits >> j) & 1u;
+      doneCount += (bits >> j) & 1u;
+    }
+  }
+  if (doneCount != executed) {
+    throw CorruptError("SimulationEngine: executed counter disagrees with the done set");
+  }
+  const std::size_t exceptionalCount = r.count(n, 5);
+  NodeId prevExceptional = 0;
+  for (std::size_t i = 0; i < exceptionalCount; ++i) {
+    const NodeId v = r.u32();
+    if (v >= n || (i > 0 && v <= prevExceptional)) {
+      throw CorruptError("SimulationEngine: task fault records not in canonical order");
+    }
+    prevExceptional = v;
+    const std::uint8_t flags = r.u8();
+    if (flags == 0 || (flags & ~0x0Fu) != 0) {
+      throw CorruptError("SimulationEngine: unknown task flag bits");
+    }
+    TaskState& t = tasks[v];
+    t.specQueued = (flags & 1u) != 0;
+    t.backoffPending = (flags & 2u) != 0;
+    if (t.backoffPending) t.backoffDelay = r.f64();
+    if ((flags & 4u) != 0) t.firstFault = r.f64();
+    if ((flags & 8u) != 0) t.failures = r.varint();
+    if (t.done && (t.specQueued || t.backoffPending)) {
+      throw CorruptError("SimulationEngine: completed task with pending re-issue state");
+    }
+  }
+
+  // Rebuild the eligibility tracker by replaying the done set in topological
+  // order; a done set that is not downward-closed is corrupt.
+  for (NodeId v : g->topologicalOrder()) {
+    if (!tasks[v].done) continue;
+    if (!tracker->isEligible(v)) {
+      throw CorruptError("SimulationEngine: executed set is not closed under dependencies");
+    }
+    tracker->executeInto(v, packet);
+  }
+
+  attempts.clear();
+  for (std::size_t v = 0; v < std::min(liveAttempts.size(), n); ++v) liveAttempts[v].clear();
+  liveAttempts.resize(n);
+  const std::size_t numAttempts = r.count(r.remaining() / 14, 14);
+  std::size_t activeCount = 0;
+  for (std::size_t i = 0; i < numAttempts; ++i) {
+    Attempt a{};
+    a.node = r.u32();
+    a.client = r.varint();
+    a.start = r.f64();
+    const std::uint8_t flags = r.u8();
+    if (flags & ~3u) throw CorruptError("SimulationEngine: unknown attempt flag bits");
+    a.reliable = (flags & 1u) != 0;
+    a.active = (flags & 2u) != 0;
+    if (a.node >= n || a.client >= numClients || !std::isfinite(a.start)) {
+      throw CorruptError("SimulationEngine: attempt references an out-of-range node or client");
+    }
+    if (a.active) {
+      if (tasks[a.node].done) {
+        throw CorruptError("SimulationEngine: active attempt on a completed task");
+      }
+      liveAttempts[a.node].push_back(i);
+      ++tasks[a.node].inFlight;
+      ++activeCount;
+    }
+    attempts.push_back(a);
+  }
+
+  clientState.assign(numClients, ClientState::Idle);
+  clientAttempt.assign(numClients, 0);
+  idleSince.assign(numClients, 0.0);
+  std::size_t nonDeparted = 0;
+  std::size_t busyCount = 0;
+  for (std::size_t c = 0; c < numClients; ++c) {
+    const std::uint8_t s = r.u8();
+    if (s > 2u) throw CorruptError("SimulationEngine: unknown client state");
+    clientState[c] = static_cast<ClientState>(s);
+    idleSince[c] = r.f64();
+    if (clientState[c] != ClientState::Departed) ++nonDeparted;
+    if (clientState[c] == ClientState::Busy) {
+      const std::uint64_t aid = r.varint();
+      if (aid >= attempts.size() || !attempts[aid].active || attempts[aid].client != c) {
+        throw CorruptError("SimulationEngine: busy client bound to a non-matching attempt");
+      }
+      clientAttempt[c] = static_cast<std::size_t>(aid);
+      ++busyCount;
+    }
+  }
+  if (nonDeparted != alive || busyCount != activeCount) {
+    throw CorruptError("SimulationEngine: client states disagree with snapshot counters");
+  }
+
+  idleQueue.clear();
+  inIdleQueue.assign(numClients, 0);
+  const std::size_t idleCount = r.count(numClients);
+  for (std::size_t i = 0; i < idleCount; ++i) {
+    const std::uint64_t c = r.varint();
+    if (c >= numClients || inIdleQueue[c] != 0) {
+      throw CorruptError("SimulationEngine: malformed idle queue");
+    }
+    inIdleQueue[c] = 1;
+    idleQueue.push_back(static_cast<std::size_t>(c));
+  }
+
+  specQueue.clear();
+  const std::size_t specCount = r.count(r.remaining() / 4, 4);
+  for (std::size_t i = 0; i < specCount; ++i) {
+    const NodeId v = r.u32();
+    if (v >= n) throw CorruptError("SimulationEngine: speculative queue names a bad node");
+    specQueue.push_back(v);
+  }
+
+  events.clear();
+  const std::size_t numEvents = r.count(r.remaining() / 11, 11);
+  std::vector<SimEvent> pending;
+  pending.reserve(numEvents);
+  for (std::size_t i = 0; i < numEvents; ++i) {
+    SimEvent ev{};
+    ev.time = r.f64();
+    ev.seq = r.varint();
+    ev.kind = r.u8();
+    const std::uint64_t id = r.varint();
+    if (!std::isfinite(ev.time) || ev.time < now) {
+      throw CorruptError("SimulationEngine: pending event scheduled in the past");
+    }
+    if (ev.seq >= seq) {
+      throw CorruptError("SimulationEngine: event sequence number from the future");
+    }
+    if (ev.kind > static_cast<std::uint8_t>(EvKind::Backoff)) {
+      throw CorruptError("SimulationEngine: unknown event kind");
+    }
+    const std::size_t cap = eventTargetsAttempt(ev.kind)
+                                ? attempts.size()
+                                : (static_cast<EvKind>(ev.kind) == EvKind::Backoff ? n
+                                                                                   : numClients);
+    if (id >= cap) throw CorruptError("SimulationEngine: event id out of range");
+    ev.id = static_cast<std::size_t>(id);
+    pending.push_back(ev);
+  }
+  // Sequence numbers must be pairwise distinct (they are the deterministic
+  // tie-break for simultaneous events).
+  {
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(pending.size());
+    for (const SimEvent& ev : pending) seqs.push_back(ev.seq);
+    std::sort(seqs.begin(), seqs.end());
+    if (std::adjacent_find(seqs.begin(), seqs.end()) != seqs.end()) {
+      throw CorruptError("SimulationEngine: duplicate event sequence numbers");
+    }
+  }
+  if (!events.assign(std::move(pending))) {
+    throw CorruptError("SimulationEngine: pending events violate the heap invariant");
+  }
+
+  sched->loadState(r);
+
+  res = readResult(r, n);
+  if (res.eligibleAfterCompletion.size() != executed) {
+    throw CorruptError("SimulationEngine: eligibility profile disagrees with executed count");
+  }
+  r.expectDone();
+
+  // Rebuild the incremental encodings so later snapshots of the resumed run
+  // match an uninterrupted run byte for byte.
+  eligBytes.clear();
+  for (std::size_t e : res.eligibleAfterCompletion) eligBytes.varint(e);
+  traceBytes.clear();
+  for (const FaultEvent& fe : res.faultTrace.events) {
+    traceBytes.f64(fe.time);
+    traceBytes.u8(static_cast<std::uint8_t>(fe.kind));
+    traceBytes.varint(fe.client);
+    traceBytes.u32(fe.node);
+    traceBytes.varint(fe.attempt);
+    traceBytes.f64(fe.detail);
+  }
 }
 
 SimulationEngine::SimulationEngine() : impl_(std::make_unique<Impl>()) {}
@@ -566,6 +1127,114 @@ SimulationResult SimulationEngine::runWith(const Dag& g, const Schedule& icOptim
   SimulationResult res = run(g, *sched, config);
   res.schedulerName = schedulerName;
   return res;
+}
+
+void SimulationEngine::begin(const Dag& g, Scheduler& sched, const SimulationConfig& config) {
+  if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
+  config.validate(g.numNodes());
+  impl_->ownedSched.reset();
+  impl_->beginRun(g, sched, config);
+  impl_->stateFingerprint = impl_->computeFingerprint();
+}
+
+void SimulationEngine::beginWith(const Dag& g, const Schedule& icOptimal,
+                                 const std::string& schedulerName,
+                                 const SimulationConfig& config) {
+  if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
+  config.validate(g.numNodes());
+  std::unique_ptr<Scheduler> sched =
+      makeScheduler(schedulerName, g, icOptimal, config.seed ^ kSchedulerSeedSalt);
+  impl_->beginRun(g, *sched, config);
+  impl_->stateFingerprint = impl_->computeFingerprint();
+  impl_->ownedSched = std::move(sched);
+  // runWith() stamps the name on the finished result; a stepped run stamps
+  // it up front so snapshots and the final result carry it alike.
+  impl_->res.schedulerName = schedulerName;
+}
+
+bool SimulationEngine::step(std::size_t maxEvents) {
+  if (impl_->phase != Impl::Phase::Running) {
+    throw std::logic_error("SimulationEngine::step: no stepped run is active");
+  }
+  if (maxEvents == 0) return false;
+  return impl_->stepEvents(maxEvents);
+}
+
+bool SimulationEngine::stepping() const { return impl_->phase == Impl::Phase::Running; }
+
+std::uint64_t SimulationEngine::eventsProcessed() const { return impl_->eventsProcessed; }
+
+SimulationResult SimulationEngine::takeResult() {
+  if (impl_->phase != Impl::Phase::Finished) {
+    throw std::logic_error("SimulationEngine::takeResult: no finished stepped run");
+  }
+  impl_->phase = Impl::Phase::Idle;
+  impl_->ownedSched.reset();
+  return std::move(impl_->res);
+}
+
+std::string SimulationEngine::snapshot() const {
+  if (impl_->phase != Impl::Phase::Running) {
+    throw std::logic_error("SimulationEngine::snapshot: no stepped run is active");
+  }
+  recovery::ByteWriter w;
+  impl_->saveTo(w);
+  return w.take();
+}
+
+void SimulationEngine::snapshotInto(std::string& out) const {
+  if (impl_->phase != Impl::Phase::Running) {
+    throw std::logic_error("SimulationEngine::snapshot: no stepped run is active");
+  }
+  impl_->snapWriter.clear();
+  impl_->saveTo(impl_->snapWriter);
+  out = impl_->snapWriter.bytes();
+}
+
+void SimulationEngine::restore(std::string_view snapshot, const Dag& g, Scheduler& sched,
+                               const SimulationConfig& config) {
+  if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
+  config.validate(g.numNodes());
+  impl_->ownedSched.reset();
+  impl_->restoreRun(snapshot, g, sched, config);
+}
+
+void SimulationEngine::restoreWith(std::string_view snapshot, const Dag& g,
+                                   const Schedule& icOptimal, const SimulationConfig& config) {
+  if (g.numNodes() == 0) throw std::invalid_argument("simulate: empty dag");
+  config.validate(g.numNodes());
+  // Peek the scheduler name (second field) to construct the owned scheduler
+  // the snapshot expects; full validation happens in restoreRun().
+  recovery::ByteReader peek(snapshot);
+  (void)peek.u64();
+  const std::string schedulerName = peek.str();
+  std::unique_ptr<Scheduler> sched;
+  try {
+    sched = makeScheduler(schedulerName, g, icOptimal, config.seed ^ kSchedulerSeedSalt);
+  } catch (const std::invalid_argument&) {
+    throw recovery::CorruptError("SimulationEngine: snapshot names unknown scheduler '" +
+                                 schedulerName + "'");
+  }
+  impl_->restoreRun(snapshot, g, *sched, config);
+  impl_->ownedSched = std::move(sched);
+}
+
+void SimulationEngine::saveCheckpoint(const std::string& path) const {
+  if (impl_->phase != Impl::Phase::Running) {
+    throw std::logic_error("SimulationEngine::saveCheckpoint: no stepped run is active");
+  }
+  impl_->snapWriter.clear();
+  impl_->saveTo(impl_->snapWriter);
+  recovery::writeFramedFile(path, kCheckpointMagic, kCheckpointVersion,
+                            impl_->snapWriter.bytes());
+}
+
+void SimulationEngine::restoreCheckpointWith(const std::string& path, const Dag& g,
+                                             const Schedule& icOptimal,
+                                             const SimulationConfig& config) {
+  const std::string payload =
+      recovery::readFramedFile(path, kCheckpointMagic, kCheckpointVersion);
+  restoreWith(payload, g, icOptimal, config);
 }
 
 SimulationResult simulate(const Dag& g, Scheduler& sched, const SimulationConfig& config) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dag.hpp"
@@ -102,6 +103,19 @@ struct SimulationResult {
 /// simulateWith() for the same inputs: the engine is a pure function of
 /// (dag, scheduler, config) regardless of what it ran before.
 ///
+/// **Stepping & checkpoints (see DESIGN.md "Checkpoint & recovery").**
+/// run() is also available in resumable form: begin() initializes a run,
+/// step(n) processes up to n events, and takeResult() hands back the result
+/// of a finished run. A *paused* stepped run can be serialized with
+/// snapshot() -- eligibility-tracker state, the pending-event heap, the
+/// fault-model RNG stream, the scheduler's ready pool (via
+/// Scheduler::saveState) and all in-flight attempt bookkeeping -- and
+/// later restore()d into any engine, after which the resumed run is
+/// event-for-event identical to one that was never interrupted.
+/// saveCheckpoint()/restoreCheckpointWith() wrap the snapshot in the
+/// versioned, CRC-checksummed framed-file format of recovery/checkpoint_io;
+/// corrupt or mismatched files are rejected with typed recovery errors.
+///
 /// Not thread-safe; use one engine per worker thread (see
 /// sim/batch_runner.hpp).
 class SimulationEngine {
@@ -123,6 +137,60 @@ class SimulationEngine {
   [[nodiscard]] SimulationResult runWith(const Dag& g, const Schedule& icOptimal,
                                          const std::string& schedulerName,
                                          const SimulationConfig& config);
+
+  /// Initializes a resumable run (same validation as run()). \p sched and
+  /// \p g must outlive the stepped run.
+  void begin(const Dag& g, Scheduler& sched, const SimulationConfig& config);
+
+  /// begin() with an internally-owned scheduler built like runWith() (same
+  /// per-seed salt), so stepped and one-shot runs agree exactly.
+  void beginWith(const Dag& g, const Schedule& icOptimal,
+                 const std::string& schedulerName, const SimulationConfig& config);
+
+  /// Processes up to \p maxEvents pending events; returns true when the run
+  /// completed. \throws std::logic_error when no stepped run is active.
+  bool step(std::size_t maxEvents);
+
+  /// True between begin()/restore() and the step() that completes the run.
+  [[nodiscard]] bool stepping() const;
+
+  /// Events processed so far in the current stepped run (checkpoint
+  /// intervals are expressed in this unit).
+  [[nodiscard]] std::uint64_t eventsProcessed() const;
+
+  /// The result of a stepped run that finished. \throws std::logic_error if
+  /// the run is still in progress or none was begun.
+  [[nodiscard]] SimulationResult takeResult();
+
+  /// Serializes the paused stepped run. The bytes are a pure function of
+  /// the logical simulation state: snapshot -> restore -> snapshot is
+  /// byte-identical. \throws std::logic_error when no stepped run is active.
+  [[nodiscard]] std::string snapshot() const;
+  /// Allocation-reusing variant for hot checkpoint paths.
+  void snapshotInto(std::string& out) const;
+
+  /// Restores a snapshot taken with the same dag, config and an
+  /// identically-constructed scheduler (whose state is overwritten).
+  /// \throws recovery::StateMismatchError when dag/config/scheduler do not
+  /// match the snapshot; recovery::CorruptError / TruncatedError on
+  /// malformed bytes.
+  void restore(std::string_view snapshot, const Dag& g, Scheduler& sched,
+               const SimulationConfig& config);
+
+  /// restore() with an internally-owned scheduler (beginWith's counterpart);
+  /// the scheduler name is read from the snapshot.
+  void restoreWith(std::string_view snapshot, const Dag& g, const Schedule& icOptimal,
+                   const SimulationConfig& config);
+
+  /// Writes snapshot() as a versioned, CRC-checksummed checkpoint file
+  /// (atomic tmp-file + rename). \throws recovery::FileError on I/O failure.
+  void saveCheckpoint(const std::string& path) const;
+
+  /// Loads a checkpoint file written by saveCheckpoint() and restores it
+  /// with an internally-owned scheduler. Typed recovery errors on corrupt,
+  /// truncated, foreign, or mismatched files.
+  void restoreCheckpointWith(const std::string& path, const Dag& g,
+                             const Schedule& icOptimal, const SimulationConfig& config);
 
  private:
   struct Impl;

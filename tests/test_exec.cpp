@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "exec/thread_pool.hpp"
 #include "families/mesh.hpp"
 #include "families/prefix.hpp"
+#include "recovery/checkpoint_io.hpp"
 
 namespace icsched {
 namespace {
@@ -334,6 +336,90 @@ TEST(RetryingExecutorTest, MatchesPlainExecutionWhenNothingFails) {
   for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v].load(), 1) << "node " << v;
   EXPECT_EQ(t.dispatchOrder.size(), n);
   EXPECT_TRUE(t.faults.empty());
+}
+
+TEST(JournaledExecutorTest, SequentialRunsOnceThenReplaysFromJournal) {
+  const ScheduledDag m = outMesh(5);
+  const std::size_t n = m.dag.numNodes();
+  std::vector<int> runs(n, 0);
+  ExecJournalOptions jo;
+  jo.path = ::testing::TempDir() + "exec_seq.journal";
+  std::remove(jo.path.c_str());
+
+  const ExecutionTrace first =
+      executeSequentialJournaled(m.dag, m.schedule, [&](NodeId v) { ++runs[v]; }, jo);
+  EXPECT_EQ(first.dispatchOrder, m.schedule.order());
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v], 1);
+
+  jo.resume = true;
+  const ExecutionTrace replay =
+      executeSequentialJournaled(m.dag, m.schedule, [&](NodeId v) { ++runs[v]; }, jo);
+  EXPECT_EQ(replay.dispatchOrder, m.schedule.order());
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v], 1) << "node " << v << " re-executed";
+}
+
+TEST(JournaledExecutorTest, SequentialResumesAfterMidRunFailure) {
+  const ScheduledDag m = outMesh(5);
+  const std::size_t n = m.dag.numNodes();
+  std::vector<int> runs(n, 0);
+  ExecJournalOptions jo;
+  jo.path = ::testing::TempDir() + "exec_seq_fail.journal";
+  std::remove(jo.path.c_str());
+
+  // Die partway through: completed work is journaled, the failing node is not.
+  const std::size_t failAt = n / 2;
+  std::size_t started = 0;
+  EXPECT_THROW(executeSequentialJournaled(
+                   m.dag, m.schedule,
+                   [&](NodeId v) {
+                     if (++started > failAt) throw std::runtime_error("boom");
+                     ++runs[v];
+                   },
+                   jo),
+               std::runtime_error);
+
+  jo.resume = true;
+  const ExecutionTrace resumed =
+      executeSequentialJournaled(m.dag, m.schedule, [&](NodeId v) { ++runs[v]; }, jo);
+  EXPECT_EQ(resumed.dispatchOrder, m.schedule.order());
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v], 1) << "node " << v;
+}
+
+TEST(JournaledExecutorTest, ParallelResumeSkipsJournaledNodesAndHonoursDeps) {
+  const ScheduledDag m = prefixDag(8);
+  const std::size_t n = m.dag.numNodes();
+  ExecJournalOptions jo;
+  jo.path = ::testing::TempDir() + "exec_par.journal";
+  std::remove(jo.path.c_str());
+
+  {
+    std::vector<std::atomic<int>> runs(n);
+    const ExecutionTrace t =
+        executeParallelJournaled(m.dag, m.schedule, [&](NodeId v) { ++runs[v]; }, 4, jo);
+    EXPECT_EQ(t.dispatchOrder.size(), n);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v].load(), 1);
+  }
+  // Resume over the complete journal: nothing runs.
+  {
+    std::vector<std::atomic<int>> runs(n);
+    jo.resume = true;
+    const ExecutionTrace t =
+        executeParallelJournaled(m.dag, m.schedule, [&](NodeId v) { ++runs[v]; }, 4, jo);
+    EXPECT_TRUE(t.dispatchOrder.empty());
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(runs[v].load(), 0);
+  }
+}
+
+TEST(JournaledExecutorTest, ForeignJournalIsTypedError) {
+  const ScheduledDag m = outMesh(5);
+  const ScheduledDag other = outMesh(6);
+  ExecJournalOptions jo;
+  jo.path = ::testing::TempDir() + "exec_foreign.journal";
+  std::remove(jo.path.c_str());
+  (void)executeSequentialJournaled(m.dag, m.schedule, [](NodeId) {}, jo);
+  jo.resume = true;
+  EXPECT_THROW(executeSequentialJournaled(other.dag, other.schedule, [](NodeId) {}, jo),
+               recovery::StateMismatchError);
 }
 
 }  // namespace

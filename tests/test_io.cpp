@@ -73,6 +73,51 @@ TEST(DagIoTest, ScheduleParseErrors) {
   EXPECT_THROW((void)scheduleFromString(""), std::invalid_argument);
 }
 
+TEST(DagIoTest, AbsurdNodeCountRejectedBeforeAllocation) {
+  // A hostile count must fail on the cap check, not by attempting the
+  // allocation it names.
+  EXPECT_THROW((void)dagFromString("dag 99999999999999999999\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag 4294967295\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag -1\nend\n"), std::invalid_argument);
+  try {
+    (void)dagFromString("dag 1000000000\nend\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(DagIoTest, TrailingTokensRejected) {
+  EXPECT_THROW((void)dagFromString("dag 2 junk\narc 0 1\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag 2\narc 0 1 junk\nend\n"), std::invalid_argument);
+  EXPECT_THROW((void)dagFromString("dag 2\narc 0 1\nend junk\n"), std::invalid_argument);
+  // Trailing comments stay legal.
+  EXPECT_EQ(dagFromString("dag 2 # two nodes\narc 0 1 # the arc\nend # done\n").numArcs(), 1u);
+}
+
+TEST(DagIoTest, OverlongLabelAndLineRejected) {
+  const std::string longLabel(5000, 'x');
+  EXPECT_THROW((void)dagFromString("dag 1\nlabel 0 " + longLabel + "\nend\n"),
+               std::invalid_argument);
+  const std::string okLabel(4000, 'x');
+  EXPECT_EQ(dagFromString("dag 1\nlabel 0 " + okLabel + "\nend\n").label(0), okLabel);
+  // A single unbounded "line" is cut off at the byte cap instead of being
+  // buffered whole (the 65 MiB of 'y's here would otherwise round trip).
+  std::string huge = "dag 1\n# ";
+  huge += std::string(65u << 20, 'y');
+  EXPECT_THROW((void)dagFromString(huge), std::invalid_argument);
+}
+
+TEST(DagIoTest, CyclicErrorCarriesLineNumber) {
+  try {
+    (void)dagFromString("dag 2\narc 0 1\narc 1 0\nend\n");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
 // ---------- CLI ----------
 
 int cli(const std::vector<std::string>& args, const std::string& input, std::string* out,

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/building_blocks.hpp"
+#include "families/butterfly.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+#include "recovery/checkpoint_io.hpp"
+#include "recovery/journal.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/result_codec.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace icsched {
+namespace {
+
+using recovery::ByteReader;
+using recovery::ByteWriter;
+
+std::string tempPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+// ---------- ByteWriter / ByteReader ----------
+
+TEST(ByteCodecTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(0xFFFFFFFFFFFFFFFFull);
+  w.f64(-0.0);
+  w.f64(1.0 / 3.0);
+  w.str("hello\0world");  // embedded NUL survives via length prefix
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(std::signbit(r.f64()), true);
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_EQ(r.str(), std::string("hello"));  // string_view literal stops at NUL
+  r.expectDone();
+}
+
+TEST(ByteCodecTest, ReadsPastEndThrowTruncated) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), recovery::TruncatedError);
+  ByteReader r2(w.bytes());
+  EXPECT_THROW((void)r2.u64(), recovery::TruncatedError);
+}
+
+TEST(ByteCodecTest, OversizedStringLengthRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.u64(0xFFFFFFFFFFFFull);  // string length far beyond the buffer
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), recovery::CorruptError);
+}
+
+TEST(ByteCodecTest, CountValidatesAgainstRemainingBytes) {
+  ByteWriter w;
+  w.varint(1000);  // claims 1000 elements
+  w.u8(1);         // ...but only one byte of payload follows
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.count(10000, 4), recovery::CorruptError);
+}
+
+TEST(ByteCodecTest, ExpectDoneRejectsTrailingBytes) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.bytes());
+  (void)r.u8();
+  EXPECT_THROW(r.expectDone(), recovery::CorruptError);
+}
+
+TEST(ByteCodecTest, RngStateRoundTripsExactly) {
+  std::mt19937_64 rng(12345);
+  for (int i = 0; i < 100; ++i) (void)rng();
+  ByteWriter w;
+  recovery::saveRngState(w, rng);
+  std::mt19937_64 copy;
+  ByteReader r(w.bytes());
+  recovery::loadRngState(r, copy);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(rng(), copy());
+}
+
+// ---------- Framed files ----------
+
+TEST(FramedFileTest, RoundTripAndTypedRejections) {
+  const std::string path = tempPath("framed.bin");
+  recovery::writeFramedFile(path, "TESTMAG8", 3, "payload-bytes");
+  EXPECT_EQ(recovery::readFramedFile(path, "TESTMAG8", 3), "payload-bytes");
+  EXPECT_THROW((void)recovery::readFramedFile(path, "OTHERMAG", 3), recovery::CorruptError);
+  EXPECT_THROW((void)recovery::readFramedFile(path, "TESTMAG8", 4), recovery::VersionError);
+  EXPECT_THROW((void)recovery::readFramedFile(tempPath("nope.bin"), "TESTMAG8", 3),
+               recovery::FileError);
+}
+
+// ---------- Result codec ----------
+
+TEST(ResultCodecTest, RoundTripsAFaultySimulationExactly) {
+  const ScheduledDag m = outMesh(6);
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.seed = 99;
+  cfg.faults.clientDepartureRate = 0.1;
+  cfg.faults.clientRejoinRate = 0.4;
+  cfg.faults.taskTimeout = 5.0;
+  cfg.faults.transientFailureProbability = 0.1;
+  SimulationEngine engine;
+  const SimulationResult a = engine.runWith(m.dag, m.schedule, "RANDOM", cfg);
+  ByteWriter w;
+  writeResult(w, a);
+  ByteReader r(w.bytes());
+  const SimulationResult b = readResult(r, m.dag.numNodes());
+  r.expectDone();
+  ByteWriter w2;
+  writeResult(w2, b);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.faultTrace.toString(), b.faultTrace.toString());
+}
+
+// ---------- Engine snapshots across the family registry ----------
+
+std::vector<std::pair<std::string, ScheduledDag>> familyRegistry() {
+  std::vector<std::pair<std::string, ScheduledDag>> out;
+  out.emplace_back("mesh6", outMesh(6));
+  out.emplace_back("butterfly3", butterfly(3));
+  out.emplace_back("prefix16", prefixDag(16));
+  out.emplace_back("tree2x4", completeOutTree(2, 4));
+  out.emplace_back("cycle8", cycleDag(8));
+  return out;
+}
+
+std::vector<std::pair<std::string, SimulationConfig>> faultConfigs() {
+  SimulationConfig clean;
+  clean.numClients = 4;
+
+  SimulationConfig churn = clean;
+  churn.faults.clientDepartureRate = 0.08;
+  churn.faults.clientRejoinRate = 0.4;
+  churn.faults.minAliveClients = 1;
+
+  SimulationConfig full = clean;
+  full.faults.clientDepartureRate = 0.05;
+  full.faults.clientRejoinRate = 0.5;
+  full.faults.minAliveClients = 2;
+  full.faults.taskTimeout = 6.0;
+  full.faults.stragglerProbability = 0.15;
+  full.faults.stragglerSlowdown = 5.0;
+  full.faults.speculationFactor = 1.5;
+  full.faults.transientFailureProbability = 0.05;
+  full.faults.maxAttempts = 5;
+  full.faults.backoffBase = 0.1;
+  full.faults.backoffCap = 2.0;
+
+  return {{"fault-free", clean}, {"churn", churn}, {"full", full}};
+}
+
+std::string bytesOf(const SimulationResult& r) {
+  ByteWriter w;
+  writeResult(w, r);
+  return w.take();
+}
+
+/// The tentpole property: for every (family, scheduler, fault config),
+/// snapshotting mid-run and finishing from the restored state reproduces the
+/// uninterrupted run exactly -- same result bytes, same fault trace -- and
+/// snapshot -> restore -> snapshot is byte-stable.
+TEST(EngineSnapshotTest, RestoreThenFinishMatchesUninterruptedRunEverywhere) {
+  for (auto& [famName, fam] : familyRegistry()) {
+    for (const std::string& sched : allSchedulerNames()) {
+      for (auto& [faultName, cfg0] : faultConfigs()) {
+        SimulationConfig cfg = cfg0;
+        cfg.seed = 1234;
+        SCOPED_TRACE(famName + " / " + sched + " / " + faultName);
+
+        SimulationEngine oneShot;
+        const SimulationResult ref = oneShot.runWith(fam.dag, fam.schedule, sched, cfg);
+        const std::string refBytes = bytesOf(ref);
+
+        // Stepped run, snapshotting partway through.
+        SimulationEngine stepped;
+        stepped.beginWith(fam.dag, fam.schedule, sched, cfg);
+        bool finished = false;
+        std::string snap;
+        while (!finished && snap.empty()) {
+          finished = stepped.step(fam.dag.numNodes() / 2 + 3);
+          if (!finished) snap = stepped.snapshot();
+        }
+        while (!finished) finished = stepped.step(10000);
+        EXPECT_EQ(bytesOf(stepped.takeResult()), refBytes);
+
+        if (snap.empty()) continue;  // run finished inside the first step
+
+        // Restore in a fresh engine and finish: identical result.
+        SimulationEngine restored;
+        restored.restoreWith(snap, fam.dag, fam.schedule, cfg);
+        // snapshot -> restore -> snapshot is byte-identical.
+        EXPECT_EQ(restored.snapshot(), snap);
+        while (!restored.step(10000)) {
+        }
+        EXPECT_EQ(bytesOf(restored.takeResult()), refBytes);
+      }
+    }
+  }
+}
+
+TEST(EngineSnapshotTest, SteppedRunMatchesOneShotWithoutSnapshots) {
+  const ScheduledDag m = outMesh(8);
+  SimulationConfig cfg;
+  cfg.numClients = 3;
+  cfg.seed = 7;
+  SimulationEngine a, b;
+  const SimulationResult ref = a.runWith(m.dag, m.schedule, "IC-OPT", cfg);
+  b.beginWith(m.dag, m.schedule, "IC-OPT", cfg);
+  while (!b.step(1)) {
+  }
+  EXPECT_EQ(bytesOf(b.takeResult()), bytesOf(ref));
+}
+
+TEST(EngineSnapshotTest, SnapshotRequiresARunInProgress) {
+  SimulationEngine engine;
+  EXPECT_THROW((void)engine.snapshot(), std::logic_error);
+  EXPECT_THROW((void)engine.step(1), std::logic_error);
+  EXPECT_THROW((void)engine.takeResult(), std::logic_error);
+}
+
+TEST(EngineSnapshotTest, RestoreRejectsMismatchedState) {
+  const ScheduledDag m = outMesh(6);
+  const ScheduledDag other = outMesh(7);
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.seed = 3;
+  SimulationEngine engine;
+  engine.beginWith(m.dag, m.schedule, "FIFO", cfg);
+  (void)engine.step(5);
+  ASSERT_TRUE(engine.stepping());
+  const std::string snap = engine.snapshot();
+
+  SimulationEngine target;
+  // Different dag.
+  EXPECT_THROW(target.restoreWith(snap, other.dag, other.schedule, cfg),
+               recovery::StateMismatchError);
+  // Different config.
+  SimulationConfig bumped = cfg;
+  bumped.numClients = 5;
+  EXPECT_THROW(target.restoreWith(snap, m.dag, m.schedule, bumped),
+               recovery::StateMismatchError);
+  bumped = cfg;
+  bumped.seed = 4;
+  EXPECT_THROW(target.restoreWith(snap, m.dag, m.schedule, bumped),
+               recovery::StateMismatchError);
+  // Different externally-supplied scheduler.
+  auto wrongSched = makeScheduler("LIFO", m.dag, m.schedule, cfg.seed);
+  EXPECT_THROW(target.restore(snap, m.dag, *wrongSched, cfg),
+               recovery::StateMismatchError);
+  // The matching state still restores.
+  target.restoreWith(snap, m.dag, m.schedule, cfg);
+  EXPECT_TRUE(target.stepping());
+}
+
+TEST(EngineSnapshotTest, CheckpointFileRoundTrip) {
+  const ScheduledDag m = outMesh(8);
+  SimulationConfig cfg;
+  cfg.numClients = 4;
+  cfg.seed = 11;
+  cfg.faults.clientDepartureRate = 0.05;
+  cfg.faults.clientRejoinRate = 0.3;
+
+  SimulationEngine ref;
+  const std::string refBytes = bytesOf(ref.runWith(m.dag, m.schedule, "CRIT-PATH", cfg));
+
+  const std::string path = tempPath("engine.ckpt");
+  SimulationEngine engine;
+  engine.beginWith(m.dag, m.schedule, "CRIT-PATH", cfg);
+  (void)engine.step(m.dag.numNodes());
+  ASSERT_TRUE(engine.stepping());
+  engine.saveCheckpoint(path);
+
+  SimulationEngine resumed;
+  resumed.restoreCheckpointWith(path, m.dag, m.schedule, cfg);
+  while (!resumed.step(10000)) {
+  }
+  EXPECT_EQ(bytesOf(resumed.takeResult()), refBytes);
+
+  // A checkpoint is a framed file: a foreign file is rejected with a typed
+  // error, not misparsed.
+  const std::string garbagePath = tempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(garbagePath.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a checkpoint at all, not even close......", f);
+  std::fclose(f);
+  SimulationEngine victim;
+  EXPECT_THROW(victim.restoreCheckpointWith(garbagePath, m.dag, m.schedule, cfg),
+               recovery::RecoveryError);
+}
+
+// ---------- Journal ----------
+
+TEST(JournalTest, AppendReadRoundTrip) {
+  const std::string path = tempPath("plain.journal");
+  recovery::JournalWriter w;
+  w.open(path, 0xFEEDFACEull, 2);
+  w.append("alpha");
+  w.append(std::string("be\0ta", 5));
+  w.append("");
+  w.close();
+  const recovery::JournalContents c = recovery::readJournal(path, recovery::JournalReadMode::Strict);
+  EXPECT_EQ(c.fingerprint, 0xFEEDFACEull);
+  ASSERT_EQ(c.records.size(), 3u);
+  EXPECT_EQ(c.records[0], "alpha");
+  EXPECT_EQ(c.records[1], std::string("be\0ta", 5));
+  EXPECT_EQ(c.records[2], "");
+  EXPECT_FALSE(c.tornTail);
+  EXPECT_TRUE(recovery::journalUsable(path));
+}
+
+TEST(JournalTest, TornTailRecoversInRecoverModeAndThrowsInStrict) {
+  const std::string path = tempPath("torn.journal");
+  recovery::JournalWriter w;
+  w.open(path, 1, 0);
+  w.append("first");
+  w.append("second");
+  w.close();
+
+  // Chop bytes off the final record: Recover salvages the prefix, Strict throws.
+  const recovery::JournalContents full =
+      recovery::readJournal(path, recovery::JournalReadMode::Strict);
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(full.validBytes - 3)), 0);
+
+  const recovery::JournalContents torn =
+      recovery::readJournal(path, recovery::JournalReadMode::Recover);
+  EXPECT_TRUE(torn.tornTail);
+  ASSERT_EQ(torn.records.size(), 1u);
+  EXPECT_EQ(torn.records[0], "first");
+  EXPECT_THROW((void)recovery::readJournal(path, recovery::JournalReadMode::Strict),
+               recovery::CorruptError);
+
+  // openResumed truncates the torn tail and appends cleanly after it.
+  recovery::JournalWriter resumed;
+  const recovery::JournalContents salvaged = resumed.openResumed(path, 1, 0);
+  EXPECT_EQ(salvaged.records.size(), 1u);
+  resumed.append("third");
+  resumed.close();
+  const recovery::JournalContents after =
+      recovery::readJournal(path, recovery::JournalReadMode::Strict);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[1], "third");
+}
+
+TEST(JournalTest, ResumeRejectsForeignFingerprint) {
+  const std::string path = tempPath("foreign.journal");
+  recovery::JournalWriter w;
+  w.open(path, 42, 0);
+  w.append("rec");
+  w.close();
+  recovery::JournalWriter other;
+  EXPECT_THROW((void)other.openResumed(path, 43, 0), recovery::StateMismatchError);
+}
+
+// ---------- Journaled sweeps ----------
+
+SweepSpec smallSweep(const ScheduledDag& fam) {
+  SweepSpec spec;
+  spec.dags.push_back({"fam", &fam.dag, &fam.schedule});
+  spec.schedulers = {"IC-OPT", "RANDOM"};
+  spec.seeds = seedRange(5, 3);
+  SweepSpec::FaultCase faulty;
+  faulty.name = "faulty";
+  faulty.faults.clientDepartureRate = 0.05;
+  faulty.faults.clientRejoinRate = 0.3;
+  faulty.faults.taskTimeout = 8.0;
+  spec.faultCases = {SweepSpec::FaultCase{}, faulty};
+  spec.base.numClients = 4;
+  return spec;
+}
+
+TEST(JournaledSweepTest, FreshJournaledRunMatchesPlainRun) {
+  const ScheduledDag fam = outMesh(6);
+  const SweepSpec spec = smallSweep(fam);
+  const auto ref = BatchRunner(1).run(spec);
+  JournalOptions jo;
+  jo.path = tempPath("sweep_fresh.journal");
+  std::remove(jo.path.c_str());
+  const auto got = BatchRunner(3).runJournaled(spec, jo);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(bytesOf(got[i].result), bytesOf(ref[i].result)) << "replication " << i;
+  }
+}
+
+TEST(JournaledSweepTest, ResumeSalvagesWithoutRerunningAndMatchesBytes) {
+  const ScheduledDag fam = outMesh(6);
+  const SweepSpec spec = smallSweep(fam);
+  const auto ref = BatchRunner(1).run(spec);
+  JournalOptions jo;
+  jo.path = tempPath("sweep_resume.journal");
+  std::remove(jo.path.c_str());
+  (void)BatchRunner(2).runJournaled(spec, jo);
+  // Everything is in the journal now; the resumed "run" is pure salvage.
+  jo.resume = true;
+  const auto got = BatchRunner(4).runJournaled(spec, jo);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(bytesOf(got[i].result), bytesOf(ref[i].result)) << "replication " << i;
+  }
+}
+
+TEST(JournaledSweepTest, ResumeRejectsJournalOfDifferentSweep) {
+  const ScheduledDag fam = outMesh(6);
+  const SweepSpec spec = smallSweep(fam);
+  JournalOptions jo;
+  jo.path = tempPath("sweep_mismatch.journal");
+  std::remove(jo.path.c_str());
+  (void)BatchRunner(1).runJournaled(spec, jo);
+  SweepSpec other = spec;
+  other.seeds = seedRange(100, 3);
+  jo.resume = true;
+  EXPECT_THROW((void)BatchRunner(1).runJournaled(other, jo), recovery::StateMismatchError);
+  EXPECT_NE(sweepFingerprint(spec), sweepFingerprint(other));
+}
+
+TEST(JournaledSweepTest, CorruptRecordIndexIsTypedError) {
+  const ScheduledDag fam = outMesh(6);
+  const SweepSpec spec = smallSweep(fam);
+  const std::string path = tempPath("sweep_badindex.journal");
+  recovery::JournalWriter w;
+  w.open(path, sweepFingerprint(spec), 0);
+  ByteWriter rec;
+  rec.varint(spec.numReplications() + 50);  // out-of-range replication index
+  w.append(rec.bytes());
+  w.close();
+  JournalOptions jo;
+  jo.path = path;
+  jo.resume = true;
+  EXPECT_THROW((void)BatchRunner(1).runJournaled(spec, jo), recovery::CorruptError);
+}
+
+}  // namespace
+}  // namespace icsched

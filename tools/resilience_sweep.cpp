@@ -1,6 +1,11 @@
 /// \file resilience_sweep.cpp
 /// \brief Fault-injection sweep harness:
-///   `icsched_resilience_sweep [OUT.json] [THREADS]`.
+///   `icsched_resilience_sweep [OUT.json] [THREADS] [--journal=PATH [--resume]]`.
+///
+/// With --journal the pooled sweep appends each completed replication to a
+/// write-ahead journal; --resume salvages a prior (possibly SIGKILLed) run
+/// from that journal instead of re-executing it. Either way the output must
+/// stay byte-identical to the plain serial sweep.
 ///
 /// Sweeps the resilience suite (workload.hpp) x {IC-OPT, RANDOM} x five
 /// fault scenarios (fault-free, churn, timeouts+stragglers, speculation,
@@ -109,7 +114,8 @@ void writeJson(std::ostream& os, const std::vector<Cell>& cells) {
   os << "  ]\n}\n";
 }
 
-int run(const std::string& outPath, std::size_t threads) {
+int run(const std::string& outPath, std::size_t threads, const std::string& journalPath,
+        bool resume) {
   const std::vector<Workload> suite = resilienceSuite(kSeed);
 
   SweepSpec spec;
@@ -120,9 +126,20 @@ int run(const std::string& outPath, std::size_t threads) {
   spec.base.numClients = 8;
 
   // The determinism gate: the serial expansion is the reference; the pooled
-  // run must match it byte for byte.
+  // run must match it byte for byte. With --journal the pooled run goes
+  // through the write-ahead journal (and --resume salvages a previous --
+  // possibly killed -- run's completed replications), so the gate also
+  // proves journaled/resumed output identical to a plain serial sweep.
   const std::vector<Replication> serial = BatchRunner(1).run(spec);
-  const std::vector<Replication> parallel = BatchRunner(threads).run(spec);
+  std::vector<Replication> parallel;
+  if (journalPath.empty()) {
+    parallel = BatchRunner(threads).run(spec);
+  } else {
+    JournalOptions jo;
+    jo.path = journalPath;
+    jo.resume = resume;
+    parallel = BatchRunner(threads).runJournaled(spec, jo);
+  }
 
   std::vector<Cell> cells;
   // Fault-free makespans, keyed (family, scheduler), for inflation.
@@ -210,11 +227,28 @@ int run(const std::string& outPath, std::size_t threads) {
 }  // namespace icsched
 
 int main(int argc, char** argv) {
-  const std::string outPath = argc > 1 ? argv[1] : "BENCH_resilience.json";
+  std::string journalPath;
+  bool resume = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--journal=", 0) == 0) {
+      journalPath = arg.substr(10);
+    } else if (arg == "--resume") {
+      resume = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string outPath = !positional.empty() ? positional[0] : "BENCH_resilience.json";
   std::size_t threads = 0;  // hardware concurrency
   try {
-    if (argc > 2) threads = static_cast<std::size_t>(std::stoull(argv[2]));
-    return icsched::run(outPath, threads);
+    if (positional.size() > 1) threads = static_cast<std::size_t>(std::stoull(positional[1]));
+    if (resume && journalPath.empty()) {
+      std::cerr << "resilience_sweep: --resume requires --journal=PATH\n";
+      return 2;
+    }
+    return icsched::run(outPath, threads, journalPath, resume);
   } catch (const std::exception& e) {
     std::cerr << "resilience_sweep: " << e.what() << "\n";
     return 2;
