@@ -6,10 +6,12 @@
 ///
 /// The sweep is the acceptance workload: all 6 schedulers x 16 seeds over
 /// mesh300 (outMesh(24), |V|=300) and butterfly12 (the 12-dimensional
-/// butterfly, |V|=53248), run once serially (the reference) and once on the
-/// thread pool. The bench
-///   - times both runs over several repetitions (best-of; 1 in --smoke mode)
-///     and reports replications/second and the parallel speedup,
+/// butterfly, |V|=53248), run serially (the reference) and then across a
+/// pool thread-count sweep (powers of two up to hardware_concurrency; at
+/// least 2 threads even on a single-core host). The bench
+///   - times every thread count over several repetitions (best-of; 1 in
+///     --smoke mode) and reports replications/second and the speedup of the
+///     best parallel point, with hardware_concurrency recorded in the JSON,
 ///   - measures the per-event cost of EligibilityTracker::execute() (fresh
 ///     vector per call) against executeInto() (reused scratch buffer) -- the
 ///     allocation the simulator's hot loop no longer pays,
@@ -24,6 +26,7 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -159,39 +162,69 @@ int main(int argc, char** argv) {
   spec.base.numClients = 8;
 
   const std::size_t total = spec.numReplications();
-  const BatchRunner serialRunner(1);
-  const BatchRunner parallelRunner;  // hardware concurrency
+  // Thread-count sweep: 1 (the serial reference), powers of two up to
+  // hardware_concurrency, and hardware_concurrency itself. On a single-core
+  // host the sweep still includes 2 threads so the pool's scheduling path
+  // (and its byte-identical guarantee) is exercised, and the JSON records
+  // the actual hardware_concurrency rather than silently degrading to a
+  // lone "threads": 1 entry.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> threadCounts{1};
+  for (std::size_t c = 2; c < hw; c *= 2) threadCounts.push_back(c);
+  if (hw > 1) threadCounts.push_back(hw);
+  if (threadCounts.size() == 1) threadCounts.push_back(2);
   std::cout << "\nSweep: " << spec.dags.size() << " dags x " << spec.schedulers.size()
             << " schedulers x " << spec.seeds.size() << " seeds = " << total
-            << " replications; pool threads = " << parallelRunner.numThreads() << "\n";
+            << " replications; hardware_concurrency = " << hw << "\n";
 
+  struct SweepPoint {
+    std::size_t threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<SweepPoint> sweep;
   std::vector<Replication> serial;
-  std::vector<Replication> parallel;
   double serialSec = 1e300;
-  double parallelSec = 1e300;
-  for (std::size_t r = 0; r < reps; ++r) {
-    auto start = Clock::now();
-    serial = serialRunner.run(spec);
-    serialSec = std::min(serialSec, secondsSince(start));
-    start = Clock::now();
-    parallel = parallelRunner.run(spec);
-    parallelSec = std::min(parallelSec, secondsSince(start));
-  }
-
-  std::size_t totalEvents = 0;
-  for (const Replication& r : serial) totalEvents += r.result.eligibleAfterCompletion.size();
-  const double speedup = serialSec / parallelSec;
-  const bool identical = sameResults(serial, parallel);
-
-  ib::Table t({"mode", "seconds", "reps/sec", "sim-events/sec"});
+  ib::Table t({"threads", "seconds", "reps/sec", "sim-events/sec", "identical"});
   t.printHeader();
-  t.printRow("serial", serialSec, static_cast<double>(total) / serialSec,
-             static_cast<double>(totalEvents) / serialSec);
-  t.printRow("parallel", parallelSec, static_cast<double>(total) / parallelSec,
-             static_cast<double>(totalEvents) / parallelSec);
+  std::size_t totalEvents = 0;
+  bool identical = true;
+  double parallelSec = 1e300;
+  std::size_t bestThreads = 1;
+  for (std::size_t count : threadCounts) {
+    const BatchRunner runner(count);
+    std::vector<Replication> results;
+    double sec = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto start = Clock::now();
+      results = runner.run(spec);
+      sec = std::min(sec, secondsSince(start));
+    }
+    bool same = true;
+    if (count == 1) {
+      serial = std::move(results);
+      serialSec = sec;
+      totalEvents = 0;
+      for (const Replication& r : serial)
+        totalEvents += r.result.eligibleAfterCompletion.size();
+    } else {
+      same = sameResults(serial, results);
+      identical = identical && same;
+      if (sec < parallelSec) {
+        parallelSec = sec;
+        bestThreads = count;
+      }
+    }
+    t.printRow(static_cast<double>(count), sec, static_cast<double>(total) / sec,
+               static_cast<double>(totalEvents) / sec, same ? 1.0 : 0.0);
+    sweep.push_back({count, sec, same});
+  }
+  const double speedup = serialSec / parallelSec;
   std::cout << "  parallel speedup: " << std::fixed << std::setprecision(2) << speedup
-            << "x on " << parallelRunner.numThreads() << " thread(s)\n";
-  ib::verdict(identical, "parallel sweep is byte-identical to the serial reference");
+            << "x at " << bestThreads << " thread(s), hardware_concurrency = " << hw
+            << "\n";
+  ib::verdict(identical, "every pool thread count is byte-identical to the serial reference");
   outcome.note(identical);
 
   // ---- fault-injected replications under the pool stay deterministic ----
@@ -200,7 +233,7 @@ int main(int argc, char** argv) {
   faulty.seeds = seedRange(1, 8);
   faulty.faultCases = {{"full", fullFaults()}};
   const bool faultyIdentical =
-      sameResults(serialRunner.run(faulty), parallelRunner.run(faulty));
+      sameResults(BatchRunner(1).run(faulty), BatchRunner(bestThreads).run(faulty));
   ib::verdict(faultyIdentical, "fault-injected sweep is byte-identical under the pool");
   outcome.note(faultyIdentical);
 
@@ -213,7 +246,16 @@ int main(int argc, char** argv) {
   json << "{\n  \"bench\": \"sim_batch\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
        << "  \"repetitions\": " << reps << ",\n"
-       << "  \"threads\": " << parallelRunner.numThreads() << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"threads\": " << bestThreads << ",\n"
+       << "  \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    json << "    {\"threads\": " << sweep[i].threads << ", \"seconds\": " << sweep[i].seconds
+         << ", \"reps_per_sec\": " << static_cast<double>(total) / sweep[i].seconds
+         << ", \"identical\": " << (sweep[i].identical ? "true" : "false") << "}"
+         << (i + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
        << "  \"families\": [\"mesh300\", \"butterfly12\"],\n"
        << "  \"schedulers\": " << spec.schedulers.size() << ",\n"
        << "  \"seeds\": " << spec.seeds.size() << ",\n"

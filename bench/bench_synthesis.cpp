@@ -1,0 +1,505 @@
+/// \file bench_synthesis.cpp
+/// \brief Schedule-synthesis throughput: incremental stable-id chain builds
+/// and fast ▷-checks vs the quadratic reference path. Results land in
+/// BENCH_synthesis.json.
+///
+///   bench_synthesis [OUT.json] [--smoke]
+///
+/// For each family (mesh-from-W-dags, butterfly-from-blocks,
+/// prefix-from-N-dags, DLT) across sizes, the bench builds the same
+/// ▷-linear composition chain twice:
+///   - reference: a local ReferenceChainBuilder replicating the old
+///     algorithm -- compose() per append (fresh CSR freeze each step),
+///     every previously recorded constituent order/map remapped through
+///     mapA, ▷-verification by recomputing every profile and running the
+///     O(n1·n2) all-pairs check;
+///   - fast: the production LinearCompositionBuilder (single DagBuilder,
+///     identity mapA, O(V_i+E_i) appends) with memoized profiles and the
+///     anti-diagonal fast ▷-check.
+/// It asserts the two paths produce an identical composite dag and
+/// schedule, that fast and reference ▷ verdicts agree on every benchmarked
+/// constituent pair and on a deterministic random-profile fuzz corpus, and
+/// (full mode) that the largest mesh and butterfly chain builds are >= 10x
+/// faster than the reference. Smoke mode (CI) checks agreement only.
+/// A final section times serial priorityMatrix against the thread-pool
+/// variant on a W-dag registry.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/building_blocks.hpp"
+#include "core/composition.hpp"
+#include "core/eligibility.hpp"
+#include "core/linear_composition.hpp"
+#include "core/priority.hpp"
+#include "exec/parallel_priority.hpp"
+#include "families/butterfly.hpp"
+#include "families/dlt.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Fn>
+double bestOf(std::size_t reps, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, secondsSince(start));
+  }
+  return best;
+}
+
+/// The pre-optimization chain builder, kept verbatim as the benchmark
+/// baseline: compose() re-freezes a CSR Dag on every append and every
+/// previously recorded constituent order/map is remapped through mapA, so a
+/// k-constituent chain costs O(k²·V). Interface-compatible with
+/// LinearCompositionBuilder so the same templated chain drivers run both.
+class ReferenceChainBuilder {
+ public:
+  explicit ReferenceChainBuilder(const ScheduledDag& first) {
+    dag_ = first.dag;
+    std::vector<NodeId> order;
+    for (NodeId v : first.schedule.order())
+      if (!first.dag.isSink(v)) order.push_back(v);
+    constituentOrders_.push_back(std::move(order));
+    constituents_.push_back(first);
+    std::vector<NodeId> map(first.dag.numNodes());
+    for (NodeId v = 0; v < first.dag.numNodes(); ++v) map[v] = v;
+    nodeMaps_.push_back(std::move(map));
+  }
+
+  void append(const ScheduledDag& next, const std::vector<MergePair>& pairs) {
+    Composition c = compose(dag_, next.dag, pairs);
+    // The quadratic hot spot: rescan all history through mapA.
+    for (std::vector<NodeId>& order : constituentOrders_)
+      for (NodeId& v : order) v = c.mapA[v];
+    for (std::vector<NodeId>& map : nodeMaps_)
+      for (NodeId& v : map) v = c.mapA[v];
+    std::vector<NodeId> order;
+    for (NodeId v : next.schedule.order())
+      if (!next.dag.isSink(v)) order.push_back(c.mapB[v]);
+    constituentOrders_.push_back(std::move(order));
+    constituents_.push_back(next);
+    nodeMaps_.push_back(c.mapB);
+    dag_ = std::move(c.dag);
+  }
+
+  void appendFullMerge(const ScheduledDag& next) {
+    const std::size_t ns = dag_.sinks().size();
+    append(next, zipSinksToSources(dag_, next.dag, ns));
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& constituentNodeMap(std::size_t i) const {
+    return nodeMaps_.at(i);
+  }
+
+  [[nodiscard]] const Dag& dag() const { return dag_; }
+
+  /// Reference ▷-verification: recompute every constituent profile from
+  /// scratch (no memoization) and run the quadratic all-pairs check.
+  [[nodiscard]] bool verifyPriorityChain() const {
+    std::vector<std::vector<std::size_t>> profiles;
+    profiles.reserve(constituents_.size());
+    for (const ScheduledDag& g : constituents_)
+      profiles.push_back(nonsinkEligibilityProfile(g.dag, g.schedule));
+    for (std::size_t i = 0; i + 1 < profiles.size(); ++i)
+      if (!hasPriorityProfilesReference(profiles[i], profiles[i + 1])) return false;
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<ScheduledDag>& constituents() const { return constituents_; }
+
+  [[nodiscard]] ScheduledDag build() const {
+    std::vector<bool> emitted(dag_.numNodes(), false);
+    std::vector<NodeId> order;
+    order.reserve(dag_.numNodes());
+    for (const std::vector<NodeId>& cons : constituentOrders_) {
+      for (NodeId v : cons) {
+        if (!emitted[v]) {
+          emitted[v] = true;
+          order.push_back(v);
+        }
+      }
+    }
+    for (NodeId v = 0; v < dag_.numNodes(); ++v)
+      if (!emitted[v]) order.push_back(v);
+    ScheduledDag out{dag_, Schedule(std::move(order))};
+    out.schedule.validate(out.dag);
+    return out;
+  }
+
+ private:
+  Dag dag_;
+  std::vector<std::vector<NodeId>> constituentOrders_;
+  std::vector<ScheduledDag> constituents_;
+  std::vector<std::vector<NodeId>> nodeMaps_;
+};
+
+// ---- templated chain drivers (same code drives both builders) ----
+
+template <class Builder>
+Builder buildMeshChain(std::size_t diagonals) {
+  Builder b(wdag(1));
+  for (std::size_t s = 2; s + 1 <= diagonals; ++s) b.appendFullMerge(wdag(s));
+  return b;
+}
+
+template <class Builder>
+Builder buildButterflyChain(std::size_t dim) {
+  // Mirrors families/butterfly.cpp butterflyFromBlocks.
+  const std::size_t rows = std::size_t{1} << dim;
+  struct SinkRef {
+    std::size_t block;
+    NodeId node;
+  };
+  std::vector<std::vector<SinkRef>> sinkRef(dim + 1, std::vector<SinkRef>(rows));
+  const ScheduledDag block = butterflyBlock();
+  std::unique_ptr<Builder> b;
+  std::size_t blockIndex = 0;
+  for (std::size_t l = 0; l < dim; ++l) {
+    const std::size_t bit = std::size_t{1} << l;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r & bit) continue;
+      const std::size_t r2 = r | bit;
+      if (!b) {
+        b = std::make_unique<Builder>(block);
+      } else if (l == 0) {
+        b->append(block, {});
+      } else {
+        const SinkRef a = sinkRef[l][r];
+        const SinkRef c = sinkRef[l][r2];
+        b->append(block, {{b->constituentNodeMap(a.block)[a.node], 0},
+                          {b->constituentNodeMap(c.block)[c.node], 1}});
+      }
+      sinkRef[l + 1][r] = {blockIndex, 2};
+      sinkRef[l + 1][r2] = {blockIndex, 3};
+      ++blockIndex;
+    }
+  }
+  return std::move(*b);
+}
+
+template <class Builder>
+Builder buildPrefixChain(std::size_t n) {
+  // Mirrors families/prefix.cpp prefixFromNDags.
+  const std::size_t stages = prefixNumStages(n);
+  struct Ref {
+    std::size_t block;
+    NodeId node;
+  };
+  std::vector<std::vector<Ref>> ref(stages + 1, std::vector<Ref>(n));
+  Builder b(ndag(n));
+  for (std::size_t i = 0; i < n; ++i) ref[1][i] = {0, static_cast<NodeId>(n + i)};
+  std::size_t blockIndex = 1;
+  for (std::size_t t = 1; t < stages; ++t) {
+    const std::size_t shift = std::size_t{1} << t;
+    const std::size_t chainLen = n / shift;
+    for (std::size_t residue = 0; residue < shift; ++residue) {
+      std::vector<MergePair> pairs;
+      pairs.reserve(chainLen);
+      for (std::size_t k = 0; k < chainLen; ++k) {
+        const Ref r = ref[t][residue + k * shift];
+        pairs.push_back({b.constituentNodeMap(r.block)[r.node], static_cast<NodeId>(k)});
+      }
+      b.append(ndag(chainLen), pairs);
+      for (std::size_t k = 0; k < chainLen; ++k) {
+        ref[t + 1][residue + k * shift] = {blockIndex, static_cast<NodeId>(chainLen + k)};
+      }
+      ++blockIndex;
+    }
+  }
+  return b;
+}
+
+template <class Builder>
+Builder buildDltChain(std::size_t n) {
+  std::vector<ScheduledDag> chain = dltPrefixChain(n);
+  Builder b(chain[0]);
+  b.appendFullMerge(chain[1]);
+  return b;
+}
+
+struct Config {
+  std::string family;
+  std::size_t param;
+  bool gated;  // >= 10x build-speedup gate applies (largest mesh/butterfly)
+};
+
+struct Row {
+  std::string family;
+  std::size_t param = 0;
+  std::size_t nodes = 0;
+  std::size_t constituents = 0;
+  double refBuild = 0, fastBuild = 0, refVerify = 0, fastVerify = 0;
+  bool identical = false;
+  bool verdictsAgree = false;
+  bool gated = false;
+  [[nodiscard]] double buildSpeedup() const { return refBuild / fastBuild; }
+  [[nodiscard]] double verifySpeedup() const { return refVerify / fastVerify; }
+  [[nodiscard]] double totalSpeedup() const {
+    return (refBuild + refVerify) / (fastBuild + fastVerify);
+  }
+};
+
+/// Adjacent-pair ▷ verdicts, fast vs reference, over freshly computed
+/// profiles of the chain's constituents.
+bool adjacentVerdictsAgree(const std::vector<ScheduledDag>& gs) {
+  std::vector<std::vector<std::size_t>> p;
+  p.reserve(gs.size());
+  for (const ScheduledDag& g : gs) p.push_back(nonsinkEligibilityProfile(g.dag, g.schedule));
+  for (std::size_t i = 0; i + 1 < p.size(); ++i)
+    if (hasPriorityProfiles(p[i], p[i + 1]) != hasPriorityProfilesReference(p[i], p[i + 1]))
+      return false;
+  return true;
+}
+
+template <typename ChainFn>
+Row runConfig(const Config& cfg, std::size_t reps, ChainFn&& makeChain) {
+  Row row;
+  row.family = cfg.family;
+  row.param = cfg.param;
+  row.gated = cfg.gated;
+
+  ScheduledDag refResult, fastResult;
+  bool refChainOk = false, fastChainOk = false;
+  std::vector<ScheduledDag> constituents;
+  row.refBuild = bestOf(reps, [&] {
+    ReferenceChainBuilder b = makeChain.template operator()<ReferenceChainBuilder>();
+    refResult = b.build();
+    constituents = b.constituents();
+  });
+  row.refVerify = bestOf(reps, [&] {
+    ReferenceChainBuilder b = makeChain.template operator()<ReferenceChainBuilder>();
+    refChainOk = b.verifyPriorityChain();
+  });
+  row.fastBuild = bestOf(reps, [&] {
+    LinearCompositionBuilder b = makeChain.template operator()<LinearCompositionBuilder>();
+    fastResult = b.build();
+  });
+  row.fastVerify = bestOf(reps, [&] {
+    LinearCompositionBuilder b = makeChain.template operator()<LinearCompositionBuilder>();
+    fastChainOk = b.verifyPriorityChain();
+  });
+  row.nodes = fastResult.dag.numNodes();
+  row.constituents = constituents.size();
+  row.identical = refResult.dag == fastResult.dag &&
+                  refResult.schedule.order() == fastResult.schedule.order();
+  row.verdictsAgree = refChainOk == fastChainOk && adjacentVerdictsAgree(constituents);
+  return row;
+}
+
+// ---- deterministic random-profile fuzz (fast vs reference verdicts) ----
+
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+  std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+};
+
+std::vector<std::size_t> randomProfile(Lcg& rng, std::size_t maxLen, std::size_t maxVal) {
+  const std::size_t len = 1 + rng.below(maxLen);
+  std::vector<std::size_t> e(len);
+  for (std::size_t& v : e) v = rng.below(maxVal + 1);
+  return e;
+}
+
+std::vector<std::size_t> randomConcaveProfile(Lcg& rng, std::size_t maxLen) {
+  // Start anywhere, apply nonincreasing (possibly negative) differences.
+  const std::size_t len = 1 + rng.below(maxLen);
+  std::vector<std::size_t> e(len);
+  long long cur = static_cast<long long>(rng.below(20)) + static_cast<long long>(len);
+  long long diff = static_cast<long long>(rng.below(4));
+  e[0] = static_cast<std::size_t>(cur);
+  for (std::size_t i = 1; i < len; ++i) {
+    cur = std::max<long long>(0, cur + diff);
+    e[i] = static_cast<std::size_t>(cur);
+    if (rng.below(3) == 0 && diff > -8) --diff;
+  }
+  return e;
+}
+
+std::size_t fuzzDisagreements(std::size_t pairs, std::size_t& checked) {
+  Lcg rng{0x1C5C4EDu};  // fixed seed: runs are reproducible
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    std::vector<std::size_t> e1, e2;
+    switch (i % 3) {
+      case 0:
+        e1 = randomProfile(rng, 40, 12);
+        e2 = randomProfile(rng, 40, 12);
+        break;
+      case 1:
+        e1 = randomConcaveProfile(rng, 40);
+        e2 = randomConcaveProfile(rng, 40);
+        break;
+      default:
+        e1 = randomConcaveProfile(rng, 40);
+        e2 = randomProfile(rng, 40, 12);
+        break;
+    }
+    ++checked;
+    if (hasPriorityProfiles(e1, e2) != hasPriorityProfilesReference(e1, e2)) ++bad;
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_synthesis.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      outPath = arg;
+    }
+  }
+  const std::size_t reps = smoke ? 1 : 3;
+
+  ib::header("S1", "Schedule synthesis: incremental chain builds + fast priority checks");
+  ib::Outcome outcome;
+
+  std::vector<Config> configs;
+  if (smoke) {
+    configs = {{"mesh", 16, false}, {"butterfly", 5, false}, {"prefix", 64, false},
+               {"dlt", 64, false}};
+  } else {
+    configs = {{"mesh", 48, false},     {"mesh", 96, false},    {"mesh", 192, true},
+               {"butterfly", 5, false}, {"butterfly", 7, false}, {"butterfly", 9, true},
+               {"prefix", 64, false},   {"prefix", 256, false},  {"prefix", 512, false},
+               {"dlt", 256, false},     {"dlt", 1024, false}};
+  }
+
+  ib::Table t({"family", "param", "nodes", "k", "ref build s", "fast build s", "build x",
+               "verify x", "ok"});
+  t.printHeader();
+  std::vector<Row> rows;
+  for (const Config& cfg : configs) {
+    auto driver = [&]<class B>() -> B {
+      if (cfg.family == "mesh") return buildMeshChain<B>(cfg.param);
+      if (cfg.family == "butterfly") return buildButterflyChain<B>(cfg.param);
+      if (cfg.family == "prefix") return buildPrefixChain<B>(cfg.param);
+      return buildDltChain<B>(cfg.param);
+    };
+    const Row row = runConfig(cfg, reps, driver);
+    rows.push_back(row);
+    t.printRow(row.family, static_cast<double>(row.param), static_cast<double>(row.nodes),
+               static_cast<double>(row.constituents), row.refBuild, row.fastBuild,
+               row.buildSpeedup(), row.verifySpeedup(),
+               (row.identical && row.verdictsAgree) ? 1.0 : 0.0);
+    outcome.note(row.identical);
+    outcome.note(row.verdictsAgree);
+  }
+
+  bool allIdentical = true, allVerdictsAgree = true, gatePass = true;
+  double gateMin = 1e300;
+  for (const Row& r : rows) {
+    allIdentical = allIdentical && r.identical;
+    allVerdictsAgree = allVerdictsAgree && r.verdictsAgree;
+    if (r.gated) {
+      gateMin = std::min(gateMin, r.buildSpeedup());
+      if (r.buildSpeedup() < 10.0) gatePass = false;
+    }
+  }
+  ib::verdict(allIdentical, "fast builder output is identical to the reference builder");
+  ib::verdict(allVerdictsAgree, "fast priority verdicts match the quadratic reference");
+  if (!smoke) {
+    ib::verdict(gatePass, "largest mesh/butterfly chain builds are >= 10x the reference");
+    outcome.note(gatePass);
+  }
+
+  // ---- random-profile fuzz: fast vs reference verdict agreement ----
+  std::size_t fuzzChecked = 0;
+  const std::size_t fuzzBad = fuzzDisagreements(smoke ? 500 : 5000, fuzzChecked);
+  ib::verdict(fuzzBad == 0, "fuzz: " + std::to_string(fuzzChecked) +
+                                " random profile pairs, fast == reference verdicts");
+  outcome.note(fuzzBad == 0);
+
+  // ---- priorityMatrix: serial vs thread-pool ----
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<ScheduledDag> registry;
+  for (std::size_t s = 1; s <= (smoke ? 24 : 48); ++s) registry.push_back(wdag(s));
+  const double serialMatrixSec = bestOf(reps, [&] {
+    std::vector<ScheduledDag> fresh = registry;
+    for (ScheduledDag& g : fresh) g.profileCache_.reset();
+    (void)priorityMatrix(fresh);
+  });
+  const double parallelMatrixSec = bestOf(reps, [&] {
+    std::vector<ScheduledDag> fresh = registry;
+    for (ScheduledDag& g : fresh) g.profileCache_.reset();
+    (void)priorityMatrixParallel(fresh, hw);
+  });
+  const bool matrixSame = priorityMatrix(registry) == priorityMatrixParallel(registry, hw);
+  ib::verdict(matrixSame, "parallel priorityMatrix equals the serial matrix");
+  outcome.note(matrixSame);
+  std::cout << "  priorityMatrix k=" << registry.size() << ": serial " << std::scientific
+            << std::setprecision(3) << serialMatrixSec << "s, pool(" << hw << ") "
+            << parallelMatrixSec << "s\n";
+
+  std::ofstream json(outPath);
+  if (!json) {
+    std::cerr << "cannot open " << outPath << "\n";
+    return 2;
+  }
+  json << std::setprecision(17);
+  json << "{\n  \"bench\": \"synthesis\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"repetitions\": " << reps << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"family\": \"" << r.family << "\", \"param\": " << r.param
+         << ", \"nodes\": " << r.nodes << ", \"constituents\": " << r.constituents
+         << ", \"ref_build_seconds\": " << r.refBuild
+         << ", \"fast_build_seconds\": " << r.fastBuild
+         << ", \"ref_verify_seconds\": " << r.refVerify
+         << ", \"fast_verify_seconds\": " << r.fastVerify
+         << ", \"build_speedup\": " << r.buildSpeedup()
+         << ", \"verify_speedup\": " << r.verifySpeedup()
+         << ", \"total_speedup\": " << r.totalSpeedup()
+         << ", \"gated\": " << (r.gated ? "true" : "false")
+         << ", \"identical\": " << (r.identical ? "true" : "false")
+         << ", \"verdicts_agree\": " << (r.verdictsAgree ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"fuzz_pairs\": " << fuzzChecked << ",\n"
+       << "  \"fuzz_disagreements\": " << fuzzBad << ",\n"
+       << "  \"gate_min_build_speedup\": " << (smoke ? 0.0 : gateMin) << ",\n"
+       << "  \"gate_threshold\": 10.0,\n"
+       << "  \"gate_pass\": " << ((smoke || gatePass) ? "true" : "false") << ",\n"
+       << "  \"priority_matrix\": {\"k\": " << registry.size()
+       << ", \"serial_seconds\": " << serialMatrixSec
+       << ", \"pool_seconds\": " << parallelMatrixSec << ", \"pool_threads\": " << hw
+       << ", \"identical\": " << (matrixSame ? "true" : "false") << "}\n"
+       << "}\n";
+  std::cout << "\nwrote " << outPath << "\n";
+
+  return outcome.exitCode();
+}

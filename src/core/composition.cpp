@@ -6,15 +6,19 @@
 
 namespace icsched {
 
-Composition compose(const Dag& a, const Dag& b, const std::vector<MergePair>& pairs) {
-  std::vector<bool> mergedSinkA(a.numNodes(), false);
-  std::vector<bool> mergedSourceB(b.numNodes(), false);
+namespace detail {
+
+void validateMergePairs(const std::vector<MergePair>& pairs, std::size_t numNodesA,
+                        std::size_t numNodesB,
+                        const std::function<bool(NodeId)>& isSinkOfA,
+                        const std::function<bool(NodeId)>& isSourceOfB,
+                        std::vector<bool>& mergedSinkA, std::vector<bool>& mergedSourceB) {
   for (const MergePair& p : pairs) {
-    if (p.sinkOfA >= a.numNodes() || !a.isSink(p.sinkOfA)) {
+    if (p.sinkOfA >= numNodesA || !isSinkOfA(p.sinkOfA)) {
       throw std::invalid_argument("compose: node " + std::to_string(p.sinkOfA) +
                                   " is not a sink of the first operand");
     }
-    if (p.sourceOfB >= b.numNodes() || !b.isSource(p.sourceOfB)) {
+    if (p.sourceOfB >= numNodesB || !isSourceOfB(p.sourceOfB)) {
       throw std::invalid_argument("compose: node " + std::to_string(p.sourceOfB) +
                                   " is not a source of the second operand");
     }
@@ -29,6 +33,16 @@ Composition compose(const Dag& a, const Dag& b, const std::vector<MergePair>& pa
     mergedSinkA[p.sinkOfA] = true;
     mergedSourceB[p.sourceOfB] = true;
   }
+}
+
+}  // namespace detail
+
+Composition compose(const Dag& a, const Dag& b, const std::vector<MergePair>& pairs) {
+  std::vector<bool> mergedSinkA(a.numNodes(), false);
+  std::vector<bool> mergedSourceB(b.numNodes(), false);
+  detail::validateMergePairs(
+      pairs, a.numNodes(), b.numNodes(), [&](NodeId v) { return a.isSink(v); },
+      [&](NodeId v) { return b.isSource(v); }, mergedSinkA, mergedSourceB);
 
   Composition out;
   out.mapA.resize(a.numNodes());

@@ -8,6 +8,7 @@
 /// source's children.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/dag.hpp"
@@ -43,5 +44,21 @@ struct Composition {
 /// truncated to the shorter list. Useful for partial merges.
 [[nodiscard]] std::vector<MergePair> zipSinksToSources(const Dag& a, const Dag& b,
                                                        std::size_t count);
+
+namespace detail {
+
+/// Shared merge-pair validation used by compose() and
+/// LinearCompositionBuilder::append() (which validates against its live
+/// DagBuilder rather than a frozen Dag): range-checks both endpoints,
+/// applies the sink/source predicates, rejects repeated nodes, and records
+/// the merged flags. Diagnostics match compose()'s historical messages.
+/// \throws std::invalid_argument on the first invalid pair.
+void validateMergePairs(const std::vector<MergePair>& pairs, std::size_t numNodesA,
+                        std::size_t numNodesB,
+                        const std::function<bool(NodeId)>& isSinkOfA,
+                        const std::function<bool(NodeId)>& isSourceOfB,
+                        std::vector<bool>& mergedSinkA, std::vector<bool>& mergedSourceB);
+
+}  // namespace detail
 
 }  // namespace icsched

@@ -63,35 +63,42 @@ void EligibilityTracker::executeInto(NodeId v, std::vector<NodeId>& out) {
   }
 }
 
-std::vector<std::size_t> eligibilityProfile(const Dag& g, const Schedule& s) {
-  s.validate(g);
+namespace {
+
+/// Replays the first \p steps entries of an already-validated order and
+/// records the ELIGIBLE count after each one (steps+1 entries including the
+/// initial state). Shared by the full and nonsink-prefix profiles.
+std::vector<std::size_t> profilePrefixUnchecked(const Dag& g, const std::vector<NodeId>& order,
+                                                std::size_t steps) {
   EligibilityTracker tracker(g);
   std::vector<std::size_t> profile;
-  profile.reserve(g.numNodes() + 1);
+  profile.reserve(steps + 1);
   profile.push_back(tracker.eligibleCount());
-  for (NodeId v : s.order()) {
-    tracker.execute(v);
+  std::vector<NodeId> packet;
+  for (std::size_t i = 0; i < steps; ++i) {
+    tracker.executeInto(order[i], packet);
     profile.push_back(tracker.eligibleCount());
   }
   return profile;
 }
 
-std::vector<std::size_t> nonsinkEligibilityProfile(const Dag& g, const Schedule& s) {
+}  // namespace
+
+std::vector<std::size_t> eligibilityProfile(const Dag& g, const Schedule& s) {
   s.validate(g);
-  if (!s.executesNonsinksFirst(g)) {
-    throw std::invalid_argument(
-        "nonsinkEligibilityProfile: schedule must execute nonsinks before sinks");
-  }
-  const std::vector<std::size_t> full = eligibilityProfile(g, s);
-  return {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(g.numNonsinks() + 1)};
+  return profilePrefixUnchecked(g, s.order(), g.numNodes());
+}
+
+std::vector<std::size_t> nonsinkEligibilityProfile(const Dag& g, const Schedule& s) {
+  // One combined validation walk (permutation + eligibility + nonsinks
+  // first), then a replay of only the nonsink prefix: the old path validated
+  // twice and replayed the sink suffix just to truncate it away.
+  s.validateNonsinksFirst(g, "nonsinkEligibilityProfile");
+  return profilePrefixUnchecked(g, s.order(), g.numNonsinks());
 }
 
 std::vector<std::vector<NodeId>> packetDecomposition(const Dag& g, const Schedule& s) {
-  s.validate(g);
-  if (!s.executesNonsinksFirst(g)) {
-    throw std::invalid_argument(
-        "packetDecomposition: schedule must execute nonsinks before sinks");
-  }
+  s.validateNonsinksFirst(g, "packetDecomposition");
   EligibilityTracker tracker(g);
   std::vector<std::vector<NodeId>> packets;
   packets.reserve(g.numNonsinks());

@@ -18,46 +18,84 @@ void requireNonsinksFirst(const ScheduledDag& g) {
 
 }  // namespace
 
-LinearCompositionBuilder::LinearCompositionBuilder(const ScheduledDag& first) {
+LinearCompositionBuilder::LinearCompositionBuilder(const ScheduledDag& first)
+    : builder_(first.dag) {
   requireNonsinksFirst(first);
-  dag_ = first.dag;
+  for (NodeId s : first.dag.sinks()) sinkSet_.insert(s);
   std::vector<NodeId> order;
+  order.reserve(first.dag.numNonsinks());
   for (NodeId v : first.schedule.order())
     if (!first.dag.isSink(v)) order.push_back(v);
   constituentOrders_.push_back(std::move(order));
   profiles_.push_back(first.nonsinkProfile());
-  constituents_.push_back(first);
   std::vector<NodeId> map(first.dag.numNodes());
   for (NodeId v = 0; v < first.dag.numNodes(); ++v) map[v] = v;
   nodeMaps_.push_back(std::move(map));
+  constituentWrites_ += first.dag.numNodes() + first.dag.numNonsinks();
 }
 
 void LinearCompositionBuilder::append(const ScheduledDag& next,
                                       const std::vector<MergePair>& pairs) {
   requireNonsinksFirst(next);
-  Composition c = compose(dag_, next.dag, pairs);
-  // Remap all previously recorded constituent orders and maps through mapA.
-  for (std::vector<NodeId>& order : constituentOrders_)
-    for (NodeId& v : order) v = c.mapA[v];
-  for (std::vector<NodeId>& map : nodeMaps_)
-    for (NodeId& v : map) v = c.mapA[v];
+  const Dag& b = next.dag;
+  const std::size_t aNodes = builder_.numNodes();
+  const std::size_t bNodes = b.numNodes();
+  std::vector<bool> mergedSinkA(aNodes, false);
+  std::vector<bool> mergedSourceB(bNodes, false);
+  // Same checks and diagnostics as compose(), against the live builder:
+  // a composite sink is a node with no children yet.
+  detail::validateMergePairs(
+      pairs, aNodes, bNodes, [&](NodeId v) { return builder_.children(v).empty(); },
+      [&](NodeId v) { return b.isSource(v); }, mergedSinkA, mergedSourceB);
+
+  // Stable-id allocation: the composite keeps every existing id (mapA is
+  // the identity), unmerged nodes of `next` get fresh ids in increasing-v
+  // order starting at the current node count -- exactly the ids the
+  // iterated-compose() path would assign, without ever rebuilding.
+  std::vector<NodeId> mapB(bNodes);
+  NodeId id = static_cast<NodeId>(aNodes);
+  for (NodeId v = 0; v < bNodes; ++v) {
+    if (!mergedSourceB[v]) mapB[v] = id++;
+  }
+  for (const MergePair& p : pairs) mapB[p.sourceOfB] = p.sinkOfA;
+
+  builder_.addNodes(id - static_cast<NodeId>(aNodes));
+  for (NodeId u = 0; u < bNodes; ++u) {
+    // A merged node keeps the first operand's label (the tasks coincide).
+    if (!mergedSourceB[u]) builder_.setLabel(mapB[u], b.label(u));
+    for (NodeId v : b.children(u)) builder_.addArc(mapB[u], mapB[v]);
+  }
+
+  // Incremental sink maintenance: merged composite sinks leave the set (the
+  // re-insert below restores any whose merged source is also a sink of
+  // `next`), then images of next's sinks enter -- covering both kinds of
+  // new sink without consulting the frozen dag.
+  for (const MergePair& p : pairs) sinkSet_.erase(p.sinkOfA);
+  for (NodeId s : b.sinks()) sinkSet_.insert(mapB[s]);
+
   std::vector<NodeId> order;
+  order.reserve(b.numNonsinks());
   for (NodeId v : next.schedule.order())
-    if (!next.dag.isSink(v)) order.push_back(c.mapB[v]);
+    if (!b.isSink(v)) order.push_back(mapB[v]);
   constituentOrders_.push_back(std::move(order));
   profiles_.push_back(next.nonsinkProfile());
-  constituents_.push_back(next);
-  nodeMaps_.push_back(c.mapB);
-  dag_ = std::move(c.dag);
+  nodeMaps_.push_back(std::move(mapB));
+  constituentWrites_ += bNodes + b.numNonsinks();
+  frozen_.reset();
 }
 
 void LinearCompositionBuilder::appendFullMerge(const ScheduledDag& next) {
-  const std::size_t ns = dag_.sinks().size();
+  const std::size_t ns = sinkSet_.size();
   if (ns != next.dag.sources().size()) {
     throw std::invalid_argument(
         "appendFullMerge: composite sink count != constituent source count");
   }
-  append(next, zipSinksToSources(dag_, next.dag, ns));
+  std::vector<MergePair> pairs;
+  pairs.reserve(ns);
+  const std::vector<NodeId>& sources = next.dag.sources();
+  std::size_t i = 0;
+  for (NodeId s : sinkSet_) pairs.push_back({s, sources[i++]});
+  append(next, pairs);
 }
 
 bool LinearCompositionBuilder::verifyPriorityChain() const {
@@ -66,10 +104,16 @@ bool LinearCompositionBuilder::verifyPriorityChain() const {
   return true;
 }
 
+const Dag& LinearCompositionBuilder::dag() const {
+  if (!frozen_) frozen_ = builder_.freeze();
+  return *frozen_;
+}
+
 ScheduledDag LinearCompositionBuilder::build() const {
-  std::vector<bool> emitted(dag_.numNodes(), false);
+  const Dag& d = dag();
+  std::vector<bool> emitted(d.numNodes(), false);
   std::vector<NodeId> order;
-  order.reserve(dag_.numNodes());
+  order.reserve(d.numNodes());
   // Phase i: composite nodes corresponding to nonsinks of G_i, in Σ_i order.
   // (A node is a nonsink of at most one constituent: a merged node is a sink
   // of the earlier operand, so only its later constituent may list it.)
@@ -84,16 +128,16 @@ ScheduledDag LinearCompositionBuilder::build() const {
   // Final phase: all remaining nodes. These are exactly the composite's
   // sinks (every composite nonsink gets its children from some constituent,
   // of which it is then a nonsink).
-  for (NodeId v = 0; v < dag_.numNodes(); ++v) {
+  for (NodeId v = 0; v < d.numNodes(); ++v) {
     if (!emitted[v]) {
-      if (!dag_.isSink(v)) {
+      if (!d.isSink(v)) {
         throw std::logic_error(
             "LinearCompositionBuilder: non-sink node not covered by any constituent");
       }
       order.push_back(v);
     }
   }
-  ScheduledDag out{dag_, Schedule(std::move(order))};
+  ScheduledDag out{d, Schedule(std::move(order))};
   out.schedule.validate(out.dag);
   return out;
 }

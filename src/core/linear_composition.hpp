@@ -10,8 +10,25 @@
 ///
 /// LinearCompositionBuilder incrementally builds both the composite dag and
 /// that schedule, and can optionally verify the ▷-chain along the way.
+///
+/// ## Stable-id incremental composition (synthesis fast path)
+///
+/// compose() keeps all of the first operand's ids and appends the second
+/// operand's unmerged nodes in increasing-id order, so under left-to-right
+/// chaining `mapA` is always the identity. The builder exploits that: the
+/// composite is accumulated in a single DagBuilder, each append allocates
+/// ids at offset numNodes() and writes only the new constituent's nodes and
+/// arcs -- O(V_i + E_i) -- and the previously recorded constituent orders
+/// and node maps are never touched again (the old implementation remapped
+/// every one of them through mapA and re-froze a CSR Dag per append, an
+/// O(k²·V) chain build). The frozen composite ids, per-node adjacency
+/// order, labels, and Theorem 2.1 schedule are byte-identical to the
+/// iterated-compose() path; bench/bench_synthesis.cpp asserts this against
+/// a reference builder on every benchmarked family.
 
 #include <cstddef>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "core/composition.hpp"
@@ -39,7 +56,7 @@ class LinearCompositionBuilder {
 
   /// Composes the current composite with \p next, merging \p pairs where
   /// MergePair::sinkOfA refers to a *current composite* sink id and
-  /// MergePair::sourceOfB to a node of \p next.
+  /// MergePair::sourceOfB to a node of \p next. O(V_i + E_i + |pairs|·log V).
   void append(const ScheduledDag& next, const std::vector<MergePair>& pairs);
 
   /// As append, merging all current sinks with all of next's sources in
@@ -47,35 +64,57 @@ class LinearCompositionBuilder {
   void appendFullMerge(const ScheduledDag& next);
 
   /// Number of constituents appended so far (including the first).
-  [[nodiscard]] std::size_t numConstituents() const { return constituents_.size(); }
+  [[nodiscard]] std::size_t numConstituents() const { return constituentOrders_.size(); }
 
   /// Current composite ids of constituent \p i's nodes, indexed by the
-  /// constituent's own node ids. Stays valid (is remapped) across appends.
+  /// constituent's own node ids. Stays valid across appends (ids are stable,
+  /// so no remapping ever happens).
   [[nodiscard]] const std::vector<NodeId>& constituentNodeMap(std::size_t i) const {
     return nodeMaps_.at(i);
   }
 
   /// True iff G_i ▷ G_{i+1} for every adjacent pair of constituents, using
-  /// the constituents' own schedules. O(sum n_i^2) via cached profiles.
+  /// the constituents' own schedules and cached profiles (fast ▷-checks).
   [[nodiscard]] bool verifyPriorityChain() const;
 
   /// The current composite dag (valid at any point during construction).
-  [[nodiscard]] const Dag& dag() const { return dag_; }
+  /// Freezes the accumulated builder lazily and memoizes the result until
+  /// the next append.
+  [[nodiscard]] const Dag& dag() const;
 
   /// Finalizes: returns the composite dag together with the Theorem 2.1
   /// schedule (constituent nonsinks in Σ_i order, then all sinks).
   [[nodiscard]] ScheduledDag build() const;
 
+  /// Instrumentation for the O(k) regression test: total number of node-id
+  /// entries written into the constituent order/map records so far. Each
+  /// append adds exactly V_i + numNonsinks_i, independent of how many
+  /// constituents came before it.
+  [[nodiscard]] std::size_t constituentWriteCount() const { return constituentWrites_; }
+
+  /// Instrumentation: node-id entries rewritten in *previously recorded*
+  /// orders/maps (the old implementation's per-append history remap). The
+  /// stable-id builder never remaps, so this is always 0; the regression
+  /// test pins that.
+  [[nodiscard]] std::size_t historyRemapCount() const { return historyRemaps_; }
+
  private:
-  Dag dag_;
-  /// For each constituent i: its nodes' ids in the current composite, in
-  /// the order mandated by Σ_i (full order; nonsinks filtered at build()).
+  /// The composite accumulated across appends; frozen lazily by dag().
+  DagBuilder builder_;
+  /// Current composite sinks, kept sorted; updated incrementally per append
+  /// (merged sinks that gain children leave, images of next's sinks enter).
+  std::set<NodeId> sinkSet_;
+  /// For each constituent i: its nodes' ids in the composite, in the order
+  /// mandated by Σ_i, nonsinks only (exactly what build() emits in phase i).
   std::vector<std::vector<NodeId>> constituentOrders_;
   /// Nonsink eligibility profiles of the constituents, for the ▷ check.
   std::vector<std::vector<std::size_t>> profiles_;
-  std::vector<ScheduledDag> constituents_;
   /// nodeMaps_[i][v] = composite id of constituent i's node v.
   std::vector<std::vector<NodeId>> nodeMaps_;
+  /// Memoized freeze of builder_; reset on every append.
+  mutable std::optional<Dag> frozen_;
+  std::size_t constituentWrites_ = 0;
+  std::size_t historyRemaps_ = 0;
 };
 
 /// One-shot convenience: composes the chain via full sink/source merges and

@@ -1,11 +1,21 @@
 #include "core/priority.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace icsched {
 
-bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<std::size_t>& e2) {
+const std::vector<std::size_t>& ScheduledDag::nonsinkProfile() const {
+  if (!profileCache_) profileCache_ = std::make_shared<ProfileCache>();
+  ProfileCache& cache = *profileCache_;
+  std::call_once(cache.once,
+                 [&] { cache.profile = nonsinkEligibilityProfile(dag, schedule); });
+  return cache.profile;
+}
+
+bool hasPriorityProfilesReference(const std::vector<std::size_t>& e1,
+                                  const std::vector<std::size_t>& e2) {
   if (e1.empty() || e2.empty()) {
     throw std::invalid_argument("hasPriorityProfiles: profiles must include x = 0");
   }
@@ -22,36 +32,207 @@ bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<s
   return true;
 }
 
+bool isConcaveProfile(const std::vector<std::size_t>& e) {
+  // Nonincreasing first differences: e[i] - e[i-1] <= e[i-1] - e[i-2],
+  // rearranged into additions so size_t never underflows.
+  for (std::size_t i = 2; i < e.size(); ++i)
+    if (e[i] + e[i - 2] > 2 * e[i - 1]) return false;
+  return true;
+}
+
+namespace {
+
+/// Greedy split of budget t across the two profiles: all of it on e1 first.
+/// This is the RHS of (2.1) for every (x, y) with x + y = t.
+inline std::size_t greedySplit(const std::vector<std::size_t>& e1,
+                               const std::vector<std::size_t>& e2, std::size_t n1,
+                               std::size_t t) {
+  const std::size_t xp = std::min(n1, t);
+  return e1[xp] + e2[t - xp];
+}
+
+/// Concave fast path: with both profiles concave, the anti-diagonal maximum
+/// M(t) = max_{x+y=t} e1[x]+e2[y] is the (max,+) convolution, computed
+/// exactly by merging the two nonincreasing difference sequences in
+/// nonincreasing order and prefix-summing -- O(n1+n2) total. ▷ holds iff
+/// M(t) <= g(t) for every t (and since the greedy split is itself a point on
+/// the diagonal, equality is the passing case).
+bool hasPriorityConcave(const std::vector<std::size_t>& e1,
+                        const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  long long running = static_cast<long long>(e1[0]) + static_cast<long long>(e2[0]);
+  std::size_t i = 0;  // next unused difference of e1: e1[i+1] - e1[i]
+  std::size_t j = 0;  // next unused difference of e2
+  for (std::size_t t = 1; t <= n1 + n2; ++t) {
+    long long step;
+    const bool canI = i < n1;
+    const bool canJ = j < n2;
+    const long long di =
+        canI ? static_cast<long long>(e1[i + 1]) - static_cast<long long>(e1[i]) : 0;
+    const long long dj =
+        canJ ? static_cast<long long>(e2[j + 1]) - static_cast<long long>(e2[j]) : 0;
+    if (canI && (!canJ || di >= dj)) {
+      step = di;
+      ++i;
+    } else {
+      step = dj;
+      ++j;
+    }
+    running += step;
+    if (running > static_cast<long long>(greedySplit(e1, e2, n1, t))) return false;
+  }
+  return true;
+}
+
+/// Sliding-window maximum over a profile, for windows whose endpoints are
+/// both nondecreasing: a monotone deque of indices (front = current max).
+/// Amortized O(1) per advance; O(n) storage reused across the whole scan.
+class WindowMax {
+ public:
+  explicit WindowMax(const std::vector<std::size_t>& e) : e_(e) { buf_.reserve(e.size()); }
+
+  /// Extends the window's right edge to include index \p hi.
+  void pushUpTo(std::size_t hi) {
+    while (next_ <= hi) {
+      while (head_ < buf_.size() && e_[buf_.back()] <= e_[next_]) buf_.pop_back();
+      buf_.push_back(next_);
+      ++next_;
+    }
+  }
+
+  /// Advances the window's left edge to \p lo (drops smaller indices).
+  void dropBelow(std::size_t lo) {
+    while (head_ < buf_.size() && buf_[head_] < lo) ++head_;
+  }
+
+  [[nodiscard]] std::size_t max() const { return e_[buf_[head_]]; }
+
+ private:
+  const std::vector<std::size_t>& e_;
+  std::vector<std::size_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t next_ = 0;
+};
+
+/// General fallback: pruned anti-diagonal scan. For each total budget
+/// t = x + y, the window of feasible x is [max(0, t-n2), min(n1, t)] and of
+/// y is [max(0, t-n1), min(n2, t)]; both endpoints are nondecreasing in t,
+/// so two monotone deques yield windowMax(e1) and windowMax(e2) in O(1)
+/// amortized. windowMax1 + windowMax2 bounds the diagonal's true maximum
+/// from above: when the bound already fits under the greedy split the whole
+/// diagonal is skipped, otherwise the diagonal is scanned with an early exit
+/// on the first violation. Worst case O(n1·n2) like the reference, but the
+/// scan only runs on diagonals that are genuinely close to violating (2.1).
+bool hasPriorityPrunedScan(const std::vector<std::size_t>& e1,
+                           const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  WindowMax w1(e1);
+  WindowMax w2(e2);
+  for (std::size_t t = 0; t <= n1 + n2; ++t) {
+    const std::size_t xLo = t > n2 ? t - n2 : 0;
+    const std::size_t xHi = std::min(n1, t);
+    const std::size_t yLo = t > n1 ? t - n1 : 0;
+    const std::size_t yHi = std::min(n2, t);
+    w1.pushUpTo(xHi);
+    w1.dropBelow(xLo);
+    w2.pushUpTo(yHi);
+    w2.dropBelow(yLo);
+    const std::size_t g = greedySplit(e1, e2, n1, t);
+    if (w1.max() + w2.max() <= g) continue;
+    for (std::size_t x = xLo; x <= xHi; ++x)
+      if (e1[x] + e2[t - x] > g) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<std::size_t>& e2) {
+  if (e1.empty() || e2.empty()) {
+    throw std::invalid_argument("hasPriorityProfiles: profiles must include x = 0");
+  }
+  if (isConcaveProfile(e1) && isConcaveProfile(e2)) return hasPriorityConcave(e1, e2);
+  return hasPriorityPrunedScan(e1, e2);
+}
+
 bool hasPriority(const ScheduledDag& g1, const ScheduledDag& g2) {
   return hasPriorityProfiles(g1.nonsinkProfile(), g2.nonsinkProfile());
 }
 
 bool isPriorityChain(const std::vector<ScheduledDag>& gs) {
-  std::vector<std::vector<std::size_t>> profiles;
+  std::vector<const std::vector<std::size_t>*> profiles;
   profiles.reserve(gs.size());
-  for (const ScheduledDag& g : gs) profiles.push_back(g.nonsinkProfile());
+  for (const ScheduledDag& g : gs) profiles.push_back(&g.nonsinkProfile());
   for (std::size_t i = 0; i + 1 < profiles.size(); ++i)
-    if (!hasPriorityProfiles(profiles[i], profiles[i + 1])) return false;
+    if (!hasPriorityProfiles(*profiles[i], *profiles[i + 1])) return false;
   return true;
 }
 
 std::vector<std::vector<bool>> priorityMatrix(const std::vector<ScheduledDag>& gs) {
-  std::vector<std::vector<std::size_t>> profiles;
+  std::vector<const std::vector<std::size_t>*> profiles;
   profiles.reserve(gs.size());
-  for (const ScheduledDag& g : gs) profiles.push_back(g.nonsinkProfile());
+  for (const ScheduledDag& g : gs) profiles.push_back(&g.nonsinkProfile());
   std::vector<std::vector<bool>> m(gs.size(), std::vector<bool>(gs.size(), false));
   for (std::size_t i = 0; i < gs.size(); ++i)
     for (std::size_t j = 0; j < gs.size(); ++j)
-      m[i][j] = hasPriorityProfiles(profiles[i], profiles[j]);
+      m[i][j] = hasPriorityProfiles(*profiles[i], *profiles[j]);
   return m;
 }
+
+namespace {
+
+/// Greedy ▷-ordering for large registries: insert each constituent at the
+/// first chain position whose two new adjacencies both satisfy ▷ (the
+/// classical tournament Hamiltonian-path insertion -- an admissible position
+/// always exists when every pair is ▷-comparable in at least one direction).
+/// The chain's internal adjacencies are untouched by an insertion, so only
+/// the two new edges need checking per candidate position.
+std::optional<std::vector<std::size_t>> greedyPriorityOrder(
+    const std::vector<ScheduledDag>& gs,
+    const std::vector<const std::vector<std::size_t>*>& profiles) {
+  std::vector<std::size_t> chain;
+  chain.reserve(gs.size());
+  chain.push_back(0);
+  for (std::size_t i = 1; i < gs.size(); ++i) {
+    bool inserted = false;
+    for (std::size_t pos = 0; pos <= chain.size(); ++pos) {
+      const bool okPrev =
+          pos == 0 || hasPriorityProfiles(*profiles[chain[pos - 1]], *profiles[i]);
+      const bool okNext =
+          pos == chain.size() || hasPriorityProfiles(*profiles[i], *profiles[chain[pos]]);
+      if (okPrev && okNext) {
+        chain.insert(chain.begin() + static_cast<std::ptrdiff_t>(pos), i);
+        inserted = true;
+        break;
+      }
+    }
+    if (!inserted) return std::nullopt;
+  }
+  return chain;
+}
+
+}  // namespace
 
 std::optional<std::vector<std::size_t>> findPriorityLinearOrder(
     const std::vector<ScheduledDag>& gs) {
   const std::size_t n = gs.size();
   if (n == 0) return std::vector<std::size_t>{};
   if (n > 20) {
-    throw std::invalid_argument("findPriorityLinearOrder: too many constituents (> 20)");
+    std::vector<const std::vector<std::size_t>*> profiles;
+    profiles.reserve(n);
+    for (const ScheduledDag& g : gs) profiles.push_back(&g.nonsinkProfile());
+    std::optional<std::vector<std::size_t>> order = greedyPriorityOrder(gs, profiles);
+    if (!order) return std::nullopt;
+    // Re-verify the whole chain through the public predicate before
+    // returning it. The copies share the memoized profile caches, so this
+    // costs k-1 fast ▷-checks, not k profile replays.
+    std::vector<ScheduledDag> permuted;
+    permuted.reserve(n);
+    for (std::size_t idx : *order) permuted.push_back(gs[idx]);
+    if (!isPriorityChain(permuted)) return std::nullopt;
+    return order;
   }
   const std::vector<std::vector<bool>> m = priorityMatrix(gs);
   // Hamiltonian-path DP over the ▷ digraph: reach[mask][last] = a path

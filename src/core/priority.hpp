@@ -16,7 +16,30 @@
 /// two dags, shifting as much of the budget as possible onto G1 never
 /// decreases the total ELIGIBLE count -- "one never decreases IC quality by
 /// executing a nonsink of G1 whenever possible".
+///
+/// ## The anti-diagonal reduction (synthesis fast path)
+///
+/// The right-hand side of (2.1) depends on (x, y) only through the total
+/// budget t = x + y: it is the value of the *greedy split* g(t) =
+/// E1(min(n1,t)) + E2(t - min(n1,t)). So (2.1) is equivalent to
+///
+///   for all t in [0, n1+n2]:   M(t) <= g(t),
+///   where M(t) = max over x+y=t of E1(x) + E2(y)
+///
+/// -- the per-anti-diagonal maximum of the sum never exceeds the greedy
+/// split. When both profiles are concave (nonincreasing first differences,
+/// checked in O(n)), M is their (max,+) convolution and is computed exactly
+/// in O(n1+n2) by merging the two nonincreasing difference sequences in
+/// nonincreasing order and prefix-summing. Otherwise a pruned anti-diagonal
+/// scan is used: sliding-window maxima of E1 and E2 bound each diagonal in
+/// O(1), whole diagonals that cannot violate (2.1) are skipped, and a
+/// violating diagonal exits early. Both paths return verdicts identical to
+/// the quadratic reference (kept as hasPriorityProfilesReference and
+/// property-fuzzed against the fast path in tests/test_synthesis.cpp).
 
+#include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -28,14 +51,30 @@ namespace icsched {
 
 /// A dag bundled with an IC-optimal, nonsinks-first schedule for it. The
 /// theory's composition tools consume and produce this pairing.
+///
+/// The nonsink eligibility profile E(x) is memoized: the schedule is
+/// replayed at most once per ScheduledDag, and every later caller
+/// (hasPriority, isPriorityChain, priorityMatrix, LinearCompositionBuilder)
+/// reads the cached vector. Copies made after the first call share the
+/// cache. The *first* call allocates the cache and is not synchronized:
+/// compute the profile once (or call profile-consuming APIs once) before
+/// handing the same object to multiple threads; concurrent reads after that
+/// are race-free (guarded by std::call_once, as in Dag's structure cache).
 struct ScheduledDag {
   Dag dag;
   Schedule schedule;
 
-  /// E(x) for x = 0..numNonsinks (see file comment).
-  [[nodiscard]] std::vector<std::size_t> nonsinkProfile() const {
-    return nonsinkEligibilityProfile(dag, schedule);
-  }
+  /// E(x) for x = 0..numNonsinks (see file comment). Memoized; returns a
+  /// reference valid as long as any cache-sharing copy is alive.
+  [[nodiscard]] const std::vector<std::size_t>& nonsinkProfile() const;
+
+  /// Memoization storage; public only because ScheduledDag stays an
+  /// aggregate. Do not touch directly.
+  struct ProfileCache {
+    std::once_flag once;
+    std::vector<std::size_t> profile;
+  };
+  mutable std::shared_ptr<ProfileCache> profileCache_{};
 };
 
 /// True iff G1 ▷ G2 per inequality (2.1), given IC-optimal nonsinks-first
@@ -46,22 +85,47 @@ struct ScheduledDag {
 
 /// As hasPriority, operating directly on precomputed nonsink profiles
 /// (result[x] = E(x), x = 0..n). Exposed for tests and for the duality
-/// theorem's proof-by-computation.
+/// theorem's proof-by-computation. Uses the anti-diagonal fast path:
+/// O(n1+n2) when both profiles are concave, pruned early-exit scan
+/// otherwise; verdict always identical to hasPriorityProfilesReference.
 [[nodiscard]] bool hasPriorityProfiles(const std::vector<std::size_t>& e1,
                                        const std::vector<std::size_t>& e2);
+
+/// The original O(n1·n2) all-pairs check of (2.1), kept as the correctness
+/// reference for the fast path (bench_synthesis and the property-fuzz tests
+/// compare every verdict against it).
+[[nodiscard]] bool hasPriorityProfilesReference(const std::vector<std::size_t>& e1,
+                                                const std::vector<std::size_t>& e2);
+
+/// True iff \p e has nonincreasing first differences
+/// (e[i+1]-e[i] <= e[i]-e[i-1] for all interior i). Profiles of length <= 2
+/// are vacuously concave. This is the O(n) precondition for the
+/// concave-merge ▷ fast path.
+[[nodiscard]] bool isConcaveProfile(const std::vector<std::size_t>& e);
 
 /// True iff the whole chain gs[0] ▷ gs[1] ▷ ... ▷ gs[k-1] holds, i.e. the
 /// list is ▷-linear in the order given (condition (b) of Section 2.3.1).
 [[nodiscard]] bool isPriorityChain(const std::vector<ScheduledDag>& gs);
 
-/// The pairwise ▷ matrix: result[i][j] == (gs[i] ▷ gs[j]).
+/// The pairwise ▷ matrix: result[i][j] == (gs[i] ▷ gs[j]). Profiles are
+/// computed (and memoized) once per constituent; each of the k² cells is a
+/// fast ▷-check. For large registries, exec/parallel_priority.hpp runs the
+/// cells on a thread pool with byte-identical output.
 [[nodiscard]] std::vector<std::vector<bool>> priorityMatrix(const std::vector<ScheduledDag>& gs);
 
 /// The ordering step of the [21] scheduling algorithm: permute the
 /// constituents so that each has ▷-priority over the next. Returns the
 /// permutation (indices into \p gs), or std::nullopt when no ▷-linear order
-/// exists (▷ is not total). Exact (Hamiltonian-path DP over the ▷ digraph);
-/// intended for constituent lists of <= ~20 dags.
+/// is found.
+///
+/// For <= 20 constituents the search is exact (Hamiltonian-path DP over the
+/// ▷ digraph): std::nullopt means no ▷-linear order exists. Beyond 20 a
+/// greedy insertion pass is used (each constituent is inserted at the first
+/// chain position whose two new adjacencies satisfy ▷ -- the tournament
+/// Hamiltonian-path construction, complete when ▷ holds in at least one
+/// direction for every pair); the result is re-verified pairwise before
+/// being returned, and std::nullopt then only means the greedy pass failed,
+/// not that no order exists.
 [[nodiscard]] std::optional<std::vector<std::size_t>> findPriorityLinearOrder(
     const std::vector<ScheduledDag>& gs);
 

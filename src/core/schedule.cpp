@@ -38,6 +38,40 @@ void Schedule::validate(const Dag& g) const {
   if (!err.empty()) throw std::invalid_argument("Schedule: " + err);
 }
 
+void Schedule::validateNonsinksFirst(const Dag& g, const char* what) const {
+  if (order_.size() != g.numNodes()) {
+    throw std::invalid_argument("Schedule: schedule has " + std::to_string(order_.size()) +
+                                " entries but dag has " + std::to_string(g.numNodes()) +
+                                " nodes");
+  }
+  std::vector<bool> executed(g.numNodes(), false);
+  bool sawSink = false;
+  for (std::size_t step = 0; step < order_.size(); ++step) {
+    const NodeId v = order_[step];
+    if (v >= g.numNodes()) {
+      throw std::invalid_argument("Schedule: node id " + std::to_string(v) + " out of range");
+    }
+    if (executed[v]) {
+      throw std::invalid_argument("Schedule: node " + std::to_string(v) + " executed twice");
+    }
+    for (NodeId p : g.parents(v)) {
+      if (!executed[p]) {
+        throw std::invalid_argument("Schedule: node " + std::to_string(v) +
+                                    " executed at step " + std::to_string(step) +
+                                    " before its parent " + std::to_string(p) +
+                                    " (not ELIGIBLE)");
+      }
+    }
+    if (g.isSink(v)) {
+      sawSink = true;
+    } else if (sawSink) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": schedule must execute nonsinks before sinks");
+    }
+    executed[v] = true;
+  }
+}
+
 bool Schedule::executesNonsinksFirst(const Dag& g) const {
   bool sawSink = false;
   for (NodeId v : order_) {

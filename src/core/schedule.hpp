@@ -36,6 +36,14 @@ class Schedule {
   /// \throws std::invalid_argument (with a diagnostic) when !isValidFor(g).
   void validate(const Dag& g) const;
 
+  /// Single-pass combination of validate() + the nonsinks-first check used
+  /// on every profile computation: one walk verifies the permutation, the
+  /// eligibility of each step, and that no nonsink follows a sink.
+  /// \throws std::invalid_argument on the first property that fails (same
+  ///         diagnostics as validate(); the nonsinks-first failure uses the
+  ///         caller-supplied \p what prefix).
+  void validateNonsinksFirst(const Dag& g, const char* what) const;
+
   /// True if the schedule executes every nonsink of \p g before any sink.
   /// The theory's tools (Theorem 2.1, the priority relation, duality) all
   /// assume this normal form; every IC-optimal schedule can be put in it.

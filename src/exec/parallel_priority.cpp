@@ -1,0 +1,33 @@
+#include "exec/parallel_priority.hpp"
+
+namespace icsched {
+
+std::vector<std::vector<bool>> priorityMatrixParallel(const std::vector<ScheduledDag>& gs,
+                                                      ThreadPool& pool) {
+  const std::size_t k = gs.size();
+  // Profiles are filled (and memoized) serially before fan-out; workers
+  // only read them. This keeps the lazy cache allocation single-threaded.
+  std::vector<const std::vector<std::size_t>*> profiles;
+  profiles.reserve(k);
+  for (const ScheduledDag& g : gs) profiles.push_back(&g.nonsinkProfile());
+  std::vector<std::vector<bool>> m(k, std::vector<bool>(k, false));
+  for (std::size_t i = 0; i < k; ++i) {
+    pool.submit([i, k, &profiles, &m] {
+      // Each task owns row i exclusively; the row vector was sized before
+      // submission, so no two tasks touch the same allocation.
+      std::vector<bool>& row = m[i];
+      for (std::size_t j = 0; j < k; ++j)
+        row[j] = hasPriorityProfiles(*profiles[i], *profiles[j]);
+    });
+  }
+  pool.waitIdle();
+  return m;
+}
+
+std::vector<std::vector<bool>> priorityMatrixParallel(const std::vector<ScheduledDag>& gs,
+                                                      std::size_t threads) {
+  ThreadPool pool(threads);
+  return priorityMatrixParallel(gs, pool);
+}
+
+}  // namespace icsched

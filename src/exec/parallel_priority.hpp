@@ -1,0 +1,34 @@
+#pragma once
+/// \file parallel_priority.hpp
+/// \brief Thread-pool-parallel ▷ matrix for large constituent registries.
+///
+/// priorityMatrix() in core is a serial k² sweep of fast ▷-checks. For
+/// registries large enough that even the fast checks add up, this variant
+/// fans the k rows out over an exec::ThreadPool. The constituent profiles
+/// are computed (and memoized into each ScheduledDag) serially on the
+/// calling thread before any task is submitted -- the workers only *read*
+/// the cached vectors, so no synchronization beyond the pool's own
+/// waitIdle() is needed -- and each row is written into a pre-sized slot,
+/// making the output byte-identical to the serial matrix for any thread
+/// count.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace icsched {
+
+/// Parallel equivalent of priorityMatrix(): result[i][j] == (gs[i] ▷ gs[j]).
+/// One task per row on \p pool; blocks until the matrix is complete.
+/// Identical output to the serial version for every thread count.
+[[nodiscard]] std::vector<std::vector<bool>> priorityMatrixParallel(
+    const std::vector<ScheduledDag>& gs, ThreadPool& pool);
+
+/// Convenience overload owning a transient pool of \p threads workers
+/// (0 maps to hardware_concurrency).
+[[nodiscard]] std::vector<std::vector<bool>> priorityMatrixParallel(
+    const std::vector<ScheduledDag>& gs, std::size_t threads = 0);
+
+}  // namespace icsched

@@ -20,10 +20,19 @@ std::size_t log2Exact(std::size_t n, const char* what) {
 
 }  // namespace
 
-DltDag dltPrefixDag(std::size_t n) {
+std::vector<ScheduledDag> dltPrefixChain(std::size_t n) {
   const std::size_t p = log2Exact(n, "dltPrefixDag");
-  LinearCompositionBuilder b(prefixDag(n));
-  b.appendFullMerge(completeInTree(2, p));
+  std::vector<ScheduledDag> chain;
+  chain.reserve(2);
+  chain.push_back(prefixDag(n));
+  chain.push_back(completeInTree(2, p));
+  return chain;
+}
+
+DltDag dltPrefixDag(std::size_t n) {
+  std::vector<ScheduledDag> chain = dltPrefixChain(n);
+  LinearCompositionBuilder b(chain[0]);
+  b.appendFullMerge(chain[1]);
   DltDag d;
   d.generatorMap = b.constituentNodeMap(0);
   d.inTreeMap = b.constituentNodeMap(1);

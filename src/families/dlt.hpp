@@ -34,6 +34,13 @@ struct DltDag {
 /// \throws std::invalid_argument unless n is a power of 2, n >= 2.
 [[nodiscard]] DltDag dltPrefixDag(std::size_t n);
 
+/// The constituent list of dltPrefixDag: {P_n, T_n} in chain order. Exposed
+/// so benchmarks and tests can drive alternative chain builders over the
+/// same family (the two constituents are large, exercising the ▷-check on
+/// long profiles rather than long chains).
+/// \throws std::invalid_argument unless n is a power of 2, n >= 2.
+[[nodiscard]] std::vector<ScheduledDag> dltPrefixChain(std::size_t n);
+
 /// A ternary out-tree with exactly \p leaves leaves built from 3-prong Vee
 /// dags, expanded breadth-first (leaves must be odd: expansions add 2).
 [[nodiscard]] ScheduledDag ternaryOutTree(std::size_t leaves);

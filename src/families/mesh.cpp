@@ -32,11 +32,16 @@ ScheduledDag outMesh(std::size_t diagonals) {
 
 ScheduledDag inMesh(std::size_t diagonals) { return dualScheduledDag(outMesh(diagonals)); }
 
-ScheduledDag outMeshFromWDags(std::size_t diagonals) {
+std::vector<ScheduledDag> meshWDagChain(std::size_t diagonals) {
   if (diagonals < 2) throw std::invalid_argument("outMeshFromWDags: need >= 2 diagonals");
-  LinearCompositionBuilder b(wdag(1));
-  for (std::size_t s = 2; s + 1 <= diagonals; ++s) b.appendFullMerge(wdag(s));
-  return b.build();
+  std::vector<ScheduledDag> chain;
+  chain.reserve(diagonals - 1);
+  for (std::size_t s = 1; s + 1 <= diagonals; ++s) chain.push_back(wdag(s));
+  return chain;
+}
+
+ScheduledDag outMeshFromWDags(std::size_t diagonals) {
+  return linearCompositionFullMerge(meshWDagChain(diagonals));
 }
 
 }  // namespace icsched

@@ -40,4 +40,10 @@ namespace icsched {
 /// \throws std::invalid_argument if diagonals < 2.
 [[nodiscard]] ScheduledDag outMeshFromWDags(std::size_t diagonals);
 
+/// The constituent list of outMeshFromWDags: {W_1, W_2, ..., W_{diagonals-1}}
+/// with their IC-optimal schedules, in chain order. Exposed so benchmarks
+/// and tests can drive alternative chain builders over the same family.
+/// \throws std::invalid_argument if diagonals < 2.
+[[nodiscard]] std::vector<ScheduledDag> meshWDagChain(std::size_t diagonals);
+
 }  // namespace icsched

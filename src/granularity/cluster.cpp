@@ -1,8 +1,9 @@
 #include "granularity/cluster.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace icsched {
 
@@ -23,25 +24,33 @@ Clustering clusterDag(const Dag& g, const std::vector<std::uint32_t>& assignment
     }
   }
 
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> weight;
-  std::size_t cross = 0;
+  // Sort-based aggregation of the cross arcs: one flat vector, one sort,
+  // one run-length pass -- replacing the per-arc std::map insertions and
+  // the per-quotient-arc map lookups. The sorted (from, to) order is the
+  // same order the map iterated in, so the quotient's arc insertion order
+  // (and hence arcWeight alignment with quotient.arcs()) is unchanged.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> crossPairs;
   for (NodeId u = 0; u < g.numNodes(); ++u) {
+    const std::uint32_t cu = assignment[u];
     for (NodeId v : g.children(u)) {
-      const std::uint32_t cu = assignment[u];
       const std::uint32_t cv = assignment[v];
-      if (cu == cv) continue;
-      ++weight[{cu, cv}];
-      ++cross;
+      if (cu != cv) crossPairs.emplace_back(cu, cv);
     }
   }
+  const std::size_t cross = crossPairs.size();
+  std::sort(crossPairs.begin(), crossPairs.end());
 
   Clustering out;
   out.assignment = assignment;
   out.clusterSize = std::move(size);
   out.crossArcs = cross;
   DagBuilder quotient(numClusters);
-  for (const auto& [arc, w] : weight) {
-    quotient.addArc(arc.first, arc.second);
+  for (std::size_t i = 0; i < crossPairs.size();) {
+    std::size_t j = i;
+    while (j < crossPairs.size() && crossPairs[j] == crossPairs[i]) ++j;
+    quotient.addArc(crossPairs[i].first, crossPairs[i].second);
+    out.arcWeight.push_back(j - i);
+    i = j;
   }
   // Admissibility must be rejected *before* freeze(): an inadmissible
   // clustering yields a cyclic quotient, which a frozen Dag cannot hold.
@@ -51,12 +60,6 @@ Clustering clusterDag(const Dag& g, const std::vector<std::uint32_t>& assignment
         "cluster is not convex)");
   }
   out.quotient = quotient.freeze();
-  // quotient.arcs() enumerates by (from, insertion order); std::map iterates
-  // by (from, to), which matches insertion order above.
-  out.arcWeight.reserve(weight.size());
-  for (const Arc& a : out.quotient.arcs()) {
-    out.arcWeight.push_back(weight.at({a.from, a.to}));
-  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "core/building_blocks.hpp"
 #include "core/eligibility.hpp"
 #include "core/optimality.hpp"
+#include "core/priority.hpp"
 #include "families/butterfly.hpp"
 #include "families/diamond.hpp"
 #include "families/dlt.hpp"
@@ -102,6 +103,42 @@ int cmdSchedule(const std::vector<std::string>& args, std::istream& in, std::ost
 int cmdDot(std::istream& in, std::ostream& out) {
   out << readDag(in).toDot();
   return 0;
+}
+
+/// `chain`: reads (dag, schedule) pairs until EOF and checks whether the
+/// list is ▷-linear in the given order (exit 0/2). `chain find` instead
+/// searches for a ▷-linear permutation -- exact for <= 20 constituents,
+/// greedy-with-verification beyond -- and prints it (exit 2 when none is
+/// found).
+int cmdChain(const std::vector<std::string>& args, std::istream& in, std::ostream& out) {
+  const bool find = !args.empty() && args[0] == "find";
+  if (!args.empty() && !find) {
+    throw std::invalid_argument("chain: unknown mode '" + args[0] + "' (expected 'find')");
+  }
+  std::vector<ScheduledDag> gs;
+  while (true) {
+    in >> std::ws;
+    if (!in.good() || in.peek() == std::char_traits<char>::eof()) break;
+    Dag g = readDag(in);
+    Schedule s = readSchedule(in);
+    s.validate(g);
+    gs.push_back({std::move(g), std::move(s)});
+  }
+  if (gs.empty()) throw std::invalid_argument("chain: no (dag, schedule) pairs on input");
+  if (find) {
+    const std::optional<std::vector<std::size_t>> order = findPriorityLinearOrder(gs);
+    if (!order) {
+      out << "no priority-linear order\n";
+      return 2;
+    }
+    out << "order";
+    for (std::size_t i : *order) out << " " << i;
+    out << "\n";
+    return 0;
+  }
+  const bool ok = isPriorityChain(gs);
+  out << (ok ? "PRIORITY-CHAIN" : "NOT-A-PRIORITY-CHAIN") << "\n";
+  return ok ? 0 : 2;
 }
 
 double parseDouble(const std::string& s, const char* what) {
@@ -275,7 +312,7 @@ int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream&
            std::ostream& err) {
   try {
     if (args.empty()) {
-      err << "usage: icsched <gen|profile|verify|schedule|dot|simulate> [args...]\n";
+      err << "usage: icsched <gen|profile|verify|schedule|chain|dot|simulate> [args...]\n";
       return 64;
     }
     const std::string& cmd = args[0];
@@ -284,6 +321,7 @@ int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream&
     if (cmd == "profile") return cmdProfile(in, out);
     if (cmd == "verify") return cmdVerify(in, out);
     if (cmd == "schedule") return cmdSchedule(rest, in, out);
+    if (cmd == "chain") return cmdChain(rest, in, out);
     if (cmd == "dot") return cmdDot(in, out);
     if (cmd == "simulate") return cmdSimulate(rest, in, out);
     err << "icsched: unknown command '" << cmd << "'\n";

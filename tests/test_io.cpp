@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/building_blocks.hpp"
 #include "families/matmul_dag.hpp"
 #include "families/mesh.hpp"
 #include "io/cli.hpp"
@@ -282,6 +283,48 @@ TEST(CliTest, SimulateRejectsMalformedFaultFlags) {
   // Invalid values surface the config's field-specific message.
   EXPECT_EQ(cli({"simulate", "2", "IC-OPT", "1", "straggler=1.5"}, text, &out, &err), 1);
   EXPECT_NE(err.find("stragglerProbability"), std::string::npos);
+}
+
+std::string scheduledText(const ScheduledDag& g) {
+  return dagToString(g.dag) + scheduleToString(g.schedule);
+}
+
+TEST(CliTest, ChainVerdictsAndExitCodes) {
+  // V ▷ Λ holds (Section 2), so [vee, lambda] is a priority chain and the
+  // reversed order is not.
+  const std::string v = scheduledText(vee(3));
+  const std::string l = scheduledText(lambda(3));
+  std::string out;
+  EXPECT_EQ(cli({"chain"}, v + l, &out), 0);
+  EXPECT_EQ(out, "PRIORITY-CHAIN\n");
+  EXPECT_EQ(cli({"chain"}, l + v, &out), 2);
+  EXPECT_EQ(out, "NOT-A-PRIORITY-CHAIN\n");
+}
+
+TEST(CliTest, ChainFindReordersAndReportsFailure) {
+  // Given [lambda, vee], the only ▷-linear order is vee first: "order 1 0".
+  const std::string v = scheduledText(vee(3));
+  const std::string l = scheduledText(lambda(3));
+  std::string out;
+  EXPECT_EQ(cli({"chain", "find"}, l + v, &out), 0);
+  EXPECT_EQ(out, "order 1 0\n");
+  // A mutually ▷-incomparable pair admits no order: profile [2,1,5] (two
+  // sources feeding a shared sink, the second fanning out to four more)
+  // against vee(4)'s [1,4] -- each one's jump exceeds the other's greedy
+  // split (pinned in test_synthesis.cpp).
+  const std::string hump =
+      "dag 7\narc 0 2\narc 1 2\narc 1 3\narc 1 4\narc 1 5\narc 1 6\nend\n"
+      "schedule 0 1 2 3 4 5 6\n";
+  EXPECT_EQ(cli({"chain", "find"}, hump + scheduledText(vee(4)), &out), 2);
+  EXPECT_EQ(out, "no priority-linear order\n");
+}
+
+TEST(CliTest, ChainRejectsBadInvocations) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"chain"}, "", &out, &err), 1);           // no pairs on input
+  EXPECT_EQ(cli({"chain", "frobnicate"}, "", &out, &err), 1);
+  EXPECT_NE(err.find("expected 'find'"), std::string::npos);
 }
 
 TEST(CliTest, ErrorsGoToStderrWithExitCodes) {

@@ -1,0 +1,320 @@
+/// \file test_synthesis.cpp
+/// \brief Schedule-synthesis fast path: the anti-diagonal ▷-check against
+/// the quadratic reference (random fuzz + every registered family), the
+/// stable-id LinearCompositionBuilder's O(k) work guarantee, the >20
+/// greedy findPriorityLinearOrder fallback, profile memoization, and the
+/// thread-pool priorityMatrix. Suites are named Synthesis* so CI can run
+/// them under sanitizers with --gtest_filter='Synthesis*'.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/building_blocks.hpp"
+#include "core/eligibility.hpp"
+#include "core/linear_composition.hpp"
+#include "core/priority.hpp"
+#include "exec/parallel_priority.hpp"
+#include "families/mesh.hpp"
+#include "family_registry.hpp"
+
+namespace icsched {
+namespace {
+
+// ---------- deterministic randomness (no std::random in tests) ----------
+
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+  std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+};
+
+std::vector<std::size_t> randomProfile(Lcg& rng, std::size_t maxLen, std::size_t maxVal) {
+  const std::size_t len = 1 + rng.below(maxLen);
+  std::vector<std::size_t> e(len);
+  for (std::size_t& v : e) v = rng.below(maxVal + 1);
+  return e;
+}
+
+std::vector<std::size_t> randomConcaveProfile(Lcg& rng, std::size_t maxLen) {
+  const std::size_t len = 1 + rng.below(maxLen);
+  std::vector<std::size_t> e(len);
+  long long cur = static_cast<long long>(rng.below(16)) + static_cast<long long>(len);
+  long long diff = static_cast<long long>(rng.below(4));
+  e[0] = static_cast<std::size_t>(cur);
+  for (std::size_t i = 1; i < len; ++i) {
+    cur = std::max<long long>(0, cur + diff);
+    e[i] = static_cast<std::size_t>(cur);
+    if (rng.below(3) == 0 && diff > -6) --diff;
+  }
+  return e;
+}
+
+std::vector<std::size_t> monotoneProfile(Lcg& rng, std::size_t maxLen, bool up) {
+  const std::size_t len = 1 + rng.below(maxLen);
+  std::vector<std::size_t> e(len);
+  std::size_t cur = up ? rng.below(4) : 20 + rng.below(10);
+  for (std::size_t i = 0; i < len; ++i) {
+    e[i] = cur;
+    if (up) {
+      cur += rng.below(3);
+    } else {
+      cur -= std::min(cur, rng.below(3));
+    }
+  }
+  return e;
+}
+
+/// A dag whose nonsink profile is [2, 1, 5]: sources 0, 1 both feed sink 2;
+/// source 1 additionally fans out to sinks 3..6. Executing 0 leaves only 1
+/// eligible (the dip), executing 1 releases five sinks (the jump). The jump
+/// of 4 makes it mutually ▷-incomparable with vee(4) (profile [1, 4], jump
+/// 3): each one's jump exceeds what the other's greedy split can cover.
+ScheduledDag humpDag() {
+  DagBuilder b(7);
+  b.addArc(0, 2);
+  b.addArc(1, 2);
+  b.addArc(1, 3);
+  b.addArc(1, 4);
+  b.addArc(1, 5);
+  b.addArc(1, 6);
+  return {b.freeze(), Schedule({0, 1, 2, 3, 4, 5, 6})};
+}
+
+// ---------- fast ▷-check vs quadratic reference ----------
+
+TEST(SynthesisFastCheck, FuzzAgreesWithReference) {
+  Lcg rng{0x1C5C4EDu};
+  std::size_t fastHolds = 0;
+  for (std::size_t i = 0; i < 6000; ++i) {
+    std::vector<std::size_t> e1, e2;
+    switch (i % 5) {
+      case 0:
+        e1 = randomProfile(rng, 30, 10);
+        e2 = randomProfile(rng, 30, 10);
+        break;
+      case 1:
+        e1 = randomConcaveProfile(rng, 30);
+        e2 = randomConcaveProfile(rng, 30);
+        break;
+      case 2:
+        e1 = randomConcaveProfile(rng, 30);
+        e2 = randomProfile(rng, 30, 10);
+        break;
+      case 3:
+        e1 = monotoneProfile(rng, 30, true);
+        e2 = monotoneProfile(rng, 30, false);
+        break;
+      default:
+        e1 = monotoneProfile(rng, 30, rng.below(2) == 0);
+        e2 = randomConcaveProfile(rng, 30);
+        break;
+    }
+    const bool fast = hasPriorityProfiles(e1, e2);
+    const bool ref = hasPriorityProfilesReference(e1, e2);
+    ASSERT_EQ(fast, ref) << "pair " << i;
+    fastHolds += fast ? 1 : 0;
+  }
+  // The corpus must exercise both verdicts, or the agreement is vacuous.
+  EXPECT_GT(fastHolds, 100u);
+  EXPECT_LT(fastHolds, 5900u);
+}
+
+TEST(SynthesisFastCheck, EveryFamilyPairAgreesWithReference) {
+  std::vector<std::vector<std::size_t>> profiles;
+  std::vector<std::string> names;
+  for (const testing::FamilyCase& fc : testing::allFamilies()) {
+    const ScheduledDag g = fc.make();
+    try {
+      profiles.push_back(nonsinkEligibilityProfile(g.dag, g.schedule));
+      names.push_back(fc.name);
+    } catch (const std::invalid_argument&) {
+      // Families whose bundled schedule is not nonsinks-first have no
+      // nonsink profile; the ▷ relation does not apply to them.
+    }
+  }
+  ASSERT_GT(profiles.size(), 20u);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = 0; j < profiles.size(); ++j) {
+      EXPECT_EQ(hasPriorityProfiles(profiles[i], profiles[j]),
+                hasPriorityProfilesReference(profiles[i], profiles[j]))
+          << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(SynthesisFastCheck, EmptyProfilesThrowInBothImplementations) {
+  const std::vector<std::size_t> ok{1, 1};
+  const std::vector<std::size_t> empty;
+  EXPECT_THROW((void)hasPriorityProfiles(empty, ok), std::invalid_argument);
+  EXPECT_THROW((void)hasPriorityProfiles(ok, empty), std::invalid_argument);
+  EXPECT_THROW((void)hasPriorityProfilesReference(empty, ok), std::invalid_argument);
+  EXPECT_THROW((void)hasPriorityProfilesReference(ok, empty), std::invalid_argument);
+}
+
+TEST(SynthesisFastCheck, ConcaveProfileUnitCases) {
+  EXPECT_TRUE(isConcaveProfile({5}));
+  EXPECT_TRUE(isConcaveProfile({1, 3}));
+  EXPECT_TRUE(isConcaveProfile({1, 3, 4, 4, 3}));   // diffs 2,1,0,-1
+  EXPECT_FALSE(isConcaveProfile({3, 2, 2, 1}));     // diffs -1,0,-1: dip then flat
+  EXPECT_FALSE(isConcaveProfile({2, 1, 5}));        // the humpDag profile
+  EXPECT_TRUE(isConcaveProfile({4, 3, 2, 1, 0}));   // linear down
+  EXPECT_TRUE(isConcaveProfile({0, 2, 4, 6}));      // linear up
+}
+
+TEST(SynthesisFastCheck, KnownVerdicts) {
+  // Paper Section 2: V ▷ Λ holds, Λ ▷ V does not.
+  const ScheduledDag v = vee(3);
+  const ScheduledDag l = lambda(3);
+  EXPECT_TRUE(hasPriority(v, l));
+  EXPECT_FALSE(hasPriority(l, v));
+  // humpDag and vee(4) are mutually incomparable (see humpDag's comment).
+  const ScheduledDag h = humpDag();
+  const ScheduledDag v4 = vee(4);
+  ASSERT_EQ(h.nonsinkProfile(), (std::vector<std::size_t>{2, 1, 5}));
+  EXPECT_FALSE(hasPriority(h, v4));
+  EXPECT_FALSE(hasPriority(v4, h));
+}
+
+// ---------- profile memoization ----------
+
+TEST(SynthesisMemo, NonsinkProfileIsComputedOnceAndShared) {
+  const ScheduledDag g = wdag(5);
+  const std::vector<std::size_t>* first = &g.nonsinkProfile();
+  EXPECT_EQ(first, &g.nonsinkProfile());
+  // Copies share the cache (shared_ptr), so re-verification after copying a
+  // ScheduledDag does not replay the schedule.
+  const ScheduledDag copy = g;
+  EXPECT_EQ(first, &copy.nonsinkProfile());
+  // The memoized value matches a fresh computation.
+  EXPECT_EQ(*first, nonsinkEligibilityProfile(g.dag, g.schedule));
+}
+
+// ---------- stable-id incremental builder: O(k) work ----------
+
+TEST(SynthesisBuilder, AppendWorkIsIndependentOfHistoryLength) {
+  const std::size_t diagonals = 24;
+  std::vector<ScheduledDag> chain = meshWDagChain(diagonals);
+  LinearCompositionBuilder b(chain[0]);
+  EXPECT_EQ(b.historyRemapCount(), 0u);
+  std::size_t expected = chain[0].dag.numNodes() + chain[0].dag.numNonsinks();
+  EXPECT_EQ(b.constituentWriteCount(), expected);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const std::size_t before = b.constituentWriteCount();
+    b.appendFullMerge(chain[i]);
+    const std::size_t delta = b.constituentWriteCount() - before;
+    // Exactly V_i + numNonsinks_i new entries -- if the builder ever rescans
+    // history, the delta for late appends grows with i and this fails.
+    EXPECT_EQ(delta, chain[i].dag.numNodes() + chain[i].dag.numNonsinks())
+        << "append " << i;
+    EXPECT_EQ(b.historyRemapCount(), 0u) << "append " << i;
+  }
+  // The composite still matches the one-shot path.
+  const ScheduledDag direct = outMeshFromWDags(diagonals);
+  const ScheduledDag incremental = b.build();
+  EXPECT_EQ(incremental.dag, direct.dag);
+  EXPECT_EQ(incremental.schedule.order(), direct.schedule.order());
+}
+
+TEST(SynthesisBuilder, DagAccessorIsStableBetweenAppends) {
+  std::vector<ScheduledDag> chain = meshWDagChain(8);
+  LinearCompositionBuilder b(chain[0]);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const std::size_t sinksBefore = b.dag().sinks().size();
+    // dag() may be called repeatedly mid-build (memoized freeze).
+    EXPECT_EQ(&b.dag(), &b.dag());
+    b.appendFullMerge(chain[i]);
+    EXPECT_NE(b.dag().sinks().size(), 0u);
+    EXPECT_GE(b.dag().numNodes(), sinksBefore);
+  }
+  EXPECT_TRUE(b.verifyPriorityChain());
+}
+
+// ---------- findPriorityLinearOrder: exact DP and greedy fallback ----------
+
+std::vector<ScheduledDag> shuffledWdags(std::size_t count, std::uint64_t seed) {
+  std::vector<ScheduledDag> gs;
+  gs.reserve(count);
+  for (std::size_t s = 1; s <= count; ++s) gs.push_back(wdag(s));
+  Lcg rng{seed};
+  for (std::size_t i = count; i > 1; --i) std::swap(gs[i - 1], gs[rng.below(i)]);
+  return gs;
+}
+
+void expectValidOrder(const std::vector<ScheduledDag>& gs,
+                      const std::vector<std::size_t>& order) {
+  ASSERT_EQ(order.size(), gs.size());
+  std::vector<bool> used(gs.size(), false);
+  for (std::size_t idx : order) {
+    ASSERT_LT(idx, gs.size());
+    ASSERT_FALSE(used[idx]);
+    used[idx] = true;
+  }
+  std::vector<ScheduledDag> permuted;
+  permuted.reserve(gs.size());
+  for (std::size_t idx : order) permuted.push_back(gs[idx]);
+  EXPECT_TRUE(isPriorityChain(permuted));
+}
+
+TEST(SynthesisOrder, ExactSearchStillWorksUpTo20) {
+  const std::vector<ScheduledDag> gs = shuffledWdags(12, 7u);
+  const auto order = findPriorityLinearOrder(gs);
+  ASSERT_TRUE(order.has_value());
+  expectValidOrder(gs, *order);
+}
+
+TEST(SynthesisOrder, GreedyFallbackAbove20FindsAndVerifiesChain) {
+  // 25 constituents: the exact DP would need 2^25 states; the greedy
+  // insertion fallback must find the W-dag chain and re-verify it.
+  const std::vector<ScheduledDag> gs = shuffledWdags(25, 3u);
+  const auto order = findPriorityLinearOrder(gs);
+  ASSERT_TRUE(order.has_value());
+  expectValidOrder(gs, *order);
+}
+
+TEST(SynthesisOrder, GreedyFallbackReturnsNulloptWhenNoChainExists) {
+  // 11 humpDags + 11 vee(4)s: the two shapes are mutually ▷-incomparable
+  // (KnownVerdicts pins that), so any arrangement has a failing boundary
+  // pair and no priority-linear order exists. The greedy fallback must not
+  // return an unverified bogus order.
+  std::vector<ScheduledDag> gs;
+  for (std::size_t i = 0; i < 11; ++i) {
+    gs.push_back(humpDag());
+    gs.push_back(vee(4));
+  }
+  ASSERT_GT(gs.size(), 20u);
+  EXPECT_EQ(findPriorityLinearOrder(gs), std::nullopt);
+}
+
+// ---------- thread-pool priorityMatrix ----------
+
+TEST(SynthesisParallel, MatrixMatchesSerialForAnyThreadCount) {
+  std::vector<ScheduledDag> gs;
+  for (std::size_t s = 1; s <= 10; ++s) gs.push_back(wdag(s));
+  gs.push_back(vee(3));
+  gs.push_back(lambda(3));
+  gs.push_back(humpDag());
+  const std::vector<std::vector<bool>> serial = priorityMatrix(gs);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(priorityMatrixParallel(gs, threads), serial) << threads << " threads";
+  }
+  ThreadPool pool(3);
+  EXPECT_EQ(priorityMatrixParallel(gs, pool), serial);
+}
+
+TEST(SynthesisParallel, MatrixDiagonalAndKnownCells) {
+  const std::vector<ScheduledDag> gs{vee(3), lambda(3)};
+  const auto m = priorityMatrixParallel(gs, 2);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m[0][1]);   // V ▷ Λ
+  EXPECT_FALSE(m[1][0]);  // Λ not ▷ V
+}
+
+}  // namespace
+}  // namespace icsched
