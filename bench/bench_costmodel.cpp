@@ -1,0 +1,406 @@
+/// \file bench_costmodel.cpp
+/// \brief Cost-model backends change which scheduler wins.
+///
+/// The pluggable cost layer (sim/cost_model.hpp) exists because "best
+/// schedule" is a claim about a cost model, not just a dag: the paper's
+/// IC-optimality is a statement about eligibility production, and how that
+/// translates into makespan depends on what allocation and completion cost.
+/// This bench runs the full scheduler comparison under all three backends --
+/// the default latency model, BSP supersteps (computation + h-relation
+/// communication + barrier sync), and memory-constrained clients (LRU-resident
+/// inputs, charged fetches) -- and demonstrates that the backends produce
+/// DIVERGENT scheduler rankings on at least one family. A small instance is
+/// additionally checked against the exhaustive static-order oracle: every
+/// linear extension of the dag is simulated per backend, so the per-regime
+/// winner is confirmed against the best any static order can do.
+///
+/// Also re-verified here (the batch/recovery contracts under the new axis):
+/// the cost sweep is byte-identical serial vs pooled, and a mid-run
+/// checkpoint/restore under every backend finishes byte-identical to an
+/// uninterrupted run.
+///
+/// Usage: bench_costmodel [OUT.json] [--smoke]
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "families/butterfly.hpp"
+#include "families/mesh.hpp"
+#include "families/prefix.hpp"
+#include "families/trees.hpp"
+#include "recovery/checkpoint_io.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/result_codec.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "sim/workload.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched;
+
+namespace {
+
+std::string resultBytes(const SimulationResult& r) {
+  recovery::ByteWriter w;
+  writeResult(w, r);
+  return w.bytes();
+}
+
+bool sameBytes(const std::vector<Replication>& a, const std::vector<Replication>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (resultBytes(a[i].result) != resultBytes(b[i].result)) return false;
+  }
+  return true;
+}
+
+/// The three cost regimes the sweep compares. The memory capacity is the
+/// tightest legal value for the suite below (max in-degree 2), so locality
+/// pressure is maximal; the BSP coefficients make a barrier cost a couple of
+/// mean task durations, as in a coarse-grained cluster.
+std::vector<SweepSpec::CostCase> costRegimes(std::size_t memCapacity) {
+  SweepSpec::CostCase latency;  // defaults: kind Latency, no comm charges
+  SweepSpec::CostCase bsp;
+  bsp.name = "bsp";
+  bsp.cost.kind = CostModelKind::Bsp;
+  bsp.cost.bspCommCost = 0.25;
+  bsp.cost.bspSyncCost = 2.0;
+  SweepSpec::CostCase memory;
+  memory.name = "memory";
+  memory.cost.kind = CostModelKind::Memory;
+  memory.cost.memCapacity = memCapacity;
+  memory.cost.memFetchCost = 1.0;
+  return {latency, bsp, memory};
+}
+
+/// Enumerates every linear extension of \p g (up to \p cap) and returns the
+/// minimum makespan a static-priority run achieves under \p cfg. Each
+/// extension is executed through the same engine as the scheduler
+/// comparison, so the minimum is an exhaustive baseline for static orders.
+struct OracleResult {
+  double bestMakespan = 0.0;
+  std::size_t extensions = 0;
+  bool capped = false;
+};
+
+void enumerateExtensions(const Dag& g, std::vector<std::size_t>& missing,
+                         std::vector<NodeId>& ready, std::vector<NodeId>& order,
+                         SimulationEngine& engine, const SimulationConfig& cfg,
+                         std::size_t cap, OracleResult& out) {
+  if (out.capped) return;
+  if (order.size() == g.numNodes()) {
+    StaticPriorityScheduler sched(Schedule(order), "STATIC");
+    out.bestMakespan = std::min(out.bestMakespan, engine.run(g, sched, cfg).makespan);
+    if (++out.extensions >= cap) out.capped = true;
+    return;
+  }
+  for (std::size_t i = 0; i < ready.size() && !out.capped; ++i) {
+    const NodeId v = ready[i];
+    std::swap(ready[i], ready.back());
+    ready.pop_back();
+    order.push_back(v);
+    const std::size_t mark = ready.size();
+    for (NodeId c : g.children(v)) {
+      if (--missing[c] == 0) ready.push_back(c);
+    }
+    enumerateExtensions(g, missing, ready, order, engine, cfg, cap, out);
+    for (NodeId c : g.children(v)) ++missing[c];
+    ready.resize(mark);
+    order.pop_back();
+    ready.push_back(v);
+    std::swap(ready[i], ready.back());
+  }
+}
+
+OracleResult exhaustiveStaticBaseline(const Dag& g, const SimulationConfig& cfg,
+                                      std::size_t cap) {
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> missing(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    missing[v] = g.inDegree(v);
+    if (missing[v] == 0) ready.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  OracleResult out;
+  out.bestMakespan = 1e300;
+  SimulationEngine engine;
+  enumerateExtensions(g, missing, ready, order, engine, cfg, cap, out);
+  return out;
+}
+
+std::string rankingString(const std::vector<std::string>& names,
+                          const std::vector<double>& means) {
+  std::vector<std::size_t> idx(names.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (means[a] != means[b]) return means[a] < means[b];
+    return names[a] < names[b];
+  });
+  std::string s;
+  for (std::size_t i : idx) {
+    if (!s.empty()) s += " > ";
+    s += names[i];
+  }
+  return s;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_costmodel.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      outPath = arg;
+    }
+  }
+
+  ib::header("C1", "Cost-model backends: latency vs BSP vs memory scheduler rankings");
+  ib::Outcome outcome;
+
+  // ---- the comparison suite: paper families with real IC-optimal orders ----
+  const ScheduledDag mesh = outMesh(10);
+  const ScheduledDag bfly = butterfly(4);
+  const ScheduledDag pfx = prefixDag(16);
+  const ScheduledDag tree = completeOutTree(2, 5);
+  const Workload wMesh{"mesh10", mesh.dag, mesh.schedule, true};
+  const Workload wBfly{"butterfly4", bfly.dag, bfly.schedule, true};
+  const Workload wPfx{"prefix16", pfx.dag, pfx.schedule, true};
+  const Workload wTree{"tree2x5", tree.dag, tree.schedule, true};
+
+  std::size_t maxInDegree = 0;
+  for (const Workload* w : {&wMesh, &wBfly, &wPfx, &wTree}) {
+    for (NodeId v = 0; v < w->dag.numNodes(); ++v) {
+      maxInDegree = std::max(maxInDegree, w->dag.inDegree(v));
+    }
+  }
+
+  SweepSpec spec;
+  spec.add(wMesh);
+  spec.add(wBfly);
+  spec.add(wPfx);
+  spec.add(wTree);
+  spec.schedulers = allSchedulerNames();
+  spec.seeds = seedRange(1, smoke ? 4 : 16);
+  spec.base.numClients = 8;
+  spec.costCases = costRegimes(maxInDegree + 1);
+
+  std::cout << "\nSweep: " << spec.dags.size() << " dags x " << spec.schedulers.size()
+            << " schedulers x " << spec.costCases.size() << " cost models x "
+            << spec.seeds.size() << " seeds = " << spec.numReplications()
+            << " replications (mem capacity " << maxInDegree + 1 << ")\n";
+
+  const BatchRunner pool(0);
+  const std::vector<Replication> serial = BatchRunner(1).run(spec);
+  const std::vector<Replication> pooled = pool.run(spec);
+  const bool identical = sameBytes(serial, pooled);
+  ib::verdict(identical, "cost sweep is byte-identical serial vs pooled (all backends)");
+  outcome.note(identical);
+
+  // ---- per-(family, regime) mean makespans and scheduler rankings ----
+  const std::size_t nDags = spec.dags.size();
+  const std::size_t nScheds = spec.schedulers.size();
+  const std::size_t nCosts = spec.costCases.size();
+  // means[dag][cost][sched]
+  std::vector<std::vector<std::vector<double>>> means(
+      nDags, std::vector<std::vector<double>>(nCosts, std::vector<double>(nScheds, 0.0)));
+  for (const Replication& r : serial) {
+    means[r.dagIndex][r.costIndex][r.schedulerIndex] +=
+        r.result.makespan / static_cast<double>(spec.seeds.size());
+  }
+
+  std::cout << "\nMean makespan by scheduler (rows) x cost model (columns):\n";
+  std::vector<std::vector<std::string>> rankings(nDags, std::vector<std::string>(nCosts));
+  std::size_t pairwiseDistinctFamilies = 0;
+  bool bspDiverges = false;
+  bool memDiverges = false;
+  for (std::size_t d = 0; d < nDags; ++d) {
+    std::cout << "\n  family " << spec.dags[d].name << ":\n";
+    ib::Table t({"scheduler", "latency", "bsp", "memory"});
+    t.printHeader();
+    for (std::size_t s = 0; s < nScheds; ++s) {
+      t.printRow(spec.schedulers[s], means[d][0][s], means[d][1][s], means[d][2][s]);
+    }
+    for (std::size_t c = 0; c < nCosts; ++c) {
+      rankings[d][c] = rankingString(spec.schedulers, means[d][c]);
+      std::cout << "  " << std::left << std::setw(8) << spec.costCases[c].name
+                << " ranking: " << rankings[d][c] << "\n";
+    }
+    const bool bspDiff = rankings[d][1] != rankings[d][0];
+    const bool memDiff = rankings[d][2] != rankings[d][0];
+    bspDiverges = bspDiverges || bspDiff;
+    memDiverges = memDiverges || memDiff;
+    if (bspDiff && memDiff && rankings[d][1] != rankings[d][2]) {
+      ++pairwiseDistinctFamilies;
+    }
+  }
+  ib::verdict(bspDiverges, "BSP regime reorders the schedulers on some family");
+  ib::verdict(memDiverges, "memory regime reorders the schedulers on some family");
+  ib::verdict(pairwiseDistinctFamilies > 0,
+              "all three backends rank schedulers pairwise-differently on some family");
+  outcome.note(bspDiverges);
+  outcome.note(memDiverges);
+  outcome.note(pairwiseDistinctFamilies > 0);
+
+  // ---- exhaustive static-order baseline on a small instance ----
+  // Deterministic durations (no jitter) so the oracle minimum is exact; the
+  // per-regime winner among the six schedulers must do at least as well as
+  // the best of ALL static orders (the winner may beat it: dynamic policies
+  // are not bound to a consistent static priority).
+  SimulationConfig oracleCfg;
+  oracleCfg.numClients = 3;
+  oracleCfg.durationJitter = 0.0;
+  oracleCfg.seed = 9;
+  const std::vector<SweepSpec::CostCase> regimes = costRegimes(3);
+  const std::size_t extensionCap = 2'000'000;
+
+  struct OracleRow {
+    std::string family;
+    std::string regime;
+    std::size_t extensions;
+    double best;
+    std::string winner;
+    double winnerMakespan;
+    bool optimal;
+  };
+  std::vector<OracleRow> oracleRows;
+  bool oracleOk = true;
+  // outMesh(4) is the gated instance: the per-regime winner must attain the
+  // exhaustive optimum. outMesh(5) (full mode only) is informational -- it
+  // exhibits the locality gap, where under the memory backend NO generic
+  // scheduler reaches the best static order (a locality-aware order beats
+  // them all), so its rows are reported but not gated.
+  std::vector<std::pair<std::size_t, bool>> instances = {{4, true}};
+  if (!smoke) instances.push_back({5, false});
+  for (const auto& [diagonals, gated] : instances) {
+    const ScheduledDag small = outMesh(diagonals);
+    std::cout << "\nExhaustive baseline on outMesh(" << diagonals
+              << "), |V| = " << small.dag.numNodes() << ", 3 clients, jitter 0"
+              << (gated ? "" : " (informational: exhibits the locality gap)") << ":\n";
+    ib::Table ot(
+        {"cost model", "extensions", "oracle best", "winner", "winner span", "optimal"});
+    ot.printHeader();
+    for (const SweepSpec::CostCase& regime : regimes) {
+      SimulationConfig cfg = oracleCfg;
+      cfg.costModel = regime.cost;
+      const OracleResult oracle = exhaustiveStaticBaseline(small.dag, cfg, extensionCap);
+      std::string winner;
+      double winnerMakespan = 1e300;
+      for (const std::string& name : allSchedulerNames()) {
+        const double m = simulateWith(small.dag, small.schedule, name, cfg).makespan;
+        if (m < winnerMakespan) {
+          winnerMakespan = m;
+          winner = name;
+        }
+      }
+      const bool optimal = !oracle.capped && winnerMakespan <= oracle.bestMakespan + 1e-9;
+      if (gated) oracleOk = oracleOk && optimal;
+      ot.printRow(regime.name, static_cast<double>(oracle.extensions), oracle.bestMakespan,
+                  winner, winnerMakespan, optimal ? 1.0 : 0.0);
+      oracleRows.push_back({"mesh" + std::to_string(diagonals), regime.name,
+                            oracle.extensions, oracle.bestMakespan, winner, winnerMakespan,
+                            optimal});
+    }
+  }
+  ib::verdict(oracleOk,
+              "every regime's winner attains the exhaustive static-order optimum (gated "
+              "instance)");
+  outcome.note(oracleOk);
+
+  // ---- mid-run checkpoint/restore stays byte-identical per backend ----
+  bool restoreOk = true;
+  for (const SweepSpec::CostCase& regime : costRegimes(maxInDegree + 1)) {
+    SimulationConfig cfg = spec.base;
+    cfg.seed = 23;
+    cfg.costModel = regime.cost;
+    cfg.faults.stragglerProbability = 0.1;
+    cfg.faults.speculationFactor = 2.0;
+
+    SimulationEngine uninterrupted;
+    uninterrupted.beginWith(bfly.dag, bfly.schedule, "RANDOM", cfg);
+    while (!uninterrupted.step(100000)) {
+    }
+    const std::string expect = resultBytes(uninterrupted.takeResult());
+
+    SimulationEngine first;
+    first.beginWith(bfly.dag, bfly.schedule, "RANDOM", cfg);
+    (void)first.step(40);
+    const std::string ckpt = outPath + "." + regime.name + ".ckpt";
+    first.saveCheckpoint(ckpt);
+    SimulationEngine second;
+    second.restoreCheckpointWith(ckpt, bfly.dag, bfly.schedule, cfg);
+    while (!second.step(100000)) {
+    }
+    const bool same = resultBytes(second.takeResult()) == expect;
+    std::remove(ckpt.c_str());
+    ib::verdict(same, regime.name + " backend: checkpoint/restore at event 40 is "
+                      "byte-identical to the uninterrupted run");
+    restoreOk = restoreOk && same;
+  }
+  outcome.note(restoreOk);
+
+  // ---- JSON artifact ----
+  std::ofstream json(outPath);
+  if (!json) {
+    std::cerr << "cannot open " << outPath << "\n";
+    return 2;
+  }
+  json << std::setprecision(17);
+  json << "{\n  \"bench\": \"costmodel\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"seeds\": " << spec.seeds.size() << ",\n"
+       << "  \"replications\": " << spec.numReplications() << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"bsp_diverges\": " << (bspDiverges ? "true" : "false") << ",\n"
+       << "  \"memory_diverges\": " << (memDiverges ? "true" : "false") << ",\n"
+       << "  \"pairwise_distinct_families\": " << pairwiseDistinctFamilies << ",\n"
+       << "  \"restore_identical\": " << (restoreOk ? "true" : "false") << ",\n"
+       << "  \"rankings\": {\n";
+  for (std::size_t d = 0; d < nDags; ++d) {
+    json << "    \"" << spec.dags[d].name << "\": {";
+    for (std::size_t c = 0; c < nCosts; ++c) {
+      json << "\"" << spec.costCases[c].name << "\": \"" << jsonEscape(rankings[d][c])
+           << "\"" << (c + 1 < nCosts ? ", " : "");
+    }
+    json << "}" << (d + 1 < nDags ? ",\n" : "\n");
+  }
+  json << "  },\n"
+       << "  \"oracle\": [\n";
+  for (std::size_t i = 0; i < oracleRows.size(); ++i) {
+    const OracleRow& row = oracleRows[i];
+    json << "    {\"family\": \"" << row.family << "\", \"regime\": \"" << row.regime
+         << "\", \"extensions\": " << row.extensions << ", \"oracle_best\": " << row.best
+         << ", \"winner\": \"" << row.winner
+         << "\", \"winner_makespan\": " << row.winnerMakespan
+         << ", \"optimal\": " << (row.optimal ? "true" : "false") << "}"
+         << (i + 1 < oracleRows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << outPath << "\n";
+
+  return outcome.exitCode();
+}

@@ -152,8 +152,8 @@ double parseDouble(const std::string& s, const char* what) {
   }
 }
 
-/// Applies one `key=value` fault flag to the config (`trace` toggles the
-/// FaultTrace dump instead).
+/// Applies one `key=value` fault or cost-model flag to the config (`trace`
+/// toggles the FaultTrace dump instead).
 void applyFaultFlag(SimulationConfig& cfg, bool& dumpTrace, const std::string& flag) {
   const std::size_t eq = flag.find('=');
   if (eq == std::string::npos) {
@@ -187,6 +187,24 @@ void applyFaultFlag(SimulationConfig& cfg, bool& dumpTrace, const std::string& f
     cfg.faults.backoffBase = parseDouble(value, "backoff");
   } else if (key == "backoffcap") {
     cfg.faults.backoffCap = parseDouble(value, "backoffcap");
+  } else if (key == "cost_model") {
+    cfg.costModel.kind = parseCostModelKind(value);
+  } else if (key == "bsp_g") {
+    cfg.costModel.bspCommCost = parseDouble(value, "bsp_g");
+  } else if (key == "bsp_sync") {
+    cfg.costModel.bspSyncCost = parseDouble(value, "bsp_sync");
+  } else if (key == "mem_cap") {
+    cfg.costModel.memCapacity = parseSize(value, "mem_cap");
+  } else if (key == "mem_fetch") {
+    cfg.costModel.memFetchCost = parseDouble(value, "mem_fetch");
+  } else if (key == "compute") {
+    cfg.costModel.computePerUnit = parseDouble(value, "compute");
+    cfg.costModel.commDurations = true;
+  } else if (key == "comm") {
+    // comm_model.hpp's per-arc charge, absorbed into the latency backend:
+    // base[v] = compute + comm * inDegree(v).
+    cfg.costModel.commPerUnit = parseDouble(value, "comm");
+    cfg.costModel.commDurations = true;
   } else if (key == "trace") {
     dumpTrace = parseSize(value, "trace") != 0;
   } else {
@@ -231,8 +249,18 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
     out << prefix << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
         << " stalls=" << r.stallEvents << " readyPool=" << r.avgReadyPool << "\n";
   };
+  const auto printCost = [&](const SimulationResult& r) {
+    if (r.cost.any()) {
+      const CostMetrics& c = r.cost;
+      out << "cost model=" << costModelKindName(cfg.costModel.kind) << " comm=" << c.commTime
+          << " sync=" << c.syncTime << " wait=" << c.waitTime
+          << " supersteps=" << c.supersteps << " fetches=" << c.fetches
+          << " evictions=" << c.evictions << "\n";
+    }
+  };
   const auto printResilience = [&](const SimulationResult& r) {
-    if (cfg.failureProbability > 0.0 || cfg.faults.anyEnabled()) {
+    if (cfg.failureProbability > 0.0 || cfg.faults.taskLossProbability > 0.0 ||
+        cfg.faults.anyEnabled()) {
       const ResilienceMetrics& m = r.resilience;
       out << "resilience departures=" << m.departures << " rejoins=" << m.rejoins
           << " lost=" << m.lostTasks << " timeouts=" << m.timeouts
@@ -264,6 +292,7 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
     }
     const SimulationResult r = engine.takeResult();
     printResult(r, "");
+    printCost(r);
     printResilience(r);
     if (dumpTrace) r.faultTrace.writeTo(out);
     return 0;
@@ -274,12 +303,14 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   spec.schedulers = {args[1]};
   spec.seeds = seedRange(cfg.seed, trials);
   spec.faultCases = {{"cli", cfg.faults}};
+  spec.costCases = {{costModelKindName(cfg.costModel.kind), cfg.costModel}};
   spec.base = cfg;
   const std::vector<Replication> reps = BatchRunner(threads).run(spec);
 
   if (trials == 1) {
     const SimulationResult& r = reps[0].result;
     printResult(r, "");
+    printCost(r);
     printResilience(r);
     if (dumpTrace) r.faultTrace.writeTo(out);
     return 0;
@@ -299,10 +330,19 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
     mean.totalIdleTime += r.totalIdleTime / t;
     mean.stallEvents += r.stallEvents;
     mean.avgReadyPool += r.avgReadyPool / t;
+    mean.cost.commTime += r.cost.commTime / t;
+    mean.cost.syncTime += r.cost.syncTime / t;
+    mean.cost.waitTime += r.cost.waitTime / t;
+    mean.cost.supersteps += r.cost.supersteps;
+    mean.cost.fetches += r.cost.fetches;
+    mean.cost.evictions += r.cost.evictions;
   }
   out << "mean makespan=" << mean.makespan << " idle=" << mean.totalIdleTime
       << " stalls=" << static_cast<double>(mean.stallEvents) / t
       << " readyPool=" << mean.avgReadyPool << "\n";
+  // Times are per-trial means; the superstep/fetch/eviction counts are
+  // totals across all trials (integer counters have no exact mean).
+  printCost(mean);
   return 0;
 }
 

@@ -38,7 +38,9 @@ namespace icsched::recovery {
 
 // Explicit length: the literal's embedded NUL is part of the 8-byte magic.
 inline constexpr std::string_view kJournalMagic{"ICSJRNL\0", 8};
-inline constexpr std::uint32_t kJournalVersion = 1;
+// v2: records may end with the optional cost-metrics block of
+// sim/result_codec.hpp, and the sweep fingerprint covers the cost axis.
+inline constexpr std::uint32_t kJournalVersion = 2;
 /// Cap on a single record's payload (a corrupted length field can never
 /// drive a larger allocation).
 inline constexpr std::uint32_t kMaxJournalRecord = 1u << 26;  // 64 MiB

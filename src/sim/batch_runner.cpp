@@ -18,6 +18,7 @@ void SweepSpec::validate() const {
   if (schedulers.empty()) throw std::invalid_argument("SweepSpec: no schedulers");
   if (seeds.empty()) throw std::invalid_argument("SweepSpec: no seeds");
   if (faultCases.empty()) throw std::invalid_argument("SweepSpec: no fault cases");
+  if (costCases.empty()) throw std::invalid_argument("SweepSpec: no cost cases");
   for (const DagCase& d : dags) {
     if (d.dag == nullptr || d.schedule == nullptr) {
       throw std::invalid_argument("SweepSpec: dag case '" + d.name +
@@ -41,8 +42,8 @@ BatchRunner::BatchRunner(std::size_t threads) : threads_(threads) {
 
 namespace {
 
-/// Row-major index -> axis indices (seed fastest, then fault, scheduler,
-/// dag), shared by execution and journal-record decoding.
+/// Row-major index -> axis indices (seed fastest, then fault, cost,
+/// scheduler, dag), shared by execution and journal-record decoding.
 Replication decodeReplication(const SweepSpec& spec, std::size_t index) {
   Replication r;
   r.index = index;
@@ -51,6 +52,8 @@ Replication decodeReplication(const SweepSpec& spec, std::size_t index) {
   rest /= spec.seeds.size();
   r.faultIndex = rest % spec.faultCases.size();
   rest /= spec.faultCases.size();
+  r.costIndex = rest % spec.costCases.size();
+  rest /= spec.costCases.size();
   r.schedulerIndex = rest % spec.schedulers.size();
   r.dagIndex = rest / spec.schedulers.size();
   return r;
@@ -64,6 +67,7 @@ Replication runOne(const SweepSpec& spec, std::size_t index, SimulationEngine& e
   SimulationConfig cfg = spec.base;
   cfg.seed = spec.seeds[r.seedIndex];
   cfg.faults = spec.faultCases[r.faultIndex].faults;
+  cfg.costModel = spec.costCases[r.costIndex].cost;
   r.result = engine.runWith(*d.dag, *d.schedule, spec.schedulers[r.schedulerIndex], cfg);
   return r;
 }
@@ -77,6 +81,7 @@ std::uint64_t mixFaults(const FaultModelConfig& f, std::uint64_t h) {
   h = mixDouble(f.clientRejoinRate, h);
   h = recovery::fnv1aU64(f.minAliveClients, h);
   h = mixDouble(f.taskTimeout, h);
+  h = mixDouble(f.taskLossProbability, h);
   h = mixDouble(f.stragglerProbability, h);
   h = mixDouble(f.stragglerSlowdown, h);
   h = mixDouble(f.speculationFactor, h);
@@ -85,6 +90,18 @@ std::uint64_t mixFaults(const FaultModelConfig& f, std::uint64_t h) {
   h = recovery::fnv1aU64(f.maxAttempts, h);
   h = mixDouble(f.backoffBase, h);
   h = mixDouble(f.backoffCap, h);
+  return h;
+}
+
+std::uint64_t mixCost(const CostModelConfig& c, std::uint64_t h) {
+  h = recovery::fnv1aU64(static_cast<std::uint64_t>(c.kind), h);
+  h = recovery::fnv1aU64(c.commDurations ? 1u : 0u, h);
+  h = mixDouble(c.computePerUnit, h);
+  h = mixDouble(c.commPerUnit, h);
+  h = mixDouble(c.bspCommCost, h);
+  h = mixDouble(c.bspSyncCost, h);
+  h = recovery::fnv1aU64(c.memCapacity, h);
+  h = mixDouble(c.memFetchCost, h);
   return h;
 }
 
@@ -116,6 +133,11 @@ std::uint64_t sweepFingerprint(const SweepSpec& spec) {
     h = fnv1a(f.name, h);
     h = mixFaults(f.faults, h);
   }
+  h = fnv1aU64(spec.costCases.size(), h);
+  for (const SweepSpec::CostCase& c : spec.costCases) {
+    h = fnv1a(c.name, h);
+    h = mixCost(c.cost, h);
+  }
   h = fnv1aU64(spec.base.numClients, h);
   h = mixDouble(spec.base.meanTaskDuration, h);
   h = mixDouble(spec.base.durationJitter, h);
@@ -125,6 +147,7 @@ std::uint64_t sweepFingerprint(const SweepSpec& spec) {
   for (double d : spec.base.taskBaseDurations) h = mixDouble(d, h);
   h = mixDouble(spec.base.failureProbability, h);
   h = mixFaults(spec.base.faults, h);
+  h = mixCost(spec.base.costModel, h);
   h = fnv1aU64(spec.base.seed, h);
   return h;
 }

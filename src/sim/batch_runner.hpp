@@ -4,15 +4,15 @@
 ///
 /// The paper's experimental methodology (and the companion evaluations
 /// [15, 19]) rests on sweeping many simulated executions -- scheduler x dag
-/// family x seed x fault configuration. A SweepSpec names those four axes
-/// once; BatchRunner expands the cross product into independent replications
-/// and executes them on an exec::ThreadPool, one resettable SimulationEngine
-/// per worker so a replication costs no per-run allocation.
+/// family x seed x fault configuration x cost model. A SweepSpec names those
+/// five axes once; BatchRunner expands the cross product into independent
+/// replications and executes them on an exec::ThreadPool, one resettable
+/// SimulationEngine per worker so a replication costs no per-run allocation.
 ///
 /// Determinism contract: every replication is a pure function of its
-/// (dag, scheduler, seed, faults) cell -- the engine derives all randomness
-/// from the cell's seed -- and results are collected into a pre-sized vector
-/// slot keyed by replication index. Parallel output is therefore
+/// (dag, scheduler, seed, faults, cost model) cell -- the engine derives all
+/// randomness from the cell's seed -- and results are collected into a
+/// pre-sized vector slot keyed by replication index. Parallel output is therefore
 /// byte-identical to serial output, for any thread count and any scheduling
 /// of workers (verified by tools/icsched_resilience_sweep and
 /// bench/bench_sim_batch on every run).
@@ -30,7 +30,7 @@
 
 namespace icsched {
 
-/// The four axes of a simulation sweep. Dags and schedules are referenced,
+/// The five axes of a simulation sweep. Dags and schedules are referenced,
 /// not copied; they must outlive any BatchRunner::run over the spec.
 struct SweepSpec {
   struct DagCase {
@@ -43,21 +43,30 @@ struct SweepSpec {
     std::string name = "fault-free";
     FaultModelConfig faults;
   };
+  struct CostCase {
+    std::string name = "latency";
+    CostModelConfig cost;
+  };
 
   std::vector<DagCase> dags;
   /// Scheduler names as understood by makeScheduler().
   std::vector<std::string> schedulers;
   std::vector<std::uint64_t> seeds;
-  /// Fault configurations; leave empty for a single fault-free case.
+  /// Fault configurations; the default is a single fault-free case.
   std::vector<FaultCase> faultCases = {FaultCase{}};
-  /// Shared base config; `seed` and `faults` are overridden per replication.
+  /// Cost-model configurations; the default is the single latency backend,
+  /// which leaves every replication byte-identical to a pre-cost-model sweep.
+  std::vector<CostCase> costCases = {CostCase{}};
+  /// Shared base config; `seed`, `faults` and `costModel` are overridden per
+  /// replication.
   SimulationConfig base;
 
   /// Appends \p w as a dag case (referencing its dag and schedule).
   void add(const Workload& w) { dags.push_back({w.name, &w.dag, &w.schedule}); }
 
   [[nodiscard]] std::size_t numReplications() const {
-    return dags.size() * schedulers.size() * seeds.size() * faultCases.size();
+    return dags.size() * schedulers.size() * seeds.size() * faultCases.size() *
+           costCases.size();
   }
 
   /// \throws std::invalid_argument on empty axes or null dag/schedule refs.
@@ -70,12 +79,13 @@ struct SweepSpec {
 [[nodiscard]] std::vector<std::uint64_t> seedRange(std::uint64_t first, std::size_t count);
 
 /// One executed replication. `index` is the row-major position in the
-/// dag x scheduler x fault x seed expansion (seed fastest); the axis indices
-/// identify the cell without string comparisons.
+/// dag x scheduler x cost x fault x seed expansion (seed fastest); the axis
+/// indices identify the cell without string comparisons.
 struct Replication {
   std::size_t index = 0;
   std::size_t dagIndex = 0;
   std::size_t schedulerIndex = 0;
+  std::size_t costIndex = 0;
   std::size_t faultIndex = 0;
   std::size_t seedIndex = 0;
   SimulationResult result;

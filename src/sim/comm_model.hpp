@@ -14,6 +14,12 @@
 /// arc weights of a clustering). Feeding the resulting per-task durations
 /// into the simulator makes the paper's multi-granularity economics
 /// measurable: coarsening shrinks total communication but caps parallelism.
+///
+/// For a fine-grained dag this charging is also available directly inside
+/// the simulator: CostModelConfig::commDurations (sim/cost_model.hpp)
+/// absorbs the same compute/comm coefficients into the latency backend
+/// without materializing a taskBaseDurations vector. This module remains the
+/// home of the clustering-aware overloads and of totalCommVolume.
 
 #include <vector>
 
@@ -37,9 +43,11 @@ struct CommModel {
 [[nodiscard]] std::vector<double> taskDurations(const Clustering& clustering,
                                                 const CommModel& model);
 
-/// Total communication volume of a dag under the unit model (the number of
-/// arcs), or of a clustering (its crossArcs) -- the quantity the paper says
-/// is "a much dearer resource in IC".
+/// Total communication volume of a dag (commPerUnit x the number of arcs) or
+/// of a clustering (commPerUnit x its crossArcs) -- the quantity the paper
+/// says is "a much dearer resource in IC". Scaled by the model's
+/// coefficient, NOT the raw arc count: a zero-communication model reports
+/// zero volume.
 [[nodiscard]] double totalCommVolume(const Dag& g, const CommModel& model);
 [[nodiscard]] double totalCommVolume(const Clustering& clustering, const CommModel& model);
 

@@ -1,0 +1,276 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icsched {
+
+namespace {
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("CostModelConfig: " + message);
+}
+
+bool finiteNonNegative(double x) { return std::isfinite(x) && x >= 0.0; }
+
+}  // namespace
+
+const char* costModelKindName(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::Latency:
+      return "latency";
+    case CostModelKind::Bsp:
+      return "bsp";
+    case CostModelKind::Memory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+CostModelKind parseCostModelKind(const std::string& name) {
+  if (name == "latency") return CostModelKind::Latency;
+  if (name == "bsp") return CostModelKind::Bsp;
+  if (name == "memory") return CostModelKind::Memory;
+  throw std::invalid_argument("unknown cost model '" + name +
+                              "' (expected latency, bsp, or memory)");
+}
+
+void CostModelConfig::validate() const {
+  require(kind == CostModelKind::Latency || kind == CostModelKind::Bsp ||
+              kind == CostModelKind::Memory,
+          "unknown cost-model kind");
+  require(!commDurations || kind == CostModelKind::Latency,
+          "commDurations is a latency-backend option (BSP/memory charge "
+          "communication themselves)");
+  require(finiteNonNegative(computePerUnit), "computePerUnit must be finite and >= 0");
+  require(finiteNonNegative(commPerUnit), "commPerUnit must be finite and >= 0");
+  require(finiteNonNegative(bspCommCost), "bspCommCost must be finite and >= 0");
+  require(finiteNonNegative(bspSyncCost), "bspSyncCost must be finite and >= 0");
+  require(finiteNonNegative(memFetchCost), "memFetchCost must be finite and >= 0");
+  if (kind == CostModelKind::Memory) {
+    require(memCapacity >= 1, "memCapacity must be >= 1 for the memory backend");
+  }
+}
+
+bool CostMetrics::any() const {
+  return commTime != 0.0 || syncTime != 0.0 || waitTime != 0.0 || supersteps != 0 ||
+         fetches != 0 || evictions != 0;
+}
+
+// ---------------------------------------------------------------- Latency
+
+void LatencyCostModel::bind(const Dag& g, const CostModelConfig& cfg,
+                            std::size_t numClients, CostMetrics* metrics) {
+  (void)g;
+  (void)cfg;
+  (void)numClients;
+  (void)metrics;
+}
+
+double LatencyCostModel::chargeAllocate(NodeId v, std::size_t client, double now,
+                                        double work) {
+  (void)v;
+  (void)client;
+  (void)now;
+  return work;
+}
+
+bool LatencyCostModel::chargeComplete(NodeId v, std::size_t client, double now) {
+  (void)v;
+  (void)client;
+  (void)now;
+  return false;
+}
+
+void LatencyCostModel::saveState(recovery::ByteWriter& w) const { (void)w; }
+
+void LatencyCostModel::loadState(recovery::ByteReader& r) { (void)r; }
+
+// -------------------------------------------------------------------- BSP
+
+void BspCostModel::bind(const Dag& g, const CostModelConfig& cfg, std::size_t numClients,
+                        CostMetrics* metrics) {
+  (void)numClients;
+  g_ = &g;
+  cfg_ = cfg;
+  metrics_ = metrics;
+  const std::size_t n = g.numNodes();
+  level_.assign(n, 0);
+  std::uint32_t maxLevel = 0;
+  for (NodeId v : g.topologicalOrder()) {
+    std::uint32_t lvl = 0;
+    for (NodeId p : g.parents(v)) lvl = std::max(lvl, level_[p] + 1);
+    level_[v] = lvl;
+    maxLevel = std::max(maxLevel, lvl);
+  }
+  levelCount_.assign(maxLevel + 1, 0);
+  for (NodeId v = 0; v < n; ++v) ++levelCount_[level_[v]];
+  remaining_.assign(levelCount_.begin(), levelCount_.end());
+  superstepStart_.assign(maxLevel + 1, 0.0);
+  doneLevels_ = 0;
+}
+
+bool BspCostModel::allocatable(NodeId v) const { return level_[v] <= doneLevels_; }
+
+double BspCostModel::chargeAllocate(NodeId v, std::size_t client, double now, double work) {
+  (void)client;
+  const double wait = std::max(superstepStart_[level_[v]] - now, 0.0);
+  const double comm = cfg_.bspCommCost * static_cast<double>(g_->inDegree(v));
+  metrics_->waitTime += wait;
+  metrics_->commTime += comm;
+  return wait + comm + work;
+}
+
+bool BspCostModel::chargeComplete(NodeId v, std::size_t client, double now) {
+  (void)client;
+  // Allocation gating means levels complete strictly in order, so the level
+  // that empties here is always doneLevels_.
+  if (--remaining_[level_[v]] != 0) return false;
+  ++doneLevels_;
+  ++metrics_->supersteps;
+  if (doneLevels_ < superstepStart_.size()) {
+    superstepStart_[doneLevels_] = now + cfg_.bspSyncCost;
+    metrics_->syncTime += cfg_.bspSyncCost;
+  }
+  return true;
+}
+
+void BspCostModel::saveState(recovery::ByteWriter& w) const {
+  w.varint(doneLevels_);
+  for (std::uint32_t rem : remaining_) w.varint(rem);
+  for (double s : superstepStart_) w.f64(s);
+}
+
+void BspCostModel::loadState(recovery::ByteReader& r) {
+  using recovery::CorruptError;
+  doneLevels_ = r.varint();
+  if (doneLevels_ > levelCount_.size()) {
+    throw CorruptError("BspCostModel: completed-level counter out of range");
+  }
+  for (std::size_t l = 0; l < remaining_.size(); ++l) {
+    const std::uint64_t rem = r.varint();
+    if (rem > levelCount_[l] || (l < doneLevels_ && rem != 0) ||
+        (l >= doneLevels_ && rem == 0)) {
+      throw CorruptError("BspCostModel: per-level remaining counts are inconsistent");
+    }
+    remaining_[l] = static_cast<std::uint32_t>(rem);
+  }
+  for (double& s : superstepStart_) {
+    s = r.f64();
+    if (!std::isfinite(s) || s < 0.0) {
+      throw CorruptError("BspCostModel: superstep start time is not finite");
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Memory
+
+void MemoryCostModel::bind(const Dag& g, const CostModelConfig& cfg,
+                           std::size_t numClients, CostMetrics* metrics) {
+  g_ = &g;
+  cfg_ = cfg;
+  metrics_ = metrics;
+  std::size_t maxInDegree = 0;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    maxInDegree = std::max(maxInDegree, g.inDegree(v));
+  }
+  if (cfg.memCapacity < maxInDegree + 1) {
+    throw std::invalid_argument(
+        "CostModelConfig: memCapacity (" + std::to_string(cfg.memCapacity) +
+        ") must be >= the dag's max in-degree + 1 (" + std::to_string(maxInDegree + 1) +
+        ") so every task's inputs and output fit at once");
+  }
+  // Resize-then-clear keeps the inner vectors' heap buffers alive across
+  // replications, like the engine's own per-run buffers.
+  resident_.resize(numClients);
+  for (auto& set : resident_) set.clear();
+  clock_ = 0;
+}
+
+bool MemoryCostModel::resident(std::size_t client, NodeId v) const {
+  for (const Entry& e : resident_[client]) {
+    if (e.node == v) return true;
+  }
+  return false;
+}
+
+bool MemoryCostModel::touch(std::size_t client, NodeId v) {
+  std::vector<Entry>& set = resident_[client];
+  for (Entry& e : set) {
+    if (e.node == v) {
+      e.lastUse = ++clock_;
+      return false;
+    }
+  }
+  if (set.size() >= cfg_.memCapacity) {
+    // Evict the LRU entry. Inputs of the task being allocated carry fresh
+    // stamps, and memCapacity >= maxInDegree + 1, so an eviction can never
+    // hit an input the current allocation still needs.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < set.size(); ++i) {
+      if (set[i].lastUse < set[victim].lastUse) victim = i;
+    }
+    set.erase(set.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++metrics_->evictions;
+  }
+  set.push_back({v, ++clock_});
+  return true;
+}
+
+double MemoryCostModel::chargeAllocate(NodeId v, std::size_t client, double now,
+                                       double work) {
+  (void)now;
+  std::uint64_t fetched = 0;
+  for (NodeId p : g_->parents(v)) {
+    if (touch(client, p)) ++fetched;
+  }
+  if (fetched == 0) return work;
+  const double fetchTime = cfg_.memFetchCost * static_cast<double>(fetched);
+  metrics_->commTime += fetchTime;
+  metrics_->fetches += fetched;
+  return fetchTime + work;
+}
+
+bool MemoryCostModel::chargeComplete(NodeId v, std::size_t client, double now) {
+  (void)now;
+  (void)touch(client, v);
+  return false;
+}
+
+void MemoryCostModel::saveState(recovery::ByteWriter& w) const {
+  w.varint(clock_);
+  for (const std::vector<Entry>& set : resident_) {
+    w.varint(set.size());
+    for (const Entry& e : set) {
+      w.u32(e.node);
+      w.varint(e.lastUse);
+    }
+  }
+}
+
+void MemoryCostModel::loadState(recovery::ByteReader& r) {
+  using recovery::CorruptError;
+  clock_ = r.varint();
+  const std::size_t n = g_->numNodes();
+  for (std::vector<Entry>& set : resident_) {
+    set.clear();
+    const std::size_t count = r.count(std::min(cfg_.memCapacity, n), 5);
+    for (std::size_t i = 0; i < count; ++i) {
+      Entry e{};
+      e.node = r.u32();
+      e.lastUse = r.varint();
+      if (e.node >= n || e.lastUse > clock_) {
+        throw CorruptError("MemoryCostModel: resident entry out of range");
+      }
+      for (const Entry& prev : set) {
+        if (prev.node == e.node) {
+          throw CorruptError("MemoryCostModel: duplicate resident entry");
+        }
+      }
+      set.push_back(e);
+    }
+  }
+}
+
+}  // namespace icsched

@@ -1,0 +1,246 @@
+#pragma once
+/// \file cost_model.hpp
+/// \brief Pluggable cost accounting for the IC simulator.
+///
+/// The paper defers "concerns such as communication load, which are
+/// critically important to IC" to future work; whether eligibility-maximizing
+/// schedules still win is decided by the *cost model* (cf. Papp et al.,
+/// arXiv:2303.05989 on BSP scheduling and arXiv:2507.17411 on
+/// memory-constrained scheduling). This module therefore extracts all
+/// latency charging out of SimulationEngine's event loop into a swappable
+/// CostModel interface with three backends:
+///
+///  - **LatencyCostModel** (the default): exactly today's charging -- an
+///    attempt's wall time is base[v] * jitter / clientSpeed (times the
+///    straggler slowdown, when drawn). With `commDurations` set it also
+///    absorbs comm_model.hpp's compute+comm duration table as configuration
+///    (base[v] = computePerUnit + commPerUnit * inDegree(v)) instead of a
+///    separate precomputation code path.
+///  - **BspCostModel**: bulk-synchronous supersteps. Superstep s is the set
+///    of tasks at dag level s (longest path from a source); a task may not
+///    be allocated before its superstep's barrier opens (the engine parks
+///    it), every allocation is charged an h-relation communication term
+///    bspCommCost * inDegree(v), and each barrier costs bspSyncCost of
+///    synchronization latency, charged as start-up wait to the superstep's
+///    attempts.
+///  - **MemoryCostModel**: per-client memory of memCapacity task outputs
+///    with LRU eviction. A task's inputs (its parents' outputs) must be
+///    resident on the executing client; each non-resident input stalls the
+///    allocation for memFetchCost while it is fetched. Completion makes the
+///    task's own output resident on the winning client.
+///
+/// **Contract with the engine.** The engine computes the jittered,
+/// speed-scaled, straggler-scaled work exactly as before (so the RNG draw
+/// sequence never depends on the backend), then lets the model translate
+/// work into wall time at two charging points:
+///
+///  - *charge-on-allocate* (chargeAllocate): called once per dispatched
+///    attempt; returns the attempt's full wall duration and accrues
+///    comm/sync/wait metrics.
+///  - *charge-on-complete* (chargeComplete): called once per task, at its
+///    first successful completion; updates residency/barrier state and
+///    returns true when an allocation gate may have opened (so the engine
+///    re-offers parked tasks to the scheduler).
+///
+/// Backends with allocation gates (gatesAllocation()) additionally veto
+/// dispatches via allocatable(); the engine parks vetoed tasks until a gate
+/// opens. All per-run state is serializable (saveState/loadState) with the
+/// same typed-error discipline as the rest of the checkpoint layer, so a
+/// run restored mid-flight stays byte-identical to an uninterrupted one
+/// under every backend.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "recovery/checkpoint_io.hpp"
+
+namespace icsched {
+
+/// Which backend charges the run. Values are stable on-disk identifiers
+/// (snapshots and sweep fingerprints embed them).
+enum class CostModelKind : std::uint8_t { Latency = 0, Bsp = 1, Memory = 2 };
+
+/// Stable lower-case name of \p kind ("latency" / "bsp" / "memory").
+[[nodiscard]] const char* costModelKindName(CostModelKind kind);
+
+/// Inverse of costModelKindName(). \throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] CostModelKind parseCostModelKind(const std::string& name);
+
+/// The cost-model axis of a SimulationConfig. Fields are grouped by the
+/// backend that reads them; unrelated fields are ignored (but still
+/// validated, so a sweep can share one config across kinds).
+struct CostModelConfig {
+  CostModelKind kind = CostModelKind::Latency;
+
+  /// Latency backend: derive the base-duration table from the communication
+  /// model below (base[v] = computePerUnit + commPerUnit * inDegree(v),
+  /// matching comm_model::taskDurations on a fine dag) instead of
+  /// meanTaskDuration / taskBaseDurations. Only valid with kind == Latency;
+  /// incompatible with a non-empty taskBaseDurations.
+  bool commDurations = false;
+  double computePerUnit = 1.0;  ///< per unit of task work
+  double commPerUnit = 0.0;     ///< per unit of input data fetched
+
+  /// BSP backend: per-input communication cost (the h-relation's g) and
+  /// per-barrier synchronization latency (L).
+  double bspCommCost = 0.1;
+  double bspSyncCost = 1.0;
+
+  /// Memory backend: per-client capacity in task outputs (must be >= the
+  /// dag's max in-degree + 1, checked at bind) and the stall cost of
+  /// fetching one non-resident input.
+  std::size_t memCapacity = 0;
+  double memFetchCost = 0.5;
+
+  /// \throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Per-run cost accounting beyond plain busy time, accrued by the backends
+/// and reported in SimulationResult::cost. All-zero under the default
+/// latency backend, which keeps the result codec's byte layout unchanged
+/// for pre-cost-model runs.
+struct CostMetrics {
+  double commTime = 0.0;   ///< h-relation / input-fetch time charged
+  double syncTime = 0.0;   ///< superstep barrier latency charged
+  double waitTime = 0.0;   ///< allocation start-up wait (barrier re-open)
+  std::uint64_t supersteps = 0;  ///< barriers crossed (BSP)
+  std::uint64_t fetches = 0;     ///< non-resident inputs fetched (memory)
+  std::uint64_t evictions = 0;   ///< LRU evictions (memory)
+
+  /// True when any field is nonzero (the codec omits the block otherwise).
+  [[nodiscard]] bool any() const;
+
+  friend bool operator==(const CostMetrics&, const CostMetrics&) = default;
+};
+
+/// The charging interface. One instance per engine per kind, rebound (and
+/// fully reset) per run; implementations reuse their buffers across runs
+/// the same way the engine does.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  [[nodiscard]] virtual CostModelKind kind() const = 0;
+
+  /// True when this backend can veto allocations (the engine then routes
+  /// every pick through allocatable() and parks vetoed tasks).
+  [[nodiscard]] virtual bool gatesAllocation() const { return false; }
+
+  /// Binds for one run: resets all per-run state. \p metrics outlives the
+  /// run (it lives inside the engine's result). \throws
+  /// std::invalid_argument when the dag violates a backend constraint
+  /// (e.g. memCapacity smaller than max in-degree + 1).
+  virtual void bind(const Dag& g, const CostModelConfig& cfg, std::size_t numClients,
+                    CostMetrics* metrics) = 0;
+
+  /// May \p v be dispatched right now? Only consulted when
+  /// gatesAllocation() is true.
+  [[nodiscard]] virtual bool allocatable(NodeId v) const {
+    (void)v;
+    return true;
+  }
+
+  /// Charge-on-allocate: returns the wall duration of dispatching \p v to
+  /// \p client at \p now, where \p work is the engine's jittered,
+  /// speed-scaled, straggler-scaled compute time. Accrues metrics.
+  [[nodiscard]] virtual double chargeAllocate(NodeId v, std::size_t client, double now,
+                                              double work) = 0;
+
+  /// Charge-on-complete: called once per task at its first successful
+  /// completion (on the winning client). Returns true when an allocation
+  /// gate may have opened.
+  virtual bool chargeComplete(NodeId v, std::size_t client, double now) = 0;
+
+  /// Serializes the per-run state. A bound model's saveState after
+  /// loadState reproduces the same bytes (snapshot round-trip identity).
+  virtual void saveState(recovery::ByteWriter& w) const = 0;
+
+  /// \throws recovery::CorruptError / TruncatedError on malformed bytes;
+  /// never reads out of bounds. Must be called on a freshly bound model.
+  virtual void loadState(recovery::ByteReader& r) = 0;
+};
+
+/// Today's charging, byte-identically: wall time == work. Stateless.
+class LatencyCostModel final : public CostModel {
+ public:
+  [[nodiscard]] CostModelKind kind() const override { return CostModelKind::Latency; }
+  void bind(const Dag& g, const CostModelConfig& cfg, std::size_t numClients,
+            CostMetrics* metrics) override;
+  [[nodiscard]] double chargeAllocate(NodeId v, std::size_t client, double now,
+                                      double work) override;
+  bool chargeComplete(NodeId v, std::size_t client, double now) override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
+};
+
+/// Superstep barriers over dag levels. State: per-level remaining counts,
+/// the number of fully completed levels, and each opened superstep's start
+/// time.
+class BspCostModel final : public CostModel {
+ public:
+  [[nodiscard]] CostModelKind kind() const override { return CostModelKind::Bsp; }
+  [[nodiscard]] bool gatesAllocation() const override { return true; }
+  void bind(const Dag& g, const CostModelConfig& cfg, std::size_t numClients,
+            CostMetrics* metrics) override;
+  [[nodiscard]] bool allocatable(NodeId v) const override;
+  [[nodiscard]] double chargeAllocate(NodeId v, std::size_t client, double now,
+                                      double work) override;
+  bool chargeComplete(NodeId v, std::size_t client, double now) override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
+
+  /// The superstep (dag level) of \p v under the current binding.
+  [[nodiscard]] std::size_t level(NodeId v) const { return level_[v]; }
+  [[nodiscard]] std::size_t numLevels() const { return levelCount_.size(); }
+
+ private:
+  const Dag* g_ = nullptr;
+  CostModelConfig cfg_;
+  CostMetrics* metrics_ = nullptr;
+  std::vector<std::uint32_t> level_;       ///< dag level (longest path) per node
+  std::vector<std::uint32_t> levelCount_;  ///< tasks per level (bind-time constant)
+  std::vector<std::uint32_t> remaining_;   ///< uncompleted tasks per level
+  std::vector<double> superstepStart_;     ///< barrier-open time per opened level
+  std::size_t doneLevels_ = 0;             ///< levels fully completed so far
+};
+
+/// Per-client LRU memory of task outputs; non-resident inputs stall the
+/// allocation while they are fetched. State: per-client resident sets with
+/// LRU stamps plus the stamp clock.
+class MemoryCostModel final : public CostModel {
+ public:
+  [[nodiscard]] CostModelKind kind() const override { return CostModelKind::Memory; }
+  void bind(const Dag& g, const CostModelConfig& cfg, std::size_t numClients,
+            CostMetrics* metrics) override;
+  [[nodiscard]] double chargeAllocate(NodeId v, std::size_t client, double now,
+                                      double work) override;
+  bool chargeComplete(NodeId v, std::size_t client, double now) override;
+  void saveState(recovery::ByteWriter& w) const override;
+  void loadState(recovery::ByteReader& r) override;
+
+  /// True when \p v's output is currently resident on \p client.
+  [[nodiscard]] bool resident(std::size_t client, NodeId v) const;
+
+ private:
+  struct Entry {
+    NodeId node;
+    std::uint64_t lastUse;
+  };
+
+  /// Touches \p v in \p client's memory (fetching it if absent), evicting
+  /// the LRU entry when over capacity. Returns true when a fetch happened.
+  bool touch(std::size_t client, NodeId v);
+
+  const Dag* g_ = nullptr;
+  CostModelConfig cfg_;
+  CostMetrics* metrics_ = nullptr;
+  std::vector<std::vector<Entry>> resident_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace icsched

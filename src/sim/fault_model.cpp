@@ -29,6 +29,8 @@ void FaultModelConfig::validate(std::size_t numClients) const {
   require(minAliveClients >= 1, "minAliveClients must be >= 1");
   require(minAliveClients <= numClients, "minAliveClients must be <= numClients");
   require(finiteNonNegative(taskTimeout), "taskTimeout must be finite and >= 0");
+  require(taskLossProbability >= 0.0 && taskLossProbability < 1.0,
+          "taskLossProbability must be in [0, 1)");
   require(stragglerProbability >= 0.0 && stragglerProbability < 1.0,
           "stragglerProbability must be in [0, 1)");
   require(std::isfinite(stragglerSlowdown) && stragglerSlowdown >= 1.0,

@@ -50,6 +50,13 @@ struct FaultModelConfig {
   std::size_t minAliveClients = 1;
   /// Abandon + re-allocate attempts older than this; 0 disables timeouts.
   double taskTimeout = 0.0;
+  /// Probability an allocated task's result is simply lost at completion
+  /// (the client departs or the upload fails, cf. [14]) and the task is
+  /// re-issued immediately, with no backoff. This is the home of the legacy
+  /// SimulationConfig::failureProbability knob (which remains as a validated
+  /// alias): the engine merges the alias into this field at bind time, so
+  /// there is a single re-issue code path. Must be in [0, 1).
+  double taskLossProbability = 0.0;
   /// Probability an attempt is a straggler (runs stragglerSlowdown slower).
   double stragglerProbability = 0.0;
   /// Straggler slowdown factor; must be >= 1.
@@ -69,8 +76,13 @@ struct FaultModelConfig {
   double backoffBase = 0.0;
   double backoffCap = 8.0;
 
-  /// True when any fault mechanism is active (the simulator takes the exact
-  /// legacy code path when false and only `failureProbability` is set).
+  /// True when any fault mechanism *other than plain task loss* is active:
+  /// the simulator takes the exact legacy code path when false and only
+  /// taskLossProbability (or its failureProbability alias) is set. Task loss
+  /// alone never needs the reliable fallback or timeout/speculation events
+  /// -- a lost task (p < 1) is re-issued immediately, so every run still
+  /// terminates -- and keeping it out of this predicate keeps legacy-knob
+  /// runs byte-identical to the pre-cost-model simulator.
   [[nodiscard]] bool anyEnabled() const;
 
   /// \throws std::invalid_argument with a field-specific message.

@@ -4,6 +4,24 @@
 
 namespace icsched {
 
+namespace {
+
+/// Tag byte of the optional trailing cost-metrics block.
+constexpr std::uint8_t kCostBlockTag = 1;
+
+}  // namespace
+
+void writeCostBlock(recovery::ByteWriter& w, const CostMetrics& m) {
+  if (!m.any()) return;
+  w.u8(kCostBlockTag);
+  w.f64(m.commTime);
+  w.f64(m.syncTime);
+  w.f64(m.waitTime);
+  w.varint(m.supersteps);
+  w.varint(m.fetches);
+  w.varint(m.evictions);
+}
+
 void writeResult(recovery::ByteWriter& w, const SimulationResult& r) {
   w.str(r.schedulerName);
   w.f64(r.makespan);
@@ -39,6 +57,7 @@ void writeResult(recovery::ByteWriter& w, const SimulationResult& r) {
   w.f64(m.totalRecoveryLatency);
   w.varint(m.recoveries);
   w.f64(m.makespanInflation);
+  writeCostBlock(w, r.cost);
 }
 
 SimulationResult readResult(recovery::ByteReader& r, std::size_t maxNodes) {
@@ -96,6 +115,26 @@ SimulationResult readResult(recovery::ByteReader& r, std::size_t maxNodes) {
   m.totalRecoveryLatency = r.f64();
   m.recoveries = r.varint();
   m.makespanInflation = r.f64();
+  if (r.remaining() > 0) {
+    const std::uint8_t tag = r.u8();
+    if (tag != kCostBlockTag) {
+      throw CorruptError("result_codec: unknown trailing block tag");
+    }
+    CostMetrics& c = out.cost;
+    c.commTime = r.f64();
+    c.syncTime = r.f64();
+    c.waitTime = r.f64();
+    c.supersteps = r.varint();
+    c.fetches = r.varint();
+    c.evictions = r.varint();
+    if (!std::isfinite(c.commTime) || c.commTime < 0.0 || !std::isfinite(c.syncTime) ||
+        c.syncTime < 0.0 || !std::isfinite(c.waitTime) || c.waitTime < 0.0) {
+      throw CorruptError("result_codec: non-finite or negative cost metric");
+    }
+    if (!c.any()) {
+      throw CorruptError("result_codec: all-zero cost block should have been omitted");
+    }
+  }
   return out;
 }
 

@@ -8,6 +8,15 @@
 /// Doubles travel as IEEE-754 bit patterns, so a result decoded from a
 /// journal is byte-identical to the one an uninterrupted run would have
 /// produced -- the property the kill-and-resume determinism tests assert.
+///
+/// **Format evolution.** The fixed field list ends with an *optional
+/// trailing block* area: each extension block is a tag byte plus its
+/// payload, appended only when it carries information (the cost-metrics
+/// block, tag 1, is omitted when all CostMetrics fields are zero).
+/// readResult() parses trailing blocks while bytes remain, which requires
+/// the encoded result to be the LAST thing in its enclosing payload -- true
+/// for both snapshots and journal records. Default-latency runs therefore
+/// encode byte-identically to the pre-cost-model codec.
 
 #include <cstddef>
 #include <limits>
@@ -17,9 +26,14 @@
 
 namespace icsched {
 
-/// Appends every field of \p r (including the fault trace and resilience
-/// metrics) to \p w.
+/// Appends every field of \p r (including the fault trace, resilience
+/// metrics, and -- when nonzero -- the cost metrics) to \p w.
 void writeResult(recovery::ByteWriter& w, const SimulationResult& r);
+
+/// Appends the optional trailing cost-metrics block exactly as writeResult()
+/// does: nothing when \p m is all zero, else tag byte 1 plus the fields.
+/// Shared with the engine's incremental snapshot encoder.
+void writeCostBlock(recovery::ByteWriter& w, const CostMetrics& m);
 
 /// Decodes a result written by writeResult(). \p maxNodes bounds the
 /// eligibility-profile length and entries (pass the dag's node count;

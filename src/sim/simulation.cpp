@@ -52,7 +52,16 @@ void SimulationConfig::validate(std::size_t numNodes) const {
   }
   require(failureProbability >= 0.0 && failureProbability < 1.0,
           "failureProbability must be in [0, 1)");
+  // The legacy knob is an alias of faults.taskLossProbability; requiring at
+  // most one spelling per config lets the engine copy (not compose) the set
+  // one, so alias runs stay float-identical to the legacy path.
+  require(failureProbability == 0.0 || faults.taskLossProbability == 0.0,
+          "set failureProbability (legacy alias) or faults.taskLossProbability, not both");
   faults.validate(numClients);
+  costModel.validate();
+  require(!costModel.commDurations || taskBaseDurations.empty(),
+          "costModel.commDurations derives the base durations; taskBaseDurations must be "
+          "empty");
 }
 
 namespace {
@@ -72,8 +81,12 @@ constexpr bool eventTargetsAttempt(std::uint8_t kind) {
 constexpr std::size_t kUnmapped = static_cast<std::size_t>(-1);
 
 /// Framing of saveCheckpoint() files (see recovery/checkpoint_io.hpp).
+/// Version 2 added the cost-model state block (kind byte, parked-task queue,
+/// backend state) and the optional trailing cost-metrics block of the
+/// embedded result; version-1 files are rejected with a VersionError naming
+/// both versions.
 constexpr std::string_view kCheckpointMagic = "ICSCHKPT";
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct Attempt {
   NodeId node;
@@ -191,6 +204,21 @@ struct SimulationEngine::Impl {
   SnapshotableRng rng;
   bool faultsOn = false;
 
+  // Cost-model layer (see sim/cost_model.hpp). One instance per kind so
+  // backend buffers survive across replications; `cost` points at the bound
+  // one. costActive skips the virtual call entirely on the default latency
+  // path; costGate routes picks through CostModel::allocatable().
+  LatencyCostModel latencyModel;
+  BspCostModel bspModel;
+  MemoryCostModel memoryModel;
+  CostModel* cost = nullptr;
+  bool costActive = false;
+  bool costGate = false;
+  /// Tasks the scheduler offered but the cost model vetoed (e.g. a BSP
+  /// superstep whose barrier has not opened); re-offered when a gate opens.
+  /// They still count as ready (readyPoolCount includes them).
+  std::vector<NodeId> deferred;
+
   std::vector<double> speeds;
   std::vector<double> base;
   std::vector<TaskState> tasks;
@@ -279,7 +307,10 @@ struct SimulationEngine::Impl {
   }
 
   /// Fixed per-dispatch draw order: one jitter draw, then (only when
-  /// straggler injection is on) one straggler draw.
+  /// straggler injection is on) one straggler draw. The cost model then
+  /// translates the drawn work into the attempt's wall duration (a no-op
+  /// pass-through under the default latency backend), so the draw sequence
+  /// never depends on the backend.
   void dispatch(std::size_t client, NodeId v, bool isCopy) {
     const double jitter =
         portableUniform(rng, 1.0 - cfg->durationJitter, 1.0 + cfg->durationJitter);
@@ -288,6 +319,7 @@ struct SimulationEngine::Impl {
         portableBernoulli(rng, fm->stragglerProbability)) {
       duration *= fm->stragglerSlowdown;
     }
+    if (costActive) duration = cost->chargeAllocate(v, client, now, duration);
     const bool reliable = faultsOn && tasks[v].failures >= fm->maxAttempts;
     const std::size_t aid = attempts.size();
     attempts.push_back({v, client, now, reliable, true});
@@ -304,6 +336,28 @@ struct SimulationEngine::Impl {
     }
   }
 
+  /// Pops ready tasks from the scheduler, parking (not counting out of the
+  /// ready pool) any the cost model does not yet admit; kNoNode when nothing
+  /// is allocatable right now.
+  NodeId pickAllocatable() {
+    while (sched->hasWork()) {
+      const NodeId v = sched->pick();
+      if (!costGate || cost->allocatable(v)) {
+        --readyPoolCount;
+        return v;
+      }
+      deferred.push_back(v);
+    }
+    return kNoNode;
+  }
+
+  /// Re-offers parked tasks to the scheduler after a cost-model gate opened
+  /// (they were counted as ready throughout, so readyPoolCount is untouched).
+  void reinjectDeferred() {
+    for (NodeId v : deferred) sched->onEligible(v);
+    deferred.clear();
+  }
+
   /// Serves idle clients in request order: regular ELIGIBLE work first,
   /// then pending speculative copies.
   void serveIdle() {
@@ -313,12 +367,9 @@ struct SimulationEngine::Impl {
         idleQueue.pop_front();
       }
       if (idleQueue.empty()) break;
-      NodeId v = kNoNode;
+      NodeId v = pickAllocatable();
       bool isCopy = false;
-      if (sched->hasWork()) {
-        v = sched->pick();
-        --readyPoolCount;
-      } else {
+      if (v == kNoNode) {
         while (!specQueue.empty()) {
           const NodeId cand = specQueue.front();
           specQueue.pop_front();
@@ -423,20 +474,21 @@ struct SimulationEngine::Impl {
     const NodeId v = a.node;
     TaskState& t = tasks[v];
 
-    // Outcome draws, in fixed order: the legacy loss draw (only when the
-    // legacy knob is set), then the transient/permanent draw (only when the
-    // fault model injects failures). Reliable attempts always succeed.
-    bool legacyLoss = false;
+    // Outcome draws, in fixed order: the task-loss draw (only when the knob
+    // -- or its legacy failureProbability alias, merged at bind -- is set),
+    // then the transient/permanent draw (only when the fault model injects
+    // failures). Reliable attempts always succeed.
+    bool taskLost = false;
     bool transientFail = false;
     bool permanentFail = false;
     if (!a.reliable) {
-      if (cfg->failureProbability > 0.0 &&
-          portableBernoulli(rng, cfg->failureProbability)) {
-        legacyLoss = true;
+      if (fm->taskLossProbability > 0.0 &&
+          portableBernoulli(rng, fm->taskLossProbability)) {
+        taskLost = true;
       }
       const double pFail =
           fm->transientFailureProbability + fm->permanentFailureProbability;
-      if (!legacyLoss && pFail > 0.0) {
+      if (!taskLost && pFail > 0.0) {
         const double u = portableUnit(rng);
         if (u < fm->permanentFailureProbability) {
           permanentFail = true;
@@ -446,14 +498,14 @@ struct SimulationEngine::Impl {
       }
     }
 
-    if (legacyLoss || transientFail || permanentFail) {
+    if (taskLost || transientFail || permanentFail) {
       // The attempt's full duration is wasted; the task returns to the pool.
       ++res.failedAttempts;
-      const FaultEventKind kind = legacyLoss      ? FaultEventKind::TaskLost
+      const FaultEventKind kind = taskLost        ? FaultEventKind::TaskLost
                                   : transientFail ? FaultEventKind::TransientFailure
                                                   : FaultEventKind::PermanentFailure;
       attemptLost(aid, kind);
-      requeueOrBackoff(v, /*immediate=*/legacyLoss);
+      requeueOrBackoff(v, /*immediate=*/taskLost);
       if (permanentFail && alive > fm->minAliveClients) {
         departClient(a.client);
       } else {
@@ -468,6 +520,7 @@ struct SimulationEngine::Impl {
     deactivate(aid);
     t.done = true;
     ++executed;
+    const bool gateOpened = costActive && cost->chargeComplete(v, a.client, now);
     while (!liveAttempts[v].empty()) {
       const std::size_t loser = liveAttempts[v].back();
       const Attempt& la = attempts[loser];
@@ -492,6 +545,9 @@ struct SimulationEngine::Impl {
     tracker->executeInto(v, packet);
     res.eligibleAfterCompletion.push_back(tracker->eligibleCount());
     eligBytes.varint(tracker->eligibleCount());
+    // Parked tasks became eligible before this completion's packet, so they
+    // re-enter the scheduler first.
+    if (gateOpened) reinjectDeferred();
     for (NodeId w : packet) {
       sched->onEligible(w);
       ++readyPoolCount;
@@ -584,6 +640,13 @@ void SimulationEngine::Impl::bindRun(const Dag& dag, Scheduler& scheduler,
   cfgStorage = config;
   cfg = &cfgStorage;
   fm = &cfgStorage.faults;
+  // Fold the legacy failureProbability alias into the fault model, by copy:
+  // validate() rejected configs setting both spellings, so the merged value
+  // is bit-identical to whichever one was set and the loss draw in
+  // onFinish() has a single source.
+  if (cfgStorage.failureProbability > 0.0) {
+    cfgStorage.faults.taskLossProbability = cfgStorage.failureProbability;
+  }
   if (tracker) {
     tracker->rebind(dag);  // reset + retarget, reusing buffer capacity
   } else {
@@ -594,6 +657,32 @@ void SimulationEngine::Impl::bindRun(const Dag& dag, Scheduler& scheduler,
   if (speeds.empty()) speeds.assign(cfgStorage.numClients, 1.0);
   base.assign(cfgStorage.taskBaseDurations.begin(), cfgStorage.taskBaseDurations.end());
   if (base.empty()) base.assign(dag.numNodes(), cfgStorage.meanTaskDuration);
+  if (cfgStorage.costModel.commDurations) {
+    // Latency backend absorbing the communication model: the base-duration
+    // table is comm_model::taskDurations(dag, {computePerUnit, commPerUnit})
+    // computed in place (no per-run allocation).
+    base.assign(dag.numNodes(), 0.0);
+    for (NodeId v = 0; v < dag.numNodes(); ++v) {
+      base[v] = cfgStorage.costModel.computePerUnit +
+                cfgStorage.costModel.commPerUnit * static_cast<double>(dag.inDegree(v));
+    }
+  }
+  switch (cfgStorage.costModel.kind) {
+    case CostModelKind::Latency:
+      cost = &latencyModel;
+      break;
+    case CostModelKind::Bsp:
+      cost = &bspModel;
+      break;
+    case CostModelKind::Memory:
+      cost = &memoryModel;
+      break;
+  }
+  costActive = cfgStorage.costModel.kind != CostModelKind::Latency;
+  costGate = cost->gatesAllocation();
+  // res is re-initialized after binding, but its address is stable, so the
+  // metrics pointer stays valid for the whole run.
+  cost->bind(dag, cfgStorage.costModel, cfgStorage.numClients, &res.cost);
 }
 
 void SimulationEngine::Impl::beginRun(const Dag& dag, Scheduler& scheduler,
@@ -616,6 +705,7 @@ void SimulationEngine::Impl::beginRun(const Dag& dag, Scheduler& scheduler,
   inIdleQueue.assign(numClients, 0);
   idleQueue.clear();
   specQueue.clear();
+  deferred.clear();
   events.clear();
   events.reserve(numClients + 8);
   seq = 0;
@@ -643,9 +733,8 @@ void SimulationEngine::Impl::beginRun(const Dag& dag, Scheduler& scheduler,
     }
   }
   for (std::size_t c = 0; c < numClients; ++c) {
-    if (sched->hasWork()) {
-      const NodeId v = sched->pick();
-      --readyPoolCount;
+    const NodeId v = pickAllocatable();
+    if (v != kNoNode) {
       dispatch(c, v, /*isCopy=*/false);
     } else {
       ++res.stallEvents;
@@ -732,6 +821,7 @@ std::uint64_t SimulationEngine::Impl::computeFingerprint() const {
   h = fnv1aU64(cfg->taskBaseDurations.size(), h);
   for (double d : cfg->taskBaseDurations) h = mix(d, h);
   h = mix(cfg->failureProbability, h);
+  h = mix(fm->taskLossProbability, h);
   h = mix(fm->clientDepartureRate, h);
   h = mix(fm->clientRejoinRate, h);
   h = fnv1aU64(fm->minAliveClients, h);
@@ -744,6 +834,14 @@ std::uint64_t SimulationEngine::Impl::computeFingerprint() const {
   h = fnv1aU64(fm->maxAttempts, h);
   h = mix(fm->backoffBase, h);
   h = mix(fm->backoffCap, h);
+  h = fnv1aU64(static_cast<std::uint64_t>(cfg->costModel.kind), h);
+  h = fnv1aU64(cfg->costModel.commDurations ? 1u : 0u, h);
+  h = mix(cfg->costModel.computePerUnit, h);
+  h = mix(cfg->costModel.commPerUnit, h);
+  h = mix(cfg->costModel.bspCommCost, h);
+  h = mix(cfg->costModel.bspSyncCost, h);
+  h = fnv1aU64(cfg->costModel.memCapacity, h);
+  h = mix(cfg->costModel.memFetchCost, h);
   h = fnv1aU64(cfg->seed, h);
   return h;
 }
@@ -841,6 +939,14 @@ void SimulationEngine::Impl::saveTo(recovery::ByteWriter& w) const {
 
   sched->saveState(w);
 
+  // Cost-model state: the bound kind (cross-checked against the restore
+  // config, like the dimensions above), the parked-task queue, then the
+  // backend's own serialized state (empty for latency).
+  w.u8(static_cast<std::uint8_t>(cfg->costModel.kind));
+  w.varint(deferred.size());
+  for (const NodeId v : deferred) w.u32(v);
+  cost->saveState(w);
+
   // The partial result accumulated so far (makespan/avgReadyPool stay 0
   // mid-run and are recomputed by finalizeRun()). Byte-identical to
   // writeResult(w, res) — the append-only vectors come from the
@@ -873,6 +979,7 @@ void SimulationEngine::Impl::saveTo(recovery::ByteWriter& w) const {
   w.f64(m.totalRecoveryLatency);
   w.varint(m.recoveries);
   w.f64(m.makespanInflation);
+  writeCostBlock(w, res.cost);
 }
 
 void SimulationEngine::Impl::restoreRun(std::string_view snap, const Dag& dag,
@@ -1085,6 +1192,25 @@ void SimulationEngine::Impl::loadFrom(recovery::ByteReader& r) {
   }
 
   sched->loadState(r);
+
+  const std::uint8_t costKind = r.u8();
+  if (costKind != static_cast<std::uint8_t>(cfg->costModel.kind)) {
+    throw CorruptError(
+        "SimulationEngine: snapshot cost-model kind disagrees with its fingerprint");
+  }
+  deferred.clear();
+  const std::size_t deferredCount = r.count(n, 4);
+  if (!costGate && deferredCount != 0) {
+    throw CorruptError("SimulationEngine: parked tasks under a non-gating cost model");
+  }
+  for (std::size_t i = 0; i < deferredCount; ++i) {
+    const NodeId v = r.u32();
+    if (v >= n || tasks[v].done) {
+      throw CorruptError("SimulationEngine: parked-task queue names a bad node");
+    }
+    deferred.push_back(v);
+  }
+  cost->loadState(r);
 
   res = readResult(r, n);
   if (res.eligibleAfterCompletion.size() != executed) {

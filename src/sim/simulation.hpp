@@ -28,6 +28,7 @@
 
 #include "core/dag.hpp"
 #include "resilience/fault_trace.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scheduler.hpp"
 
@@ -49,13 +50,19 @@ struct SimulationConfig {
   /// equal the dag's node count when non-empty. Jitter and client speed
   /// still apply multiplicatively.
   std::vector<double> taskBaseDurations;
-  /// Probability that an allocated task fails (the client departs or the
-  /// result is lost, cf. [14]) and must be re-allocated. Must be in [0, 1).
-  /// This legacy knob re-issues immediately with no backoff; the richer
-  /// fault mechanics live in `faults`.
+  /// Legacy alias of `faults.taskLossProbability`: the probability that an
+  /// allocated task fails (the client departs or the result is lost,
+  /// cf. [14]) and is re-allocated immediately, with no backoff. Must be in
+  /// [0, 1), and must be 0 when faults.taskLossProbability is set (at most
+  /// one spelling per config); the engine merges this alias into the fault
+  /// model at bind time so there is a single re-issue code path.
   double failureProbability = 0.0;
   /// Churn / timeout / speculation / failure injection (all off by default).
   FaultModelConfig faults;
+  /// Cost-model axis: which backend translates work into wall time (see
+  /// sim/cost_model.hpp). The default latency backend reproduces the
+  /// pre-cost-model simulator byte-identically.
+  CostModelConfig costModel;
   std::uint64_t seed = 1;
 
   /// Central validity check: every constraint on this config (and on
@@ -91,6 +98,9 @@ struct SimulationResult {
   /// (makespanInflation is left 0; harnesses that also run fault-free fill
   /// it in).
   ResilienceMetrics resilience;
+  /// Cost accounting beyond busy time (comm / sync / wait; all zero under
+  /// the default latency backend).
+  CostMetrics cost;
 };
 
 /// A resettable discrete-event engine for running many replications cheaply.

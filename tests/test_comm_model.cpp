@@ -31,6 +31,25 @@ TEST(CommModelTest, CoarseDurationsUseClusterWork) {
   }
 }
 
+TEST(CommModelTest, TotalVolumeScalesWithCommCoefficient) {
+  // Both overloads honor commPerUnit (the doc once claimed the dag overload
+  // returned the raw arc count): volume = commPerUnit x arcs / crossArcs,
+  // and a zero-communication model reports zero volume.
+  const ScheduledDag m = outMesh(6);
+  EXPECT_DOUBLE_EQ(totalCommVolume(m.dag, CommModel{1.0, 1.0}),
+                   static_cast<double>(m.dag.numArcs()));
+  EXPECT_DOUBLE_EQ(totalCommVolume(m.dag, CommModel{1.0, 0.25}),
+                   0.25 * static_cast<double>(m.dag.numArcs()));
+  EXPECT_DOUBLE_EQ(totalCommVolume(m.dag, CommModel{1.0, 0.0}), 0.0);
+
+  const CoarsenedMesh c = coarsenMesh(8, 2);
+  EXPECT_DOUBLE_EQ(totalCommVolume(c.clustering, CommModel{1.0, 1.0}),
+                   static_cast<double>(c.clustering.crossArcs));
+  EXPECT_DOUBLE_EQ(totalCommVolume(c.clustering, CommModel{1.0, 0.5}),
+                   0.5 * static_cast<double>(c.clustering.crossArcs));
+  EXPECT_DOUBLE_EQ(totalCommVolume(c.clustering, CommModel{1.0, 0.0}), 0.0);
+}
+
 TEST(CommModelTest, TotalVolumeShrinksWithCoarsening) {
   const CommModel model{1.0, 1.0};
   const double fine = totalCommVolume(outMesh(12).dag, model);

@@ -1,0 +1,505 @@
+/// \file test_cost_model.cpp
+/// \brief The pluggable cost-model layer: latency byte-identity against
+/// pre-refactor golden hashes, BSP/memory backend semantics, the legacy
+/// failure-probability alias, snapshot/restore identity under every backend,
+/// and the sweep cost axis.
+///
+/// All suites are named CostModel* so the sanitizer CI job can run them in a
+/// dedicated pass (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "family_registry.hpp"
+#include "recovery/checkpoint_io.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/result_codec.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace icsched {
+namespace {
+
+std::string resultBytes(const SimulationResult& r) {
+  recovery::ByteWriter w;
+  writeResult(w, r);
+  return w.bytes();
+}
+
+ScheduledDag makeFamily(const std::string& name) {
+  for (const testing::FamilyCase& f : testing::allFamilies()) {
+    if (f.name == name) return f.make();
+  }
+  throw std::logic_error("family_registry has no case named " + name);
+}
+
+Dag chainDag(std::size_t n) {
+  DagBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.addArc(v, v + 1);
+  return b.freeze();
+}
+
+Schedule identityOrder(std::size_t n) {
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  return Schedule(std::move(order));
+}
+
+// ---------- config surface ----------
+
+TEST(CostModelConfigTest, KindNamesRoundTrip) {
+  for (const CostModelKind k :
+       {CostModelKind::Latency, CostModelKind::Bsp, CostModelKind::Memory}) {
+    EXPECT_EQ(parseCostModelKind(costModelKindName(k)), k);
+  }
+  EXPECT_THROW((void)parseCostModelKind("bulk-synchronous"), std::invalid_argument);
+}
+
+TEST(CostModelConfigTest, ValidateRejectsBadFields) {
+  CostModelConfig c;
+  c.bspCommCost = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = CostModelConfig{};
+  c.kind = CostModelKind::Bsp;
+  c.commDurations = true;  // latency-only option
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = CostModelConfig{};
+  c.kind = CostModelKind::Memory;
+  c.memCapacity = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.memCapacity = 4;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CostModelConfigTest, CommDurationsConflictsWithExplicitBaseDurations) {
+  const ScheduledDag fam = makeFamily("vee2");
+  SimulationConfig cfg;
+  cfg.costModel.commDurations = true;
+  cfg.taskBaseDurations.assign(fam.dag.numNodes(), 1.0);
+  EXPECT_THROW((void)simulateWith(fam.dag, fam.schedule, "FIFO", cfg),
+               std::invalid_argument);
+}
+
+// ---------- latency backend: byte-identity regression ----------
+
+// FNV-1a over the writeResult bytes of 12 runs per family (6 schedulers x
+// {default, legacy-faulty config}), captured from the pre-cost-model engine.
+// The default LatencyCostModel must keep reproducing these hashes exactly;
+// any drift means the refactor changed observable simulation behavior.
+struct GoldenRow {
+  const char* family;
+  std::uint64_t hash;
+};
+
+constexpr GoldenRow kPreRefactorGolden[] = {
+    {"vee2", 0x80AF8D78EA47F587ull},
+    {"vee3", 0xFE90E8C901AEF6EDull},
+    {"lambda2", 0x301CCEB597E75AABull},
+    {"lambda4", 0xC4B771745E407443ull},
+    {"wdag3", 0x7398531C5A1232C1ull},
+    {"mdag4", 0xE7F599C54D6495B4ull},
+    {"ndag5", 0x0DB9C3D6B1B93463ull},
+    {"cycle4", 0x61D74FFE8CF9E0B4ull},
+    {"cycle7", 0x1AB595FEC3BFA264ull},
+    {"butterflyBlock", 0x89482AFCE5631803ull},
+    {"outTree_2_3", 0x0B723EC38809C008ull},
+    {"outTree_3_2", 0xF9B6292AD0828814ull},
+    {"inTree_2_3", 0xD37205EC1453C6DAull},
+    {"randomTree", 0xC387E5276F10B4E3ull},
+    {"binaryTree7", 0xA4AC5C4EAAC6D7DFull},
+    {"diamond_h2", 0x6EA75EE45A1FE15Cull},
+    {"diamond_irregular", 0x2D2C5E313028DFE0ull},
+    {"chain2diamonds", 0x798E42DFAED827ABull},
+    {"outMesh5", 0xBC14890ECBA64A9Full},
+    {"inMesh5", 0x39FC1C16297505D8ull},
+    {"outMesh12", 0xF33F0582F8BA46F1ull},
+    {"butterfly2", 0xD03E4465A022EC03ull},
+    {"butterfly3", 0xA98D5B6C744A4FB8ull},
+    {"butterfly5", 0x720742E61D837677ull},
+    {"prefix6", 0xAB3556CB629C696Cull},
+    {"prefix8", 0xE1E94C17F25CFF89ull},
+    {"prefix32", 0x2B8F8DC54201501Full},
+    {"dlt4", 0xA35EF98BFF268486ull},
+    {"dlt16", 0xC3452DBCFDD74373ull},
+    {"dltTernary8", 0x6923968DFE8DC0E6ull},
+    {"ternaryTree9", 0xF9B6292AD0828814ull},
+    {"matmulM", 0x33D2CFF5C3AADEC7ull},
+    {"meshFromWDags6", 0x99FE71B8E7B6DEA5ull},
+    {"prefixFromNDags8", 0x44EEF2B10DFB0EE3ull},
+    {"butterflyFromBlocks3", 0x84D1A244519F8D68ull},
+};
+
+TEST(CostModelGolden, LatencyDefaultIsByteIdenticalToPreRefactorEngine) {
+  const std::vector<testing::FamilyCase>& families = testing::allFamilies();
+  ASSERT_EQ(families.size(), std::size(kPreRefactorGolden));
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    ASSERT_EQ(families[i].name, kPreRefactorGolden[i].family);
+    const ScheduledDag g = families[i].make();
+    recovery::ByteWriter w;
+    for (const std::string& name : allSchedulerNames()) {
+      SimulationConfig cfg;
+      cfg.numClients = 4;
+      cfg.seed = 17;
+      writeResult(w, simulateWith(g.dag, g.schedule, name, cfg));
+      SimulationConfig faulty = cfg;
+      faulty.failureProbability = 0.2;  // deliberately the legacy spelling
+      faulty.faults.clientDepartureRate = 0.02;
+      faulty.faults.clientRejoinRate = 0.25;
+      faulty.faults.taskTimeout = 6.0;
+      faulty.faults.stragglerProbability = 0.1;
+      faulty.faults.speculationFactor = 2.0;
+      faulty.faults.transientFailureProbability = 0.1;
+      faulty.faults.backoffBase = 0.25;
+      writeResult(w, simulateWith(g.dag, g.schedule, name, faulty));
+    }
+    EXPECT_EQ(recovery::fnv1a(w.bytes()), kPreRefactorGolden[i].hash)
+        << "family " << families[i].name;
+  }
+}
+
+TEST(CostModelGolden, DefaultConfigEqualsExplicitLatencyBackend) {
+  const ScheduledDag fam = makeFamily("prefix6");
+  SimulationConfig cfg;
+  cfg.numClients = 3;
+  cfg.seed = 91;
+  SimulationConfig explicitLatency = cfg;
+  explicitLatency.costModel.kind = CostModelKind::Latency;
+  explicitLatency.costModel.bspSyncCost = 99.0;  // ignored by this backend
+  explicitLatency.costModel.memCapacity = 1;     // likewise
+  const SimulationResult a = simulateWith(fam.dag, fam.schedule, "RANDOM", cfg);
+  const SimulationResult b =
+      simulateWith(fam.dag, fam.schedule, "RANDOM", explicitLatency);
+  EXPECT_EQ(resultBytes(a), resultBytes(b));
+  EXPECT_EQ(a.cost, CostMetrics{});
+}
+
+TEST(CostModelGolden, CommDurationsMatchesCommModelTaskDurations) {
+  // The absorbed charging must agree byte-for-byte with precomputing the
+  // comm_model duration table and passing it as taskBaseDurations.
+  const ScheduledDag fam = makeFamily("butterfly3");
+  const CommModel comm{2.0, 0.5};
+  SimulationConfig viaTable;
+  viaTable.numClients = 4;
+  viaTable.seed = 5;
+  viaTable.taskBaseDurations = taskDurations(fam.dag, comm);
+  SimulationConfig viaConfig;
+  viaConfig.numClients = 4;
+  viaConfig.seed = 5;
+  viaConfig.costModel.commDurations = true;
+  viaConfig.costModel.computePerUnit = comm.computePerUnit;
+  viaConfig.costModel.commPerUnit = comm.commPerUnit;
+  for (const char* sched : {"IC-OPT", "FIFO"}) {
+    const SimulationResult a = simulateWith(fam.dag, fam.schedule, sched, viaTable);
+    const SimulationResult b = simulateWith(fam.dag, fam.schedule, sched, viaConfig);
+    EXPECT_EQ(resultBytes(a), resultBytes(b)) << sched;
+  }
+}
+
+// ---------- legacy failureProbability alias ----------
+
+TEST(CostModelAlias, LegacySpellingMatchesFaultModelSpelling) {
+  const ScheduledDag fam = makeFamily("prefix8");
+  SimulationConfig legacy;
+  legacy.numClients = 4;
+  legacy.seed = 23;
+  legacy.failureProbability = 0.3;
+  SimulationConfig modern = legacy;
+  modern.failureProbability = 0.0;
+  modern.faults.taskLossProbability = 0.3;
+  const SimulationResult a = simulateWith(fam.dag, fam.schedule, "LIFO", legacy);
+  const SimulationResult b = simulateWith(fam.dag, fam.schedule, "LIFO", modern);
+  EXPECT_EQ(resultBytes(a), resultBytes(b));
+  EXPECT_GT(a.resilience.lostTasks, 0u);  // the knob actually fired
+}
+
+TEST(CostModelAlias, BothSpellingsAtOnceAreRejected) {
+  const ScheduledDag fam = makeFamily("vee2");
+  SimulationConfig cfg;
+  cfg.failureProbability = 0.1;
+  cfg.faults.taskLossProbability = 0.1;
+  EXPECT_THROW((void)simulateWith(fam.dag, fam.schedule, "FIFO", cfg),
+               std::invalid_argument);
+}
+
+// ---------- BSP backend ----------
+
+SimulationConfig bspConfig(double syncCost, double commCost) {
+  SimulationConfig cfg;
+  cfg.numClients = 2;
+  cfg.durationJitter = 0.0;
+  cfg.seed = 3;
+  cfg.costModel.kind = CostModelKind::Bsp;
+  cfg.costModel.bspSyncCost = syncCost;
+  cfg.costModel.bspCommCost = commCost;
+  return cfg;
+}
+
+TEST(CostModelBsp, ChainChargesSyncAndCommPerLevel) {
+  // On a k-chain with unit durations every level is one task, so the exact
+  // makespan is k + (k-1) * (sync + comm): each of the k-1 barriers charges
+  // its reopening latency as wait plus one unit of h-relation input.
+  const std::size_t k = 5;
+  const Dag chain = chainDag(k);
+  const Schedule order = identityOrder(k);
+  const double sync = 2.0;
+  const double comm = 0.25;
+  const SimulationResult r =
+      simulateWith(chain, order, "FIFO", bspConfig(sync, comm));
+  const double dk = static_cast<double>(k);
+  EXPECT_DOUBLE_EQ(r.makespan, dk + (dk - 1) * (sync + comm));
+  EXPECT_DOUBLE_EQ(r.cost.syncTime, (dk - 1) * sync);
+  EXPECT_DOUBLE_EQ(r.cost.waitTime, (dk - 1) * sync);
+  EXPECT_DOUBLE_EQ(r.cost.commTime, (dk - 1) * comm);
+  EXPECT_EQ(r.cost.supersteps, k);
+  EXPECT_EQ(r.cost.fetches, 0u);
+}
+
+TEST(CostModelBsp, BarrierParksTasksUntilTheirSuperstepOpens) {
+  // s -> {a, b}, a -> c. Task c is eligible as soon as a completes, but its
+  // superstep (level 2) may not start until b's level is fully done -- the
+  // engine must park it and re-offer it when the barrier opens.
+  DagBuilder b(4);
+  b.addArc(0, 1);  // s -> a
+  b.addArc(0, 2);  // s -> b
+  b.addArc(1, 3);  // a -> c
+  const Dag g = b.freeze();
+  const Schedule order = identityOrder(4);
+  const SimulationConfig bsp = bspConfig(1.0, 0.5);
+  SimulationConfig latency = bsp;
+  latency.costModel = CostModelConfig{};
+
+  // BSP: s done at 1; barrier opens level 1 at 2; a and b run [2, 3.5]
+  // (wait 1 + comm 0.5 + work 1); barrier opens level 2 at 4.5; c runs
+  // [3.5 + wait 1 + comm 0.5, 6].
+  const SimulationResult rb = simulateWith(g, order, "FIFO", bsp);
+  EXPECT_DOUBLE_EQ(rb.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(rb.cost.waitTime, 3.0);
+  EXPECT_DOUBLE_EQ(rb.cost.commTime, 1.5);
+  EXPECT_DOUBLE_EQ(rb.cost.syncTime, 2.0);
+  EXPECT_EQ(rb.cost.supersteps, 3u);
+
+  // Latency: c starts the moment a completes; 3 sequential unit tasks.
+  const SimulationResult rl = simulateWith(g, order, "FIFO", latency);
+  EXPECT_DOUBLE_EQ(rl.makespan, 3.0);
+  EXPECT_EQ(rl.cost, CostMetrics{});
+}
+
+// ---------- memory backend ----------
+
+TEST(CostModelMemory, NonResidentInputsAreFetched) {
+  // a and b run on different clients; whichever client executes the join c
+  // holds one parent locally and must fetch the other.
+  DagBuilder b(3);
+  b.addArc(0, 2);
+  b.addArc(1, 2);
+  const Dag g = b.freeze();
+  SimulationConfig cfg;
+  cfg.numClients = 2;
+  cfg.durationJitter = 0.0;
+  cfg.seed = 8;
+  cfg.costModel.kind = CostModelKind::Memory;
+  cfg.costModel.memCapacity = 4;
+  cfg.costModel.memFetchCost = 0.5;
+  const SimulationResult r = simulateWith(g, identityOrder(3), "FIFO", cfg);
+  EXPECT_EQ(r.cost.fetches, 1u);
+  EXPECT_DOUBLE_EQ(r.cost.commTime, 0.5);
+  EXPECT_EQ(r.cost.evictions, 0u);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.5);  // 1 (sources) + 0.5 fetch + 1
+}
+
+TEST(CostModelMemory, LruEvictsColdOutputsOnOneClient) {
+  // One client, capacity 2, 4-chain: every input is resident when needed
+  // (zero fetches), but storing each new output evicts the coldest one.
+  const Dag chain = chainDag(4);
+  SimulationConfig cfg;
+  cfg.numClients = 1;
+  cfg.durationJitter = 0.0;
+  cfg.seed = 8;
+  cfg.costModel.kind = CostModelKind::Memory;
+  cfg.costModel.memCapacity = 2;
+  cfg.costModel.memFetchCost = 0.5;
+  const SimulationResult r = simulateWith(chain, identityOrder(4), "FIFO", cfg);
+  EXPECT_EQ(r.cost.fetches, 0u);
+  EXPECT_EQ(r.cost.evictions, 2u);
+  EXPECT_DOUBLE_EQ(r.cost.commTime, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(CostModelMemory, CapacityBelowMaxInDegreePlusOneIsRejected) {
+  DagBuilder b(3);
+  b.addArc(0, 2);
+  b.addArc(1, 2);  // max in-degree 2 => capacity must be >= 3
+  const Dag g = b.freeze();
+  SimulationConfig cfg;
+  cfg.costModel.kind = CostModelKind::Memory;
+  cfg.costModel.memCapacity = 2;
+  EXPECT_THROW((void)simulateWith(g, identityOrder(3), "FIFO", cfg),
+               std::invalid_argument);
+}
+
+// ---------- snapshot / restore under every backend ----------
+
+SimulationConfig snapshotCaseConfig(CostModelKind kind) {
+  SimulationConfig cfg;
+  cfg.numClients = 3;
+  cfg.seed = 11;
+  cfg.faults.taskLossProbability = 0.15;
+  cfg.faults.stragglerProbability = 0.1;
+  cfg.faults.speculationFactor = 2.0;
+  cfg.costModel.kind = kind;
+  if (kind == CostModelKind::Memory) cfg.costModel.memCapacity = 8;
+  return cfg;
+}
+
+class CostModelSnapshot : public ::testing::TestWithParam<CostModelKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, CostModelSnapshot,
+                         ::testing::Values(CostModelKind::Latency, CostModelKind::Bsp,
+                                           CostModelKind::Memory),
+                         [](const ::testing::TestParamInfo<CostModelKind>& p) {
+                           return costModelKindName(p.param);
+                         });
+
+TEST_P(CostModelSnapshot, MidRunRestoreIsByteIdenticalToUninterrupted) {
+  const ScheduledDag fam = makeFamily("butterfly3");
+  const SimulationConfig cfg = snapshotCaseConfig(GetParam());
+
+  SimulationEngine reference;
+  const SimulationResult uninterrupted =
+      reference.runWith(fam.dag, fam.schedule, "RANDOM", cfg);
+
+  SimulationEngine first;
+  first.beginWith(fam.dag, fam.schedule, "RANDOM", cfg);
+  bool finished = false;
+  while (first.eventsProcessed() < 25 && !(finished = first.step(5))) {
+  }
+  ASSERT_FALSE(finished) << "instance too small to snapshot mid-run";
+  const std::string snap = first.snapshot();
+
+  SimulationEngine second;
+  second.restoreWith(snap, fam.dag, fam.schedule, cfg);
+  EXPECT_EQ(second.snapshot(), snap);  // snapshot -> restore -> snapshot
+  while (!second.step(100000)) {
+  }
+  EXPECT_EQ(resultBytes(second.takeResult()), resultBytes(uninterrupted));
+}
+
+TEST_P(CostModelSnapshot, CheckpointFileRoundTrips) {
+  const ScheduledDag fam = makeFamily("butterfly3");
+  const SimulationConfig cfg = snapshotCaseConfig(GetParam());
+  const std::string path = ::testing::TempDir() + "costmodel_" +
+                           costModelKindName(GetParam()) + ".ckpt";
+
+  SimulationEngine reference;
+  const SimulationResult uninterrupted =
+      reference.runWith(fam.dag, fam.schedule, "MAX-OUT", cfg);
+
+  SimulationEngine first;
+  first.beginWith(fam.dag, fam.schedule, "MAX-OUT", cfg);
+  ASSERT_FALSE(first.step(20));
+  first.saveCheckpoint(path);
+
+  SimulationEngine second;
+  second.restoreCheckpointWith(path, fam.dag, fam.schedule, cfg);
+  while (!second.step(100000)) {
+  }
+  EXPECT_EQ(resultBytes(second.takeResult()), resultBytes(uninterrupted));
+  std::remove(path.c_str());
+}
+
+TEST(CostModelSnapshotErrors, KindMismatchIsRejectedByFingerprint) {
+  const ScheduledDag fam = makeFamily("prefix6");
+  const SimulationConfig bsp = snapshotCaseConfig(CostModelKind::Bsp);
+  SimulationEngine engine;
+  engine.beginWith(fam.dag, fam.schedule, "FIFO", bsp);
+  ASSERT_FALSE(engine.step(10));
+  const std::string snap = engine.snapshot();
+  SimulationConfig memory = bsp;
+  memory.costModel.kind = CostModelKind::Memory;
+  memory.costModel.memCapacity = 8;
+  SimulationEngine other;
+  EXPECT_THROW(other.restoreWith(snap, fam.dag, fam.schedule, memory),
+               recovery::StateMismatchError);
+}
+
+// ---------- sweep cost axis ----------
+
+SweepSpec costSweepSpec(const ScheduledDag& a, const ScheduledDag& b) {
+  SweepSpec spec;
+  spec.dags.push_back({"a", &a.dag, &a.schedule});
+  spec.dags.push_back({"b", &b.dag, &b.schedule});
+  spec.schedulers = {"FIFO", "IC-OPT"};
+  spec.seeds = seedRange(5, 2);
+  SweepSpec::CostCase bsp;
+  bsp.name = "bsp";
+  bsp.cost.kind = CostModelKind::Bsp;
+  bsp.cost.bspCommCost = 0.25;
+  bsp.cost.bspSyncCost = 1.0;
+  SweepSpec::CostCase memory;
+  memory.name = "memory";
+  memory.cost.kind = CostModelKind::Memory;
+  memory.cost.memCapacity = 32;
+  memory.cost.memFetchCost = 0.5;
+  spec.costCases = {SweepSpec::CostCase{}, bsp, memory};
+  return spec;
+}
+
+TEST(CostModelSweep, CostAxisExpandsAndParallelMatchesSerial) {
+  const ScheduledDag a = makeFamily("vee3");
+  const ScheduledDag b = makeFamily("prefix6");
+  const SweepSpec spec = costSweepSpec(a, b);
+  ASSERT_EQ(spec.numReplications(), 2u * 2u * 2u * 1u * 3u);
+
+  const std::vector<Replication> serial = BatchRunner(1).run(spec);
+  const std::vector<Replication> parallel = BatchRunner(4).run(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].index, i);
+    // seed fastest, then fault (1 case), then cost.
+    EXPECT_EQ(serial[i].costIndex, (i / 2) % 3);
+    EXPECT_EQ(resultBytes(serial[i].result), resultBytes(parallel[i].result));
+    const CostMetrics& c = serial[i].result.cost;
+    if (serial[i].costIndex == 0) {
+      EXPECT_EQ(c, CostMetrics{});
+    } else if (serial[i].costIndex == 1) {
+      EXPECT_GT(c.supersteps, 0u);
+      EXPECT_GT(c.syncTime, 0.0);
+    }
+  }
+}
+
+TEST(CostModelSweep, JournaledResumeCarriesCostMetricsExactly) {
+  const ScheduledDag a = makeFamily("vee3");
+  const ScheduledDag b = makeFamily("prefix6");
+  const SweepSpec spec = costSweepSpec(a, b);
+  const std::string path = ::testing::TempDir() + "cost_sweep.journal";
+  std::remove(path.c_str());
+
+  JournalOptions jo;
+  jo.path = path;
+  const std::vector<Replication> fresh = BatchRunner(2).runJournaled(spec, jo);
+
+  JournalOptions resume = jo;
+  resume.resume = true;
+  const std::vector<Replication> salvaged = BatchRunner(2).runJournaled(spec, resume);
+  ASSERT_EQ(fresh.size(), salvaged.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(resultBytes(fresh[i].result), resultBytes(salvaged[i].result));
+  }
+
+  // A sweep whose cost axis differs is a different sweep: typed mismatch.
+  SweepSpec other = spec;
+  other.costCases[2].cost.memFetchCost = 0.75;
+  EXPECT_THROW((void)BatchRunner(1).runJournaled(other, resume),
+               recovery::StateMismatchError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace icsched

@@ -269,6 +269,45 @@ TEST(CliTest, SimulateTrialsAndThreadsFlags) {
   EXPECT_NE(err.find("trials must be >= 1"), std::string::npos);
 }
 
+TEST(CliTest, SimulateCostFlagsPrintCostLine) {
+  std::string text;
+  ASSERT_EQ(cli({"gen", "mesh", "6"}, "", &text), 0);
+  // The default latency backend charges nothing extra: no cost line, and
+  // spelling it out changes nothing.
+  std::string plain;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3"}, text, &plain), 0);
+  EXPECT_EQ(plain.find("cost model="), std::string::npos);
+  std::string latency;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "cost_model=latency"}, text, &latency), 0);
+  EXPECT_EQ(plain, latency);
+  // BSP: a cost line with supersteps; counts the mesh's diagonal levels.
+  std::string bsp;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "cost_model=bsp", "bsp_g=0.25",
+                 "bsp_sync=2"},
+                text, &bsp),
+            0);
+  EXPECT_NE(bsp.find("cost model=bsp"), std::string::npos);
+  EXPECT_NE(bsp.find("supersteps=6"), std::string::npos);
+  // Memory: fetches show up; the mean row of a multi-trial run reports the
+  // cost totals too.
+  std::string mem;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "cost_model=memory", "mem_cap=4",
+                 "mem_fetch=0.5", "trials=2"},
+                text, &mem),
+            0);
+  EXPECT_NE(mem.find("mean makespan="), std::string::npos);
+  EXPECT_NE(mem.find("cost model=memory"), std::string::npos);
+  // The comm_model absorption: compute=/comm= set latency base durations.
+  std::string comm;
+  ASSERT_EQ(cli({"simulate", "4", "IC-OPT", "3", "compute=1", "comm=0.5"}, text, &comm), 0);
+  EXPECT_NE(comm.find("makespan="), std::string::npos);
+  // Unknown backend names are rejected with the parser's message.
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"simulate", "4", "IC-OPT", "3", "cost_model=quantum"}, text, &out, &err), 1);
+  EXPECT_NE(err.find("unknown cost model"), std::string::npos);
+}
+
 TEST(CliTest, SimulateRejectsMalformedFaultFlags) {
   std::string text;
   ASSERT_EQ(cli({"gen", "mesh", "4"}, "", &text), 0);

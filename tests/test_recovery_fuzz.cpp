@@ -161,6 +161,59 @@ TEST(RecoveryFuzzTest, CorruptedJournalsNeverCrash) {
   }
 }
 
+TEST(RecoveryFuzzTest, PreBumpCheckpointVersionIsAVersionErrorNamingBoth) {
+  // A well-formed v1 checkpoint (the pre-cost-model layout) must be rejected
+  // by version negotiation -- a VersionError naming both the found and the
+  // expected version -- before any payload parsing that could call it
+  // corrupt.
+  const std::string path = tempPath("v1.ckpt");
+  recovery::writeFramedFile(path, "ICSCHKPT", 1, "pre-cost-model payload bytes");
+
+  const ScheduledDag fam = outMesh(6);
+  SimulationConfig cfg;
+  cfg.numClients = 3;
+  cfg.seed = 7;
+  SimulationEngine victim;
+  try {
+    victim.restoreCheckpointWith(path, fam.dag, fam.schedule, cfg);
+    FAIL() << "v1 checkpoint was accepted";
+  } catch (const recovery::CorruptError& e) {
+    FAIL() << "v1 checkpoint raised CorruptError instead of VersionError: " << e.what();
+  } catch (const recovery::VersionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("format version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("reads version 2"), std::string::npos) << what;
+  }
+}
+
+TEST(RecoveryFuzzTest, PreBumpJournalVersionIsAVersionErrorNamingBoth) {
+  // Hand-craft a v1 journal header, CRC-valid so only the version differs:
+  // [magic 8][version u32][endian u8][fingerprint u64][crc32 of the first
+  // 21 bytes].
+  recovery::ByteWriter header;
+  header.raw(recovery::kJournalMagic.data(), recovery::kJournalMagic.size());
+  header.u32(1);
+  header.u8(1);
+  header.u64(0xFEEDFACECAFEBEEFull);
+  header.u32(recovery::crc32(header.bytes().data(), header.size()));
+  const std::string path = tempPath("v1.journal");
+  spit(path, header.bytes());
+
+  for (const recovery::JournalReadMode mode :
+       {recovery::JournalReadMode::Strict, recovery::JournalReadMode::Recover}) {
+    try {
+      (void)recovery::readJournal(path, mode);
+      FAIL() << "v1 journal was accepted";
+    } catch (const recovery::CorruptError& e) {
+      FAIL() << "v1 journal raised CorruptError instead of VersionError: " << e.what();
+    } catch (const recovery::VersionError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("format version 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("reads version 2"), std::string::npos) << what;
+    }
+  }
+}
+
 TEST(RecoveryFuzzTest, SplicedRecordsFromAnotherJournalAreRejected) {
   // Splice a record of journal B into journal A: the record CRC is valid, so
   // the byte layer accepts it -- the semantic layer (replication index
