@@ -1,0 +1,207 @@
+/// \file bench_service.cpp
+/// \brief Daemon-path overhead: cold synthesis vs schedule-cache hit, and
+/// request throughput at N concurrent clients. Results land in
+/// BENCH_service.json.
+///
+///   bench_service [OUT.json] [--smoke]
+///
+/// The acceptance gate: a cache-hit `schedule greedy` on mesh-192 (the
+/// synthesis bench's large mesh) must be at least 10x faster than the cold
+/// call through the same daemon. The cache is the paper's economics made
+/// concrete -- an IC schedule is computed once and reused for every client
+/// arrival pattern -- so if a hit is not decisively cheaper than a cold
+/// synthesis, the service layer has broken its own premise.
+///
+/// Also measured, for the record (no gate): end-to-end requests/sec at 1, 4
+/// and 8 concurrent clients issuing cached synthesis calls (round trip:
+/// frame encode, socket, admission pipeline, cache lookup, frame decode).
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/client.hpp"
+#include "service/service.hpp"
+
+namespace ib = icsched::bench;
+using namespace icsched::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+RequestPayload scheduleReq(const std::string& dagText) {
+  RequestPayload req;
+  req.args = {"schedule", "greedy"};
+  req.stdinText = dagText;
+  return req;
+}
+
+/// One round trip through the daemon; asserts success.
+ResponsePayload mustCall(ServiceClient& c, const RequestPayload& req, int timeoutMillis) {
+  const ServiceClient::CallOutcome outcome = c.call(req, timeoutMillis);
+  if (!outcome.ok) {
+    std::cerr << "bench_service: request failed: " << outcome.error.message << "\n";
+    std::exit(2);
+  }
+  return outcome.response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_service.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      outPath = arg;
+    }
+  }
+  const std::size_t coldReps = smoke ? 1 : 3;
+  const std::size_t hitReps = smoke ? 50 : 500;
+  const std::size_t throughputReqs = smoke ? 25 : 200;
+
+  ib::header("SVC", "Scheduling service: cache-hit speedup + request throughput");
+  ib::Outcome outcome;
+
+  // The dag under test comes from the daemon itself (`gen mesh 192`), so the
+  // bench exercises exactly the bytes a real client would send.
+  std::string mesh192;
+  {
+    ServiceConfig cfg;
+    Service svc(cfg);
+    svc.start();
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+    RequestPayload gen;
+    gen.args = {"gen", "mesh", "192"};
+    mesh192 = mustCall(c, gen, 60000).out;
+    svc.stop();
+  }
+  const RequestPayload synth = scheduleReq(mesh192);
+
+  // ---- cold vs cache-hit latency (fresh daemon per cold measurement, so
+  // the first call can never be accidentally warm) ----
+  double coldBest = 1e300;
+  double hitBest = 1e300;
+  std::string coldBytes;
+  std::string hitBytes;
+  for (std::size_t rep = 0; rep < coldReps; ++rep) {
+    ServiceConfig cfg;
+    cfg.workerThreads = 2;
+    Service svc(cfg);
+    svc.start();
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+
+    auto start = Clock::now();
+    const ResponsePayload cold = mustCall(c, synth, 120000);
+    coldBest = std::min(coldBest, secondsSince(start));
+    coldBytes = cold.out;
+    if ((cold.flags & kRespFlagScheduleCacheHit) != 0) {
+      std::cerr << "bench_service: first call was already a cache hit\n";
+      return 2;
+    }
+
+    for (std::size_t i = 0; i < hitReps; ++i) {
+      start = Clock::now();
+      const ResponsePayload hit = mustCall(c, synth, 120000);
+      hitBest = std::min(hitBest, secondsSince(start));
+      if ((hit.flags & kRespFlagScheduleCacheHit) == 0) {
+        std::cerr << "bench_service: warm call missed the cache\n";
+        return 2;
+      }
+      hitBytes = hit.out;
+    }
+    svc.stop();
+  }
+  const bool sameBytes = coldBytes == hitBytes && !coldBytes.empty();
+  const double speedup = hitBest > 0.0 ? coldBest / hitBest : 1e300;
+  std::cout << "  cold synthesis (mesh-192, greedy): " << coldBest * 1e3 << " ms\n"
+            << "  cache hit:                         " << hitBest * 1e6 << " us\n"
+            << "  speedup:                           " << speedup << "x\n";
+  ib::verdict(sameBytes, "cache hit returns byte-identical schedule");
+  outcome.note(sameBytes);
+  const bool fastEnough = speedup >= 10.0;
+  ib::verdict(fastEnough, "cache hit is >= 10x faster than cold synthesis on mesh-192 (" +
+                              std::to_string(speedup) + "x)");
+  outcome.note(fastEnough);
+
+  // ---- requests/sec at N concurrent clients (cached synthesis calls) ----
+  struct ThroughputRow {
+    std::size_t clients;
+    std::size_t requests;
+    double seconds;
+    double rps;
+  };
+  std::vector<ThroughputRow> throughput;
+  {
+    ServiceConfig cfg;
+    cfg.workerThreads = 4;
+    cfg.maxOutstanding = 256;
+    cfg.maxInflightPerClient = 32;
+    Service svc(cfg);
+    svc.start();
+    {
+      ServiceClient warm = ServiceClient::connectTcp("127.0.0.1", svc.port());
+      (void)mustCall(warm, synth, 120000);  // populate the cache once
+    }
+    for (const std::size_t clients : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      std::vector<std::thread> threads;
+      const auto start = Clock::now();
+      for (std::size_t t = 0; t < clients; ++t) {
+        threads.emplace_back([&] {
+          ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+          for (std::size_t i = 0; i < throughputReqs; ++i) (void)mustCall(c, synth, 120000);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double sec = secondsSince(start);
+      const std::size_t total = clients * throughputReqs;
+      throughput.push_back({clients, total, sec, static_cast<double>(total) / sec});
+      std::cout << "  " << clients << " client(s): " << total << " requests in " << sec
+                << " s = " << throughput.back().rps << " req/s\n";
+    }
+    svc.stop();
+  }
+
+  std::ofstream json(outPath);
+  if (!json) {
+    std::cerr << "cannot open " << outPath << "\n";
+    return 2;
+  }
+  json.precision(17);
+  json << "{\n  \"bench\": \"service\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"family\": \"mesh-192\",\n"
+       << "  \"method\": \"greedy\",\n"
+       << "  \"cold_repetitions\": " << coldReps << ",\n"
+       << "  \"hit_repetitions\": " << hitReps << ",\n"
+       << "  \"cold_seconds\": " << coldBest << ",\n"
+       << "  \"cache_hit_seconds\": " << hitBest << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"gate_speedup\": 10.0,\n"
+       << "  \"hit_bytes_identical\": " << (sameBytes ? "true" : "false") << ",\n"
+       << "  \"throughput\": [\n";
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    json << "    {\"clients\": " << throughput[i].clients
+         << ", \"requests\": " << throughput[i].requests
+         << ", \"seconds\": " << throughput[i].seconds
+         << ", \"requests_per_second\": " << throughput[i].rps << "}"
+         << (i + 1 < throughput.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"passed\": " << (outcome.exitCode() == 0 ? "true" : "false") << "\n}\n";
+  std::cout << "\nwrote " << outPath << "\n";
+
+  return outcome.exitCode();
+}

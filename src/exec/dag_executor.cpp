@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <queue>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "exec/thread_pool.hpp"
 #include "recovery/checkpoint_io.hpp"
 #include "recovery/journal.hpp"
+#include "resilience/portable_random.hpp"
 
 namespace icsched {
 
@@ -30,6 +32,25 @@ void RetryPolicy::validate() const {
           "maxBackoffSeconds must be finite and >= 0");
   require(std::isfinite(taskDeadlineSeconds) && taskDeadlineSeconds >= 0.0,
           "taskDeadlineSeconds must be finite and >= 0");
+  require(std::isfinite(backoffJitter) && backoffJitter >= 0.0 && backoffJitter <= 1.0,
+          "backoffJitter must be in [0, 1]");
+}
+
+double retryBackoffSeconds(const RetryPolicy& policy, NodeId v, std::size_t failures) {
+  if (failures == 0) return 0.0;
+  double backoff =
+      std::min(policy.maxBackoffSeconds,
+               policy.initialBackoffSeconds *
+                   std::pow(policy.backoffMultiplier, static_cast<double>(failures - 1)));
+  if (policy.backoffJitter > 0.0 && backoff > 0.0) {
+    // One draw from a generator seeded by (seed, node, attempt): the value
+    // depends only on the retry's identity, never on thread interleaving,
+    // so jittered runs stay deterministic.
+    std::mt19937_64 rng(
+        recovery::fnv1aU64(failures, recovery::fnv1aU64(v, recovery::fnv1aU64(policy.jitterSeed))));
+    backoff *= 1.0 - policy.backoffJitter * portableUnit(rng);
+  }
+  return backoff;
 }
 
 ExecutionTrace executeSequential(const Dag& g, const Schedule& s,
@@ -300,11 +321,7 @@ class RetryRun {
           }
           enterFailFastLocked();
         } else if (!failFast_) {
-          const double backoff =
-              std::min(policy_.maxBackoffSeconds,
-                       policy_.initialBackoffSeconds *
-                           std::pow(policy_.backoffMultiplier,
-                                    static_cast<double>(failures_[v] - 1)));
+          const double backoff = retryBackoffSeconds(policy_, v, failures_[v]);
           faults_.add(secondsSince(start_), FaultEventKind::Retry, kNoClient, v,
                       failures_[v], backoff);
           if (backoff <= 0.0) {

@@ -32,6 +32,7 @@
 /// resilience reporting (see resilience/fault_trace.hpp).
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -70,10 +71,28 @@ struct RetryPolicy {
   /// Per-attempt deadline; the attempt's CancelToken fires when it expires
   /// and the attempt counts as failed. 0 disables deadlines.
   double taskDeadlineSeconds = 0.0;
+  /// Fraction of each backoff delay randomized away, in [0, 1]: the delay
+  /// becomes backoff * (1 - backoffJitter * u) with u in [0, 1) drawn
+  /// deterministically from (jitterSeed, node, failure count) via
+  /// resilience/portable_random -- so concurrent retries of different nodes
+  /// de-synchronize (no thundering herd) while the schedule stays exactly
+  /// reproducible across runs and thread counts. 0 (the default) keeps the
+  /// legacy pure-exponential delays byte for byte.
+  double backoffJitter = 0.0;
+  /// Seed for the jitter draws; only meaningful when backoffJitter > 0.
+  std::uint64_t jitterSeed = 0;
 
   /// \throws std::invalid_argument with a field-specific message.
   void validate() const;
 };
+
+/// The delay before re-dispatching node \p v after its \p failures-th failed
+/// attempt: min(maxBackoff, initial * multiplier^(failures-1)), scaled by
+/// the policy's deterministic jitter. Exposed so tests (and other layers
+/// wanting the same thundering-herd-free schedule) can reproduce the exact
+/// delays the executor sleeps.
+[[nodiscard]] double retryBackoffSeconds(const RetryPolicy& policy, NodeId v,
+                                         std::size_t failures);
 
 /// A payload for the retrying executor: \p token is cancelled when the
 /// attempt's deadline expires or the run is shutting down fail-fast;

@@ -68,8 +68,8 @@ std::string FaultTrace::toString() const {
 std::uint64_t FaultTrace::fingerprint() const {
   const std::string s = toString();
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
-  for (unsigned char c : s) {
-    h ^= c;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
   return h;

@@ -1,0 +1,161 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace icsched::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+ServiceClient ServiceClient::connectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw recovery::FileError("client: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw recovery::FileError("client: unix path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = ::strerror(errno);
+    ::close(fd);
+    throw recovery::FileError("client: connect(" + path + ") failed: " + why);
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connectTcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw recovery::FileError("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw recovery::FileError("client: bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = ::strerror(errno);
+    ::close(fd);
+    throw recovery::FileError("client: connect(" + host + ":" + std::to_string(port) +
+                              ") failed: " + why);
+  }
+  // Request/response framing sends one full frame per write; letting Nagle
+  // pair with delayed ACKs costs ~40 ms per round trip on loopback.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return ServiceClient(fd);
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::shutdownWrite() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
+}
+
+void ServiceClient::sendRaw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw recovery::FileError(std::string("client: send failed: ") + ::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void ServiceClient::sendFrame(FrameKind kind, std::string_view payload) {
+  sendRaw(encodeFrame(kind, payload));
+}
+
+Frame ServiceClient::readFrame(int timeoutMillis) {
+  for (;;) {
+    if (auto f = decoder_.next()) return std::move(*f);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, timeoutMillis);
+    if (r == 0) throw recovery::FileError("client read timeout");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw recovery::FileError(std::string("client: poll failed: ") + ::strerror(errno));
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      throw recovery::TruncatedError("client: connection closed by server" +
+                                     std::string(decoder_.hasPartial() ? " mid-frame" : ""));
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw recovery::FileError(std::string("client: recv failed: ") + ::strerror(errno));
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+ServiceClient::CallOutcome ServiceClient::call(const RequestPayload& req, int timeoutMillis) {
+  sendRequest(req);
+  const Frame f = readFrame(timeoutMillis);
+  CallOutcome outcome;
+  if (f.kind == FrameKind::Response) {
+    outcome.ok = true;
+    outcome.response = decodeResponsePayload(f.payload);
+  } else if (f.kind == FrameKind::Error) {
+    outcome.ok = false;
+    outcome.error = decodeErrorPayload(f.payload);
+  } else {
+    throw recovery::CorruptError("client: unexpected frame kind in reply");
+  }
+  return outcome;
+}
+
+void ServiceClient::ping(int timeoutMillis) {
+  sendFrame(FrameKind::Ping, "");
+  const Frame f = readFrame(timeoutMillis);
+  if (f.kind != FrameKind::Pong) {
+    throw recovery::CorruptError("client: expected Pong, got kind " +
+                                 std::to_string(static_cast<int>(f.kind)));
+  }
+}
+
+void ServiceClient::requestShutdown(int timeoutMillis) {
+  sendFrame(FrameKind::Shutdown, "");
+  const Frame f = readFrame(timeoutMillis);
+  if (f.kind != FrameKind::Pong) {
+    throw recovery::CorruptError("client: shutdown not acknowledged");
+  }
+}
+
+}  // namespace icsched::service

@@ -1,0 +1,76 @@
+#pragma once
+/// \file client.hpp
+/// \brief Blocking client for the scheduling service's wire protocol.
+///
+/// Used by the soak harness, the service tests, and the bench. Besides the
+/// well-behaved call() path it deliberately exposes the misbehaving surface
+/// a fault-injecting client needs: sendRaw() for arbitrary (corrupt) bytes,
+/// shutdownWrite() for half-closes, and fd() for byte-at-a-time slowloris
+/// writes. All reads are poll(2)-bounded; a timeout throws
+/// recovery::FileError ("client read timeout"), a peer close mid-frame
+/// throws recovery::TruncatedError.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/wire.hpp"
+
+namespace icsched::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// \throws recovery::FileError when the connection fails.
+  static ServiceClient connectUnix(const std::string& path);
+  static ServiceClient connectTcp(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Sends arbitrary bytes verbatim (fault injection).
+  void sendRaw(std::string_view bytes);
+  void sendFrame(FrameKind kind, std::string_view payload);
+  void sendRequest(const RequestPayload& req) { sendRaw(encodeRequest(req)); }
+
+  /// Half-close: no more bytes from us, responses still readable.
+  void shutdownWrite();
+  void close();
+
+  /// Reads the next complete frame.
+  /// \throws recovery::FileError on timeout, recovery::TruncatedError when
+  /// the peer closes mid-frame, other recovery errors on malformed bytes.
+  [[nodiscard]] Frame readFrame(int timeoutMillis = 5000);
+
+  /// Either the decoded Response or the server's Error frame.
+  struct CallOutcome {
+    bool ok = false;
+    ResponsePayload response;
+    ErrorPayload error;
+  };
+
+  /// sendRequest + readFrame + decode, skipping unrelated frame kinds is NOT
+  /// done -- the protocol answers requests in completion order, so callers
+  /// running one request at a time always see their own answer.
+  [[nodiscard]] CallOutcome call(const RequestPayload& req, int timeoutMillis = 5000);
+
+  /// Ping round trip; throws on anything but a Pong.
+  void ping(int timeoutMillis = 5000);
+
+  /// Sends a Shutdown frame and waits for the Pong acknowledgement.
+  void requestShutdown(int timeoutMillis = 5000);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace icsched::service

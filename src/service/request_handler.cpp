@@ -1,0 +1,84 @@
+#include "service/request_handler.hpp"
+
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string_view>
+
+#include "io/cli.hpp"
+#include "io/dag_io.hpp"
+#include "recovery/checkpoint_io.hpp"
+
+namespace icsched::service {
+
+namespace {
+
+/// Feeds one byte range into both FNV-1a streams.
+void mixBytes(std::string_view s, std::uint64_t& lo, std::uint64_t& hi) {
+  for (const char c : s) {
+    const auto b = static_cast<std::uint8_t>(c);
+    lo = (lo ^ b) * 1099511628211ull;
+    hi = (hi ^ b) * 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+bool cacheableSynthesisArgs(const RequestPayload& req) {
+  if (req.args.empty() || req.args[0] != "schedule") return false;
+  if (req.args.size() > 2) return false;
+  const std::string method = req.args.size() == 2 ? req.args[1] : "beam";
+  return method == "greedy" || method == "beam" || method == "exact";
+}
+
+std::optional<ScheduleCacheKey> synthesisCacheKey(const RequestPayload& req) {
+  if (!cacheableSynthesisArgs(req)) return std::nullopt;
+  const std::string method = req.args.size() == 2 ? req.args[1] : "beam";
+  try {
+    std::istringstream in(req.stdinText);
+    const Dag g = readDag(in);
+    return ScheduleCacheKey{structuralDigest(g), method};
+  } catch (const std::exception&) {
+    // Unparseable dag: let runCli produce the CLI's own error bytes.
+    return std::nullopt;
+  }
+}
+
+DagDigest requestTextDigest(const RequestPayload& req) {
+  std::uint64_t lo = 14695981039346656037ull;  // FNV-1a offset basis
+  std::uint64_t hi = 0x9E3779B97F4A7C15ull;    // unrelated second seed
+  // Length-delimiting every part keeps ("ab","c") and ("a","bc") distinct.
+  for (const std::string& a : req.args) {
+    lo = recovery::fnv1aU64(a.size(), lo);
+    hi = recovery::fnv1aU64(a.size(), hi);
+    mixBytes(a, lo, hi);
+  }
+  lo = recovery::fnv1aU64(req.stdinText.size(), lo);
+  hi = recovery::fnv1aU64(req.stdinText.size(), hi);
+  mixBytes(req.stdinText, lo, hi);
+  return {lo, hi};
+}
+
+ResponsePayload executeRequest(const RequestPayload& req) {
+  ResponsePayload resp;
+  resp.requestId = req.requestId;
+  std::istringstream in(req.stdinText);
+  std::ostringstream out;
+  std::ostringstream err;
+  try {
+    resp.exitCode = runCli(req.args, in, out, err);
+  } catch (const std::exception& e) {
+    // runCli catches std::exception itself; this guards non-standard throws
+    // so a handler bug can never take the worker (and the daemon) down.
+    resp.exitCode = 1;
+    err << "icsched_serve: handler error: " << e.what() << "\n";
+  } catch (...) {
+    resp.exitCode = 1;
+    err << "icsched_serve: handler error: unknown exception\n";
+  }
+  resp.out = out.str();
+  resp.err = err.str();
+  return resp;
+}
+
+}  // namespace icsched::service

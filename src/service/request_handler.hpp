@@ -1,0 +1,49 @@
+#pragma once
+/// \file request_handler.hpp
+/// \brief Executes one wire request through the exact one-shot CLI path.
+///
+/// A request is argv + stdin, so execution simply drives io/cli.hpp's
+/// runCli() over in-memory streams. This is what pins the service's parity
+/// guarantee: for every well-formed request, (exitCode, stdout, stderr) are
+/// byte-identical to running `icsched <args> < stdin` -- there is no second
+/// implementation of any command to drift.
+///
+/// synthesisCacheKey() recognizes the cacheable subset (`schedule
+/// [method]`): it parses the dag off the request's stdin and fingerprints it
+/// (schedule_cache.hpp). Parsing costs O(V+E); synthesis costs far more, so
+/// the daemon pays the parse twice on a cold miss (once for the key, once
+/// inside runCli) to keep the two paths literally the same code.
+
+#include <optional>
+
+#include "service/schedule_cache.hpp"
+#include "service/wire.hpp"
+
+namespace icsched::service {
+
+/// True when the argv shape is the cacheable subset (`schedule
+/// [greedy|beam|exact]`). Cheap: looks only at args, never at stdin.
+[[nodiscard]] bool cacheableSynthesisArgs(const RequestPayload& req);
+
+/// The cache key for a cacheable synthesis request, or nullopt when the
+/// request is not `schedule [greedy|beam|exact]` or its stdin does not parse
+/// as a dag (malformed input must reach runCli so the error bytes match the
+/// CLI's).
+[[nodiscard]] std::optional<ScheduleCacheKey> synthesisCacheKey(const RequestPayload& req);
+
+/// 128-bit FNV-1a over the request's exact bytes (length-delimited args +
+/// stdin). The service memoizes requestTextDigest -> ScheduleCacheKey so a
+/// client resending the identical request bytes -- the overwhelmingly common
+/// hot path -- skips the O(V+E) dag parse that structuralDigest() needs.
+/// Requests whose bytes differ (e.g. the same dag with reordered arc lines)
+/// miss this memo, pay the parse once, and then occupy their own memo slot
+/// while still landing on the shared structural cache entry.
+[[nodiscard]] DagDigest requestTextDigest(const RequestPayload& req);
+
+/// Runs the request through runCli(). Never throws: an unexpected handler
+/// exception becomes exitCode 1 with the message on err (mirroring the CLI's
+/// own catch-all). flags are left 0; the service layers cache/replay flags
+/// on top.
+[[nodiscard]] ResponsePayload executeRequest(const RequestPayload& req);
+
+}  // namespace icsched::service

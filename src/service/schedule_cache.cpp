@@ -1,0 +1,33 @@
+#include "service/schedule_cache.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "recovery/checkpoint_io.hpp"
+
+namespace icsched::service {
+
+DagDigest structuralDigest(const Dag& g) {
+  // Two FNV-1a streams with unrelated seeds: a 64-bit accidental collision
+  // between near-miss dags is plausible over a long-lived daemon; a
+  // simultaneous 128-bit one is not.
+  std::uint64_t lo = recovery::fnv1aU64(g.numNodes());
+  std::uint64_t hi = recovery::fnv1aU64(g.numNodes(), 0x9E3779B97F4A7C15ull);
+  std::vector<NodeId> kids;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    const auto span = g.children(u);
+    kids.assign(span.begin(), span.end());
+    // Sorting each adjacency list makes the digest a function of the arc
+    // *set*, matching Dag::operator==; insertion order never matters.
+    std::sort(kids.begin(), kids.end());
+    lo = recovery::fnv1aU64(kids.size(), lo);
+    hi = recovery::fnv1aU64(kids.size(), hi);
+    for (NodeId v : kids) {
+      lo = recovery::fnv1aU64(v, lo);
+      hi = recovery::fnv1aU64(v, hi);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace icsched::service

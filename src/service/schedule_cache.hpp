@@ -1,0 +1,140 @@
+#pragma once
+/// \file schedule_cache.hpp
+/// \brief Content-addressed cache of synthesized schedules.
+///
+/// The paper's central economics -- an IC-schedule is computed once and is
+/// then valid for every client arrival pattern -- turn the daemon's
+/// synthesis path into a natural cache: two requests for the same dag
+/// structure must receive the same schedule, so the second one should cost a
+/// hash lookup, not another beam search.
+///
+/// **Keying.** A dag is fingerprinted by structuralDigest(): a 128-bit hash
+/// (two independently-seeded FNV-1a streams over the node count and each
+/// node's *sorted* child list). The digest is therefore
+///  - insertion-order invariant: the same arcs added in any order, or the
+///    same structure assembled through different builder histories, digest
+///    identically (matching Dag::operator=='s "same arc set" semantics);
+///  - label invariant: synthesis heuristics consume structure only, so
+///    relabeled dags may share a schedule;
+///  - structure sensitive: adding or removing a single arc, or renumbering
+///    vertices, changes the digest (a schedule is a sequence of node ids, so
+///    id-renumbered isomorphic dags must NOT share an entry).
+/// The CSR Dag makes this cheap: one pass over the flat child array plus a
+/// per-node sort, O(V + E log maxDegree), far below any synthesis cost.
+///
+/// **Eviction.** LruMap is a bounded least-recently-used map (hash map over
+/// an intrusive recency list). The service uses it twice: digest -> cached
+/// response here, and request-id -> response for idempotent replays.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/dag.hpp"
+
+namespace icsched::service {
+
+/// 128-bit structural fingerprint (see file comment for invariances).
+struct DagDigest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const DagDigest&, const DagDigest&) = default;
+};
+
+[[nodiscard]] DagDigest structuralDigest(const Dag& g);
+
+/// Hash for using a DagDigest itself as an LruMap key (the byte-level
+/// request-text memo in the service maps text digests to cache keys).
+struct DagDigestHash {
+  [[nodiscard]] std::size_t operator()(const DagDigest& d) const {
+    // lo/hi are already uniform; fold them.
+    return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Cache key: the dag fingerprint plus the request kind (synthesis method),
+/// so `schedule greedy` and `schedule beam` on the same dag occupy distinct
+/// entries.
+struct ScheduleCacheKey {
+  DagDigest digest;
+  std::string kind;
+  friend bool operator==(const ScheduleCacheKey&, const ScheduleCacheKey&) = default;
+};
+
+struct ScheduleCacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const ScheduleCacheKey& k) const {
+    // lo/hi are already uniform hashes; fold in the kind.
+    return static_cast<std::size_t>(k.digest.lo ^ (k.digest.hi * 0x9E3779B97F4A7C15ull) ^
+                                    std::hash<std::string>{}(k.kind));
+  }
+};
+
+/// Bounded LRU map. get() refreshes recency; put() evicts the least
+/// recently used entry once size exceeds capacity. Not thread-safe; the
+/// service serializes access behind its own mutex.
+template <class K, class V, class Hash = std::hash<K>>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  [[nodiscard]] bool contains(const K& key) const { return map_.find(key) != map_.end(); }
+
+  std::optional<V> get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->second;
+  }
+
+  void put(K key, V value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(std::move(key), order_.begin());
+    if (order_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// A cached synthesis outcome: the one-shot CLI path's exact bytes, so a
+/// cache hit is byte-identical to a cold run.
+struct CachedResponse {
+  std::int32_t exitCode = 0;
+  std::string out;
+  std::string err;
+};
+
+using ScheduleCache = LruMap<ScheduleCacheKey, CachedResponse, ScheduleCacheKeyHash>;
+
+}  // namespace icsched::service

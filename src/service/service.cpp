@@ -1,0 +1,731 @@
+#include "service/service.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <stdexcept>
+
+#include "exec/thread_pool.hpp"
+#include "resilience/portable_random.hpp"
+#include "service/request_handler.hpp"
+
+namespace icsched::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// send(2) that never raises SIGPIPE; returns bytes written or -1.
+ssize_t sendSome(int fd, const char* data, std::size_t n) {
+#ifdef MSG_NOSIGNAL
+  return ::send(fd, data, n, MSG_NOSIGNAL);
+#else
+  return ::send(fd, data, n, 0);
+#endif
+}
+
+}  // namespace
+
+void ServiceConfig::validate() const {
+  auto require = [](bool ok, const char* message) {
+    if (!ok) throw std::invalid_argument(std::string("ServiceConfig: ") + message);
+  };
+  // An empty unixPath with tcpPort 0 is valid: TCP on a kernel-assigned
+  // ephemeral port (see Service::port()).
+  if (!unixPath.empty()) {
+    // sun_path is a fixed-size array; a longer path would silently truncate.
+    require(unixPath.size() < sizeof(sockaddr_un{}.sun_path), "unixPath too long");
+  }
+  require(workerThreads >= 1, "workerThreads must be >= 1");
+  require(maxConnections >= 1, "maxConnections must be >= 1");
+  require(maxFrameBytes >= kWireHeaderBytes && maxFrameBytes <= kMaxWirePayload,
+          "maxFrameBytes out of range");
+  require(maxOutstanding >= 1, "maxOutstanding must be >= 1");
+  require(maxInflightPerClient >= 1, "maxInflightPerClient must be >= 1");
+  require(readTimeoutMillis >= 1, "readTimeoutMillis must be >= 1");
+  require(writeTimeoutMillis >= 1, "writeTimeoutMillis must be >= 1");
+}
+
+/// Per-connection state, owned by the I/O thread.
+struct Service::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameDecoder decoder;
+  std::string outBuf;
+  std::size_t outPos = 0;
+  std::size_t inflight = 0;
+  /// Framing is broken (decoder poisoned / peer EOF): flush then close.
+  bool closeAfterFlush = false;
+  bool stopReading = false;
+  bool dead = false;
+  bool hasPartialSince = false;
+  Clock::time_point partialSince{};
+  bool hasWriteSince = false;
+  Clock::time_point writeSince{};
+
+  explicit Conn(std::size_t maxPayload) : decoder(maxPayload) {}
+};
+
+/// A finished unit of work travelling from a worker back to the I/O thread.
+struct Service::Completion {
+  std::uint64_t connId = 0;
+  std::string frameBytes;
+  /// This completion retires one admitted request (decrement outstanding /
+  /// per-connection inflight).
+  bool retiresRequest = false;
+  bool isError = false;
+};
+
+struct Service::AtomicStats {
+  std::atomic<std::uint64_t> connectionsAccepted{0};
+  std::atomic<std::uint64_t> connectionsRejected{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> errorFrames{0};
+  std::atomic<std::uint64_t> malformedFrames{0};
+  std::atomic<std::uint64_t> badRequests{0};
+  std::atomic<std::uint64_t> shedOverload{0};
+  std::atomic<std::uint64_t> shedQuota{0};
+  std::atomic<std::uint64_t> deadlineExpired{0};
+  std::atomic<std::uint64_t> readTimeouts{0};
+  std::atomic<std::uint64_t> writeTimeouts{0};
+  std::atomic<std::uint64_t> scheduleCacheHits{0};
+  std::atomic<std::uint64_t> keyMemoHits{0};
+  std::atomic<std::uint64_t> degradedCacheServes{0};
+  std::atomic<std::uint64_t> idempotentReplays{0};
+  std::atomic<std::uint64_t> pings{0};
+  std::atomic<std::uint64_t> acceptBackoffs{0};
+  std::atomic<std::uint64_t> workerErrors{0};
+};
+
+Service::Service(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cancelFlag_(std::make_shared<std::atomic<bool>>(false)),
+      scheduleCache_(cfg_.scheduleCacheCapacity),
+      idempotency_(cfg_.idempotencyCapacity),
+      keyMemo_(cfg_.scheduleCacheCapacity * 4),
+      stats_(std::make_unique<AtomicStats>()) {
+  cfg_.validate();
+}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  if (running_.load()) return;
+  stopRequested_.store(false);
+  cancelFlag_->store(false);
+  clientShutdown_ = false;
+
+  if (::pipe(wakeFds_) != 0) {
+    throw recovery::FileError("service: pipe() failed: " + std::string(::strerror(errno)));
+  }
+  setNonBlocking(wakeFds_[0]);
+  setNonBlocking(wakeFds_[1]);
+
+  if (!cfg_.unixPath.empty()) {
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) throw recovery::FileError("service: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.unixPath.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(cfg_.unixPath.c_str());  // stale socket from a crashed daemon
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string why = ::strerror(errno);
+      ::close(listenFd_);
+      listenFd_ = -1;
+      throw recovery::FileError("service: bind(" + cfg_.unixPath + ") failed: " + why);
+    }
+  } else {
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) throw recovery::FileError("service: socket() failed");
+    const int one = 1;
+    (void)::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg_.tcpPort);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string why = ::strerror(errno);
+      ::close(listenFd_);
+      listenFd_ = -1;
+      throw recovery::FileError("service: bind(127.0.0.1:" + std::to_string(cfg_.tcpPort) +
+                                ") failed: " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      boundPort_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listenFd_, 128) != 0) {
+    const std::string why = ::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw recovery::FileError("service: listen() failed: " + why);
+  }
+  setNonBlocking(listenFd_);
+
+  pool_ = std::make_unique<ThreadPool>(cfg_.workerThreads);
+  running_.store(true, std::memory_order_release);
+  ioThread_ = std::thread([this] { ioLoop(); });
+}
+
+void Service::stop() {
+  if (!running_.exchange(false)) return;
+  stopRequested_.store(true, std::memory_order_release);
+  cancelFlag_->store(true, std::memory_order_release);
+  wake();
+  shutdownCv_.notify_all();
+  if (ioThread_.joinable()) ioThread_.join();
+  pool_.reset();  // drains any stragglers (they no-op on the cancel flag)
+  if (!cfg_.unixPath.empty()) ::unlink(cfg_.unixPath.c_str());
+}
+
+bool Service::waitShutdownRequested() {
+  std::unique_lock lock(mutex_);
+  shutdownCv_.wait(lock, [this] { return clientShutdown_ || stopRequested_.load(); });
+  return clientShutdown_;
+}
+
+ServiceStats Service::stats() const {
+  const AtomicStats& a = *stats_;
+  ServiceStats s;
+  s.connectionsAccepted = a.connectionsAccepted.load();
+  s.connectionsRejected = a.connectionsRejected.load();
+  s.requests = a.requests.load();
+  s.responses = a.responses.load();
+  s.errorFrames = a.errorFrames.load();
+  s.malformedFrames = a.malformedFrames.load();
+  s.badRequests = a.badRequests.load();
+  s.shedOverload = a.shedOverload.load();
+  s.shedQuota = a.shedQuota.load();
+  s.deadlineExpired = a.deadlineExpired.load();
+  s.readTimeouts = a.readTimeouts.load();
+  s.writeTimeouts = a.writeTimeouts.load();
+  s.scheduleCacheHits = a.scheduleCacheHits.load();
+  s.keyMemoHits = a.keyMemoHits.load();
+  s.degradedCacheServes = a.degradedCacheServes.load();
+  s.idempotentReplays = a.idempotentReplays.load();
+  s.pings = a.pings.load();
+  s.acceptBackoffs = a.acceptBackoffs.load();
+  s.workerErrors = a.workerErrors.load();
+  return s;
+}
+
+void Service::wake() {
+  if (wakeFds_[1] >= 0) {
+    const char b = 'w';
+    (void)!::write(wakeFds_[1], &b, 1);
+  }
+}
+
+void Service::drainWakePipe() {
+  char buf[256];
+  while (::read(wakeFds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+void Service::enqueueFrame(Conn& c, std::string frameBytes) {
+  if (c.dead) return;
+  if (!c.hasWriteSince) {
+    c.hasWriteSince = true;
+    c.writeSince = Clock::now();
+  }
+  c.outBuf.append(frameBytes);
+}
+
+void Service::enqueueError(Conn& c, std::uint64_t requestId, WireErrorCode code,
+                           std::string message) {
+  stats_->errorFrames.fetch_add(1);
+  enqueueFrame(c, encodeError({requestId, code, std::move(message)}));
+}
+
+void Service::acceptClients(std::vector<std::unique_ptr<Conn>>& fresh) {
+  const Clock::time_point now = Clock::now();
+  if (now < acceptPausedUntil_) return;
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // Transient resource exhaustion: capped, deterministically-jittered
+        // backoff instead of a hot accept loop.
+        ++acceptFailures_;
+        stats_->acceptBackoffs.fetch_add(1);
+        const double base = std::min(1.0, 0.01 * static_cast<double>(1ull << std::min<std::size_t>(
+                                                                         acceptFailures_, 6)));
+        std::mt19937_64 rng(recovery::fnv1aU64(acceptFailures_, cfg_.backoffSeed));
+        const double jittered = base * (0.5 + 0.5 * portableUnit(rng));
+        acceptPausedUntil_ =
+            now + std::chrono::microseconds(static_cast<long>(jittered * 1e6));
+        return;
+      }
+      return;  // anything else: drop this accept, keep serving
+    }
+    acceptFailures_ = 0;
+    setNonBlocking(fd);
+    if (cfg_.unixPath.empty()) {
+      // Frames are written whole; Nagle + delayed ACK would add ~40 ms to
+      // every response on loopback TCP.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (conns_.size() + fresh.size() >= cfg_.maxConnections) {
+      // Explicit backpressure: tell the client why before closing.
+      stats_->connectionsRejected.fetch_add(1);
+      stats_->errorFrames.fetch_add(1);
+      const std::string frame =
+          encodeError({0, WireErrorCode::Overloaded, "connection limit reached; retry later"});
+      (void)sendSome(fd, frame.data(), frame.size());
+      ::close(fd);
+      continue;
+    }
+    auto c = std::make_unique<Conn>(cfg_.maxFrameBytes);
+    c->fd = fd;
+    c->id = nextConnId_++;
+    stats_->connectionsAccepted.fetch_add(1);
+    fresh.push_back(std::move(c));
+  }
+}
+
+void Service::handleRequest(Conn& c, const std::string& payload) {
+  stats_->requests.fetch_add(1);
+  RequestPayload req;
+  try {
+    req = decodeRequestPayload(payload);
+  } catch (const recovery::RecoveryError& e) {
+    // The frame was well-delimited (CRC passed), so framing is intact and
+    // the connection stays usable; only this request is refused.
+    stats_->badRequests.fetch_add(1);
+    enqueueError(c, 0, WireErrorCode::BadRequest,
+                 std::string("request payload did not decode: ") + e.what());
+    return;
+  }
+
+  if (stopRequested_.load(std::memory_order_acquire)) {
+    enqueueError(c, req.requestId, WireErrorCode::ShuttingDown, "server is shutting down");
+    return;
+  }
+
+  // Idempotent replay: a reconnecting client re-asking a completed request
+  // gets the stored bytes, no re-execution.
+  if (req.requestId != 0) {
+    std::optional<CachedResponse> stored;
+    {
+      std::lock_guard lock(cacheMutex_);
+      stored = idempotency_.get(req.requestId);
+    }
+    if (stored) {
+      stats_->idempotentReplays.fetch_add(1);
+      stats_->responses.fetch_add(1);
+      ResponsePayload resp;
+      resp.requestId = req.requestId;
+      resp.exitCode = stored->exitCode;
+      resp.flags = kRespFlagIdempotentReplay;
+      resp.out = std::move(stored->out);
+      resp.err = std::move(stored->err);
+      enqueueFrame(c, encodeResponse(resp));
+      return;
+    }
+  }
+
+  const bool saturated = outstanding_ >= cfg_.maxOutstanding;
+
+  // Schedule-cache fast path, served on the I/O thread: under overload this
+  // is the degradation rung that keeps known answers flowing while new
+  // work is shed. The structural key needs an O(V+E) dag parse, so it is
+  // memoized behind a cheap digest of the request's exact bytes -- a client
+  // resending the same request hashes the text and never re-parses.
+  std::optional<ScheduleCacheKey> cacheKey;
+  if (cacheableSynthesisArgs(req)) {
+    const DagDigest textKey = requestTextDigest(req);
+    {
+      std::lock_guard lock(cacheMutex_);
+      cacheKey = keyMemo_.get(textKey);
+    }
+    if (cacheKey) {
+      stats_->keyMemoHits.fetch_add(1);
+    } else {
+      cacheKey = synthesisCacheKey(req);
+      if (cacheKey) {
+        std::lock_guard lock(cacheMutex_);
+        keyMemo_.put(textKey, *cacheKey);
+      }
+    }
+  }
+  if (cacheKey) {
+    std::optional<CachedResponse> cached;
+    {
+      std::lock_guard lock(cacheMutex_);
+      cached = scheduleCache_.get(*cacheKey);
+    }
+    if (cached) {
+      stats_->scheduleCacheHits.fetch_add(1);
+      if (saturated) stats_->degradedCacheServes.fetch_add(1);
+      stats_->responses.fetch_add(1);
+      ResponsePayload resp;
+      resp.requestId = req.requestId;
+      resp.exitCode = cached->exitCode;
+      resp.flags = static_cast<std::uint8_t>(kRespFlagScheduleCacheHit |
+                                             (saturated ? kRespFlagDegraded : 0));
+      resp.out = cached->out;
+      resp.err = cached->err;
+      if (req.requestId != 0) {
+        std::lock_guard lock(cacheMutex_);
+        idempotency_.put(req.requestId, CachedResponse{resp.exitCode, resp.out, resp.err});
+      }
+      enqueueFrame(c, encodeResponse(resp));
+      return;
+    }
+  }
+
+  if (c.inflight >= cfg_.maxInflightPerClient) {
+    stats_->shedQuota.fetch_add(1);
+    enqueueError(c, req.requestId, WireErrorCode::QuotaExceeded,
+                 "per-client in-flight quota (" + std::to_string(cfg_.maxInflightPerClient) +
+                     ") reached; await responses before sending more");
+    return;
+  }
+  if (saturated) {
+    stats_->shedOverload.fetch_add(1);
+    enqueueError(c, req.requestId, WireErrorCode::Overloaded,
+                 "request queue full (" + std::to_string(cfg_.maxOutstanding) +
+                     " outstanding); shed -- retry with backoff");
+    return;
+  }
+
+  const std::uint32_t deadlineMs =
+      req.deadlineMillis != 0 ? req.deadlineMillis : cfg_.defaultDeadlineMillis;
+  const bool hasExpiry = deadlineMs != 0;
+  const Clock::time_point expiry = Clock::now() + std::chrono::milliseconds(deadlineMs);
+
+  ++outstanding_;
+  ++c.inflight;
+  const std::uint64_t connId = c.id;
+  pool_->submit([this, connId, req = std::move(req), cacheKey = std::move(cacheKey), expiry,
+                 hasExpiry]() mutable {
+    workerRun(connId, std::move(req), std::move(cacheKey), expiry, hasExpiry);
+  });
+}
+
+void Service::workerRun(std::uint64_t connId, RequestPayload req,
+                        std::optional<ScheduleCacheKey> cacheKey, Clock::time_point expiry,
+                        bool hasExpiry) {
+  Completion done;
+  done.connId = connId;
+  done.retiresRequest = true;
+  try {
+    bool cancelled = false;
+    // Test hook: a deterministic stall that still honours shutdown.
+    for (std::uint32_t slept = 0; slept < cfg_.handlerStallMillis; slept += 5) {
+      if (cancelFlag_->load(std::memory_order_acquire)) {
+        cancelled = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::min<std::uint32_t>(
+          5, cfg_.handlerStallMillis - slept)));
+    }
+    if (cancelled || cancelFlag_->load(std::memory_order_acquire)) {
+      done.isError = true;
+      done.frameBytes =
+          encodeError({req.requestId, WireErrorCode::ShuttingDown, "server is shutting down"});
+    } else if (hasExpiry && Clock::now() > expiry) {
+      stats_->deadlineExpired.fetch_add(1);
+      done.isError = true;
+      done.frameBytes = encodeError(
+          {req.requestId, WireErrorCode::DeadlineExpired, "deadline passed while queued"});
+    } else {
+      ResponsePayload resp = executeRequest(req);
+      if (hasExpiry && Clock::now() > expiry) {
+        // A stale result is worse than an honest miss: the client's deadline
+        // contract says it has already given up on this request.
+        stats_->deadlineExpired.fetch_add(1);
+        done.isError = true;
+        done.frameBytes = encodeError({req.requestId, WireErrorCode::DeadlineExpired,
+                                       "deadline passed during execution"});
+      } else {
+        if (cacheKey && resp.exitCode == 0) {
+          std::lock_guard lock(cacheMutex_);
+          scheduleCache_.put(*cacheKey, CachedResponse{resp.exitCode, resp.out, resp.err});
+        }
+        if (req.requestId != 0) {
+          std::lock_guard lock(cacheMutex_);
+          idempotency_.put(req.requestId,
+                           CachedResponse{resp.exitCode, resp.out, resp.err});
+        }
+        done.frameBytes = encodeResponse(resp);
+      }
+    }
+  } catch (const std::exception& e) {
+    stats_->workerErrors.fetch_add(1);
+    done.isError = true;
+    done.frameBytes = encodeError({req.requestId, WireErrorCode::Internal, e.what()});
+  } catch (...) {
+    stats_->workerErrors.fetch_add(1);
+    done.isError = true;
+    done.frameBytes =
+        encodeError({req.requestId, WireErrorCode::Internal, "unknown handler exception"});
+  }
+  {
+    std::lock_guard lock(mutex_);
+    completions_.push_back(std::move(done));
+  }
+  wake();
+}
+
+void Service::handleFrame(Conn& c, Frame&& f) {
+  switch (f.kind) {
+    case FrameKind::Ping:
+      stats_->pings.fetch_add(1);
+      enqueueFrame(c, encodeFrame(FrameKind::Pong, ""));
+      return;
+    case FrameKind::Shutdown: {
+      enqueueFrame(c, encodeFrame(FrameKind::Pong, ""));
+      {
+        std::lock_guard lock(mutex_);
+        clientShutdown_ = true;
+      }
+      shutdownCv_.notify_all();
+      return;
+    }
+    case FrameKind::Request:
+      handleRequest(c, f.payload);
+      return;
+    case FrameKind::Response:
+    case FrameKind::Pong:
+    case FrameKind::Error:
+      // Server-to-client kinds arriving at the server are a protocol misuse,
+      // but framing is intact: refuse the frame, keep the connection.
+      stats_->badRequests.fetch_add(1);
+      enqueueError(c, 0, WireErrorCode::BadRequest, "unexpected client frame kind");
+      return;
+  }
+}
+
+void Service::handleReadable(Conn& c) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      // Peer EOF; a mid-frame disconnect leaves partial bytes behind, which
+      // simply die with the connection.
+      c.stopReading = true;
+      c.closeAfterFlush = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    c.stopReading = true;
+    c.closeAfterFlush = true;  // ECONNRESET and friends
+    break;
+  }
+  if (!c.stopReading || c.decoder.buffered() > 0) {
+    try {
+      while (auto f = c.decoder.next()) handleFrame(c, std::move(*f));
+    } catch (const recovery::VersionError& e) {
+      stats_->malformedFrames.fetch_add(1);
+      enqueueError(c, 0, WireErrorCode::UnsupportedVersion, e.what());
+      c.stopReading = true;
+      c.closeAfterFlush = true;
+    } catch (const recovery::RecoveryError& e) {
+      stats_->malformedFrames.fetch_add(1);
+      const std::string what = e.what();
+      const WireErrorCode code = what.rfind("frame payload length", 0) == 0
+                                     ? WireErrorCode::FrameTooLarge
+                                     : WireErrorCode::MalformedFrame;
+      enqueueError(c, 0, code, what);
+      c.stopReading = true;
+      c.closeAfterFlush = true;
+    }
+  }
+  // Track slowloris state: a partial frame is "in progress" from the first
+  // byte until it completes.
+  if (!c.stopReading) {
+    if (c.decoder.hasPartial()) {
+      if (!c.hasPartialSince) {
+        c.hasPartialSince = true;
+        c.partialSince = Clock::now();
+      }
+    } else {
+      c.hasPartialSince = false;
+    }
+  }
+}
+
+void Service::flushWrites(Conn& c) {
+  while (c.outPos < c.outBuf.size()) {
+    const ssize_t n = sendSome(c.fd, c.outBuf.data() + c.outPos, c.outBuf.size() - c.outPos);
+    if (n > 0) {
+      c.outPos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return;
+    c.dead = true;  // broken pipe
+    return;
+  }
+  c.outBuf.clear();
+  c.outPos = 0;
+  c.hasWriteSince = false;
+}
+
+void Service::sweepTimeouts() {
+  const Clock::time_point now = Clock::now();
+  for (auto& cp : conns_) {
+    Conn& c = *cp;
+    if (c.dead) continue;
+    if (c.hasPartialSince &&
+        now - c.partialSince > std::chrono::milliseconds(cfg_.readTimeoutMillis)) {
+      stats_->readTimeouts.fetch_add(1);
+      enqueueError(c, 0, WireErrorCode::ReadTimeout,
+                   "partial frame stalled past the read timeout");
+      c.stopReading = true;
+      c.closeAfterFlush = true;
+      c.hasPartialSince = false;
+    }
+    if (c.hasWriteSince &&
+        now - c.writeSince > std::chrono::milliseconds(cfg_.writeTimeoutMillis)) {
+      // The pipe to this client is clogged; an error frame could not get
+      // through either. Hard close.
+      stats_->writeTimeouts.fetch_add(1);
+      c.dead = true;
+    }
+  }
+}
+
+void Service::ioLoop() {
+  std::vector<pollfd> fds;
+  std::vector<std::unique_ptr<Conn>> fresh;
+  for (;;) {
+    if (stopRequested_.load(std::memory_order_acquire)) break;
+
+    fds.clear();
+    fds.push_back({wakeFds_[0], POLLIN, 0});
+    const bool acceptPaused = Clock::now() < acceptPausedUntil_;
+    fds.push_back({acceptPaused ? -1 : listenFd_, POLLIN, 0});
+    for (auto& cp : conns_) {
+      int events = 0;
+      if (!cp->stopReading) events |= POLLIN;
+      if (cp->outPos < cp->outBuf.size()) events |= POLLOUT;
+      fds.push_back({cp->dead ? -1 : cp->fd, static_cast<short>(events), 0});
+    }
+
+    (void)::poll(fds.data(), fds.size(), 25);
+
+    drainWakePipe();
+
+    // Apply worker completions.
+    std::vector<Completion> done;
+    {
+      std::lock_guard lock(mutex_);
+      done.swap(completions_);
+    }
+    for (Completion& comp : done) {
+      if (comp.retiresRequest && outstanding_ > 0) --outstanding_;
+      if (comp.isError) stats_->errorFrames.fetch_add(1);
+      else stats_->responses.fetch_add(1);
+      for (auto& cp : conns_) {
+        if (cp->id == comp.connId) {
+          if (comp.retiresRequest && cp->inflight > 0) --cp->inflight;
+          enqueueFrame(*cp, std::move(comp.frameBytes));
+          break;
+        }
+      }
+      // Connection already gone: the response is dropped, but the
+      // idempotency cache kept it for the client's re-ask.
+    }
+
+    if (stopRequested_.load(std::memory_order_acquire)) break;
+
+    // I/O events (index 0 = wake pipe, 1 = listener, then conns in order).
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = *conns_[i];
+      const short re = fds[i + 2].revents;
+      if (c.dead) continue;
+      if (re & (POLLERR | POLLNVAL)) {
+        c.dead = true;
+        continue;
+      }
+      if ((re & POLLIN) && !c.stopReading) handleReadable(c);
+      if ((re & POLLHUP) && c.decoder.buffered() == 0 && !c.decoder.poisoned()) {
+        c.stopReading = true;
+        c.closeAfterFlush = true;
+      }
+      if (c.outPos < c.outBuf.size()) flushWrites(c);
+    }
+
+    fresh.clear();
+    if (fds[1].revents & POLLIN) acceptClients(fresh);
+    for (auto& cp : fresh) conns_.push_back(std::move(cp));
+
+    sweepTimeouts();
+
+    // Reap connections that are flushed-and-closing, dead, or idle-closed.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn& c = **it;
+      const bool flushed = c.outPos >= c.outBuf.size();
+      if (c.dead || (c.closeAfterFlush && flushed)) {
+        ::close(c.fd);
+        // Requests still in flight for this connection retire via their
+        // completions (connId lookup just misses); nothing leaks.
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  finishShutdown();
+}
+
+void Service::finishShutdown() {
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  // Workers see the cancel flag and finish quickly; waitIdle ensures every
+  // admitted request has produced its completion.
+  if (pool_) pool_->waitIdle();
+  std::vector<Completion> done;
+  {
+    std::lock_guard lock(mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& comp : done) {
+    for (auto& cp : conns_) {
+      if (cp->id == comp.connId && !cp->dead) {
+        enqueueFrame(*cp, std::move(comp.frameBytes));
+        break;
+      }
+    }
+  }
+  // Best-effort final flush; clients that stopped reading simply miss it.
+  for (auto& cp : conns_) {
+    if (!cp->dead && cp->outPos < cp->outBuf.size()) flushWrites(*cp);
+    ::close(cp->fd);
+  }
+  conns_.clear();
+  if (wakeFds_[0] >= 0) ::close(wakeFds_[0]);
+  if (wakeFds_[1] >= 0) ::close(wakeFds_[1]);
+  wakeFds_[0] = wakeFds_[1] = -1;
+}
+
+}  // namespace icsched::service

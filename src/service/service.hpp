@@ -1,0 +1,200 @@
+#pragma once
+/// \file service.hpp
+/// \brief The long-running scheduling daemon behind `tools/icsched_serve`.
+///
+/// One I/O thread runs a poll(2) loop over a Unix or localhost-TCP listener
+/// and all client connections; request execution is dispatched onto an
+/// exec::ThreadPool. The robustness contract, in order of the admission
+/// pipeline (see DESIGN.md "Scheduling service" for the state machine):
+///
+///  1. **Framing.** Bytes are assembled by wire.hpp's FrameDecoder. Any
+///     malformed frame (magic/version/CRC/oversized length) yields a typed
+///     Error frame and a close -- never a crash, never a silent close.
+///     Malformed *payloads* inside a valid frame get a BadRequest error and
+///     the connection stays usable.
+///  2. **Timeouts.** A partial frame older than readTimeoutMillis is a
+///     slowloris: Error(ReadTimeout) + close. A response the client will
+///     not drain within writeTimeoutMillis hard-closes the connection.
+///  3. **Idempotency.** requestId != 0 is an idempotency key: a completed
+///     response is remembered (bounded LRU) and replayed byte-identically to
+///     a reconnecting client, flagged kRespFlagIdempotentReplay.
+///  4. **Cache fast path.** Synthesis requests whose dag fingerprint is
+///     cached are answered directly on the I/O thread -- even when the pool
+///     is saturated, which is the degradation ladder's key rung: overload
+///     sheds *new work*, never *known answers*.
+///  5. **Quotas & backpressure.** Per-connection in-flight quota
+///     (QuotaExceeded) and a global bounded queue (Overloaded) shed load
+///     with explicit, typed responses instead of stalling the socket.
+///  6. **Deadlines.** Each request carries a relative deadline; a request
+///     whose deadline passes while queued or executing is answered with
+///     Error(DeadlineExpired) rather than a stale result.
+///
+/// Transient I/O failures (accept(2) hitting EMFILE/ENFILE/ENOBUFS) back
+/// off with capped, deterministically-jittered delays (resilience/
+/// portable_random) instead of spinning.
+///
+/// The daemon never dies on client behaviour: every worker exception is
+/// converted to a typed Error frame, and SIGPIPE is suppressed on all sends.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <optional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/schedule_cache.hpp"
+#include "service/wire.hpp"
+
+namespace icsched {
+class ThreadPool;
+}
+
+namespace icsched::service {
+
+struct ServiceConfig {
+  /// Unix-domain listener path. When non-empty, takes precedence over TCP.
+  std::string unixPath;
+  /// Localhost TCP port (0 = kernel-assigned ephemeral; see Service::port()).
+  std::uint16_t tcpPort = 0;
+
+  std::size_t workerThreads = 2;
+  /// Connections beyond this are answered with Error(Overloaded) and closed.
+  std::size_t maxConnections = 64;
+  /// Per-frame payload cap (admission happens before buffering).
+  std::size_t maxFrameBytes = 4u << 20;  // 4 MiB
+  /// Bounded queue: requests admitted to the pool but not yet answered.
+  std::size_t maxOutstanding = 64;
+  /// Per-connection in-flight request quota.
+  std::size_t maxInflightPerClient = 8;
+  /// How long a partial frame may sit before the connection is a slowloris.
+  std::uint32_t readTimeoutMillis = 5000;
+  /// How long an unconsumed response may sit before the client is dead.
+  std::uint32_t writeTimeoutMillis = 5000;
+  /// Applied when a request carries deadlineMillis == 0 (0 = no deadline).
+  std::uint32_t defaultDeadlineMillis = 0;
+  std::size_t scheduleCacheCapacity = 128;
+  std::size_t idempotencyCapacity = 256;
+  /// Seed for the accept-backoff jitter (deterministic across runs).
+  std::uint64_t backoffSeed = 0x1C5C4EDull;
+  /// Test/bench hook: every worker sleeps this long (cancellation-aware)
+  /// before executing, making overload and deadline paths deterministic to
+  /// provoke. Always 0 in production.
+  std::uint32_t handlerStallMillis = 0;
+
+  /// \throws std::invalid_argument with a field-specific message.
+  void validate() const;
+};
+
+/// Monotonic counters, readable at any time (each counter is independently
+/// atomic; a snapshot is not a consistent cut).
+struct ServiceStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsRejected = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errorFrames = 0;
+  std::uint64_t malformedFrames = 0;
+  std::uint64_t badRequests = 0;
+  std::uint64_t shedOverload = 0;
+  std::uint64_t shedQuota = 0;
+  std::uint64_t deadlineExpired = 0;
+  std::uint64_t readTimeouts = 0;
+  std::uint64_t writeTimeouts = 0;
+  std::uint64_t scheduleCacheHits = 0;
+  std::uint64_t keyMemoHits = 0;
+  std::uint64_t degradedCacheServes = 0;
+  std::uint64_t idempotentReplays = 0;
+  std::uint64_t pings = 0;
+  std::uint64_t acceptBackoffs = 0;
+  std::uint64_t workerErrors = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Binds the listener and spawns the I/O thread and worker pool.
+  /// \throws recovery::FileError when the socket cannot be bound.
+  void start();
+
+  /// Graceful stop: stops accepting, cancels queued work, drains in-flight
+  /// handlers, best-effort flushes pending responses, closes everything.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Blocks until a client sends a Shutdown frame or stop() is called.
+  /// Returns true when shutdown was requested by a client.
+  bool waitShutdownRequested();
+
+  /// The bound TCP port (valid after start() when listening on TCP).
+  [[nodiscard]] std::uint16_t port() const { return boundPort_; }
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Conn;
+  struct Completion;
+
+  void ioLoop();
+  void drainWakePipe();
+  void wake();
+  void acceptClients(std::vector<std::unique_ptr<Conn>>& fresh);
+  void handleReadable(Conn& c);
+  void handleFrame(Conn& c, Frame&& f);
+  void handleRequest(Conn& c, const std::string& payload);
+  void flushWrites(Conn& c);
+  void sweepTimeouts();
+  void enqueueFrame(Conn& c, std::string frameBytes);
+  void enqueueError(Conn& c, std::uint64_t requestId, WireErrorCode code, std::string message);
+  void workerRun(std::uint64_t connId, RequestPayload req,
+                 std::optional<ScheduleCacheKey> cacheKey,
+                 std::chrono::steady_clock::time_point expiry, bool hasExpiry);
+  void finishShutdown();
+
+  ServiceConfig cfg_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+  bool clientShutdown_ = false;
+  std::uint16_t boundPort_ = 0;
+  int listenFd_ = -1;
+  int wakeFds_[2] = {-1, -1};
+  std::thread ioThread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<std::atomic<bool>> cancelFlag_;
+
+  // I/O-thread-only state.
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t nextConnId_ = 1;
+  std::chrono::steady_clock::time_point acceptPausedUntil_{};
+  std::size_t acceptFailures_ = 0;
+
+  // Cross-thread state.
+  mutable std::mutex mutex_;
+  std::condition_variable shutdownCv_;
+  std::vector<Completion> completions_;
+  std::mutex cacheMutex_;
+  ScheduleCache scheduleCache_;
+  LruMap<std::uint64_t, CachedResponse> idempotency_;
+  // Byte-level memo: request-text digest -> structural cache key, so a
+  // client resending identical bytes skips the O(V+E) dag parse on the I/O
+  // thread. Entries are tiny; sized 4x the response cache because several
+  // textually distinct requests can share one structural entry.
+  LruMap<DagDigest, ScheduleCacheKey, DagDigestHash> keyMemo_;
+
+  struct AtomicStats;
+  std::unique_ptr<AtomicStats> stats_;
+};
+
+}  // namespace icsched::service

@@ -1,0 +1,177 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+
+namespace icsched::service {
+
+using recovery::ByteReader;
+using recovery::ByteWriter;
+using recovery::CorruptError;
+using recovery::TruncatedError;
+using recovery::VersionError;
+
+const char* wireErrorCodeName(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::MalformedFrame: return "malformed-frame";
+    case WireErrorCode::UnsupportedVersion: return "unsupported-version";
+    case WireErrorCode::FrameTooLarge: return "frame-too-large";
+    case WireErrorCode::BadRequest: return "bad-request";
+    case WireErrorCode::Overloaded: return "overloaded";
+    case WireErrorCode::QuotaExceeded: return "quota-exceeded";
+    case WireErrorCode::DeadlineExpired: return "deadline-expired";
+    case WireErrorCode::ReadTimeout: return "read-timeout";
+    case WireErrorCode::ShuttingDown: return "shutting-down";
+    case WireErrorCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string encodeFrame(FrameKind kind, std::string_view payload) {
+  ByteWriter w;
+  w.reserve(kWireHeaderBytes + payload.size() + kWireTrailerBytes);
+  w.u32(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(0);  // reserved
+  w.u8(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  const std::uint32_t crc = recovery::crc32(w.bytes().data(), w.bytes().size());
+  w.u32(crc);
+  return w.take();
+}
+
+std::string encodeRequest(const RequestPayload& req) {
+  ByteWriter w;
+  w.u64(req.requestId);
+  w.u32(req.deadlineMillis);
+  w.varint(req.args.size());
+  for (const std::string& a : req.args) w.str(a);
+  w.str(req.stdinText);
+  return encodeFrame(FrameKind::Request, w.bytes());
+}
+
+std::string encodeResponse(const ResponsePayload& resp) {
+  ByteWriter w;
+  w.u64(resp.requestId);
+  w.u32(static_cast<std::uint32_t>(resp.exitCode));
+  w.u8(resp.flags);
+  w.str(resp.out);
+  w.str(resp.err);
+  return encodeFrame(FrameKind::Response, w.bytes());
+}
+
+std::string encodeError(const ErrorPayload& err) {
+  ByteWriter w;
+  w.u64(err.requestId);
+  w.u8(static_cast<std::uint8_t>(err.code));
+  w.str(err.message);
+  return encodeFrame(FrameKind::Error, w.bytes());
+}
+
+RequestPayload decodeRequestPayload(std::string_view payload) {
+  ByteReader r(payload);
+  RequestPayload req;
+  req.requestId = r.u64();
+  req.deadlineMillis = r.u32();
+  const std::size_t argc = r.count(kMaxRequestArgs, /*minElementBytes=*/8);
+  req.args.reserve(argc);
+  for (std::size_t i = 0; i < argc; ++i) req.args.push_back(r.str());
+  req.stdinText = r.str();
+  r.expectDone();
+  return req;
+}
+
+ResponsePayload decodeResponsePayload(std::string_view payload) {
+  ByteReader r(payload);
+  ResponsePayload resp;
+  resp.requestId = r.u64();
+  resp.exitCode = static_cast<std::int32_t>(r.u32());
+  resp.flags = r.u8();
+  resp.out = r.str();
+  resp.err = r.str();
+  r.expectDone();
+  return resp;
+}
+
+ErrorPayload decodeErrorPayload(std::string_view payload) {
+  ByteReader r(payload);
+  ErrorPayload err;
+  err.requestId = r.u64();
+  const std::uint8_t code = r.u8();
+  if (code < static_cast<std::uint8_t>(WireErrorCode::MalformedFrame) ||
+      code > static_cast<std::uint8_t>(WireErrorCode::Internal)) {
+    throw CorruptError("wire: unknown error code " + std::to_string(code));
+  }
+  err.code = static_cast<WireErrorCode>(code);
+  err.message = r.str();
+  r.expectDone();
+  return err;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact consumed bytes before they accumulate; amortized O(1).
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) {
+    throw CorruptError("wire: decoder poisoned by an earlier framing error");
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kWireHeaderBytes) return std::nullopt;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buf_.data()) + pos_;
+  auto rdU32 = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(p[off]) | (static_cast<std::uint32_t>(p[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(p[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(p[off + 3]) << 24);
+  };
+  // Validate the fixed header before trusting the length: a bad magic or
+  // version means stream sync is gone and buffering more bytes is pointless.
+  if (rdU32(0) != kWireMagic) {
+    poisoned_ = true;
+    throw CorruptError("wire: bad frame magic");
+  }
+  if (p[4] != kWireVersion) {
+    poisoned_ = true;
+    throw VersionError("wire: unsupported frame version " + std::to_string(p[4]) +
+                       " (expected " + std::to_string(kWireVersion) + ")");
+  }
+  const std::uint8_t kind = p[5];
+  if (kind < static_cast<std::uint8_t>(FrameKind::Request) ||
+      kind > static_cast<std::uint8_t>(FrameKind::Shutdown)) {
+    poisoned_ = true;
+    throw CorruptError("wire: unknown frame kind " + std::to_string(kind));
+  }
+  if (p[6] != 0 || p[7] != 0) {
+    poisoned_ = true;
+    throw CorruptError("wire: nonzero reserved header bytes");
+  }
+  const std::uint32_t len = rdU32(8);
+  if (len > maxPayload_) {
+    // Checked before buffering the payload: a hostile length can neither
+    // allocate nor stall the connection waiting for bytes that never come.
+    poisoned_ = true;
+    throw CorruptError("frame payload length " + std::to_string(len) + " exceeds cap " +
+                       std::to_string(maxPayload_));
+  }
+  const std::size_t total = kWireHeaderBytes + static_cast<std::size_t>(len) + kWireTrailerBytes;
+  if (avail < total) return std::nullopt;
+  const std::uint32_t want = rdU32(kWireHeaderBytes + len);
+  const std::uint32_t got = recovery::crc32(p, kWireHeaderBytes + len);
+  if (want != got) {
+    poisoned_ = true;
+    throw CorruptError("wire: frame CRC mismatch");
+  }
+  Frame f;
+  f.kind = static_cast<FrameKind>(kind);
+  f.payload.assign(buf_, pos_ + kWireHeaderBytes, len);
+  pos_ += total;
+  return f;
+}
+
+}  // namespace icsched::service

@@ -1,0 +1,183 @@
+#pragma once
+/// \file wire.hpp
+/// \brief The scheduling service's framed binary wire protocol.
+///
+/// Every message on an `icsched_serve` connection is one self-delimiting
+/// frame, built from the same codec primitives as the recovery layer's
+/// durable files (recovery/checkpoint_io.hpp):
+///
+///   frame: [magic u32 = "ICSF"][version u8][kind u8][reserved u16 = 0]
+///          [payload-len u32][payload][crc32 u32]
+///
+/// All integers are little-endian; the CRC-32 (IEEE 802.3, the recovery
+/// layer's crc32()) covers everything from the magic through the last
+/// payload byte, so a bit flip anywhere in a frame is detected before the
+/// payload is parsed. Payload lengths are validated against a hard cap
+/// *before* any buffering decision, so a hostile length field can never
+/// drive a giant allocation.
+///
+/// **Error taxonomy.** Malformed bytes surface as the recovery layer's typed
+/// errors -- CorruptError (bad magic / reserved bits / CRC / impossible
+/// field), TruncatedError (payload ends early), VersionError (unknown frame
+/// version) -- never as a crash or an untyped failure. The server maps each
+/// of these onto a structured Error frame (WireErrorCode) before closing or
+/// continuing, so a client always learns *why* a request failed.
+///
+/// **Payloads** (encoded with ByteWriter, decoded with the bounds-validated
+/// ByteReader):
+///
+///   Request : requestId u64, deadlineMillis u32, argc varint, argc x str,
+///             stdin str. The argv + stdin are exactly the one-shot CLI's
+///             inputs, which is what makes responses byte-comparable to
+///             `icsched <args> < stdin`.
+///   Response: requestId u64, exitCode u32, flags u8, stdout str, stderr str.
+///   Error   : requestId u64 (0 when unknown), code u8, message str.
+///   Ping/Pong/Shutdown: empty payloads.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "recovery/checkpoint_io.hpp"
+
+namespace icsched::service {
+
+/// First four bytes of every frame ("ICSF" little-endian).
+inline constexpr std::uint32_t kWireMagic = 0x46534349u;
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Fixed bytes before the payload: magic + version + kind + reserved + len.
+inline constexpr std::size_t kWireHeaderBytes = 12;
+/// Trailing CRC-32.
+inline constexpr std::size_t kWireTrailerBytes = 4;
+/// Default cap on a single frame's payload (configurable per decoder; the
+/// server's admission control lowers it further via ServiceConfig).
+inline constexpr std::size_t kMaxWirePayload = 16u << 20;  // 16 MiB
+/// Cap on a request's argv length (the CLI never takes more than a handful).
+inline constexpr std::size_t kMaxRequestArgs = 64;
+
+enum class FrameKind : std::uint8_t {
+  Request = 1,
+  Response = 2,
+  Error = 3,
+  Ping = 4,
+  Pong = 5,
+  /// Asks the daemon to shut down gracefully; acknowledged with Pong.
+  Shutdown = 6,
+};
+
+/// Why the server refused or failed a frame/request. Carried in Error
+/// frames so clients can distinguish "back off and retry" (Overloaded,
+/// QuotaExceeded) from "your bytes are broken" (MalformedFrame, BadRequest).
+enum class WireErrorCode : std::uint8_t {
+  /// The frame failed structural validation (magic/CRC/length/reserved).
+  /// Stream sync is lost; the server closes after sending this.
+  MalformedFrame = 1,
+  /// The frame's version byte is unknown to this server.
+  UnsupportedVersion = 2,
+  /// The frame's payload length exceeds the server's cap.
+  FrameTooLarge = 3,
+  /// The frame was well-formed but its payload did not decode as a valid
+  /// request (the connection stays usable -- framing is intact).
+  BadRequest = 4,
+  /// Admission control shed the request: the bounded queue is full.
+  Overloaded = 5,
+  /// This connection has too many requests in flight.
+  QuotaExceeded = 6,
+  /// The request's deadline passed before a result could be produced.
+  DeadlineExpired = 7,
+  /// A partial frame sat unfinished past the read timeout (slowloris).
+  ReadTimeout = 8,
+  /// The server is shutting down and no longer accepts work.
+  ShuttingDown = 9,
+  /// The handler failed unexpectedly (a bug surfaced as a typed reply,
+  /// never a dead daemon).
+  Internal = 10,
+};
+
+[[nodiscard]] const char* wireErrorCodeName(WireErrorCode code);
+
+/// One CLI-shaped unit of work. argv/stdin mirror `icsched <args> < stdin`.
+struct RequestPayload {
+  /// Client-chosen idempotency key; 0 disables replay tracking. A
+  /// reconnecting client may re-send the same id and receive the stored
+  /// response without re-execution.
+  std::uint64_t requestId = 0;
+  /// Relative deadline in milliseconds from server receipt; 0 = none.
+  std::uint32_t deadlineMillis = 0;
+  std::vector<std::string> args;
+  std::string stdinText;
+};
+
+/// Response::flags bits.
+inline constexpr std::uint8_t kRespFlagScheduleCacheHit = 1u << 0;
+inline constexpr std::uint8_t kRespFlagIdempotentReplay = 1u << 1;
+/// Served from cache while the compute pool was saturated (the degradation
+/// ladder's "serve what we already know" rung).
+inline constexpr std::uint8_t kRespFlagDegraded = 1u << 2;
+
+struct ResponsePayload {
+  std::uint64_t requestId = 0;
+  std::int32_t exitCode = 0;
+  std::uint8_t flags = 0;
+  std::string out;
+  std::string err;
+};
+
+struct ErrorPayload {
+  std::uint64_t requestId = 0;
+  WireErrorCode code = WireErrorCode::Internal;
+  std::string message;
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::Ping;
+  std::string payload;
+};
+
+/// Wraps \p payload in a complete frame (header + CRC).
+[[nodiscard]] std::string encodeFrame(FrameKind kind, std::string_view payload);
+
+[[nodiscard]] std::string encodeRequest(const RequestPayload& req);
+[[nodiscard]] std::string encodeResponse(const ResponsePayload& resp);
+[[nodiscard]] std::string encodeError(const ErrorPayload& err);
+
+/// \throws recovery::TruncatedError / CorruptError on malformed payloads.
+[[nodiscard]] RequestPayload decodeRequestPayload(std::string_view payload);
+[[nodiscard]] ResponsePayload decodeResponsePayload(std::string_view payload);
+[[nodiscard]] ErrorPayload decodeErrorPayload(std::string_view payload);
+
+/// Incremental frame extractor for a byte stream. feed() appends received
+/// bytes; next() returns the next complete frame, or nullopt when more bytes
+/// are needed. Malformed framing throws the typed recovery errors documented
+/// above; after a throw the stream's sync is unrecoverable and the decoder
+/// refuses further use (poisoned()), which is exactly the point where a
+/// server must reply with a MalformedFrame error and close.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t maxPayload = kMaxWirePayload) : maxPayload_(maxPayload) {}
+
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// \throws recovery::CorruptError (magic/reserved/CRC/oversized length),
+  /// recovery::VersionError (unknown version). Oversized lengths carry the
+  /// message prefix "frame payload length" so callers can map them to
+  /// WireErrorCode::FrameTooLarge.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered beyond the last complete frame.
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+  [[nodiscard]] bool hasPartial() const { return buffered() > 0; }
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::size_t maxPayload_;
+  bool poisoned_ = false;
+};
+
+}  // namespace icsched::service

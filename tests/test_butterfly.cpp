@@ -56,7 +56,9 @@ TEST(ButterflyTest, BlockCompositionMatchesDirect) {
     EXPECT_EQ(eligibilityProfile(composed.dag, composed.schedule),
               eligibilityProfile(direct.dag, direct.schedule))
         << "dim=" << dim;
-    if (dim <= 2) EXPECT_TRUE(isICOptimal(composed.dag, composed.schedule));
+    if (dim <= 2) {
+      EXPECT_TRUE(isICOptimal(composed.dag, composed.schedule));
+    }
   }
 }
 

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -221,6 +224,84 @@ TEST(RetryingExecutorTest, PolicyValidateCoversEveryBranch) {
   bad = RetryPolicy{};
   bad.taskDeadlineSeconds = -2.0;
   expectInvalid(bad, "taskDeadlineSeconds");
+  bad = RetryPolicy{};
+  bad.backoffJitter = -0.1;
+  expectInvalid(bad, "backoffJitter");
+  bad = RetryPolicy{};
+  bad.backoffJitter = 1.5;
+  expectInvalid(bad, "backoffJitter");
+}
+
+TEST(RetryingExecutorTest, ZeroJitterKeepsTheLegacyBackoffSchedule) {
+  RetryPolicy p;
+  p.initialBackoffSeconds = 0.25;
+  p.backoffMultiplier = 2.0;
+  p.maxBackoffSeconds = 1.0;
+  // backoffJitter defaults to 0: the exact pre-jitter formula, capped.
+  EXPECT_DOUBLE_EQ(retryBackoffSeconds(p, 3, 1), 0.25);
+  EXPECT_DOUBLE_EQ(retryBackoffSeconds(p, 3, 2), 0.5);
+  EXPECT_DOUBLE_EQ(retryBackoffSeconds(p, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(retryBackoffSeconds(p, 3, 4), 1.0);
+  // Node identity is irrelevant without jitter.
+  EXPECT_DOUBLE_EQ(retryBackoffSeconds(p, 7, 2), retryBackoffSeconds(p, 3, 2));
+}
+
+TEST(RetryingExecutorTest, JitteredBackoffIsDeterministicBoundedAndDesynchronized) {
+  RetryPolicy p;
+  p.initialBackoffSeconds = 0.5;
+  p.backoffMultiplier = 2.0;
+  p.maxBackoffSeconds = 4.0;
+  p.backoffJitter = 0.5;
+  p.jitterSeed = 42;
+  for (NodeId v = 0; v < 32; ++v) {
+    for (std::size_t k = 1; k <= 4; ++k) {
+      const double base = std::min(p.maxBackoffSeconds,
+                                   p.initialBackoffSeconds * std::pow(p.backoffMultiplier,
+                                                                      static_cast<double>(k - 1)));
+      const double b = retryBackoffSeconds(p, v, k);
+      // Jitter only shortens, never lengthens, and strips at most the
+      // configured fraction.
+      EXPECT_LE(b, base);
+      EXPECT_GT(b, base * (1.0 - p.backoffJitter) - 1e-12);
+      // Purely a function of (seed, node, attempt): replayable.
+      EXPECT_DOUBLE_EQ(b, retryBackoffSeconds(p, v, k));
+    }
+  }
+  // Distinct nodes draw distinct delays (the whole anti-thundering-herd
+  // point); with 32 nodes at least two dozen must differ.
+  std::set<double> distinct;
+  for (NodeId v = 0; v < 32; ++v) distinct.insert(retryBackoffSeconds(p, v, 1));
+  EXPECT_GE(distinct.size(), 24u);
+  // A different seed reshuffles the draws.
+  RetryPolicy q = p;
+  q.jitterSeed = 43;
+  EXPECT_NE(retryBackoffSeconds(p, 0, 1), retryBackoffSeconds(q, 0, 1));
+}
+
+TEST(RetryingExecutorTest, JitteredRunRecordsTheJitteredDelaysInTheTrace) {
+  const ScheduledDag m = outMesh(3);
+  RetryPolicy p;
+  p.maxAttempts = 3;
+  p.initialBackoffSeconds = 0.002;
+  p.backoffMultiplier = 2.0;
+  p.maxBackoffSeconds = 0.01;
+  p.backoffJitter = 1.0;
+  p.jitterSeed = 7;
+  std::vector<std::atomic<int>> attempts(m.dag.numNodes());
+  const ExecutionTrace t = executeParallelRetrying(
+      m.dag, m.schedule,
+      [&](NodeId v, const CancelToken&) {
+        if (attempts[v].fetch_add(1) == 0) throw std::runtime_error("first attempt fails");
+      },
+      2, p);
+  std::size_t retriesSeen = 0;
+  for (const FaultEvent& e : t.faults.events) {
+    if (e.kind != FaultEventKind::Retry) continue;
+    ++retriesSeen;
+    // The trace's recorded delay is exactly the deterministic formula's.
+    EXPECT_DOUBLE_EQ(e.detail, retryBackoffSeconds(p, e.node, e.attempt));
+  }
+  EXPECT_EQ(retriesSeen, m.dag.numNodes());
 }
 
 TEST(RetryingExecutorTest, TransientFailuresAreRetriedToCompletion) {

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "families/mesh.hpp"
+#include "service/request_handler.hpp"
+#include "service/schedule_cache.hpp"
+
+namespace icsched::service {
+namespace {
+
+Dag diamond() {
+  DagBuilder b(4);
+  b.addArc(0, 1);
+  b.addArc(0, 2);
+  b.addArc(1, 3);
+  b.addArc(2, 3);
+  return b.freeze();
+}
+
+TEST(ScheduleCacheTest, DigestIsInvariantToArcInsertionOrder) {
+  // The same arc set assembled in reversed order, interleaved with the
+  // forward order, must fingerprint identically: the cache key mirrors
+  // Dag::operator=='s "same arc set" semantics, not builder history.
+  DagBuilder forward(4);
+  forward.addArc(0, 1);
+  forward.addArc(0, 2);
+  forward.addArc(1, 3);
+  forward.addArc(2, 3);
+  DagBuilder reversed(4);
+  reversed.addArc(2, 3);
+  reversed.addArc(1, 3);
+  reversed.addArc(0, 2);
+  reversed.addArc(0, 1);
+  const DagDigest a = structuralDigest(forward.freeze());
+  const DagDigest b = structuralDigest(reversed.freeze());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScheduleCacheTest, DigestIgnoresLabels) {
+  DagBuilder plain(3);
+  plain.addArc(0, 1);
+  plain.addArc(1, 2);
+  DagBuilder labeled(3);
+  labeled.addArc(0, 1);
+  labeled.addArc(1, 2);
+  labeled.setLabel(0, "source");
+  labeled.setLabel(2, "sink");
+  EXPECT_EQ(structuralDigest(plain.freeze()), structuralDigest(labeled.freeze()));
+}
+
+TEST(ScheduleCacheTest, NearMissDagsDoNotCollide) {
+  const DagDigest base = structuralDigest(diamond());
+  // One arc removed.
+  DagBuilder missing(4);
+  missing.addArc(0, 1);
+  missing.addArc(0, 2);
+  missing.addArc(1, 3);
+  EXPECT_NE(structuralDigest(missing.freeze()), base);
+  // One arc added.
+  DagBuilder extra(4);
+  extra.addArc(0, 1);
+  extra.addArc(0, 2);
+  extra.addArc(1, 3);
+  extra.addArc(2, 3);
+  extra.addArc(0, 3);
+  EXPECT_NE(structuralDigest(extra.freeze()), base);
+  // One extra isolated node.
+  DagBuilder bigger(5);
+  bigger.addArc(0, 1);
+  bigger.addArc(0, 2);
+  bigger.addArc(1, 3);
+  bigger.addArc(2, 3);
+  EXPECT_NE(structuralDigest(bigger.freeze()), base);
+}
+
+TEST(ScheduleCacheTest, RenumberedIsomorphsGetDistinctDigests) {
+  // A schedule is a sequence of node ids, so an id-renumbered isomorphic dag
+  // must NOT reuse the cached answer. Swap the roles of 1 and 2's ids in a
+  // path 0 -> 1 -> 2 -> 3 (structurally a path either way, but the flat
+  // child lists differ).
+  DagBuilder path(4);
+  path.addArc(0, 1);
+  path.addArc(1, 2);
+  path.addArc(2, 3);
+  DagBuilder renumbered(4);
+  renumbered.addArc(0, 2);
+  renumbered.addArc(2, 1);
+  renumbered.addArc(1, 3);
+  EXPECT_NE(structuralDigest(path.freeze()), structuralDigest(renumbered.freeze()));
+}
+
+TEST(ScheduleCacheTest, MeshDigestsAreDistinctAcrossSizes) {
+  std::vector<DagDigest> digests;
+  for (std::size_t n = 2; n <= 8; ++n) digests.push_back(structuralDigest(outMesh(n).dag));
+  for (std::size_t i = 0; i < digests.size(); ++i)
+    for (std::size_t j = i + 1; j < digests.size(); ++j) EXPECT_NE(digests[i], digests[j]);
+}
+
+TEST(ScheduleCacheTest, KeySeparatesSynthesisMethods) {
+  const DagDigest d = structuralDigest(diamond());
+  ScheduleCache cache(8);
+  cache.put({d, "greedy"}, {0, "greedy-bytes", ""});
+  cache.put({d, "beam"}, {0, "beam-bytes", ""});
+  ASSERT_TRUE(cache.get({d, "greedy"}).has_value());
+  EXPECT_EQ(cache.get({d, "greedy"})->out, "greedy-bytes");
+  EXPECT_EQ(cache.get({d, "beam"})->out, "beam-bytes");
+  EXPECT_FALSE(cache.get({d, "exact"}).has_value());
+}
+
+TEST(ScheduleCacheTest, SynthesisKeyRecognizesExactlyTheCacheableSubset) {
+  RequestPayload req;
+  req.stdinText = "dag 4\narc 0 1\narc 0 2\narc 1 3\narc 2 3\nend\n";
+
+  req.args = {"schedule"};
+  auto defaulted = synthesisCacheKey(req);
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_EQ(defaulted->kind, "beam");  // CLI default method
+  EXPECT_EQ(defaulted->digest, structuralDigest(diamond()));
+
+  req.args = {"schedule", "greedy"};
+  auto greedy = synthesisCacheKey(req);
+  ASSERT_TRUE(greedy.has_value());
+  EXPECT_EQ(greedy->kind, "greedy");
+
+  // Non-synthesis commands, unknown methods, extra arguments, and
+  // unparseable dags all fall through to the plain CLI path.
+  req.args = {"verify"};
+  EXPECT_FALSE(synthesisCacheKey(req).has_value());
+  req.args = {"schedule", "frobnicate"};
+  EXPECT_FALSE(synthesisCacheKey(req).has_value());
+  req.args = {"schedule", "beam", "--extra"};
+  EXPECT_FALSE(synthesisCacheKey(req).has_value());
+  req.args = {"schedule", "beam"};
+  req.stdinText = "dag 2\narc 0 1\n";  // missing `end`
+  EXPECT_FALSE(synthesisCacheKey(req).has_value());
+}
+
+TEST(ScheduleCacheTest, RequestsInDifferentVertexOrdersShareOneEntry) {
+  // End-to-end over the handler: the same structure serialized with its arcs
+  // in two different orders keys to one cache slot.
+  RequestPayload first;
+  first.args = {"schedule", "greedy"};
+  first.stdinText = "dag 4\narc 0 1\narc 0 2\narc 1 3\narc 2 3\nend\n";
+  RequestPayload second = first;
+  second.stdinText = "dag 4\narc 2 3\narc 1 3\narc 0 2\narc 0 1\nend\n";
+  auto k1 = synthesisCacheKey(first);
+  auto k2 = synthesisCacheKey(second);
+  ASSERT_TRUE(k1.has_value());
+  ASSERT_TRUE(k2.has_value());
+  EXPECT_EQ(*k1, *k2);
+
+  // And the cached bytes are exactly what the CLI produced cold.
+  const ResponsePayload cold = executeRequest(first);
+  ASSERT_EQ(cold.exitCode, 0);
+  ScheduleCache cache(4);
+  cache.put(*k1, {cold.exitCode, cold.out, cold.err});
+  auto hit = cache.get(*k2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->out, cold.out);
+  EXPECT_EQ(hit->err, cold.err);
+}
+
+TEST(ScheduleCacheTest, TextDigestMemoizesExactBytesOnly) {
+  // The byte-level memo key: equal for identical request bytes, different
+  // for any textual change -- even ones that keep the structural key equal.
+  RequestPayload a;
+  a.args = {"schedule", "greedy"};
+  a.stdinText = "dag 4\narc 0 1\narc 0 2\narc 1 3\narc 2 3\nend\n";
+  RequestPayload same = a;
+  EXPECT_EQ(requestTextDigest(a), requestTextDigest(same));
+
+  RequestPayload reordered = a;
+  reordered.stdinText = "dag 4\narc 2 3\narc 1 3\narc 0 2\narc 0 1\nend\n";
+  EXPECT_NE(requestTextDigest(a), requestTextDigest(reordered));
+  // ...although both resolve to the same structural key.
+  EXPECT_EQ(*synthesisCacheKey(a), *synthesisCacheKey(reordered));
+
+  RequestPayload otherMethod = a;
+  otherMethod.args = {"schedule", "beam"};
+  EXPECT_NE(requestTextDigest(a), requestTextDigest(otherMethod));
+
+  // Length delimiting: moving a byte across an arg boundary must not fuse.
+  RequestPayload ab;
+  ab.args = {"ab", "c"};
+  RequestPayload a_bc;
+  a_bc.args = {"a", "bc"};
+  EXPECT_NE(requestTextDigest(ab), requestTextDigest(a_bc));
+}
+
+TEST(LruMapTest, EvictsLeastRecentlyUsedUnderSmallCapacity) {
+  LruMap<int, std::string> m(2);
+  m.put(1, "one");
+  m.put(2, "two");
+  ASSERT_TRUE(m.get(1).has_value());  // refresh 1: now 2 is LRU
+  m.put(3, "three");                  // evicts 2
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.evictions(), 1u);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_TRUE(m.contains(3));
+  // Overwriting an existing key refreshes it without eviction.
+  m.put(1, "uno");
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.evictions(), 1u);
+  EXPECT_EQ(m.get(1)->compare("uno"), 0);
+  // Hit/miss counters tally the two gets above (contains() is untallied).
+  EXPECT_EQ(m.hits(), 2u);
+  EXPECT_EQ(m.misses(), 0u);
+  EXPECT_FALSE(m.get(2).has_value());
+  EXPECT_EQ(m.misses(), 1u);
+}
+
+TEST(LruMapTest, ZeroCapacityNeverStores) {
+  LruMap<int, int> m(0);
+  m.put(1, 10);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_EQ(m.evictions(), 0u);
+}
+
+TEST(LruMapTest, ChurnStaysBounded) {
+  ScheduleCache cache(3);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ScheduleCacheKey k{{i, ~i}, "beam"};
+    cache.put(k, {0, "r" + std::to_string(i), ""});
+    ASSERT_LE(cache.size(), 3u);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 47u);
+  // The three most recent survive.
+  for (std::uint64_t i = 47; i < 50; ++i)
+    EXPECT_TRUE(cache.contains(ScheduleCacheKey{{i, ~i}, "beam"}));
+}
+
+}  // namespace
+}  // namespace icsched::service

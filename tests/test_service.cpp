@@ -1,0 +1,332 @@
+/// \file test_service.cpp
+/// \brief In-process integration tests for the scheduling daemon.
+///
+/// Each test starts a Service on an ephemeral loopback port (or a temp Unix
+/// socket), drives it through ServiceClient, and asserts the robustness
+/// contract documented in service.hpp: typed error frames for every refusal,
+/// CLI-parity bytes for every success, and a daemon that outlives all of it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "recovery/checkpoint_io.hpp"
+#include "service/client.hpp"
+#include "service/request_handler.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace icsched::service {
+namespace {
+
+const char* const kDiamond = "dag 4\narc 0 1\narc 0 2\narc 1 3\narc 2 3\nend\n";
+
+RequestPayload makeReq(std::vector<std::string> args, std::string stdinText,
+                       std::uint64_t id = 0, std::uint32_t deadlineMillis = 0) {
+  RequestPayload req;
+  req.requestId = id;
+  req.deadlineMillis = deadlineMillis;
+  req.args = std::move(args);
+  req.stdinText = std::move(stdinText);
+  return req;
+}
+
+/// A service bound to 127.0.0.1:<ephemeral> for the duration of a test.
+class TcpService {
+ public:
+  explicit TcpService(ServiceConfig cfg) : svc_(std::move(cfg)) { svc_.start(); }
+  ~TcpService() { svc_.stop(); }
+
+  ServiceClient connect() { return ServiceClient::connectTcp("127.0.0.1", svc_.port()); }
+  Service& svc() { return svc_; }
+
+ private:
+  Service svc_;
+};
+
+TEST(ServiceTest, PingPongAndGracefulStop) {
+  TcpService ts{ServiceConfig{}};
+  ServiceClient c = ts.connect();
+  c.ping();
+  c.ping();
+  EXPECT_EQ(ts.svc().stats().pings, 2u);
+  ts.svc().stop();
+  EXPECT_FALSE(ts.svc().running());
+  ts.svc().stop();  // idempotent
+}
+
+TEST(ServiceTest, ResponsesAreByteIdenticalToTheOneShotCli) {
+  TcpService ts{ServiceConfig{}};
+  ServiceClient c = ts.connect();
+  // A success path, a synthesis path, and a CLI error path: every one must
+  // produce exactly the bytes `icsched <args> < stdin` would.
+  const std::vector<RequestPayload> reqs = {
+      makeReq({"schedule", "greedy"}, kDiamond),
+      makeReq({"schedule", "frobnicate"}, kDiamond),  // CLI usage error
+      makeReq({"schedule"}, "not a dag at all\n"),    // CLI parse error
+  };
+  for (const RequestPayload& req : reqs) {
+    const ResponsePayload local = executeRequest(req);
+    const ServiceClient::CallOutcome remote = c.call(req);
+    ASSERT_TRUE(remote.ok) << remote.error.message;
+    EXPECT_EQ(remote.response.exitCode, local.exitCode);
+    EXPECT_EQ(remote.response.out, local.out);
+    EXPECT_EQ(remote.response.err, local.err);
+  }
+}
+
+TEST(ServiceTest, RepeatSynthesisIsACacheHitWithIdenticalBytes) {
+  TcpService ts{ServiceConfig{}};
+  ServiceClient c = ts.connect();
+  const RequestPayload req = makeReq({"schedule", "beam"}, kDiamond);
+  const auto cold = c.call(req);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(cold.response.flags & kRespFlagScheduleCacheHit, 0);
+  const auto warm = c.call(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_NE(warm.response.flags & kRespFlagScheduleCacheHit, 0);
+  EXPECT_EQ(warm.response.exitCode, cold.response.exitCode);
+  EXPECT_EQ(warm.response.out, cold.response.out);
+  EXPECT_EQ(warm.response.err, cold.response.err);
+  // The same structure serialized with its arcs in another order hits too.
+  const auto reordered =
+      c.call(makeReq({"schedule", "beam"}, "dag 4\narc 2 3\narc 1 3\narc 0 2\narc 0 1\nend\n"));
+  ASSERT_TRUE(reordered.ok);
+  EXPECT_NE(reordered.response.flags & kRespFlagScheduleCacheHit, 0);
+  EXPECT_EQ(reordered.response.out, cold.response.out);
+  EXPECT_GE(ts.svc().stats().scheduleCacheHits, 2u);
+  // The identical-bytes warm call skipped the dag parse via the text memo;
+  // the reordered serialization could not (different bytes, same structure).
+  EXPECT_EQ(ts.svc().stats().keyMemoHits, 1u);
+}
+
+TEST(ServiceTest, IdempotentRequestIdReplaysAcrossReconnect) {
+  TcpService ts{ServiceConfig{}};
+  const RequestPayload req = makeReq({"schedule", "greedy"}, kDiamond, /*id=*/77);
+  ServiceClient first = ts.connect();
+  const auto original = first.call(req);
+  ASSERT_TRUE(original.ok);
+  first.close();  // simulated client crash after receiving the answer
+
+  ServiceClient second = ts.connect();
+  const auto replay = second.call(req);
+  ASSERT_TRUE(replay.ok);
+  EXPECT_NE(replay.response.flags & kRespFlagIdempotentReplay, 0);
+  EXPECT_EQ(replay.response.requestId, 77u);
+  EXPECT_EQ(replay.response.exitCode, original.response.exitCode);
+  EXPECT_EQ(replay.response.out, original.response.out);
+  EXPECT_EQ(replay.response.err, original.response.err);
+  EXPECT_EQ(ts.svc().stats().idempotentReplays, 1u);
+}
+
+TEST(ServiceTest, GarbageBytesGetTypedMalformedFrameErrorThenClose) {
+  TcpService ts{ServiceConfig{}};
+  ServiceClient c = ts.connect();
+  c.sendRaw("this is not a frame!");
+  const Frame f = c.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Error);
+  EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::MalformedFrame);
+  // Framing sync is unrecoverable: the server closes after the error frame.
+  EXPECT_THROW((void)c.readFrame(), recovery::TruncatedError);
+  EXPECT_TRUE(ts.svc().running());
+  EXPECT_GE(ts.svc().stats().malformedFrames, 1u);
+}
+
+TEST(ServiceTest, MalformedRequestPayloadKeepsTheConnectionUsable) {
+  TcpService ts{ServiceConfig{}};
+  ServiceClient c = ts.connect();
+  // A perfectly framed Request whose payload is not a request: BadRequest,
+  // and -- framing being intact -- the connection survives.
+  c.sendFrame(FrameKind::Request, "\x01\x02\x03 junk");
+  Frame f = c.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Error);
+  EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::BadRequest);
+  c.ping();
+  // Server-only kinds from a client are equally bad but equally survivable.
+  c.sendFrame(FrameKind::Response, "");
+  f = c.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Error);
+  EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::BadRequest);
+  c.ping();
+  EXPECT_EQ(ts.svc().stats().badRequests, 2u);
+}
+
+TEST(ServiceTest, OversizedLengthIsRefusedFromTheHeaderAlone) {
+  ServiceConfig cfg;
+  cfg.maxFrameBytes = 4096;
+  TcpService ts{cfg};
+  ServiceClient c = ts.connect();
+  // Only the 12 header bytes, announcing a 64 MiB payload that will never be
+  // sent: admission control must reject on the length field, not buffer.
+  recovery::ByteWriter header;
+  header.u32(kWireMagic);
+  header.u8(kWireVersion);
+  header.u8(static_cast<std::uint8_t>(FrameKind::Request));
+  header.u8(0);
+  header.u8(0);
+  header.u32(64u << 20);
+  c.sendRaw(header.bytes());
+  const Frame f = c.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Error);
+  EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::FrameTooLarge);
+  EXPECT_THROW((void)c.readFrame(), recovery::TruncatedError);
+  EXPECT_TRUE(ts.svc().running());
+}
+
+TEST(ServiceTest, PerConnectionQuotaShedsWithTypedError) {
+  ServiceConfig cfg;
+  cfg.workerThreads = 1;
+  cfg.maxInflightPerClient = 2;
+  cfg.handlerStallMillis = 100;  // keep the first two in flight
+  TcpService ts{cfg};
+  ServiceClient c = ts.connect();
+  for (std::uint64_t i = 1; i <= 4; ++i)
+    c.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, i));
+  std::size_t responses = 0;
+  std::size_t quotaErrors = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Frame f = c.readFrame();
+    if (f.kind == FrameKind::Response) {
+      ++responses;
+    } else {
+      ASSERT_EQ(f.kind, FrameKind::Error);
+      EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::QuotaExceeded);
+      ++quotaErrors;
+    }
+  }
+  EXPECT_EQ(responses, 2u);
+  EXPECT_EQ(quotaErrors, 2u);
+  EXPECT_EQ(ts.svc().stats().shedQuota, 2u);
+  c.ping();  // shedding is per-request, never fatal to the connection
+}
+
+TEST(ServiceTest, FullQueueShedsWithOverloadedError) {
+  ServiceConfig cfg;
+  cfg.workerThreads = 1;
+  cfg.maxOutstanding = 1;
+  cfg.handlerStallMillis = 100;
+  TcpService ts{cfg};
+  ServiceClient c = ts.connect();
+  for (std::uint64_t i = 1; i <= 3; ++i)
+    c.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, i));
+  std::size_t responses = 0;
+  std::size_t overloadErrors = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Frame f = c.readFrame();
+    if (f.kind == FrameKind::Response) {
+      ++responses;
+    } else {
+      ASSERT_EQ(f.kind, FrameKind::Error);
+      EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::Overloaded);
+      ++overloadErrors;
+    }
+  }
+  EXPECT_EQ(responses, 1u);
+  EXPECT_EQ(overloadErrors, 2u);
+  EXPECT_EQ(ts.svc().stats().shedOverload, 2u);
+}
+
+TEST(ServiceTest, SaturatedPoolStillServesCachedSchedules) {
+  // The degradation ladder's key rung: overload sheds new work, never known
+  // answers.
+  ServiceConfig cfg;
+  cfg.workerThreads = 1;
+  cfg.maxOutstanding = 1;
+  cfg.handlerStallMillis = 150;
+  TcpService ts{cfg};
+  ServiceClient c = ts.connect();
+  const RequestPayload synth = makeReq({"schedule", "beam"}, kDiamond);
+  const auto cold = c.call(synth, /*timeoutMillis=*/5000);
+  ASSERT_TRUE(cold.ok);
+
+  // Saturate the pool, then re-ask for the cached schedule: it is answered
+  // on the I/O thread, ahead of the stalled request, flagged Degraded.
+  c.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, 1));
+  c.sendRequest(synth);
+  Frame f = c.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Response);
+  ResponsePayload fast = decodeResponsePayload(f.payload);
+  EXPECT_NE(fast.flags & kRespFlagScheduleCacheHit, 0);
+  EXPECT_NE(fast.flags & kRespFlagDegraded, 0);
+  EXPECT_EQ(fast.out, cold.response.out);
+  f = c.readFrame();  // the stalled greedy request completes afterwards
+  ASSERT_EQ(f.kind, FrameKind::Response);
+  EXPECT_EQ(decodeResponsePayload(f.payload).requestId, 1u);
+  EXPECT_GE(ts.svc().stats().degradedCacheServes, 1u);
+}
+
+TEST(ServiceTest, ExpiredDeadlineGetsTypedErrorNotAStaleResult) {
+  ServiceConfig cfg;
+  cfg.workerThreads = 1;
+  cfg.handlerStallMillis = 150;
+  TcpService ts{cfg};
+  ServiceClient c = ts.connect();
+  const auto outcome = c.call(makeReq({"schedule", "greedy"}, kDiamond, 0, /*deadline=*/30));
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error.code, WireErrorCode::DeadlineExpired);
+  EXPECT_EQ(ts.svc().stats().deadlineExpired, 1u);
+  // A deadline miss is the request's failure, not the connection's.
+  c.ping();
+}
+
+TEST(ServiceTest, SlowlorisPartialFrameIsTimedOutAndClosed) {
+  ServiceConfig cfg;
+  cfg.readTimeoutMillis = 80;
+  TcpService ts{cfg};
+  ServiceClient c = ts.connect();
+  const std::string frame = encodeRequest(makeReq({"schedule"}, kDiamond));
+  c.sendRaw(std::string_view(frame).substr(0, 6));  // ...and then nothing
+  const Frame f = c.readFrame(/*timeoutMillis=*/3000);
+  ASSERT_EQ(f.kind, FrameKind::Error);
+  EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::ReadTimeout);
+  EXPECT_THROW((void)c.readFrame(), recovery::TruncatedError);
+  EXPECT_EQ(ts.svc().stats().readTimeouts, 1u);
+  EXPECT_TRUE(ts.svc().running());
+}
+
+TEST(ServiceTest, ConnectionLimitRejectsExplicitly) {
+  ServiceConfig cfg;
+  cfg.maxConnections = 1;
+  TcpService ts{cfg};
+  ServiceClient keeper = ts.connect();
+  keeper.ping();  // ensure the first connection is registered
+  ServiceClient reject = ts.connect();
+  const Frame f = reject.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Error);
+  EXPECT_EQ(decodeErrorPayload(f.payload).code, WireErrorCode::Overloaded);
+  EXPECT_THROW((void)reject.readFrame(), recovery::TruncatedError);
+  keeper.ping();  // the admitted connection is unaffected
+  EXPECT_EQ(ts.svc().stats().connectionsRejected, 1u);
+}
+
+TEST(ServiceTest, UnixSocketListenerSpeaksTheSameProtocol) {
+  ServiceConfig cfg;
+  cfg.unixPath = ::testing::TempDir() + "icsched_test.sock";
+  Service svc(cfg);
+  svc.start();
+  {
+    ServiceClient c = ServiceClient::connectUnix(cfg.unixPath);
+    c.ping();
+    const RequestPayload req = makeReq({"schedule", "greedy"}, kDiamond);
+    const auto outcome = c.call(req);
+    ASSERT_TRUE(outcome.ok);
+    const ResponsePayload local = executeRequest(req);
+    EXPECT_EQ(outcome.response.out, local.out);
+  }
+  svc.stop();
+  // The socket file is removed on shutdown.
+  EXPECT_THROW((void)ServiceClient::connectUnix(cfg.unixPath), recovery::FileError);
+}
+
+TEST(ServiceTest, ClientShutdownFrameIsAcknowledgedAndObservable) {
+  TcpService ts{ServiceConfig{}};
+  ServiceClient c = ts.connect();
+  c.requestShutdown();  // throws unless the Pong acknowledgement arrives
+  EXPECT_TRUE(ts.svc().waitShutdownRequested());
+  ts.svc().stop();
+  EXPECT_FALSE(ts.svc().running());
+}
+
+}  // namespace
+}  // namespace icsched::service

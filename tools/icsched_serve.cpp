@@ -1,0 +1,140 @@
+/// \file icsched_serve.cpp
+/// \brief The scheduling-as-a-service daemon.
+///
+/// Serves dag / simulate / chain-synthesis requests (any one-shot `icsched`
+/// command) over a framed binary protocol on a Unix or localhost-TCP socket,
+/// with a content-addressed schedule cache, admission control, per-request
+/// deadlines and graceful degradation (see src/service/service.hpp and
+/// DESIGN.md "Scheduling service").
+///
+/// Usage:
+///   icsched_serve --unix PATH | --tcp PORT
+///                 [--threads N] [--max-outstanding N] [--max-connections N]
+///                 [--max-inflight N] [--read-timeout-ms T]
+///                 [--write-timeout-ms T] [--default-deadline-ms T]
+///                 [--cache-capacity N] [--quiet]
+///
+/// Runs in the foreground until SIGINT/SIGTERM or a client Shutdown frame,
+/// then drains in-flight work and exits 0. On TCP with port 0 the
+/// kernel-assigned port is printed as `listening port=P` so wrappers can
+/// parse it.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "service/service.hpp"
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+
+void onSignal(int) { g_signalled.store(true); }
+
+int usage(std::ostream& os) {
+  os << "usage: icsched_serve --unix PATH | --tcp PORT [--threads N]\n"
+        "                     [--max-outstanding N] [--max-connections N]\n"
+        "                     [--max-inflight N] [--read-timeout-ms T]\n"
+        "                     [--write-timeout-ms T] [--default-deadline-ms T]\n"
+        "                     [--cache-capacity N] [--quiet]\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using icsched::service::Service;
+  using icsched::service::ServiceConfig;
+
+  ServiceConfig cfg;
+  bool haveListener = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "icsched_serve: missing value for " << what << "\n";
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--unix") {
+        cfg.unixPath = value("--unix");
+        haveListener = true;
+      } else if (arg == "--tcp") {
+        cfg.tcpPort = static_cast<std::uint16_t>(std::stoul(value("--tcp")));
+        haveListener = true;
+      } else if (arg == "--threads") {
+        cfg.workerThreads = std::stoul(value("--threads"));
+      } else if (arg == "--max-outstanding") {
+        cfg.maxOutstanding = std::stoul(value("--max-outstanding"));
+      } else if (arg == "--max-connections") {
+        cfg.maxConnections = std::stoul(value("--max-connections"));
+      } else if (arg == "--max-inflight") {
+        cfg.maxInflightPerClient = std::stoul(value("--max-inflight"));
+      } else if (arg == "--read-timeout-ms") {
+        cfg.readTimeoutMillis = static_cast<std::uint32_t>(std::stoul(value("--read-timeout-ms")));
+      } else if (arg == "--write-timeout-ms") {
+        cfg.writeTimeoutMillis =
+            static_cast<std::uint32_t>(std::stoul(value("--write-timeout-ms")));
+      } else if (arg == "--default-deadline-ms") {
+        cfg.defaultDeadlineMillis =
+            static_cast<std::uint32_t>(std::stoul(value("--default-deadline-ms")));
+      } else if (arg == "--cache-capacity") {
+        cfg.scheduleCacheCapacity = std::stoul(value("--cache-capacity"));
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        return usage(std::cerr);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "icsched_serve: bad value for " << arg << "\n";
+      return 64;
+    }
+  }
+  if (!haveListener) return usage(std::cerr);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    Service svc(cfg);
+    svc.start();
+    if (!quiet) {
+      if (!cfg.unixPath.empty()) {
+        std::cout << "listening unix=" << cfg.unixPath << std::endl;
+      } else {
+        std::cout << "listening port=" << svc.port() << std::endl;
+      }
+    }
+    // Wait for either a client Shutdown frame or a signal. The signal
+    // handler can only set a flag, so poll it at a human-invisible cadence.
+    std::thread signalWatch([&svc] {
+      while (!g_signalled.load()) {
+        if (!svc.running()) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      svc.stop();
+    });
+    const bool byClient = svc.waitShutdownRequested();
+    svc.stop();
+    signalWatch.join();
+    if (!quiet) {
+      const icsched::service::ServiceStats s = svc.stats();
+      std::cout << "shutdown by=" << (byClient ? "client" : "signal")
+                << " requests=" << s.requests << " responses=" << s.responses
+                << " errors=" << s.errorFrames << " cacheHits=" << s.scheduleCacheHits
+                << " shed=" << s.shedOverload + s.shedQuota << std::endl;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "icsched_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
