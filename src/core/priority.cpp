@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/priority_kernels.hpp"
+#include "core/simd_dispatch.hpp"
+
 namespace icsched {
 
 const std::vector<std::size_t>& ScheduledDag::nonsinkProfile() const {
@@ -33,128 +36,19 @@ bool hasPriorityProfilesReference(const std::vector<std::size_t>& e1,
 }
 
 bool isConcaveProfile(const std::vector<std::size_t>& e) {
-  // Nonincreasing first differences: e[i] - e[i-1] <= e[i-1] - e[i-2],
-  // rearranged into additions so size_t never underflows.
-  for (std::size_t i = 2; i < e.size(); ++i)
-    if (e[i] + e[i - 2] > 2 * e[i - 1]) return false;
-  return true;
+  if (activeSimdTier() == SimdTier::Avx2) return detail::isConcaveAvx2(e);
+  return detail::isConcaveScalar(e);
 }
-
-namespace {
-
-/// Greedy split of budget t across the two profiles: all of it on e1 first.
-/// This is the RHS of (2.1) for every (x, y) with x + y = t.
-inline std::size_t greedySplit(const std::vector<std::size_t>& e1,
-                               const std::vector<std::size_t>& e2, std::size_t n1,
-                               std::size_t t) {
-  const std::size_t xp = std::min(n1, t);
-  return e1[xp] + e2[t - xp];
-}
-
-/// Concave fast path: with both profiles concave, the anti-diagonal maximum
-/// M(t) = max_{x+y=t} e1[x]+e2[y] is the (max,+) convolution, computed
-/// exactly by merging the two nonincreasing difference sequences in
-/// nonincreasing order and prefix-summing -- O(n1+n2) total. ▷ holds iff
-/// M(t) <= g(t) for every t (and since the greedy split is itself a point on
-/// the diagonal, equality is the passing case).
-bool hasPriorityConcave(const std::vector<std::size_t>& e1,
-                        const std::vector<std::size_t>& e2) {
-  const std::size_t n1 = e1.size() - 1;
-  const std::size_t n2 = e2.size() - 1;
-  long long running = static_cast<long long>(e1[0]) + static_cast<long long>(e2[0]);
-  std::size_t i = 0;  // next unused difference of e1: e1[i+1] - e1[i]
-  std::size_t j = 0;  // next unused difference of e2
-  for (std::size_t t = 1; t <= n1 + n2; ++t) {
-    long long step;
-    const bool canI = i < n1;
-    const bool canJ = j < n2;
-    const long long di =
-        canI ? static_cast<long long>(e1[i + 1]) - static_cast<long long>(e1[i]) : 0;
-    const long long dj =
-        canJ ? static_cast<long long>(e2[j + 1]) - static_cast<long long>(e2[j]) : 0;
-    if (canI && (!canJ || di >= dj)) {
-      step = di;
-      ++i;
-    } else {
-      step = dj;
-      ++j;
-    }
-    running += step;
-    if (running > static_cast<long long>(greedySplit(e1, e2, n1, t))) return false;
-  }
-  return true;
-}
-
-/// Sliding-window maximum over a profile, for windows whose endpoints are
-/// both nondecreasing: a monotone deque of indices (front = current max).
-/// Amortized O(1) per advance; O(n) storage reused across the whole scan.
-class WindowMax {
- public:
-  explicit WindowMax(const std::vector<std::size_t>& e) : e_(e) { buf_.reserve(e.size()); }
-
-  /// Extends the window's right edge to include index \p hi.
-  void pushUpTo(std::size_t hi) {
-    while (next_ <= hi) {
-      while (head_ < buf_.size() && e_[buf_.back()] <= e_[next_]) buf_.pop_back();
-      buf_.push_back(next_);
-      ++next_;
-    }
-  }
-
-  /// Advances the window's left edge to \p lo (drops smaller indices).
-  void dropBelow(std::size_t lo) {
-    while (head_ < buf_.size() && buf_[head_] < lo) ++head_;
-  }
-
-  [[nodiscard]] std::size_t max() const { return e_[buf_[head_]]; }
-
- private:
-  const std::vector<std::size_t>& e_;
-  std::vector<std::size_t> buf_;
-  std::size_t head_ = 0;
-  std::size_t next_ = 0;
-};
-
-/// General fallback: pruned anti-diagonal scan. For each total budget
-/// t = x + y, the window of feasible x is [max(0, t-n2), min(n1, t)] and of
-/// y is [max(0, t-n1), min(n2, t)]; both endpoints are nondecreasing in t,
-/// so two monotone deques yield windowMax(e1) and windowMax(e2) in O(1)
-/// amortized. windowMax1 + windowMax2 bounds the diagonal's true maximum
-/// from above: when the bound already fits under the greedy split the whole
-/// diagonal is skipped, otherwise the diagonal is scanned with an early exit
-/// on the first violation. Worst case O(n1·n2) like the reference, but the
-/// scan only runs on diagonals that are genuinely close to violating (2.1).
-bool hasPriorityPrunedScan(const std::vector<std::size_t>& e1,
-                           const std::vector<std::size_t>& e2) {
-  const std::size_t n1 = e1.size() - 1;
-  const std::size_t n2 = e2.size() - 1;
-  WindowMax w1(e1);
-  WindowMax w2(e2);
-  for (std::size_t t = 0; t <= n1 + n2; ++t) {
-    const std::size_t xLo = t > n2 ? t - n2 : 0;
-    const std::size_t xHi = std::min(n1, t);
-    const std::size_t yLo = t > n1 ? t - n1 : 0;
-    const std::size_t yHi = std::min(n2, t);
-    w1.pushUpTo(xHi);
-    w1.dropBelow(xLo);
-    w2.pushUpTo(yHi);
-    w2.dropBelow(yLo);
-    const std::size_t g = greedySplit(e1, e2, n1, t);
-    if (w1.max() + w2.max() <= g) continue;
-    for (std::size_t x = xLo; x <= xHi; ++x)
-      if (e1[x] + e2[t - x] > g) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<std::size_t>& e2) {
   if (e1.empty() || e2.empty()) {
     throw std::invalid_argument("hasPriorityProfiles: profiles must include x = 0");
   }
-  if (isConcaveProfile(e1) && isConcaveProfile(e2)) return hasPriorityConcave(e1, e2);
-  return hasPriorityPrunedScan(e1, e2);
+  // Runtime CPU dispatch (see core/simd_dispatch.hpp): same concavity gate
+  // and kernel structure on both tiers, verdicts bit-identical to
+  // hasPriorityProfilesReference either way.
+  if (activeSimdTier() == SimdTier::Avx2) return detail::hasPriorityProfilesAvx2(e1, e2);
+  return detail::hasPriorityProfilesScalar(e1, e2);
 }
 
 bool hasPriority(const ScheduledDag& g1, const ScheduledDag& g2) {

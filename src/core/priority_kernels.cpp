@@ -1,0 +1,380 @@
+#include "core/priority_kernels.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ICSCHED_AVX2_BUILD 1
+#include <immintrin.h>
+#else
+#define ICSCHED_AVX2_BUILD 0
+#endif
+
+namespace icsched::detail {
+
+namespace {
+
+/// Greedy split of budget t across the two profiles: all of it on e1 first.
+/// This is the RHS of (2.1) for every (x, y) with x + y = t.
+inline std::size_t greedySplit(const std::vector<std::size_t>& e1,
+                               const std::vector<std::size_t>& e2, std::size_t n1,
+                               std::size_t t) {
+  const std::size_t xp = std::min(n1, t);
+  return e1[xp] + e2[t - xp];
+}
+
+/// Sliding-window maximum over a profile, for windows whose endpoints are
+/// both nondecreasing: a monotone deque of indices (front = current max).
+/// Amortized O(1) per advance; O(n) storage reused across the whole scan.
+/// Shared verbatim by the scalar and AVX2 pruned scans -- pruning decisions
+/// are scalar on both tiers, only the rescue scan differs.
+class WindowMax {
+ public:
+  explicit WindowMax(const std::vector<std::size_t>& e) : e_(e) { buf_.reserve(e.size()); }
+
+  /// Extends the window's right edge to include index \p hi.
+  void pushUpTo(std::size_t hi) {
+    while (next_ <= hi) {
+      while (head_ < buf_.size() && e_[buf_.back()] <= e_[next_]) buf_.pop_back();
+      buf_.push_back(next_);
+      ++next_;
+    }
+  }
+
+  /// Advances the window's left edge to \p lo (drops smaller indices).
+  void dropBelow(std::size_t lo) {
+    while (head_ < buf_.size() && buf_[head_] < lo) ++head_;
+  }
+
+  [[nodiscard]] std::size_t max() const { return e_[buf_[head_]]; }
+
+ private:
+  const std::vector<std::size_t>& e_;
+  std::vector<std::size_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t next_ = 0;
+};
+
+/// True when no anti-diagonal sum e1[x] + e2[y] can wrap u64. The concave
+/// fast path reasons about the *maximum* of those sums, which only bounds the
+/// others when the arithmetic is exact; under wrapping, a non-maximal pair
+/// can wrap differently from the maximum and flip the reference's verdict.
+/// Profiles that can wrap take the pruned scan, whose rescue loop applies the
+/// reference's own wrapped comparison element by element.
+inline bool sumsCannotWrap(const std::vector<std::size_t>& e1,
+                           const std::vector<std::size_t>& e2) {
+  const std::size_t m1 = *std::max_element(e1.begin(), e1.end());
+  const std::size_t m2 = *std::max_element(e2.begin(), e2.end());
+  return m1 <= ~std::size_t{0} - m2;
+}
+
+}  // namespace
+
+bool avx2KernelsCompiled() { return ICSCHED_AVX2_BUILD != 0; }
+
+// ---------------------------------------------------------------------------
+// Scalar kernels
+// ---------------------------------------------------------------------------
+
+bool isConcaveScalar(const std::vector<std::size_t>& e) {
+  // Nonincreasing first differences: e[i] - e[i-1] <= e[i-1] - e[i-2],
+  // rearranged into additions so size_t never underflows.
+  for (std::size_t i = 2; i < e.size(); ++i)
+    if (e[i] + e[i - 2] > 2 * e[i - 1]) return false;
+  return true;
+}
+
+/// Concave fast path: with both profiles concave, the anti-diagonal maximum
+/// M(t) = max_{x+y=t} e1[x]+e2[y] is the (max,+) convolution, computed
+/// exactly by merging the two nonincreasing difference sequences in
+/// nonincreasing order and prefix-summing -- O(n1+n2) total. ▷ holds iff
+/// M(t) <= g(t) for every t (and since the greedy split is itself a point on
+/// the diagonal, equality is the passing case).
+bool priorityConcaveScalar(const std::vector<std::size_t>& e1,
+                           const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  std::size_t running = e1[0] + e2[0];
+  std::size_t i = 0;  // next unused difference of e1: e1[i+1] - e1[i]
+  std::size_t j = 0;  // next unused difference of e2
+  for (std::size_t t = 1; t <= n1 + n2; ++t) {
+    std::size_t step;
+    const bool canI = i < n1;
+    const bool canJ = j < n2;
+    // Wrapping u64 differences compare correctly here because concave
+    // profiles (which gate this path) have |diff| far below 2^63; signedness
+    // is resolved by the bias-free comparison on the signed interpretation.
+    const long long di =
+        canI ? static_cast<long long>(e1[i + 1]) - static_cast<long long>(e1[i]) : 0;
+    const long long dj =
+        canJ ? static_cast<long long>(e2[j + 1]) - static_cast<long long>(e2[j]) : 0;
+    if (canI && (!canJ || di >= dj)) {
+      step = e1[i + 1] - e1[i];
+      ++i;
+    } else {
+      step = e2[j + 1] - e2[j];
+      ++j;
+    }
+    running += step;  // wrapping size_t, same as the reference's sums
+    if (running > greedySplit(e1, e2, n1, t)) return false;
+  }
+  return true;
+}
+
+/// General fallback: pruned anti-diagonal scan. For each total budget
+/// t = x + y, the window of feasible x is [max(0, t-n2), min(n1, t)] and of
+/// y is [max(0, t-n1), min(n2, t)]; both endpoints are nondecreasing in t,
+/// so two monotone deques yield windowMax(e1) and windowMax(e2) in O(1)
+/// amortized. windowMax1 + windowMax2 bounds the diagonal's true maximum
+/// from above: when the bound already fits under the greedy split the whole
+/// diagonal is skipped, otherwise the diagonal is scanned with an early exit
+/// on the first violation. Worst case O(n1·n2) like the reference, but the
+/// scan only runs on diagonals that are genuinely close to violating (2.1).
+bool priorityScanScalar(const std::vector<std::size_t>& e1,
+                        const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  WindowMax w1(e1);
+  WindowMax w2(e2);
+  for (std::size_t t = 0; t <= n1 + n2; ++t) {
+    const std::size_t xLo = t > n2 ? t - n2 : 0;
+    const std::size_t xHi = std::min(n1, t);
+    const std::size_t yLo = t > n1 ? t - n1 : 0;
+    const std::size_t yHi = std::min(n2, t);
+    w1.pushUpTo(xHi);
+    w1.dropBelow(xLo);
+    w2.pushUpTo(yHi);
+    w2.dropBelow(yLo);
+    const std::size_t g = greedySplit(e1, e2, n1, t);
+    // Prune only when the bound provably holds in exact arithmetic:
+    // m2 <= g and m1 <= g - m2 together mean m1 + m2 <= g without wrapping.
+    // (A wrapped m1 + m2 could spuriously look small and hide a violation.)
+    const std::size_t m1 = w1.max();
+    const std::size_t m2 = w2.max();
+    if (m2 <= g && m1 <= g - m2) continue;
+    for (std::size_t x = xLo; x <= xHi; ++x)
+      if (e1[x] + e2[t - x] > g) return false;
+  }
+  return true;
+}
+
+bool hasPriorityProfilesScalar(const std::vector<std::size_t>& e1,
+                               const std::vector<std::size_t>& e2) {
+  if (isConcaveScalar(e1) && isConcaveScalar(e2) && sumsCannotWrap(e1, e2)) {
+    return priorityConcaveScalar(e1, e2);
+  }
+  return priorityScanScalar(e1, e2);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels
+// ---------------------------------------------------------------------------
+
+#if ICSCHED_AVX2_BUILD
+
+#define ICSCHED_TGT_AVX2 __attribute__((target("avx2")))
+
+namespace {
+
+static_assert(sizeof(std::size_t) == 8, "AVX2 kernels assume 64-bit size_t lanes");
+
+/// Unsigned 64-bit a > b per lane: flip the sign bit and compare signed --
+/// exact for every u64 value, including the wrapped sums the scalar
+/// reference produces on adversarial inputs.
+ICSCHED_TGT_AVX2 inline __m256i cmpGtU64(__m256i a, __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias), _mm256_xor_si256(b, bias));
+}
+
+ICSCHED_TGT_AVX2 inline __m256i loadU64(const std::size_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+/// In-register inclusive prefix scan of 4 u64 lanes (wrapping adds):
+/// [a, b, c, d] -> [a, a+b, a+b+c, a+b+c+d].
+ICSCHED_TGT_AVX2 inline __m256i inclusiveScan4(__m256i x) {
+  // x += x shifted left one lane (lane0 zeroed).
+  __m256i s = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 0));
+  s = _mm256_blend_epi32(s, _mm256_setzero_si256(), 0x03);
+  x = _mm256_add_epi64(x, s);
+  // x += x shifted left two lanes (lanes 0,1 zeroed).
+  s = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 0, 0, 0));
+  s = _mm256_blend_epi32(s, _mm256_setzero_si256(), 0x0F);
+  return _mm256_add_epi64(x, s);
+}
+
+ICSCHED_TGT_AVX2 inline __m256i broadcastLane3(__m256i x) {
+  return _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 3, 3));
+}
+
+/// Reverses the 4 u64 lanes: [a, b, c, d] -> [d, c, b, a].
+ICSCHED_TGT_AVX2 inline __m256i reverseLanes(__m256i x) {
+  return _mm256_permute4x64_epi64(x, _MM_SHUFFLE(0, 1, 2, 3));
+}
+
+/// Violation check for one g(t) segment of the concave path: for
+/// t in [tBegin, tEnd], M(t) = carry-in running sum plus the prefix of the
+/// merged diffs, g(t) = seg[t - tBegin + segOffset] + addend. Returns true
+/// (and stops) on the first violating block. \p running is updated to the
+/// carry after the segment.
+ICSCHED_TGT_AVX2 bool concaveSegmentViolates(const std::size_t* merged, std::size_t tBegin,
+                                             std::size_t tEnd, const std::size_t* seg,
+                                             std::size_t addend, std::size_t& running) {
+  if (tEnd < tBegin) return false;
+  const __m256i vAdd = _mm256_set1_epi64x(static_cast<long long>(addend));
+  std::size_t t = tBegin;
+  __m256i vRun = _mm256_set1_epi64x(static_cast<long long>(running));
+  for (; t + 3 <= tEnd; t += 4) {
+    const __m256i diffs = loadU64(merged + (t - 1));
+    const __m256i pref = inclusiveScan4(diffs);
+    const __m256i m = _mm256_add_epi64(vRun, pref);
+    const __m256i g = _mm256_add_epi64(loadU64(seg + (t - tBegin)), vAdd);
+    if (_mm256_movemask_epi8(cmpGtU64(m, g)) != 0) return true;
+    vRun = broadcastLane3(m);
+  }
+  running = static_cast<std::size_t>(_mm256_extract_epi64(vRun, 0));
+  for (; t <= tEnd; ++t) {
+    running += merged[t - 1];
+    if (running > seg[t - tBegin] + addend) return true;
+  }
+  return false;
+}
+
+/// Thread-local SoA scratch for the merged difference sequence -- the
+/// concave kernel stays allocation-free after warm-up, including under
+/// exec/parallel_priority's thread pool.
+std::vector<std::size_t>& mergedScratch() {
+  thread_local std::vector<std::size_t> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+ICSCHED_TGT_AVX2 bool isConcaveAvx2(const std::vector<std::size_t>& e) {
+  const std::size_t n = e.size();
+  if (n < 3) return true;
+  const std::size_t* p = e.data();
+  std::size_t i = 2;
+  for (; i + 3 < n; i += 4) {
+    // lanes k: e[i+k] + e[i+k-2] > 2 * e[i+k-1]  ->  not concave.
+    const __m256i a = loadU64(p + i - 2);
+    const __m256i b = loadU64(p + i - 1);
+    const __m256i c = loadU64(p + i);
+    const __m256i lhs = _mm256_add_epi64(c, a);
+    const __m256i rhs = _mm256_add_epi64(b, b);
+    if (_mm256_movemask_epi8(cmpGtU64(lhs, rhs)) != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (e[i] + e[i - 2] > 2 * e[i - 1]) return false;
+  return true;
+}
+
+ICSCHED_TGT_AVX2 bool priorityConcaveAvx2(const std::vector<std::size_t>& e1,
+                                          const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  const std::size_t total = n1 + n2;
+  if (total == 0) return true;
+
+  // Scalar two-pointer merge of the two nonincreasing difference sequences
+  // into the SoA scratch (same tie-break as the scalar kernel: e1 first).
+  std::vector<std::size_t>& m = mergedScratch();
+  m.resize(total);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (std::size_t t = 0; t < total; ++t) {
+    const bool canI = i < n1;
+    const bool canJ = j < n2;
+    const long long di =
+        canI ? static_cast<long long>(e1[i + 1]) - static_cast<long long>(e1[i]) : 0;
+    const long long dj =
+        canJ ? static_cast<long long>(e2[j + 1]) - static_cast<long long>(e2[j]) : 0;
+    if (canI && (!canJ || di >= dj)) {
+      m[t] = e1[i + 1] - e1[i];
+      ++i;
+    } else {
+      m[t] = e2[j + 1] - e2[j];
+      ++j;
+    }
+  }
+
+  // M(t) <= g(t) for every t, in two contiguous g segments. The greedy
+  // split spends the whole budget on e1 first, so g(t) = e1[t] + e2[0] while
+  // t <= n1, then e1[n1] + e2[t-n1].
+  std::size_t running = e1[0] + e2[0];
+  if (concaveSegmentViolates(m.data(), 1, n1, e1.data() + 1, e2[0], running)) return false;
+  if (concaveSegmentViolates(m.data(), n1 + 1, total, e2.data() + 1, e1[n1], running)) {
+    return false;
+  }
+  return true;
+}
+
+ICSCHED_TGT_AVX2 bool priorityScanAvx2(const std::vector<std::size_t>& e1,
+                                       const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  WindowMax w1(e1);
+  WindowMax w2(e2);
+  for (std::size_t t = 0; t <= n1 + n2; ++t) {
+    const std::size_t xLo = t > n2 ? t - n2 : 0;
+    const std::size_t xHi = std::min(n1, t);
+    const std::size_t yLo = t > n1 ? t - n1 : 0;
+    const std::size_t yHi = std::min(n2, t);
+    w1.pushUpTo(xHi);
+    w1.dropBelow(xLo);
+    w2.pushUpTo(yHi);
+    w2.dropBelow(yLo);
+    const std::size_t g = greedySplit(e1, e2, n1, t);
+    // Overflow-guarded prune, same as the scalar kernel.
+    const std::size_t m1 = w1.max();
+    const std::size_t m2 = w2.max();
+    if (m2 <= g && m1 <= g - m2) continue;
+    // Rescue scan of a suspicious diagonal: e1 ascending from x, e2
+    // descending from t-x (a reversed unaligned load). x + 3 <= xHi <= t
+    // guarantees t - x - 3 never underflows.
+    const __m256i vG = _mm256_set1_epi64x(static_cast<long long>(g));
+    std::size_t x = xLo;
+    for (; x + 3 <= xHi; x += 4) {
+      const __m256i a = loadU64(e1.data() + x);
+      const __m256i b = reverseLanes(loadU64(e2.data() + (t - x - 3)));
+      const __m256i sum = _mm256_add_epi64(a, b);
+      if (_mm256_movemask_epi8(cmpGtU64(sum, vG)) != 0) return false;
+    }
+    for (; x <= xHi; ++x)
+      if (e1[x] + e2[t - x] > g) return false;
+  }
+  return true;
+}
+
+bool hasPriorityProfilesAvx2(const std::vector<std::size_t>& e1,
+                             const std::vector<std::size_t>& e2) {
+  if (isConcaveAvx2(e1) && isConcaveAvx2(e2) && sumsCannotWrap(e1, e2)) {
+    return priorityConcaveAvx2(e1, e2);
+  }
+  return priorityScanAvx2(e1, e2);
+}
+
+#else  // !ICSCHED_AVX2_BUILD
+
+namespace {
+[[noreturn]] void noAvx2() {
+  throw std::logic_error("AVX2 priority kernels are not compiled into this binary");
+}
+}  // namespace
+
+bool isConcaveAvx2(const std::vector<std::size_t>&) { noAvx2(); }
+bool priorityConcaveAvx2(const std::vector<std::size_t>&, const std::vector<std::size_t>&) {
+  noAvx2();
+}
+bool priorityScanAvx2(const std::vector<std::size_t>&, const std::vector<std::size_t>&) {
+  noAvx2();
+}
+bool hasPriorityProfilesAvx2(const std::vector<std::size_t>&,
+                             const std::vector<std::size_t>&) {
+  noAvx2();
+}
+
+#endif  // ICSCHED_AVX2_BUILD
+
+}  // namespace icsched::detail

@@ -1,0 +1,65 @@
+#pragma once
+/// \file priority_kernels.hpp
+/// \brief The ▷-check compute kernels, in scalar and AVX2 builds.
+///
+/// Internal header: core/priority.cpp dispatches between these through
+/// core/simd_dispatch.hpp; the SimdPriority tests and bench_sim_batch call
+/// the tier-specific entry points directly to force both paths over the same
+/// inputs. Public callers use hasPriorityProfiles() / isConcaveProfile().
+///
+/// Three kernels, each in both builds, each bit-identical in verdict:
+///
+///   1. concavity check -- nonincreasing first differences, the O(n) gate in
+///      front of the concave fast path. AVX2: 4 lanes of
+///      `e[i] + e[i-2] >u 2·e[i-1]` per step.
+///   2. concave difference-merge (the (max,+) convolution): merge the two
+///      nonincreasing difference sequences, prefix-sum, and compare every
+///      anti-diagonal maximum M(t) against the greedy split g(t). AVX2: the
+///      merge stays a scalar two-pointer pass into a SoA scratch buffer; the
+///      prefix sum runs as an in-register 4-lane inclusive scan with a
+///      broadcast carry, and the M(t) > g(t) comparison is one vector
+///      compare per block (g(t) is two contiguous segments: e1[t] + e2[0]
+///      for t <= n1, then e1[n1] + e2[t-n1]).
+///   3. pruned anti-diagonal scan (the general fallback): the monotone-deque
+///      window maxima and per-diagonal pruning are identical to the scalar
+///      kernel; only the rescue scan of a suspicious diagonal is vectorized
+///      (e1 ascending against e2 descending via a lane-reversing permute).
+///
+/// All AVX2 arithmetic is wrapping u64 adds plus bias-flipped signed
+/// compares, i.e. exactly the size_t semantics of the scalar reference --
+/// verdicts agree for every input, not just realistic profile magnitudes.
+
+#include <cstddef>
+#include <vector>
+
+namespace icsched::detail {
+
+/// True when this translation unit was built with the AVX2 kernels
+/// (x86-64 target). Runtime CPU support is a separate question -- see
+/// cpuSupportsAvx2() in core/simd_dispatch.hpp.
+[[nodiscard]] bool avx2KernelsCompiled();
+
+// ---- scalar kernels (the portable reference implementations) ----
+[[nodiscard]] bool isConcaveScalar(const std::vector<std::size_t>& e);
+[[nodiscard]] bool priorityConcaveScalar(const std::vector<std::size_t>& e1,
+                                         const std::vector<std::size_t>& e2);
+[[nodiscard]] bool priorityScanScalar(const std::vector<std::size_t>& e1,
+                                      const std::vector<std::size_t>& e2);
+/// Whole ▷-check on the scalar tier (concavity gate + fast path selection).
+[[nodiscard]] bool hasPriorityProfilesScalar(const std::vector<std::size_t>& e1,
+                                             const std::vector<std::size_t>& e2);
+
+// ---- AVX2 kernels ----
+// Preconditions: avx2KernelsCompiled() and the CPU supports AVX2 (callers go
+// through simd_dispatch); calling them otherwise throws std::logic_error
+// from the stub build.
+[[nodiscard]] bool isConcaveAvx2(const std::vector<std::size_t>& e);
+[[nodiscard]] bool priorityConcaveAvx2(const std::vector<std::size_t>& e1,
+                                       const std::vector<std::size_t>& e2);
+[[nodiscard]] bool priorityScanAvx2(const std::vector<std::size_t>& e1,
+                                    const std::vector<std::size_t>& e2);
+/// Whole ▷-check on the AVX2 tier.
+[[nodiscard]] bool hasPriorityProfilesAvx2(const std::vector<std::size_t>& e1,
+                                           const std::vector<std::size_t>& e2);
+
+}  // namespace icsched::detail

@@ -1,0 +1,83 @@
+#include "core/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace icsched {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+constexpr bool kHasAvx2Build = true;
+#else
+constexpr bool kHasAvx2Build = false;
+#endif
+
+bool detectAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Resolves the env/CPU default once. ICSCHED_SIMD=avx2 on a CPU without
+/// AVX2 degrades to Scalar with no error: the env var is a deployment knob,
+/// unlike the programmatic setSimdTier() used by tests, which throws.
+SimdTier resolveDefault() {
+  const char* env = std::getenv("ICSCHED_SIMD");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "scalar") return SimdTier::Scalar;
+    if (v == "avx2") return cpuSupportsAvx2() ? SimdTier::Avx2 : SimdTier::Scalar;
+    // "auto" or anything unrecognized falls through to detection.
+  }
+  return cpuSupportsAvx2() ? SimdTier::Avx2 : SimdTier::Scalar;
+}
+
+/// Auto means "not forced": activeSimdTier() substitutes the resolved
+/// default. Relaxed ordering is fine -- the tier never guards other data.
+std::atomic<SimdTier> g_forced{SimdTier::Auto};
+
+}  // namespace
+
+bool cpuSupportsAvx2() {
+  static const bool supported = kHasAvx2Build && detectAvx2();
+  return supported;
+}
+
+SimdTier activeSimdTier() {
+  const SimdTier forced = g_forced.load(std::memory_order_relaxed);
+  if (forced != SimdTier::Auto) return forced;
+  static const SimdTier resolved = resolveDefault();
+  return resolved;
+}
+
+void setSimdTier(SimdTier tier) {
+  if (tier == SimdTier::Avx2 && !cpuSupportsAvx2()) {
+    throw std::invalid_argument("setSimdTier: AVX2 is not available on this CPU/build");
+  }
+  g_forced.store(tier, std::memory_order_relaxed);
+}
+
+const char* simdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::Auto:
+      return "auto";
+    case SimdTier::Scalar:
+      return "scalar";
+    case SimdTier::Avx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+ScopedSimdTier::ScopedSimdTier(SimdTier tier)
+    : prev_(g_forced.load(std::memory_order_relaxed)) {
+  setSimdTier(tier);
+}
+
+ScopedSimdTier::~ScopedSimdTier() { g_forced.store(prev_, std::memory_order_relaxed); }
+
+}  // namespace icsched

@@ -1,0 +1,64 @@
+#pragma once
+/// \file simd_dispatch.hpp
+/// \brief Runtime CPU dispatch for the vectorized priority kernels.
+///
+/// The ▷-check hot loops (core/priority_kernels.hpp) exist in two builds: a
+/// portable scalar form and an AVX2 form compiled with per-function target
+/// attributes, so one binary carries both and picks at runtime. The resolved
+/// tier is process-global:
+///
+///   - `auto` (the default): Avx2 when the CPU supports it (and the binary
+///     was compiled for an x86-64 target), else Scalar.
+///   - forced via `setSimdTier()` (the forced-dispatch tests drive both
+///     paths on the same inputs this way), or
+///   - forced via the `ICSCHED_SIMD` environment variable
+///     (`scalar` | `avx2` | `auto`), read once at first resolution -- the
+///     sanitizer CI jobs pin `ICSCHED_SIMD=scalar` so the vector kernels
+///     never run uninstrumented-width loads under ASan/UBSan.
+///
+/// Every tier produces bit-identical verdicts (pinned by the SimdPriority
+/// fuzz suite); dispatch is a perf decision only, never a semantic one.
+
+#include <string>
+
+namespace icsched {
+
+enum class SimdTier {
+  /// Resolve from ICSCHED_SIMD / CPU detection at first use.
+  Auto,
+  /// Portable scalar kernels (the reference).
+  Scalar,
+  /// AVX2 u64x4 kernels (x86-64 with AVX2 only).
+  Avx2,
+};
+
+/// True when this binary carries AVX2 kernels AND the running CPU reports
+/// AVX2 support. Always false on non-x86-64 targets.
+[[nodiscard]] bool cpuSupportsAvx2();
+
+/// The tier the priority kernels will actually execute. Never returns Auto.
+[[nodiscard]] SimdTier activeSimdTier();
+
+/// Forces the dispatch tier (Auto restores env/CPU resolution). Requesting
+/// Avx2 on a CPU without it throws std::invalid_argument -- a forced tier
+/// must never silently fall back, or the forced-dispatch tests would pass
+/// while testing the wrong kernel.
+void setSimdTier(SimdTier tier);
+
+/// "scalar" / "avx2" / "auto".
+[[nodiscard]] const char* simdTierName(SimdTier tier);
+
+/// RAII tier override for tests: forces \p tier, restores the previous
+/// setting on destruction.
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(SimdTier tier);
+  ~ScopedSimdTier();
+  ScopedSimdTier(const ScopedSimdTier&) = delete;
+  ScopedSimdTier& operator=(const ScopedSimdTier&) = delete;
+
+ private:
+  SimdTier prev_;
+};
+
+}  // namespace icsched

@@ -224,6 +224,8 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   bool dumpTrace = false;
   std::size_t trials = 1;
   std::size_t threads = 1;  // 0 = hardware concurrency (BatchRunner convention)
+  std::size_t procs = 0;    // > 0: process-sharded sweep (runSharded)
+  std::string shardDir;
   std::string checkpointPath;
   std::string resumePath;
   std::size_t checkpointEvery = 10000;
@@ -233,6 +235,12 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
       trials = parseSize(flag.substr(7), "trials");
     } else if (flag.rfind("threads=", 0) == 0) {
       threads = parseSize(flag.substr(8), "threads");
+    } else if (flag.rfind("procs=", 0) == 0) {
+      procs = parseSize(flag.substr(6), "procs");
+    } else if (flag.rfind("shard_dir=", 0) == 0) {
+      shardDir = flag.substr(10);
+    } else if (flag.rfind("rng=", 0) == 0) {
+      cfg.rngTier = parseRngTier(flag.substr(4));
     } else if (flag.rfind("checkpoint=", 0) == 0) {
       checkpointPath = flag.substr(11);
     } else if (flag.rfind("checkpoint_every=", 0) == 0) {
@@ -305,7 +313,19 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   spec.faultCases = {{"cli", cfg.faults}};
   spec.costCases = {{costModelKindName(cfg.costModel.kind), cfg.costModel}};
   spec.base = cfg;
-  const std::vector<Replication> reps = BatchRunner(threads).run(spec);
+  std::vector<Replication> reps;
+  if (procs > 0) {
+    // Process-sharded sweep: procs forked workers (each with `threads`
+    // engine threads), per-worker journals under shard_dir, byte-identical
+    // merge (see BatchRunner::runSharded).
+    ShardOptions shard;
+    shard.procs = procs;
+    shard.journalDir =
+        shardDir.empty() ? std::string("icsched_shards_") + args[2] : shardDir;
+    reps = BatchRunner(threads).runSharded(spec, shard);
+  } else {
+    reps = BatchRunner(threads).run(spec);
+  }
 
   if (trials == 1) {
     const SimulationResult& r = reps[0].result;

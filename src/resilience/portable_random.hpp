@@ -12,10 +12,111 @@
 /// platforms and standard libraries; test_fault_model.cpp asserts the exact
 /// values for a reference seed.
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <random>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+// ---------------------------------------------------------------------------
+// RNG performance tiers (compile-time default; see RngTier for the runtime
+// knob). Each tier is a different engine behind the same portable reductions
+// below; the *portable* tier is the compatibility baseline whose byte stream
+// every golden test and checkpoint pins.
+// ---------------------------------------------------------------------------
+
+// std::mt19937_64: stream fully specified by the C++ standard; every seeded
+// byte stream, checkpoint and golden metric in the repo is pinned to it.
+// perf: 1x baseline.
+#define ICSCHED_RND_PORTABLE 0
+
+// xoshiro256** seeded via splitmix64: ~3x faster draws, 32-byte state
+// (vs mt19937_64's 2.5 KiB), passes BigCrush. A *different* stream: results
+// are still deterministic per seed, but not comparable across tiers.
+#define ICSCHED_RND_FAST 1
+
+// Default tier for configs that do not set one explicitly. Overridable at
+// build time (-DICSCHED_RND_DEFAULT=ICSCHED_RND_FAST); the shipped default
+// stays PORTABLE so existing seeded streams are byte-for-byte unchanged.
+#ifndef ICSCHED_RND_DEFAULT
+#define ICSCHED_RND_DEFAULT ICSCHED_RND_PORTABLE
+#endif
 
 namespace icsched {
+
+/// Runtime selection between the ICSCHED_RND_* engines (per-config, see
+/// SimulationConfig::rngTier).
+enum class RngTier : std::uint8_t {
+  Portable = ICSCHED_RND_PORTABLE,
+  Fast = ICSCHED_RND_FAST,
+};
+
+inline constexpr RngTier kDefaultRngTier = static_cast<RngTier>(ICSCHED_RND_DEFAULT);
+
+[[nodiscard]] inline const char* rngTierName(RngTier tier) {
+  return tier == RngTier::Fast ? "fast" : "portable";
+}
+
+/// Parses "portable" / "fast". \throws std::invalid_argument otherwise.
+[[nodiscard]] inline RngTier parseRngTier(std::string_view name) {
+  if (name == "portable") return RngTier::Portable;
+  if (name == "fast") return RngTier::Fast;
+  throw std::invalid_argument("unknown rng tier '" + std::string(name) +
+                              "' (expected portable|fast)");
+}
+
+/// splitmix64 step: the standard seeding expander for xoshiro-family state
+/// (guarantees a well-mixed nonzero state from any 64-bit seed).
+[[nodiscard]] inline std::uint64_t splitmix64Next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: the ICSCHED_RND_FAST engine. UniformRandomBitGenerator over
+/// the full u64 range, so the portable* reductions apply unchanged. State is
+/// 4 u64 words, exposed for snapshots (state() is the whole generator).
+class FastRand {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  FastRand() { seed(0); }
+  explicit FastRand(std::uint64_t s) { seed(s); }
+
+  void seed(std::uint64_t s) {
+    for (std::uint64_t& w : s_) w = splitmix64Next(s);
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  void discard(std::uint64_t n) {
+    while (n-- > 0) (void)(*this)();
+  }
+
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const { return s_; }
+  void setState(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
 
 /// Uniform double in [0, 1): the top 53 bits of one engine call. Templated
 /// so wrappers around std::mt19937_64 (e.g. the simulation engine's

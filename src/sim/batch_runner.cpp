@@ -2,10 +2,23 @@
 
 #include <atomic>
 #include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ICSCHED_HAS_FORK 1
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define ICSCHED_HAS_FORK 0
+#endif
 
 #include "exec/thread_pool.hpp"
 #include "recovery/journal.hpp"
@@ -58,6 +71,24 @@ Replication decodeReplication(const SweepSpec& spec, std::size_t index) {
   r.dagIndex = rest / spec.schedulers.size();
   return r;
 }
+
+/// Cache line size for the claim-state padding below. std::hardware_
+/// destructive_interference_size is the portable spelling, but it is a
+/// per-TU constant that GCC warns may differ across ABIs; 64 bytes is the
+/// line size of every x86-64 and the common aarch64 configuration.
+constexpr std::size_t kCacheLine = 64;
+
+/// The shared state of a claim loop, with the two contended atomics padded
+/// to their own cache lines: every worker hammers `next` with fetch_add and
+/// polls `failed`, so co-locating them (or letting them share a line with
+/// the error mutex) false-shares every claim with every failure poll.
+struct alignas(kCacheLine) ClaimState {
+  alignas(kCacheLine) std::atomic<std::size_t> next{0};
+  alignas(kCacheLine) std::atomic<bool> failed{false};
+};
+static_assert(sizeof(ClaimState) == 2 * kCacheLine,
+              "each contended atomic must own a full cache line");
+static_assert(alignof(ClaimState) == kCacheLine);
 
 /// Executes replication \p index of \p spec on \p engine. Pure in
 /// (spec, index): the engine only contributes recycled buffer capacity.
@@ -149,6 +180,11 @@ std::uint64_t sweepFingerprint(const SweepSpec& spec) {
   h = mixFaults(spec.base.faults, h);
   h = mixCost(spec.base.costModel, h);
   h = fnv1aU64(spec.base.seed, h);
+  // Mixed only when non-default so pre-tier sweep journals keep their exact
+  // fingerprints (same convention as the engine's state fingerprint).
+  if (spec.base.rngTier != RngTier::Portable) {
+    h = fnv1aU64(0x526E675469657221ull + static_cast<std::uint64_t>(spec.base.rngTier), h);
+  }
   return h;
 }
 
@@ -160,21 +196,20 @@ std::vector<Replication> BatchRunner::run(const SweepSpec& spec) const {
   // Dynamic load balancing: workers claim the next unclaimed index and write
   // the result into its pre-sized slot, so completion order never affects
   // output order. One engine per worker keeps the hot path allocation-free.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
+  ClaimState claim;
   std::exception_ptr firstError;
   std::mutex errorMutex;
   auto workerBody = [&] {
     SimulationEngine engine;
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = claim.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total || claim.failed.load(std::memory_order_relaxed)) return;
       try {
         out[i] = runOne(spec, i, engine);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMutex);
         if (!firstError) firstError = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        claim.failed.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -232,8 +267,7 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
   // completion is journaled (under a mutex; the writer is single-threaded)
   // before the worker moves on -- the write-ahead discipline that makes any
   // kill point recoverable.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
+  ClaimState claim;
   std::exception_ptr firstError;
   std::mutex errorMutex;
   std::mutex journalMutex;
@@ -241,8 +275,8 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
     SimulationEngine engine;
     recovery::ByteWriter record;
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = claim.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total || claim.failed.load(std::memory_order_relaxed)) return;
       if (done[i] != 0) continue;
       try {
         Replication rep = runOne(spec, i, engine);
@@ -257,7 +291,7 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMutex);
         if (!firstError) firstError = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        claim.failed.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -273,6 +307,244 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
   if (firstError) std::rethrow_exception(firstError);
   writer.close();
   return out;
+}
+
+std::uint64_t shardFingerprint(const SweepSpec& spec, std::size_t procs, std::size_t rank) {
+  return recovery::fnv1aU64(rank, recovery::fnv1aU64(procs, sweepFingerprint(spec)));
+}
+
+std::string shardJournalPath(const std::string& dir, std::size_t procs, std::size_t rank) {
+  return dir + "/shard-" + std::to_string(rank) + "-of-" + std::to_string(procs) +
+         ".icsjrnl";
+}
+
+namespace {
+
+/// The forked worker's whole life: run this rank's shard (replication index
+/// % procs == rank) with `threads` engine threads, journaling every
+/// completion. Runs inside the child process -- it must not throw across the
+/// fork boundary, so all failure is condensed into the exit code (stderr
+/// carries the message).
+int runShardWorker(const SweepSpec& spec, const ShardOptions& shard, std::size_t procs,
+                   std::size_t rank, bool resume, std::size_t threads) noexcept {
+  try {
+    const std::size_t total = spec.numReplications();
+    const std::uint64_t fp = shardFingerprint(spec, procs, rank);
+    const std::string path = shardJournalPath(shard.journalDir, procs, rank);
+    // Indices of this shard, densely: shardIndex k -> replication rank+k*procs.
+    const std::size_t mine = rank < total ? (total - rank - 1) / procs + 1 : 0;
+    std::vector<std::uint8_t> done(mine, 0);
+
+    recovery::JournalWriter writer;
+    if (resume && recovery::journalUsable(path)) {
+      const recovery::JournalContents salvaged =
+          writer.openResumed(path, fp, shard.fsyncEvery);
+      for (const std::string& record : salvaged.records) {
+        recovery::ByteReader r(record);
+        const std::uint64_t index = r.varint();
+        if (index >= total || index % procs != rank) {
+          throw recovery::CorruptError("BatchRunner shard " + std::to_string(rank) +
+                                       ": journal record index " + std::to_string(index) +
+                                       " outside this shard");
+        }
+        done[static_cast<std::size_t>(index) / procs] = 1;
+      }
+    } else {
+      writer.open(path, fp, shard.fsyncEvery);
+    }
+    if (rank == shard.crashRank) {
+      writer.setCrashAfterAppends(shard.crashAfterAppends, shard.crashMidRecord);
+    }
+
+    ClaimState claim;
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    std::mutex journalMutex;
+    auto workerBody = [&] {
+      SimulationEngine engine;
+      recovery::ByteWriter record;
+      for (;;) {
+        const std::size_t k = claim.next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= mine || claim.failed.load(std::memory_order_relaxed)) return;
+        if (done[k] != 0) continue;
+        const std::size_t i = rank + k * procs;
+        try {
+          Replication rep = runOne(spec, i, engine);
+          record.clear();
+          record.varint(i);
+          writeResult(record, rep.result);
+          const std::lock_guard<std::mutex> lock(journalMutex);
+          writer.append(record.bytes());
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          claim.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    const std::size_t workers = std::min(threads, std::max<std::size_t>(mine, 1));
+    if (workers <= 1) {
+      workerBody();
+    } else {
+      ThreadPool pool(workers);
+      for (std::size_t w = 0; w < workers; ++w) pool.submit(workerBody);
+      pool.waitIdle();
+    }
+    if (firstError) std::rethrow_exception(firstError);
+    writer.close();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "icsched shard worker %zu: %s\n", rank, e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "icsched shard worker %zu: unknown error\n", rank);
+    return 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Replication> BatchRunner::runSharded(const SweepSpec& spec,
+                                                 const ShardOptions& shard) const {
+#if !ICSCHED_HAS_FORK
+  (void)spec;
+  (void)shard;
+  throw std::runtime_error("BatchRunner::runSharded requires a POSIX platform (fork)");
+#else
+  spec.validate();
+  if (shard.journalDir.empty()) {
+    throw std::invalid_argument("BatchRunner: shard journal directory is empty");
+  }
+  std::filesystem::create_directories(shard.journalDir);
+  const std::size_t total = spec.numReplications();
+  std::size_t procs = shard.procs != 0
+                          ? shard.procs
+                          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  procs = std::min(procs, std::max<std::size_t>(total, 1));
+
+  struct WorkerState {
+    pid_t pid = -1;
+    std::size_t attempts = 0;
+    bool finished = false;
+  };
+  std::vector<WorkerState> workers(procs);
+
+  const auto spawn = [&](std::size_t rank, bool resume) {
+    // Flush inherited stdio so the child cannot double-write parent buffers.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      throw std::runtime_error(std::string("BatchRunner: fork failed: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: the crash hook applies only to the rank's first spawn, so a
+      // respawned worker always finishes its shard.
+      ShardOptions childShard = shard;
+      if (workers[rank].attempts > 0) childShard.crashRank = static_cast<std::size_t>(-1);
+      const int rc = runShardWorker(spec, childShard, procs, rank, resume, threads_);
+      // _Exit: no atexit handlers or static destructors in the child -- the
+      // journal was already closed (fsync'd) by the worker.
+      std::_Exit(rc);
+    }
+    workers[rank].pid = pid;
+    ++workers[rank].attempts;
+  };
+
+  // On any parent-side failure, surviving workers must not be orphaned:
+  // kill and reap them before the exception propagates. (Their journals'
+  // valid prefixes survive for a later resume.)
+  const auto reapSurvivors = [&] {
+    for (WorkerState& w : workers) {
+      if (w.finished || w.pid < 0) continue;
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      while (waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  };
+  try {
+    for (std::size_t rank = 0; rank < procs; ++rank) spawn(rank, shard.resume);
+
+    std::size_t remaining = procs;
+    while (remaining > 0) {
+      int status = 0;
+      const pid_t pid = waitpid(-1, &status, 0);
+      if (pid < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("BatchRunner: waitpid failed: ") +
+                                 std::strerror(errno));
+      }
+      std::size_t rank = procs;
+      for (std::size_t r = 0; r < procs; ++r) {
+        if (!workers[r].finished && workers[r].pid == pid) {
+          rank = r;
+          break;
+        }
+      }
+      if (rank == procs) continue;  // not one of ours (e.g. an unrelated child)
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        workers[rank].finished = true;
+        --remaining;
+        continue;
+      }
+      // Abnormal exit (crash, signal, nonzero status): the shard journal's
+      // valid prefix survives on disk, so a respawn in resume mode re-runs
+      // only the lost replications.
+      workers[rank].pid = -1;
+      if (workers[rank].attempts > shard.maxRespawns) {
+        throw std::runtime_error("BatchRunner: shard worker " + std::to_string(rank) +
+                                 " failed after " + std::to_string(workers[rank].attempts) +
+                                 " attempts");
+      }
+      spawn(rank, /*resume=*/true);
+    }
+  } catch (...) {
+    reapSurvivors();
+    throw;
+  }
+
+  // Merge: decode every shard journal through the exact result codec into
+  // index-keyed slots -- the same path runJournaled() resumes through, so
+  // the merged vector is byte-identical to a serial run().
+  std::vector<Replication> out(total);
+  std::vector<std::uint8_t> merged(total, 0);
+  for (std::size_t rank = 0; rank < procs; ++rank) {
+    const std::string path = shardJournalPath(shard.journalDir, procs, rank);
+    const recovery::JournalContents contents =
+        recovery::readJournal(path, recovery::JournalReadMode::Strict);
+    if (contents.fingerprint != shardFingerprint(spec, procs, rank)) {
+      throw recovery::StateMismatchError("BatchRunner: shard journal '" + path +
+                                         "' belongs to a different sweep or shape");
+    }
+    for (const std::string& record : contents.records) {
+      recovery::ByteReader r(record);
+      const std::uint64_t index = r.varint();
+      if (index >= total || index % procs != rank) {
+        throw recovery::CorruptError("BatchRunner: shard journal '" + path +
+                                     "' has out-of-shard record index " +
+                                     std::to_string(index));
+      }
+      if (merged[index] != 0) {
+        throw recovery::CorruptError("BatchRunner: shard journal '" + path +
+                                     "' repeats record index " + std::to_string(index));
+      }
+      Replication rep = decodeReplication(spec, static_cast<std::size_t>(index));
+      rep.result = readResult(r, spec.dags[rep.dagIndex].dag->numNodes());
+      r.expectDone();
+      merged[index] = 1;
+      out[index] = std::move(rep);
+    }
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    if (merged[i] == 0) {
+      throw recovery::CorruptError("BatchRunner: sharded run left replication " +
+                                   std::to_string(i) + " unrecorded");
+    }
+  }
+  return out;
+#endif
 }
 
 }  // namespace icsched

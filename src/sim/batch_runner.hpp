@@ -116,6 +116,46 @@ struct JournalOptions {
   bool crashMidRecord = false;
 };
 
+/// Process-sharded execution for BatchRunner::runSharded: the sweep is
+/// partitioned by replication index (index % procs == rank), one forked
+/// worker process per rank, each journaling its shard's completions to its
+/// own write-ahead journal under `journalDir`. A worker is a kill-safe
+/// participant: the parent waits on every child, respawns an abnormally-dead
+/// one in resume mode (its journal's valid prefix is salvaged, only the lost
+/// replications re-run), and finally merges all shard journals through the
+/// exact result codec -- so the merged output is byte-identical to a serial
+/// run() for any worker count and any kill point.
+struct ShardOptions {
+  /// Worker processes; 0 = hardware_concurrency.
+  std::size_t procs = 0;
+  /// Directory for the per-worker journals ("shard-R-of-N.icsjrnl");
+  /// created if missing. Must be non-empty.
+  std::string journalDir;
+  /// fsync cadence of each worker's journal (see JournalOptions::fsyncEvery).
+  std::size_t fsyncEvery = 64;
+  /// When true, workers salvage usable shard journals from an earlier --
+  /// possibly killed -- sharded run of the same sweep and proc count.
+  bool resume = false;
+  /// Respawn budget per rank for abnormal worker exits (crash/signal).
+  std::size_t maxRespawns = 2;
+  /// Crash-test hook: the first spawn of this rank SIGKILLs itself after
+  /// `crashAfterAppends` journal appends (see JournalOptions). Respawns of
+  /// the rank run clean. SIZE_MAX disables.
+  std::size_t crashRank = static_cast<std::size_t>(-1);
+  std::size_t crashAfterAppends = 0;
+  bool crashMidRecord = false;
+};
+
+/// The per-shard journal binding: rank and proc count folded over
+/// sweepFingerprint, so resuming a shard against the wrong worker count,
+/// rank, or sweep is a typed StateMismatchError.
+[[nodiscard]] std::uint64_t shardFingerprint(const SweepSpec& spec, std::size_t procs,
+                                             std::size_t rank);
+
+/// "<dir>/shard-<rank>-of-<procs>.icsjrnl".
+[[nodiscard]] std::string shardJournalPath(const std::string& dir, std::size_t procs,
+                                           std::size_t rank);
+
 /// Expands sweep specs and executes the replications, serially or on a
 /// thread pool. Stateless between run() calls; safe to reuse.
 class BatchRunner {
@@ -143,6 +183,17 @@ class BatchRunner {
   /// for a different sweep; recovery::CorruptError on malformed records.
   [[nodiscard]] std::vector<Replication> runJournaled(const SweepSpec& spec,
                                                       const JournalOptions& journal) const;
+
+  /// True multicore scale-out: forks shard.procs worker processes, each
+  /// running its shard (replication index % procs == rank) with this
+  /// runner's thread count and journaling completions to its own file under
+  /// shard.journalDir (see ShardOptions for crash/respawn semantics). The
+  /// merged result vector is byte-identical to run() for any proc count.
+  /// POSIX-only. \throws std::runtime_error when a rank exhausts its respawn
+  /// budget (or on unsupported platforms); typed recovery errors when shard
+  /// journals are corrupt or from a different sweep/shape.
+  [[nodiscard]] std::vector<Replication> runSharded(const SweepSpec& spec,
+                                                    const ShardOptions& shard) const;
 
  private:
   std::size_t threads_;

@@ -23,7 +23,13 @@ namespace icsched {
 /// One pending simulator event. `kind` is opaque to the heap (the engine's
 /// EvKind enum, stored as its underlying byte); `id` is the event's subject
 /// (attempt, client, or node id depending on kind).
-struct SimEvent {
+///
+/// The struct is pinned to a 32-byte footprint and alignment: two events per
+/// 64-byte cache line, no event ever straddling a line, and each 4-ary
+/// sibling group spanning exactly two lines. Checkpoints serialize events
+/// field by field (never as raw struct bytes), so the padding is free to
+/// change without touching the snapshot format.
+struct alignas(32) SimEvent {
   double time = 0.0;
   std::uint64_t seq = 0;
   std::uint8_t kind = 0;
@@ -35,6 +41,15 @@ struct SimEvent {
     return seq < other.seq;
   }
 };
+
+static_assert(sizeof(SimEvent) == 32,
+              "SimEvent must stay 32 bytes: two per cache line, and a 4-ary "
+              "sibling group spans exactly two lines");
+static_assert(alignof(SimEvent) == 32,
+              "SimEvent must be 32-byte aligned so no event straddles a "
+              "cache-line boundary");
+static_assert(64 % sizeof(SimEvent) == 0,
+              "cache lines must hold a whole number of SimEvents");
 
 /// Min-heap of SimEvents with reserve() and O(1) in-place clear(), so a
 /// resettable simulation engine can reuse one backing array across

@@ -106,31 +106,44 @@ struct TaskState {
   double firstFault = -1.0;
 };
 
-/// mt19937_64 wrapper whose serialized form is (seed, draw count, optional
-/// cached base state) rather than the full 312-word state. The base state is
+/// Engine wrapper whose serialized form is (seed, draw count, optional
+/// cached base state) rather than the full engine state. The base state is
 /// captured only at fixed draw-count boundaries (kSyncInterval), so the
 /// encoding stays a pure function of (seed, draws) -- independent of when or
 /// how often snapshots are taken -- while a typical snapshot serializes the
 /// RNG in a handful of bytes instead of cloning the generator. Restore
 /// replays at most kSyncInterval - 1 draws via discard() (cold path).
+///
+/// Tiered (see resilience/portable_random.hpp): the Portable tier draws from
+/// std::mt19937_64 (the pinned compatibility stream, serialized exactly as
+/// before tiers existed), the Fast tier from xoshiro256** (whose cached base
+/// state is its 4 u64 words). The tier is part of the run's config -- it is
+/// not encoded in the stream; load() trusts the bound config's tier, and the
+/// engine fingerprint pins it, so cross-tier restores fail as state
+/// mismatches before reaching this decoder.
 class SnapshotableRng {
  public:
   using result_type = std::uint64_t;
-  static constexpr result_type min() { return std::mt19937_64::min(); }
-  static constexpr result_type max() { return std::mt19937_64::max(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
 
   /// One draw boundary every 16Ki draws: a run shorter than that never pays
   /// for a state clone at all.
   static constexpr std::uint64_t kSyncInterval = 1ull << 14;
 
   result_type operator()() {
-    const result_type x = eng_();
+    const result_type x = tier_ == RngTier::Fast ? fast_() : eng_();
     if (++draws_ % kSyncInterval == 0) sync();
     return x;
   }
 
-  void seed(std::uint64_t s) {
-    eng_.seed(s);
+  void seed(std::uint64_t s, RngTier tier) {
+    tier_ = tier;
+    if (tier_ == RngTier::Fast) {
+      fast_.seed(s);
+    } else {
+      eng_.seed(s);
+    }
     seed_ = s;
     draws_ = 0;
     baseDraws_ = 0;
@@ -145,9 +158,11 @@ class SnapshotableRng {
   }
 
   /// \throws recovery::CorruptError on inconsistent counters.
-  /// \p expectedSeed cross-checks the stored seed against the bound config.
-  void load(recovery::ByteReader& r, std::uint64_t expectedSeed) {
+  /// \p expectedSeed cross-checks the stored seed against the bound config;
+  /// \p tier selects the decoder for the cached base state.
+  void load(recovery::ByteReader& r, std::uint64_t expectedSeed, RngTier tier) {
     using recovery::CorruptError;
+    tier_ = tier;
     seed_ = r.varint();
     if (seed_ != expectedSeed) {
       throw CorruptError("SimulationEngine: RNG seed disagrees with the run's config");
@@ -159,24 +174,48 @@ class SnapshotableRng {
       throw CorruptError("SimulationEngine: RNG draw counters are inconsistent");
     }
     if (baseDraws_ > 0) {
-      recovery::loadRngState(r, eng_);
+      if (tier_ == RngTier::Fast) {
+        std::array<std::uint64_t, 4> s;
+        for (std::uint64_t& word : s) word = r.u64();
+        fast_.setState(s);
+      } else {
+        recovery::loadRngState(r, eng_);
+      }
       base_.clear();
-      recovery::saveRngState(base_, eng_);
+      saveEngineState();
     } else {
-      eng_.seed(seed_);
+      if (tier_ == RngTier::Fast) {
+        fast_.seed(seed_);
+      } else {
+        eng_.seed(seed_);
+      }
       base_.clear();
     }
-    eng_.discard(draws_ - baseDraws_);
+    if (tier_ == RngTier::Fast) {
+      fast_.discard(draws_ - baseDraws_);
+    } else {
+      eng_.discard(draws_ - baseDraws_);
+    }
   }
 
  private:
   void sync() {
     base_.clear();
-    recovery::saveRngState(base_, eng_);
+    saveEngineState();
     baseDraws_ = draws_;
   }
 
+  void saveEngineState() {
+    if (tier_ == RngTier::Fast) {
+      for (std::uint64_t word : fast_.state()) base_.u64(word);
+    } else {
+      recovery::saveRngState(base_, eng_);
+    }
+  }
+
   std::mt19937_64 eng_;
+  FastRand fast_;
+  RngTier tier_ = RngTier::Portable;
   std::uint64_t seed_ = 0;
   std::uint64_t draws_ = 0;
   std::uint64_t baseDraws_ = 0;       ///< draw count at which base_ was captured
@@ -688,7 +727,7 @@ void SimulationEngine::Impl::bindRun(const Dag& dag, Scheduler& scheduler,
 void SimulationEngine::Impl::beginRun(const Dag& dag, Scheduler& scheduler,
                                       const SimulationConfig& config) {
   bindRun(dag, scheduler, config);
-  rng.seed(cfgStorage.seed);
+  rng.seed(cfgStorage.seed, cfgStorage.rngTier);
 
   const std::size_t n = dag.numNodes();
   const std::size_t numClients = cfgStorage.numClients;
@@ -843,6 +882,11 @@ std::uint64_t SimulationEngine::Impl::computeFingerprint() const {
   h = fnv1aU64(cfg->costModel.memCapacity, h);
   h = mix(cfg->costModel.memFetchCost, h);
   h = fnv1aU64(cfg->seed, h);
+  // Mixed only when non-default so every pre-tier fingerprint (and thus
+  // every existing checkpoint/journal) keeps its exact value.
+  if (cfg->rngTier != RngTier::Portable) {
+    h = fnv1aU64(0x526E675469657221ull + static_cast<std::uint64_t>(cfg->rngTier), h);
+  }
   return h;
 }
 
@@ -1025,7 +1069,7 @@ void SimulationEngine::Impl::loadFrom(recovery::ByteReader& r) {
       !std::isfinite(now) || now < 0.0) {
     throw CorruptError("SimulationEngine: snapshot clock fields are not finite");
   }
-  rng.load(r, cfg->seed);
+  rng.load(r, cfg->seed, cfg->rngTier);
 
   tasks.assign(n, TaskState{});
   std::size_t doneCount = 0;

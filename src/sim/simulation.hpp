@@ -28,6 +28,7 @@
 
 #include "core/dag.hpp"
 #include "resilience/fault_trace.hpp"
+#include "resilience/portable_random.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scheduler.hpp"
@@ -63,6 +64,13 @@ struct SimulationConfig {
   /// sim/cost_model.hpp). The default latency backend reproduces the
   /// pre-cost-model simulator byte-identically.
   CostModelConfig costModel;
+  /// RNG engine tier (see resilience/portable_random.hpp). The default
+  /// Portable tier reproduces every pre-tier seeded byte stream exactly; the
+  /// Fast tier (xoshiro256**) is ~3x cheaper per draw but a different --
+  /// still fully deterministic -- stream. Checkpoints record the tier via
+  /// the state fingerprint, so a snapshot only restores under the tier that
+  /// produced it.
+  RngTier rngTier = kDefaultRngTier;
   std::uint64_t seed = 1;
 
   /// Central validity check: every constraint on this config (and on

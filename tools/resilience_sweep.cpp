@@ -1,11 +1,15 @@
 /// \file resilience_sweep.cpp
 /// \brief Fault-injection sweep harness:
-///   `icsched_resilience_sweep [OUT.json] [THREADS] [--journal=PATH [--resume]]`.
+///   `icsched_resilience_sweep [OUT.json] [THREADS]
+///        [--journal=PATH [--resume] | --procs=N [--shard-dir=DIR]]`.
 ///
 /// With --journal the pooled sweep appends each completed replication to a
 /// write-ahead journal; --resume salvages a prior (possibly SIGKILLed) run
-/// from that journal instead of re-executing it. Either way the output must
-/// stay byte-identical to the plain serial sweep.
+/// from that journal instead of re-executing it. With --procs=N the sweep
+/// instead runs process-sharded (BatchRunner::runSharded): N forked workers,
+/// each journaling its shard under --shard-dir (default
+/// "icsched_sweep_shards"). Either way the output must stay byte-identical
+/// to the plain serial sweep.
 ///
 /// Sweeps the resilience suite (workload.hpp) x {IC-OPT, RANDOM} x five
 /// fault scenarios (fault-free, churn, timeouts+stragglers, speculation,
@@ -115,7 +119,7 @@ void writeJson(std::ostream& os, const std::vector<Cell>& cells) {
 }
 
 int run(const std::string& outPath, std::size_t threads, const std::string& journalPath,
-        bool resume) {
+        bool resume, std::size_t procs, const std::string& shardDir) {
   const std::vector<Workload> suite = resilienceSuite(kSeed);
 
   SweepSpec spec;
@@ -132,7 +136,13 @@ int run(const std::string& outPath, std::size_t threads, const std::string& jour
   // proves journaled/resumed output identical to a plain serial sweep.
   const std::vector<Replication> serial = BatchRunner(1).run(spec);
   std::vector<Replication> parallel;
-  if (journalPath.empty()) {
+  if (procs > 0) {
+    ShardOptions shard;
+    shard.procs = procs;
+    shard.journalDir = shardDir;
+    shard.resume = resume;
+    parallel = BatchRunner(threads).runSharded(spec, shard);
+  } else if (journalPath.empty()) {
     parallel = BatchRunner(threads).run(spec);
   } else {
     JournalOptions jo;
@@ -228,12 +238,18 @@ int run(const std::string& outPath, std::size_t threads, const std::string& jour
 
 int main(int argc, char** argv) {
   std::string journalPath;
+  std::string shardDir = "icsched_sweep_shards";
+  std::size_t procs = 0;
   bool resume = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--journal=", 0) == 0) {
       journalPath = arg.substr(10);
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      procs = static_cast<std::size_t>(std::stoull(arg.substr(8)));
+    } else if (arg.rfind("--shard-dir=", 0) == 0) {
+      shardDir = arg.substr(12);
     } else if (arg == "--resume") {
       resume = true;
     } else {
@@ -244,11 +260,15 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;  // hardware concurrency
   try {
     if (positional.size() > 1) threads = static_cast<std::size_t>(std::stoull(positional[1]));
-    if (resume && journalPath.empty()) {
-      std::cerr << "resilience_sweep: --resume requires --journal=PATH\n";
+    if (resume && journalPath.empty() && procs == 0) {
+      std::cerr << "resilience_sweep: --resume requires --journal=PATH or --procs=N\n";
       return 2;
     }
-    return icsched::run(outPath, threads, journalPath, resume);
+    if (procs > 0 && !journalPath.empty()) {
+      std::cerr << "resilience_sweep: --procs and --journal are exclusive modes\n";
+      return 2;
+    }
+    return icsched::run(outPath, threads, journalPath, resume, procs, shardDir);
   } catch (const std::exception& e) {
     std::cerr << "resilience_sweep: " << e.what() << "\n";
     return 2;
