@@ -136,6 +136,52 @@ int main(int argc, char** argv) {
                               std::to_string(speedup) + "x)");
   outcome.note(fastEnough);
 
+  // ---- warm restart: the persistent cache across daemon generations ----
+  // A daemon that cached mesh-192, died, and came back must serve the same
+  // schedule at warm latency from its very first request: the ICSCACHE spill
+  // is only worth its fsyncs if a restart-warm hit decisively beats paying
+  // the synthesis again.
+  double restartWarmBest = 1e300;
+  bool restartBytesIdentical = true;
+  bool restartHitFlagged = true;
+  const std::string cachePath = outPath + ".bench.icscache";
+  std::remove(cachePath.c_str());
+  {
+    ServiceConfig cfg;
+    cfg.workerThreads = 2;
+    cfg.cacheFilePath = cachePath;
+    {
+      Service svc(cfg);
+      svc.start();
+      ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+      (void)mustCall(c, synth, 120000);  // populate the spill, then "crash"
+      svc.stop();
+    }
+    for (std::size_t rep = 0; rep < coldReps; ++rep) {
+      Service svc(cfg);
+      svc.start();  // salvages the cache file
+      ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+      const auto start = Clock::now();
+      const ResponsePayload warm = mustCall(c, synth, 120000);
+      restartWarmBest = std::min(restartWarmBest, secondsSince(start));
+      restartHitFlagged = restartHitFlagged && (warm.flags & kRespFlagScheduleCacheHit) != 0;
+      restartBytesIdentical = restartBytesIdentical && warm.out == coldBytes;
+      svc.stop();
+    }
+  }
+  std::remove(cachePath.c_str());
+  const double restartSpeedup = restartWarmBest > 0.0 ? coldBest / restartWarmBest : 1e300;
+  std::cout << "  restart-warm hit:                  " << restartWarmBest * 1e6 << " us\n"
+            << "  restart speedup:                   " << restartSpeedup << "x\n";
+  ib::verdict(restartHitFlagged && restartBytesIdentical,
+              "restarted daemon's first answer is a warm, byte-identical hit");
+  outcome.note(restartHitFlagged && restartBytesIdentical);
+  const bool restartFastEnough = restartSpeedup >= 5.0;
+  ib::verdict(restartFastEnough,
+              "restart-warm hit is >= 5x faster than cold synthesis on mesh-192 (" +
+                  std::to_string(restartSpeedup) + "x)");
+  outcome.note(restartFastEnough);
+
   // ---- requests/sec at N concurrent clients (cached synthesis calls) ----
   struct ThroughputRow {
     std::size_t clients;
@@ -191,6 +237,11 @@ int main(int argc, char** argv) {
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"gate_speedup\": 10.0,\n"
        << "  \"hit_bytes_identical\": " << (sameBytes ? "true" : "false") << ",\n"
+       << "  \"restart_warm_seconds\": " << restartWarmBest << ",\n"
+       << "  \"restart_speedup\": " << restartSpeedup << ",\n"
+       << "  \"gate_restart_speedup\": 5.0,\n"
+       << "  \"restart_hit_bytes_identical\": "
+       << (restartHitFlagged && restartBytesIdentical ? "true" : "false") << ",\n"
        << "  \"throughput\": [\n";
   for (std::size_t i = 0; i < throughput.size(); ++i) {
     json << "    {\"clients\": " << throughput[i].clients

@@ -212,7 +212,8 @@ void applyFaultFlag(SimulationConfig& cfg, bool& dumpTrace, const std::string& f
   }
 }
 
-int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ostream& out) {
+int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+                const CliHooks* hooks) {
   if (args.size() < 3) {
     throw std::invalid_argument("simulate: expected CLIENTS SCHEDULER SEED [key=value...]");
   }
@@ -314,7 +315,24 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   spec.costCases = {{costModelKindName(cfg.costModel.kind), cfg.costModel}};
   spec.base = cfg;
   std::vector<Replication> reps;
-  if (procs > 0) {
+  if (hooks != nullptr && !hooks->sweepJournalPath.empty()) {
+    // Journaled streaming sweep (the service's resumable path): every
+    // completed replication is durable before it counts, a usable journal
+    // from a killed run is salvaged, and the printed bytes match an
+    // uninterrupted run exactly.
+    if (procs > 0) {
+      throw std::invalid_argument("simulate: procs= cannot combine with a sweep journal");
+    }
+    JournalOptions jo;
+    jo.path = hooks->sweepJournalPath;
+    jo.fsyncEvery = 1;  // every completed replication survives any kill point
+    jo.resume = true;
+    jo.fingerprintSalt = hooks->sweepJournalSalt;
+    jo.progressEvery = hooks->sweepProgressEvery;
+    jo.onProgress = hooks->onSweepProgress;
+    jo.cancel = hooks->cancelSweep;
+    reps = BatchRunner(threads).runJournaled(spec, jo);
+  } else if (procs > 0) {
     // Process-sharded sweep: procs forked workers (each with `threads`
     // engine threads), per-worker journals under shard_dir, byte-identical
     // merge (see BatchRunner::runSharded).
@@ -370,6 +388,11 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
 
 int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
            std::ostream& err) {
+  return runCli(args, in, out, err, nullptr);
+}
+
+int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+           std::ostream& err, const CliHooks* hooks) {
   try {
     if (args.empty()) {
       err << "usage: icsched <gen|profile|verify|schedule|chain|dot|simulate> [args...]\n";
@@ -383,9 +406,13 @@ int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream&
     if (cmd == "schedule") return cmdSchedule(rest, in, out);
     if (cmd == "chain") return cmdChain(rest, in, out);
     if (cmd == "dot") return cmdDot(in, out);
-    if (cmd == "simulate") return cmdSimulate(rest, in, out);
+    if (cmd == "simulate") return cmdSimulate(rest, in, out, hooks);
     err << "icsched: unknown command '" << cmd << "'\n";
     return 64;
+  } catch (const SweepCancelled&) {
+    // Cooperative cancel is the hosting service's signal, not a CLI error:
+    // let it surface so the host can answer with its own typed status.
+    throw;
   } catch (const std::exception& e) {
     err << "icsched: " << e.what() << "\n";
     return 1;

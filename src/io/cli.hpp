@@ -21,13 +21,45 @@
 ///
 /// Returns a process exit code; all output goes to the provided streams.
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace icsched {
 
+/// Optional host hooks for runCli (the scheduling service is the main
+/// client). All fields default to "off", in which case the hooked overload
+/// behaves exactly like the plain one.
+struct CliHooks {
+  /// When non-empty, multi-trial `simulate` sweeps run through
+  /// BatchRunner::runJournaled at this path with resume=true: replications
+  /// recorded by an earlier -- possibly SIGKILLed -- run are salvaged instead
+  /// of recomputed, and the printed bytes are identical to an uninterrupted
+  /// run. Incompatible with the `procs=` sharded path.
+  std::string sweepJournalPath;
+  /// Folded over the sweep fingerprint (JournalOptions::fingerprintSalt) so
+  /// a journal binds to one logical request, not just one sweep shape.
+  std::uint64_t sweepJournalSalt = 0;
+  /// Progress-beat cadence and callback (JournalOptions::onProgress).
+  std::size_t sweepProgressEvery = 0;
+  std::function<void(std::size_t done, std::size_t total, std::size_t salvaged)>
+      onSweepProgress;
+  /// Cooperative cancel: a cancelled sweep raises SweepCancelled out of
+  /// runCli -- the only exception the hooked overload lets escape.
+  const std::atomic<bool>* cancelSweep = nullptr;
+};
+
 int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
            std::ostream& err);
+
+/// runCli with host hooks; \p hooks may be null (identical to the overload
+/// above). \throws SweepCancelled when hooks->cancelSweep flips mid-sweep;
+/// everything else is still condensed into the exit code.
+int runCli(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+           std::ostream& err, const CliHooks* hooks);
 
 }  // namespace icsched

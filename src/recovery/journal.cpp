@@ -16,10 +16,10 @@ namespace {
 constexpr std::size_t kHeaderSize = 8 + 4 + 1 + 8 + 4;
 constexpr std::uint8_t kLittleEndianTag = 1;
 
-std::string buildHeader(std::uint64_t fingerprint) {
+std::string buildHeader(std::uint64_t fingerprint, const JournalFormat& fmt) {
   ByteWriter w;
-  w.raw(kJournalMagic.data(), kJournalMagic.size());
-  w.u32(kJournalVersion);
+  w.raw(fmt.magic.data(), fmt.magic.size());
+  w.u32(fmt.version);
   w.u8(kLittleEndianTag);
   w.u64(fingerprint);
   // The CRC covers everything before it.
@@ -29,12 +29,14 @@ std::string buildHeader(std::uint64_t fingerprint) {
 }
 
 /// Parses the header; throws typed errors on any anomaly.
-std::uint64_t parseHeader(std::string_view bytes, const std::string& path) {
+std::uint64_t parseHeader(std::string_view bytes, const std::string& path,
+                          const JournalFormat& fmt) {
+  const std::string name(fmt.name);
   if (bytes.size() < kHeaderSize) {
-    throw TruncatedError("journal: '" + path + "' is shorter than a journal header");
+    throw TruncatedError(name + ": '" + path + "' is shorter than a " + name + " header");
   }
-  if (bytes.substr(0, 8) != kJournalMagic) {
-    throw CorruptError("journal: '" + path + "' has the wrong magic (not a journal)");
+  if (bytes.substr(0, 8) != fmt.magic) {
+    throw CorruptError(name + ": '" + path + "' has the wrong magic (not a " + name + ")");
   }
   ByteReader r(bytes.substr(8, kHeaderSize - 8));
   const std::uint32_t version = r.u32();
@@ -42,30 +44,32 @@ std::uint64_t parseHeader(std::string_view bytes, const std::string& path) {
   const std::uint64_t fingerprint = r.u64();
   const std::uint32_t storedCrc = r.u32();
   if (endian != kLittleEndianTag) {
-    throw CorruptError("journal: '" + path + "' was written with a foreign byte order");
+    throw CorruptError(name + ": '" + path + "' was written with a foreign byte order");
   }
-  if (version != kJournalVersion) {
-    throw VersionError("journal: '" + path + "' is format version " +
+  if (version != fmt.version) {
+    throw VersionError(name + ": '" + path + "' is format version " +
                        std::to_string(version) + "; this build reads version " +
-                       std::to_string(kJournalVersion));
+                       std::to_string(fmt.version));
   }
   const std::uint32_t actualCrc = crc32(bytes.data(), kHeaderSize - 4);
   if (storedCrc != actualCrc) {
-    throw CorruptError("journal: '" + path + "' fails its header CRC check");
+    throw CorruptError(name + ": '" + path + "' fails its header CRC check");
   }
   return fingerprint;
 }
 
 }  // namespace
 
-JournalContents readJournal(const std::string& path, JournalReadMode mode) {
+JournalContents readJournal(const std::string& path, JournalReadMode mode,
+                            const JournalFormat& fmt) {
+  const std::string name(fmt.name);
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw FileError("journal: cannot open '" + path + "'");
+  if (!is) throw FileError(name + ": cannot open '" + path + "'");
   std::string bytes((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
-  if (is.bad()) throw FileError("journal: read error on '" + path + "'");
+  if (is.bad()) throw FileError(name + ": read error on '" + path + "'");
 
   JournalContents out;
-  out.fingerprint = parseHeader(bytes, path);
+  out.fingerprint = parseHeader(bytes, path, fmt);
   out.validBytes = kHeaderSize;
 
   std::size_t pos = kHeaderSize;
@@ -78,7 +82,7 @@ JournalContents readJournal(const std::string& path, JournalReadMode mode) {
         out.tornTail = true;
         return true;
       }
-      throw CorruptError("journal: '" + path + "' record " +
+      throw CorruptError(name + ": '" + path + "' record " +
                          std::to_string(out.records.size()) + ": " + what);
     };
     if (bytes.size() - pos < 4) {
@@ -105,14 +109,14 @@ JournalContents readJournal(const std::string& path, JournalReadMode mode) {
   return out;
 }
 
-bool journalUsable(const std::string& path) {
+bool journalUsable(const std::string& path, const JournalFormat& fmt) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return false;
   std::string header(kHeaderSize, '\0');
   is.read(header.data(), static_cast<std::streamsize>(header.size()));
   if (static_cast<std::size_t>(is.gcount()) != kHeaderSize) return false;
   try {
-    (void)parseHeader(header, path);
+    (void)parseHeader(header, path, fmt);
     return true;
   } catch (const RecoveryError&) {
     return false;
@@ -154,15 +158,16 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
 }
 
 void JournalWriter::open(const std::string& path, std::uint64_t fingerprint,
-                         std::size_t fsyncEvery) {
+                         std::size_t fsyncEvery, const JournalFormat& fmt) {
   close();
+  const std::string name(fmt.name);
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd_ < 0) throw FileError("journal: cannot create '" + path + "'");
+  if (fd_ < 0) throw FileError(name + ": cannot create '" + path + "'");
   path_ = path;
   fsyncEvery_ = fsyncEvery;
   appends_ = 0;
   sinceSync_ = 0;
-  const std::string header = buildHeader(fingerprint);
+  const std::string header = buildHeader(fingerprint, fmt);
   writeAll(header.data(), header.size());
   // The header is the durability anchor of every later record: sync it now.
   sync();
@@ -170,24 +175,26 @@ void JournalWriter::open(const std::string& path, std::uint64_t fingerprint,
 
 JournalContents JournalWriter::openResumed(const std::string& path,
                                            std::uint64_t fingerprint,
-                                           std::size_t fsyncEvery) {
+                                           std::size_t fsyncEvery,
+                                           const JournalFormat& fmt) {
   close();
-  JournalContents contents = readJournal(path, JournalReadMode::Recover);
+  const std::string name(fmt.name);
+  JournalContents contents = readJournal(path, JournalReadMode::Recover, fmt);
   if (contents.fingerprint != fingerprint) {
     throw StateMismatchError(
-        "journal: '" + path + "' was written for different work (fingerprint " +
+        name + ": '" + path + "' was written for different work (fingerprint " +
         std::to_string(contents.fingerprint) + ", expected " +
         std::to_string(fingerprint) + ")");
   }
   fd_ = ::open(path.c_str(), O_WRONLY, 0644);
-  if (fd_ < 0) throw FileError("journal: cannot reopen '" + path + "'");
+  if (fd_ < 0) throw FileError(name + ": cannot reopen '" + path + "'");
   // Cut the torn tail (if any) so new records start on a record boundary.
   if (::ftruncate(fd_, static_cast<off_t>(contents.validBytes)) != 0 ||
       ::lseek(fd_, static_cast<off_t>(contents.validBytes), SEEK_SET) < 0) {
     const int fd = fd_;
     fd_ = -1;
     ::close(fd);
-    throw FileError("journal: cannot truncate the torn tail of '" + path + "'");
+    throw FileError(name + ": cannot truncate the torn tail of '" + path + "'");
   }
   path_ = path;
   fsyncEvery_ = fsyncEvery;

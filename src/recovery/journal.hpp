@@ -45,6 +45,19 @@ inline constexpr std::uint32_t kJournalVersion = 2;
 /// drive a larger allocation).
 inline constexpr std::uint32_t kMaxJournalRecord = 1u << 26;  // 64 MiB
 
+/// On-disk identity of a journal-shaped file. The header layout and record
+/// framing are shared by every user of this module; the magic/version pair
+/// distinguishes artifact families (sweep journals, the service's schedule
+/// cache file), so a file of one family handed to a reader of another is a
+/// typed CorruptError on the magic, never a misparse.
+struct JournalFormat {
+  /// Exactly 8 bytes.
+  std::string_view magic = kJournalMagic;
+  std::uint32_t version = kJournalVersion;
+  /// Noun used in error messages ("journal", "cache file").
+  std::string_view name = "journal";
+};
+
 /// How readJournal treats malformed bytes.
 enum class JournalReadMode {
   /// Any anomaly anywhere is a typed error (corruption can't hide).
@@ -71,11 +84,12 @@ struct JournalContents {
 /// had a single durable record, so Recover mode has nothing to salvage and
 /// the caller should start fresh (see journalUsable()).
 [[nodiscard]] JournalContents readJournal(const std::string& path,
-                                          JournalReadMode mode = JournalReadMode::Recover);
+                                          JournalReadMode mode = JournalReadMode::Recover,
+                                          const JournalFormat& fmt = {});
 
 /// True when \p path exists and has a well-formed journal header (any
 /// fingerprint). Convenience for "resume if possible, else start fresh".
-[[nodiscard]] bool journalUsable(const std::string& path);
+[[nodiscard]] bool journalUsable(const std::string& path, const JournalFormat& fmt = {});
 
 /// Appends length-prefixed, CRC-protected records to a journal file with
 /// batched fsync. Not thread-safe; callers serialize appends.
@@ -92,7 +106,7 @@ class JournalWriter {
   /// \p fsyncEvery = N flushes to stable storage every N appends (0 = only
   /// on sync()/close()).
   void open(const std::string& path, std::uint64_t fingerprint,
-            std::size_t fsyncEvery = 64);
+            std::size_t fsyncEvery = 64, const JournalFormat& fmt = {});
 
   /// Opens an existing journal for appending: validates the header, checks
   /// the fingerprint, truncates any torn tail, and positions at the end of
@@ -100,7 +114,8 @@ class JournalWriter {
   /// \throws StateMismatchError when the fingerprint differs.
   [[nodiscard]] JournalContents openResumed(const std::string& path,
                                             std::uint64_t fingerprint,
-                                            std::size_t fsyncEvery = 64);
+                                            std::size_t fsyncEvery = 64,
+                                            const JournalFormat& fmt = {});
 
   [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
   [[nodiscard]] std::size_t appendCount() const { return appends_; }

@@ -126,19 +126,42 @@ Frame ServiceClient::readFrame(int timeoutMillis) {
 }
 
 ServiceClient::CallOutcome ServiceClient::call(const RequestPayload& req, int timeoutMillis) {
+  return call(req, timeoutMillis, nullptr);
+}
+
+ServiceClient::CallOutcome ServiceClient::call(const RequestPayload& req, int timeoutMillis,
+                                               const ProgressFn& onProgress) {
   sendRequest(req);
-  const Frame f = readFrame(timeoutMillis);
   CallOutcome outcome;
-  if (f.kind == FrameKind::Response) {
-    outcome.ok = true;
-    outcome.response = decodeResponsePayload(f.payload);
-  } else if (f.kind == FrameKind::Error) {
-    outcome.ok = false;
-    outcome.error = decodeErrorPayload(f.payload);
-  } else {
-    throw recovery::CorruptError("client: unexpected frame kind in reply");
+  for (;;) {
+    const Frame f = readFrame(timeoutMillis);
+    if (f.kind == FrameKind::Progress) {
+      // A streaming sweep's beat; the Response (or Error) still follows.
+      const ProgressPayload p = decodeProgressPayload(f.payload);
+      if (onProgress) onProgress(p);
+      continue;
+    }
+    if (f.kind == FrameKind::Response) {
+      outcome.ok = true;
+      outcome.response = decodeResponsePayload(f.payload);
+    } else if (f.kind == FrameKind::Error) {
+      outcome.ok = false;
+      outcome.error = decodeErrorPayload(f.payload);
+    } else {
+      throw recovery::CorruptError("client: unexpected frame kind in reply");
+    }
+    return outcome;
   }
-  return outcome;
+}
+
+HealthPayload ServiceClient::health(int timeoutMillis) {
+  sendFrame(FrameKind::Health, "");
+  const Frame f = readFrame(timeoutMillis);
+  if (f.kind != FrameKind::Health) {
+    throw recovery::CorruptError("client: expected Health, got kind " +
+                                 std::to_string(static_cast<int>(f.kind)));
+  }
+  return decodeHealthPayload(f.payload);
 }
 
 void ServiceClient::ping(int timeoutMillis) {

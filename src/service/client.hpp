@@ -11,6 +11,7 @@
 /// throws recovery::TruncatedError.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -57,8 +58,19 @@ class ServiceClient {
 
   /// sendRequest + readFrame + decode, skipping unrelated frame kinds is NOT
   /// done -- the protocol answers requests in completion order, so callers
-  /// running one request at a time always see their own answer.
+  /// running one request at a time always see their own answer. Progress
+  /// frames (streaming sweeps) are consumed silently.
   [[nodiscard]] CallOutcome call(const RequestPayload& req, int timeoutMillis = 5000);
+
+  /// call() that reports each Progress frame before the final answer; the
+  /// per-frame timeout resets on every frame, so a long streaming sweep
+  /// stays alive as long as beats keep arriving.
+  using ProgressFn = std::function<void(const ProgressPayload&)>;
+  [[nodiscard]] CallOutcome call(const RequestPayload& req, int timeoutMillis,
+                                 const ProgressFn& onProgress);
+
+  /// Health probe round trip; throws on anything but a Health snapshot.
+  [[nodiscard]] HealthPayload health(int timeoutMillis = 5000);
 
   /// Ping round trip; throws on anything but a Pong.
   void ping(int timeoutMillis = 5000);

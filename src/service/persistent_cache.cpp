@@ -1,0 +1,140 @@
+#include "service/persistent_cache.hpp"
+
+#include <cstdio>
+
+#include "service/wire.hpp"
+
+namespace icsched::service {
+
+using recovery::ByteReader;
+using recovery::ByteWriter;
+using recovery::FileError;
+using recovery::JournalFormat;
+using recovery::JournalReadMode;
+
+JournalFormat cacheFileFormat() {
+  return JournalFormat{kCacheFileMagic, kCacheFileVersion, "cache file"};
+}
+
+std::uint64_t cacheFileFingerprint() {
+  std::uint64_t h = recovery::kFnvOffset;
+  h = recovery::fnv1aU64(kWireVersion, h);
+  h = recovery::fnv1aU64(kCacheFileVersion, h);
+  // The cost-model era: cached responses embed simulate/cost output formats,
+  // so a cache from a different journal vintage must not be replayed.
+  h = recovery::fnv1aU64(recovery::kJournalVersion, h);
+  return h;
+}
+
+std::string encodeCacheEntry(const ScheduleCacheKey& key, const CachedResponse& response) {
+  ByteWriter w;
+  w.str(key.kind);
+  w.u64(key.digest.lo);
+  w.u64(key.digest.hi);
+  w.u32(static_cast<std::uint32_t>(response.exitCode));
+  w.str(response.out);
+  w.str(response.err);
+  return w.take();
+}
+
+PersistentCacheEntry decodeCacheEntry(std::string_view payload) {
+  ByteReader r(payload);
+  PersistentCacheEntry e;
+  e.key.kind = r.str();
+  e.key.digest.lo = r.u64();
+  e.key.digest.hi = r.u64();
+  e.response.exitCode = static_cast<std::int32_t>(r.u32());
+  e.response.out = r.str();
+  e.response.err = r.str();
+  r.expectDone();
+  return e;
+}
+
+std::vector<PersistentCacheEntry> loadCacheFile(const std::string& path,
+                                                JournalReadMode mode) {
+  const recovery::JournalContents contents = recovery::readJournal(path, mode, cacheFileFormat());
+  if (contents.fingerprint != cacheFileFingerprint()) {
+    throw recovery::StateMismatchError(
+        "cache file: '" + path + "' was written under a different wire/cost-model vintage "
+        "(fingerprint " + std::to_string(contents.fingerprint) + ", expected " +
+        std::to_string(cacheFileFingerprint()) + "); refusing to serve from it");
+  }
+  std::vector<PersistentCacheEntry> entries;
+  entries.reserve(contents.records.size());
+  for (const std::string& record : contents.records) entries.push_back(decodeCacheEntry(record));
+  return entries;
+}
+
+std::vector<PersistentCacheEntry> PersistentScheduleCache::openSalvage(
+    const std::string& path, std::size_t fsyncEvery, std::size_t compactEvery) {
+  close();
+  path_ = path;
+  fsyncEvery_ = fsyncEvery;
+  compactEvery_ = compactEvery;
+  appends_ = 0;
+  compactions_ = 0;
+
+  std::vector<PersistentCacheEntry> entries;
+  if (recovery::journalUsable(path, cacheFileFormat())) {
+    // A resumed file must carry this build's fingerprint; openResumed throws
+    // StateMismatchError otherwise and the caller decides whether to discard.
+    const recovery::JournalContents salvaged =
+        writer_.openResumed(path, cacheFileFingerprint(), fsyncEvery, cacheFileFormat());
+    entries.reserve(salvaged.records.size());
+    for (const std::string& record : salvaged.records) {
+      entries.push_back(decodeCacheEntry(record));
+    }
+  } else {
+    writer_.open(path, cacheFileFingerprint(), fsyncEvery, cacheFileFormat());
+  }
+  writer_.setCrashAfterAppends(crashAfterAppends_, crashMidRecord_);
+  return entries;
+}
+
+void PersistentScheduleCache::append(const ScheduleCacheKey& key,
+                                     const CachedResponse& response) {
+  if (!isOpen()) return;
+  writer_.append(encodeCacheEntry(key, response));
+  ++appends_;
+}
+
+void PersistentScheduleCache::compact(const std::vector<PersistentCacheEntry>& live) {
+  if (!isOpen()) return;
+  writer_.close();
+  const std::string tmp = path_ + ".tmp";
+  {
+    recovery::JournalWriter w;
+    w.open(tmp, cacheFileFingerprint(), /*fsyncEvery=*/0, cacheFileFormat());
+    if (crashOnCompact_ && !live.empty()) {
+      // Tear the tmp file halfway through -- the rename below never runs, so
+      // the original cache file must survive the crash untouched.
+      w.setCrashAfterAppends(live.size() / 2 + 1, /*midRecord=*/true);
+    }
+    for (const PersistentCacheEntry& e : live) w.append(encodeCacheEntry(e.key, e.response));
+    w.close();
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw FileError("cache file: rename of compacted '" + tmp + "' over '" + path_ +
+                    "' failed");
+  }
+  // Reopen at the end of the freshly-compacted file for further appends.
+  (void)writer_.openResumed(path_, cacheFileFingerprint(), fsyncEvery_, cacheFileFormat());
+  writer_.setCrashAfterAppends(crashAfterAppends_, crashMidRecord_);
+  ++compactions_;
+}
+
+void PersistentScheduleCache::sync() {
+  if (isOpen()) writer_.sync();
+}
+
+void PersistentScheduleCache::close() {
+  if (isOpen()) writer_.close();
+}
+
+void PersistentScheduleCache::setCrashAfterAppends(std::size_t n, bool midRecord) {
+  crashAfterAppends_ = n;
+  crashMidRecord_ = midRecord;
+  if (isOpen()) writer_.setCrashAfterAppends(n, midRecord);
+}
+
+}  // namespace icsched::service

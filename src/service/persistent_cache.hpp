@@ -1,0 +1,151 @@
+#pragma once
+/// \file persistent_cache.hpp
+/// \brief The schedule cache's crash-safe on-disk spill (`ICSCACHE` v1).
+///
+/// The paper's economics -- a schedule is computed once and served many
+/// times -- are only as durable as the cache that holds it: before this
+/// layer, a daemon restart threw away every synthesized schedule and the
+/// first client after the restart paid the full beam search again. The
+/// persistent cache closes that gap: every insert is appended to a cache
+/// file, and a restarted daemon salvages the file at startup so mesh-192
+/// hits are served at warm latency from the first request.
+///
+/// **On-disk format.** An `ICSCACHE` v1 file is a journal-shaped file
+/// (recovery/journal.hpp's header + `[len u32][payload][crc u32]` records)
+/// under its own 8-byte magic:
+///
+///   header: [magic 8 = "ICSCACHE"][version u32 = 1][endian u8]
+///           [fingerprint u64][header-crc u32]
+///   record: [len u32][payload][payload-crc u32]
+///   payload: kind str, digest-lo u64, digest-hi u64, exitCode u32,
+///            stdout str, stderr str   (ByteWriter field codecs)
+///
+/// **Crash semantics.** Appends use the journal writer's discipline (plain
+/// write(2), batched fsync), so a SIGKILL can tear the final record; load()
+/// in Recover mode salvages the valid prefix exactly like a sweep journal
+/// and openAppend() truncates the torn tail before new records land. A
+/// record whose CRC fails is NEVER decoded into a served response -- salvage
+/// keeps strictly the prefix of records that check out.
+///
+/// **Fingerprint binding.** The header fingerprint hashes the wire protocol
+/// version, the cache record layout version, and the journal (cost-model
+/// era) version. A cache file written by a daemon speaking a different wire
+/// or cost-model vintage is a typed StateMismatchError at load: its bytes
+/// would be framed correctly but could replay stale response encodings, so
+/// it is rejected, never trusted.
+///
+/// **Compaction.** The file grows by one record per insert (including
+/// re-inserts of evicted keys), so after `compactEvery` appended records the
+/// service rewrites it from the live LRU contents to `path + ".tmp"` and
+/// renames -- a crash mid-compaction leaves the original file untouched.
+///
+/// Not thread-safe; the service serializes access behind its cache mutex.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "recovery/journal.hpp"
+#include "service/schedule_cache.hpp"
+
+namespace icsched::service {
+
+/// 8-byte magic of the schedule-cache spill file.
+inline constexpr std::string_view kCacheFileMagic{"ICSCACHE", 8};
+inline constexpr std::uint32_t kCacheFileVersion = 1;
+
+/// The journal-format binding for ICSCACHE files (shared header/record
+/// framing, distinct magic and error-message noun).
+[[nodiscard]] recovery::JournalFormat cacheFileFormat();
+
+/// Header fingerprint: hashes the wire version, the cache record layout
+/// version and the journal (cost-model era) version, so a file produced
+/// under any different vintage is rejected at load with StateMismatchError.
+[[nodiscard]] std::uint64_t cacheFileFingerprint();
+
+/// One salvaged (or to-be-spilled) cache entry.
+struct PersistentCacheEntry {
+  ScheduleCacheKey key;
+  CachedResponse response;
+};
+
+/// Encodes/decodes one entry as a record payload.
+/// \throws recovery::TruncatedError / CorruptError on malformed payloads.
+[[nodiscard]] std::string encodeCacheEntry(const ScheduleCacheKey& key,
+                                           const CachedResponse& response);
+[[nodiscard]] PersistentCacheEntry decodeCacheEntry(std::string_view payload);
+
+/// Reads an ICSCACHE file. Recover mode salvages the valid record prefix
+/// (torn tails from a crash are dropped); Strict mode throws on the first
+/// anomaly. Either way a record that fails its CRC is never returned.
+/// \throws recovery::FileError / CorruptError / TruncatedError /
+/// VersionError; StateMismatchError when the fingerprint is foreign.
+[[nodiscard]] std::vector<PersistentCacheEntry> loadCacheFile(
+    const std::string& path,
+    recovery::JournalReadMode mode = recovery::JournalReadMode::Recover);
+
+/// Append-on-insert writer for the cache file, with periodic compaction.
+class PersistentScheduleCache {
+ public:
+  PersistentScheduleCache() = default;
+
+  /// Opens \p path for appending, creating it when missing or unusable.
+  /// When a usable file exists its entries are salvaged (torn tail
+  /// truncated) and returned oldest-first, ready to be put() sequentially
+  /// into a fresh LruMap.
+  /// \throws recovery::StateMismatchError when the file's fingerprint
+  /// belongs to a different wire/cost-model vintage (callers decide whether
+  /// to discard and start fresh); FileError on I/O failure.
+  [[nodiscard]] std::vector<PersistentCacheEntry> openSalvage(const std::string& path,
+                                                             std::size_t fsyncEvery = 1,
+                                                             std::size_t compactEvery = 512);
+
+  [[nodiscard]] bool isOpen() const { return writer_.isOpen(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Records in the file right now (salvaged + appended since open).
+  [[nodiscard]] std::size_t fileRecords() const { return writer_.appendCount(); }
+  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
+  /// Appends one entry. \throws recovery::FileError on I/O failure.
+  void append(const ScheduleCacheKey& key, const CachedResponse& response);
+
+  /// True once the file holds at least compactEvery records AND more records
+  /// than the \p liveEntries that would survive a rewrite -- so a compacted
+  /// file whose LRU is simply large does not re-compact on every insert.
+  [[nodiscard]] bool wantsCompaction(std::size_t liveEntries) const {
+    return isOpen() && compactEvery_ > 0 && writer_.appendCount() >= compactEvery_ &&
+           writer_.appendCount() > liveEntries;
+  }
+
+  /// Rewrites the file from \p live (given oldest-first) via tmp + rename,
+  /// then reopens for appending. A crash mid-compaction leaves the original
+  /// file intact; the crash hook below tears the tmp file mid-write to
+  /// prove it. \throws recovery::FileError on I/O failure.
+  void compact(const std::vector<PersistentCacheEntry>& live);
+
+  /// fsync + keep open / fsync + close. Safe to call on a closed cache.
+  void sync();
+  void close();
+
+  /// Crash-test hooks (tools/icsched_chaos): SIGKILL after \p n appends
+  /// (mid-record when \p midRecord), or halfway through the next
+  /// compaction's tmp-file write.
+  void setCrashAfterAppends(std::size_t n, bool midRecord);
+  void setCrashOnCompact(bool crash) { crashOnCompact_ = crash; }
+
+ private:
+  recovery::JournalWriter writer_;
+  std::string path_;
+  std::size_t fsyncEvery_ = 1;
+  std::size_t compactEvery_ = 512;
+  std::uint64_t appends_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t crashAfterAppends_ = 0;
+  bool crashMidRecord_ = false;
+  bool crashOnCompact_ = false;
+};
+
+}  // namespace icsched::service

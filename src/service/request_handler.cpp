@@ -8,6 +8,7 @@
 #include "io/cli.hpp"
 #include "io/dag_io.hpp"
 #include "recovery/checkpoint_io.hpp"
+#include "sim/batch_runner.hpp"
 
 namespace icsched::service {
 
@@ -70,6 +71,63 @@ ResponsePayload executeRequest(const RequestPayload& req) {
   } catch (const std::exception& e) {
     // runCli catches std::exception itself; this guards non-standard throws
     // so a handler bug can never take the worker (and the daemon) down.
+    resp.exitCode = 1;
+    err << "icsched_serve: handler error: " << e.what() << "\n";
+  } catch (...) {
+    resp.exitCode = 1;
+    err << "icsched_serve: handler error: unknown exception\n";
+  }
+  resp.out = out.str();
+  resp.err = err.str();
+  return resp;
+}
+
+bool streamableSimulateArgs(const RequestPayload& req) {
+  if (req.requestId == 0) return false;  // the journal is named by the id
+  if (req.args.size() < 4 || req.args[0] != "simulate") return false;
+  bool multiTrial = false;
+  for (std::size_t i = 4; i < req.args.size(); ++i) {
+    const std::string& flag = req.args[i];
+    if (flag.rfind("trials=", 0) == 0) {
+      // Robust shape check only; real validation stays in runCli so error
+      // bytes keep matching the one-shot CLI exactly.
+      try {
+        multiTrial = std::stoull(flag.substr(7)) >= 2;
+      } catch (const std::exception&) {
+        return false;
+      }
+    } else if (flag.rfind("checkpoint=", 0) == 0 || flag.rfind("resume=", 0) == 0 ||
+               flag.rfind("procs=", 0) == 0 || flag.rfind("shard_dir=", 0) == 0) {
+      return false;  // a different execution engine owns these paths
+    }
+  }
+  return multiTrial;
+}
+
+ResponsePayload executeStreamingRequest(const RequestPayload& req,
+                                        const StreamingOptions& opts) {
+  CliHooks hooks;
+  hooks.sweepJournalPath = opts.journalPath;
+  hooks.sweepJournalSalt = opts.fingerprintSalt;
+  hooks.sweepProgressEvery = opts.progressEvery;
+  if (opts.onProgress) {
+    hooks.onSweepProgress = [&opts](std::size_t done, std::size_t total,
+                                    std::size_t salvaged) {
+      opts.onProgress(done, total, salvaged);
+    };
+  }
+  hooks.cancelSweep = opts.cancel;
+
+  ResponsePayload resp;
+  resp.requestId = req.requestId;
+  std::istringstream in(req.stdinText);
+  std::ostringstream out;
+  std::ostringstream err;
+  try {
+    resp.exitCode = runCli(req.args, in, out, err, &hooks);
+  } catch (const SweepCancelled&) {
+    throw;  // the service answers with its own ShuttingDown status
+  } catch (const std::exception& e) {
     resp.exitCode = 1;
     err << "icsched_serve: handler error: " << e.what() << "\n";
   } catch (...) {

@@ -14,7 +14,12 @@
 /// the daemon pays the parse twice on a cold miss (once for the key, once
 /// inside runCli) to keep the two paths literally the same code.
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 
 #include "service/schedule_cache.hpp"
 #include "service/wire.hpp"
@@ -45,5 +50,35 @@ namespace icsched::service {
 /// own catch-all). flags are left 0; the service layers cache/replay flags
 /// on top.
 [[nodiscard]] ResponsePayload executeRequest(const RequestPayload& req);
+
+/// True when the request has the streaming-eligible shape: a `simulate`
+/// sweep with an idempotency key (requestId != 0, which names the journal),
+/// trials= >= 2, and none of the flags that pick a different execution
+/// engine (checkpoint=, resume=, procs=, shard_dir=). Cheap: looks only at
+/// args.
+[[nodiscard]] bool streamableSimulateArgs(const RequestPayload& req);
+
+/// How executeStreamingRequest journals and reports a long sweep.
+struct StreamingOptions {
+  /// Sweep journal path (empty = no journal, which disables resume).
+  std::string journalPath;
+  /// Folded over the sweep fingerprint; the service passes the requestId.
+  std::uint64_t fingerprintSalt = 0;
+  /// Progress-callback cadence in completed replications (0 = off).
+  std::size_t progressEvery = 0;
+  std::function<void(std::uint64_t done, std::uint64_t total, std::uint64_t salvaged)>
+      onProgress;
+  /// Cooperative cancel (the service's shutdown/drain cancel flag).
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// executeRequest() for a streaming-eligible simulate: the sweep journals
+/// through BatchRunner::runJournaled under \p opts, so a killed daemon (or a
+/// re-issued idempotent request) resumes instead of recomputing -- with
+/// response bytes identical to an uninterrupted executeRequest().
+/// \throws SweepCancelled (sim/batch_runner.hpp) when opts.cancel flips;
+/// every other failure is condensed into the response like executeRequest().
+[[nodiscard]] ResponsePayload executeStreamingRequest(const RequestPayload& req,
+                                                      const StreamingOptions& opts);
 
 }  // namespace icsched::service

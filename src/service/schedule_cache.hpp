@@ -90,6 +90,15 @@ class LruMap {
 
   [[nodiscard]] bool contains(const K& key) const { return map_.find(key) != map_.end(); }
 
+  /// Visits every (key, value) pair from most- to least-recently used without
+  /// touching recency. Persistence spills through this: writing entries in
+  /// reverse (oldest first) and re-put()ting them sequentially reproduces the
+  /// exact recency order in a fresh map.
+  template <class F>
+  void forEach(F&& f) const {
+    for (const auto& kv : order_) f(kv.first, kv.second);
+  }
+
   std::optional<V> get(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) {

@@ -11,14 +11,17 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <random>
 #include <stdexcept>
 
 #include "exec/thread_pool.hpp"
 #include "resilience/portable_random.hpp"
 #include "service/request_handler.hpp"
+#include "sim/batch_runner.hpp"
 
 namespace icsched::service {
 
@@ -38,6 +41,13 @@ ssize_t sendSome(int fd, const char* data, std::size_t n) {
 #else
   return ::send(fd, data, n, 0);
 #endif
+}
+
+/// Fixed-width lowercase hex, used to name per-request sweep journals.
+std::string hexId(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
 }
 
 }  // namespace
@@ -60,6 +70,13 @@ void ServiceConfig::validate() const {
   require(maxInflightPerClient >= 1, "maxInflightPerClient must be >= 1");
   require(readTimeoutMillis >= 1, "readTimeoutMillis must be >= 1");
   require(writeTimeoutMillis >= 1, "writeTimeoutMillis must be >= 1");
+  require(drainTimeoutMillis >= 1, "drainTimeoutMillis must be >= 1");
+  require(cacheCompactEvery == 0 || cacheCompactEvery >= 2,
+          "cacheCompactEvery must be 0 (auto) or >= 2");
+  if (!cacheFilePath.empty()) {
+    require(scheduleCacheCapacity >= 1, "cacheFilePath requires scheduleCacheCapacity >= 1");
+  }
+  require(streamEvery == 0 || !sweepJournalDir.empty(), "streamEvery requires sweepJournalDir");
 }
 
 /// Per-connection state, owned by the I/O thread.
@@ -90,6 +107,9 @@ struct Service::Completion {
   /// per-connection inflight).
   bool retiresRequest = false;
   bool isError = false;
+  /// A streaming request's Progress beat: neither a response nor an error in
+  /// the stats, and never retires the request.
+  bool isProgress = false;
 };
 
 struct Service::AtomicStats {
@@ -112,6 +132,15 @@ struct Service::AtomicStats {
   std::atomic<std::uint64_t> pings{0};
   std::atomic<std::uint64_t> acceptBackoffs{0};
   std::atomic<std::uint64_t> workerErrors{0};
+  std::atomic<std::uint64_t> healthProbes{0};
+  std::atomic<std::uint64_t> cacheEntriesLoaded{0};
+  std::atomic<std::uint64_t> cacheAppends{0};
+  std::atomic<std::uint64_t> cacheCompactions{0};
+  std::atomic<std::uint64_t> cachePersistResets{0};
+  std::atomic<std::uint64_t> streamedRequests{0};
+  std::atomic<std::uint64_t> progressFrames{0};
+  std::atomic<std::uint64_t> sweepRecordsSalvaged{0};
+  std::atomic<std::uint64_t> drainForcedCancels{0};
 };
 
 Service::Service(ServiceConfig cfg)
@@ -130,7 +159,24 @@ void Service::start() {
   if (running_.load()) return;
   stopRequested_.store(false);
   cancelFlag_->store(false);
+  draining_.store(false);
   clientShutdown_ = false;
+  {
+    std::lock_guard lock(mutex_);
+    ioExited_ = false;
+    drainedCleanly_ = true;
+  }
+  startTime_ = Clock::now();
+
+  if (!cfg_.sweepJournalDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.sweepJournalDir, ec);
+    if (ec) {
+      throw recovery::FileError("service: cannot create sweepJournalDir '" +
+                                cfg_.sweepJournalDir + "': " + ec.message());
+    }
+  }
+  openPersistentCache();
 
   if (::pipe(wakeFds_) != 0) {
     throw recovery::FileError("service: pipe() failed: " + std::string(::strerror(errno)));
@@ -193,13 +239,33 @@ void Service::stop() {
   wake();
   shutdownCv_.notify_all();
   if (ioThread_.joinable()) ioThread_.join();
+  // The wake pipe outlives the I/O loop so a late beginDrain()/wake() from a
+  // signal thread can never write into a recycled descriptor.
+  if (wakeFds_[0] >= 0) ::close(wakeFds_[0]);
+  if (wakeFds_[1] >= 0) ::close(wakeFds_[1]);
+  wakeFds_[0] = wakeFds_[1] = -1;
   pool_.reset();  // drains any stragglers (they no-op on the cancel flag)
   if (!cfg_.unixPath.empty()) ::unlink(cfg_.unixPath.c_str());
 }
 
+void Service::beginDrain() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  wake();
+  shutdownCv_.notify_all();
+}
+
+bool Service::waitDrained() {
+  std::unique_lock lock(mutex_);
+  shutdownCv_.wait(lock, [this] { return ioExited_; });
+  return drainedCleanly_;
+}
+
 bool Service::waitShutdownRequested() {
   std::unique_lock lock(mutex_);
-  shutdownCv_.wait(lock, [this] { return clientShutdown_ || stopRequested_.load(); });
+  shutdownCv_.wait(lock, [this] {
+    return clientShutdown_ || stopRequested_.load() || draining_.load();
+  });
   return clientShutdown_;
 }
 
@@ -225,6 +291,15 @@ ServiceStats Service::stats() const {
   s.pings = a.pings.load();
   s.acceptBackoffs = a.acceptBackoffs.load();
   s.workerErrors = a.workerErrors.load();
+  s.healthProbes = a.healthProbes.load();
+  s.cacheEntriesLoaded = a.cacheEntriesLoaded.load();
+  s.cacheAppends = a.cacheAppends.load();
+  s.cacheCompactions = a.cacheCompactions.load();
+  s.cachePersistResets = a.cachePersistResets.load();
+  s.streamedRequests = a.streamedRequests.load();
+  s.progressFrames = a.progressFrames.load();
+  s.sweepRecordsSalvaged = a.sweepRecordsSalvaged.load();
+  s.drainForcedCancels = a.drainForcedCancels.load();
   return s;
 }
 
@@ -254,6 +329,81 @@ void Service::enqueueError(Conn& c, std::uint64_t requestId, WireErrorCode code,
                            std::string message) {
   stats_->errorFrames.fetch_add(1);
   enqueueFrame(c, encodeError({requestId, code, std::move(message)}));
+}
+
+void Service::enqueueHealth(Conn& c) {
+  stats_->healthProbes.fetch_add(1);
+  HealthPayload h;
+  h.state = draining_.load(std::memory_order_acquire) ? kHealthDraining : kHealthServing;
+  h.uptimeMillis = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - startTime_)
+          .count());
+  h.queueDepth = static_cast<std::uint32_t>(outstanding_);
+  {
+    std::lock_guard lock(cacheMutex_);
+    h.cacheSize = static_cast<std::uint32_t>(scheduleCache_.size());
+    h.cacheCapacity = static_cast<std::uint32_t>(scheduleCache_.capacity());
+    h.cacheHits = scheduleCache_.hits();
+    h.cacheMisses = scheduleCache_.misses();
+  }
+  h.requests = stats_->requests.load();
+  h.responses = stats_->responses.load();
+  enqueueFrame(c, encodeHealth(h));
+}
+
+void Service::openPersistentCache() {
+  if (cfg_.cacheFilePath.empty()) return;
+  const std::size_t compactEvery =
+      cfg_.cacheCompactEvery != 0 ? cfg_.cacheCompactEvery
+                                  : std::max<std::size_t>(64, cfg_.scheduleCacheCapacity * 4);
+  std::lock_guard lock(cacheMutex_);
+  persistentCache_.setCrashAfterAppends(cfg_.cacheCrashAfterAppends, cfg_.cacheCrashMidRecord);
+  persistentCache_.setCrashOnCompact(cfg_.cacheCrashOnCompact);
+  std::vector<PersistentCacheEntry> entries;
+  try {
+    entries = persistentCache_.openSalvage(cfg_.cacheFilePath, /*fsyncEvery=*/1, compactEvery);
+  } catch (const recovery::FileError&) {
+    throw;  // unopenable path: a config error the operator must see
+  } catch (const recovery::RecoveryError&) {
+    // Foreign wire/cost-model vintage, or corruption past what salvage can
+    // keep: rejected, never trusted. Discard the file and start fresh.
+    stats_->cachePersistResets.fetch_add(1);
+    std::remove(cfg_.cacheFilePath.c_str());
+    entries = persistentCache_.openSalvage(cfg_.cacheFilePath, /*fsyncEvery=*/1, compactEvery);
+  }
+  for (PersistentCacheEntry& e : entries) {
+    // Entries arrive oldest-first, so sequential put() reproduces the
+    // spilled recency order exactly (the LRU clamps overflow).
+    scheduleCache_.put(std::move(e.key), std::move(e.response));
+  }
+  stats_->cacheEntriesLoaded.fetch_add(entries.size());
+}
+
+void Service::persistCacheEntry(const ScheduleCacheKey& key, const CachedResponse& response) {
+  // Caller holds cacheMutex_.
+  if (!persistentCache_.isOpen()) return;
+  try {
+    persistentCache_.append(key, response);
+    stats_->cacheAppends.fetch_add(1);
+    if (persistentCache_.wantsCompaction(scheduleCache_.size())) {
+      std::vector<PersistentCacheEntry> live;
+      live.reserve(scheduleCache_.size());
+      scheduleCache_.forEach([&live](const ScheduleCacheKey& k, const CachedResponse& v) {
+        live.push_back({k, v});
+      });
+      std::reverse(live.begin(), live.end());  // spill oldest-first
+      persistentCache_.compact(live);
+      stats_->cacheCompactions.fetch_add(1);
+    }
+  } catch (const recovery::RecoveryError&) {
+    // Disk trouble must never fail the request it rode in on: demote to
+    // in-memory-only and keep serving.
+    stats_->cachePersistResets.fetch_add(1);
+    try {
+      persistentCache_.close();
+    } catch (...) {
+    }
+  }
 }
 
 void Service::acceptClients(std::vector<std::unique_ptr<Conn>>& fresh) {
@@ -318,7 +468,8 @@ void Service::handleRequest(Conn& c, const std::string& payload) {
     return;
   }
 
-  if (stopRequested_.load(std::memory_order_acquire)) {
+  if (stopRequested_.load(std::memory_order_acquire) ||
+      draining_.load(std::memory_order_acquire)) {
     enqueueError(c, req.requestId, WireErrorCode::ShuttingDown, "server is shutting down");
     return;
   }
@@ -415,18 +566,23 @@ void Service::handleRequest(Conn& c, const std::string& payload) {
   const bool hasExpiry = deadlineMs != 0;
   const Clock::time_point expiry = Clock::now() + std::chrono::milliseconds(deadlineMs);
 
+  // Streaming/resumable sweep path: the journal is named by the idempotency
+  // key, so a dropped client re-asking the same requestId -- or a restarted
+  // daemon -- salvages completed replications instead of recomputing.
+  const bool streaming = !cfg_.sweepJournalDir.empty() && streamableSimulateArgs(req);
+
   ++outstanding_;
   ++c.inflight;
   const std::uint64_t connId = c.id;
   pool_->submit([this, connId, req = std::move(req), cacheKey = std::move(cacheKey), expiry,
-                 hasExpiry]() mutable {
-    workerRun(connId, std::move(req), std::move(cacheKey), expiry, hasExpiry);
+                 hasExpiry, streaming]() mutable {
+    workerRun(connId, std::move(req), std::move(cacheKey), expiry, hasExpiry, streaming);
   });
 }
 
 void Service::workerRun(std::uint64_t connId, RequestPayload req,
                         std::optional<ScheduleCacheKey> cacheKey, Clock::time_point expiry,
-                        bool hasExpiry) {
+                        bool hasExpiry, bool streaming) {
   Completion done;
   done.connId = connId;
   done.retiresRequest = true;
@@ -451,7 +607,40 @@ void Service::workerRun(std::uint64_t connId, RequestPayload req,
       done.frameBytes = encodeError(
           {req.requestId, WireErrorCode::DeadlineExpired, "deadline passed while queued"});
     } else {
-      ResponsePayload resp = executeRequest(req);
+      ResponsePayload resp;
+      if (streaming) {
+        stats_->streamedRequests.fetch_add(1);
+        StreamingOptions opts;
+        opts.journalPath =
+            cfg_.sweepJournalDir + "/sweep-" + hexId(req.requestId) + ".icsjrnl";
+        opts.fingerprintSalt = req.requestId;
+        opts.progressEvery = cfg_.streamEvery;
+        opts.cancel = cancelFlag_.get();
+        const std::uint64_t reqId = req.requestId;
+        bool salvageCounted = false;
+        opts.onProgress = [this, connId, reqId, &salvageCounted](std::uint64_t prDone,
+                                                                 std::uint64_t prTotal,
+                                                                 std::uint64_t prSalvaged) {
+          if (prSalvaged > 0 && !salvageCounted) {
+            salvageCounted = true;
+            stats_->sweepRecordsSalvaged.fetch_add(prSalvaged);
+          }
+          if (cfg_.streamEvery == 0) return;  // journal-only mode: no frames
+          stats_->progressFrames.fetch_add(1);
+          Completion beat;
+          beat.connId = connId;
+          beat.isProgress = true;
+          beat.frameBytes = encodeProgress({reqId, prDone, prTotal, prSalvaged});
+          {
+            std::lock_guard lock(mutex_);
+            completions_.push_back(std::move(beat));
+          }
+          wake();
+        };
+        resp = executeStreamingRequest(req, opts);
+      } else {
+        resp = executeRequest(req);
+      }
       if (hasExpiry && Clock::now() > expiry) {
         // A stale result is worse than an honest miss: the client's deadline
         // contract says it has already given up on this request.
@@ -461,8 +650,13 @@ void Service::workerRun(std::uint64_t connId, RequestPayload req,
                                        "deadline passed during execution"});
       } else {
         if (cacheKey && resp.exitCode == 0) {
+          const CachedResponse entry{resp.exitCode, resp.out, resp.err};
           std::lock_guard lock(cacheMutex_);
-          scheduleCache_.put(*cacheKey, CachedResponse{resp.exitCode, resp.out, resp.err});
+          const bool fresh = !scheduleCache_.contains(*cacheKey);
+          scheduleCache_.put(*cacheKey, entry);
+          // Spill only first-time inserts: a re-put of an existing key is the
+          // same deterministic bytes and would just bloat the file.
+          if (fresh) persistCacheEntry(*cacheKey, entry);
         }
         if (req.requestId != 0) {
           std::lock_guard lock(cacheMutex_);
@@ -472,6 +666,12 @@ void Service::workerRun(std::uint64_t connId, RequestPayload req,
         done.frameBytes = encodeResponse(resp);
       }
     }
+  } catch (const SweepCancelled&) {
+    // Drain/stop felled a streaming sweep mid-flight. Completed replications
+    // are already durable in its journal; the re-asked request resumes them.
+    done.isError = true;
+    done.frameBytes = encodeError({req.requestId, WireErrorCode::ShuttingDown,
+                                   "sweep cancelled by shutdown; journal kept for resume"});
   } catch (const std::exception& e) {
     stats_->workerErrors.fetch_add(1);
     done.isError = true;
@@ -502,14 +702,22 @@ void Service::handleFrame(Conn& c, Frame&& f) {
         clientShutdown_ = true;
       }
       shutdownCv_.notify_all();
+      // A client Shutdown switches straight to draining: stop accepting,
+      // finish in-flight work, flush, sync the cache file. The Pong above is
+      // flushed as part of the drain.
+      beginDrain();
       return;
     }
+    case FrameKind::Health:
+      enqueueHealth(c);
+      return;
     case FrameKind::Request:
       handleRequest(c, f.payload);
       return;
     case FrameKind::Response:
     case FrameKind::Pong:
     case FrameKind::Error:
+    case FrameKind::Progress:
       // Server-to-client kinds arriving at the server are a protocol misuse,
       // but framing is intact: refuse the frame, keep the connection.
       stats_->badRequests.fetch_add(1);
@@ -615,6 +823,8 @@ void Service::sweepTimeouts() {
 void Service::ioLoop() {
   std::vector<pollfd> fds;
   std::vector<std::unique_ptr<Conn>> fresh;
+  bool drainArmed = false;
+  Clock::time_point drainDeadline{};
   for (;;) {
     if (stopRequested_.load(std::memory_order_acquire)) break;
 
@@ -641,8 +851,12 @@ void Service::ioLoop() {
     }
     for (Completion& comp : done) {
       if (comp.retiresRequest && outstanding_ > 0) --outstanding_;
-      if (comp.isError) stats_->errorFrames.fetch_add(1);
-      else stats_->responses.fetch_add(1);
+      if (comp.isProgress) {
+      } else if (comp.isError) {
+        stats_->errorFrames.fetch_add(1);
+      } else {
+        stats_->responses.fetch_add(1);
+      }
       for (auto& cp : conns_) {
         if (cp->id == comp.connId) {
           if (comp.retiresRequest && cp->inflight > 0) --cp->inflight;
@@ -692,8 +906,52 @@ void Service::ioLoop() {
         ++it;
       }
     }
+
+    // Drain state machine: close the listener, let in-flight work finish and
+    // pending bytes flush, and past the deadline cancel the stragglers.
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!drainArmed) {
+        drainArmed = true;
+        drainDeadline = Clock::now() + std::chrono::milliseconds(cfg_.drainTimeoutMillis);
+        if (listenFd_ >= 0) {
+          ::close(listenFd_);
+          listenFd_ = -1;
+          if (!cfg_.unixPath.empty()) ::unlink(cfg_.unixPath.c_str());
+        }
+      }
+      bool flushed = true;
+      for (const auto& cp : conns_) {
+        if (!cp->dead && cp->outPos < cp->outBuf.size()) {
+          flushed = false;
+          break;
+        }
+      }
+      bool pendingCompletions = false;
+      {
+        std::lock_guard lock(mutex_);
+        pendingCompletions = !completions_.empty();
+      }
+      if (outstanding_ == 0 && !pendingCompletions && flushed) break;  // clean drain
+      if (Clock::now() >= drainDeadline) {
+        // Deadline-cancel: workers observe the flag and answer ShuttingDown;
+        // finishShutdown() collects those completions and best-effort
+        // flushes them.
+        stats_->drainForcedCancels.fetch_add(outstanding_);
+        {
+          std::lock_guard lock(mutex_);
+          drainedCleanly_ = false;
+        }
+        cancelFlag_->store(true, std::memory_order_release);
+        break;
+      }
+    }
   }
   finishShutdown();
+  {
+    std::lock_guard lock(mutex_);
+    ioExited_ = true;
+  }
+  shutdownCv_.notify_all();
 }
 
 void Service::finishShutdown() {
@@ -723,9 +981,17 @@ void Service::finishShutdown() {
     ::close(cp->fd);
   }
   conns_.clear();
-  if (wakeFds_[0] >= 0) ::close(wakeFds_[0]);
-  if (wakeFds_[1] >= 0) ::close(wakeFds_[1]);
-  wakeFds_[0] = wakeFds_[1] = -1;
+  // Everything the cache learned is on disk before the daemon goes dark; a
+  // restart salvages it at warm latency. (The wake pipe closes in stop(),
+  // after the I/O thread joins, so a late wake() can never hit a stale fd.)
+  {
+    std::lock_guard lock(cacheMutex_);
+    try {
+      persistentCache_.close();
+    } catch (...) {
+      // Best-effort on the way out; every synced record is already durable.
+    }
+  }
 }
 
 }  // namespace icsched::service

@@ -29,6 +29,22 @@
 ///     whose deadline passes while queued or executing is answered with
 ///     Error(DeadlineExpired) rather than a stale result.
 ///
+///  7. **Persistence & drain** (DESIGN.md "Service persistence & chaos").
+///     With cacheFilePath set, every schedule-cache insert is appended to a
+///     crash-safe ICSCACHE file (service/persistent_cache.hpp) and salvaged
+///     at start(), so a restarted daemon serves warm hits from its first
+///     request. beginDrain() switches to draining: the listener closes,
+///     in-flight requests finish (or are cancelled at drainTimeoutMillis),
+///     pending bytes flush, the cache file syncs. A Health frame reports
+///     queue depth, cache counters, uptime and drain state at any time.
+///  8. **Streaming sweeps.** An eligible `simulate` request (see
+///     request_handler.hpp's streamableSimulateArgs) journals its sweep
+///     under a requestId-derived fingerprint in sweepJournalDir and emits
+///     Progress frames every streamEvery completions; a killed daemon (or a
+///     dropped client re-asking the same requestId) resumes the journal
+///     instead of recomputing, with final bytes identical to an
+///     uninterrupted run.
+///
 /// Transient I/O failures (accept(2) hitting EMFILE/ENFILE/ENOBUFS) back
 /// off with capped, deterministically-jittered delays (resilience/
 /// portable_random) instead of spinning.
@@ -47,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/persistent_cache.hpp"
 #include "service/schedule_cache.hpp"
 #include "service/wire.hpp"
 
@@ -86,6 +103,30 @@ struct ServiceConfig {
   /// provoke. Always 0 in production.
   std::uint32_t handlerStallMillis = 0;
 
+  /// Persistent schedule-cache spill (ICSCACHE v1); empty = in-memory only.
+  /// Salvaged at start(), appended on every insert, synced on drain/stop. A
+  /// file from a different wire/cost-model vintage (or corrupt beyond
+  /// salvage) is discarded and restarted fresh -- rejected, never trusted.
+  std::string cacheFilePath;
+  /// Rewrite the cache file from live entries once it holds this many
+  /// records (0 = auto: max(64, 4 x scheduleCacheCapacity)).
+  std::size_t cacheCompactEvery = 0;
+  /// Graceful-drain budget: how long beginDrain() lets in-flight requests
+  /// finish before cancelling them.
+  std::uint32_t drainTimeoutMillis = 5000;
+  /// Emit a Progress frame every N completed replications of a streaming
+  /// simulate request (0 = no progress frames).
+  std::size_t streamEvery = 0;
+  /// Directory for streaming-sweep journals ("sweep-<requestId>.icsjrnl"),
+  /// created if missing; empty disables the streaming/resumable path.
+  /// Required when streamEvery > 0.
+  std::string sweepJournalDir;
+  /// Crash-test hooks (tools/icsched_chaos): SIGKILL inside cache
+  /// persistence. Always off in production.
+  std::size_t cacheCrashAfterAppends = 0;
+  bool cacheCrashMidRecord = false;
+  bool cacheCrashOnCompact = false;
+
   /// \throws std::invalid_argument with a field-specific message.
   void validate() const;
 };
@@ -112,6 +153,22 @@ struct ServiceStats {
   std::uint64_t pings = 0;
   std::uint64_t acceptBackoffs = 0;
   std::uint64_t workerErrors = 0;
+  std::uint64_t healthProbes = 0;
+  /// Entries salvaged from the cache file at start().
+  std::uint64_t cacheEntriesLoaded = 0;
+  /// Inserts appended to the cache file.
+  std::uint64_t cacheAppends = 0;
+  std::uint64_t cacheCompactions = 0;
+  /// Times the cache file was discarded (foreign fingerprint, corruption
+  /// beyond salvage, or an append failure demoting to in-memory-only).
+  std::uint64_t cachePersistResets = 0;
+  /// Requests routed through the streaming/journaled sweep path.
+  std::uint64_t streamedRequests = 0;
+  std::uint64_t progressFrames = 0;
+  /// Replications salvaged from sweep journals instead of recomputed.
+  std::uint64_t sweepRecordsSalvaged = 0;
+  /// In-flight requests cancelled because the drain deadline passed.
+  std::uint64_t drainForcedCancels = 0;
 };
 
 class Service {
@@ -131,10 +188,25 @@ class Service {
   /// Idempotent.
   void stop();
 
+  /// Begins a graceful drain (idempotent, any thread): the listener closes,
+  /// new requests are refused with ShuttingDown, in-flight requests get
+  /// drainTimeoutMillis to finish before the cancel flag fells them, pending
+  /// response bytes flush, and the cache file syncs. The I/O loop exits when
+  /// the drain completes; call stop() afterwards to join threads.
+  void beginDrain();
+
+  /// Blocks until a begun drain (or a stop()) finishes. Returns true when
+  /// every in-flight request completed inside the drain budget, false when
+  /// stragglers had to be deadline-cancelled.
+  bool waitDrained();
+
+  [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Blocks until a client sends a Shutdown frame or stop() is called.
-  /// Returns true when shutdown was requested by a client.
+  /// Blocks until a client sends a Shutdown frame, beginDrain() is called,
+  /// or stop() is called. Returns true when shutdown was requested by a
+  /// client.
   bool waitShutdownRequested();
 
   /// The bound TCP port (valid after start() when listening on TCP).
@@ -157,15 +229,22 @@ class Service {
   void sweepTimeouts();
   void enqueueFrame(Conn& c, std::string frameBytes);
   void enqueueError(Conn& c, std::uint64_t requestId, WireErrorCode code, std::string message);
+  void enqueueHealth(Conn& c);
   void workerRun(std::uint64_t connId, RequestPayload req,
                  std::optional<ScheduleCacheKey> cacheKey,
-                 std::chrono::steady_clock::time_point expiry, bool hasExpiry);
+                 std::chrono::steady_clock::time_point expiry, bool hasExpiry, bool streaming);
+  void openPersistentCache();
+  void persistCacheEntry(const ScheduleCacheKey& key, const CachedResponse& response);
   void finishShutdown();
 
   ServiceConfig cfg_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopRequested_{false};
+  std::atomic<bool> draining_{false};
   bool clientShutdown_ = false;
+  bool ioExited_ = true;         // guarded by mutex_
+  bool drainedCleanly_ = true;   // guarded by mutex_
+  std::chrono::steady_clock::time_point startTime_{};
   std::uint16_t boundPort_ = 0;
   int listenFd_ = -1;
   int wakeFds_[2] = {-1, -1};
@@ -186,6 +265,9 @@ class Service {
   std::vector<Completion> completions_;
   std::mutex cacheMutex_;
   ScheduleCache scheduleCache_;
+  /// The cache's on-disk spill (no-op when cacheFilePath is empty); guarded
+  /// by cacheMutex_ like the LRU it mirrors.
+  PersistentScheduleCache persistentCache_;
   LruMap<std::uint64_t, CachedResponse> idempotency_;
   // Byte-level memo: request-text digest -> structural cache key, so a
   // client resending identical bytes skips the O(V+E) dag parse on the I/O

@@ -69,6 +69,29 @@ std::string encodeError(const ErrorPayload& err) {
   return encodeFrame(FrameKind::Error, w.bytes());
 }
 
+std::string encodeHealth(const HealthPayload& health) {
+  ByteWriter w;
+  w.u8(health.state);
+  w.u64(health.uptimeMillis);
+  w.u32(health.queueDepth);
+  w.u32(health.cacheSize);
+  w.u32(health.cacheCapacity);
+  w.u64(health.cacheHits);
+  w.u64(health.cacheMisses);
+  w.u64(health.requests);
+  w.u64(health.responses);
+  return encodeFrame(FrameKind::Health, w.bytes());
+}
+
+std::string encodeProgress(const ProgressPayload& progress) {
+  ByteWriter w;
+  w.u64(progress.requestId);
+  w.u64(progress.done);
+  w.u64(progress.total);
+  w.u64(progress.salvaged);
+  return encodeFrame(FrameKind::Progress, w.bytes());
+}
+
 RequestPayload decodeRequestPayload(std::string_view payload) {
   ByteReader r(payload);
   RequestPayload req;
@@ -92,6 +115,42 @@ ResponsePayload decodeResponsePayload(std::string_view payload) {
   resp.err = r.str();
   r.expectDone();
   return resp;
+}
+
+HealthPayload decodeHealthPayload(std::string_view payload) {
+  ByteReader r(payload);
+  HealthPayload health;
+  health.state = r.u8();
+  if (health.state > kHealthDraining) {
+    throw CorruptError("wire: unknown health state " + std::to_string(health.state));
+  }
+  health.uptimeMillis = r.u64();
+  health.queueDepth = r.u32();
+  health.cacheSize = r.u32();
+  health.cacheCapacity = r.u32();
+  health.cacheHits = r.u64();
+  health.cacheMisses = r.u64();
+  health.requests = r.u64();
+  health.responses = r.u64();
+  r.expectDone();
+  return health;
+}
+
+ProgressPayload decodeProgressPayload(std::string_view payload) {
+  ByteReader r(payload);
+  ProgressPayload progress;
+  progress.requestId = r.u64();
+  progress.done = r.u64();
+  progress.total = r.u64();
+  progress.salvaged = r.u64();
+  if (progress.done > progress.total || progress.salvaged > progress.done) {
+    throw CorruptError("wire: impossible progress counts (done " +
+                       std::to_string(progress.done) + ", total " +
+                       std::to_string(progress.total) + ", salvaged " +
+                       std::to_string(progress.salvaged) + ")");
+  }
+  r.expectDone();
+  return progress;
 }
 
 ErrorPayload decodeErrorPayload(std::string_view payload) {
@@ -143,7 +202,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint8_t kind = p[5];
   if (kind < static_cast<std::uint8_t>(FrameKind::Request) ||
-      kind > static_cast<std::uint8_t>(FrameKind::Shutdown)) {
+      kind > static_cast<std::uint8_t>(FrameKind::Progress)) {
     poisoned_ = true;
     throw CorruptError("wire: unknown frame kind " + std::to_string(kind));
   }

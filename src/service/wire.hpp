@@ -32,6 +32,12 @@
 ///             `icsched <args> < stdin`.
 ///   Response: requestId u64, exitCode u32, flags u8, stdout str, stderr str.
 ///   Error   : requestId u64 (0 when unknown), code u8, message str.
+///   Health  : empty from a client (a probe); from the server a snapshot of
+///             state u8, uptime u64, queueDepth u32, cacheSize u32,
+///             cacheCapacity u32, cacheHits u64, cacheMisses u64,
+///             requests u64, responses u64.
+///   Progress: requestId u64, done u64, total u64, salvaged u64 -- emitted
+///             between a streaming request's admission and its Response.
 ///   Ping/Pong/Shutdown: empty payloads.
 
 #include <cstddef>
@@ -64,8 +70,15 @@ enum class FrameKind : std::uint8_t {
   Error = 3,
   Ping = 4,
   Pong = 5,
-  /// Asks the daemon to shut down gracefully; acknowledged with Pong.
+  /// Asks the daemon to drain gracefully; acknowledged with Pong.
   Shutdown = 6,
+  /// Client->server: empty payload, a health probe. Server->client: the
+  /// HealthPayload snapshot (queue depth, cache hit/miss/size, uptime,
+  /// drain state).
+  Health = 7,
+  /// Server->client only: a streaming request's ProgressPayload. Does not
+  /// retire the request; the Response (or Error) frame still follows.
+  Progress = 8,
 };
 
 /// Why the server refused or failed a frame/request. Carried in Error
@@ -132,6 +145,35 @@ struct ErrorPayload {
   std::string message;
 };
 
+/// HealthPayload::state values.
+inline constexpr std::uint8_t kHealthServing = 0;
+inline constexpr std::uint8_t kHealthDraining = 1;
+
+/// A server health snapshot, answered to a client Health probe. Counters
+/// are monotonic; state reports the drain machine's current rung.
+struct HealthPayload {
+  std::uint8_t state = kHealthServing;
+  std::uint64_t uptimeMillis = 0;
+  /// Requests admitted to the pool but not yet answered (queue depth).
+  std::uint32_t queueDepth = 0;
+  std::uint32_t cacheSize = 0;
+  std::uint32_t cacheCapacity = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+};
+
+/// A streaming request's progress beat: \p done of \p total replications are
+/// complete, of which \p salvaged were recovered from the request's journal
+/// instead of recomputed (nonzero exactly when a killed daemon resumed).
+struct ProgressPayload {
+  std::uint64_t requestId = 0;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::uint64_t salvaged = 0;
+};
+
 struct Frame {
   FrameKind kind = FrameKind::Ping;
   std::string payload;
@@ -143,11 +185,15 @@ struct Frame {
 [[nodiscard]] std::string encodeRequest(const RequestPayload& req);
 [[nodiscard]] std::string encodeResponse(const ResponsePayload& resp);
 [[nodiscard]] std::string encodeError(const ErrorPayload& err);
+[[nodiscard]] std::string encodeHealth(const HealthPayload& health);
+[[nodiscard]] std::string encodeProgress(const ProgressPayload& progress);
 
 /// \throws recovery::TruncatedError / CorruptError on malformed payloads.
 [[nodiscard]] RequestPayload decodeRequestPayload(std::string_view payload);
 [[nodiscard]] ResponsePayload decodeResponsePayload(std::string_view payload);
 [[nodiscard]] ErrorPayload decodeErrorPayload(std::string_view payload);
+[[nodiscard]] HealthPayload decodeHealthPayload(std::string_view payload);
+[[nodiscard]] ProgressPayload decodeProgressPayload(std::string_view payload);
 
 /// Incremental frame extractor for a byte stream. feed() appends received
 /// bytes; next() returns the next complete frame, or nullopt when more bytes

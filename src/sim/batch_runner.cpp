@@ -233,7 +233,10 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
     throw std::invalid_argument("BatchRunner: journal path is empty");
   }
   const std::size_t total = spec.numReplications();
-  const std::uint64_t fingerprint = sweepFingerprint(spec);
+  const std::uint64_t fingerprint =
+      journal.fingerprintSalt != 0
+          ? recovery::fnv1aU64(journal.fingerprintSalt, sweepFingerprint(spec))
+          : sweepFingerprint(spec);
 
   std::vector<Replication> out(total);
   std::vector<std::uint8_t> done(total, 0);
@@ -263,6 +266,13 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
   }
   writer.setCrashAfterAppends(journal.crashAfterAppends, journal.crashMidRecord);
 
+  std::size_t salvagedCount = 0;
+  for (const std::uint8_t d : done) salvagedCount += d;
+  // A resumed run announces where it picked up before any fresh compute.
+  if (journal.onProgress && salvagedCount > 0) {
+    journal.onProgress(salvagedCount, total, salvagedCount);
+  }
+
   // Same claim-an-index scheme as run(), skipping salvaged slots. Each
   // completion is journaled (under a mutex; the writer is single-threaded)
   // before the worker moves on -- the write-ahead discipline that makes any
@@ -271,10 +281,15 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
   std::exception_ptr firstError;
   std::mutex errorMutex;
   std::mutex journalMutex;
+  std::size_t completed = salvagedCount;  // guarded by journalMutex
+  const auto cancelled = [&journal] {
+    return journal.cancel != nullptr && journal.cancel->load(std::memory_order_acquire);
+  };
   auto workerBody = [&] {
     SimulationEngine engine;
     recovery::ByteWriter record;
     for (;;) {
+      if (cancelled()) return;
       const std::size_t i = claim.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total || claim.failed.load(std::memory_order_relaxed)) return;
       if (done[i] != 0) continue;
@@ -286,6 +301,11 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
         {
           const std::lock_guard<std::mutex> lock(journalMutex);
           writer.append(record.bytes());
+          ++completed;
+          if (journal.onProgress && journal.progressEvery != 0 &&
+              (completed - salvagedCount) % journal.progressEvery == 0) {
+            journal.onProgress(completed, total, salvagedCount);
+          }
         }
         out[i] = std::move(rep);
       } catch (...) {
@@ -305,6 +325,12 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
     pool.waitIdle();
   }
   if (firstError) std::rethrow_exception(firstError);
+  if (cancelled() && completed < total) {
+    // Completed records must be durable before the throw: the whole point of
+    // a cancelled sweep is that a resume picks up exactly here.
+    writer.close();
+    throw SweepCancelled();
+  }
   writer.close();
   return out;
 }

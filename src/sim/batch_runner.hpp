@@ -17,8 +17,11 @@
 /// of workers (verified by tools/icsched_resilience_sweep and
 /// bench/bench_sim_batch on every run).
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -114,6 +117,31 @@ struct JournalOptions {
   std::size_t crashAfterAppends = 0;
   /// Crash mid-record (torn tail) instead of between records.
   bool crashMidRecord = false;
+  /// Folded over sweepFingerprint() when nonzero: a caller-chosen salt (the
+  /// service derives it from the wire request id) that binds a journal to one
+  /// logical request, so identical sweeps issued under different request ids
+  /// never share -- or poison -- each other's journals.
+  std::uint64_t fingerprintSalt = 0;
+  /// Invoke onProgress after every N freshly-computed replications (0 = off).
+  std::size_t progressEvery = 0;
+  /// Progress beat: (completed, total, salvaged), where `completed` includes
+  /// salvaged records. Also fired once immediately after a non-empty salvage,
+  /// so a resumed run announces where it picked up. Called with the journal
+  /// mutex held -- keep it cheap and never call back into the runner.
+  std::function<void(std::size_t done, std::size_t total, std::size_t salvaged)> onProgress;
+  /// Cooperative cancellation: when it flips true, workers stop claiming
+  /// replications and runJournaled throws SweepCancelled after syncing every
+  /// completed record -- which a later resume=true run salvages.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by runJournaled when JournalOptions::cancel flips mid-sweep. The
+/// journal keeps every completed record (synced before the throw), so
+/// re-running the same sweep with resume=true continues where the cancelled
+/// run stopped instead of recomputing.
+class SweepCancelled : public std::runtime_error {
+ public:
+  SweepCancelled() : std::runtime_error("BatchRunner: sweep cancelled") {}
 };
 
 /// Process-sharded execution for BatchRunner::runSharded: the sweep is

@@ -1,0 +1,536 @@
+/// \file test_persistent_cache.cpp
+/// \brief Crash-safety tests for the service's persistence layer: the
+/// ICSCACHE schedule-cache spill (PersistentCacheTest), the graceful-drain
+/// state machine (ServiceDrainTest) and resumable streaming sweeps
+/// (ServiceStreamTest). The out-of-process SIGKILL scenarios live in
+/// tools/icsched_chaos; these tests cover the same contracts in-process.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/cli.hpp"
+#include "recovery/journal.hpp"
+#include "service/client.hpp"
+#include "service/persistent_cache.hpp"
+#include "service/request_handler.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace icsched::service {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  const std::string p = ::testing::TempDir() + name;
+  std::remove(p.c_str());
+  return p;
+}
+
+PersistentCacheEntry entry(std::uint64_t lo, const std::string& kind, const std::string& out) {
+  PersistentCacheEntry e;
+  e.key.digest = {lo, ~lo};
+  e.key.kind = kind;
+  e.response.exitCode = 0;
+  e.response.out = out;
+  e.response.err = "";
+  return e;
+}
+
+/// `gen mesh 6` emits a dag + its schedule: exactly what `simulate` reads.
+std::string meshText() {
+  std::istringstream in;
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli({"gen", "mesh", "6"}, in, out, err), 0) << err.str();
+  return out.str();
+}
+
+RequestPayload makeReq(std::vector<std::string> args, std::string stdinText,
+                       std::uint64_t id = 0) {
+  RequestPayload req;
+  req.requestId = id;
+  req.args = std::move(args);
+  req.stdinText = std::move(stdinText);
+  return req;
+}
+
+const char* const kDiamond = "dag 4\narc 0 1\narc 0 2\narc 1 3\narc 2 3\nend\n";
+
+void waitForAdmitted(Service& svc, std::uint64_t atLeast) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (svc.stats().requests < atLeast) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "request never admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PersistentCacheTest: the ICSCACHE file itself.
+// ---------------------------------------------------------------------------
+
+TEST(PersistentCacheTest, EntryPayloadRoundTrips) {
+  const PersistentCacheEntry e = entry(42, "beam", "schedule 4\n0\n1 2\n3\nend\n");
+  const PersistentCacheEntry back = decodeCacheEntry(encodeCacheEntry(e.key, e.response));
+  EXPECT_EQ(back.key, e.key);
+  EXPECT_EQ(back.response.exitCode, e.response.exitCode);
+  EXPECT_EQ(back.response.out, e.response.out);
+  EXPECT_EQ(back.response.err, e.response.err);
+  EXPECT_THROW((void)decodeCacheEntry("\x01\x02junk"), recovery::RecoveryError);
+}
+
+TEST(PersistentCacheTest, SpillAndSalvageRoundTripsOldestFirst) {
+  const std::string path = tempPath("icscache_roundtrip.icscache");
+  PersistentScheduleCache cache;
+  EXPECT_TRUE(cache.openSalvage(path).empty());
+  cache.append(entry(1, "beam", "one").key, entry(1, "beam", "one").response);
+  cache.append(entry(2, "greedy", "two").key, entry(2, "greedy", "two").response);
+  cache.append(entry(3, "exact", "three").key, entry(3, "exact", "three").response);
+  cache.close();
+
+  PersistentScheduleCache reopened;
+  const std::vector<PersistentCacheEntry> got = reopened.openSalvage(path);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].response.out, "one");
+  EXPECT_EQ(got[1].response.out, "two");
+  EXPECT_EQ(got[2].response.out, "three");
+  EXPECT_EQ(reopened.fileRecords(), 3u);
+}
+
+TEST(PersistentCacheTest, TornTailIsTruncatedAndAppendingResumes) {
+  const std::string path = tempPath("icscache_torn.icscache");
+  {
+    PersistentScheduleCache cache;
+    (void)cache.openSalvage(path);
+    cache.append(entry(1, "beam", "one").key, entry(1, "beam", "one").response);
+    cache.append(entry(2, "beam", "two").key, entry(2, "beam", "two").response);
+    cache.close();
+  }
+  // Tear the final record the way a SIGKILL mid-write(2) would.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(path, size - 3, ec);
+  ASSERT_FALSE(ec);
+
+  PersistentScheduleCache cache;
+  const std::vector<PersistentCacheEntry> salvaged = cache.openSalvage(path);
+  ASSERT_EQ(salvaged.size(), 1u);
+  EXPECT_EQ(salvaged[0].response.out, "one");
+  cache.append(entry(3, "beam", "three").key, entry(3, "beam", "three").response);
+  cache.close();
+  const std::vector<PersistentCacheEntry> reloaded = loadCacheFile(path);
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded[1].response.out, "three");
+}
+
+TEST(PersistentCacheTest, CorruptRecordIsNeverDecodedIntoAServedEntry) {
+  const std::string path = tempPath("icscache_corrupt.icscache");
+  {
+    PersistentScheduleCache cache;
+    (void)cache.openSalvage(path);
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      cache.append(entry(i, "beam", "v" + std::to_string(i)).key,
+                   entry(i, "beam", "v" + std::to_string(i)).response);
+    }
+    cache.close();
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  // Flip one payload byte in the middle record; its CRC must disqualify it
+  // and everything after it (strict-prefix salvage).
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const std::vector<PersistentCacheEntry> salvaged = loadCacheFile(path);
+  EXPECT_LT(salvaged.size(), 3u);
+  for (const PersistentCacheEntry& e : salvaged) {
+    EXPECT_EQ(e.response.out, "v" + std::to_string(e.key.digest.lo));
+  }
+  EXPECT_THROW((void)loadCacheFile(path, recovery::JournalReadMode::Strict),
+               recovery::RecoveryError);
+}
+
+TEST(PersistentCacheTest, ForeignVintageFingerprintIsRejectedNotTrusted) {
+  const std::string path = tempPath("icscache_foreign.icscache");
+  {
+    recovery::JournalWriter w;
+    w.open(path, cacheFileFingerprint() + 1, 1, cacheFileFormat());
+    const PersistentCacheEntry e = entry(9, "beam", "stale vintage");
+    w.append(encodeCacheEntry(e.key, e.response));
+    w.close();
+  }
+  EXPECT_THROW((void)loadCacheFile(path), recovery::StateMismatchError);
+  PersistentScheduleCache cache;
+  EXPECT_THROW((void)cache.openSalvage(path), recovery::StateMismatchError);
+}
+
+TEST(PersistentCacheTest, CompactionRewritesLiveEntriesViaRename) {
+  const std::string path = tempPath("icscache_compact.icscache");
+  PersistentScheduleCache cache;
+  (void)cache.openSalvage(path, /*fsyncEvery=*/1, /*compactEvery=*/4);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    cache.append(entry(i, "beam", "v" + std::to_string(i)).key,
+                 entry(i, "beam", "v" + std::to_string(i)).response);
+  }
+  EXPECT_TRUE(cache.wantsCompaction(/*liveEntries=*/2));
+  // A compacted file holding exactly its live set must not want another
+  // rewrite on the next insert.
+  EXPECT_FALSE(cache.wantsCompaction(/*liveEntries=*/5));
+  const std::vector<PersistentCacheEntry> live = {entry(4, "beam", "v4"), entry(5, "beam", "v5")};
+  cache.compact(live);
+  EXPECT_EQ(cache.fileRecords(), 2u);
+  EXPECT_EQ(cache.compactions(), 1u);
+  cache.append(entry(6, "beam", "v6").key, entry(6, "beam", "v6").response);
+  cache.close();
+  const std::vector<PersistentCacheEntry> got = loadCacheFile(path);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].response.out, "v4");
+  EXPECT_EQ(got[1].response.out, "v5");
+  EXPECT_EQ(got[2].response.out, "v6");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(PersistentCacheTest, WarmRestartServesCacheHitsFromTheFirstRequest) {
+  const std::string path = tempPath("icscache_warm.icscache");
+  const RequestPayload req = makeReq({"schedule", "beam"}, kDiamond);
+  ResponsePayload cold;
+  {
+    ServiceConfig cfg;
+    cfg.cacheFilePath = path;
+    Service svc(cfg);
+    svc.start();
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+    const auto r = c.call(req);
+    ASSERT_TRUE(r.ok) << r.error.message;
+    EXPECT_EQ(r.response.flags & kRespFlagScheduleCacheHit, 0u);
+    cold = r.response;
+    EXPECT_GE(svc.stats().cacheAppends, 1u);
+    svc.stop();
+  }
+  {
+    ServiceConfig cfg;
+    cfg.cacheFilePath = path;
+    Service svc(cfg);
+    svc.start();
+    EXPECT_GE(svc.stats().cacheEntriesLoaded, 1u);
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+    // The restarted daemon's very first answer is a warm hit with the exact
+    // bytes the previous incarnation computed.
+    const auto warm = c.call(req);
+    ASSERT_TRUE(warm.ok) << warm.error.message;
+    EXPECT_NE(warm.response.flags & kRespFlagScheduleCacheHit, 0u);
+    EXPECT_EQ(warm.response.exitCode, cold.exitCode);
+    EXPECT_EQ(warm.response.out, cold.out);
+    EXPECT_EQ(warm.response.err, cold.err);
+    svc.stop();
+  }
+}
+
+TEST(PersistentCacheTest, ForeignVintageCacheFileIsDiscardedAtStartup) {
+  const std::string path = tempPath("icscache_discard.icscache");
+  {
+    recovery::JournalWriter w;
+    w.open(path, cacheFileFingerprint() + 1, 1, cacheFileFormat());
+    const PersistentCacheEntry e = entry(9, "beam", "stale vintage");
+    w.append(encodeCacheEntry(e.key, e.response));
+    w.close();
+  }
+  ServiceConfig cfg;
+  cfg.cacheFilePath = path;
+  Service svc(cfg);
+  svc.start();  // must not serve (or crash on) the foreign file
+  EXPECT_GE(svc.stats().cachePersistResets, 1u);
+  EXPECT_EQ(svc.stats().cacheEntriesLoaded, 0u);
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  const auto r = c.call(makeReq({"schedule", "beam"}, kDiamond));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.response.flags & kRespFlagScheduleCacheHit, 0u);  // cold, not stale
+  svc.stop();
+  // The discarded file was restarted under this build's fingerprint.
+  EXPECT_EQ(loadCacheFile(path).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceDrainTest: the graceful-drain state machine and Health frames.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceDrainTest, ValidateRejectsBadPersistenceAndDrainKnobs) {
+  const auto messageOf = [](ServiceConfig cfg) -> std::string {
+    try {
+      cfg.validate();
+      return "";
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+  };
+  ServiceConfig cfg;
+  cfg.tcpPort = 1;  // any listener; validate() runs field checks only
+  cfg.drainTimeoutMillis = 0;
+  EXPECT_NE(messageOf(cfg).find("drainTimeoutMillis"), std::string::npos);
+  cfg = ServiceConfig{};
+  cfg.cacheCompactEvery = 1;
+  EXPECT_NE(messageOf(cfg).find("cacheCompactEvery"), std::string::npos);
+  cfg = ServiceConfig{};
+  cfg.cacheFilePath = "x.icscache";
+  cfg.scheduleCacheCapacity = 0;
+  EXPECT_NE(messageOf(cfg).find("scheduleCacheCapacity"), std::string::npos);
+  cfg = ServiceConfig{};
+  cfg.streamEvery = 4;  // frames without a journal dir to stream from
+  EXPECT_NE(messageOf(cfg).find("sweepJournalDir"), std::string::npos);
+  cfg = ServiceConfig{};
+  EXPECT_EQ(messageOf(cfg), "");
+}
+
+TEST(ServiceDrainTest, HealthReportsServingThenDrainingWithQueueDepth) {
+  ServiceConfig cfg;
+  cfg.handlerStallMillis = 200;
+  cfg.scheduleCacheCapacity = 7;
+  Service svc(cfg);
+  svc.start();
+  ServiceClient worker = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  ServiceClient probe = ServiceClient::connectTcp("127.0.0.1", svc.port());
+
+  const HealthPayload serving = probe.health();
+  EXPECT_EQ(serving.state, kHealthServing);
+  EXPECT_EQ(serving.cacheCapacity, 7u);
+  EXPECT_EQ(serving.queueDepth, 0u);
+
+  worker.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, /*id=*/5));
+  waitForAdmitted(svc, 1);
+  svc.beginDrain();
+  const HealthPayload draining = probe.health();
+  EXPECT_EQ(draining.state, kHealthDraining);
+  EXPECT_GE(draining.queueDepth, 1u);
+  EXPECT_GE(draining.requests, 1u);
+
+  const Frame f = worker.readFrame();
+  ASSERT_EQ(f.kind, FrameKind::Response);
+  EXPECT_TRUE(svc.waitDrained());
+  EXPECT_EQ(svc.stats().drainForcedCancels, 0u);
+  EXPECT_GE(svc.stats().healthProbes, 2u);
+  svc.stop();
+}
+
+TEST(ServiceDrainTest, DrainRefusesNewRequestsButFinishesInflight) {
+  ServiceConfig cfg;
+  cfg.handlerStallMillis = 200;
+  Service svc(cfg);
+  svc.start();
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  c.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, /*id=*/1));
+  waitForAdmitted(svc, 1);
+  svc.beginDrain();
+  c.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, /*id=*/2));
+
+  bool sawRefusal = false, sawResponse = false;
+  for (int i = 0; i < 2; ++i) {
+    const Frame f = c.readFrame();
+    if (f.kind == FrameKind::Error) {
+      const ErrorPayload e = decodeErrorPayload(f.payload);
+      EXPECT_EQ(e.code, WireErrorCode::ShuttingDown);
+      EXPECT_EQ(e.requestId, 2u);
+      sawRefusal = true;
+    } else {
+      ASSERT_EQ(f.kind, FrameKind::Response);
+      EXPECT_EQ(decodeResponsePayload(f.payload).requestId, 1u);
+      sawResponse = true;
+    }
+  }
+  EXPECT_TRUE(sawRefusal);
+  EXPECT_TRUE(sawResponse);
+  EXPECT_TRUE(svc.waitDrained());
+  svc.stop();
+}
+
+TEST(ServiceDrainTest, DrainDeadlineForcesCancellationOfStragglers) {
+  ServiceConfig cfg;
+  cfg.handlerStallMillis = 60'000;  // would outlive any test budget
+  cfg.drainTimeoutMillis = 100;
+  Service svc(cfg);
+  svc.start();
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  c.sendRequest(makeReq({"schedule", "greedy"}, kDiamond, /*id=*/1));
+  waitForAdmitted(svc, 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.beginDrain();
+  EXPECT_FALSE(svc.waitDrained());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(30));  // the stall did not run out
+  EXPECT_GE(svc.stats().drainForcedCancels, 1u);
+  svc.stop();
+}
+
+TEST(ServiceDrainTest, ClientShutdownFrameDrainsAndClosesTheListener) {
+  ServiceConfig cfg;
+  Service svc(cfg);
+  svc.start();
+  const std::uint16_t port = svc.port();
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", port);
+  c.requestShutdown();
+  EXPECT_TRUE(svc.waitShutdownRequested());
+  EXPECT_TRUE(svc.draining());
+  EXPECT_TRUE(svc.waitDrained());
+  EXPECT_THROW((void)ServiceClient::connectTcp("127.0.0.1", port), recovery::FileError);
+  svc.stop();
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStreamTest: Progress frames and journal-backed resumable sweeps.
+// ---------------------------------------------------------------------------
+
+std::string freshSweepDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+TEST(ServiceStreamTest, StreamableArgsClassifierIsConservative) {
+  const std::string mesh = meshText();
+  EXPECT_TRUE(streamableSimulateArgs(makeReq({"simulate", "4", "IC-OPT", "3", "trials=8"},
+                                             mesh, /*id=*/1)));
+  // No id = no journal name; trials<2 = nothing to stream; foreign engines
+  // (checkpoint / sharded) own their own persistence.
+  EXPECT_FALSE(streamableSimulateArgs(makeReq({"simulate", "4", "IC-OPT", "3", "trials=8"},
+                                              mesh, /*id=*/0)));
+  EXPECT_FALSE(streamableSimulateArgs(makeReq({"simulate", "4", "IC-OPT", "3"}, mesh, 1)));
+  EXPECT_FALSE(streamableSimulateArgs(makeReq({"simulate", "4", "IC-OPT", "3", "trials=1"},
+                                              mesh, 1)));
+  EXPECT_FALSE(streamableSimulateArgs(
+      makeReq({"simulate", "4", "IC-OPT", "3", "trials=8", "procs=2"}, mesh, 1)));
+  EXPECT_FALSE(streamableSimulateArgs(
+      makeReq({"simulate", "4", "IC-OPT", "3", "trials=8", "checkpoint=x"}, mesh, 1)));
+  EXPECT_FALSE(streamableSimulateArgs(makeReq({"simulate", "4", "IC-OPT", "3", "trials=bogus"},
+                                              mesh, 1)));
+  EXPECT_FALSE(streamableSimulateArgs(makeReq({"schedule", "beam", "x", "y"}, mesh, 1)));
+}
+
+TEST(ServiceStreamTest, StreamingSweepEmitsProgressAndCliParityBytes) {
+  ServiceConfig cfg;
+  cfg.sweepJournalDir = freshSweepDir("stream_beats");
+  cfg.streamEvery = 2;
+  Service svc(cfg);
+  svc.start();
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  const RequestPayload req =
+      makeReq({"simulate", "4", "IC-OPT", "3", "trials=8"}, meshText(), /*id=*/0x2a);
+  std::vector<ProgressPayload> beats;
+  const auto r = c.call(req, 5000, [&beats](const ProgressPayload& p) { beats.push_back(p); });
+  ASSERT_TRUE(r.ok) << r.error.message;
+
+  ASSERT_FALSE(beats.empty());
+  for (const ProgressPayload& p : beats) {
+    EXPECT_EQ(p.requestId, 0x2au);
+    EXPECT_EQ(p.total, 8u);
+    EXPECT_EQ(p.salvaged, 0u);
+  }
+  EXPECT_EQ(beats.back().done, 8u);
+
+  // The streamed answer must be byte-identical to the one-shot CLI.
+  const ResponsePayload oneShot = executeRequest(req);
+  EXPECT_EQ(r.response.exitCode, oneShot.exitCode);
+  EXPECT_EQ(r.response.out, oneShot.out);
+  EXPECT_EQ(r.response.err, oneShot.err);
+
+  EXPECT_EQ(svc.stats().streamedRequests, 1u);
+  EXPECT_GE(svc.stats().progressFrames, beats.size());
+  EXPECT_TRUE(std::filesystem::exists(cfg.sweepJournalDir +
+                                      "/sweep-000000000000002a.icsjrnl"));
+  svc.stop();
+}
+
+TEST(ServiceStreamTest, JournalOnlyModeRecordsWithoutFrames) {
+  ServiceConfig cfg;
+  cfg.sweepJournalDir = freshSweepDir("stream_journal_only");
+  cfg.streamEvery = 0;
+  Service svc(cfg);
+  svc.start();
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  const RequestPayload req =
+      makeReq({"simulate", "4", "IC-OPT", "3", "trials=4"}, meshText(), /*id=*/7);
+  std::vector<ProgressPayload> beats;
+  const auto r = c.call(req, 5000, [&beats](const ProgressPayload& p) { beats.push_back(p); });
+  ASSERT_TRUE(r.ok) << r.error.message;
+  EXPECT_TRUE(beats.empty());
+  EXPECT_EQ(svc.stats().streamedRequests, 1u);
+  EXPECT_EQ(svc.stats().progressFrames, 0u);
+  EXPECT_TRUE(std::filesystem::exists(cfg.sweepJournalDir +
+                                      "/sweep-0000000000000007.icsjrnl"));
+  svc.stop();
+}
+
+TEST(ServiceStreamTest, RestartSalvagesTheJournalInsteadOfRecomputing) {
+  const std::string dir = freshSweepDir("stream_restart");
+  const std::string mesh = meshText();
+  const RequestPayload req =
+      makeReq({"simulate", "4", "IC-OPT", "3", "trials=6"}, mesh, /*id=*/0x77);
+  ResponsePayload first;
+  {
+    ServiceConfig cfg;
+    cfg.sweepJournalDir = dir;
+    Service svc(cfg);
+    svc.start();
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+    const auto r = c.call(req);
+    ASSERT_TRUE(r.ok) << r.error.message;
+    first = r.response;
+    svc.stop();
+  }
+  {
+    // A fresh daemon (no idempotency memory) re-asked the same requestId
+    // must replay every replication from the journal: the salvage beat says
+    // so, and the bytes match the uninterrupted run exactly.
+    ServiceConfig cfg;
+    cfg.sweepJournalDir = dir;
+    cfg.streamEvery = 1;
+    Service svc(cfg);
+    svc.start();
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+    std::vector<ProgressPayload> beats;
+    const auto r = c.call(req, 5000, [&beats](const ProgressPayload& p) { beats.push_back(p); });
+    ASSERT_TRUE(r.ok) << r.error.message;
+    ASSERT_FALSE(beats.empty());
+    EXPECT_EQ(beats.front().salvaged, 6u);
+    EXPECT_EQ(beats.front().done, 6u);
+    EXPECT_EQ(beats.front().total, 6u);
+    EXPECT_EQ(svc.stats().sweepRecordsSalvaged, 6u);
+    EXPECT_EQ(r.response.exitCode, first.exitCode);
+    EXPECT_EQ(r.response.out, first.out);
+    EXPECT_EQ(r.response.err, first.err);
+    svc.stop();
+  }
+}
+
+TEST(ServiceStreamTest, IneligibleSimulateBypassesTheStreamingPath) {
+  ServiceConfig cfg;
+  cfg.sweepJournalDir = freshSweepDir("stream_bypass");
+  Service svc(cfg);
+  svc.start();
+  ServiceClient c = ServiceClient::connectTcp("127.0.0.1", svc.port());
+  // trials=1 and id=0 each disqualify; both answer via the plain path.
+  const auto single =
+      c.call(makeReq({"simulate", "4", "IC-OPT", "3", "trials=1"}, meshText(), /*id=*/9));
+  ASSERT_TRUE(single.ok);
+  const auto anonymous =
+      c.call(makeReq({"simulate", "4", "IC-OPT", "3", "trials=4"}, meshText(), /*id=*/0));
+  ASSERT_TRUE(anonymous.ok);
+  EXPECT_EQ(svc.stats().streamedRequests, 0u);
+  EXPECT_EQ(svc.stats().progressFrames, 0u);
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace icsched::service

@@ -21,6 +21,7 @@
 #include "families/mesh.hpp"
 #include "recovery/checkpoint_io.hpp"
 #include "recovery/journal.hpp"
+#include "service/persistent_cache.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/simulation.hpp"
 
@@ -210,6 +211,61 @@ TEST(RecoveryFuzzTest, PreBumpJournalVersionIsAVersionErrorNamingBoth) {
       const std::string what = e.what();
       EXPECT_NE(what.find("format version 1"), std::string::npos) << what;
       EXPECT_NE(what.find("reads version 2"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(RecoveryFuzzTest, CorruptedCacheFilesNeverCrashAndNeverServeForgedEntries) {
+  // Same contract as the journal fuzz, applied to the service's ICSCACHE
+  // spill -- with a stronger oracle: whatever Recover-mode salvage keeps must
+  // be byte-identical to an original entry at the same position. A corrupted
+  // record may be *dropped*; it may never be *served*.
+  const std::string path = tempPath("fuzz.icscache");
+  std::remove(path.c_str());
+  std::vector<service::PersistentCacheEntry> originals;
+  {
+    service::PersistentScheduleCache cache;
+    ASSERT_TRUE(cache.openSalvage(path).empty());
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      service::PersistentCacheEntry e;
+      e.key.digest = {i * 0x9E3779B97F4A7C15ull + 1, ~i};
+      e.key.kind = i % 2 == 0 ? "beam" : "greedy";
+      e.response.exitCode = 0;
+      e.response.out = "schedule bytes " + std::to_string(i) + "\n";
+      e.response.err = "";
+      cache.append(e.key, e.response);
+      originals.push_back(e);
+    }
+    cache.close();
+  }
+  const std::string pristine = slurp(path);
+  ASSERT_FALSE(pristine.empty());
+
+  std::mt19937_64 rng(0x1C5CACE);
+  const std::string mutatedPath = tempPath("fuzz_mut.icscache");
+  for (int iter = 0; iter < 600; ++iter) {
+    spit(mutatedPath, mutate(pristine, rng));
+    try {
+      (void)service::loadCacheFile(mutatedPath, recovery::JournalReadMode::Strict);
+    } catch (const recovery::RecoveryError&) {
+    }
+    try {
+      const auto salvaged = service::loadCacheFile(mutatedPath);
+      ASSERT_LE(salvaged.size(), originals.size());
+      for (std::size_t i = 0; i < salvaged.size(); ++i) {
+        EXPECT_EQ(salvaged[i].key, originals[i].key);
+        EXPECT_EQ(salvaged[i].response.out, originals[i].response.out);
+        EXPECT_EQ(salvaged[i].response.exitCode, originals[i].response.exitCode);
+      }
+    } catch (const recovery::RecoveryError&) {
+    }
+    // The daemon's startup path on top: salvage, truncate the tail, append.
+    service::PersistentScheduleCache victim;
+    try {
+      (void)victim.openSalvage(mutatedPath);
+      victim.append(originals[0].key, originals[0].response);
+      victim.close();
+    } catch (const recovery::RecoveryError&) {
     }
   }
 }

@@ -1,0 +1,449 @@
+/// \file icsched_chaos.cpp
+/// \brief Crash/restart oracle for the daemon: `icsched_chaos [SEED] [OUT_DIR]
+/// [SERVE_BIN]`.
+///
+/// Proves the service's crash-safety contract (DESIGN.md "Service persistence
+/// & chaos") end to end, with real SIGKILLs against a real `icsched_serve`
+/// process. The seed selects one of five kill points (seed % 5):
+///
+///   0  idle        kill between requests; the restarted daemon must serve a
+///                  warm, byte-identical cache hit from its first request
+///   1  mid-request kill while a stalled handler is executing; the re-issued
+///                  request must produce the one-shot CLI's exact bytes
+///   2  mid-append  the daemon SIGKILLs itself inside a cache-file append
+///                  (torn record on odd seeds); salvage keeps the valid
+///                  prefix, and every salvaged entry replays correctly
+///   3  mid-compact the daemon SIGKILLs itself halfway through writing the
+///                  compaction tmp file; the original cache file must survive
+///                  untouched and the restart must not trip on the tmp
+///   4  mid-stream  kill during a streaming sweep after progress beats have
+///                  been seen; the restart salvages the sweep journal and the
+///                  final bytes equal an uninterrupted run
+///
+/// The harness supervises respawns with capped exponential backoff
+/// (min(100ms * 2^k, 1s), <= 3 attempts) and, after every scenario, runs a
+/// zero-corruption sweep: the cache file must load in Recover mode without a
+/// single undecodable entry. Any violated oracle exits 1 with a diagnostic on
+/// stderr; harness failures (fork/exec) exit 2.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/cli.hpp"
+#include "service/client.hpp"
+#include "service/persistent_cache.hpp"
+#include "service/request_handler.hpp"
+#include "service/wire.hpp"
+
+namespace icsched::service {
+namespace {
+
+struct Daemon {
+  pid_t pid = -1;
+  int outFd = -1;
+  std::uint16_t port = 0;
+};
+
+[[noreturn]] void harnessFail(const std::string& why) {
+  std::cerr << "chaos: harness failure: " << why << "\n";
+  std::exit(2);
+}
+
+int g_failures = 0;
+void oracle(bool ok, const std::string& what) {
+  if (ok) {
+    std::cout << "chaos:   ok: " << what << "\n";
+  } else {
+    std::cerr << "chaos: FAIL: " << what << "\n";
+    ++g_failures;
+  }
+}
+
+std::string serveBinary(const char* argvOverride) {
+  if (argvOverride != nullptr) return argvOverride;
+  // Default: next to this binary (both live in build/tools).
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) harnessFail("readlink(/proc/self/exe) failed");
+  buf[n] = '\0';
+  return std::filesystem::path(buf).parent_path() / "icsched_serve";
+}
+
+/// fork/exec the daemon on an ephemeral port and parse `listening port=P`
+/// from its stdout. Returns an invalid Daemon when the child exits before
+/// listening (startup failure).
+Daemon spawn(const std::string& bin, const std::vector<std::string>& extraArgs) {
+  int fds[2];
+  if (pipe(fds) != 0) harnessFail("pipe() failed");
+  const pid_t pid = fork();
+  if (pid < 0) harnessFail("fork() failed");
+  if (pid == 0) {
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    std::vector<std::string> args = {bin, "--tcp", "0"};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(bin.c_str(), argv.data());
+    _exit(127);
+  }
+  close(fds[1]);
+  Daemon d;
+  d.pid = pid;
+  d.outFd = fds[0];
+  std::string line;
+  char c;
+  while (read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+  const std::string tag = "listening port=";
+  if (line.rfind(tag, 0) != 0) {
+    // Child never came up; reap it and report failure to the caller.
+    (void)kill(pid, SIGKILL);
+    (void)waitpid(pid, nullptr, 0);
+    close(fds[0]);
+    d.pid = -1;
+    return d;
+  }
+  d.port = static_cast<std::uint16_t>(std::stoul(line.substr(tag.size())));
+  return d;
+}
+
+/// Respawn supervision: capped exponential backoff, <= 3 attempts.
+Daemon respawnWithBackoff(const std::string& bin, const std::vector<std::string>& args) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto backoff =
+        std::chrono::milliseconds(std::min<long>(100L << attempt, 1000L));
+    std::this_thread::sleep_for(backoff);
+    Daemon d = spawn(bin, args);
+    if (d.pid > 0) return d;
+    std::cout << "chaos: respawn attempt " << attempt + 1 << " failed, backing off\n";
+  }
+  harnessFail("daemon did not come back within 3 respawn attempts");
+}
+
+void sigkill(Daemon& d) {
+  if (d.pid <= 0) return;
+  (void)kill(d.pid, SIGKILL);
+  (void)waitpid(d.pid, nullptr, 0);
+  close(d.outFd);
+  d.pid = -1;
+}
+
+/// Reap a daemon expected to have killed itself (crash hooks raise SIGKILL).
+void reapSelfKilled(Daemon& d) {
+  int status = 0;
+  if (waitpid(d.pid, &status, 0) != d.pid) harnessFail("waitpid failed");
+  close(d.outFd);
+  d.pid = -1;
+  oracle(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+         "daemon died by its own seeded SIGKILL crash hook");
+}
+
+std::string chainDagText(std::size_t n) {
+  std::ostringstream os;
+  os << "dag " << n << "\n";
+  for (std::size_t i = 0; i + 1 < n; ++i) os << "arc " << i << " " << i + 1 << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+std::string meshText() {
+  std::istringstream in;
+  std::ostringstream out, err;
+  if (runCli({"gen", "mesh", "6"}, in, out, err) != 0) harnessFail("gen mesh failed");
+  return out.str();
+}
+
+RequestPayload scheduleReq(std::size_t chainLen, std::uint64_t id) {
+  RequestPayload req;
+  req.requestId = id;
+  req.args = {"schedule", "beam"};
+  req.stdinText = chainDagText(chainLen);
+  return req;
+}
+
+bool sameBytes(const ResponsePayload& got, const ResponsePayload& want) {
+  return got.exitCode == want.exitCode && got.out == want.out && got.err == want.err;
+}
+
+/// Zero-corruption sweep: every record of the cache file must load and
+/// decode in Recover mode -- a half-written or bit-rotted entry may be
+/// *dropped* by salvage but must never surface as an exception here.
+void assertCacheFileUncorrupted(const std::string& cachePath) {
+  if (!std::filesystem::exists(cachePath)) return;
+  try {
+    const auto entries = loadCacheFile(cachePath);
+    oracle(true, "cache file loads clean (" + std::to_string(entries.size()) + " entries)");
+  } catch (const std::exception& e) {
+    oracle(false, std::string("cache file corrupt: ") + e.what());
+  }
+}
+
+struct Env {
+  std::string bin;
+  std::string outDir;
+  std::string cachePath;
+  std::string sweepDir;
+  std::uint64_t seed = 0;
+};
+
+void scenarioIdleKill(const Env& env) {
+  std::cout << "chaos: scenario 0: SIGKILL while idle, warm-restart parity\n";
+  const std::vector<std::string> args = {"--cache-file", env.cachePath};
+  Daemon d = spawn(env.bin, args);
+  if (d.pid <= 0) harnessFail("initial spawn failed");
+  const RequestPayload req = scheduleReq(6 + env.seed % 5, 0);
+  const ResponsePayload reference = executeRequest(req);
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    const auto cold = c.call(req);
+    oracle(cold.ok && sameBytes(cold.response, reference),
+           "cold response matches the one-shot CLI");
+    oracle(cold.ok && (cold.response.flags & kRespFlagScheduleCacheHit) == 0,
+           "first synthesis is not flagged as a hit");
+  }
+  sigkill(d);
+  d = respawnWithBackoff(env.bin, args);
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    const auto warm = c.call(req);
+    oracle(warm.ok && (warm.response.flags & kRespFlagScheduleCacheHit) != 0,
+           "restarted daemon's first answer is a warm cache hit");
+    oracle(warm.ok && sameBytes(warm.response, reference),
+           "warm-restart bytes identical to the one-shot CLI");
+    const HealthPayload h = c.health();
+    oracle(h.cacheSize >= 1, "health reports the salvaged cache entry");
+  }
+  sigkill(d);
+}
+
+void scenarioMidRequestKill(const Env& env) {
+  std::cout << "chaos: scenario 1: SIGKILL mid-request\n";
+  Daemon d = spawn(env.bin, {"--cache-file", env.cachePath, "--stall-ms", "2000"});
+  if (d.pid <= 0) harnessFail("initial spawn failed");
+  const RequestPayload req = scheduleReq(7 + env.seed % 5, 11);
+  const ResponsePayload reference = executeRequest(req);
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    c.sendRequest(req);
+    // Give the daemon time to admit the request into the stalled handler.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100 + env.seed % 7 * 30));
+    sigkill(d);
+    try {
+      (void)c.readFrame(500);
+      oracle(false, "connection should have died with the daemon");
+    } catch (const std::exception&) {
+      oracle(true, "in-flight request observed the crash");
+    }
+  }
+  d = respawnWithBackoff(env.bin, {"--cache-file", env.cachePath});
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    const auto retry = c.call(req);
+    oracle(retry.ok && sameBytes(retry.response, reference),
+           "re-issued request reproduces the one-shot CLI bytes");
+  }
+  sigkill(d);
+}
+
+void scenarioMidAppendCrash(const Env& env) {
+  const bool midRecord = (env.seed & 1) != 0;
+  std::cout << "chaos: scenario 2: self-SIGKILL during cache append "
+            << (midRecord ? "(mid-record)\n" : "(between records)\n");
+  std::vector<std::string> args = {"--cache-file", env.cachePath, "--cache-crash-after", "3"};
+  if (midRecord) args.push_back("--cache-crash-mid");
+  Daemon d = spawn(env.bin, args);
+  if (d.pid <= 0) harnessFail("initial spawn failed");
+  std::vector<ResponsePayload> references;
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const RequestPayload req = scheduleReq(4 + i, 0);
+      references.push_back(executeRequest(req));
+      try {
+        const auto r = c.call(req);
+        oracle(i < 2 && r.ok && sameBytes(r.response, references[i]),
+               "pre-crash response " + std::to_string(i) + " matches the CLI");
+      } catch (const std::exception&) {
+        oracle(i == 2, "the third insert hit the seeded crash point");
+      }
+    }
+  }
+  reapSelfKilled(d);
+  const auto salvaged = loadCacheFile(env.cachePath);
+  // A mid-record kill tears the third entry; a between-records kill lands
+  // after it was fully written. Either way the prefix is intact.
+  oracle(salvaged.size() == (midRecord ? 2u : 3u),
+         "salvage kept exactly the valid prefix (" + std::to_string(salvaged.size()) +
+             " entries)");
+  d = respawnWithBackoff(env.bin, {"--cache-file", env.cachePath});
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    for (std::size_t i = 0; i < salvaged.size(); ++i) {
+      const auto r = c.call(scheduleReq(4 + i, 0));
+      oracle(r.ok && (r.response.flags & kRespFlagScheduleCacheHit) != 0 &&
+                 sameBytes(r.response, references[i]),
+             "salvaged entry " + std::to_string(i) + " replays warm and byte-identical");
+    }
+  }
+  sigkill(d);
+}
+
+void scenarioMidCompactionCrash(const Env& env) {
+  std::cout << "chaos: scenario 3: self-SIGKILL halfway through compaction\n";
+  const std::vector<std::string> capArgs = {"--cache-capacity", "2", "--cache-compact-every",
+                                            "4"};
+  std::vector<std::string> args = {"--cache-file", env.cachePath, "--cache-crash-on-compact"};
+  args.insert(args.end(), capArgs.begin(), capArgs.end());
+  Daemon d = spawn(env.bin, args);
+  if (d.pid <= 0) harnessFail("initial spawn failed");
+  std::vector<ResponsePayload> references;
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    // The fourth insert reaches compactEvery and tears the tmp file.
+    for (std::size_t i = 0; i < 4; ++i) {
+      const RequestPayload req = scheduleReq(4 + i, 0);
+      references.push_back(executeRequest(req));
+      try {
+        const auto r = c.call(req);
+        oracle(i < 3 && r.ok, "pre-compaction response " + std::to_string(i) + " answered");
+      } catch (const std::exception&) {
+        oracle(i == 3, "the compacting insert hit the seeded crash point");
+      }
+    }
+  }
+  reapSelfKilled(d);
+  // The kill happened while writing chaos_cache.icscache.tmp; the real file
+  // must still hold all four appended records.
+  const auto salvaged = loadCacheFile(env.cachePath);
+  oracle(salvaged.size() == 4u, "original cache file untouched by the torn compaction (" +
+                                    std::to_string(salvaged.size()) + " entries)");
+  std::vector<std::string> cleanArgs = {"--cache-file", env.cachePath};
+  cleanArgs.insert(cleanArgs.end(), capArgs.begin(), capArgs.end());
+  d = respawnWithBackoff(env.bin, cleanArgs);
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    // Capacity 2: the two most recent dags survive in the LRU.
+    const auto warm = c.call(scheduleReq(7, 0));
+    oracle(warm.ok && (warm.response.flags & kRespFlagScheduleCacheHit) != 0 &&
+               sameBytes(warm.response, references[3]),
+           "most recent entry replays warm after the torn compaction");
+    const auto evicted = c.call(scheduleReq(4, 0));
+    oracle(evicted.ok && sameBytes(evicted.response, references[0]),
+           "evicted entry recomputes to the same bytes");
+  }
+  sigkill(d);
+}
+
+void scenarioMidStreamKill(const Env& env) {
+  std::cout << "chaos: scenario 4: SIGKILL mid-streaming-sweep\n";
+  const std::vector<std::string> args = {"--cache-file", env.cachePath, "--sweep-dir",
+                                         env.sweepDir, "--stream-every", "1"};
+  Daemon d = spawn(env.bin, args);
+  if (d.pid <= 0) harnessFail("initial spawn failed");
+  RequestPayload req;
+  req.requestId = 0xBEEF;
+  req.args = {"simulate", "6", "IC-OPT", "3", "trials=48"};
+  req.stdinText = meshText();
+  const ResponsePayload reference = executeRequest(req);
+
+  std::uint64_t beatsSeen = 0;
+  bool finishedBeforeKill = false;
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    c.sendRequest(req);
+    try {
+      for (;;) {
+        const Frame f = c.readFrame(5000);
+        if (f.kind == FrameKind::Progress) {
+          ++beatsSeen;
+          if (beatsSeen >= 2 + env.seed % 3) sigkill(d);  // journal holds >= beatsSeen
+        } else {
+          finishedBeforeKill = true;  // tiny sweep outran the kill; still fine
+          break;
+        }
+      }
+    } catch (const std::exception&) {
+      // Connection died with the daemon, as intended.
+    }
+  }
+  if (finishedBeforeKill) sigkill(d);
+  d = respawnWithBackoff(env.bin, args);
+  {
+    ServiceClient c = ServiceClient::connectTcp("127.0.0.1", d.port);
+    std::vector<ProgressPayload> beats;
+    const auto resumed =
+        c.call(req, 10000, [&beats](const ProgressPayload& p) { beats.push_back(p); });
+    oracle(resumed.ok && sameBytes(resumed.response, reference),
+           "resumed sweep byte-identical to an uninterrupted run");
+    const std::uint64_t salvagedReported = beats.empty() ? 0 : beats.front().salvaged;
+    oracle(salvagedReported >= beatsSeen,
+           "journal salvaged at least every beat the client saw (" +
+               std::to_string(salvagedReported) + " >= " + std::to_string(beatsSeen) + ")");
+  }
+  sigkill(d);
+}
+
+int run(std::uint64_t seed, const std::string& outDir, const char* binOverride) {
+  Env env;
+  env.bin = serveBinary(binOverride);
+  env.outDir = outDir;
+  env.cachePath = outDir + "/chaos_cache_" + std::to_string(seed) + ".icscache";
+  env.sweepDir = outDir + "/chaos_sweeps_" + std::to_string(seed);
+  env.seed = seed;
+  std::remove(env.cachePath.c_str());
+  std::remove((env.cachePath + ".tmp").c_str());
+  std::error_code ec;
+  std::filesystem::remove_all(env.sweepDir, ec);
+
+  switch (seed % 5) {
+    case 0: scenarioIdleKill(env); break;
+    case 1: scenarioMidRequestKill(env); break;
+    case 2: scenarioMidAppendCrash(env); break;
+    case 3: scenarioMidCompactionCrash(env); break;
+    default: scenarioMidStreamKill(env); break;
+  }
+  assertCacheFileUncorrupted(env.cachePath);
+
+  if (g_failures > 0) {
+    std::cerr << "chaos: " << g_failures << " oracle(s) violated (seed=" << seed
+              << "); artifacts kept in " << outDir << "\n";
+    return 1;
+  }
+  std::remove(env.cachePath.c_str());
+  std::remove((env.cachePath + ".tmp").c_str());
+  std::filesystem::remove_all(env.sweepDir, ec);
+  std::cout << "chaos OK: seed=" << seed << " scenario=" << seed % 5
+            << " survived kill/restart with all oracles intact\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace icsched::service
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 0;
+  std::string outDir = ".";
+  try {
+    if (argc > 1) seed = std::stoull(argv[1]);
+    if (argc > 2) outDir = argv[2];
+    return icsched::service::run(seed, outDir, argc > 3 ? argv[3] : nullptr);
+  } catch (const std::exception& e) {
+    std::cerr << "chaos: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -5,23 +5,36 @@
 /// command) over a framed binary protocol on a Unix or localhost-TCP socket,
 /// with a content-addressed schedule cache, admission control, per-request
 /// deadlines and graceful degradation (see src/service/service.hpp and
-/// DESIGN.md "Scheduling service").
+/// DESIGN.md "Scheduling service"). With `--cache-file` the schedule cache
+/// is spilled to a crash-safe ICSCACHE file and salvaged at startup; with
+/// `--sweep-dir` long simulate sweeps journal their replications and resume
+/// after a crash (DESIGN.md "Service persistence & chaos").
 ///
 /// Usage:
 ///   icsched_serve --unix PATH | --tcp PORT
 ///                 [--threads N] [--max-outstanding N] [--max-connections N]
 ///                 [--max-inflight N] [--read-timeout-ms T]
 ///                 [--write-timeout-ms T] [--default-deadline-ms T]
-///                 [--cache-capacity N] [--quiet]
+///                 [--cache-capacity N] [--cache-file PATH]
+///                 [--cache-compact-every N] [--drain-timeout-ms T]
+///                 [--sweep-dir DIR] [--stream-every N] [--quiet]
 ///
 /// Runs in the foreground until SIGINT/SIGTERM or a client Shutdown frame,
-/// then drains in-flight work and exits 0. On TCP with port 0 the
-/// kernel-assigned port is printed as `listening port=P` so wrappers can
-/// parse it.
+/// then drains: the listener closes, in-flight requests get
+/// --drain-timeout-ms to finish, pending responses flush, the cache file
+/// syncs. A second signal skips the drain and stops immediately. On TCP with
+/// port 0 the kernel-assigned port is printed as `listening port=P` so
+/// wrappers can parse it.
+///
+/// Exit codes: 0 = clean drain, 3 = drain deadline forced in-flight
+/// cancellations, 64 = usage error, 1 = startup failure.
 
-#include <atomic>
-#include <chrono>
-#include <csignal>
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -31,16 +44,26 @@
 
 namespace {
 
-std::atomic<bool> g_signalled{false};
+// Self-pipe: the handler only write(2)s one byte; the watcher thread does the
+// real work outside async-signal context. 's' = deliverable signal, 'q' =
+// main asking the watcher to exit.
+int g_sigPipe[2] = {-1, -1};
 
-void onSignal(int) { g_signalled.store(true); }
+void onSignal(int) {
+  const char b = 's';
+  // The pipe is O_NONBLOCK; losing a byte to a full pipe is fine -- dozens of
+  // identical signals collapse into "drain, then hard-stop" anyway.
+  (void)!write(g_sigPipe[1], &b, 1);
+}
 
 int usage(std::ostream& os) {
   os << "usage: icsched_serve --unix PATH | --tcp PORT [--threads N]\n"
         "                     [--max-outstanding N] [--max-connections N]\n"
         "                     [--max-inflight N] [--read-timeout-ms T]\n"
         "                     [--write-timeout-ms T] [--default-deadline-ms T]\n"
-        "                     [--cache-capacity N] [--quiet]\n";
+        "                     [--cache-capacity N] [--cache-file PATH]\n"
+        "                     [--cache-compact-every N] [--drain-timeout-ms T]\n"
+        "                     [--sweep-dir DIR] [--stream-every N] [--quiet]\n";
   return 64;
 }
 
@@ -62,31 +85,62 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // stoul alone would wrap "-5" to a huge unsigned and ignore trailing
+    // junk in "5x"; both must be rejected, not reinterpreted.
+    auto number = [&](const char* what) -> unsigned long {
+      const std::string v = value(what);
+      std::size_t pos = 0;
+      if (v.empty() || v[0] == '-') throw std::invalid_argument(v);
+      const unsigned long parsed = std::stoul(v, &pos);
+      if (pos != v.size()) throw std::invalid_argument(v);
+      return parsed;
+    };
     try {
       if (arg == "--unix") {
         cfg.unixPath = value("--unix");
         haveListener = true;
       } else if (arg == "--tcp") {
-        cfg.tcpPort = static_cast<std::uint16_t>(std::stoul(value("--tcp")));
+        cfg.tcpPort = static_cast<std::uint16_t>(number("--tcp"));
         haveListener = true;
       } else if (arg == "--threads") {
-        cfg.workerThreads = std::stoul(value("--threads"));
+        cfg.workerThreads = number("--threads");
       } else if (arg == "--max-outstanding") {
-        cfg.maxOutstanding = std::stoul(value("--max-outstanding"));
+        cfg.maxOutstanding = number("--max-outstanding");
       } else if (arg == "--max-connections") {
-        cfg.maxConnections = std::stoul(value("--max-connections"));
+        cfg.maxConnections = number("--max-connections");
       } else if (arg == "--max-inflight") {
-        cfg.maxInflightPerClient = std::stoul(value("--max-inflight"));
+        cfg.maxInflightPerClient = number("--max-inflight");
       } else if (arg == "--read-timeout-ms") {
-        cfg.readTimeoutMillis = static_cast<std::uint32_t>(std::stoul(value("--read-timeout-ms")));
+        cfg.readTimeoutMillis = static_cast<std::uint32_t>(number("--read-timeout-ms"));
       } else if (arg == "--write-timeout-ms") {
         cfg.writeTimeoutMillis =
-            static_cast<std::uint32_t>(std::stoul(value("--write-timeout-ms")));
+            static_cast<std::uint32_t>(number("--write-timeout-ms"));
       } else if (arg == "--default-deadline-ms") {
         cfg.defaultDeadlineMillis =
-            static_cast<std::uint32_t>(std::stoul(value("--default-deadline-ms")));
+            static_cast<std::uint32_t>(number("--default-deadline-ms"));
       } else if (arg == "--cache-capacity") {
-        cfg.scheduleCacheCapacity = std::stoul(value("--cache-capacity"));
+        cfg.scheduleCacheCapacity = number("--cache-capacity");
+      } else if (arg == "--cache-file") {
+        cfg.cacheFilePath = value("--cache-file");
+      } else if (arg == "--cache-compact-every") {
+        cfg.cacheCompactEvery = number("--cache-compact-every");
+      } else if (arg == "--drain-timeout-ms") {
+        cfg.drainTimeoutMillis =
+            static_cast<std::uint32_t>(number("--drain-timeout-ms"));
+      } else if (arg == "--sweep-dir") {
+        cfg.sweepJournalDir = value("--sweep-dir");
+      } else if (arg == "--stream-every") {
+        cfg.streamEvery = number("--stream-every");
+      } else if (arg == "--stall-ms") {
+        // Test hooks (chaos/soak harnesses), deliberately undocumented in
+        // usage(): deterministic handler stalls and cache-file crash points.
+        cfg.handlerStallMillis = static_cast<std::uint32_t>(number("--stall-ms"));
+      } else if (arg == "--cache-crash-after") {
+        cfg.cacheCrashAfterAppends = number("--cache-crash-after");
+      } else if (arg == "--cache-crash-mid") {
+        cfg.cacheCrashMidRecord = true;
+      } else if (arg == "--cache-crash-on-compact") {
+        cfg.cacheCrashOnCompact = true;
       } else if (arg == "--quiet") {
         quiet = true;
       } else {
@@ -98,10 +152,32 @@ int main(int argc, char** argv) {
     }
   }
   if (!haveListener) return usage(std::cerr);
+  try {
+    cfg.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "icsched_serve: " << e.what() << "\n";
+    return 64;
+  }
 
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGTERM, onSignal);
-  std::signal(SIGPIPE, SIG_IGN);
+  if (pipe(g_sigPipe) != 0) {
+    std::cerr << "icsched_serve: pipe() failed\n";
+    return 1;
+  }
+  (void)fcntl(g_sigPipe[1], F_SETFL, O_NONBLOCK);
+
+  // SA_RESTART keeps the daemon's own blocking syscalls (the I/O thread's
+  // poll, worker-side file I/O) from surfacing EINTR on every Ctrl-C; the
+  // self-pipe below carries the actual wake-up.
+  struct sigaction sa{};
+  sa.sa_handler = onSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  (void)sigaction(SIGINT, &sa, nullptr);
+  (void)sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction ign{};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  (void)sigaction(SIGPIPE, &ign, nullptr);
 
   try {
     Service svc(cfg);
@@ -113,26 +189,55 @@ int main(int argc, char** argv) {
         std::cout << "listening port=" << svc.port() << std::endl;
       }
     }
-    // Wait for either a client Shutdown frame or a signal. The signal
-    // handler can only set a flag, so poll it at a human-invisible cadence.
+
+    // The watcher blocks in poll(2) on the self-pipe -- no sleep cadence.
+    // First signal begins a graceful drain; a second skips the drain budget
+    // and stops hard (the operator's escape hatch from a wedged handler).
     std::thread signalWatch([&svc] {
-      while (!g_signalled.load()) {
-        if (!svc.running()) return;
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      int signals = 0;
+      for (;;) {
+        pollfd pfd{g_sigPipe[0], POLLIN, 0};
+        if (poll(&pfd, 1, -1) < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        char buf[64];
+        const ssize_t n = read(g_sigPipe[0], buf, sizeof(buf));
+        if (n <= 0) return;
+        for (ssize_t k = 0; k < n; ++k) {
+          if (buf[k] == 'q') return;
+          if (++signals == 1) {
+            svc.beginDrain();
+          } else {
+            svc.stop();
+            return;
+          }
+        }
       }
-      svc.stop();
     });
+
     const bool byClient = svc.waitShutdownRequested();
+    svc.beginDrain();  // idempotent; already underway for signal/Shutdown paths
+    const bool clean = svc.waitDrained();
     svc.stop();
+    // Wake the watcher out of poll() and reap it.
+    const char quit = 'q';
+    (void)!write(g_sigPipe[1], &quit, 1);
     signalWatch.join();
+    close(g_sigPipe[0]);
+    close(g_sigPipe[1]);
+
     if (!quiet) {
       const icsched::service::ServiceStats s = svc.stats();
       std::cout << "shutdown by=" << (byClient ? "client" : "signal")
-                << " requests=" << s.requests << " responses=" << s.responses
-                << " errors=" << s.errorFrames << " cacheHits=" << s.scheduleCacheHits
+                << " drained=" << (clean ? "clean" : "forced") << " requests=" << s.requests
+                << " responses=" << s.responses << " errors=" << s.errorFrames
+                << " cacheHits=" << s.scheduleCacheHits << " cacheLoaded=" << s.cacheEntriesLoaded
+                << " cacheAppends=" << s.cacheAppends << " streamed=" << s.streamedRequests
+                << " salvaged=" << s.sweepRecordsSalvaged
                 << " shed=" << s.shedOverload + s.shedQuota << std::endl;
     }
-    return 0;
+    return clean ? 0 : 3;
   } catch (const std::exception& e) {
     std::cerr << "icsched_serve: " << e.what() << "\n";
     return 1;
