@@ -1,28 +1,318 @@
 #include "core/eligibility.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#define ICSCHED_ELIG_SIMD 1
+#include <immintrin.h>
+#else
+#define ICSCHED_ELIG_SIMD 0
+#endif
+
 namespace icsched {
 
-EligibilityTracker::EligibilityTracker(const Dag& g) : g_(&g) { reset(); }
+namespace {
 
-void EligibilityTracker::rebind(const Dag& g) {
-  g_ = &g;
+#if ICSCHED_ELIG_SIMD
+
+#define ICSCHED_ELIG_TGT_AVX2 __attribute__((target("avx2")))
+#define ICSCHED_ELIG_TGT_AVX512 __attribute__((target("avx512f,avx512bw,avx512dq")))
+
+// ---- dense scatter kernels ----
+//
+// Precondition (established by EligibilityTracker::bindStatic): the executed
+// node's children are exactly the consecutive ids [first, first + deg), so
+// their packed counters are a contiguous byte range of `pending`. Each kernel
+// decrements that range by one, zero-tests it a vector at a time, and walks
+// the hit mask in ascending bit order -- which is ascending id order, i.e.
+// exactly the order the scalar CSR walk emits. A counter reaching zero IS the
+// eligible state (see the class comment in eligibility.hpp), so there is no
+// flag array to update -- newly-zero ids just go to dst; the count is
+// returned. Every counter in the range is >= 1 and < sentinel on entry (one
+// per unexecuted parent, the parent now executing still counted, and a child
+// of an eligible parent cannot itself be executed), so the unconditional
+// decrement can neither wrap nor touch a sentinel.
+
+ICSCHED_ELIG_TGT_AVX2 inline std::size_t scatterDenseU8Avx2(std::uint8_t* pending, NodeId first,
+                                                            std::size_t deg, NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t i = 0;
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= deg; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pending + first + i));
+    v = _mm256_sub_epi8(v, one);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(pending + first + i), v);
+    std::uint32_t m =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    while (m != 0) {
+      dst[cnt++] = first + static_cast<NodeId>(i) + static_cast<NodeId>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; i < deg; ++i) {
+    const NodeId c = first + static_cast<NodeId>(i);
+    const std::uint8_t p = static_cast<std::uint8_t>(pending[c] - 1);
+    pending[c] = p;
+    dst[cnt] = c;
+    cnt += (p == 0) ? 1 : 0;
+  }
+  return cnt;
+}
+
+ICSCHED_ELIG_TGT_AVX2 inline std::size_t scatterDenseU16Avx2(std::uint16_t* pending, NodeId first,
+                                                             std::size_t deg, NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t i = 0;
+  const __m256i one = _mm256_set1_epi16(1);
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 16 <= deg; i += 16) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pending + first + i));
+    v = _mm256_sub_epi16(v, one);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(pending + first + i), v);
+    // movemask is per byte: a zero u16 lane sets both bits of its pair.
+    // Keeping only the even bits makes bit/2 the lane index, still ascending.
+    std::uint32_t m =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi16(v, zero))) &
+        0x55555555u;
+    while (m != 0) {
+      const NodeId lane = static_cast<NodeId>(static_cast<unsigned>(__builtin_ctz(m)) >> 1);
+      dst[cnt++] = first + static_cast<NodeId>(i) + lane;
+      m &= m - 1;
+    }
+  }
+  for (; i < deg; ++i) {
+    const NodeId c = first + static_cast<NodeId>(i);
+    const std::uint16_t p = static_cast<std::uint16_t>(pending[c] - 1);
+    pending[c] = p;
+    dst[cnt] = c;
+    cnt += (p == 0) ? 1 : 0;
+  }
+  return cnt;
+}
+
+ICSCHED_ELIG_TGT_AVX512 inline std::size_t scatterDenseU8Avx512(std::uint8_t* pending,
+                                                                NodeId first, std::size_t deg,
+                                                                NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t i = 0;
+  const __m512i one = _mm512_set1_epi8(1);
+  for (; i + 64 <= deg; i += 64) {
+    __m512i v = _mm512_loadu_si512(pending + first + i);
+    v = _mm512_sub_epi8(v, one);
+    _mm512_storeu_si512(pending + first + i, v);
+    __mmask64 m = _mm512_cmpeq_epi8_mask(v, _mm512_setzero_si512());
+    while (m != 0) {
+      dst[cnt++] = first + static_cast<NodeId>(i) + static_cast<NodeId>(__builtin_ctzll(m));
+      m &= m - 1;
+    }
+  }
+  for (; i < deg; ++i) {
+    const NodeId c = first + static_cast<NodeId>(i);
+    const std::uint8_t p = static_cast<std::uint8_t>(pending[c] - 1);
+    pending[c] = p;
+    dst[cnt] = c;
+    cnt += (p == 0) ? 1 : 0;
+  }
+  return cnt;
+}
+
+ICSCHED_ELIG_TGT_AVX512 inline std::size_t scatterDenseU16Avx512(std::uint16_t* pending,
+                                                                 NodeId first, std::size_t deg,
+                                                                 NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t i = 0;
+  const __m512i one = _mm512_set1_epi16(1);
+  for (; i + 32 <= deg; i += 32) {
+    __m512i v = _mm512_loadu_si512(pending + first + i);
+    v = _mm512_sub_epi16(v, one);
+    _mm512_storeu_si512(pending + first + i, v);
+    __mmask32 m = _mm512_cmpeq_epi16_mask(v, _mm512_setzero_si512());
+    while (m != 0) {
+      dst[cnt++] = first + static_cast<NodeId>(i) + static_cast<NodeId>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; i < deg; ++i) {
+    const NodeId c = first + static_cast<NodeId>(i);
+    const std::uint16_t p = static_cast<std::uint16_t>(pending[c] - 1);
+    pending[c] = p;
+    dst[cnt] = c;
+    cnt += (p == 0) ? 1 : 0;
+  }
+  return cnt;
+}
+
+// ---- eligible-set collection kernels ----
+//
+// Eligibility IS pending == 0, so collecting the ELIGIBLE set is a zero-scan
+// of the packed counter array (the sentinel keeps executed nodes non-zero).
+// Each kernel emits the hit positions in ascending order; the caller sizes
+// dst to the exact eligible count, so only hit positions are ever stored.
+
+ICSCHED_ELIG_TGT_AVX2 inline std::size_t collectEligibleU8Avx2(const std::uint8_t* pending,
+                                                               std::size_t n, NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t v = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; v + 32 <= n; v += 32) {
+    const __m256i p = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pending + v));
+    std::uint32_t m =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(p, zero)));
+    while (m != 0) {
+      dst[cnt++] = static_cast<NodeId>(v) + static_cast<NodeId>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; v < n; ++v) {
+    if (pending[v] == 0) dst[cnt++] = static_cast<NodeId>(v);
+  }
+  return cnt;
+}
+
+ICSCHED_ELIG_TGT_AVX2 inline std::size_t collectEligibleU16Avx2(const std::uint16_t* pending,
+                                                                std::size_t n, NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t v = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; v + 16 <= n; v += 16) {
+    const __m256i p = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pending + v));
+    std::uint32_t m =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi16(p, zero))) &
+        0x55555555u;
+    while (m != 0) {
+      const NodeId lane = static_cast<NodeId>(static_cast<unsigned>(__builtin_ctz(m)) >> 1);
+      dst[cnt++] = static_cast<NodeId>(v) + lane;
+      m &= m - 1;
+    }
+  }
+  for (; v < n; ++v) {
+    if (pending[v] == 0) dst[cnt++] = static_cast<NodeId>(v);
+  }
+  return cnt;
+}
+
+ICSCHED_ELIG_TGT_AVX512 inline std::size_t collectEligibleU8Avx512(const std::uint8_t* pending,
+                                                                   std::size_t n, NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t v = 0;
+  for (; v + 64 <= n; v += 64) {
+    const __m512i p = _mm512_loadu_si512(pending + v);
+    __mmask64 m = _mm512_cmpeq_epi8_mask(p, _mm512_setzero_si512());
+    while (m != 0) {
+      dst[cnt++] = static_cast<NodeId>(v) + static_cast<NodeId>(__builtin_ctzll(m));
+      m &= m - 1;
+    }
+  }
+  for (; v < n; ++v) {
+    if (pending[v] == 0) dst[cnt++] = static_cast<NodeId>(v);
+  }
+  return cnt;
+}
+
+ICSCHED_ELIG_TGT_AVX512 inline std::size_t collectEligibleU16Avx512(const std::uint16_t* pending,
+                                                                    std::size_t n, NodeId* dst) {
+  std::size_t cnt = 0;
+  std::size_t v = 0;
+  for (; v + 32 <= n; v += 32) {
+    const __m512i p = _mm512_loadu_si512(pending + v);
+    __mmask32 m = _mm512_cmpeq_epi16_mask(p, _mm512_setzero_si512());
+    while (m != 0) {
+      dst[cnt++] = static_cast<NodeId>(v) + static_cast<NodeId>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; v < n; ++v) {
+    if (pending[v] == 0) dst[cnt++] = static_cast<NodeId>(v);
+  }
+  return cnt;
+}
+
+#endif  // ICSCHED_ELIG_SIMD
+
+}  // namespace
+
+EligibilityTracker::EligibilityTracker(const Dag& g) : g_(&g) {
+  bindStatic();
   reset();
 }
 
-void EligibilityTracker::reset() {
+void EligibilityTracker::rebind(const Dag& g) {
+  g_ = &g;
+  bindStatic();
+  reset();
+}
+
+void EligibilityTracker::bindStatic() {
   const std::size_t n = g_->numNodes();
-  // O(V): a flat copy of the memoized in-degree array plus the cached
-  // source list, instead of the old O(V+E) per-node adjacency walk.
-  pendingParents_ = g_->inDegrees();
-  eligible_.assign(n, false);
-  executed_.assign(n, false);
+  const std::vector<std::uint32_t>& indeg = g_->inDegrees();
+  std::uint32_t maxIn = 0;
+  for (const std::uint32_t d : indeg) maxIn = std::max(maxIn, d);
+  // Strict < keeps the all-ones value free for the executed sentinel.
+  if (maxIn < 0xFFu) {
+    counterWidth_ = 1;
+    init8_.assign(indeg.begin(), indeg.end());
+    pending8_.resize(n);
+    init16_.clear();
+    pending16_.clear();
+    pending32_.clear();
+  } else if (maxIn < 0xFFFFu) {
+    counterWidth_ = 2;
+    init16_.assign(indeg.begin(), indeg.end());
+    pending16_.resize(n);
+    init8_.clear();
+    pending8_.clear();
+    pending32_.clear();
+  } else {
+    counterWidth_ = 4;
+    pending32_.resize(n);
+    init8_.clear();
+    pending8_.clear();
+    init16_.clear();
+    pending16_.clear();
+  }
+  // children() spans are in insertion order, so density must be checked id
+  // by id: the SIMD range requires the exact ascending run
+  // [kids[0], kids[0] + deg), not merely deg consecutive ids in some order.
+  denseFirstChild_.assign(n, kNoDense);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    const std::span<const NodeId> kids = g_->children(v);
+    if (kids.empty()) continue;
+    const NodeId first = kids[0];
+    bool dense = true;
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      if (kids[i] != first + static_cast<NodeId>(i)) {
+        dense = false;
+        break;
+      }
+    }
+    if (dense) denseFirstChild_[v] = first;
+  }
+}
+
+void EligibilityTracker::reset() {
+  // The tier is sampled here, once per run, not per event: a ScopedSimdTier
+  // in force at reset()/rebind() time governs the whole run.
+  tier_ = activeSimdTier();
+  switch (counterWidth_) {
+    case 1:
+      std::copy(init8_.begin(), init8_.end(), pending8_.begin());
+      break;
+    case 2:
+      std::copy(init16_.begin(), init16_.end(), pending16_.begin());
+      break;
+    default: {
+      const std::vector<std::uint32_t>& indeg = g_->inDegrees();
+      std::copy(indeg.begin(), indeg.end(), pending32_.begin());
+      break;
+    }
+  }
+  // Sources have in-degree 0, so the counter image already encodes the
+  // initial ELIGIBLE set -- nothing else to initialize.
   executedCount_ = 0;
-  const std::vector<NodeId>& srcs = g_->sources();
-  for (NodeId v : srcs) eligible_[v] = true;
-  eligibleCount_ = srcs.size();
+  eligibleCount_ = g_->sources().size();
 }
 
 std::vector<NodeId> EligibilityTracker::eligibleNodes() const {
@@ -32,10 +322,43 @@ std::vector<NodeId> EligibilityTracker::eligibleNodes() const {
 }
 
 void EligibilityTracker::eligibleNodesInto(std::vector<NodeId>& out) const {
+  const std::size_t n = g_->numNodes();
+#if ICSCHED_ELIG_SIMD
+  if ((tier_ == SimdTier::Avx512 || tier_ == SimdTier::Avx2) && counterWidth_ <= 2) {
+    // eligibleCount_ is maintained exactly, so the output size is known up
+    // front and the kernels store hit positions only -- no overrun slack.
+    out.resize(eligibleCount_);
+    std::size_t cnt;
+    if (counterWidth_ == 1) {
+      cnt = (tier_ == SimdTier::Avx512) ? collectEligibleU8Avx512(pending8_.data(), n, out.data())
+                                        : collectEligibleU8Avx2(pending8_.data(), n, out.data());
+    } else {
+      cnt = (tier_ == SimdTier::Avx512) ? collectEligibleU16Avx512(pending16_.data(), n, out.data())
+                                        : collectEligibleU16Avx2(pending16_.data(), n, out.data());
+    }
+    (void)cnt;
+    return;
+  }
+#endif
   out.clear();
   out.reserve(eligibleCount_);
-  for (NodeId v = 0; v < g_->numNodes(); ++v)
-    if (eligible_[v]) out.push_back(v);
+  switch (counterWidth_) {
+    case 1:
+      for (std::size_t v = 0; v < n; ++v) {
+        if (pending8_[v] == 0) out.push_back(static_cast<NodeId>(v));
+      }
+      break;
+    case 2:
+      for (std::size_t v = 0; v < n; ++v) {
+        if (pending16_[v] == 0) out.push_back(static_cast<NodeId>(v));
+      }
+      break;
+    default:
+      for (std::size_t v = 0; v < n; ++v) {
+        if (pending32_[v] == 0) out.push_back(static_cast<NodeId>(v));
+      }
+      break;
+  }
 }
 
 std::vector<NodeId> EligibilityTracker::execute(NodeId v) {
@@ -44,23 +367,39 @@ std::vector<NodeId> EligibilityTracker::execute(NodeId v) {
   return packet;
 }
 
-void EligibilityTracker::executeInto(NodeId v, std::vector<NodeId>& out) {
-  if (v >= g_->numNodes() || !eligible_[v]) {
-    throw std::logic_error("EligibilityTracker: node " + std::to_string(v) +
-                           " is not ELIGIBLE");
+void EligibilityTracker::throwNotEligible(NodeId v) const {
+  throw std::logic_error("EligibilityTracker: node " + std::to_string(v) +
+                         " is not ELIGIBLE");
+}
+
+std::size_t EligibilityTracker::scatterDenseDispatch(NodeId first, std::size_t deg,
+                                                     NodeId* dst) {
+#if ICSCHED_ELIG_SIMD
+  if (counterWidth_ == 1) {
+    return (tier_ == SimdTier::Avx512)
+               ? scatterDenseU8Avx512(pending8_.data(), first, deg, dst)
+               : scatterDenseU8Avx2(pending8_.data(), first, deg, dst);
   }
-  out.clear();
-  eligible_[v] = false;
-  executed_[v] = true;
-  --eligibleCount_;
-  ++executedCount_;
-  for (NodeId c : g_->children(v)) {
-    if (--pendingParents_[c] == 0) {
-      eligible_[c] = true;
-      ++eligibleCount_;
-      out.push_back(c);
+  return (tier_ == SimdTier::Avx512)
+             ? scatterDenseU16Avx512(pending16_.data(), first, deg, dst)
+             : scatterDenseU16Avx2(pending16_.data(), first, deg, dst);
+#else
+  // Non-x86 builds never resolve a vector tier, so this is unreachable; the
+  // scalar fallback keeps the function total anyway.
+  std::size_t cnt = 0;
+  if (counterWidth_ == 1) {
+    for (std::size_t i = 0; i < deg; ++i) {
+      const NodeId c = first + static_cast<NodeId>(i);
+      if (--pending8_[c] == 0) dst[cnt++] = c;
+    }
+  } else {
+    for (std::size_t i = 0; i < deg; ++i) {
+      const NodeId c = first + static_cast<NodeId>(i);
+      if (--pending16_[c] == 0) dst[cnt++] = c;
     }
   }
+  return cnt;
+#endif
 }
 
 namespace {

@@ -9,17 +9,46 @@
 /// been executed.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/dag.hpp"
 #include "core/schedule.hpp"
+#include "core/simd_dispatch.hpp"
 
 namespace icsched {
 
 /// Incremental ELIGIBLE-set tracker for one execution of a dag.
 ///
+/// This is the simulator's per-event hot path, laid out for the vectorized
+/// packet scatter (see DESIGN.md "Multicore scale-out & SIMD kernels"). The
+/// whole per-node state is ONE packed counter array:
+///
+///   - pending[v] > 0  : v still awaits that many parents;
+///   - pending[v] == 0 : v is ELIGIBLE (all parents executed, v is not);
+///   - pending[v] == all-ones sentinel : v has been executed.
+///
+/// The counter is packed to the narrowest width whose sentinel still clears
+/// the dag's maximum in-degree (u8 / u16 / u32), so one cache line carries
+/// 64 nodes of state and there are no separate flag arrays to touch.
+/// Executing a node is a sentinel store plus one decrement per child; a
+/// decrement can never touch an executed node's sentinel, because every
+/// parent executes exactly once and a node only executes after its counter
+/// hits zero.
+///
+/// executeInto() walks the dag's CSR children range, and when a node's
+/// children form a dense ascending id run of fan-out >= kDenseMinDegree the
+/// walk drops into a SIMD kernel: 32 (AVX2) or 64 (AVX-512) counters
+/// decremented and zero-tested per step, the hit mask scattered into the
+/// packet in bit order -- which is exactly the scalar walk's CSR order, so
+/// every tier produces bit-identical packets and profiles.
+///
+/// The dispatch tier is resolved from core/simd_dispatch.hpp once per
+/// reset()/rebind() (not per event); tests that force a tier via
+/// ScopedSimdTier construct or reset the tracker inside the scope.
+///
 /// Complexity: executing all nodes costs O(V + E) total; reset() is an O(V)
-/// copy of the frozen dag's cached in-degree array (no adjacency walk).
+/// copy of the packed counter array (no adjacency walk, no flag fills).
 class EligibilityTracker {
  public:
   explicit EligibilityTracker(const Dag& g);
@@ -27,8 +56,8 @@ class EligibilityTracker {
   /// Number of ELIGIBLE (unexecuted, all-parents-executed) nodes now.
   [[nodiscard]] std::size_t eligibleCount() const { return eligibleCount_; }
 
-  [[nodiscard]] bool isEligible(NodeId v) const { return eligible_[v]; }
-  [[nodiscard]] bool isExecuted(NodeId v) const { return executed_[v]; }
+  [[nodiscard]] bool isEligible(NodeId v) const { return pendingValue(v) == 0; }
+  [[nodiscard]] bool isExecuted(NodeId v) const { return pendingValue(v) == sentinel(); }
   [[nodiscard]] std::size_t executedCount() const { return executedCount_; }
 
   /// All currently ELIGIBLE nodes, in increasing id order.
@@ -36,16 +65,21 @@ class EligibilityTracker {
 
   /// Allocation-free variant of eligibleNodes(): clears \p out and fills it
   /// with the ELIGIBLE nodes in increasing id order, reusing its capacity.
+  /// SIMD under the dispatch layer: the packed counter array is zero-scanned
+  /// 32/64 bytes per step on the vector tiers.
   void eligibleNodesInto(std::vector<NodeId>& out) const;
 
   /// Executes \p v and returns the "packet" of nodes this execution rendered
-  /// ELIGIBLE (the P_j of Section 2.3.2), in increasing id order.
+  /// ELIGIBLE (the P_j of Section 2.3.2), in CSR children order (increasing
+  /// id order for every dag this library builds).
   /// \throws std::logic_error if \p v is not ELIGIBLE.
   std::vector<NodeId> execute(NodeId v);
 
   /// Allocation-free variant of execute() for hot loops (the simulator's
   /// event path): clears \p out and fills it with the packet, reusing the
-  /// caller's buffer capacity instead of returning a fresh vector.
+  /// caller's buffer capacity instead of returning a fresh vector. Defined
+  /// inline below the class so the event loop absorbs it -- a per-event
+  /// cross-TU call is measurable at this path's nanosecond budget.
   /// \throws std::logic_error if \p v is not ELIGIBLE.
   void executeInto(NodeId v, std::vector<NodeId>& out);
 
@@ -56,14 +90,134 @@ class EligibilityTracker {
   /// capacity (for engines that recycle one tracker across many dags).
   void rebind(const Dag& g);
 
+  /// The packed width of the remaining-parent counters for the bound dag:
+  /// 1, 2 or 4 bytes (exposed for the layout tests and the scatter bench).
+  /// Width w holds in-degrees up to 2^(8w) - 2; the all-ones value is the
+  /// executed sentinel.
+  [[nodiscard]] unsigned counterWidthBytes() const { return counterWidth_; }
+
  private:
+  /// Precomputes the packed counters and dense-children table for the bound
+  /// dag, then reset()s.
+  void bindStatic();
+
+  /// Cold out-of-line throw for executeInto's precondition, keeping the
+  /// inlined hot path free of string construction.
+  [[noreturn]] void throwNotEligible(NodeId v) const;
+
+  /// Out-of-line dense-run SIMD scatter (tier and counter width already
+  /// checked by the caller): decrements the packed counters of the child
+  /// range [first, first + deg), writes newly-eligible ids to \p dst in
+  /// ascending order and returns how many. Defined in the .cpp next to the
+  /// target-attributed kernels.
+  std::size_t scatterDenseDispatch(NodeId first, std::size_t deg, NodeId* dst);
+
+  template <typename Counter>
+  void executeIntoT(NodeId v, std::vector<Counter>& pending, std::vector<NodeId>& out);
+
+  [[nodiscard]] std::uint32_t pendingValue(NodeId v) const {
+    switch (counterWidth_) {
+      case 1:
+        return pending8_[v];
+      case 2:
+        return pending16_[v];
+      default:
+        return pending32_[v];
+    }
+  }
+
+  [[nodiscard]] std::uint32_t sentinel() const {
+    switch (counterWidth_) {
+      case 1:
+        return 0xFFu;
+      case 2:
+        return 0xFFFFu;
+      default:
+        return 0xFFFFFFFFu;
+    }
+  }
+
   const Dag* g_;
-  std::vector<std::uint32_t> pendingParents_;
-  std::vector<bool> eligible_;
-  std::vector<bool> executed_;
+
+  /// Packed per-node state (see the class comment): exactly one of these is
+  /// active (counterWidth_ selects it). init8_/init16_ hold the packed
+  /// in-degree image so reset() is a flat copy; the u32 fallback copies
+  /// straight from the dag's cached in-degree array.
+  std::vector<std::uint8_t> pending8_, init8_;
+  std::vector<std::uint16_t> pending16_, init16_;
+  std::vector<std::uint32_t> pending32_;
+  unsigned counterWidth_ = 4;
+
+  /// denseFirstChild_[v] = children(v).front() when children(v) is the
+  /// consecutive ascending run [first, first + outDegree(v)) -- the layout
+  /// the SIMD scatter requires -- else kNoDense. Precomputed at rebind.
+  /// Only consulted for fan-outs >= kDenseMinDegree: below that a vector
+  /// kernel is all tail anyway, and skipping the table load keeps the
+  /// narrow-degree event path one cache line leaner.
+  static constexpr NodeId kNoDense = static_cast<NodeId>(-1);
+  static constexpr std::size_t kDenseMinDegree = 16;
+  std::vector<NodeId> denseFirstChild_;
+
+  /// Dispatch tier resolved at reset()/rebind() time.
+  SimdTier tier_ = SimdTier::Scalar;
+
   std::size_t eligibleCount_ = 0;
   std::size_t executedCount_ = 0;
 };
+
+template <typename Counter>
+inline void EligibilityTracker::executeIntoT(NodeId v, std::vector<Counter>& pending,
+                                             std::vector<NodeId>& out) {
+  // pending[v] != 0 rejects both not-yet-eligible nodes (> 0) and executed
+  // ones (the sentinel), so the whole precondition is one load.
+  if (v >= g_->numNodes() || pending[v] != 0) throwNotEligible(v);
+  pending[v] = static_cast<Counter>(-1);
+  --eligibleCount_;
+  ++executedCount_;
+  const std::span<const NodeId> kids = g_->children(v);
+  const std::size_t deg = kids.size();
+  if constexpr (sizeof(Counter) <= 2) {
+    // Degree gate first: narrow fan-outs -- the common event in every paper
+    // family -- never consult denseFirstChild_, so they pay no extra cache
+    // line for the table, and the vector kernels only run where their width
+    // actually covers the child range.
+    if (deg >= kDenseMinDegree && tier_ != SimdTier::Scalar &&
+        denseFirstChild_[v] != kNoDense) {
+      out.resize(deg);
+      const std::size_t cnt = scatterDenseDispatch(denseFirstChild_[v], deg, out.data());
+      out.resize(cnt);
+      eligibleCount_ += cnt;
+      return;
+    }
+  }
+  out.clear();
+  std::size_t cnt = 0;
+  Counter* p = pending.data();
+  for (std::size_t i = 0; i < deg; ++i) {
+    const NodeId c = kids[i];
+    const Counter left = static_cast<Counter>(p[c] - 1);
+    p[c] = left;
+    if (left == 0) {
+      out.push_back(c);
+      ++cnt;
+    }
+  }
+  eligibleCount_ += cnt;
+}
+
+inline void EligibilityTracker::executeInto(NodeId v, std::vector<NodeId>& out) {
+  switch (counterWidth_) {
+    case 1:
+      executeIntoT(v, pending8_, out);
+      break;
+    case 2:
+      executeIntoT(v, pending16_, out);
+      break;
+    default:
+      executeIntoT(v, pending32_, out);
+      break;
+  }
+}
 
 /// The eligibility profile of schedule \p s on dag \p g:
 /// profile[t] = number of ELIGIBLE nodes after the first t executions,

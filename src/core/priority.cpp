@@ -36,8 +36,14 @@ bool hasPriorityProfilesReference(const std::vector<std::size_t>& e1,
 }
 
 bool isConcaveProfile(const std::vector<std::size_t>& e) {
-  if (activeSimdTier() == SimdTier::Avx2) return detail::isConcaveAvx2(e);
-  return detail::isConcaveScalar(e);
+  switch (activeSimdTier()) {
+    case SimdTier::Avx512:
+      return detail::isConcaveAvx512(e);
+    case SimdTier::Avx2:
+      return detail::isConcaveAvx2(e);
+    default:
+      return detail::isConcaveScalar(e);
+  }
 }
 
 bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<std::size_t>& e2) {
@@ -45,10 +51,16 @@ bool hasPriorityProfiles(const std::vector<std::size_t>& e1, const std::vector<s
     throw std::invalid_argument("hasPriorityProfiles: profiles must include x = 0");
   }
   // Runtime CPU dispatch (see core/simd_dispatch.hpp): same concavity gate
-  // and kernel structure on both tiers, verdicts bit-identical to
-  // hasPriorityProfilesReference either way.
-  if (activeSimdTier() == SimdTier::Avx2) return detail::hasPriorityProfilesAvx2(e1, e2);
-  return detail::hasPriorityProfilesScalar(e1, e2);
+  // and kernel structure on every tier, verdicts bit-identical to
+  // hasPriorityProfilesReference regardless.
+  switch (activeSimdTier()) {
+    case SimdTier::Avx512:
+      return detail::hasPriorityProfilesAvx512(e1, e2);
+    case SimdTier::Avx2:
+      return detail::hasPriorityProfilesAvx2(e1, e2);
+    default:
+      return detail::hasPriorityProfilesScalar(e1, e2);
+  }
 }
 
 bool hasPriority(const ScheduledDag& g1, const ScheduledDag& g2) {

@@ -6,9 +6,11 @@
 
 #if defined(__x86_64__) || defined(_M_X64)
 #define ICSCHED_AVX2_BUILD 1
+#define ICSCHED_AVX512_BUILD 1
 #include <immintrin.h>
 #else
 #define ICSCHED_AVX2_BUILD 0
+#define ICSCHED_AVX512_BUILD 0
 #endif
 
 namespace icsched::detail {
@@ -376,5 +378,208 @@ bool hasPriorityProfilesAvx2(const std::vector<std::size_t>&,
 }
 
 #endif  // ICSCHED_AVX2_BUILD
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels
+// ---------------------------------------------------------------------------
+
+bool avx512KernelsCompiled() { return ICSCHED_AVX512_BUILD != 0; }
+
+#if ICSCHED_AVX512_BUILD
+
+#define ICSCHED_TGT_AVX512 __attribute__((target("avx512f,avx512bw,avx512dq")))
+
+namespace {
+
+ICSCHED_TGT_AVX512 inline __m512i loadU64x8(const std::size_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+/// Shifts the 8 u64 lanes left by \p kLanes, filling with zeros:
+/// valign on the concatenation (x : zero) is an exact lane shift.
+template <int kLanes>
+ICSCHED_TGT_AVX512 inline __m512i shiftLanesLeft(__m512i x) {
+  return _mm512_alignr_epi64(x, _mm512_setzero_si512(), 8 - kLanes);
+}
+
+/// In-register inclusive prefix scan of 8 u64 lanes (wrapping adds):
+/// [a0..a7] -> [a0, a0+a1, ..., a0+...+a7]. Three shift-add rounds.
+ICSCHED_TGT_AVX512 inline __m512i inclusiveScan8(__m512i x) {
+  x = _mm512_add_epi64(x, shiftLanesLeft<1>(x));
+  x = _mm512_add_epi64(x, shiftLanesLeft<2>(x));
+  return _mm512_add_epi64(x, shiftLanesLeft<4>(x));
+}
+
+ICSCHED_TGT_AVX512 inline __m512i broadcastLane7(__m512i x) {
+  return _mm512_permutexvar_epi64(_mm512_set1_epi64(7), x);
+}
+
+/// Reverses the 8 u64 lanes: [a0..a7] -> [a7..a0].
+ICSCHED_TGT_AVX512 inline __m512i reverseLanes8(__m512i x) {
+  return _mm512_permutexvar_epi64(_mm512_setr_epi64(7, 6, 5, 4, 3, 2, 1, 0), x);
+}
+
+/// 8-lane version of the concave path's per-segment violation check; same
+/// contract as the AVX2 concaveSegmentViolates. AVX-512 compares unsigned
+/// u64 natively (no sign-bias flip), which is exactly the scalar reference's
+/// wrapped size_t comparison.
+ICSCHED_TGT_AVX512 bool concaveSegmentViolates512(const std::size_t* merged,
+                                                  std::size_t tBegin, std::size_t tEnd,
+                                                  const std::size_t* seg, std::size_t addend,
+                                                  std::size_t& running) {
+  if (tEnd < tBegin) return false;
+  const __m512i vAdd = _mm512_set1_epi64(static_cast<long long>(addend));
+  std::size_t t = tBegin;
+  __m512i vRun = _mm512_set1_epi64(static_cast<long long>(running));
+  for (; t + 7 <= tEnd; t += 8) {
+    const __m512i diffs = loadU64x8(merged + (t - 1));
+    const __m512i pref = inclusiveScan8(diffs);
+    const __m512i m = _mm512_add_epi64(vRun, pref);
+    const __m512i g = _mm512_add_epi64(loadU64x8(seg + (t - tBegin)), vAdd);
+    if (_mm512_cmpgt_epu64_mask(m, g) != 0) return true;
+    vRun = broadcastLane7(m);
+  }
+  running = static_cast<std::size_t>(_mm_cvtsi128_si64(_mm512_castsi512_si128(vRun)));
+  for (; t <= tEnd; ++t) {
+    running += merged[t - 1];
+    if (running > seg[t - tBegin] + addend) return true;
+  }
+  return false;
+}
+
+/// Thread-local SoA scratch for the AVX-512 concave kernel's merged
+/// difference sequence (separate from the AVX2 scratch only by name; both
+/// stay allocation-free after warm-up under the thread pool).
+std::vector<std::size_t>& mergedScratch512() {
+  thread_local std::vector<std::size_t> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+ICSCHED_TGT_AVX512 bool isConcaveAvx512(const std::vector<std::size_t>& e) {
+  const std::size_t n = e.size();
+  if (n < 3) return true;
+  const std::size_t* p = e.data();
+  std::size_t i = 2;
+  for (; i + 7 < n; i += 8) {
+    // lanes k: e[i+k] + e[i+k-2] > 2 * e[i+k-1]  ->  not concave.
+    const __m512i a = loadU64x8(p + i - 2);
+    const __m512i b = loadU64x8(p + i - 1);
+    const __m512i c = loadU64x8(p + i);
+    const __m512i lhs = _mm512_add_epi64(c, a);
+    const __m512i rhs = _mm512_add_epi64(b, b);
+    if (_mm512_cmpgt_epu64_mask(lhs, rhs) != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (e[i] + e[i - 2] > 2 * e[i - 1]) return false;
+  return true;
+}
+
+ICSCHED_TGT_AVX512 bool priorityConcaveAvx512(const std::vector<std::size_t>& e1,
+                                              const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  const std::size_t total = n1 + n2;
+  if (total == 0) return true;
+
+  // Scalar two-pointer merge of the two nonincreasing difference sequences
+  // into the SoA scratch (same tie-break as the scalar kernel: e1 first).
+  std::vector<std::size_t>& m = mergedScratch512();
+  m.resize(total);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (std::size_t t = 0; t < total; ++t) {
+    const bool canI = i < n1;
+    const bool canJ = j < n2;
+    const long long di =
+        canI ? static_cast<long long>(e1[i + 1]) - static_cast<long long>(e1[i]) : 0;
+    const long long dj =
+        canJ ? static_cast<long long>(e2[j + 1]) - static_cast<long long>(e2[j]) : 0;
+    if (canI && (!canJ || di >= dj)) {
+      m[t] = e1[i + 1] - e1[i];
+      ++i;
+    } else {
+      m[t] = e2[j + 1] - e2[j];
+      ++j;
+    }
+  }
+
+  // M(t) <= g(t) for every t, in the same two contiguous g segments as the
+  // scalar and AVX2 kernels.
+  std::size_t running = e1[0] + e2[0];
+  if (concaveSegmentViolates512(m.data(), 1, n1, e1.data() + 1, e2[0], running)) return false;
+  if (concaveSegmentViolates512(m.data(), n1 + 1, total, e2.data() + 1, e1[n1], running)) {
+    return false;
+  }
+  return true;
+}
+
+ICSCHED_TGT_AVX512 bool priorityScanAvx512(const std::vector<std::size_t>& e1,
+                                           const std::vector<std::size_t>& e2) {
+  const std::size_t n1 = e1.size() - 1;
+  const std::size_t n2 = e2.size() - 1;
+  WindowMax w1(e1);
+  WindowMax w2(e2);
+  for (std::size_t t = 0; t <= n1 + n2; ++t) {
+    const std::size_t xLo = t > n2 ? t - n2 : 0;
+    const std::size_t xHi = std::min(n1, t);
+    const std::size_t yLo = t > n1 ? t - n1 : 0;
+    const std::size_t yHi = std::min(n2, t);
+    w1.pushUpTo(xHi);
+    w1.dropBelow(xLo);
+    w2.pushUpTo(yHi);
+    w2.dropBelow(yLo);
+    const std::size_t g = greedySplit(e1, e2, n1, t);
+    // Overflow-guarded prune, same as the scalar kernel.
+    const std::size_t m1 = w1.max();
+    const std::size_t m2 = w2.max();
+    if (m2 <= g && m1 <= g - m2) continue;
+    // Rescue scan of a suspicious diagonal: e1 ascending from x, e2
+    // descending from t-x (a reversed unaligned load). x + 7 <= xHi <= t
+    // guarantees t - x - 7 never underflows.
+    const __m512i vG = _mm512_set1_epi64(static_cast<long long>(g));
+    std::size_t x = xLo;
+    for (; x + 7 <= xHi; x += 8) {
+      const __m512i a = loadU64x8(e1.data() + x);
+      const __m512i b = reverseLanes8(loadU64x8(e2.data() + (t - x - 7)));
+      const __m512i sum = _mm512_add_epi64(a, b);
+      if (_mm512_cmpgt_epu64_mask(sum, vG) != 0) return false;
+    }
+    for (; x <= xHi; ++x)
+      if (e1[x] + e2[t - x] > g) return false;
+  }
+  return true;
+}
+
+bool hasPriorityProfilesAvx512(const std::vector<std::size_t>& e1,
+                               const std::vector<std::size_t>& e2) {
+  if (isConcaveAvx512(e1) && isConcaveAvx512(e2) && sumsCannotWrap(e1, e2)) {
+    return priorityConcaveAvx512(e1, e2);
+  }
+  return priorityScanAvx512(e1, e2);
+}
+
+#else  // !ICSCHED_AVX512_BUILD
+
+namespace {
+[[noreturn]] void noAvx512() {
+  throw std::logic_error("AVX-512 priority kernels are not compiled into this binary");
+}
+}  // namespace
+
+bool isConcaveAvx512(const std::vector<std::size_t>&) { noAvx512(); }
+bool priorityConcaveAvx512(const std::vector<std::size_t>&, const std::vector<std::size_t>&) {
+  noAvx512();
+}
+bool priorityScanAvx512(const std::vector<std::size_t>&, const std::vector<std::size_t>&) {
+  noAvx512();
+}
+bool hasPriorityProfilesAvx512(const std::vector<std::size_t>&,
+                               const std::vector<std::size_t>&) {
+  noAvx512();
+}
+
+#endif  // ICSCHED_AVX512_BUILD
 
 }  // namespace icsched::detail

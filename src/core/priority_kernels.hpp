@@ -1,13 +1,13 @@
 #pragma once
 /// \file priority_kernels.hpp
-/// \brief The ▷-check compute kernels, in scalar and AVX2 builds.
+/// \brief The ▷-check compute kernels, in scalar, AVX2 and AVX-512 builds.
 ///
 /// Internal header: core/priority.cpp dispatches between these through
 /// core/simd_dispatch.hpp; the SimdPriority tests and bench_sim_batch call
-/// the tier-specific entry points directly to force both paths over the same
+/// the tier-specific entry points directly to force every path over the same
 /// inputs. Public callers use hasPriorityProfiles() / isConcaveProfile().
 ///
-/// Three kernels, each in both builds, each bit-identical in verdict:
+/// Three kernels, each in every build, each bit-identical in verdict:
 ///
 ///   1. concavity check -- nonincreasing first differences, the O(n) gate in
 ///      front of the concave fast path. AVX2: 4 lanes of
@@ -25,8 +25,16 @@
 ///      kernel; only the rescue scan of a suspicious diagonal is vectorized
 ///      (e1 ascending against e2 descending via a lane-reversing permute).
 ///
-/// All AVX2 arithmetic is wrapping u64 adds plus bias-flipped signed
-/// compares, i.e. exactly the size_t semantics of the scalar reference --
+/// The AVX-512 build follows the same structure at twice the width: 8×u64
+/// lanes, a 3-step in-register inclusive scan, native unsigned u64 compare
+/// masks (no bias trick needed -- _mm512_cmpgt_epu64_mask is exact), and a
+/// lane-reversing permute for the rescue rescan. The overflow-guarded prune
+/// and the sumsCannotWrap gate in front of the concave path are shared
+/// verbatim across all three tiers.
+///
+/// All AVX2/AVX-512 arithmetic is wrapping u64 adds plus exact unsigned
+/// compares (bias-flipped signed compares on AVX2, native mask compares on
+/// AVX-512), i.e. exactly the size_t semantics of the scalar reference --
 /// verdicts agree for every input, not just realistic profile magnitudes.
 
 #include <cstddef>
@@ -61,5 +69,22 @@ namespace icsched::detail {
 /// Whole ▷-check on the AVX2 tier.
 [[nodiscard]] bool hasPriorityProfilesAvx2(const std::vector<std::size_t>& e1,
                                            const std::vector<std::size_t>& e2);
+
+/// True when this translation unit was built with the AVX-512 kernels
+/// (x86-64 target). Runtime CPU support is cpuSupportsAvx512().
+[[nodiscard]] bool avx512KernelsCompiled();
+
+// ---- AVX-512 kernels ----
+// Preconditions: avx512KernelsCompiled() and the CPU supports AVX-512 F+BW+DQ
+// (callers go through simd_dispatch); calling them otherwise throws
+// std::logic_error from the stub build.
+[[nodiscard]] bool isConcaveAvx512(const std::vector<std::size_t>& e);
+[[nodiscard]] bool priorityConcaveAvx512(const std::vector<std::size_t>& e1,
+                                         const std::vector<std::size_t>& e2);
+[[nodiscard]] bool priorityScanAvx512(const std::vector<std::size_t>& e1,
+                                      const std::vector<std::size_t>& e2);
+/// Whole ▷-check on the AVX-512 tier.
+[[nodiscard]] bool hasPriorityProfilesAvx512(const std::vector<std::size_t>& e1,
+                                             const std::vector<std::size_t>& e2);
 
 }  // namespace icsched::detail

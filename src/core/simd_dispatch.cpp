@@ -9,9 +9,9 @@ namespace icsched {
 namespace {
 
 #if defined(__x86_64__) || defined(_M_X64)
-constexpr bool kHasAvx2Build = true;
+constexpr bool kHasVectorBuild = true;
 #else
-constexpr bool kHasAvx2Build = false;
+constexpr bool kHasVectorBuild = false;
 #endif
 
 bool detectAvx2() {
@@ -22,18 +22,45 @@ bool detectAvx2() {
 #endif
 }
 
-/// Resolves the env/CPU default once. ICSCHED_SIMD=avx2 on a CPU without
-/// AVX2 degrades to Scalar with no error: the env var is a deployment knob,
-/// unlike the programmatic setSimdTier() used by tests, which throws.
+bool detectAvx512() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // The kernels use 512-bit u64 lanes (F), byte compares/subtracts for the
+  // eligibility scatter (BW), and u64 multiply-free mask ops (DQ). All three
+  // ship together on every AVX-512 server part, but each is probed anyway so
+  // a hypothetical F-only CPU degrades to AVX2 instead of faulting.
+  return __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Test-only capability overrides: -1 = real detection.
+std::atomic<int> g_avx2Override{-1};
+std::atomic<int> g_avx512Override{-1};
+
+/// Resolves the env/CPU default once. ICSCHED_SIMD naming a tier the CPU
+/// lacks degrades to the widest supported tier with no error (the env var is
+/// a deployment knob, unlike the programmatic setSimdTier() used by tests,
+/// which throws) -- but an unrecognized value is always an error.
 SimdTier resolveDefault() {
   const char* env = std::getenv("ICSCHED_SIMD");
-  if (env != nullptr) {
-    const std::string v(env);
-    if (v == "scalar") return SimdTier::Scalar;
-    if (v == "avx2") return cpuSupportsAvx2() ? SimdTier::Avx2 : SimdTier::Scalar;
-    // "auto" or anything unrecognized falls through to detection.
+  SimdTier wanted = SimdTier::Auto;
+  if (env != nullptr) wanted = simdTierFromEnvValue(env);
+  const SimdTier best = cpuSupportsAvx512()
+                            ? SimdTier::Avx512
+                            : (cpuSupportsAvx2() ? SimdTier::Avx2 : SimdTier::Scalar);
+  switch (wanted) {
+    case SimdTier::Scalar:
+      return SimdTier::Scalar;
+    case SimdTier::Avx2:
+      return cpuSupportsAvx2() ? SimdTier::Avx2 : SimdTier::Scalar;
+    case SimdTier::Avx512:
+      return best;
+    case SimdTier::Auto:
+      return best;
   }
-  return cpuSupportsAvx2() ? SimdTier::Avx2 : SimdTier::Scalar;
+  return best;
 }
 
 /// Auto means "not forced": activeSimdTier() substitutes the resolved
@@ -43,7 +70,16 @@ std::atomic<SimdTier> g_forced{SimdTier::Auto};
 }  // namespace
 
 bool cpuSupportsAvx2() {
-  static const bool supported = kHasAvx2Build && detectAvx2();
+  const int o = g_avx2Override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool supported = kHasVectorBuild && detectAvx2();
+  return supported;
+}
+
+bool cpuSupportsAvx512() {
+  const int o = g_avx512Override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool supported = kHasVectorBuild && detectAvx512();
   return supported;
 }
 
@@ -55,8 +91,13 @@ SimdTier activeSimdTier() {
 }
 
 void setSimdTier(SimdTier tier) {
+  // Validate before the store: a rejected request must leave the active
+  // tier exactly as it was (the error-path tests pin this).
   if (tier == SimdTier::Avx2 && !cpuSupportsAvx2()) {
     throw std::invalid_argument("setSimdTier: AVX2 is not available on this CPU/build");
+  }
+  if (tier == SimdTier::Avx512 && !cpuSupportsAvx512()) {
+    throw std::invalid_argument("setSimdTier: AVX-512 is not available on this CPU/build");
   }
   g_forced.store(tier, std::memory_order_relaxed);
 }
@@ -69,8 +110,19 @@ const char* simdTierName(SimdTier tier) {
       return "scalar";
     case SimdTier::Avx2:
       return "avx2";
+    case SimdTier::Avx512:
+      return "avx512";
   }
   return "unknown";
+}
+
+SimdTier simdTierFromEnvValue(const std::string& value) {
+  if (value == "scalar") return SimdTier::Scalar;
+  if (value == "avx2") return SimdTier::Avx2;
+  if (value == "avx512") return SimdTier::Avx512;
+  if (value == "auto") return SimdTier::Auto;
+  throw std::invalid_argument("ICSCHED_SIMD: unrecognized value '" + value +
+                              "' (expected scalar, avx2, avx512 or auto)");
 }
 
 ScopedSimdTier::ScopedSimdTier(SimdTier tier)
@@ -79,5 +131,14 @@ ScopedSimdTier::ScopedSimdTier(SimdTier tier)
 }
 
 ScopedSimdTier::~ScopedSimdTier() { g_forced.store(prev_, std::memory_order_relaxed); }
+
+namespace detail {
+
+void setCpuSupportOverrideForTest(int avx2, int avx512) {
+  g_avx2Override.store(avx2, std::memory_order_relaxed);
+  g_avx512Override.store(avx512, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 }  // namespace icsched

@@ -2,22 +2,27 @@
 /// \file simd_dispatch.hpp
 /// \brief Runtime CPU dispatch for the vectorized priority kernels.
 ///
-/// The ▷-check hot loops (core/priority_kernels.hpp) exist in two builds: a
-/// portable scalar form and an AVX2 form compiled with per-function target
-/// attributes, so one binary carries both and picks at runtime. The resolved
-/// tier is process-global:
+/// The ▷-check hot loops (core/priority_kernels.hpp) and the eligibility
+/// scatter (core/eligibility.hpp) exist in three builds: a portable scalar
+/// form, an AVX2 form, and an AVX-512 form compiled with per-function target
+/// attributes, so one binary carries all of them and picks at runtime. The
+/// resolved tier is process-global:
 ///
-///   - `auto` (the default): Avx2 when the CPU supports it (and the binary
-///     was compiled for an x86-64 target), else Scalar.
-///   - forced via `setSimdTier()` (the forced-dispatch tests drive both
+///   - `auto` (the default): the widest tier the CPU supports (Avx512 when
+///     the CPU reports AVX-512 F+BW+DQ, else Avx2, else Scalar).
+///   - forced via `setSimdTier()` (the forced-dispatch tests drive all
 ///     paths on the same inputs this way), or
 ///   - forced via the `ICSCHED_SIMD` environment variable
-///     (`scalar` | `avx2` | `auto`), read once at first resolution -- the
-///     sanitizer CI jobs pin `ICSCHED_SIMD=scalar` so the vector kernels
-///     never run uninstrumented-width loads under ASan/UBSan.
+///     (`scalar` | `avx2` | `avx512` | `auto`), read once at first
+///     resolution -- the sanitizer CI jobs pin `ICSCHED_SIMD=scalar` so the
+///     vector kernels never run uninstrumented-width loads under ASan/UBSan.
+///     Any other value is a configuration error and throws
+///     std::invalid_argument at first resolution: a garbage value silently
+///     meaning "auto" would hide typos like `avx521` in deployment configs.
 ///
-/// Every tier produces bit-identical verdicts (pinned by the SimdPriority
-/// fuzz suite); dispatch is a perf decision only, never a semantic one.
+/// Every tier produces bit-identical verdicts and bytes (pinned by the
+/// SimdPriority and Eligibility fuzz suites); dispatch is a perf decision
+/// only, never a semantic one.
 
 #include <string>
 
@@ -28,25 +33,40 @@ enum class SimdTier {
   Auto,
   /// Portable scalar kernels (the reference).
   Scalar,
-  /// AVX2 u64x4 kernels (x86-64 with AVX2 only).
+  /// AVX2 u64x4 / u8x32 kernels (x86-64 with AVX2 only).
   Avx2,
+  /// AVX-512 u64x8 / u8x64 kernels (x86-64 with AVX-512 F+BW+DQ only).
+  Avx512,
 };
 
 /// True when this binary carries AVX2 kernels AND the running CPU reports
 /// AVX2 support. Always false on non-x86-64 targets.
 [[nodiscard]] bool cpuSupportsAvx2();
 
+/// True when this binary carries AVX-512 kernels AND the running CPU reports
+/// the AVX-512 Foundation, Byte/Word and Doubleword/Quadword subsets the
+/// kernels use. Always false on non-x86-64 targets.
+[[nodiscard]] bool cpuSupportsAvx512();
+
 /// The tier the priority kernels will actually execute. Never returns Auto.
+/// \throws std::invalid_argument at first resolution when ICSCHED_SIMD holds
+/// an unrecognized value.
 [[nodiscard]] SimdTier activeSimdTier();
 
 /// Forces the dispatch tier (Auto restores env/CPU resolution). Requesting
-/// Avx2 on a CPU without it throws std::invalid_argument -- a forced tier
-/// must never silently fall back, or the forced-dispatch tests would pass
-/// while testing the wrong kernel.
+/// Avx2 or Avx512 on a CPU without it throws std::invalid_argument and
+/// leaves the active tier untouched -- a forced tier must never silently
+/// fall back, or the forced-dispatch tests would pass while testing the
+/// wrong kernel.
 void setSimdTier(SimdTier tier);
 
-/// "scalar" / "avx2" / "auto".
+/// "scalar" / "avx2" / "avx512" / "auto".
 [[nodiscard]] const char* simdTierName(SimdTier tier);
+
+/// Parses an ICSCHED_SIMD value. This is the exact parser the env resolution
+/// uses, exposed so its rejection behavior is testable without respawning:
+/// \throws std::invalid_argument on anything but scalar/avx2/avx512/auto.
+[[nodiscard]] SimdTier simdTierFromEnvValue(const std::string& value);
 
 /// RAII tier override for tests: forces \p tier, restores the previous
 /// setting on destruction.
@@ -60,5 +80,25 @@ class ScopedSimdTier {
  private:
   SimdTier prev_;
 };
+
+namespace detail {
+
+/// Test-only: overrides what cpuSupportsAvx2()/cpuSupportsAvx512() report
+/// (-1 restores real detection). Lets the setSimdTier() error paths run on
+/// machines that do support the tier. Never narrows what the kernels can
+/// execute -- it only changes the reported capability, so tests must restore
+/// it before running vector kernels. See ScopedCpuSupportOverride.
+void setCpuSupportOverrideForTest(int avx2, int avx512);
+
+/// RAII wrapper for setCpuSupportOverrideForTest.
+class ScopedCpuSupportOverride {
+ public:
+  ScopedCpuSupportOverride(int avx2, int avx512) { setCpuSupportOverrideForTest(avx2, avx512); }
+  ~ScopedCpuSupportOverride() { setCpuSupportOverrideForTest(-1, -1); }
+  ScopedCpuSupportOverride(const ScopedCpuSupportOverride&) = delete;
+  ScopedCpuSupportOverride& operator=(const ScopedCpuSupportOverride&) = delete;
+};
+
+}  // namespace detail
 
 }  // namespace icsched

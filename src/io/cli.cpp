@@ -19,6 +19,7 @@
 #include "families/trees.hpp"
 #include "io/dag_io.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/numa_topology.hpp"
 #include "sim/simulation.hpp"
 
 namespace icsched {
@@ -226,6 +227,8 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
   std::size_t trials = 1;
   std::size_t threads = 1;  // 0 = hardware concurrency (BatchRunner convention)
   std::size_t procs = 0;    // > 0: process-sharded sweep (runSharded)
+  NumaPolicy numaPolicy = NumaPolicy::None;
+  bool numaFlagSeen = false;
   std::string shardDir;
   std::string checkpointPath;
   std::string resumePath;
@@ -240,6 +243,17 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
       procs = parseSize(flag.substr(6), "procs");
     } else if (flag.rfind("shard_dir=", 0) == 0) {
       shardDir = flag.substr(10);
+    } else if (flag.rfind("numa=", 0) == 0) {
+      const std::string value = flag.substr(5);
+      if (value == "none") {
+        numaPolicy = NumaPolicy::None;
+      } else if (value == "roundrobin") {
+        numaPolicy = NumaPolicy::RoundRobin;
+      } else {
+        throw std::invalid_argument("simulate: numa= expects none or roundrobin, got '" +
+                                    value + "'");
+      }
+      numaFlagSeen = true;
     } else if (flag.rfind("rng=", 0) == 0) {
       cfg.rngTier = parseRngTier(flag.substr(4));
     } else if (flag.rfind("checkpoint=", 0) == 0) {
@@ -253,6 +267,10 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
     }
   }
   if (trials == 0) throw std::invalid_argument("simulate: trials must be >= 1");
+  if (numaFlagSeen && procs == 0) {
+    throw std::invalid_argument(
+        "simulate: numa= applies to process shards; combine it with procs=");
+  }
 
   const auto printResult = [&](const SimulationResult& r, const char* prefix) {
     out << prefix << "makespan=" << r.makespan << " idle=" << r.totalIdleTime
@@ -340,6 +358,12 @@ int cmdSimulate(const std::vector<std::string>& args, std::istream& in, std::ost
     shard.procs = procs;
     shard.journalDir =
         shardDir.empty() ? std::string("icsched_shards_") + args[2] : shardDir;
+    shard.numaPolicy = numaPolicy;
+    if (numaPolicy == NumaPolicy::RoundRobin) {
+      const NumaTopology topo = systemTopology();
+      out << "numa policy=roundrobin nodes=" << topo.numNodes()
+          << (topo.multiNode() ? "" : " (single node: placement is a no-op)") << "\n";
+    }
     reps = BatchRunner(threads).runSharded(spec, shard);
   } else {
     reps = BatchRunner(threads).run(spec);

@@ -1,5 +1,6 @@
 #include "sim/batch_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cerrno>
@@ -22,6 +23,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "recovery/journal.hpp"
+#include "sim/numa_topology.hpp"
 #include "sim/result_codec.hpp"
 
 namespace icsched {
@@ -199,8 +201,10 @@ std::vector<Replication> BatchRunner::run(const SweepSpec& spec) const {
   ClaimState claim;
   std::exception_ptr firstError;
   std::mutex errorMutex;
+  const std::size_t eventHint = eventCapacityHint(spec);
   auto workerBody = [&] {
     SimulationEngine engine;
+    engine.reserveEvents(eventHint);
     for (;;) {
       const std::size_t i = claim.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total || claim.failed.load(std::memory_order_relaxed)) return;
@@ -285,8 +289,10 @@ std::vector<Replication> BatchRunner::runJournaled(const SweepSpec& spec,
   const auto cancelled = [&journal] {
     return journal.cancel != nullptr && journal.cancel->load(std::memory_order_acquire);
   };
+  const std::size_t eventHint = eventCapacityHint(spec);
   auto workerBody = [&] {
     SimulationEngine engine;
+    engine.reserveEvents(eventHint);
     recovery::ByteWriter record;
     for (;;) {
       if (cancelled()) return;
@@ -344,6 +350,17 @@ std::string shardJournalPath(const std::string& dir, std::size_t procs, std::siz
          ".icsjrnl";
 }
 
+std::size_t eventCapacityHint(const SweepSpec& spec) {
+  std::size_t maxNodes = 0;
+  for (const SweepSpec::DagCase& d : spec.dags) {
+    if (d.dag != nullptr) maxNodes = std::max(maxNodes, d.dag->numNodes());
+  }
+  // Worst case per replication: one completion event per busy client, churn
+  // rejoin/departure events, plus timeout/speculation events bounded by the
+  // in-flight attempt count (itself bounded by nodes + clients).
+  return maxNodes + 4 * spec.base.numClients + 8;
+}
+
 namespace {
 
 /// The forked worker's whole life: run this rank's shard (replication index
@@ -354,6 +371,12 @@ namespace {
 int runShardWorker(const SweepSpec& spec, const ShardOptions& shard, std::size_t procs,
                    std::size_t rank, bool resume, std::size_t threads) noexcept {
   try {
+    // Pin before the first allocation so every buffer this worker touches is
+    // first-touched -- and therefore placed -- on its own node. A respawned
+    // rank re-pins to the same node (placement is a function of rank only).
+    if (shard.numaPolicy == NumaPolicy::RoundRobin) {
+      pinToNode(systemTopology(), rank);
+    }
     const std::size_t total = spec.numReplications();
     const std::uint64_t fp = shardFingerprint(spec, procs, rank);
     const std::string path = shardJournalPath(shard.journalDir, procs, rank);
@@ -386,8 +409,10 @@ int runShardWorker(const SweepSpec& spec, const ShardOptions& shard, std::size_t
     std::exception_ptr firstError;
     std::mutex errorMutex;
     std::mutex journalMutex;
+    const std::size_t eventHint = eventCapacityHint(spec);
     auto workerBody = [&] {
       SimulationEngine engine;
+      engine.reserveEvents(eventHint);
       recovery::ByteWriter record;
       for (;;) {
         const std::size_t k = claim.next.fetch_add(1, std::memory_order_relaxed);

@@ -144,6 +144,19 @@ class SweepCancelled : public std::runtime_error {
   SweepCancelled() : std::runtime_error("BatchRunner: sweep cancelled") {}
 };
 
+/// Placement policy for runSharded's forked workers. Placement is pure
+/// locality tuning: the merged results are byte-identical under every policy
+/// (and on single-node hosts every policy degrades to None).
+enum class NumaPolicy {
+  /// Leave workers wherever the kernel schedules them.
+  None,
+  /// Pin worker rank r to NUMA node (r % numNodes) via sched_setaffinity,
+  /// before the worker's first allocation so its engine buffers are
+  /// first-touched on its own node. Graceful no-op on single-node hosts and
+  /// non-Linux builds.
+  RoundRobin,
+};
+
 /// Process-sharded execution for BatchRunner::runSharded: the sweep is
 /// partitioned by replication index (index % procs == rank), one forked
 /// worker process per rank, each journaling its shard's completions to its
@@ -172,6 +185,9 @@ struct ShardOptions {
   std::size_t crashRank = static_cast<std::size_t>(-1);
   std::size_t crashAfterAppends = 0;
   bool crashMidRecord = false;
+  /// Worker placement across NUMA nodes (see NumaPolicy). Respawned workers
+  /// are re-pinned to their rank's node, so a crash never changes placement.
+  NumaPolicy numaPolicy = NumaPolicy::None;
 };
 
 /// The per-shard journal binding: rank and proc count folded over
@@ -183,6 +199,14 @@ struct ShardOptions {
 /// "<dir>/shard-<rank>-of-<procs>.icsjrnl".
 [[nodiscard]] std::string shardJournalPath(const std::string& dir, std::size_t procs,
                                            std::size_t rank);
+
+/// Upper bound on the pending-event count any replication of \p spec can
+/// reach: client completion/churn events plus one deferred/speculative event
+/// per node of the largest dag. BatchRunner workers pass this to
+/// SimulationEngine::reserveEvents once, so a sweep mixing dag sizes never
+/// regrows the heap when the claim loop hands an engine a bigger dag
+/// mid-run (the old per-run reserve only covered numClients + 8).
+[[nodiscard]] std::size_t eventCapacityHint(const SweepSpec& spec);
 
 /// Expands sweep specs and executes the replications, serially or on a
 /// thread pool. Stateless between run() calls; safe to reuse.

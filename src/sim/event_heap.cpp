@@ -5,6 +5,7 @@
 namespace icsched {
 
 void EventHeap::push(const SimEvent& ev) {
+  if (data_.size() == data_.capacity()) ++allocations_;
   data_.push_back(ev);
   siftUp(data_.size() - 1);
 }
@@ -38,6 +39,14 @@ void EventHeap::siftDown(std::size_t i) {
     if (first >= n) break;
     std::size_t best = first;
     const std::size_t last = std::min(first + kArity, n);
+    // Warm the next level's sibling group while this level's four events are
+    // compared: each group is two adjacent cache lines (4 x 32-byte events),
+    // and the descent almost always continues into one of them.
+    const std::size_t grandFirst = first * kArity + 1;
+    if (grandFirst < n) {
+      __builtin_prefetch(&data_[grandFirst]);
+      if (grandFirst + 2 < n) __builtin_prefetch(&data_[grandFirst + 2]);
+    }
     for (std::size_t c = first + 1; c < last; ++c) {
       if (data_[c].before(data_[best])) best = c;
     }

@@ -59,11 +59,17 @@ class EventHeap {
   [[nodiscard]] bool empty() const { return data_.empty(); }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
-  /// Pre-grows the backing array (capacity hint; never shrinks).
+  /// Pre-grows the backing array (capacity hint; never shrinks). Growth via
+  /// reserve() is deliberate pre-sizing and is not counted by allocations().
   void reserve(std::size_t n) { data_.reserve(n); }
 
   /// Drops every pending event, keeping the backing array's capacity.
   void clear() { data_.clear(); }
+
+  /// Number of organic (non-reserve) backing-array growths: pushes that
+  /// arrived with size() == capacity(). A correctly pre-sized engine shows 0
+  /// here after warm-up -- the BatchRunner capacity-hint tests pin that.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
 
   /// The earliest pending event. Precondition: !empty().
   [[nodiscard]] const SimEvent& top() const { return data_.front(); }
@@ -90,6 +96,7 @@ class EventHeap {
   void siftDown(std::size_t i);
 
   std::vector<SimEvent> data_;
+  std::uint64_t allocations_ = 0;
 };
 
 }  // namespace icsched

@@ -1,0 +1,147 @@
+#include "sim/numa_topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__linux__)
+#define ICSCHED_HAS_SCHED_AFFINITY 1
+#include <sched.h>
+#else
+#define ICSCHED_HAS_SCHED_AFFINITY 0
+#endif
+
+namespace icsched {
+
+namespace {
+
+/// Reads a small sysfs file into a string; empty optional-ish "" on failure
+/// (sysfs reads never block and these files are one line).
+std::string readSmallFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "re");
+  if (f == nullptr) return std::string();
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
+
+}  // namespace
+
+std::vector<int> parseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  // Trailing newline/whitespace from sysfs is tolerated; anything else isn't.
+  const auto skipTrailing = [&] {
+    while (i < n && (text[i] == '\n' || text[i] == '\r' || text[i] == ' ')) ++i;
+  };
+  const auto parseInt = [&]() -> int {
+    if (i >= n || std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      throw std::invalid_argument("parseCpuList: expected a cpu id in '" + text + "'");
+    }
+    long v = 0;
+    while (i < n && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      v = v * 10 + (text[i] - '0');
+      if (v > 1 << 20) throw std::invalid_argument("parseCpuList: cpu id out of range");
+      ++i;
+    }
+    return static_cast<int>(v);
+  };
+  skipTrailing();
+  if (i >= n) return cpus;  // empty list (memory-only node)
+  for (;;) {
+    const int lo = parseInt();
+    int hi = lo;
+    if (i < n && text[i] == '-') {
+      ++i;
+      hi = parseInt();
+      if (hi < lo) {
+        throw std::invalid_argument("parseCpuList: descending range in '" + text + "'");
+      }
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    skipTrailing();
+    if (i >= n) break;
+    if (text[i] != ',') {
+      throw std::invalid_argument("parseCpuList: unexpected character '" +
+                                  std::string(1, text[i]) + "' in '" + text + "'");
+    }
+    ++i;
+    skipTrailing();
+    if (i >= n) throw std::invalid_argument("parseCpuList: trailing comma in '" + text + "'");
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology parseTopology(const std::vector<std::pair<int, std::string>>& nodeCpuLists) {
+  NumaTopology topo;
+  for (const auto& [id, text] : nodeCpuLists) {
+    NumaNode node;
+    node.id = id;
+    node.cpus = parseCpuList(text);
+    if (!node.cpus.empty()) topo.nodes.push_back(std::move(node));
+  }
+  std::sort(topo.nodes.begin(), topo.nodes.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+  return topo;
+}
+
+NumaTopology systemTopology() {
+  std::vector<std::pair<int, std::string>> lists;
+#if defined(__linux__)
+  // Probe node0, node1, ... until the first gap: sysfs node ids are dense
+  // for online nodes, and a bounded probe avoids a directory-walk dependency.
+  for (int id = 0; id < 1024; ++id) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(id) + "/cpulist";
+    const std::string text = readSmallFile(path);
+    if (text.empty() && id > 0) break;
+    if (text.empty()) continue;  // node0 absent: fall through to the fallback
+    lists.emplace_back(id, text);
+  }
+#endif
+  NumaTopology topo;
+  try {
+    topo = parseTopology(lists);
+  } catch (const std::exception&) {
+    topo.nodes.clear();
+  }
+  if (topo.nodes.empty()) {
+    // Fallback: one node holding every cpu the runtime reports.
+    NumaNode all;
+    all.id = 0;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    all.cpus.reserve(hw);
+    for (unsigned c = 0; c < hw; ++c) all.cpus.push_back(static_cast<int>(c));
+    topo.nodes.push_back(std::move(all));
+  }
+  return topo;
+}
+
+bool pinToNode(const NumaTopology& topo, std::size_t nodeIndex) {
+  if (!topo.multiNode()) return false;
+#if ICSCHED_HAS_SCHED_AFFINITY
+  const NumaNode& node = topo.nodes[nodeIndex % topo.numNodes()];
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  bool any = false;
+  for (const int c : node.cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) {
+      CPU_SET(c, &mask);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+#else
+  (void)nodeIndex;
+  return false;
+#endif
+}
+
+}  // namespace icsched

@@ -1,0 +1,65 @@
+#pragma once
+/// \file numa_topology.hpp
+/// \brief Minimal NUMA topology discovery and worker pinning for runSharded.
+///
+/// BatchRunner's process shards are memory-bandwidth bound on large sweeps:
+/// every worker streams its own engine buffers (event heap, eligibility
+/// counters, result codec scratch). On a multi-socket host the default
+/// scheduler is free to migrate workers across nodes, turning those streams
+/// into remote-memory traffic. ShardOptions::numaPolicy == RoundRobin pins
+/// forked workers round-robin across the nodes reported by sysfs *before*
+/// they allocate, so every engine buffer is first-touched on the worker's
+/// own node.
+///
+/// Discovery reads /sys/devices/system/node/node<k>/cpulist (no libnuma
+/// dependency). On hosts without that tree -- non-Linux, or single-node
+/// kernels that omit it -- systemTopology() degrades to one node holding
+/// every cpu, and pinning becomes a graceful no-op: results are byte
+/// identical either way, placement only moves where the work runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icsched {
+
+/// One NUMA node: its id (the <k> of node<k>) and its online cpu ids.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The host's NUMA layout. `nodes` is sorted by id; every node listed has at
+/// least one cpu.
+struct NumaTopology {
+  std::vector<NumaNode> nodes;
+
+  [[nodiscard]] std::size_t numNodes() const { return nodes.size(); }
+  [[nodiscard]] bool multiNode() const { return nodes.size() > 1; }
+};
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into cpu ids, ascending.
+/// \throws std::invalid_argument on malformed input (garbage, empty ranges,
+/// or a range with hi < lo).
+[[nodiscard]] std::vector<int> parseCpuList(const std::string& text);
+
+/// Parses a whole topology from (node id, cpulist text) pairs -- the
+/// testable core of systemTopology(). Nodes with an empty cpu set (memory
+/// only nodes) are dropped; the result is sorted by node id.
+[[nodiscard]] NumaTopology parseTopology(
+    const std::vector<std::pair<int, std::string>>& nodeCpuLists);
+
+/// Reads the live topology from /sys/devices/system/node. Falls back to a
+/// single node 0 covering hardware_concurrency cpus when the tree is absent
+/// or unreadable (non-Linux, restricted containers). Never throws.
+[[nodiscard]] NumaTopology systemTopology();
+
+/// Restricts the calling process (and its future children) to the cpus of
+/// `topo.nodes[nodeIndex % topo.numNodes()]` via sched_setaffinity. A no-op
+/// returning false on single-node hosts, non-Linux builds, empty topologies,
+/// or when the kernel rejects the mask (e.g. cgroup cpuset restrictions);
+/// returns true when the affinity call succeeded. Placement never affects
+/// results -- only locality.
+bool pinToNode(const NumaTopology& topo, std::size_t nodeIndex);
+
+}  // namespace icsched

@@ -1407,6 +1407,12 @@ void SimulationEngine::restoreCheckpointWith(const std::string& path, const Dag&
   restoreWith(payload, g, icOptimal, config);
 }
 
+void SimulationEngine::reserveEvents(std::size_t n) { impl_->events.reserve(n); }
+
+std::uint64_t SimulationEngine::eventHeapAllocations() const {
+  return impl_->events.allocations();
+}
+
 SimulationResult simulate(const Dag& g, Scheduler& sched, const SimulationConfig& config) {
   SimulationEngine engine;
   return engine.run(g, sched, config);

@@ -210,6 +210,16 @@ class SimulationEngine {
   void restoreCheckpointWith(const std::string& path, const Dag& g,
                              const Schedule& icOptimal, const SimulationConfig& config);
 
+  /// Pre-sizes the pending-event heap (capacity hint; never shrinks). Batch
+  /// drivers call this once per worker with BatchRunner's eventCapacityHint
+  /// so sweeps mixing dag sizes never regrow the heap mid-run.
+  void reserveEvents(std::size_t n);
+
+  /// Organic (non-reserve) event-heap growths since this engine was built --
+  /// 0 after warm-up for a correctly pre-sized engine (see
+  /// EventHeap::allocations()).
+  [[nodiscard]] std::uint64_t eventHeapAllocations() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

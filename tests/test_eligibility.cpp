@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "core/building_blocks.hpp"
+#include "core/simd_dispatch.hpp"
 #include "families/mesh.hpp"
+#include "family_registry.hpp"
 
 namespace icsched {
 namespace {
@@ -108,6 +112,199 @@ TEST(EligibilityTest, DominatesIsPointwise) {
   EXPECT_TRUE(dominates({3, 2, 1}, {2, 2, 0}));
   EXPECT_FALSE(dominates({3, 2, 1}, {3, 3, 0}));
   EXPECT_THROW((void)dominates({1}, {1, 2}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter property tests: the packed-counter / SIMD EligibilityTracker must be
+// bit-identical to a naive u32 reference under every dispatch tier, for every
+// dag family and for random execution orders. The tracker samples the tier at
+// construction/reset, so each forced-tier tracker is built inside its
+// ScopedSimdTier.
+// ---------------------------------------------------------------------------
+
+/// The pre-vectorization tracker, restated as an in-test oracle: u32
+/// counters, CSR walk, ascending-id eligible listing.
+class OracleTracker {
+ public:
+  explicit OracleTracker(const Dag& g) : g_(&g) { reset(); }
+
+  void reset() {
+    pending_ = g_->inDegrees();
+    eligible_.assign(g_->numNodes(), 0);
+    executed_.assign(g_->numNodes(), 0);
+    eligibleCount_ = 0;
+    for (NodeId v = 0; v < g_->numNodes(); ++v)
+      if (pending_[v] == 0) {
+        eligible_[v] = 1;
+        ++eligibleCount_;
+      }
+  }
+
+  std::vector<NodeId> execute(NodeId v) {
+    EXPECT_TRUE(eligible_[v]);
+    eligible_[v] = 0;
+    executed_[v] = 1;
+    --eligibleCount_;
+    std::vector<NodeId> out;
+    for (NodeId c : g_->children(v))
+      if (--pending_[c] == 0) {
+        eligible_[c] = 1;
+        ++eligibleCount_;
+        out.push_back(c);
+      }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<NodeId> eligibleNodes() const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < g_->numNodes(); ++v)
+      if (eligible_[v]) out.push_back(v);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t eligibleCount() const { return eligibleCount_; }
+
+ private:
+  const Dag* g_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<char> eligible_, executed_;
+  std::size_t eligibleCount_ = 0;
+};
+
+std::vector<SimdTier> supportedTiers() {
+  std::vector<SimdTier> tiers{SimdTier::Scalar};
+  if (cpuSupportsAvx2()) tiers.push_back(SimdTier::Avx2);
+  if (cpuSupportsAvx512()) tiers.push_back(SimdTier::Avx512);
+  return tiers;
+}
+
+/// Replays one full random execution of \p dag under the forced \p tier,
+/// asserting every packet, eligible listing and count against the oracle.
+void expectTierMatchesOracle(const Dag& dag, SimdTier tier, std::uint64_t seed,
+                             const std::string& label) {
+  ScopedSimdTier forced(tier);
+  EligibilityTracker t(dag);  // constructed in-scope: samples the forced tier
+  OracleTracker o(dag);
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> packet{12345};  // stale content must be cleared
+  std::vector<NodeId> listed{54321};
+  while (o.eligibleCount() > 0) {
+    const std::vector<NodeId> frontier = o.eligibleNodes();
+    t.eligibleNodesInto(listed);
+    ASSERT_EQ(listed, frontier) << label << " tier=" << simdTierName(tier);
+    ASSERT_EQ(t.eligibleCount(), o.eligibleCount()) << label;
+    const NodeId v = frontier[std::uniform_int_distribution<std::size_t>(
+        0, frontier.size() - 1)(rng)];
+    const std::vector<NodeId> expect = o.execute(v);
+    t.executeInto(v, packet);
+    ASSERT_EQ(packet, expect)
+        << label << " tier=" << simdTierName(tier) << " executing node " << v;
+  }
+  t.eligibleNodesInto(listed);
+  EXPECT_TRUE(listed.empty()) << label;
+  EXPECT_EQ(t.executedCount(), dag.numNodes()) << label;
+}
+
+TEST(EligibilityScatter, MatchesOracleOnAllFamiliesUnderEveryTier) {
+  const auto tiers = supportedTiers();
+  const auto& families = testing::allFamilies();
+  for (std::size_t fi = 0; fi < families.size(); ++fi) {
+    const ScheduledDag w = families[fi].make();
+    for (const SimdTier tier : tiers)
+      expectTierMatchesOracle(w.dag, tier, 0xE11C + fi, families[fi].name);
+  }
+}
+
+/// `layers` ranks of `width` nodes, complete bipartite between consecutive
+/// ranks: children of every node are a dense ascending run (the SIMD scatter
+/// fast path) and every non-source has in-degree `width`.
+Dag denseLayers(std::size_t layers, std::size_t width) {
+  DagBuilder b(layers * width);
+  for (std::size_t l = 0; l + 1 < layers; ++l)
+    for (std::size_t i = 0; i < width; ++i)
+      for (std::size_t j = 0; j < width; ++j)
+        b.addArc(static_cast<NodeId>(l * width + i),
+                 static_cast<NodeId>((l + 1) * width + j));
+  return b.freeze();
+}
+
+TEST(EligibilityScatter, DenseFanoutUsesNarrowCountersAndMatchesOracle) {
+  // width 100: u8 counters, AVX-512 body (64) + AVX2-size chunk + tail.
+  const Dag u8dag = denseLayers(4, 100);
+  // width 300: in-degree 300 forces u16 counters.
+  const Dag u16dag = denseLayers(3, 300);
+  {
+    EligibilityTracker t8(u8dag);
+    EXPECT_EQ(t8.counterWidthBytes(), 1u);
+    EligibilityTracker t16(u16dag);
+    EXPECT_EQ(t16.counterWidthBytes(), 2u);
+  }
+  for (const SimdTier tier : supportedTiers()) {
+    expectTierMatchesOracle(u8dag, tier, 7, "denseLayers(4,100)");
+    expectTierMatchesOracle(u16dag, tier, 11, "denseLayers(3,300)");
+  }
+}
+
+TEST(EligibilityScatter, HugeInDegreeFallsBackToU32Counters) {
+  // A 70000-source star: in-degree exceeds u16, so the packed width is 4 and
+  // every tier takes the scalar walk for the wide counter.
+  constexpr std::size_t kSources = 70000;
+  DagBuilder b(kSources + 1);
+  for (std::size_t i = 0; i < kSources; ++i)
+    b.addArc(static_cast<NodeId>(i), static_cast<NodeId>(kSources));
+  const Dag star = b.freeze();
+  for (const SimdTier tier : supportedTiers()) {
+    ScopedSimdTier forced(tier);
+    EligibilityTracker t(star);
+    EXPECT_EQ(t.counterWidthBytes(), 4u);
+    std::vector<NodeId> packet;
+    for (std::size_t i = 0; i < kSources; ++i) {
+      t.executeInto(static_cast<NodeId>(i), packet);
+      if (i + 1 < kSources)
+        ASSERT_TRUE(packet.empty());
+      else
+        ASSERT_EQ(packet, std::vector<NodeId>{static_cast<NodeId>(kSources)});
+    }
+  }
+}
+
+TEST(EligibilityScatter, ThrowBehaviorIsPreservedUnderEveryTier) {
+  const Dag dag = denseLayers(2, 40);
+  for (const SimdTier tier : supportedTiers()) {
+    ScopedSimdTier forced(tier);
+    EligibilityTracker t(dag);
+    std::vector<NodeId> packet;
+    EXPECT_THROW(t.executeInto(40, packet), std::logic_error);  // not eligible
+    EXPECT_THROW(t.executeInto(static_cast<NodeId>(dag.numNodes()), packet),
+                 std::logic_error);  // out of range
+    t.executeInto(0, packet);
+    EXPECT_THROW(t.executeInto(0, packet), std::logic_error);  // re-execute
+    const std::size_t before = t.eligibleCount();
+    EXPECT_THROW(t.executeInto(0, packet), std::logic_error);
+    EXPECT_EQ(t.eligibleCount(), before);  // failed calls do not mutate
+  }
+}
+
+TEST(EligibilityScatter, ResetAndRebindResampleTheForcedTier) {
+  const Dag dense = denseLayers(3, 64);
+  const ScheduledDag m = outMesh(4);
+  OracleTracker o(dense);
+  for (const SimdTier tier : supportedTiers()) {
+    EligibilityTracker t(dense);  // built under the ambient (auto) tier
+    {
+      ScopedSimdTier forced(tier);
+      t.reset();  // reset() inside the scope picks up the forced tier
+      o.reset();
+      std::vector<NodeId> packet;
+      for (NodeId v = 0; v < dense.numNodes(); ++v) {
+        const std::vector<NodeId> expect = o.execute(v);
+        t.executeInto(v, packet);
+        ASSERT_EQ(packet, expect) << "tier=" << simdTierName(tier);
+      }
+    }
+    t.rebind(m.dag);  // back under the ambient tier; must still be coherent
+    EXPECT_EQ(t.eligibleCount(), OracleTracker(m.dag).eligibleCount());
+  }
 }
 
 }  // namespace

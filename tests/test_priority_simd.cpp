@@ -1,11 +1,12 @@
 /// \file test_priority_simd.cpp
-/// \brief SIMD ▷-kernel parity: the AVX2 and scalar tiers must return
-/// bit-identical verdicts for every input, pinned three ways -- a fuzz suite
-/// over random/concave/monotone profiles, every family-registry pair, and a
-/// forced-dispatch pass that runs both whole-check entry points on the same
-/// inputs. All suites degrade gracefully to scalar-only assertions on
-/// machines without AVX2 (nothing is silently skipped: the dispatch
-/// invariants themselves are still checked).
+/// \brief SIMD ▷-kernel parity: the AVX-512, AVX2 and scalar tiers must
+/// return bit-identical verdicts for every input, pinned three ways -- a
+/// fuzz suite over random/concave/monotone profiles, every family-registry
+/// pair, and a forced-dispatch pass that runs every whole-check entry point
+/// on the same inputs. All suites degrade gracefully to narrower-tier
+/// assertions on machines without AVX2/AVX-512 (nothing is silently skipped:
+/// the dispatch invariants themselves are still checked), and the
+/// setSimdTier error paths run everywhere via the CPU-support test override.
 
 #include <gtest/gtest.h>
 
@@ -69,7 +70,7 @@ Profile monotoneProfile(std::mt19937_64& rng, std::size_t maxLen, bool up) {
 }
 
 /// Asserts every kernel tier agrees with hasPriorityProfilesReference on
-/// (e1, e2). The AVX2 assertions only run when the CPU has AVX2.
+/// (e1, e2). The AVX2/AVX-512 assertions only run when the CPU has the tier.
 void expectAllTiersAgree(const Profile& e1, const Profile& e2) {
   const bool ref = hasPriorityProfilesReference(e1, e2);
   EXPECT_EQ(ref, detail::hasPriorityProfilesScalar(e1, e2));
@@ -77,6 +78,11 @@ void expectAllTiersAgree(const Profile& e1, const Profile& e2) {
     EXPECT_EQ(ref, detail::hasPriorityProfilesAvx2(e1, e2));
     EXPECT_EQ(detail::isConcaveScalar(e1), detail::isConcaveAvx2(e1));
     EXPECT_EQ(detail::isConcaveScalar(e2), detail::isConcaveAvx2(e2));
+  }
+  if (cpuSupportsAvx512()) {
+    EXPECT_EQ(ref, detail::hasPriorityProfilesAvx512(e1, e2));
+    EXPECT_EQ(detail::isConcaveScalar(e1), detail::isConcaveAvx512(e1));
+    EXPECT_EQ(detail::isConcaveScalar(e2), detail::isConcaveAvx512(e2));
   }
   EXPECT_EQ(ref, hasPriorityProfiles(e1, e2));  // whatever tier is active
 }
@@ -99,10 +105,43 @@ TEST(SimdPriorityDispatch, ForcingAvx2WithoutCpuSupportThrows) {
   EXPECT_THROW(setSimdTier(SimdTier::Avx2), std::invalid_argument);
 }
 
+TEST(SimdPriorityDispatch, ForcingUnsupportedTierThrowsAndLeavesTierUntouched) {
+  // The CPU-support override makes the error path reachable on every host,
+  // AVX-512 machines included. No vector kernel runs inside the override
+  // scope -- only the validation in setSimdTier.
+  const SimdTier before = activeSimdTier();
+  {
+    const detail::ScopedCpuSupportOverride noVector(/*avx2=*/0, /*avx512=*/0);
+    EXPECT_THROW(setSimdTier(SimdTier::Avx2), std::invalid_argument);
+    EXPECT_THROW(setSimdTier(SimdTier::Avx512), std::invalid_argument);
+    // A rejected request must not mutate the resolved tier.
+    EXPECT_EQ(activeSimdTier(), before);
+  }
+  {
+    // AVX2-only CPU: requesting AVX-512 still throws, AVX2 is accepted.
+    const detail::ScopedCpuSupportOverride avx2Only(/*avx2=*/1, /*avx512=*/0);
+    EXPECT_THROW(setSimdTier(SimdTier::Avx512), std::invalid_argument);
+    EXPECT_EQ(activeSimdTier(), before);
+  }
+  EXPECT_EQ(activeSimdTier(), before);
+}
+
+TEST(SimdPriorityDispatch, EnvValueParserRejectsGarbage) {
+  EXPECT_EQ(simdTierFromEnvValue("scalar"), SimdTier::Scalar);
+  EXPECT_EQ(simdTierFromEnvValue("avx2"), SimdTier::Avx2);
+  EXPECT_EQ(simdTierFromEnvValue("avx512"), SimdTier::Avx512);
+  EXPECT_EQ(simdTierFromEnvValue("auto"), SimdTier::Auto);
+  EXPECT_THROW((void)simdTierFromEnvValue("avx521"), std::invalid_argument);
+  EXPECT_THROW((void)simdTierFromEnvValue("AVX2"), std::invalid_argument);
+  EXPECT_THROW((void)simdTierFromEnvValue(""), std::invalid_argument);
+  EXPECT_THROW((void)simdTierFromEnvValue("scalar "), std::invalid_argument);
+}
+
 TEST(SimdPriorityDispatch, TierNamesAreStable) {
   EXPECT_STREQ(simdTierName(SimdTier::Auto), "auto");
   EXPECT_STREQ(simdTierName(SimdTier::Scalar), "scalar");
   EXPECT_STREQ(simdTierName(SimdTier::Avx2), "avx2");
+  EXPECT_STREQ(simdTierName(SimdTier::Avx512), "avx512");
 }
 
 TEST(SimdPriorityDispatch, Avx2KernelsThrowWhenNotCompiled) {
@@ -111,6 +150,14 @@ TEST(SimdPriorityDispatch, Avx2KernelsThrowWhenNotCompiled) {
   }
   const Profile e{1, 2};
   EXPECT_THROW((void)detail::isConcaveAvx2(e), std::logic_error);
+}
+
+TEST(SimdPriorityDispatch, Avx512KernelsThrowWhenNotCompiled) {
+  if (detail::avx512KernelsCompiled()) {
+    GTEST_SKIP() << "AVX-512 kernels are compiled into this binary";
+  }
+  const Profile e{1, 2};
+  EXPECT_THROW((void)detail::isConcaveAvx512(e), std::logic_error);
 }
 
 /// Forced dispatch: the same inputs through both public-path tiers. This is
@@ -130,6 +177,10 @@ TEST(SimdPriorityForcedDispatch, BothTiersOnSameInputsMatchReference) {
     EXPECT_EQ(ref, scalarVerdict);
     if (cpuSupportsAvx2()) {
       ScopedSimdTier avx2(SimdTier::Avx2);
+      EXPECT_EQ(ref, hasPriorityProfiles(e1, e2)) << "iter " << iter;
+    }
+    if (cpuSupportsAvx512()) {
+      ScopedSimdTier avx512(SimdTier::Avx512);
       EXPECT_EQ(ref, hasPriorityProfiles(e1, e2)) << "iter " << iter;
     }
   }
@@ -195,6 +246,9 @@ TEST(SimdPriorityFuzz, WrappingMagnitudesStayIdentical) {
       EXPECT_EQ(ref, detail::priorityScanScalar(a, b));
       if (cpuSupportsAvx2()) {
         EXPECT_EQ(ref, detail::priorityScanAvx2(a, b));
+      }
+      if (cpuSupportsAvx512()) {
+        EXPECT_EQ(ref, detail::priorityScanAvx512(a, b));
       }
       expectAllTiersAgree(a, b);  // full dispatch, concave wrap guard included
     }

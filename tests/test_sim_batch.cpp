@@ -355,6 +355,66 @@ TEST(EventHeapTest, ClearAndReserveReuseBackingStore) {
   EXPECT_EQ(heap.top().time, 1.0);
 }
 
+TEST(EventHeapTest, AllocationCounterTracksOnlyOrganicGrowth) {
+  EventHeap organic;
+  for (std::uint64_t s = 0; s < 200; ++s) organic.push({static_cast<double>(s), s, 0, 0});
+  EXPECT_GT(organic.allocations(), 0u);  // grew on demand
+
+  EventHeap reserved;
+  reserved.reserve(200);
+  for (std::uint64_t s = 0; s < 200; ++s) reserved.push({static_cast<double>(s), s, 0, 0});
+  EXPECT_EQ(reserved.allocations(), 0u);  // reserve() itself is not counted
+  reserved.clear();
+  for (std::uint64_t s = 0; s < 200; ++s) reserved.push({static_cast<double>(s), s, 0, 0});
+  EXPECT_EQ(reserved.allocations(), 0u);  // clear() keeps the backing store
+}
+
+// ---------- event capacity hint ----------
+
+TEST(EventCapacityHintTest, CoversEveryDagOfTheSweep) {
+  const ScheduledDag mesh = outMesh(12);  // the largest dag of the spec
+  const ScheduledDag bfly = butterfly(3);
+  SweepSpec spec;
+  spec.dags.push_back({"butterfly3", &bfly.dag, &bfly.schedule});
+  spec.dags.push_back({"mesh12", &mesh.dag, &mesh.schedule});
+  spec.schedulers = {"IC-OPT"};
+  spec.seeds = seedRange(0, 1);
+  spec.base.numClients = 6;
+  const std::size_t hint = eventCapacityHint(spec);
+  EXPECT_GE(hint, mesh.dag.numNodes() + spec.base.numClients);
+  EXPECT_GE(hint, bfly.dag.numNodes() + spec.base.numClients);
+}
+
+TEST(EventCapacityHintTest, ReservedEngineNeverRegrowsAcrossMixedDagSizes) {
+  // A worker-style engine: reserve once from the sweep-wide hint, then run a
+  // mixed small/large/small replication sequence (with churny faults, the
+  // worst case for pending-event count). The event heap must never regrow.
+  const ScheduledDag mesh = outMesh(12);
+  const ScheduledDag bfly = butterfly(3);
+  SweepSpec spec;
+  spec.dags.push_back({"butterfly3", &bfly.dag, &bfly.schedule});
+  spec.dags.push_back({"mesh12", &mesh.dag, &mesh.schedule});
+  spec.schedulers = {"IC-OPT", "RANDOM"};
+  spec.seeds = seedRange(40, 3);
+  spec.base.numClients = 6;
+
+  SimulationEngine engine;
+  engine.reserveEvents(eventCapacityHint(spec));
+  const std::uint64_t before = engine.eventHeapAllocations();
+  for (const auto& dc : {&spec.dags[0], &spec.dags[1], &spec.dags[0]}) {
+    for (const std::string& sched : spec.schedulers) {
+      for (const std::uint64_t seed : spec.seeds) {
+        SimulationConfig cfg = spec.base;
+        cfg.seed = seed;
+        cfg.faults = someFaults();
+        (void)engine.runWith(*dc->dag, *dc->schedule, sched, cfg);
+      }
+    }
+  }
+  EXPECT_EQ(engine.eventHeapAllocations(), before)
+      << "event heap regrew despite the sweep-wide reserve";
+}
+
 // ---------- scheduler guards ----------
 
 TEST(SchedulerGuardTest, EveryPickThrowsOnEmptyPool) {

@@ -18,6 +18,7 @@
 #include "families/prefix.hpp"
 #include "recovery/checkpoint_io.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/numa_topology.hpp"
 #include "sim/result_codec.hpp"
 #include "sim/simulation.hpp"
 
@@ -201,6 +202,81 @@ TEST(SimShard, MultithreadedWorkersMatchSerial) {
   // 2 procs x 2 threads per worker: both levels of parallelism at once.
   const std::vector<Replication> sharded = BatchRunner(2).runSharded(fx.spec, shard);
   expectByteIdentical(BatchRunner(1).run(fx.spec), sharded);
+}
+
+TEST(SimShard, RoundRobinNumaPlacementKeepsMergeByteIdentical) {
+  // Placement is pure locality tuning: whatever the host topology, the merged
+  // results under RoundRobin pinning must be the exact bytes of the serial
+  // reference (and of an unpinned sharded run).
+  const ShardFixture fx;
+  const std::vector<Replication> serial = BatchRunner(1).run(fx.spec);
+  for (const std::size_t procs : {2u, 3u}) {
+    const ShardDir dir("numa" + std::to_string(procs));
+    ShardOptions shard;
+    shard.procs = procs;
+    shard.journalDir = dir.path();
+    shard.numaPolicy = NumaPolicy::RoundRobin;
+    const std::vector<Replication> pinned = BatchRunner(1).runSharded(fx.spec, shard);
+    expectByteIdentical(serial, pinned);
+  }
+}
+
+TEST(SimShard, RoundRobinSurvivesWorkerKill) {
+  // A respawned rank re-pins to the same node; the kill-safety contract is
+  // unchanged by placement.
+  const ShardFixture fx;
+  const ShardDir dir("numakill");
+  ShardOptions shard;
+  shard.procs = 3;
+  shard.journalDir = dir.path();
+  shard.numaPolicy = NumaPolicy::RoundRobin;
+  shard.crashRank = 1;
+  shard.crashAfterAppends = 2;
+  const std::vector<Replication> sharded = BatchRunner(1).runSharded(fx.spec, shard);
+  expectByteIdentical(BatchRunner(1).run(fx.spec), sharded);
+}
+
+// ---------- NUMA topology parsing & pinning ----------
+
+TEST(NumaTopology, ParseCpuListHandlesRangesAndSingletons) {
+  EXPECT_EQ(parseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parseCpuList("0-2,8,10-11"), (std::vector<int>{0, 1, 2, 8, 10, 11}));
+  EXPECT_EQ(parseCpuList("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parseCpuList("3,1,2,1"), (std::vector<int>{1, 2, 3}));  // sorted, deduped
+  EXPECT_EQ(parseCpuList("0-3\n"), (std::vector<int>{0, 1, 2, 3}));  // sysfs newline
+}
+
+TEST(NumaTopology, ParseCpuListRejectsGarbage) {
+  EXPECT_TRUE(parseCpuList("").empty());  // memory-only node: empty, not an error
+  EXPECT_THROW((void)parseCpuList("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parseCpuList("3-1"), std::invalid_argument);  // descending range
+  EXPECT_THROW((void)parseCpuList("0-"), std::invalid_argument);
+  EXPECT_THROW((void)parseCpuList("1,,2"), std::invalid_argument);
+  EXPECT_THROW((void)parseCpuList("1,2,"), std::invalid_argument);
+}
+
+TEST(NumaTopology, ParseTopologySortsNodesAndDropsEmptyOnes) {
+  const NumaTopology topo = parseTopology({{1, "4-7"}, {0, "0-3"}, {2, ""}});
+  ASSERT_EQ(topo.numNodes(), 2u);  // the empty node 2 is dropped
+  EXPECT_EQ(topo.nodes[0].id, 0);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.nodes[1].id, 1);
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_TRUE(topo.multiNode());
+}
+
+TEST(NumaTopology, SystemTopologyNeverFailsAndHasCpus) {
+  const NumaTopology topo = systemTopology();
+  ASSERT_GE(topo.numNodes(), 1u);
+  for (const NumaNode& n : topo.nodes) EXPECT_FALSE(n.cpus.empty()) << "node " << n.id;
+}
+
+TEST(NumaTopology, PinToNodeIsANoOpOnSingleNodeTopologies) {
+  NumaTopology single;
+  single.nodes.push_back({0, {0, 1, 2, 3}});
+  EXPECT_FALSE(single.multiNode());
+  EXPECT_FALSE(pinToNode(single, 0));  // graceful no-op, no throw
+  EXPECT_FALSE(pinToNode(single, 7));  // rank beyond node count: still a no-op
 }
 
 TEST(SimShard, EmptyJournalDirIsRejected) {
